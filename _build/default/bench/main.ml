@@ -1,0 +1,795 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus the ablations called out in DESIGN.md and a Bechamel
+   micro-benchmark suite over the computational kernels.
+
+     dune exec bench/main.exe              -- everything
+     dune exec bench/main.exe fig6         -- one experiment
+     (experiments: fig6 fig8 eq3 eq4 fig10 table1 ablate perf)
+
+   Absolute numbers (cycle counts, wall-clock) depend on our simulated
+   platform and homemade solver; EXPERIMENTS.md records the comparison
+   against the paper's reported values. *)
+
+module Bv = Smt.Bv
+module B = Prog.Benchmarks
+module Gt = Gametime.Analysis
+module GtBasis = Gametime.Basis
+module Platform = Microarch.Platform
+module Box = Switchsynth.Box
+module Fixpoint = Switchsynth.Fixpoint
+module TS = Switchsynth.Transmission_synth
+module T = Hybrid.Transmission
+module Simulate = Hybrid.Simulate
+
+let section title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let subsection title = Format.printf "@.-- %s --@." title
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ================================================================== *)
+(* E1 / Fig. 6: modexp execution-time distribution                     *)
+(* ================================================================== *)
+
+let fig6 () =
+  section "E1 (Fig. 6): GameTime on modexp, 8-bit exponent";
+  let program = B.modexp () in
+  let pf = Platform.create program in
+  let platform = Platform.time pf in
+  let (t : Gt.t), elapsed =
+    timed (fun () ->
+        Gt.analyze ~bound:8 ~seed:2012 ~pin:[ ("base", 123) ] ~platform program)
+  in
+  Format.printf "analysis time: %.1fs (basis extraction + learning)@." elapsed;
+  Format.printf "basis paths: %d    (paper: 9)@." (List.length t.Gt.basis);
+  (* GameTime proper selects a barycentric-spanner basis (Seshia-Rakhlin);
+     refine the greedy one before predicting *)
+  let t = Gt.refine_with_spanner ~seed:2012 ~platform t in
+  let paths = Gt.feasible_paths t in
+  Format.printf "feasible program paths: %d    (paper: 256)@."
+    (List.length paths);
+  (* per-path prediction error *)
+  let per_path =
+    List.filter_map
+      (fun (path, test) ->
+        Option.map
+          (fun pred -> (test, pred, platform test))
+          (Gt.predict_path t path))
+      paths
+  in
+  let mean_err =
+    List.fold_left
+      (fun a (_, p, m) -> a +. (abs_float (p -. float_of_int m) /. float_of_int m))
+      0.0 per_path
+    /. float_of_int (List.length per_path)
+  in
+  Format.printf "mean per-path prediction error: %.2f%%    (paper: 'perfect')@."
+    (100.0 *. mean_err);
+  (* WCET *)
+  let w = Gt.wcet t ~platform in
+  let true_max =
+    List.fold_left
+      (fun acc e -> max acc (platform [ ("base", 123); ("exp", e) ]))
+      0
+      (List.init 256 Fun.id)
+  in
+  Format.printf
+    "WCET: predicted %.0f, measured at witness %d, exhaustive max %d@."
+    w.Gt.predicted_cycles w.Gt.measured_cycles true_max;
+  Format.printf "WCET witness exponent: %d    (paper: 255)@."
+    (List.assoc "exp" w.Gt.test land 255);
+  (* conditional soundness: how good is the (w, pi) hypothesis here? *)
+  let q = Gt.hypothesis_quality t ~platform in
+  Format.printf
+    "structure hypothesis: mu_hat = %.1f cycles, rho_hat = %.1f, margin %s@."
+    q.Gt.mu_hat q.Gt.rho_hat
+    (if q.Gt.margin_ok then "holds (rho > mu)" else "VIOLATED");
+  Format.printf "%a@."
+    Sciduction.Soundness.pp
+    (Sciduction.Soundness.conclude
+       ~hypothesis:"(w, pi) path-linear timing with bounded perturbation"
+       (Sciduction.Soundness.Tested
+          { method_ = "exhaustive per-path residual measurement";
+            passed = q.Gt.margin_ok }));
+  (* the Fig. 6 histogram, in 25-cycle buckets *)
+  subsection "distribution of execution times (25-cycle buckets)";
+  let bucket v = v / 25 * 25 in
+  let histo sel =
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun row ->
+        let b = bucket (sel row) in
+        Hashtbl.replace tbl b (1 + Option.value (Hashtbl.find_opt tbl b) ~default:0))
+      per_path;
+    tbl
+  in
+  let measured = histo (fun (_, _, m) -> m) in
+  let predicted = histo (fun (_, p, _) -> int_of_float (Float.round p)) in
+  let keys =
+    List.sort_uniq compare
+      (Hashtbl.fold (fun k _ a -> k :: a) measured []
+      @ Hashtbl.fold (fun k _ a -> k :: a) predicted [])
+  in
+  Format.printf "%8s  %9s %9s@." "cycles" "measured" "predicted";
+  let chi = ref 0.0 in
+  List.iter
+    (fun k ->
+      let m = Option.value (Hashtbl.find_opt measured k) ~default:0 in
+      let p = Option.value (Hashtbl.find_opt predicted k) ~default:0 in
+      chi := !chi +. (float_of_int ((m - p) * (m - p)) /. float_of_int (max 1 (m + p)));
+      Format.printf "%8d  %9d %9d  %s|%s@." k m p (String.make (m / 2) '#')
+        (String.make (p / 2) '*'))
+    keys;
+  Format.printf "histogram distance (chi^2-like): %.1f over %d paths@." !chi
+    (List.length per_path)
+
+(* ================================================================== *)
+(* E2/E3 / Fig. 8: deobfuscation                                       *)
+(* ================================================================== *)
+
+let fig8 () =
+  section "E2/E3 (Fig. 8): deobfuscation by oracle-guided synthesis";
+  let run name program library spec_fn =
+    subsection name;
+    match Ogis.Deobfuscate.run ~library program with
+    | Error _ -> Format.printf "!! synthesis failed@."
+    | Ok r ->
+      Format.printf "%a@." Ogis.Straightline.pp r.Ogis.Deobfuscate.clean;
+      let spec =
+        {
+          Ogis.Encode.width = program.Prog.Lang.width;
+          ninputs = List.length program.Prog.Lang.inputs;
+          noutputs = List.length program.Prog.Lang.outputs;
+          library;
+        }
+      in
+      let verified =
+        match
+          Ogis.Synth.verify_against spec r.Ogis.Deobfuscate.clean ~spec_fn
+        with
+        | Ok () -> "verified equivalent"
+        | Error _ -> "NOT EQUIVALENT"
+      in
+      Format.printf
+        "%s; %.3fs, %d oracle queries, %d rounds    (paper: < 0.5 s)@."
+        verified r.Ogis.Deobfuscate.seconds
+        r.Ogis.Deobfuscate.stats.Ogis.Synth.oracle_queries
+        r.Ogis.Deobfuscate.stats.Ogis.Synth.iterations
+  in
+  let width = 16 in
+  run "P1: interchange (16-bit)"
+    (B.interchange_obs_w ~width)
+    Ogis.Component.fig8_p1
+    (function [ s; d ] -> [ d; s ] | _ -> assert false);
+  run "P2: multiply by 45 (16-bit)"
+    (B.multiply45_obs_w ~width)
+    Ogis.Component.fig8_p2
+    (function
+      | [ y ] -> [ Bv.bmul y (Bv.const ~width 45) ]
+      | _ -> assert false)
+
+(* ================================================================== *)
+(* Hacker's Delight suite (the ICSE 2010 evaluation Sec. 4 builds on)   *)
+(* ================================================================== *)
+
+let hd () =
+  section "Hacker's Delight suite (10 benchmarks, width 8)";
+  Format.printf "%-30s %-8s %-8s %-9s %s@." "benchmark" "queries" "rounds"
+    "verified" "seconds";
+  List.iter
+    (fun b ->
+      let o = Ogis.Hd_suite.run b in
+      match o.Ogis.Hd_suite.result with
+      | Ok (_, stats) ->
+        Format.printf "%-30s %-8d %-8d %-9b %.2f@." b.Ogis.Hd_suite.name
+          stats.Ogis.Synth.oracle_queries stats.Ogis.Synth.iterations
+          o.Ogis.Hd_suite.verified o.Ogis.Hd_suite.seconds
+      | Error _ ->
+        Format.printf "%-30s %-8s %-8s %-9s --@." b.Ogis.Hd_suite.name "--"
+          "--" "FAILED")
+    Ogis.Hd_suite.all
+
+(* ================================================================== *)
+(* E4/E5 (Eq. 3 / Eq. 4): transmission guards                          *)
+(* ================================================================== *)
+
+let guard_table result paper =
+  Format.printf "%-6s %-22s %-18s %s@." "guard" "synthesized" "paper" "delta";
+  List.iter
+    (fun (label, b) ->
+      let lo, hi = List.assoc label paper in
+      let delta =
+        if Box.is_empty b then "--"
+        else
+          Printf.sprintf "%.2f"
+            (max
+               (abs_float (b.Box.lo.(0) -. lo))
+               (abs_float (b.Box.hi.(0) -. hi)))
+      in
+      Format.printf "%-6s %-22s [%6.2f, %6.2f]   %s@." label
+        (Format.asprintf "%a" Box.pp1 b)
+        lo hi delta)
+    result.Fixpoint.guards
+
+let eq3 () =
+  section "E4 (Eq. 3): switching guards for safety";
+  let r, elapsed = timed (fun () -> TS.synthesize ()) in
+  Format.printf "%d fixpoint iterations, %d simulator queries, %.1fs@."
+    r.Fixpoint.iterations r.Fixpoint.labels_queried elapsed;
+  guard_table r TS.paper_eq3;
+  let exact =
+    List.for_all
+      (fun (label, b) ->
+        let lo, hi = List.assoc label TS.paper_eq3 in
+        (not (Box.is_empty b))
+        && abs_float (b.Box.lo.(0) -. lo) <= 0.011
+        && abs_float (b.Box.hi.(0) -. hi) <= 0.011)
+      r.Fixpoint.guards
+  in
+  Format.printf "all 12 guards within one grid cell of the paper: %b@." exact
+
+let eq4 () =
+  section "E5 (Eq. 4): switching guards with a 5s dwell requirement";
+  let r, elapsed = timed (fun () -> TS.synthesize ~dwell:5.0 ()) in
+  Format.printf "%d fixpoint iterations, %d simulator queries, %.1fs@."
+    r.Fixpoint.iterations r.Fixpoint.labels_queried elapsed;
+  guard_table r TS.paper_eq4;
+  let matching =
+    List.length
+      (List.filter
+         (fun (label, b) ->
+           let lo, hi = List.assoc label TS.paper_eq4 in
+           (not (Box.is_empty b))
+           && abs_float (b.Box.lo.(0) -. lo) <= 0.02
+           && abs_float (b.Box.hi.(0) -. hi) <= 0.02)
+         r.Fixpoint.guards)
+  in
+  Format.printf
+    "%d of 12 guards match the paper within 0.02; the rest differ because@."
+    matching;
+  Format.printf
+    "the paper's dwell semantics is under-specified (see EXPERIMENTS.md).@."
+
+(* ================================================================== *)
+(* E6 / Fig. 10: closed-loop trace                                     *)
+(* ================================================================== *)
+
+let fig10 () =
+  section "E6 (Fig. 10): transmission trace through all six gears";
+  let r = TS.synthesize ~dwell:5.0 () in
+  let guard label y =
+    let b = Fixpoint.guard_fn r label in
+    if label = "g33D" then
+      y.(1) >= b.Box.hi.(0) -. 0.1 && y.(1) <= b.Box.hi.(0)
+    else if label = "g1ND" then y.(1) <= 0.02
+    else Box.mem b [| y.(1) |]
+  in
+  let run =
+    Simulate.run_policy T.system ~guard
+      ~plan:[ "gN1U"; "g12U"; "g23U"; "g33D"; "g32D"; "g21D"; "g1ND" ]
+      ~min_dwell:5.0 ~sample_every:4.0 ~dt:0.01 ~max_time:300.0 [| 0.0; 0.0 |]
+  in
+  let samples = run.Simulate.samples and outcome = run.Simulate.outcome in
+  Format.printf "%-8s %-5s %-8s %-6s@." "t (s)" "mode" "omega" "eta";
+  List.iter
+    (fun (s : Simulate.sample) ->
+      let mode = T.system.Hybrid.Mds.modes.(s.Simulate.mode).Hybrid.Mds.name in
+      let omega = s.Simulate.state.(1) in
+      let gear =
+        match mode with
+        | "G1U" | "G1D" -> 1
+        | "G2U" | "G2D" -> 2
+        | "G3U" | "G3D" -> 3
+        | _ -> 0
+      in
+      let eta = if gear = 0 then 0.0 else T.eta gear omega in
+      Format.printf "%-8.1f %-5s %-8.2f %-6.2f %s@." s.Simulate.time mode omega
+        eta
+        (String.make (int_of_float omega) '*'))
+    samples;
+  let top =
+    List.fold_left (fun m (s : Simulate.sample) -> max m s.Simulate.state.(1)) 0.0 samples
+  in
+  let violations =
+    List.filter
+      (fun (s : Simulate.sample) ->
+        not (T.system.Hybrid.Mds.safe s.Simulate.mode s.Simulate.state))
+      samples
+  in
+  let modes_seen =
+    List.sort_uniq compare (List.map (fun (s : Simulate.sample) -> s.Simulate.mode) samples)
+  in
+  Format.printf
+    "@.outcome: %s; top speed %.1f (paper: ~36.7); modes visited %d/7; phi_S violations %d@."
+    (match outcome with
+    | `Completed -> "completed"
+    | `Unsafe -> "UNSAFE"
+    | `Timeout -> "timeout")
+    top (List.length modes_seen) (List.length violations)
+
+
+(* ================================================================== *)
+(* Optimal switching (Section 6 direction; EMSOFT 2011)                *)
+(* ================================================================== *)
+
+let optimal () =
+  section "Optimal switching logic (Sec. 6 / EMSOFT'11 direction)";
+  let guards = TS.synthesize () in
+  let plan = [ "gN1U"; "g12U"; "g23U"; "g33D"; "g32D"; "g21D"; "g1ND" ] in
+  Format.printf
+    "Within the synthesized safe guards, pick switching thresholds by@.";
+  Format.printf "coordinate descent over simulated cost:@.";
+  List.iter
+    (fun (name, obj) ->
+      let r = Switchsynth.Optimal.optimize guards ~plan ~dwell:0.0 obj in
+      Format.printf
+        "@.%s: cost %.4f vs first-opportunity %.4f (%d simulations)@." name
+        r.Switchsynth.Optimal.cost r.Switchsynth.Optimal.baseline_cost
+        r.Switchsynth.Optimal.evaluations;
+      List.iter
+        (fun (l, th) -> Format.printf "  %-5s switch at omega = %.2f@." l th)
+        r.Switchsynth.Optimal.policy)
+    [
+      ("minimize completion time", Switchsynth.Optimal.Minimize_time);
+      ( "maximize mean efficiency",
+        Switchsynth.Optimal.Maximize_mean_efficiency );
+    ];
+  Format.printf
+    "@.(The efficiency-optimal upshifts land at the analytic gear@.";
+  Format.printf
+    " crossovers eta1=eta2 at omega=15 and eta2=eta3 at omega=25.)@."
+
+(* ================================================================== *)
+(* E7 / Table 1                                                        *)
+(* ================================================================== *)
+
+let table1 () =
+  section "E7 (Table 1): the three demonstrated applications";
+  Format.printf "%a@." Sciduction.Instances.pp_table Sciduction.Instances.table1;
+  Format.printf "@.Section 2.4 instances also implemented here:@.%a@."
+    Sciduction.Instances.pp_table Sciduction.Instances.section24
+
+(* ================================================================== *)
+(* Ablations (DESIGN.md)                                               *)
+(* ================================================================== *)
+
+let ablate_gametime () =
+  subsection "A1: GameTime WCET vs longest-syntactic-path heuristic";
+  (* the 'deceptive' kernel's long branch arm is the CHEAP one *)
+  let bits = 4 in
+  let program = B.deceptive ~bits () in
+  let pf = Platform.create program in
+  let platform = Platform.time pf in
+  let t =
+    Gt.analyze ~bound:bits ~seed:7 ~pin:[ ("d", 9999) ] ~platform program
+  in
+  let w = Gt.wcet t ~platform in
+  let paths = Gt.feasible_paths t in
+  let _, naive_test =
+    List.fold_left
+      (fun ((bp, _) as best) ((p, _) as cand) ->
+        if List.length p > List.length bp then cand else best)
+      (List.hd paths) (List.tl paths)
+  in
+  let naive_cycles = platform naive_test in
+  let true_max =
+    List.fold_left
+      (fun acc x -> max acc (platform [ ("x", x); ("d", 9999) ]))
+      0
+      (List.init (1 lsl bits) Fun.id)
+  in
+  Format.printf
+    "true WCET %d | GameTime %d | longest-syntactic-path heuristic %d (under-estimates by %d)@."
+    true_max w.Gt.measured_cycles naive_cycles (true_max - naive_cycles)
+
+let ablate_ogis () =
+  subsection "A2: distinguishing inputs vs random examples";
+  let width = 8 in
+  (* two problems: Fig. 8's multiplier (easy for random sampling because
+     almost any input separates wrong candidates) and a 'needle' — an
+     equality test whose wrong candidates agree with the oracle on all
+     but one or two of the 256 inputs *)
+  let p2_spec =
+    {
+      Ogis.Encode.width;
+      ninputs = 1;
+      noutputs = 1;
+      library = Ogis.Component.fig8_p2;
+    }
+  in
+  let p2_oracle =
+    Ogis.Deobfuscate.oracle_of_program (B.multiply45_obs_w ~width)
+  in
+  let p2_correct prog =
+    Ogis.Synth.verify_against p2_spec prog ~spec_fn:(function
+      | [ y ] -> [ Bv.bmul y (Bv.const ~width 45) ]
+      | _ -> assert false)
+    = Ok ()
+  in
+  let needle_spec =
+    {
+      Ogis.Encode.width;
+      ninputs = 1;
+      noutputs = 1;
+      library =
+        [
+          Ogis.Component.const ~width 0xAB;
+          Ogis.Component.const ~width 0;
+          Ogis.Component.xor;
+          Ogis.Component.ule01;
+        ];
+    }
+  in
+  let needle_oracle = function
+    | [ x ] -> [ (if x = 0xAB then 1 else 0) ]
+    | _ -> assert false
+  in
+  let needle_correct prog =
+    Ogis.Synth.verify_against needle_spec prog ~spec_fn:(function
+      | [ x ] ->
+        [
+          Bv.ite
+            (Bv.eq x (Bv.const ~width 0xAB))
+            (Bv.const ~width 1) (Bv.const ~width 0);
+        ]
+      | _ -> assert false)
+    = Ok ()
+  in
+  let random_cegis spec oracle correct =
+    let rng = Random.State.make [| 3 |] in
+    let queries = ref 0 in
+    let ask x =
+      incr queries;
+      (x, oracle x)
+    in
+    let rec loop examples fuel =
+      if fuel = 0 then "gave up"
+      else
+        match Ogis.Encode.synthesize_candidate spec ~examples with
+        | None -> "unrealizable?!"
+        | Some cand ->
+          if correct cand then Printf.sprintf "%4d oracle queries" !queries
+          else begin
+            let rec find k =
+              if k = 0 then None
+              else
+                let x = [ Random.State.int rng 256 ] in
+                let _, fx = ask x in
+                if Ogis.Straightline.eval cand x <> fx then Some (x, fx)
+                else find (k - 1)
+            in
+            match find 2000 with
+            | None -> "stuck on a wrong candidate"
+            | Some ex -> loop (ex :: examples) (fuel - 1)
+          end
+    in
+    loop [ ask [ 0 ] ] 64
+  in
+  let distinguishing spec oracle correct =
+    match Ogis.Synth.synthesize ~initial_inputs:[ [ 0 ] ] spec oracle with
+    | Ogis.Synth.Synthesized (p, stats) ->
+      Printf.sprintf "%4d oracle queries (correct=%b)"
+        stats.Ogis.Synth.oracle_queries (correct p)
+    | _ -> "failed"
+  in
+  Format.printf "P2 multiplier:   distinguishing %s | random %s@."
+    (distinguishing p2_spec p2_oracle p2_correct)
+    (random_cegis p2_spec p2_oracle p2_correct);
+  Format.printf "needle (x=0xAB): distinguishing %s | random %s@."
+    (distinguishing needle_spec needle_oracle needle_correct)
+    (random_cegis needle_spec needle_oracle needle_correct)
+
+let ablate_grid () =
+  subsection "A3: hyperbox grid resolution vs guard quality (Eq. 3)";
+  List.iter
+    (fun grid ->
+      let r = TS.synthesize ~grid () in
+      let worst =
+        List.fold_left
+          (fun acc (label, b) ->
+            let lo, hi = List.assoc label TS.paper_eq3 in
+            if Box.is_empty b then acc
+            else
+              max acc
+                (max
+                   (abs_float (b.Box.lo.(0) -. lo))
+                   (abs_float (b.Box.hi.(0) -. hi))))
+          0.0 r.Fixpoint.guards
+      in
+      Format.printf
+        "grid %-5g: %5d simulator queries, worst deviation from paper %.3f@."
+        grid r.Fixpoint.labels_queried worst)
+    [ 1.0; 0.1; 0.01 ]
+
+let ablate_sat () =
+  subsection "A4: CDCL vs reference DPLL (random 3-SAT near threshold)";
+  (* pigeonhole is resolution-hard, so learning cannot help there; on
+     random 3-SAT at clause ratio 4.26 clause learning pays off quickly *)
+  let random_3sat ~nvars ~seed =
+    let rng = Random.State.make [| seed |] in
+    let nclauses = int_of_float (4.26 *. float_of_int nvars) in
+    List.init nclauses (fun _ ->
+        List.init 3 (fun _ ->
+            Smt.Lit.make (Random.State.int rng nvars) (Random.State.bool rng)))
+  in
+  List.iter
+    (fun nvars ->
+      let clauses = random_3sat ~nvars ~seed:(nvars * 7) in
+      let r_cdcl = ref Smt.Sat.Sat in
+      let _, t_cdcl =
+        timed (fun () ->
+            let s = Smt.Sat.create () in
+            for _ = 1 to nvars do
+              ignore (Smt.Sat.new_var s)
+            done;
+            List.iter (Smt.Sat.add_clause s) clauses;
+            r_cdcl := Smt.Sat.solve s)
+      in
+      let r_dpll = ref (Smt.Dpll.Unsat) in
+      let _, t_dpll =
+        timed (fun () -> r_dpll := Smt.Dpll.solve ~nvars clauses)
+      in
+      let agree =
+        match (!r_cdcl, !r_dpll) with
+        | Smt.Sat.Sat, Smt.Dpll.Sat _ | Smt.Sat.Unsat, Smt.Dpll.Unsat -> true
+        | _ -> false
+      in
+      Format.printf
+        "3-SAT n=%-3d (%s): CDCL %.3fs, DPLL %.3fs (%.0fx), agree=%b@." nvars
+        (match !r_cdcl with Smt.Sat.Sat -> "sat" | Smt.Sat.Unsat -> "unsat")
+        t_cdcl t_dpll
+        (t_dpll /. max 1e-9 t_cdcl)
+        agree)
+    [ 40; 60; 80 ]
+
+
+let ablate_spanner () =
+  subsection "A5: greedy basis vs barycentric spanner (modexp, 6-bit)";
+  let program = B.modexp ~bits:6 () in
+  let pf = Platform.create program in
+  let platform = Platform.time pf in
+  let t =
+    Gt.analyze ~bound:6 ~seed:11 ~pin:[ ("base", 123) ] ~platform program
+  in
+  let candidates = Gt.feasible_paths t in
+  let report label (t : Gt.t) =
+    let errs =
+      List.filter_map
+        (fun (path, test) ->
+          Option.map
+            (fun pred ->
+              let m = float_of_int (platform test) in
+              abs_float (pred -. m) /. m)
+            (Gt.predict_path t path))
+        candidates
+    in
+    let mean = List.fold_left ( +. ) 0.0 errs /. float_of_int (List.length errs) in
+    let worst = List.fold_left max 0.0 errs in
+    Format.printf
+      "%-12s max|coordinate| %.2f, mean prediction error %.2f%%, worst %.2f%%@."
+      label
+      (Gametime.Spanner.max_coordinate t.Gt.basis ~candidates t.Gt.cfg)
+      (100. *. mean) (100. *. worst)
+  in
+  report "greedy" t;
+  report "spanner" (Gt.refine_with_spanner ~seed:11 ~platform t)
+
+
+let ablate_refinement () =
+  subsection "A7: CEGAR refinement — syntactic vs decision-tree learning";
+  List.iter
+    (fun (name, t) ->
+      let iters r =
+        match r with
+        | Mc.Cegar.Safe { iterations; abstract_latches; _ } ->
+          Printf.sprintf "safe, %d iters, %d latches" iterations abstract_latches
+        | Mc.Cegar.Unsafe { iterations; _ } ->
+          Printf.sprintf "unsafe, %d iters" iterations
+      in
+      Format.printf "%-24s most-referenced: %-26s decision-tree: %s@." name
+        (iters (Mc.Cegar.verify t))
+        (iters
+           (Mc.Cegar.verify
+              ~refinement:(Mc.Cegar.Decision_tree { samples = 64; seed = 5 })
+              t)))
+    [
+      ("counter + 8 junk", Mc.Systems.mod_counter ~junk:8 ~bits:3 ~modulus:6 ~bad_value:7 ());
+      ("shift register 6", Mc.Systems.shift_register ~len:6);
+      ("unsafe counter", Mc.Systems.mod_counter ~junk:4 ~bits:3 ~modulus:8 ~bad_value:5 ());
+    ]
+
+
+let ablate_platforms () =
+  subsection "A6: GameTime portability across platform variants (modexp, 6-bit)";
+  let program = B.modexp ~bits:6 () in
+  List.iter
+    (fun (name, pf) ->
+      let platform = Platform.time pf in
+      let t =
+        Gt.analyze ~bound:6 ~seed:13 ~pin:[ ("base", 123) ] ~platform program
+      in
+      let t = Gt.refine_with_spanner ~seed:13 ~platform t in
+      let w = Gt.wcet t ~platform in
+      let true_max =
+        List.fold_left
+          (fun acc e -> max acc (platform [ ("base", 123); ("exp", e) ]))
+          0
+          (List.init 64 Fun.id)
+      in
+      let q = Gt.hypothesis_quality t ~platform in
+      Format.printf
+        "%-26s WCET %4d / true %4d %s  mu_hat %5.1f  rho_hat %5.1f@." name
+        w.Gt.measured_cycles true_max
+        (if w.Gt.measured_cycles = true_max then "(exact)" else "(UNDER) ")
+        q.Gt.mu_hat q.Gt.rho_hat)
+    [
+      ("static not-taken", Platform.create program);
+      ( "backward-taken predictor",
+        Platform.create ~predictor:Microarch.Machine.Backward_taken program );
+      ( "bimodal predictor",
+        Platform.create ~predictor:(Microarch.Machine.Bimodal 64) program );
+      ( "tiny caches",
+        Platform.create
+          ~icache:{ Microarch.Cache.lines = 4; line_bytes = 8; miss_penalty = 20 }
+          ~dcache:{ Microarch.Cache.lines = 2; line_bytes = 4; miss_penalty = 20 }
+          program );
+    ]
+
+let ablate () =
+  section "Ablations";
+  ablate_gametime ();
+  ablate_spanner ();
+  ablate_refinement ();
+  ablate_platforms ();
+  ablate_ogis ();
+  ablate_grid ();
+  ablate_sat ()
+
+(* ================================================================== *)
+(* Bechamel micro-benchmarks                                           *)
+(* ================================================================== *)
+
+let perf () =
+  section "Micro-benchmarks (Bechamel; ns per run)";
+  let open Bechamel in
+  let php5 =
+    Test.make ~name:"sat/pigeonhole-5-unsat"
+      (Staged.stage (fun () ->
+           let n = 5 in
+           let v i h = (i * n) + h in
+           let s = Smt.Sat.create () in
+           for _ = 1 to (n + 1) * n do
+             ignore (Smt.Sat.new_var s)
+           done;
+           for i = 0 to n do
+             Smt.Sat.add_clause s (List.init n (fun h -> Smt.Lit.pos (v i h)))
+           done;
+           for h = 0 to n - 1 do
+             for i = 0 to n do
+               for j = i + 1 to n do
+                 Smt.Sat.add_clause s
+                   [ Smt.Lit.neg_of (v i h); Smt.Lit.neg_of (v j h) ]
+               done
+             done
+           done;
+           ignore (Smt.Sat.solve s)))
+  in
+  let xor_swap =
+    Test.make ~name:"smt/xor-swap-16bit-unsat"
+      (Staged.stage (fun () ->
+           let a = Bv.var ~width:16 "a" and b = Bv.var ~width:16 "b" in
+           let a1 = Bv.bxor a b in
+           let b1 = Bv.bxor a1 b in
+           let a2 = Bv.bxor a1 b1 in
+           let good = Bv.fand (Bv.eq b1 a) (Bv.eq a2 b) in
+           ignore (Smt.Solver.check_formulas [ Bv.fnot good ])))
+  in
+  let ogis_p1 =
+    Test.make ~name:"ogis/p1-interchange-8bit"
+      (Staged.stage (fun () ->
+           ignore
+             (Ogis.Deobfuscate.run ~library:Ogis.Component.fig8_p1
+                (B.interchange_obs_w ~width:8))))
+  in
+  let basis =
+    Test.make ~name:"gametime/basis-bitcount4"
+      (Staged.stage (fun () ->
+           let u = Prog.Unroll.unroll ~bound:4 (B.bitcount ()) in
+           let g = Prog.Cfg.of_program u in
+           ignore (GtBasis.extract u g)))
+  in
+  let eq3_bench =
+    Test.make ~name:"switchsynth/eq3-grid0.1"
+      (Staged.stage (fun () -> ignore (TS.synthesize ~grid:0.1 ())))
+  in
+  let cegar =
+    Test.make ~name:"cegar/counter+junk6"
+      (Staged.stage (fun () ->
+           ignore
+             (Mc.Cegar.verify
+                (Mc.Systems.mod_counter ~junk:6 ~bits:3 ~modulus:6 ~bad_value:7
+                   ()))))
+  in
+  let invg =
+    Test.make ~name:"invgen/mod5-pipeline"
+      (Staged.stage (fun () ->
+           let aig, bad = Invgen.Engine.counter_mod5 () in
+           ignore (Invgen.Engine.run aig ~bad)))
+  in
+  let lstar_bench =
+    Test.make ~name:"lstar/learn-no11"
+      (Staged.stage (fun () ->
+           let no_11 =
+             Lstar.Dfa.make ~alphabet:2 ~start:0
+               ~accept:[| true; true; false |]
+               ~delta:[| [| 0; 1 |]; [| 0; 2 |]; [| 2; 2 |] |]
+           in
+           ignore (Lstar.Learner.learn_exact ~target:no_11)))
+  in
+  let tests =
+    [ php5; xor_swap; ogis_p1; basis; eq3_bench; cegar; invg; lstar_bench ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg
+      [ Toolkit.Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"perf" tests)
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> (name, est) :: acc
+        | _ -> (name, nan) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1e9 then Format.printf "%-32s %8.2f s/run@." name (ns /. 1e9)
+      else if ns >= 1e6 then
+        Format.printf "%-32s %8.2f ms/run@." name (ns /. 1e6)
+      else Format.printf "%-32s %8.2f us/run@." name (ns /. 1e3))
+    rows
+
+(* ================================================================== *)
+
+let experiments =
+  [
+    ("fig6", fig6);
+    ("fig8", fig8);
+    ("hd", hd);
+    ("eq3", eq3);
+    ("eq4", eq4);
+    ("fig10", fig10);
+    ("optimal", optimal);
+    ("table1", table1);
+    ("ablate", ablate);
+    ("perf", perf);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Format.printf "unknown experiment %s; available: %s@." name
+          (String.concat " " (List.map fst experiments));
+        exit 1)
+    requested

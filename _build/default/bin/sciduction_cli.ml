@@ -1,0 +1,274 @@
+(* Command-line interface over the sciduction applications.
+
+     sciduction_cli deobfuscate --program p2 --width 8
+     sciduction_cli timing --bits 6 --tau 550
+     sciduction_cli transmission --dwell 5
+     sciduction_cli cegar --junk 10
+     sciduction_cli table *)
+
+open Cmdliner
+
+module Bv = Smt.Bv
+module B = Prog.Benchmarks
+
+(* ---- deobfuscate ---- *)
+
+let deobfuscate_run program width =
+  let obf, library, spec_fn =
+    match program with
+    | "p1" ->
+      ( B.interchange_obs_w ~width,
+        Ogis.Component.fig8_p1,
+        fun ts -> (match ts with [ s; d ] -> [ d; s ] | _ -> assert false) )
+    | "p2" ->
+      ( B.multiply45_obs_w ~width,
+        Ogis.Component.fig8_p2,
+        fun ts ->
+          (match ts with
+          | [ y ] -> [ Bv.bmul y (Bv.const ~width 45) ]
+          | _ -> assert false) )
+    | other ->
+      Format.eprintf "unknown program %s (use p1 or p2)@." other;
+      exit 2
+  in
+  Format.printf "obfuscated source:@.%a@.@." Prog.Lang.pp obf;
+  match Ogis.Deobfuscate.run ~library obf with
+  | Error _ ->
+    Format.printf "synthesis failed@.";
+    1
+  | Ok r ->
+    Format.printf "re-synthesized in %.3fs (%d oracle queries):@.%a@."
+      r.Ogis.Deobfuscate.seconds
+      r.Ogis.Deobfuscate.stats.Ogis.Synth.oracle_queries Ogis.Straightline.pp
+      r.Ogis.Deobfuscate.clean;
+    let spec =
+      {
+        Ogis.Encode.width;
+        ninputs = List.length obf.Prog.Lang.inputs;
+        noutputs = List.length obf.Prog.Lang.outputs;
+        library;
+      }
+    in
+    (match Ogis.Synth.verify_against spec r.Ogis.Deobfuscate.clean ~spec_fn with
+    | Ok () ->
+      Format.printf "verified equivalent to the specification@.";
+      0
+    | Error cex ->
+      Format.printf "NOT equivalent; counterexample %s@."
+        (String.concat "," (List.map string_of_int cex));
+      1)
+
+let deobfuscate_cmd =
+  let program =
+    Arg.(
+      value & opt string "p2"
+      & info [ "program" ] ~docv:"NAME" ~doc:"Benchmark to deobfuscate: p1 or p2.")
+  in
+  let width =
+    Arg.(value & opt int 8 & info [ "width" ] ~docv:"BITS" ~doc:"Word width.")
+  in
+  Cmd.v
+    (Cmd.info "deobfuscate" ~doc:"Re-synthesize an obfuscated program (Fig. 8)")
+    Term.(const deobfuscate_run $ program $ width)
+
+(* ---- timing ---- *)
+
+let timing_run file bits tau =
+  let program, pin =
+    match file with
+    | Some f -> (Prog.Syntax.parse_file f, [])
+    | None -> (B.modexp ~bits (), [ ("base", 123) ])
+  in
+  let pf = Microarch.Platform.create program in
+  let platform = Microarch.Platform.time pf in
+  let t =
+    Gametime.Analysis.analyze ~bound:bits ~seed:2012 ~pin ~platform program
+  in
+  let w = Gametime.Analysis.wcet t ~platform in
+  Format.printf "basis paths: %d; WCET %d cycles at %s@."
+    (List.length t.Gametime.Analysis.basis)
+    w.Gametime.Analysis.measured_cycles
+    (String.concat ", "
+       (List.map
+          (fun (x, v) -> Printf.sprintf "%s=%d" x v)
+          w.Gametime.Analysis.test));
+  match tau with
+  | None -> 0
+  | Some tau -> (
+    match Gametime.Analysis.answer_ta t ~platform ~tau with
+    | `Yes ->
+      Format.printf "<TA>: execution time is always <= %d@." tau;
+      0
+    | `No test ->
+      Format.printf "<TA>: NO — exp=%d takes %d cycles@."
+        (List.assoc "exp" test) (platform test);
+      1)
+
+let timing_cmd =
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Analyze this program instead of the built-in modexp.")
+  in
+  let bits =
+    Arg.(
+      value & opt int 6
+      & info [ "bits" ] ~docv:"N"
+          ~doc:"Exponent bits for modexp / loop-unrolling bound for --file.")
+  in
+  let tau =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tau" ] ~docv:"CYCLES" ~doc:"Answer problem <TA> for this bound.")
+  in
+  Cmd.v
+    (Cmd.info "timing" ~doc:"GameTime analysis of a program (Sec. 3)")
+    Term.(const timing_run $ file $ bits $ tau)
+
+(* ---- transmission ---- *)
+
+let transmission_run dwell grid =
+  let r =
+    if dwell > 0.0 then Switchsynth.Transmission_synth.synthesize ~dwell ~grid ()
+    else Switchsynth.Transmission_synth.synthesize ~grid ()
+  in
+  Format.printf "converged=%b after %d iterations (%d simulator queries)@."
+    r.Switchsynth.Fixpoint.converged r.Switchsynth.Fixpoint.iterations
+    r.Switchsynth.Fixpoint.labels_queried;
+  List.iter
+    (fun (label, b) ->
+      Format.printf "  %-6s %a@." label Switchsynth.Box.pp1 b)
+    r.Switchsynth.Fixpoint.guards;
+  0
+
+let transmission_cmd =
+  let dwell =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dwell" ] ~docv:"SECONDS" ~doc:"Minimum dwell per gear (0 = Eq. 3).")
+  in
+  let grid =
+    Arg.(value & opt float 0.01 & info [ "grid" ] ~docv:"STEP" ~doc:"Guard grid.")
+  in
+  Cmd.v
+    (Cmd.info "transmission"
+       ~doc:"Synthesize transmission switching guards (Sec. 5)")
+    Term.(const transmission_run $ dwell $ grid)
+
+(* ---- cegar ---- *)
+
+let cegar_run junk bits modulus bad_value =
+  let t = Mc.Systems.mod_counter ~junk ~bits ~modulus ~bad_value () in
+  Format.printf "system %s: %d latches@." t.Mc.Ts.name t.Mc.Ts.num_latches;
+  match Mc.Cegar.verify t with
+  | Mc.Cegar.Safe { abstract_latches; iterations; _ } ->
+    Format.printf "SAFE: %d visible latches after %d iterations@."
+      abstract_latches iterations;
+    0
+  | Mc.Cegar.Unsafe { trace; _ } ->
+    Format.printf "UNSAFE: counterexample of %d steps@." (List.length trace);
+    1
+
+let cegar_cmd =
+  let junk =
+    Arg.(value & opt int 8 & info [ "junk" ] ~doc:"Irrelevant latches.")
+  in
+  let bits = Arg.(value & opt int 3 & info [ "bits" ] ~doc:"Counter width.") in
+  let modulus = Arg.(value & opt int 6 & info [ "modulus" ] ~doc:"Wrap value.") in
+  let bad_value =
+    Arg.(value & opt int 7 & info [ "bad" ] ~doc:"Bad counter value.")
+  in
+  Cmd.v
+    (Cmd.info "cegar" ~doc:"CEGAR on a counter with irrelevant latches")
+    Term.(const cegar_run $ junk $ bits $ modulus $ bad_value)
+
+(* ---- run ---- *)
+
+let parse_binding s =
+  match String.index_opt s '=' with
+  | Some i ->
+    let name = String.sub s 0 i in
+    let v = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt v with
+    | Some v -> Ok (name, v)
+    | None -> Error (`Msg (Printf.sprintf "bad value in %S" s)))
+  | None -> Error (`Msg (Printf.sprintf "expected NAME=VALUE, got %S" s))
+
+let binding_conv =
+  Arg.conv (parse_binding, fun fmt (n, v) -> Format.fprintf fmt "%s=%d" n v)
+
+let run_run file bindings machine =
+  match Prog.Syntax.parse_file file with
+  | exception Prog.Syntax.Parse_error { line; message } ->
+    Format.eprintf "%s:%d: %s@." file line message;
+    2
+  | p ->
+    Format.printf "%a@.@." Prog.Syntax.print p;
+    let outputs = Prog.Interp.run p bindings in
+    List.iter (fun (x, v) -> Format.printf "%s = %d@." x v) outputs;
+    if machine then begin
+      let pf = Microarch.Platform.create p in
+      let r = Microarch.Platform.run pf bindings in
+      Format.printf
+        "machine: %d cycles, %d instructions, icache %d/%d, dcache %d/%d@."
+        r.Microarch.Machine.stats.Microarch.Machine.cycles
+        r.Microarch.Machine.stats.Microarch.Machine.instructions
+        r.Microarch.Machine.stats.Microarch.Machine.icache_hits
+        r.Microarch.Machine.stats.Microarch.Machine.icache_misses
+        r.Microarch.Machine.stats.Microarch.Machine.dcache_hits
+        r.Microarch.Machine.stats.Microarch.Machine.dcache_misses;
+      if r.Microarch.Machine.outputs <> outputs then begin
+        Format.printf "!! machine disagrees with the interpreter@.";
+        exit 1
+      end
+    end;
+    0
+
+let run_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Program source (.imp).")
+  in
+  let bindings =
+    Arg.(
+      value & opt_all binding_conv []
+      & info [ "in" ] ~docv:"NAME=VALUE" ~doc:"Input binding (repeatable).")
+  in
+  let machine =
+    Arg.(
+      value & flag
+      & info [ "machine" ]
+          ~doc:"Also execute on the cycle-accurate platform and report timing.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Parse and execute a program file")
+    Term.(const run_run $ file $ bindings $ machine)
+
+(* ---- table ---- *)
+
+let table_run () =
+  Format.printf "%a@." Sciduction.Instances.pp_table Sciduction.Instances.table1;
+  Format.printf "@.%a@." Sciduction.Instances.pp_table
+    Sciduction.Instances.section24;
+  0
+
+let table_cmd =
+  Cmd.v
+    (Cmd.info "table" ~doc:"Print the sciduction instance tables")
+    Term.(const table_run $ const ())
+
+let () =
+  let doc = "sciduction: induction + deduction + structure hypotheses" in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "sciduction_cli" ~doc)
+          [
+            deobfuscate_cmd; timing_cmd; transmission_cmd; cegar_cmd;
+            table_cmd; run_cmd;
+          ]))

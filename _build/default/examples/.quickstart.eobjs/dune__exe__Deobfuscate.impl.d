@@ -1,0 +1,1 @@
+examples/deobfuscate.ml: Array Format List Ogis Printf Prog Smt String Sys

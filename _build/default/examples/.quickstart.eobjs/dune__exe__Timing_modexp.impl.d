@@ -1,0 +1,1 @@
+examples/timing_modexp.ml: Array Format Gametime List Microarch Option Prog String Sys

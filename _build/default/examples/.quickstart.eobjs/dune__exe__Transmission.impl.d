@@ -1,0 +1,1 @@
+examples/transmission.ml: Array Format Hybrid List String Switchsynth Sys

@@ -1,0 +1,1 @@
+examples/verification.ml: Format Invgen List Lstar Mc String

@@ -1,0 +1,76 @@
+(* GameTime timing analysis of modular exponentiation (Section 3).
+
+   Run with:  dune exec examples/timing_modexp.exe [exponent-bits]
+
+   Builds the modexp kernel, compiles it for the cycle-accurate platform,
+   extracts feasible basis paths with the SMT engine, learns the (w, pi)
+   timing model from end-to-end measurements, and reports per-path
+   predictions, the execution-time distribution, and the WCET with its
+   witness test case. *)
+
+module Gt = Gametime.Analysis
+module Basis = Gametime.Basis
+module B = Prog.Benchmarks
+module Platform = Microarch.Platform
+
+let () =
+  let bits =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 6
+  in
+  let program = B.modexp ~bits () in
+  let pf = Platform.create program in
+  let platform = Platform.time pf in
+  Format.printf "Program: modexp with a %d-bit exponent (%d paths)@." bits
+    (1 lsl bits);
+  Format.printf "Platform: in-order pipeline, %d instructions of code@.@."
+    (Platform.code_size pf);
+  let t =
+    Gt.analyze ~bound:bits ~seed:2012 ~pin:[ ("base", 123) ] ~platform program
+  in
+  Format.printf "Feasible basis paths: %d (rank bound %d)@." (List.length t.Gt.basis)
+    (Basis.rank_bound t.Gt.cfg);
+  List.iteri
+    (fun i b ->
+      Format.printf "  b%d: exp=%3d -> %d cycles@." i
+        (List.assoc "exp" b.Basis.test)
+        (platform b.Basis.test))
+    t.Gt.basis;
+  (* predicted vs measured for every feasible path *)
+  let paths = Gt.feasible_paths t in
+  let errs =
+    List.filter_map
+      (fun (path, test) ->
+        Option.map
+          (fun pred ->
+            let meas = float_of_int (platform test) in
+            abs_float (pred -. meas) /. meas)
+          (Gt.predict_path t path))
+      paths
+  in
+  let mean_err = List.fold_left ( +. ) 0.0 errs /. float_of_int (List.length errs) in
+  Format.printf "@.Prediction over all %d paths: mean relative error %.2f%%@."
+    (List.length paths) (100.0 *. mean_err);
+  let w = Gt.wcet t ~platform in
+  Format.printf "WCET: predicted %.0f cycles, measured %d, witness exp=%d@."
+    w.Gt.predicted_cycles w.Gt.measured_cycles
+    (List.assoc "exp" w.Gt.test);
+  (* the <TA> question *)
+  let tau = w.Gt.measured_cycles - 1 in
+  (match Gt.answer_ta t ~platform ~tau with
+  | `No test ->
+    Format.printf
+      "<TA> is the time always <= %d? NO — exp=%d takes %d cycles@." tau
+      (List.assoc "exp" test) (platform test)
+  | `Yes -> Format.printf "<TA> unexpectedly YES@.");
+  (* distribution sketch *)
+  Format.printf "@.Execution-time distribution (measured | predicted):@.";
+  let meas = Gt.measured_distribution t ~platform in
+  let pred = Gt.predicted_distribution t in
+  let count d v = Option.value (List.assoc_opt v d) ~default:0 in
+  let all = List.sort_uniq compare (List.map fst meas @ List.map fst pred) in
+  List.iter
+    (fun v ->
+      Format.printf "  %5d cycles: %-3d | %-3d %s@." v (count meas v)
+        (count pred v)
+        (String.make (count meas v) '#'))
+    all

@@ -1,0 +1,96 @@
+(* Switching logic synthesis for the 3-gear automatic transmission
+   (Section 5 / Figs. 9-10).
+
+   Run with:  dune exec examples/transmission.exe [dwell-seconds]
+
+   Synthesizes safe switching guards by hyperbox learning against the
+   numerical simulator, prints them next to the paper's Eq. 3 / Eq. 4
+   values, then drives the closed-loop system through all six gears and
+   renders the Fig. 10 speed/efficiency trace as ASCII. *)
+
+module T = Hybrid.Transmission
+module Simulate = Hybrid.Simulate
+module Box = Switchsynth.Box
+module Fixpoint = Switchsynth.Fixpoint
+module TS = Switchsynth.Transmission_synth
+
+let () =
+  let dwell =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 5.0
+  in
+  Format.printf "Synthesizing guards (safety only, Eq. 3)...@.";
+  let eq3 = TS.synthesize () in
+  Format.printf "  converged in %d iterations, %d simulator queries@.@."
+    eq3.Fixpoint.iterations eq3.Fixpoint.labels_queried;
+  Format.printf "%-6s %-22s %s@." "guard" "synthesized" "paper (Eq. 3)";
+  List.iter
+    (fun (label, b) ->
+      let lo, hi = List.assoc label TS.paper_eq3 in
+      Format.printf "%-6s %-22s [%.2f, %.2f]@." label
+        (Format.asprintf "%a" Box.pp1 b)
+        lo hi)
+    eq3.Fixpoint.guards;
+
+  Format.printf "@.Synthesizing with a %.0fs dwell requirement (Eq. 4)...@."
+    dwell;
+  let eq4 = TS.synthesize ~dwell () in
+  Format.printf "%-6s %-22s %s@." "guard" "synthesized" "paper (Eq. 4)";
+  List.iter
+    (fun (label, b) ->
+      let lo, hi = List.assoc label TS.paper_eq4 in
+      Format.printf "%-6s %-22s [%.2f, %.2f]@." label
+        (Format.asprintf "%a" Box.pp1 b)
+        lo hi)
+    eq4.Fixpoint.guards;
+
+  (* Fig. 10: run the closed loop through the gear cycle *)
+  Format.printf "@.Fig. 10 trace (dwell %.0fs policy):@." dwell;
+  let guard label y =
+    let b = Fixpoint.guard_fn eq4 label in
+    if label = "g33D" then
+      (* accelerate to the top of the band before downshifting *)
+      y.(1) >= b.Box.hi.(0) -. 0.1 && y.(1) <= b.Box.hi.(0)
+    else if label = "g1ND" then y.(1) <= 0.02 (* come to rest *)
+    else Box.mem b [| y.(1) |]
+  in
+  let run =
+    Simulate.run_policy T.system ~guard
+      ~plan:[ "gN1U"; "g12U"; "g23U"; "g33D"; "g32D"; "g21D"; "g1ND" ]
+      ~min_dwell:dwell ~sample_every:2.0 ~dt:0.01 ~max_time:300.0
+      [| 0.0; 0.0 |]
+  in
+  let samples = run.Simulate.samples and outcome = run.Simulate.outcome in
+  Format.printf "%-8s %-5s %-8s %-6s speed@." "t (s)" "mode" "omega" "eta";
+  List.iter
+    (fun (s : Simulate.sample) ->
+      let mode = T.system.Hybrid.Mds.modes.(s.Simulate.mode).Hybrid.Mds.name in
+      let omega = s.Simulate.state.(1) in
+      let gear =
+        match mode with
+        | "G1U" | "G1D" -> 1
+        | "G2U" | "G2D" -> 2
+        | "G3U" | "G3D" -> 3
+        | _ -> 0
+      in
+      let eta = if gear = 0 then 0.0 else T.eta gear omega in
+      Format.printf "%-8.1f %-5s %-8.2f %-6.2f %s@." s.Simulate.time mode omega
+        eta
+        (String.make (int_of_float omega) '*'))
+    samples;
+  (match outcome with
+  | `Completed ->
+    let last = List.nth samples (List.length samples - 1) in
+    Format.printf
+      "@.completed the gear cycle: distance theta = %.0f, speed omega = %.2f@."
+      last.Simulate.state.(0)
+      last.Simulate.state.(1)
+  | `Unsafe -> Format.printf "!! trajectory left the safe set@."
+  | `Timeout -> Format.printf "!! plan did not complete@.");
+  (* check the safety property along the whole trace *)
+  let violations =
+    List.filter
+      (fun (s : Simulate.sample) ->
+        not (T.system.Hybrid.Mds.safe s.Simulate.mode s.Simulate.state))
+      samples
+  in
+  Format.printf "phi_S violations along the trace: %d@." (List.length violations)

@@ -1,0 +1,82 @@
+(* The Section 2.4 sciduction instances in action: CEGAR, L*-based
+   assume-guarantee reasoning, and simulation-guided invariant generation.
+
+   Run with:  dune exec examples/verification.exe *)
+
+let banner title = Format.printf "@.=== %s ===@." title
+
+(* -- CEGAR ----------------------------------------------------------- *)
+
+let cegar_demo () =
+  banner "CEGAR with localization abstraction (Fig. 3)";
+  let t = Mc.Systems.mod_counter ~junk:10 ~bits:3 ~modulus:6 ~bad_value:7 () in
+  Format.printf "system: %s — %d latches (%d of them property-irrelevant)@."
+    t.Mc.Ts.name t.Mc.Ts.num_latches 10;
+  (match Mc.Cegar.verify t with
+  | Mc.Cegar.Safe { abstract_latches; iterations; visible } ->
+    Format.printf
+      "SAFE with only %d visible latches (%d iterations): %s@."
+      abstract_latches iterations
+      (String.concat "," (List.map string_of_int visible))
+  | Mc.Cegar.Unsafe _ -> Format.printf "unexpectedly unsafe@.");
+  let buggy = Mc.Systems.request_grant in
+  match Mc.Cegar.verify buggy with
+  | Mc.Cegar.Unsafe { trace; _ } ->
+    Format.printf "%s: UNSAFE, counterexample of %d steps@."
+      buggy.Mc.Ts.name (List.length trace)
+  | Mc.Cegar.Safe _ -> Format.printf "bug missed!@."
+
+(* -- Assume-guarantee ------------------------------------------------- *)
+
+let agr_demo () =
+  banner "Learning assumptions for compositional verification (L*)";
+  let alternator =
+    Lstar.Dfa.make ~alphabet:2 ~start:0 ~accept:[| true; true |]
+      ~delta:[| [| 1; 0 |]; [| 1; 0 |] |]
+  in
+  let strict =
+    Lstar.Dfa.make ~alphabet:2 ~start:0
+      ~accept:[| true; true; false |]
+      ~delta:[| [| 1; 2 |]; [| 2; 0 |]; [| 2; 2 |] |]
+  in
+  let prop =
+    Lstar.Dfa.make ~alphabet:2 ~start:0
+      ~accept:[| true; true; false |]
+      ~delta:[| [| 1; 0 |]; [| 2; 0 |]; [| 2; 2 |] |]
+  in
+  match Lstar.Agr.check ~m1:alternator ~m2:strict ~prop with
+  | Lstar.Agr.Holds { assumption; membership_queries; rounds } ->
+    Format.printf
+      "M1 || M2 |= P holds; learned a %d-state assumption in %d rounds (%d membership queries)@."
+      assumption.Lstar.Dfa.num_states rounds membership_queries
+  | Lstar.Agr.Violated w ->
+    Format.printf "violated by %s@."
+      (String.concat "" (List.map string_of_int w))
+
+(* -- Invariant generation --------------------------------------------- *)
+
+let invgen_demo () =
+  banner "Invariant generation: simulate, hypothesize, prove by induction";
+  let aig, bad = Invgen.Engine.counter_mod5 () in
+  let r = Invgen.Engine.run aig ~bad in
+  Format.printf "mod-5 counter, property: count never reaches 7@.";
+  Format.printf "  plain 1-induction: %s@."
+    (match r.Invgen.Engine.verdict_unaided with
+    | Invgen.Induction.Proved -> "proved"
+    | Invgen.Induction.Unknown -> "UNKNOWN (property is not inductive)"
+    | Invgen.Induction.Cex_in_base -> "cex in base");
+  Format.printf "  %d candidates from simulation, %d proved inductive:@."
+    r.Invgen.Engine.candidates
+    (List.length r.Invgen.Engine.proven);
+  List.iter
+    (fun c -> Format.printf "    %a@." Invgen.Candidates.pp c)
+    r.Invgen.Engine.proven;
+  Format.printf "  with the invariants: %s@."
+    (match r.Invgen.Engine.verdict with
+    | Invgen.Induction.Proved -> "PROVED"
+    | _ -> "still unknown")
+
+let () =
+  cegar_demo ();
+  agr_demo ();
+  invgen_demo ()

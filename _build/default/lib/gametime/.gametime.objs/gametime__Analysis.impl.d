@@ -1,0 +1,1 @@
+lib/gametime/analysis.ml: Basis Float Hashtbl Learner List Option Prog Seq Smt Spanner

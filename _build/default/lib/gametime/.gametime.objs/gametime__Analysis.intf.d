@@ -1,0 +1,1 @@
+lib/gametime/analysis.mli: Basis Learner Prog

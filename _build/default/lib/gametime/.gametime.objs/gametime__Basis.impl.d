@@ -1,0 +1,1 @@
+lib/gametime/basis.ml: Linalg List Prog Seq

@@ -1,0 +1,1 @@
+lib/gametime/basis.mli: Prog Smt

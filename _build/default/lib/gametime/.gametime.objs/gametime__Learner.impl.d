@@ -1,0 +1,1 @@
+lib/gametime/learner.ml: Array Basis Linalg List Option Random

@@ -1,0 +1,1 @@
+lib/gametime/learner.mli: Basis

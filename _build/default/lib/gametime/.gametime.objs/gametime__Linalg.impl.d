@@ -1,0 +1,1 @@
+lib/gametime/linalg.ml: Array List Rational

@@ -1,0 +1,1 @@
+lib/gametime/linalg.mli: Rational

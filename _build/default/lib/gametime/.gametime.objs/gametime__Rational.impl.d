@@ -1,0 +1,1 @@
+lib/gametime/rational.ml: Format Stdlib

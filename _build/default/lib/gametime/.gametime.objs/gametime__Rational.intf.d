@@ -1,0 +1,1 @@
+lib/gametime/rational.mli: Format

@@ -1,0 +1,1 @@
+lib/gametime/spanner.ml: Array Basis Linalg List Option Prog Rational

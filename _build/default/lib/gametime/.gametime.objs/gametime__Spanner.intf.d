@@ -1,0 +1,1 @@
+lib/gametime/spanner.mli: Basis Prog

@@ -1,0 +1,123 @@
+module Lang = Prog.Lang
+module Cfg = Prog.Cfg
+module Paths = Prog.Paths
+module Testgen = Prog.Testgen
+module Unroll = Prog.Unroll
+
+type t = {
+  program : Lang.t;
+  unrolled : Lang.t;
+  cfg : Cfg.t;
+  basis : Basis.basis_path list;
+  model : Learner.model;
+  pin : (string * int) list;
+}
+
+let pin_formula (program : Lang.t) pin =
+  let width = program.Lang.width in
+  Smt.Bv.conj
+    (List.map
+       (fun (x, v) -> Smt.Bv.eq (Smt.Bv.var ~width x) (Smt.Bv.const ~width v))
+       pin)
+
+let analyze ?(bound = 8) ?trials ?seed ?(pin = []) ~platform program =
+  let unrolled = Unroll.unroll ~bound program in
+  let cfg = Cfg.of_program unrolled in
+  let basis = Basis.extract ~assuming:(pin_formula program pin) unrolled cfg in
+  let model = Learner.learn ?trials ?seed ~platform basis in
+  { program; unrolled; cfg; basis; model; pin }
+
+let predict_path t path = Learner.predict t.model (Paths.vector t.cfg path)
+
+let feasible_paths t =
+  let assuming = pin_formula t.program t.pin in
+  Paths.enumerate t.cfg
+  |> Seq.filter_map (fun path ->
+         Option.map
+           (fun test -> (path, test))
+           (Testgen.feasible ~assuming t.unrolled t.cfg path))
+  |> List.of_seq
+
+let predictions t =
+  List.filter_map
+    (fun (path, test) ->
+      Option.map (fun cy -> (path, test, cy)) (predict_path t path))
+    (feasible_paths t)
+
+let refine_with_spanner ?trials ?seed ?c ~platform t =
+  let basis = Spanner.barycentric ?c t.basis ~candidates:(feasible_paths t) t.cfg in
+  let model = Learner.learn ?trials ?seed ~platform basis in
+  { t with basis; model }
+
+type wcet = {
+  predicted_cycles : float;
+  test : (string * int) list;
+  measured_cycles : int;
+}
+
+let wcet t ~platform =
+  match predictions t with
+  | [] -> invalid_arg "Gametime.wcet: no feasible paths"
+  | first :: rest ->
+    let _, test, predicted_cycles =
+      List.fold_left
+        (fun ((_, _, best) as acc) ((_, _, cy) as cand) ->
+          if cy > best then cand else acc)
+        first rest
+    in
+    { predicted_cycles; test; measured_cycles = platform test }
+
+let answer_ta t ~platform ~tau =
+  let w = wcet t ~platform in
+  if w.measured_cycles <= tau then `Yes else `No w.test
+
+type hypothesis_quality = {
+  mu_hat : float;
+  rho_hat : float;
+  margin_ok : bool;
+  paths_checked : int;
+}
+
+let hypothesis_quality t ~platform =
+  let rows =
+    List.filter_map
+      (fun (path, test) ->
+        Option.map
+          (fun pred -> (pred, float_of_int (platform test)))
+          (predict_path t path))
+      (feasible_paths t)
+  in
+  let mu_hat =
+    List.fold_left (fun m (p, meas) -> max m (abs_float (p -. meas))) 0.0 rows
+  in
+  let rho_hat =
+    match List.sort (fun (a, _) (b, _) -> compare b a) rows with
+    | (top, _) :: (second, _) :: _ -> top -. second
+    | _ -> infinity
+  in
+  {
+    mu_hat;
+    rho_hat;
+    margin_ok = rho_hat > mu_hat;
+    paths_checked = List.length rows;
+  }
+
+type distribution = (int * int) list
+
+let histogram values =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      Hashtbl.replace tbl v (1 + Option.value (Hashtbl.find_opt tbl v) ~default:0))
+    values;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let predicted_distribution t =
+  histogram
+    (List.map
+       (fun (_, _, cy) -> int_of_float (Float.round cy))
+       (predictions t))
+
+let measured_distribution t ~platform =
+  histogram (List.map (fun (_, test) -> platform test) (feasible_paths t))

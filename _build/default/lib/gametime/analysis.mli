@@ -1,0 +1,91 @@
+(** End-to-end GameTime driver (Section 3 of the paper).
+
+    Pipeline of Fig. 5: unroll the program, build the CFG, extract
+    feasible basis paths with SMT-generated test cases, measure them
+    end-to-end on the platform under the game-theoretic learner, and use
+    the learned model to predict per-path timing, the full execution-time
+    distribution, and the worst case. *)
+
+type t = {
+  program : Prog.Lang.t;  (** original program *)
+  unrolled : Prog.Lang.t;
+  cfg : Prog.Cfg.t;
+  basis : Basis.basis_path list;
+  model : Learner.model;
+  pin : (string * int) list;  (** inputs held fixed during analysis *)
+}
+
+val analyze :
+  ?bound:int ->
+  ?trials:int ->
+  ?seed:int ->
+  ?pin:(string * int) list ->
+  platform:((string * int) list -> int) ->
+  Prog.Lang.t ->
+  t
+(** [bound] is the loop-unrolling bound (default 8). [pin] fixes some
+    inputs to constants in every generated test case: problem <TA> is
+    posed for a fixed starting environment state, and pinning the
+    non-path-relevant inputs (e.g. the modexp base) fixes the data state
+    the same way the paper's Fig. 6 experiment does. *)
+
+val predict_path : t -> Prog.Paths.path -> float option
+
+val refine_with_spanner :
+  ?trials:int ->
+  ?seed:int ->
+  ?c:float ->
+  platform:((string * int) list -> int) ->
+  t ->
+  t
+(** Replace the greedy basis with a [c]-approximate barycentric spanner
+    of the feasible path set (Seshia–Rakhlin's basis choice) and relearn
+    the timing model. Enumerates all feasible paths — use on kernels
+    where that is tractable. *)
+
+val feasible_paths : t -> (Prog.Paths.path * (string * int) list) list
+(** Every feasible path with a driving test case. Exponential in program
+    branching; intended for evaluation on small kernels as in Fig. 6. *)
+
+type wcet = {
+  predicted_cycles : float;
+  test : (string * int) list;
+  measured_cycles : int;  (** the prediction's test case, re-measured *)
+}
+
+val wcet : t -> platform:((string * int) list -> int) -> wcet
+(** Predict the longest path, then execute its test case (the final step
+    of GameTime's answer to problem <TA>). *)
+
+val answer_ta :
+  t -> platform:((string * int) list -> int) -> tau:int ->
+  [ `Yes | `No of (string * int) list ]
+(** Problem <TA>: is the execution time always at most [tau]? A [`No]
+    answer carries the witness test case. *)
+
+(** Empirical quality of the (w, pi) structure hypothesis (Section 3.2):
+    [mu_hat] estimates the perturbation bound mu_max as the largest
+    |measured - predicted| over the feasible paths; [rho_hat] estimates
+    the margin rho by which the predicted worst-case path leads the
+    runner-up. The probabilistic soundness of Section 3.3 needs small mu
+    relative to rho; [margin_ok] is the heuristic check
+    [rho_hat > mu_hat] — with a larger perturbation the top-2 ordering
+    is in doubt. *)
+type hypothesis_quality = {
+  mu_hat : float;
+  rho_hat : float;
+  margin_ok : bool;
+  paths_checked : int;
+}
+
+val hypothesis_quality :
+  t -> platform:((string * int) list -> int) -> hypothesis_quality
+(** Measures every feasible path once — exponential in branching, like
+    {!feasible_paths}. *)
+
+type distribution = (int * int) list
+(** Histogram: (cycle count, number of paths). *)
+
+val predicted_distribution : t -> distribution
+val measured_distribution :
+  t -> platform:((string * int) list -> int) -> distribution

@@ -1,0 +1,40 @@
+module Paths = Prog.Paths
+module Cfg = Prog.Cfg
+module Testgen = Prog.Testgen
+
+type basis_path = {
+  path : Paths.path;
+  vector : int array;
+  test : (string * int) list;
+}
+
+let rank_bound (g : Cfg.t) = Cfg.num_edges g - g.Cfg.nnodes + 2
+
+let extract ?(max_paths = 100_000) ?assuming p (g : Cfg.t) =
+  let dim = Cfg.num_edges g in
+  let span = Linalg.empty_span ~dim in
+  let bound = rank_bound g in
+  let acc = ref [] in
+  let examined = ref 0 in
+  let take path =
+    let vector = Paths.vector g path in
+    if not (Linalg.in_span span vector) then begin
+      match Testgen.feasible ?assuming p g path with
+      | None -> ()
+      | Some test ->
+        ignore (Linalg.add_if_independent span vector);
+        acc := { path; vector; test } :: !acc
+    end
+  in
+  let rec consume seq =
+    if Linalg.rank span < bound && !examined < max_paths then begin
+      match seq () with
+      | Seq.Nil -> ()
+      | Seq.Cons (path, rest) ->
+        incr examined;
+        take path;
+        consume rest
+    end
+  in
+  consume (Paths.enumerate g);
+  List.rev !acc

@@ -1,0 +1,28 @@
+(** Feasible basis path extraction (Fig. 5 of the paper, second box).
+
+    Enumerates structural paths of the unrolled CFG and greedily keeps
+    those that are (a) linearly independent of the paths kept so far and
+    (b) feasible, as certified by the SMT-based deductive engine, which
+    also produces the test case driving each kept path. The greedy rule
+    over the linear matroid yields a maximal independent subset of the
+    feasible path vectors. *)
+
+type basis_path = {
+  path : Prog.Paths.path;
+  vector : int array;
+  test : (string * int) list;  (** input valuation driving this path *)
+}
+
+val extract :
+  ?max_paths:int ->
+  ?assuming:Smt.Bv.formula ->
+  Prog.Lang.t -> Prog.Cfg.t ->
+  basis_path list
+(** [extract unrolled cfg] returns the feasible basis paths. [max_paths]
+    bounds the structural paths examined (default 100_000); extraction
+    also stops early once the rank bound [m - n + 2] is reached. The
+    program must be the unrolled one the CFG was built from. [assuming]
+    constrains the generated test cases (see {!Prog.Testgen.feasible}). *)
+
+val rank_bound : Prog.Cfg.t -> int
+(** The dimension bound [m - n + 2] on the path-vector space. *)

@@ -1,0 +1,37 @@
+type model = {
+  basis : Basis.basis_path list;
+  means : float array;
+  samples : int array;
+}
+
+let learn ?trials ?(seed = 0x5EED) ~platform basis =
+  let k = List.length basis in
+  if k = 0 then invalid_arg "Learner.learn: empty basis";
+  let trials = Option.value trials ~default:(10 * k) in
+  let rng = Random.State.make [| seed |] in
+  let basis_arr = Array.of_list basis in
+  let sums = Array.make k 0.0 in
+  let samples = Array.make k 0 in
+  for _ = 1 to trials do
+    let i = Random.State.int rng k in
+    let t = platform basis_arr.(i).Basis.test in
+    sums.(i) <- sums.(i) +. float_of_int t;
+    samples.(i) <- samples.(i) + 1
+  done;
+  (* uniform random choice can starve a path on small trial counts; take
+     one deterministic measurement for any path never sampled *)
+  Array.iteri
+    (fun i n ->
+      if n = 0 then begin
+        sums.(i) <- float_of_int (platform basis_arr.(i).Basis.test);
+        samples.(i) <- 1
+      end)
+    samples;
+  let means = Array.mapi (fun i s -> s /. float_of_int samples.(i)) sums in
+  { basis; means; samples }
+
+let predict m vector =
+  let vectors = List.map (fun b -> b.Basis.vector) m.basis in
+  match Linalg.solve vectors vector with
+  | None -> None
+  | Some coeffs -> Some (Linalg.dot_float coeffs m.means)

@@ -1,0 +1,142 @@
+module Q = Rational
+
+(* The span is kept in reduced row-echelon form: every row is normalized
+   to a leading 1 at its pivot column, and every pivot column is zero in
+   all other rows. With that invariant a single reduction pass in any row
+   order is a proper normal form (subtracting a row can never reintroduce
+   another row's pivot). *)
+type span = {
+  dim : int;
+  mutable rows : Q.t array list;
+  mutable pivots : int list; (* pivot column of each row, same order *)
+}
+
+let empty_span ~dim = { dim; rows = []; pivots = [] }
+let rank s = List.length s.rows
+
+let q_of_ints v = Array.map Q.of_int v
+
+(* reduce v by the RREF rows; returns the residual *)
+let reduce s v =
+  let v = Array.copy v in
+  List.iter2
+    (fun row pivot ->
+      if not (Q.is_zero v.(pivot)) then begin
+        let f = v.(pivot) in
+        for j = 0 to s.dim - 1 do
+          v.(j) <- Q.sub v.(j) (Q.mul f row.(j))
+        done
+      end)
+    s.rows s.pivots;
+  v
+
+let find_pivot v =
+  let rec go j =
+    if j >= Array.length v then None
+    else if Q.is_zero v.(j) then go (j + 1)
+    else Some j
+  in
+  go 0
+
+let add_if_independent s v =
+  if Array.length v <> s.dim then invalid_arg "Linalg: dimension mismatch";
+  let r = reduce s (q_of_ints v) in
+  match find_pivot r with
+  | None -> false
+  | Some p ->
+    (* normalize the new row to a leading 1 ... *)
+    let lead = r.(p) in
+    for j = 0 to s.dim - 1 do
+      r.(j) <- Q.div r.(j) lead
+    done;
+    (* ... and eliminate its pivot column from every existing row *)
+    List.iter
+      (fun row ->
+        if not (Q.is_zero row.(p)) then begin
+          let f = row.(p) in
+          for j = 0 to s.dim - 1 do
+            row.(j) <- Q.sub row.(j) (Q.mul f r.(j))
+          done
+        end)
+      s.rows;
+    s.rows <- r :: s.rows;
+    s.pivots <- p :: s.pivots;
+    true
+
+let in_span s v = find_pivot (reduce s (q_of_ints v)) = None
+
+let solve basis target =
+  match basis with
+  | [] -> if Array.for_all (fun x -> x = 0) target then Some [||] else None
+  | b0 :: _ ->
+    let m = Array.length b0 in
+    let k = List.length basis in
+    if Array.length target <> m then invalid_arg "Linalg.solve: dimension";
+    (* augmented m x (k+1) system: columns are basis vectors, rhs target *)
+    let cols = Array.of_list basis in
+    let a =
+      Array.init m (fun i ->
+          Array.init (k + 1) (fun j ->
+              if j < k then Q.of_int cols.(j).(i) else Q.of_int target.(i)))
+    in
+    (* forward elimination with partial (first nonzero) pivoting *)
+    let row = ref 0 in
+    let pivot_rows = Array.make k (-1) in
+    for col = 0 to k - 1 do
+      (* find a row at or below !row with nonzero entry in col *)
+      let r = ref (-1) in
+      for i = !row to m - 1 do
+        if !r < 0 && not (Q.is_zero a.(i).(col)) then r := i
+      done;
+      if !r >= 0 then begin
+        let tmp = a.(!row) in
+        a.(!row) <- a.(!r);
+        a.(!r) <- tmp;
+        (* eliminate below *)
+        for i = !row + 1 to m - 1 do
+          if not (Q.is_zero a.(i).(col)) then begin
+            let f = Q.div a.(i).(col) a.(!row).(col) in
+            for j = col to k do
+              a.(i).(j) <- Q.sub a.(i).(j) (Q.mul f a.(!row).(j))
+            done
+          end
+        done;
+        pivot_rows.(col) <- !row;
+        incr row
+      end
+    done;
+    (* consistency: rows below !row must have zero rhs *)
+    let consistent = ref true in
+    for i = !row to m - 1 do
+      if not (Q.is_zero a.(i).(k)) then consistent := false
+    done;
+    if not !consistent then None
+    else begin
+      (* back substitution; free variables (no pivot) set to zero *)
+      let x = Array.make k Q.zero in
+      for col = k - 1 downto 0 do
+        if pivot_rows.(col) >= 0 then begin
+          let i = pivot_rows.(col) in
+          let s = ref a.(i).(k) in
+          for j = col + 1 to k - 1 do
+            s := Q.sub !s (Q.mul a.(i).(j) x.(j))
+          done;
+          x.(col) <- Q.div !s a.(i).(col)
+        end
+      done;
+      (* verify (guards against free-variable choices breaking equality) *)
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        let s = ref Q.zero in
+        List.iteri
+          (fun j b -> s := Q.add !s (Q.mul x.(j) (Q.of_int b.(i))))
+          basis;
+        if not (Q.equal !s (Q.of_int target.(i))) then ok := false
+      done;
+      if !ok then Some x else None
+    end
+
+let dot_float coeffs values =
+  let s = ref 0.0 in
+  Array.iteri (fun i c -> s := !s +. (Q.to_float c *. values.(i))) coeffs;
+  !s

@@ -1,0 +1,24 @@
+(** Exact rational arithmetic.
+
+    Used by the basis-path linear algebra: path vectors are 0/1 integer
+    vectors and Gaussian elimination on them produces small fractions, so
+    machine-int numerators and denominators suffice. Values are kept
+    normalized (positive denominator, reduced by gcd). *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+val of_int : int -> t
+val zero : t
+val one : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val sign : t -> int
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit

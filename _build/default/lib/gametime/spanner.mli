@@ -1,0 +1,33 @@
+(** Barycentric spanner basis selection (Seshia–Rakhlin).
+
+    The GameTime theory asks for basis paths forming a 2-barycentric
+    spanner of the feasible path set: every feasible path's coordinates
+    in the basis are bounded by 2 in absolute value, which bounds how
+    much the perturbation pi is amplified by prediction. The greedy
+    basis of {!Basis.extract} is independent but can be badly skewed;
+    this module improves it with the Awerbuch–Kleinberg exchange
+    procedure: while some candidate raises |det| of the basis (in
+    basis coordinates) by more than the factor [c], swap it in. *)
+
+val coordinates :
+  Basis.basis_path list -> int array -> float array option
+(** Coordinates of a path vector in the given basis ([None] if outside
+    its span). *)
+
+val barycentric :
+  ?c:float ->
+  Basis.basis_path list ->
+  candidates:(Prog.Paths.path * (string * int) list) list ->
+  Prog.Cfg.t ->
+  Basis.basis_path list
+(** [barycentric basis ~candidates cfg] returns an equally-sized basis
+    drawn from [basis] and [candidates] that is a [c]-approximate
+    barycentric spanner of the candidate set (default [c = 2]). *)
+
+val max_coordinate :
+  Basis.basis_path list ->
+  candidates:(Prog.Paths.path * (string * int) list) list ->
+  Prog.Cfg.t ->
+  float
+(** The largest |coordinate| any candidate has in the basis — the
+    spanner quality measure (2-spanner iff <= 2 + eps). *)

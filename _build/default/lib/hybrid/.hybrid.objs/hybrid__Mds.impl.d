@@ -1,0 +1,1 @@
+lib/hybrid/mds.ml: Array List Ode Printf

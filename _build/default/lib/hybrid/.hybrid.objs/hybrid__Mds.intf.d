@@ -1,0 +1,1 @@
+lib/hybrid/mds.mli: Ode

@@ -1,0 +1,1 @@
+lib/hybrid/simulate.ml: Array List Mds Ode Option Printf

@@ -1,0 +1,1 @@
+lib/hybrid/simulate.mli: Mds

@@ -1,0 +1,1 @@
+lib/hybrid/thermostat.ml: Array Mds

@@ -1,0 +1,1 @@
+lib/hybrid/transmission.mli: Mds

@@ -1,0 +1,42 @@
+type mode = {
+  name : string;
+  flow : Ode.flow;
+}
+
+type transition = {
+  label : string;
+  src : int;
+  dst : int;
+}
+
+type t = {
+  dim : int;
+  var_names : string array;
+  modes : mode array;
+  transitions : transition array;
+  safe : int -> float array -> bool;
+}
+
+let mode_index t name =
+  let rec go i =
+    if i >= Array.length t.modes then
+      invalid_arg (Printf.sprintf "Mds.mode_index: unknown mode %s" name)
+    else if t.modes.(i).name = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let transition_index t label =
+  let rec go i =
+    if i >= Array.length t.transitions then
+      invalid_arg (Printf.sprintf "Mds.transition_index: unknown guard %s" label)
+    else if t.transitions.(i).label = label then i
+    else go (i + 1)
+  in
+  go 0
+
+let outgoing t m =
+  Array.to_list t.transitions |> List.filter (fun tr -> tr.src = m)
+
+let incoming t m =
+  Array.to_list t.transitions |> List.filter (fun tr -> tr.dst = m)

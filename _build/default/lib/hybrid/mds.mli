@@ -1,0 +1,31 @@
+(** Multimodal dynamical systems (Section 5.1).
+
+    A plant that can operate in a finite set of modes, each with its own
+    continuous dynamics. The switching logic — guards on the transitions
+    between modes — is what {!Switchsynth} synthesizes; here we only fix
+    the modes, the transition topology, and the safety predicate. *)
+
+type mode = {
+  name : string;
+  flow : Ode.flow;
+}
+
+type transition = {
+  label : string;  (** guard name, e.g. "g12U" *)
+  src : int;
+  dst : int;
+}
+
+type t = {
+  dim : int;
+  var_names : string array;
+  modes : mode array;
+  transitions : transition array;
+  safe : int -> float array -> bool;
+      (** the safety property, per mode (mode index, state) *)
+}
+
+val mode_index : t -> string -> int
+val transition_index : t -> string -> int
+val outgoing : t -> int -> transition list
+val incoming : t -> int -> transition list

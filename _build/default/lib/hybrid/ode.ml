@@ -1,0 +1,26 @@
+type flow = float array -> float array
+
+let axpy n y a x =
+  (* y + a*x, fresh array *)
+  Array.init n (fun i -> y.(i) +. (a *. x.(i)))
+
+let rk4_step f ~dt y =
+  let n = Array.length y in
+  let k1 = f y in
+  let k2 = f (axpy n y (dt /. 2.) k1) in
+  let k3 = f (axpy n y (dt /. 2.) k2) in
+  let k4 = f (axpy n y dt k3) in
+  Array.init n (fun i ->
+      y.(i)
+      +. (dt /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i))))
+
+let integrate f ~dt ~max_time y0 ~stop =
+  (* time is reconstructed from the step index rather than accumulated,
+     so long integrations do not drift by rounding *)
+  let rec go i y =
+    let t = float_of_int i *. dt in
+    if stop ~t y then (t, y)
+    else if t >= max_time then (t, y)
+    else go (i + 1) (rk4_step f ~dt y)
+  in
+  go 0 y0

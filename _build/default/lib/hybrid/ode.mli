@@ -1,0 +1,23 @@
+(** Numerical integration of ordinary differential equations.
+
+    A fixed-step fourth-order Runge–Kutta integrator. This is the
+    "deductive engine" of Section 5: an (assumed ideal) numerical
+    simulator answering reachability queries about the intra-mode
+    continuous dynamics. *)
+
+type flow = float array -> float array
+(** Autonomous vector field: state -> derivative. *)
+
+val rk4_step : flow -> dt:float -> float array -> float array
+(** One RK4 step; returns a fresh state array. *)
+
+val integrate :
+  flow ->
+  dt:float ->
+  max_time:float ->
+  float array ->
+  stop:(t:float -> float array -> bool) ->
+  float * float array
+(** Step until [stop] returns true or [max_time] elapses; [stop] is also
+    evaluated on the initial state at [t = 0]. Returns the stop time and
+    state. *)

@@ -1,0 +1,123 @@
+type stop =
+  | Exit of string * float array * float
+  | Unsafe of float array * float
+  | Timeout of float array
+
+let in_mode (sys : Mds.t) ~mode ~exits ?(min_dwell = 0.0) ~dt ~max_time state =
+  let flow = sys.Mds.modes.(mode).Mds.flow in
+  let result = ref (Timeout state) in
+  (* Ordering: the entry state itself must be safe (a switching state is
+     a state, so it must satisfy the property). At later samples, exits
+     are consulted BEFORE safety — an exit guard crossed within the step
+     means the controller switches at the crossing point, before the
+     trajectory can leave the safe set later in that same step. *)
+  let stop ~t y =
+    if t = 0.0 && not (sys.Mds.safe mode y) then begin
+      result := Unsafe (y, t);
+      true
+    end
+    else begin
+      let exit_hit =
+        if t +. 1e-12 >= min_dwell then
+          List.find_opt (fun (_, g) -> g y) exits
+        else None
+      in
+      match exit_hit with
+      | Some (label, _) ->
+        result := Exit (label, y, t);
+        true
+      | None ->
+        if not (sys.Mds.safe mode y) then begin
+          result := Unsafe (y, t);
+          true
+        end
+        else false
+    end
+  in
+  let _, y = Ode.integrate flow ~dt ~max_time state ~stop in
+  (match !result with
+  | Timeout _ -> result := Timeout y
+  | _ -> ());
+  !result
+
+type sample = {
+  time : float;
+  mode : int;
+  state : float array;
+}
+
+type switch = {
+  label : string;
+  at : float array;
+  switch_time : float;
+}
+
+type run = {
+  samples : sample list;
+  switches : switch list;
+  outcome : [ `Completed | `Unsafe | `Timeout ];
+}
+
+let run_policy (sys : Mds.t) ~guard ~plan ?(min_dwell = 0.0) ?sample_every ~dt
+    ~max_time state =
+  let sample_every = Option.value sample_every ~default:dt in
+  let samples = ref [] in
+  let switches = ref [] in
+  let last_sampled = ref neg_infinity in
+  let record t mode y =
+    if t -. !last_sampled +. 1e-12 >= sample_every then begin
+      samples := { time = t; mode; state = y } :: !samples;
+      last_sampled := t
+    end
+  in
+  let finish outcome =
+    { samples = List.rev !samples; switches = List.rev !switches; outcome }
+  in
+  let rec go t mode y plan =
+    match plan with
+    | [] -> finish `Completed
+    | label :: rest ->
+      let ti = Mds.transition_index sys label in
+      let tr = sys.Mds.transitions.(ti) in
+      if tr.Mds.src <> mode then
+        invalid_arg
+          (Printf.sprintf "Simulate.run_policy: %s does not leave mode %s"
+             label sys.Mds.modes.(mode).Mds.name);
+      let entry_time = t in
+      let flow = sys.Mds.modes.(mode).Mds.flow in
+      let outcome = ref `Timeout in
+      let stop ~t:tm y =
+        let now = entry_time +. tm in
+        record now mode y;
+        if not (sys.Mds.safe mode y) then begin
+          outcome := `Unsafe;
+          true
+        end
+        else if now >= max_time then begin
+          outcome := `Timeout;
+          true
+        end
+        else if tm +. 1e-12 >= min_dwell && guard label y then begin
+          outcome := `Switch;
+          true
+        end
+        else false
+      in
+      let tm, y =
+        Ode.integrate flow ~dt ~max_time:(max_time -. entry_time) y ~stop
+      in
+      let now = entry_time +. tm in
+      (match !outcome with
+      | `Unsafe -> finish `Unsafe
+      | `Timeout -> finish `Timeout
+      | `Switch ->
+        switches := { label; at = Array.copy y; switch_time = now } :: !switches;
+        go now tr.Mds.dst y rest)
+  in
+  match plan with
+  | [] -> { samples = []; switches = []; outcome = `Completed }
+  | first :: _ ->
+    let start =
+      sys.Mds.transitions.(Mds.transition_index sys first).Mds.src
+    in
+    go 0.0 start state plan

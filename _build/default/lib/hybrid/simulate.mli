@@ -1,0 +1,60 @@
+(** Simulation-based reachability for multimodal systems.
+
+    [in_mode] is the deductive query of Section 5.2: "if we enter mode m
+    in state s and follow its dynamics, does the trajectory visit only
+    safe states until some exit guard becomes true?" — answered by
+    numerical simulation. [run_policy] executes the closed-loop hybrid
+    system along a fixed switching plan (used to produce Fig. 10). *)
+
+type stop =
+  | Exit of string * float array * float
+      (** exit guard label, state and time at exit *)
+  | Unsafe of float array * float
+  | Timeout of float array
+
+val in_mode :
+  Mds.t ->
+  mode:int ->
+  exits:(string * (float array -> bool)) list ->
+  ?min_dwell:float ->
+  dt:float ->
+  max_time:float ->
+  float array ->
+  stop
+(** Integrate the mode's flow from the given state. Safety is checked at
+    every sample (including the entry state); exit guards are only
+    consulted once [min_dwell] (default 0) time has elapsed. *)
+
+type sample = {
+  time : float;
+  mode : int;
+  state : float array;
+}
+
+type switch = {
+  label : string;
+  at : float array;  (** state at the switch *)
+  switch_time : float;
+}
+
+type run = {
+  samples : sample list;
+  switches : switch list;  (** one per executed plan transition, in order *)
+  outcome : [ `Completed | `Unsafe | `Timeout ];
+}
+
+val run_policy :
+  Mds.t ->
+  guard:(string -> float array -> bool) ->
+  plan:string list ->
+  ?min_dwell:float ->
+  ?sample_every:float ->
+  dt:float ->
+  max_time:float ->
+  float array ->
+  run
+(** Follow [plan] (a list of transition labels): in each mode, integrate
+    until the next planned transition's guard holds (after the dwell),
+    then switch. Samples are recorded every [sample_every] time units
+    (default [dt]); switches are recorded exactly, even when they take
+    zero time. [`Completed] means the whole plan was executed. *)

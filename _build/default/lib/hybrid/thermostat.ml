@@ -1,0 +1,25 @@
+let a = 0.02
+let t_env = 10.0
+let t_heat = 30.0
+let t_lo = 18.0
+let t_hi = 22.0
+
+let flow_toward target state = [| -.a *. (state.(0) -. target) |]
+
+let system =
+  {
+    Mds.dim = 1;
+    var_names = [| "x" |];
+    modes =
+      [|
+        { Mds.name = "Off"; flow = flow_toward t_env };
+        { Mds.name = "On"; flow = flow_toward t_heat };
+      |];
+    transitions = [| { Mds.label = "gOn"; src = 0; dst = 1 };
+                     { Mds.label = "gOff"; src = 1; dst = 0 } |];
+    safe = (fun _mode state -> t_lo <= state.(0) && state.(0) <= t_hi);
+  }
+
+let temperature state = state.(0)
+let expected_off_guard_lo ~dwell = t_env +. ((t_lo -. t_env) *. exp (a *. dwell))
+let expected_on_guard_hi ~dwell = t_heat -. ((t_heat -. t_hi) *. exp (a *. dwell))

@@ -1,0 +1,38 @@
+(** A two-mode thermostat — a second switching-logic case study with a
+    closed-form answer.
+
+    State is the room temperature [x]. Mode Off cools toward the ambient
+    temperature, mode On heats toward the heater equilibrium:
+
+      Off: dx/dt = -a (x - t_env)        On: dx/dt = -a (x - t_heat)
+
+    The safety property is  t_lo <= x <= t_hi. Because the dynamics are
+    linear, the safe switching sets under a dwell requirement tau have
+    closed forms — {!expected_off_guard_lo} and {!expected_on_guard_hi} —
+    which the hyperbox learner must reproduce, giving an analytic
+    end-to-end check of the Section 5 machinery on a system other than
+    the transmission. *)
+
+val a : float  (** thermal rate, 0.02 *)
+
+val t_env : float  (** 10 *)
+
+val t_heat : float  (** 30 *)
+
+val t_lo : float  (** 18 *)
+
+val t_hi : float  (** 22 *)
+
+val system : Mds.t
+(** Modes Off (0) and On (1); transitions gOn : Off -> On and
+    gOff : On -> Off; safety [t_lo <= x <= t_hi]. *)
+
+val temperature : float array -> float
+
+val expected_off_guard_lo : dwell:float -> float
+(** Entering Off at x, the temperature after the dwell is
+    t_env + (x - t_env) e^(-a tau) >= t_lo, i.e.
+    x >= t_env + (t_lo - t_env) e^(a tau). *)
+
+val expected_on_guard_hi : dwell:float -> float
+(** Symmetrically, x <= t_heat - (t_heat - t_hi) e^(a tau). *)

@@ -1,0 +1,77 @@
+let theta_max = 1700.0
+let a = [| 10.0; 20.0; 30.0 |]
+
+let eta gear omega =
+  let ai = a.(gear - 1) in
+  (0.99 *. exp (-.((omega -. ai) ** 2.) /. 64.)) +. 0.01
+
+let eta_threshold gear =
+  (* eta >= 0.5  <=>  (omega - a_i)^2 <= 64 ln(0.99 / 0.49) *)
+  let r = sqrt (64.0 *. log (0.99 /. 0.49)) in
+  let ai = a.(gear - 1) in
+  (ai -. r, ai +. r)
+
+let omega_of state = state.(1)
+let theta_of state = state.(0)
+
+(* state = [| theta; omega |] *)
+let gear_flow gear throttle state =
+  let omega = state.(1) in
+  [| omega; throttle *. eta gear omega |]
+
+let neutral_flow _state = [| 0.0; 0.0 |]
+
+let modes =
+  [|
+    { Mds.name = "N"; flow = neutral_flow };
+    { Mds.name = "G1U"; flow = gear_flow 1 1.0 };
+    { Mds.name = "G2U"; flow = gear_flow 2 1.0 };
+    { Mds.name = "G3U"; flow = gear_flow 3 1.0 };
+    { Mds.name = "G3D"; flow = gear_flow 3 (-1.0) };
+    { Mds.name = "G2D"; flow = gear_flow 2 (-1.0) };
+    { Mds.name = "G1D"; flow = gear_flow 1 (-1.0) };
+  |]
+
+let gear_of_mode = [| 0; 1; 2; 3; 3; 2; 1 |]
+
+let safe mode state =
+  let omega = state.(1) in
+  0.0 <= omega
+  && omega <= 60.0
+  &&
+  let gear = gear_of_mode.(mode) in
+  gear = 0 || omega < 5.0 || eta gear omega >= 0.5
+
+let tr label src dst = { Mds.label; src; dst }
+
+(* mode indices: 0 N, 1 G1U, 2 G2U, 3 G3U, 4 G3D, 5 G2D, 6 G1D *)
+let transitions =
+  [|
+    tr "gN1U" 0 1;
+    tr "g11U" 1 1;
+    tr "g12U" 1 2;
+    tr "g22U" 2 2;
+    tr "g23U" 2 3;
+    tr "g33U" 3 3;
+    tr "g33D" 3 4;
+    tr "g32D" 4 5;
+    tr "g22D" 5 5;
+    tr "g21D" 5 6;
+    tr "g11D" 6 6;
+    tr "g1ND" 6 0;
+  |]
+
+let system =
+  {
+    Mds.dim = 2;
+    var_names = [| "theta"; "omega" |];
+    modes;
+    transitions;
+    safe;
+  }
+
+let cycle = [ "gN1U"; "g12U"; "g23U"; "g33D"; "g32D"; "g21D"; "g1ND" ]
+
+let initial_guard_overapprox = function
+  | "g1ND" -> (0.0, 0.0)
+  | _ -> (0.0, 60.0)

@@ -1,0 +1,45 @@
+(** The 3-gear automatic transmission of Fig. 9 (after Lygeros).
+
+    State is [(theta, omega)]: distance covered and speed. Seven modes:
+    Neutral, three accelerating gears G1U..G3U (throttle u = 1) and three
+    decelerating gears G1D..G3D (throttle d = -1). Gear [i] transmits
+    with efficiency
+
+      eta_i(omega) = 0.99 exp(-(omega - a_i)^2 / 64) + 0.01,
+      a = (10, 20, 30),
+
+    and acceleration is throttle times efficiency. The safety property
+
+      phi_S = (omega >= 5 => eta >= 0.5) /\ (0 <= omega <= 60)
+
+    is what the switching logic of Section 5.4 must enforce. *)
+
+val theta_max : float
+(** 1700, the target distance. *)
+
+val a : float array
+(** Peak-efficiency speeds of the three gears. *)
+
+val eta : int -> float -> float
+(** [eta gear omega], [gear] in 1..3. *)
+
+val eta_threshold : int -> float * float
+(** The exact speed interval on which [eta gear omega >= 0.5]; the Eq. 3
+    guard bounds are grid roundings of these. *)
+
+val system : Mds.t
+(** The full MDS: modes N, G1U, G2U, G3U, G3D, G2D, G1D; the twelve
+    transitions of Fig. 9 (gN1U, g11U, g12U, g22U, g23U, g33U, g33D,
+    g32D, g22D, g21D, g11D, g1ND); and phi_S as the safety predicate. *)
+
+val omega_of : float array -> float
+val theta_of : float array -> float
+
+val cycle : string list
+(** The gear sequence of Fig. 10:
+    gN1U; g12U; g23U; g33D; g32D; g21D; g1ND. *)
+
+val initial_guard_overapprox : string -> float * float
+(** Initial per-guard over-approximation over omega: the phi_S speed
+    range [0, 60] for all guards except g1ND, which the paper initializes
+    to (and keeps at) the point omega = 0. *)

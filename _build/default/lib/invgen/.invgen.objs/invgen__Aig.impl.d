@@ -1,0 +1,1 @@
+lib/invgen/aig.ml: Array Hashtbl List Printf Random

@@ -1,0 +1,1 @@
+lib/invgen/aig.mli:

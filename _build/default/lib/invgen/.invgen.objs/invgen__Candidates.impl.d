@@ -1,0 +1,1 @@
+lib/invgen/candidates.ml: Aig Array Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/invgen/candidates.mli: Aig Format

@@ -1,0 +1,1 @@
+lib/invgen/engine.ml: Aig Array Candidates Induction List

@@ -1,0 +1,1 @@
+lib/invgen/engine.mli: Aig Candidates Induction

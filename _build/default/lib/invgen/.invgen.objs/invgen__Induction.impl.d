@@ -1,0 +1,1 @@
+lib/invgen/induction.ml: Aig Array Candidates Hashtbl List Smt

@@ -1,0 +1,1 @@
+lib/invgen/induction.mli: Aig Candidates

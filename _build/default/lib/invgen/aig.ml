@@ -1,0 +1,192 @@
+type kind =
+  | Const0
+  | Input of int
+  | Latch of { idx : int; init : bool; mutable next : int option }
+  | And of int * int
+
+type t = {
+  mutable kinds : kind array;
+  mutable n : int;
+  mutable inputs : int; (* count *)
+  mutable latch_nodes : int list; (* reverse order *)
+  strash : (int * int, int) Hashtbl.t;
+}
+
+type lit = int
+
+let false_ = 0
+let true_ = 1
+let neg l = l lxor 1
+let node_of l = l lsr 1
+let is_complemented l = l land 1 = 1
+
+let create () =
+  { kinds = Array.make 16 Const0; n = 1; inputs = 0; latch_nodes = []; strash = Hashtbl.create 64 }
+
+let alloc t kind =
+  if t.n = Array.length t.kinds then begin
+    let k = Array.make (2 * t.n) Const0 in
+    Array.blit t.kinds 0 k 0 t.n;
+    t.kinds <- k
+  end;
+  let i = t.n in
+  t.kinds.(i) <- kind;
+  t.n <- i + 1;
+  i
+
+let input t =
+  let i = alloc t (Input t.inputs) in
+  t.inputs <- t.inputs + 1;
+  2 * i
+
+let latch ?(init = false) t =
+  let idx = List.length t.latch_nodes in
+  let i = alloc t (Latch { idx; init; next = None }) in
+  t.latch_nodes <- i :: t.latch_nodes;
+  2 * i
+
+let connect t latch_lit next =
+  if is_complemented latch_lit then
+    invalid_arg "Aig.connect: latch literal must be uncomplemented";
+  match t.kinds.(node_of latch_lit) with
+  | Latch l ->
+    if l.next <> None then invalid_arg "Aig.connect: latch already connected";
+    l.next <- Some next
+  | _ -> invalid_arg "Aig.connect: not a latch"
+
+let and2 t a b =
+  if a = false_ || b = false_ then false_
+  else if a = true_ then b
+  else if b = true_ then a
+  else if a = b then a
+  else if a = neg b then false_
+  else begin
+    let a, b = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt t.strash (a, b) with
+    | Some i -> 2 * i
+    | None ->
+      let i = alloc t (And (a, b)) in
+      Hashtbl.replace t.strash (a, b) i;
+      2 * i
+  end
+
+let or2 t a b = neg (and2 t (neg a) (neg b))
+
+let xor2 t a b =
+  or2 t (and2 t a (neg b)) (and2 t (neg a) b)
+
+let mux t c a b = or2 t (and2 t c a) (and2 t (neg c) b)
+
+let num_nodes t = t.n
+let is_input_node t i = match t.kinds.(i) with Input _ -> true | _ -> false
+
+let and_operands t i =
+  match t.kinds.(i) with And (a, b) -> Some (a, b) | _ -> None
+
+let next_of t l =
+  match t.kinds.(node_of l) with Latch { next; _ } -> next | _ -> None
+let num_inputs t = t.inputs
+let num_latches t = List.length t.latch_nodes
+let latches t = List.rev_map (fun i -> 2 * i) t.latch_nodes
+
+let validate t =
+  List.iter
+    (fun i ->
+      match t.kinds.(i) with
+      | Latch { next = None; idx; _ } ->
+        invalid_arg (Printf.sprintf "Aig.validate: latch %d not connected" idx)
+      | _ -> ())
+    t.latch_nodes
+
+(* evaluate all nodes bottom-up; nodes are topologically ordered by
+   construction (ands reference earlier literals; latch next literals may
+   point anywhere but are only read for the next state) *)
+let eval_all t ~latch_values ~input_values =
+  let v = Array.make t.n false in
+  for i = 1 to t.n - 1 do
+    v.(i) <-
+      (match t.kinds.(i) with
+      | Const0 -> false
+      | Input k -> input_values.(k)
+      | Latch { idx; _ } -> latch_values.(idx)
+      | And (a, b) ->
+        let la = v.(node_of a) <> is_complemented a in
+        let lb = v.(node_of b) <> is_complemented b in
+        la && lb)
+  done;
+  v
+
+let lit_value v l = v.(node_of l) <> is_complemented l
+
+let eval t ~latch_values ~input_values l =
+  lit_value (eval_all t ~latch_values ~input_values) l
+
+let next_state t ~latch_values ~input_values =
+  let v = eval_all t ~latch_values ~input_values in
+  let nexts =
+    List.rev_map
+      (fun i ->
+        match t.kinds.(i) with
+        | Latch { next = Some nx; _ } -> lit_value v nx
+        | _ -> invalid_arg "Aig.next_state: unconnected latch")
+      t.latch_nodes
+  in
+  Array.of_list nexts
+
+let initial_state t =
+  Array.of_list
+    (List.rev_map
+       (fun i ->
+         match t.kinds.(i) with
+         | Latch { init; _ } -> init
+         | _ -> assert false)
+       t.latch_nodes)
+
+let lanes = 62
+let lane_mask = (1 lsl lanes) - 1
+
+let simulate_words t ~frames ~seed =
+  let rng = Random.State.make [| seed |] in
+  let rand_word () =
+    (Random.State.bits rng
+    lor (Random.State.bits rng lsl 30)
+    lor (Random.State.bits rng lsl 60))
+    land lane_mask
+  in
+  let sig_ = Array.init t.n (fun _ -> Array.make frames 0) in
+  let latch_word =
+    Array.of_list
+      (List.rev_map
+         (fun i ->
+           match t.kinds.(i) with
+           | Latch { init; _ } -> if init then lane_mask else 0
+           | _ -> assert false)
+         t.latch_nodes)
+  in
+  let word = Array.make t.n 0 in
+  for f = 0 to frames - 1 do
+    for i = 1 to t.n - 1 do
+      word.(i) <-
+        (match t.kinds.(i) with
+        | Const0 -> 0
+        | Input _ -> rand_word ()
+        | Latch { idx; _ } -> latch_word.(idx)
+        | And (a, b) ->
+          let wa = word.(node_of a) lxor (if is_complemented a then lane_mask else 0) in
+          let wb = word.(node_of b) lxor (if is_complemented b then lane_mask else 0) in
+          wa land wb)
+    done;
+    Array.iteri (fun i w -> sig_.(i).(f) <- w) word;
+    (* advance latches *)
+    List.iter
+      (fun i ->
+        match t.kinds.(i) with
+        | Latch { next = Some nx; idx; _ } ->
+          let w =
+            word.(node_of nx) lxor (if is_complemented nx then lane_mask else 0)
+          in
+          latch_word.(idx) <- w
+        | _ -> invalid_arg "Aig.simulate_words: unconnected latch")
+      t.latch_nodes
+  done;
+  sig_

@@ -1,0 +1,66 @@
+(** And-inverter graphs with latches.
+
+    The netlist representation used by the invariant-generation instance
+    of Section 2.4 (as in ABC). Node 0 is the constant false; a literal
+    packs a node index and a complement bit ([2*node + c]). Latches carry
+    an initial value and a next-state literal. *)
+
+type t
+type lit = int
+
+val create : unit -> t
+val false_ : lit
+val true_ : lit
+val neg : lit -> lit
+val node_of : lit -> int
+val is_complemented : lit -> bool
+
+val input : t -> lit
+(** Allocate a new primary input. *)
+
+val latch : ?init:bool -> t -> lit
+(** Allocate a latch (next-state set later with {!connect}). *)
+
+val connect : t -> lit -> lit -> unit
+(** [connect t latch_lit next] sets the latch's next-state function.
+    [latch_lit] must be an uncomplemented latch literal. *)
+
+val and2 : t -> lit -> lit -> lit
+(** Structurally hashed; constant-folds against 0/1 and itself. *)
+
+val or2 : t -> lit -> lit -> lit
+val xor2 : t -> lit -> lit -> lit
+val mux : t -> lit -> lit -> lit -> lit
+
+val num_nodes : t -> int
+val is_input_node : t -> int -> bool
+val and_operands : t -> int -> (lit * lit) option
+(** The two operand literals if node [i] is an AND gate. *)
+
+val next_of : t -> lit -> lit option
+(** Next-state literal of an uncomplemented latch literal. *)
+
+val num_inputs : t -> int
+val num_latches : t -> int
+val latches : t -> lit list
+(** Uncomplemented latch literals in allocation order. *)
+
+val validate : t -> unit
+(** Checks every latch is connected; raises otherwise. *)
+
+(** {2 Semantics} *)
+
+val eval :
+  t -> latch_values:bool array -> input_values:bool array -> lit -> bool
+
+val next_state :
+  t -> latch_values:bool array -> input_values:bool array -> bool array
+
+val initial_state : t -> bool array
+
+(** {2 Bit-parallel simulation} *)
+
+val simulate_words : t -> frames:int -> seed:int -> int array array
+(** Random simulation with 62 parallel lanes: [result.(node).(frame)] is
+    a 62-bit word whose lane [j] is the node's value in independent
+    random trace [j] at time [frame]. *)

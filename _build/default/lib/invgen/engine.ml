@@ -1,0 +1,67 @@
+type report = {
+  candidates : int;
+  proven : Candidates.t list;
+  verdict : Induction.verdict;
+  verdict_unaided : Induction.verdict;
+}
+
+let run ?frames ?seed aig ~bad =
+  let cands = Candidates.from_simulation ?frames ?seed aig in
+  let proven = Induction.filter_inductive aig cands in
+  {
+    candidates = List.length cands;
+    proven;
+    verdict = Induction.prove_property aig ~bad ~invariants:proven;
+    verdict_unaided = Induction.prove_property aig ~bad ~invariants:[];
+  }
+
+let ring_counter ~n =
+  let aig = Aig.create () in
+  let ls = List.init n (fun i -> Aig.latch ~init:(i = 0) aig) in
+  let arr = Array.of_list ls in
+  for i = 0 to n - 1 do
+    Aig.connect aig arr.(i) arr.((i + n - 1) mod n)
+  done;
+  let bad = ref Aig.false_ in
+  for i = 0 to n - 1 do
+    bad := Aig.or2 aig !bad (Aig.and2 aig arr.(i) arr.((i + 1) mod n))
+  done;
+  (aig, !bad)
+
+let counter_mod5 () =
+  let aig = Aig.create () in
+  let b0 = Aig.latch aig and b1 = Aig.latch aig and b2 = Aig.latch aig in
+  let at4 = Aig.and2 aig b2 (Aig.and2 aig (Aig.neg b1) (Aig.neg b0)) in
+  let gate x = Aig.and2 aig x (Aig.neg at4) in
+  Aig.connect aig b0 (gate (Aig.neg b0));
+  Aig.connect aig b1 (gate (Aig.xor2 aig b1 b0));
+  Aig.connect aig b2 (gate (Aig.xor2 aig b2 (Aig.and2 aig b0 b1)));
+  let bad = Aig.and2 aig b2 (Aig.and2 aig b1 b0) in
+  (aig, bad)
+
+let twin_registers ~len =
+  let aig = Aig.create () in
+  let x = Aig.input aig in
+  let chain () =
+    let stages = List.init len (fun _ -> Aig.latch aig) in
+    let rec wire prev = function
+      | [] -> prev
+      | l :: rest ->
+        Aig.connect aig l prev;
+        wire l rest
+    in
+    wire x stages
+  in
+  let out1 = chain () in
+  let out2 = chain () in
+  (aig, Aig.xor2 aig out1 out2)
+
+let stuck_bit =
+  let aig = Aig.create () in
+  let enable = Aig.input aig in
+  let stuck = Aig.latch aig in
+  (* next = stuck && enable: can never rise from 0 *)
+  Aig.connect aig stuck (Aig.and2 aig stuck enable);
+  let alarm = Aig.latch aig in
+  Aig.connect aig alarm stuck;
+  (aig, alarm)

@@ -1,0 +1,33 @@
+(** The end-to-end invariant generation pipeline (Section 2.4):
+    hypothesize a structural form, prune candidates with simulation,
+    prove the survivors by mutual induction, then use them to strengthen
+    a safety property. *)
+
+type report = {
+  candidates : int;  (** matched the structure hypothesis + simulation *)
+  proven : Candidates.t list;  (** the mutually inductive subset *)
+  verdict : Induction.verdict;  (** for the property, with strengthening *)
+  verdict_unaided : Induction.verdict;  (** plain induction, no invariants *)
+}
+
+val run : ?frames:int -> ?seed:int -> Aig.t -> bad:Aig.lit -> report
+
+(** {2 Example circuits} *)
+
+val ring_counter : n:int -> Aig.t * Aig.lit
+(** One-hot rotating token over [n] latches; [bad] = two adjacent latches
+    hot. *)
+
+val counter_mod5 : unit -> Aig.t * Aig.lit
+(** A 3-bit counter wrapping at 4; [bad] = count 7. The property is NOT
+    inductive by itself (the unreachable state 6 steps to 7), so plain
+    1-induction fails; the implications b2 => !b1 and b2 => !b0 found by
+    simulation make it provable — the paper's motivating use of auxiliary
+    invariants. *)
+
+val twin_registers : len:int -> Aig.t * Aig.lit
+(** Two shift registers fed by the same input; [bad] = outputs differ.
+    Simulation discovers the stage-wise equivalences that prove it. *)
+
+val stuck_bit : Aig.t * Aig.lit
+(** A latch that can only ever stay 0, guarding a "bad" output. *)

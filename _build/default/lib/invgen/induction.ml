@@ -1,0 +1,137 @@
+module Tseitin = Smt.Tseitin
+module Sat = Smt.Sat
+
+type verdict =
+  | Proved
+  | Cex_in_base
+  | Unknown
+
+(* encode one combinational frame: node index -> Tseitin literal. AND
+   operands always precede their gate (structural hashing allocates
+   bottom-up), so one pass in index order suffices. *)
+let encode_frame ctx aig ~latch_lits =
+  let n = Aig.num_nodes aig in
+  let m = Array.make n (Tseitin.false_ ctx) in
+  let latch_index = Hashtbl.create 16 in
+  List.iteri
+    (fun k l -> Hashtbl.replace latch_index (Aig.node_of l) k)
+    (Aig.latches aig);
+  let lit_of l =
+    let base = m.(Aig.node_of l) in
+    if Aig.is_complemented l then Tseitin.not_ base else base
+  in
+  for i = 1 to n - 1 do
+    m.(i) <-
+      (if Aig.is_input_node aig i then Tseitin.fresh ctx
+       else
+         match Hashtbl.find_opt latch_index i with
+         | Some k -> latch_lits.(k)
+         | None -> (
+           match Aig.and_operands aig i with
+           | Some (a, b) -> Tseitin.and2 ctx (lit_of a) (lit_of b)
+           | None -> Tseitin.false_ ctx))
+  done;
+  m
+
+let lit_of m l =
+  let base = m.(Aig.node_of l) in
+  if Aig.is_complemented l then Smt.Lit.neg base else base
+
+let candidate_lit ctx m = function
+  | Candidates.Equiv (a, b) -> Tseitin.iff2 ctx (lit_of m a) (lit_of m b)
+  | Candidates.Implies (a, b) -> Tseitin.implies ctx (lit_of m a) (lit_of m b)
+
+let next_latch_lits aig m =
+  Array.of_list
+    (List.map
+       (fun l ->
+         match Aig.next_of aig l with
+         | Some nx -> lit_of m nx
+         | None -> invalid_arg "Induction: unconnected latch")
+       (Aig.latches aig))
+
+(* one filtering pass; returns the surviving subset, or None if all
+   survived (fixpoint) *)
+let filter_pass aig cands ~base =
+  let ctx = Tseitin.create () in
+  let init_lits =
+    Array.map (fun b -> Tseitin.of_bool ctx b) (Aig.initial_state aig)
+  in
+  let frame_a_latches =
+    if base then init_lits
+    else Array.map (fun _ -> Tseitin.fresh ctx) init_lits
+  in
+  let m_a = encode_frame ctx aig ~latch_lits:frame_a_latches in
+  let m_check =
+    if base then m_a
+    else begin
+      (* assume all candidates in frame A, check in frame B *)
+      List.iter (fun c -> Tseitin.assert_lit ctx (candidate_lit ctx m_a c)) cands;
+      let latch_b = next_latch_lits aig m_a in
+      encode_frame ctx aig ~latch_lits:latch_b
+    end
+  in
+  let cand_lits = List.map (fun c -> (c, candidate_lit ctx m_check c)) cands in
+  Tseitin.assert_lit ctx
+    (Tseitin.or_list ctx (List.map (fun (_, l) -> Tseitin.not_ l) cand_lits));
+  match Sat.solve_with_assumptions (Tseitin.solver ctx) [] with
+  | Sat.Unsat -> None
+  | Sat.Sat ->
+    Some
+      (List.filter_map
+         (fun (c, l) -> if Tseitin.lit_of_model ctx l then Some c else None)
+         cand_lits)
+
+let rec fixpoint aig cands ~base =
+  match cands with
+  | [] -> []
+  | _ -> (
+    match filter_pass aig cands ~base with
+    | None -> cands
+    | Some survivors -> fixpoint aig survivors ~base)
+
+let filter_inductive aig cands =
+  Aig.validate aig;
+  let after_base = fixpoint aig cands ~base:true in
+  fixpoint aig after_base ~base:false
+
+let prove_property ?(k = 1) aig ~bad ~invariants =
+  Aig.validate aig;
+  if k < 1 then invalid_arg "Induction.prove_property: k must be positive";
+  (* base: no bad state within the first k steps from the initial state *)
+  let base_fails =
+    let ctx = Tseitin.create () in
+    let latch =
+      ref (Array.map (fun b -> Tseitin.of_bool ctx b) (Aig.initial_state aig))
+    in
+    let bads = ref [] in
+    for _ = 1 to k do
+      let m = encode_frame ctx aig ~latch_lits:!latch in
+      bads := lit_of m bad :: !bads;
+      latch := next_latch_lits aig m
+    done;
+    Tseitin.assert_lit ctx (Tseitin.or_list ctx !bads);
+    Sat.solve_with_assumptions (Tseitin.solver ctx) [] = Sat.Sat
+  in
+  if base_fails then Cex_in_base
+  else begin
+    (* step: k consecutive frames satisfying the invariants and ~bad,
+       followed by a bad frame, must be unsatisfiable *)
+    let ctx = Tseitin.create () in
+    let latch =
+      ref (Array.init (Aig.num_latches aig) (fun _ -> Tseitin.fresh ctx))
+    in
+    for _ = 1 to k do
+      let m = encode_frame ctx aig ~latch_lits:!latch in
+      List.iter
+        (fun c -> Tseitin.assert_lit ctx (candidate_lit ctx m c))
+        invariants;
+      Tseitin.assert_lit ctx (Smt.Lit.neg (lit_of m bad));
+      latch := next_latch_lits aig m
+    done;
+    let m_last = encode_frame ctx aig ~latch_lits:!latch in
+    Tseitin.assert_lit ctx (lit_of m_last bad);
+    match Sat.solve_with_assumptions (Tseitin.solver ctx) [] with
+    | Sat.Unsat -> Proved
+    | Sat.Sat -> Unknown
+  end

@@ -1,0 +1,25 @@
+(** SAT-based temporal induction — the deductive engine of the
+    invariant-generation instance.
+
+    [filter_inductive] runs the classic van-Eijk-style fixpoint: keep
+    dropping candidates falsified in the base case or not preserved by
+    one transition when all remaining candidates are assumed, until the
+    surviving set is mutually inductive (and therefore holds in every
+    reachable state).
+
+    [prove_property] then performs k-induction on a property (default
+    k = 1), optionally strengthened with proven invariants — the
+    "strengthen the main safety property with auxiliary inductive
+    invariants" workflow of Section 2.4. Deeper induction can substitute
+    for strengthening: a property whose bad states have no length-k
+    unreachable predecessor chain is k-inductive outright. *)
+
+type verdict =
+  | Proved
+  | Cex_in_base
+  | Unknown  (** the induction step failed; no conclusion *)
+
+val filter_inductive : Aig.t -> Candidates.t list -> Candidates.t list
+
+val prove_property :
+  ?k:int -> Aig.t -> bad:Aig.lit -> invariants:Candidates.t list -> verdict

@@ -1,0 +1,1 @@
+lib/lstar/agr.ml: Dfa Learner

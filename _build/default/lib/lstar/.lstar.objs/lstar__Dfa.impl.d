@@ -1,0 +1,1 @@
+lib/lstar/dfa.ml: Array Format Hashtbl List Map Queue

@@ -1,0 +1,1 @@
+lib/lstar/dfa.mli: Format

@@ -1,0 +1,1 @@
+lib/lstar/learner.ml: Array Dfa Fun Hashtbl List Option Set

@@ -1,0 +1,1 @@
+lib/lstar/learner.mli: Dfa

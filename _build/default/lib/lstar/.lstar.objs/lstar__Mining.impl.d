@@ -1,0 +1,1 @@
+lib/lstar/mining.ml: Array Dfa Hashtbl Int List Map Queue Set

@@ -1,0 +1,1 @@
+lib/lstar/mining.mli: Dfa

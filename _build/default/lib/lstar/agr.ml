@@ -1,0 +1,42 @@
+type result =
+  | Holds of {
+      assumption : Dfa.t;
+      membership_queries : int;
+      rounds : int;
+    }
+  | Violated of Dfa.word
+
+let weakest_assumption_member ~m1 ~prop w =
+  (not (Dfa.accepts m1 w)) || Dfa.accepts prop w
+
+exception Real_violation of Dfa.word
+
+let check ~m1 ~m2 ~prop =
+  if m1.Dfa.alphabet <> m2.Dfa.alphabet || m1.Dfa.alphabet <> prop.Dfa.alphabet
+  then invalid_arg "Agr.check: alphabet mismatch";
+  let membership = weakest_assumption_member ~m1 ~prop in
+  let equivalence (a : Dfa.t) =
+    (* premise 1: L(M1) ∩ L(A) ⊆ L(P) *)
+    match Dfa.subset (Dfa.inter m1 a) prop with
+    | Error w ->
+      (* w ∈ M1 ∩ A but violates P. If M2 can also do w it is a real
+         violation; otherwise A wrongly contains w. *)
+      if Dfa.accepts m2 w then raise (Real_violation w) else Some w
+    | Ok () -> (
+      (* premise 2: L(M2) ⊆ L(A) *)
+      match Dfa.subset m2 a with
+      | Ok () -> None
+      | Error w ->
+        (* w ∈ M2 \ A. If w is in the weakest assumption, A is too
+           small; otherwise running w against M1 violates P. *)
+        if membership w then Some w else raise (Real_violation w))
+  in
+  match Learner.learn ~alphabet:m1.Dfa.alphabet ~membership ~equivalence () with
+  | a, stats ->
+    Holds
+      {
+        assumption = a;
+        membership_queries = stats.Learner.membership_queries;
+        rounds = stats.Learner.rounds;
+      }
+  | exception Real_violation w -> Violated w

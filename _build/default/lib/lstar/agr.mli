@@ -1,0 +1,29 @@
+(** Learning-based assume-guarantee reasoning
+    (Cobleigh–Giannakopoulou–Păsăreanu style, as surveyed in Section 2.4).
+
+    Components and properties are DFAs over a shared alphabet; parallel
+    composition is language intersection. The non-circular rule
+
+      M1 || A |= P        L(M2) ⊆ L(A)
+      -----------------------------------
+      M1 || M2 |= P
+
+    is discharged by learning the assumption A with L*: the membership
+    oracle answers from the weakest assumption
+    WA = { w : w ∈ L(M1) ⇒ w ∈ L(P) }, and the equivalence oracle checks
+    the two premises, feeding counterexamples back to the learner or
+    reporting a real violation. *)
+
+type result =
+  | Holds of {
+      assumption : Dfa.t;
+      membership_queries : int;
+      rounds : int;
+    }
+  | Violated of Dfa.word
+      (** a word in L(M1) ∩ L(M2) \ L(P), i.e. a real counterexample *)
+
+val check : m1:Dfa.t -> m2:Dfa.t -> prop:Dfa.t -> result
+
+val weakest_assumption_member : m1:Dfa.t -> prop:Dfa.t -> Dfa.word -> bool
+(** Membership in WA (exposed for tests). *)

@@ -1,0 +1,144 @@
+type stats = {
+  membership_queries : int;
+  equivalence_queries : int;
+  rounds : int;
+}
+
+module Wset = Set.Make (struct
+  type t = Dfa.word
+
+  let compare = compare
+end)
+
+type table = {
+  alphabet : int;
+  mutable s : Wset.t; (* rows: prefix-closed *)
+  mutable e : Wset.t; (* experiments: suffix-closed *)
+  answers : (Dfa.word, bool) Hashtbl.t;
+  membership : Dfa.word -> bool;
+  mutable queries : int;
+}
+
+let ask t w =
+  match Hashtbl.find_opt t.answers w with
+  | Some b -> b
+  | None ->
+    t.queries <- t.queries + 1;
+    let b = t.membership w in
+    Hashtbl.add t.answers w b;
+    b
+
+let row t s = List.map (fun e -> ask t (s @ e)) (Wset.elements t.e)
+
+let extensions t s = List.init t.alphabet (fun a -> s @ [ a ])
+
+(* close and make consistent, repeatedly *)
+let rec fix t =
+  (* closedness: every one-letter extension's row appears among S rows *)
+  let s_rows = List.map (fun s -> (row t s, s)) (Wset.elements t.s) in
+  let missing =
+    List.concat_map (extensions t) (Wset.elements t.s)
+    |> List.find_opt (fun sa ->
+           (not (Wset.mem sa t.s))
+           && not (List.mem_assoc (row t sa) s_rows))
+  in
+  match missing with
+  | Some sa ->
+    t.s <- Wset.add sa t.s;
+    fix t
+  | None ->
+    (* consistency: equal rows must have equal extensions *)
+    let pairs =
+      let elems = Wset.elements t.s in
+      List.concat_map
+        (fun s1 -> List.filter_map (fun s2 -> if s1 < s2 then Some (s1, s2) else None) elems)
+        elems
+    in
+    let inconsistent =
+      List.find_map
+        (fun (s1, s2) ->
+          if row t s1 = row t s2 then
+            List.find_map
+              (fun a ->
+                let e_bad =
+                  List.find_opt
+                    (fun e -> ask t (s1 @ (a :: e)) <> ask t (s2 @ (a :: e)))
+                    (Wset.elements t.e)
+                in
+                Option.map (fun e -> a :: e) e_bad)
+              (List.init t.alphabet Fun.id)
+          else None)
+        pairs
+    in
+    (match inconsistent with
+    | Some e ->
+      t.e <- Wset.add e t.e;
+      fix t
+    | None -> ())
+
+let hypothesis t =
+  let elems = Wset.elements t.s in
+  let rows = List.map (row t) elems in
+  let distinct = List.sort_uniq compare rows in
+  let index r =
+    match List.find_index (fun r' -> r' = r) distinct with
+    | Some i -> i
+    | None -> assert false
+  in
+  let rep_of_row r = List.find (fun s -> row t s = r) elems in
+  let delta =
+    Array.of_list
+      (List.map
+         (fun r ->
+           let s = rep_of_row r in
+           Array.init t.alphabet (fun a -> index (row t (s @ [ a ]))))
+         distinct)
+  in
+  let accept =
+    Array.of_list
+      (List.map (fun r -> ask t (rep_of_row r)) distinct)
+  in
+  Dfa.make ~alphabet:t.alphabet ~start:(index (row t [])) ~accept ~delta
+
+let learn ~alphabet ~membership ~equivalence ?(max_rounds = 200) () =
+  let t =
+    {
+      alphabet;
+      s = Wset.singleton [];
+      e = Wset.singleton [];
+      answers = Hashtbl.create 64;
+      membership;
+      queries = 0;
+    }
+  in
+  let eq_queries = ref 0 in
+  let rec go round =
+    if round > max_rounds then failwith "Lstar.learn: round budget exceeded";
+    fix t;
+    let h = hypothesis t in
+    incr eq_queries;
+    match equivalence h with
+    | None ->
+      ( h,
+        {
+          membership_queries = t.queries;
+          equivalence_queries = !eq_queries;
+          rounds = round;
+        } )
+    | Some cex ->
+      (* add all prefixes of the counterexample to S *)
+      let rec prefixes acc = function
+        | [] -> acc
+        | a :: rest -> prefixes ((List.hd acc @ [ a ]) :: acc) rest
+      in
+      List.iter (fun p -> t.s <- Wset.add p t.s) (prefixes [ [] ] cex);
+      go (round + 1)
+  in
+  go 1
+
+let learn_exact ~target =
+  learn ~alphabet:target.Dfa.alphabet
+    ~membership:(Dfa.accepts target)
+    ~equivalence:(fun h ->
+      match Dfa.equal h target with Ok () -> None | Error w -> Some w)
+    ()

@@ -1,0 +1,27 @@
+(** Angluin's L* algorithm.
+
+    The inductive inference engine of the assume-guarantee instance
+    (Section 2.4): learns a DFA from a membership oracle and an
+    equivalence oracle. The observation table is kept closed and
+    consistent; counterexamples are handled by adding all their prefixes
+    to the row set (Angluin's original policy). *)
+
+type stats = {
+  membership_queries : int;
+  equivalence_queries : int;
+  rounds : int;
+}
+
+val learn :
+  alphabet:int ->
+  membership:(Dfa.word -> bool) ->
+  equivalence:(Dfa.t -> Dfa.word option) ->
+  ?max_rounds:int ->
+  unit ->
+  Dfa.t * stats
+(** The returned DFA is the hypothesis the equivalence oracle accepted.
+    Raises [Failure] when [max_rounds] (default 200) is exhausted. *)
+
+val learn_exact : target:Dfa.t -> Dfa.t * stats
+(** Learn a known target by answering both oracle types from it; for
+    testing, and for the ablation that counts queries. *)

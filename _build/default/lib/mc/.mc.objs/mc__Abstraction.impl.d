@@ -1,0 +1,1 @@
+lib/mc/abstraction.ml: Array List Ts

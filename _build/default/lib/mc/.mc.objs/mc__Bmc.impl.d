@@ -1,0 +1,1 @@
+lib/mc/bmc.ml: Array List Smt Ts

@@ -1,0 +1,1 @@
+lib/mc/bmc.mli: Smt Ts

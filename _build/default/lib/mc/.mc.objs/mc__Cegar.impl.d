@@ -1,0 +1,1 @@
+lib/mc/cegar.ml: Abstraction Array Bmc Fun List Option Random Reach Sciduction Smt Ts

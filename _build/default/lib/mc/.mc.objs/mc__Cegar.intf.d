@@ -1,0 +1,1 @@
+lib/mc/cegar.mli: Ts

@@ -1,0 +1,1 @@
+lib/mc/reach.ml: Array Hashtbl List Queue Ts

@@ -1,0 +1,1 @@
+lib/mc/reach.mli: Ts

@@ -1,0 +1,1 @@
+lib/mc/systems.ml: Array List Printf Ts

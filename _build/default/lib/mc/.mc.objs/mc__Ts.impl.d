@@ -1,0 +1,1 @@
+lib/mc/ts.ml: Array Format

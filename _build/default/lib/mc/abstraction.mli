@@ -1,0 +1,26 @@
+(** Localization abstraction (Kurshan), the structure hypothesis of the
+    CEGAR instance.
+
+    A subset of latches is kept {e visible}; every hidden latch is
+    replaced by a fresh nondeterministic input (one per hidden latch per
+    step). The abstraction over-approximates: every concrete behaviour
+    is an abstract behaviour, so Safe on the abstraction implies Safe
+    concretely. *)
+
+type t = {
+  concrete : Ts.t;
+  visible : int list;  (** concrete latch indices, sorted *)
+  abstract : Ts.t;
+  hidden_input : int array;
+      (** for each concrete latch: its abstract input index if hidden,
+          [-1] if visible *)
+}
+
+val localize : Ts.t -> visible:int list -> t
+
+val abstract_index : t -> int -> int
+(** Abstract latch index of a visible concrete latch. *)
+
+val referenced_hidden : t -> int list
+(** Hidden latches mentioned by the visible next-state functions or the
+    bad predicate — refinement candidates, most-referenced first. *)

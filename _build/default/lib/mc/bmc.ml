@@ -1,0 +1,55 @@
+module Tseitin = Smt.Tseitin
+module Sat = Smt.Sat
+module Lit = Smt.Lit
+
+let compile ctx ~state ~input e =
+  let rec go = function
+    | Ts.T -> Tseitin.true_ ctx
+    | Ts.F -> Tseitin.false_ ctx
+    | Ts.V i -> state.(i)
+    | Ts.In i -> input.(i)
+    | Ts.Not a -> Tseitin.not_ (go a)
+    | Ts.And (a, b) -> Tseitin.and2 ctx (go a) (go b)
+    | Ts.Or (a, b) -> Tseitin.or2 ctx (go a) (go b)
+    | Ts.Xor (a, b) -> Tseitin.xor2 ctx (go a) (go b)
+  in
+  go e
+
+let check (ts : Ts.t) ~depth =
+  let ctx = Tseitin.create () in
+  let state0 =
+    Array.map (fun b -> Tseitin.of_bool ctx b) ts.Ts.init
+  in
+  (* bad at step 0..depth; inputs.(t) drives step t -> t+1 *)
+  let inputs = ref [] in
+  let bads = ref [ compile ctx ~state:state0 ~input:[||] ts.Ts.bad ] in
+  let state = ref state0 in
+  for _t = 1 to depth do
+    let input = Array.init ts.Ts.num_inputs (fun _ -> Tseitin.fresh ctx) in
+    inputs := input :: !inputs;
+    let next =
+      Array.map (fun e -> compile ctx ~state:!state ~input e) ts.Ts.next
+    in
+    state := next;
+    bads := compile ctx ~state:next ~input:[||] ts.Ts.bad :: !bads
+  done;
+  let inputs = Array.of_list (List.rev !inputs) in
+  let bads = List.rev !bads in
+  Tseitin.assert_lit ctx (Tseitin.or_list ctx bads);
+  match Sat.solve_with_assumptions (Tseitin.solver ctx) [] with
+  | Sat.Unsat -> None
+  | Sat.Sat ->
+    (* extract inputs and truncate the trace at the first bad state *)
+    let value l = Tseitin.lit_of_model ctx l in
+    let all_inputs =
+      Array.to_list (Array.map (fun inp -> Array.map value inp) inputs)
+    in
+    let rec truncate state steps_taken inputs_left =
+      if Ts.is_bad ts state then Some (List.rev steps_taken)
+      else
+        match inputs_left with
+        | [] -> None (* model exists, so this cannot happen *)
+        | input :: rest ->
+          truncate (Ts.step ts ~state ~input) (input :: steps_taken) rest
+    in
+    truncate ts.Ts.init [] all_inputs

@@ -1,0 +1,20 @@
+(** SAT-based bounded model checking.
+
+    Unrolls the transition system to a fixed depth through the Tseitin
+    layer and asks the CDCL solver whether a bad state is reachable
+    within the bound. CEGAR uses it as the spuriousness check for
+    abstract counterexamples (the "SAT solver" half of the deductive
+    engine in Fig. 3). *)
+
+val compile :
+  Smt.Tseitin.t ->
+  state:Smt.Lit.t array ->
+  input:Smt.Lit.t array ->
+  Ts.expr ->
+  Smt.Lit.t
+(** Lower a boolean expression over the given state/input wires. *)
+
+val check : Ts.t -> depth:int -> bool array list option
+(** [check ts ~depth] returns a concrete input trace reaching a bad
+    state after at most [depth] steps, or [None] if none exists within
+    the bound. The trace has one input valuation per executed step. *)

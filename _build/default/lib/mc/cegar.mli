@@ -1,0 +1,45 @@
+(** Counterexample-guided abstraction refinement (Fig. 3 of the paper).
+
+    Sciduction instance: H is the abstract domain (which latches are
+    visible), I walks the lattice of localization abstractions guided by
+    spurious counterexamples, and D is the explicit-state model checker
+    on the abstraction plus the SAT-based spuriousness check. Because
+    the concrete system is itself an admissible abstraction, C_H = C_S
+    and soundness is unconditional. *)
+
+type result =
+  | Safe of {
+      visible : int list;  (** the final abstraction's visible latches *)
+      iterations : int;
+      abstract_latches : int;
+    }
+  | Unsafe of {
+      trace : bool array list;  (** validated concrete input trace *)
+      iterations : int;
+    }
+
+(** How to choose the latch revealed after a spurious counterexample. *)
+type refinement =
+  | Most_referenced
+      (** the hidden latch most referenced by the visible logic — a
+          syntactic version-space walk down the abstraction lattice *)
+  | Decision_tree of { samples : int; seed : int }
+      (** Gupta-style learning: sample reachable states (random walks)
+          and bad states (SAT models), learn a decision tree separating
+          them, and reveal the most informative hidden feature *)
+
+val verify :
+  ?initial_visible:int list ->
+  ?max_iterations:int ->
+  ?refinement:refinement ->
+  Ts.t ->
+  result
+(** [initial_visible] defaults to the support of the bad predicate;
+    [refinement] to [Most_referenced]. Raises [Failure] if refinement
+    runs out of candidates (cannot happen for well-formed systems: the
+    full system is a valid refinement). *)
+
+val decision_tree_candidates :
+  Ts.t -> visible:int list -> samples:int -> seed:int -> int list
+(** The decision-tree strategy's ranked hidden-latch candidates
+    (exposed for tests and the refinement ablation). *)

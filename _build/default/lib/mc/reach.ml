@@ -1,0 +1,65 @@
+type answer =
+  | Safe of { states_explored : int }
+  | Cex of bool array list
+
+let pack state =
+  let v = ref 0 in
+  Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) state;
+  !v
+
+let unpack n code = Array.init n (fun i -> code land (1 lsl i) <> 0)
+
+let input_of_code n code = Array.init n (fun i -> code land (1 lsl i) <> 0)
+
+let check ?(max_states = 2_000_000) (t : Ts.t) =
+  if t.Ts.num_latches > 22 then
+    invalid_arg "Reach.check: too many latches for explicit search";
+  if t.Ts.num_inputs > 16 then
+    invalid_arg "Reach.check: too many inputs for explicit search";
+  let ninputs = 1 lsl t.Ts.num_inputs in
+  let parent = Hashtbl.create 1024 in
+  (* state code -> (predecessor code, input code); the initial state maps
+     to itself *)
+  let init_code = pack t.Ts.init in
+  Hashtbl.replace parent init_code (init_code, 0);
+  let queue = Queue.create () in
+  Queue.add init_code queue;
+  let trace_to code =
+    let rec go code acc =
+      let pred, inp = Hashtbl.find parent code in
+      if pred = code then acc
+      else go pred (input_of_code t.Ts.num_inputs inp :: acc)
+    in
+    go code []
+  in
+  let explored = ref 0 in
+  let result = ref None in
+  while !result = None && not (Queue.is_empty queue) do
+    let code = Queue.pop queue in
+    incr explored;
+    if !explored > max_states then
+      invalid_arg "Reach.check: state budget exceeded";
+    let state = unpack t.Ts.num_latches code in
+    if Ts.is_bad t state then result := Some (Cex (trace_to code))
+    else
+      for inp = 0 to ninputs - 1 do
+        let input = input_of_code t.Ts.num_inputs inp in
+        let succ = pack (Ts.step t ~state ~input) in
+        if not (Hashtbl.mem parent succ) then begin
+          Hashtbl.replace parent succ (code, inp);
+          Queue.add succ queue
+        end
+      done
+  done;
+  match !result with
+  | Some r -> r
+  | None -> Safe { states_explored = !explored }
+
+let replay (t : Ts.t) inputs =
+  let state = ref (Array.copy t.Ts.init) in
+  Ts.is_bad t !state
+  || List.exists
+       (fun input ->
+         state := Ts.step t ~state:!state ~input;
+         Ts.is_bad t !state)
+       inputs

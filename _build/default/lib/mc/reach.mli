@@ -1,0 +1,20 @@
+(** Explicit-state BFS reachability — the finite-state model checker that
+    CEGAR invokes on abstractions.
+
+    States are bit-packed into an [int], so systems are limited to 22
+    latches and 16 inputs; abstractions are expected to be small (that is
+    the point of localization). *)
+
+type answer =
+  | Safe of { states_explored : int }
+  | Cex of bool array list
+      (** input valuations driving the system from the initial state into
+          a bad state; the empty list means the initial state is bad *)
+
+val check : ?max_states:int -> Ts.t -> answer
+(** Raises [Invalid_argument] beyond the size limits or when
+    [max_states] (default 2_000_000) is exceeded. *)
+
+val replay : Ts.t -> bool array list -> bool
+(** Does the input sequence actually reach a bad state? Used to validate
+    counterexamples. *)

@@ -1,0 +1,56 @@
+open Ts
+
+let conj = function [] -> T | e :: es -> List.fold_left (fun a b -> And (a, b)) e es
+
+let equals_const ~bits ~offset value =
+  conj
+    (List.init bits (fun i ->
+         if value land (1 lsl i) <> 0 then V (offset + i) else Not (V (offset + i))))
+
+let mod_counter ?(junk = 0) ~bits ~modulus ~bad_value () =
+  if modulus < 1 || modulus > 1 lsl bits then invalid_arg "Systems.mod_counter";
+  let at_max = equals_const ~bits ~offset:0 (modulus - 1) in
+  (* increment with carry chain; input 0 is the enable *)
+  let carry = Array.make (bits + 1) (In 0) in
+  for i = 0 to bits - 1 do
+    carry.(i + 1) <- And (carry.(i), V i)
+  done;
+  let count_next i =
+    let inc = Xor (V i, carry.(i)) in
+    (* wrap to zero when enabled at the top of the range *)
+    And (inc, Not (And (In 0, at_max)))
+  in
+  let junk_next k = if k = 0 then In 1 else V (bits + k - 1) in
+  Ts.make
+    ~name:(Printf.sprintf "mod_counter%d/%d+%dj" bits modulus junk)
+    ~num_latches:(bits + junk)
+    ~num_inputs:(if junk > 0 then 2 else 1)
+    ~init:(Array.make (bits + junk) false)
+    ~next:
+      (Array.init (bits + junk) (fun i ->
+           if i < bits then count_next i else junk_next (i - bits)))
+    ~bad:(equals_const ~bits ~offset:0 bad_value)
+
+let shift_register ~len =
+  (* latch 0 takes the input; latch len records "ever saw a 1" at entry *)
+  let next =
+    Array.init (len + 1) (fun i ->
+        if i = 0 then In 0
+        else if i < len then V (i - 1)
+        else Or (V len, In 0))
+  in
+  Ts.make
+    ~name:(Printf.sprintf "shift%d" len)
+    ~num_latches:(len + 1) ~num_inputs:1
+    ~init:(Array.make (len + 1) false)
+    ~next
+    ~bad:(And (V (len - 1), Not (V len)))
+
+let request_grant =
+  (* latch 0: pending request; latch 1: grant. The bug: the grant line
+     holds for one cycle after the request is dropped, so "grant implies
+     pending" fails two steps in (request, then idle). *)
+  Ts.make ~name:"request_grant" ~num_latches:2 ~num_inputs:1
+    ~init:[| false; false |]
+    ~next:[| In 0; Or (In 0, V 0) |]
+    ~bad:(And (V 1, Not (V 0)))

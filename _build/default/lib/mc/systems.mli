@@ -1,0 +1,19 @@
+(** Small hardware-flavoured transition systems for tests, examples and
+    the CEGAR benches. *)
+
+val mod_counter :
+  ?junk:int -> bits:int -> modulus:int -> bad_value:int -> unit -> Ts.t
+(** An enable-gated counter over [bits] latches counting modulo
+    [modulus]; the bad states are [count = bad_value] (unreachable iff
+    [bad_value >= modulus]). [junk] appends that many latches forming an
+    input-driven shift register with no influence on the property —
+    localization fodder. *)
+
+val shift_register : len:int -> Ts.t
+(** Input bit shifts through [len] latches; bad iff the last latch rises
+    while the first never saw a 1 — unreachable, but proving it needs the
+    whole chain visible (worst case for localization). *)
+
+val request_grant : Ts.t
+(** A 2-latch arbiter that must not grant without a pending request;
+    contains a deliberate bug reachable in 2 steps. *)

@@ -1,0 +1,1 @@
+lib/microarch/compile.ml: Array Format Hashtbl Isa List Printf Prog Smt

@@ -1,0 +1,1 @@
+lib/microarch/compile.mli: Format Isa Prog

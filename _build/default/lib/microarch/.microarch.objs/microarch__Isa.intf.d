@@ -1,0 +1,1 @@
+lib/microarch/isa.mli: Format

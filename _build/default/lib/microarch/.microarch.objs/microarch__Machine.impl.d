@@ -1,0 +1,1 @@
+lib/microarch/machine.ml: Array Cache Compile Hashtbl Isa List Option Prog Smt

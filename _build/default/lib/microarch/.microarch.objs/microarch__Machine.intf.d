@@ -1,0 +1,1 @@
+lib/microarch/machine.mli: Cache Compile Random

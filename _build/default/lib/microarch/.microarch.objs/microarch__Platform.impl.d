@@ -1,0 +1,1 @@
+lib/microarch/platform.ml: Array Cache Compile Machine Option Random

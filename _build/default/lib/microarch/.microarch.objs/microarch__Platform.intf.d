@@ -1,0 +1,1 @@
+lib/microarch/platform.mli: Cache Machine Prog

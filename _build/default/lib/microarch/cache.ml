@@ -1,0 +1,49 @@
+type config = { lines : int; line_bytes : int; miss_penalty : int }
+
+type t = {
+  config : config;
+  tags : int array; (* -1 = invalid *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let default_icache = { lines = 16; line_bytes = 16; miss_penalty = 8 }
+let default_dcache = { lines = 8; line_bytes = 8; miss_penalty = 12 }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create config =
+  if not (is_pow2 config.lines && is_pow2 config.line_bytes) then
+    invalid_arg "Cache.create: lines and line_bytes must be powers of two";
+  { config; tags = Array.make config.lines (-1); hits = 0; misses = 0 }
+
+let reset c =
+  Array.fill c.tags 0 (Array.length c.tags) (-1);
+  c.hits <- 0;
+  c.misses <- 0
+
+let randomize c rng =
+  for i = 0 to Array.length c.tags - 1 do
+    (* a random block mapping to this line, or invalid *)
+    c.tags.(i) <-
+      (if Random.State.bool rng then -1
+       else (Random.State.int rng 64 * c.config.lines) + i)
+  done;
+  c.hits <- 0;
+  c.misses <- 0
+
+let access c addr =
+  let block = addr / c.config.line_bytes in
+  let idx = block land (c.config.lines - 1) in
+  if c.tags.(idx) = block then begin
+    c.hits <- c.hits + 1;
+    0
+  end
+  else begin
+    c.misses <- c.misses + 1;
+    c.tags.(idx) <- block;
+    c.config.miss_penalty
+  end
+
+let hits c = c.hits
+let misses c = c.misses

@@ -1,0 +1,30 @@
+(** A direct-mapped cache model.
+
+    Tracks only tags (timing, not contents). Used twice by {!Machine}:
+    once for instruction fetches and once for data accesses. *)
+
+type config = {
+  lines : int;  (** number of cache lines; must be a power of two *)
+  line_bytes : int;  (** bytes per line; must be a power of two *)
+  miss_penalty : int;  (** extra cycles charged on a miss *)
+}
+
+type t
+
+val default_icache : config
+val default_dcache : config
+
+val create : config -> t
+val reset : t -> unit
+
+val randomize : t -> Random.State.t -> unit
+(** Fill the tag array with random blocks: an unknown starting
+    environment state, the adversary's "state dimension" of problem
+    <TA>. *)
+
+val access : t -> int -> int
+(** [access c addr] records an access and returns the extra cycles it
+    costs (0 on a hit, [miss_penalty] on a miss). *)
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,260 @@
+module Bv = Smt.Bv
+module Lang = Prog.Lang
+
+type t = {
+  source : Lang.t;
+  instrs : Isa.instr array;
+  slots : (string * int) list;
+  width : int;
+}
+
+exception Register_pressure
+
+let word_bytes = 2
+let max_scratch = 12 (* r0..r11 usable by the expression stack *)
+
+type builder = {
+  mutable code : Isa.instr list; (* reverse *)
+  mutable len : int;
+  labels : (int, int) Hashtbl.t; (* label id -> instruction index *)
+  mutable next_label : int;
+  slots : (string, int) Hashtbl.t;
+  mutable next_slot : int;
+  width : int;
+}
+
+let emit b i =
+  b.code <- i :: b.code;
+  b.len <- b.len + 1
+
+let new_label b =
+  let l = b.next_label in
+  b.next_label <- l + 1;
+  l
+
+let place b l = Hashtbl.replace b.labels l b.len
+
+let slot b x =
+  match Hashtbl.find_opt b.slots x with
+  | Some a -> a
+  | None ->
+    let a = b.next_slot in
+    b.next_slot <- a + word_bytes;
+    Hashtbl.replace b.slots x a;
+    a
+
+let scratch r = if r >= max_scratch then raise Register_pressure else r
+
+(* Compile [e] into register [dst], using registers > dst as scratch. *)
+let rec expr b dst e =
+  let dst = scratch dst in
+  match (e : Bv.term) with
+  | Bv.Const { value; _ } -> emit b (Isa.Li (dst, value))
+  | Bv.Var { name; _ } -> emit b (Isa.Ld (dst, slot b name))
+  | Bv.Unop (op, a) ->
+    expr b dst a;
+    emit b
+      (match op with
+      | Bv.Bnot -> Isa.Not (dst, dst)
+      | Bv.Bneg -> Isa.Neg (dst, dst))
+  | Bv.Binop (op, a, bb) ->
+    expr b dst a;
+    let tmp = scratch (dst + 1) in
+    expr b tmp bb;
+    let signed_shift () =
+      (* Bashr works on the signed interpretation directly *)
+      emit b (Isa.Sar (dst, dst, tmp))
+    in
+    (match op with
+    | Bv.Band -> emit b (Isa.And (dst, dst, tmp))
+    | Bv.Bor -> emit b (Isa.Or (dst, dst, tmp))
+    | Bv.Bxor -> emit b (Isa.Xor (dst, dst, tmp))
+    | Bv.Badd -> emit b (Isa.Add (dst, dst, tmp))
+    | Bv.Bsub -> emit b (Isa.Sub (dst, dst, tmp))
+    | Bv.Bmul -> emit b (Isa.Mul (dst, dst, tmp))
+    | Bv.Budiv -> emit b (Isa.Div (dst, dst, tmp))
+    | Bv.Burem -> emit b (Isa.Rem (dst, dst, tmp))
+    | Bv.Bshl -> emit b (Isa.Shl (dst, dst, tmp))
+    | Bv.Blshr -> emit b (Isa.Shr (dst, dst, tmp))
+    | Bv.Bashr -> signed_shift ())
+  | Bv.Ite (c, a, bb) ->
+    let lelse = new_label b and lend = new_label b in
+    branch_false b (dst + 1) c lelse;
+    expr b dst a;
+    emit b (Isa.Jmp lend);
+    place b lelse;
+    expr b dst bb;
+    place b lend
+
+(* Jump to [target] when the formula is false; fall through when true.
+   [base] is the first free scratch register. *)
+and branch_false b base f target =
+  match (f : Bv.formula) with
+  | Bv.Btrue -> ()
+  | Bv.Bfalse -> emit b (Isa.Jmp target)
+  | Bv.Pvar _ -> invalid_arg "Compile: boolean variables are not compilable"
+  | Bv.Eq (x, y) ->
+    cmp_operands b base x y;
+    emit b (Isa.Bne (base, base + 1, target))
+  | Bv.Ult (x, y) ->
+    cmp_operands b base x y;
+    emit b (Isa.Bgeu (base, base + 1, target))
+  | Bv.Ule (x, y) ->
+    cmp_operands b base x y;
+    emit b (Isa.Bltu (base + 1, base, target))
+  | Bv.Slt (x, y) ->
+    signed_cmp_operands b base x y;
+    emit b (Isa.Bgeu (base, base + 1, target))
+  | Bv.Sle (x, y) ->
+    signed_cmp_operands b base x y;
+    emit b (Isa.Bltu (base + 1, base, target))
+  | Bv.Fnot g -> branch_true b base g target
+  | Bv.Fand (x, y) ->
+    branch_false b base x target;
+    branch_false b base y target
+  | Bv.For (x, y) ->
+    let ltrue = new_label b in
+    branch_true b base x ltrue;
+    branch_false b base y target;
+    place b ltrue
+  | Bv.Fxor (x, y) ->
+    materialize b base x;
+    materialize b (base + 1) y;
+    emit b (Isa.Beq (base, base + 1, target))
+
+(* Jump to [target] when the formula is true. *)
+and branch_true b base f target =
+  match (f : Bv.formula) with
+  | Bv.Btrue -> emit b (Isa.Jmp target)
+  | Bv.Bfalse -> ()
+  | Bv.Pvar _ -> invalid_arg "Compile: boolean variables are not compilable"
+  | Bv.Eq (x, y) ->
+    cmp_operands b base x y;
+    emit b (Isa.Beq (base, base + 1, target))
+  | Bv.Ult (x, y) ->
+    cmp_operands b base x y;
+    emit b (Isa.Bltu (base, base + 1, target))
+  | Bv.Ule (x, y) ->
+    cmp_operands b base x y;
+    emit b (Isa.Bgeu (base + 1, base, target))
+  | Bv.Slt (x, y) ->
+    signed_cmp_operands b base x y;
+    emit b (Isa.Bltu (base, base + 1, target))
+  | Bv.Sle (x, y) ->
+    signed_cmp_operands b base x y;
+    emit b (Isa.Bgeu (base + 1, base, target))
+  | Bv.Fnot g -> branch_false b base g target
+  | Bv.Fand (x, y) ->
+    let lfalse = new_label b in
+    branch_false b base x lfalse;
+    branch_true b base y target;
+    place b lfalse
+  | Bv.For (x, y) ->
+    branch_true b base x target;
+    branch_true b base y target
+  | Bv.Fxor (x, y) ->
+    materialize b base x;
+    materialize b (base + 1) y;
+    emit b (Isa.Bne (base, base + 1, target))
+
+and cmp_operands b base x y =
+  let base = scratch base in
+  expr b base x;
+  expr b (base + 1) y
+
+and signed_cmp_operands b base x y =
+  (* reduce signed comparison to unsigned by flipping the sign bits *)
+  cmp_operands b base x y;
+  let msb = scratch (base + 2) in
+  emit b (Isa.Li (msb, 1 lsl (b.width - 1)));
+  emit b (Isa.Xor (base, base, msb));
+  emit b (Isa.Xor (base + 1, base + 1, msb))
+
+(* Put 1 in [dst] if the formula holds, else 0. *)
+and materialize b dst f =
+  let dst = scratch dst in
+  let lfalse = new_label b and lend = new_label b in
+  branch_false b (dst + 1) f lfalse;
+  emit b (Isa.Li (dst, 1));
+  emit b (Isa.Jmp lend);
+  place b lfalse;
+  emit b (Isa.Li (dst, 0));
+  place b lend
+
+let rec stmt b trap = function
+  | Lang.Assign (x, e) ->
+    expr b 0 e;
+    emit b (Isa.St (slot b x, 0))
+  | Lang.Assume f -> branch_false b 0 f trap
+  | Lang.If (c, then_, else_) ->
+    let lelse = new_label b and lend = new_label b in
+    branch_false b 0 c lelse;
+    List.iter (stmt b trap) then_;
+    emit b (Isa.Jmp lend);
+    place b lelse;
+    List.iter (stmt b trap) else_;
+    place b lend
+  | Lang.While (c, body) ->
+    (* rotated loop: a guard test up front, then a bottom-tested body
+       whose latch is a backward conditional branch — the shape branch
+       predictors are built for *)
+    let ltop = new_label b and lend = new_label b in
+    branch_false b 0 c lend;
+    place b ltop;
+    List.iter (stmt b trap) body;
+    branch_true b 0 c ltop;
+    place b lend
+
+let compile (p : Lang.t) =
+  let b =
+    {
+      code = [];
+      len = 0;
+      labels = Hashtbl.create 16;
+      next_label = 0;
+      slots = Hashtbl.create 16;
+      next_slot = 0;
+      width = p.Lang.width;
+    }
+  in
+  (* pre-allocate input and output slots in declaration order for a
+     stable layout (an output may never be assigned: it reads as 0, like
+     in the interpreter, so it still needs a slot) *)
+  List.iter (fun x -> ignore (slot b x)) p.Lang.inputs;
+  List.iter (fun x -> ignore (slot b x)) p.Lang.outputs;
+  let trap = new_label b in
+  List.iter (stmt b trap) p.Lang.body;
+  emit b Isa.Halt;
+  place b trap;
+  emit b Isa.Trap;
+  let resolve l =
+    match Hashtbl.find_opt b.labels l with
+    | Some idx -> idx
+    | None -> invalid_arg "Compile: unplaced label"
+  in
+  let patch = function
+    | Isa.Beq (x, y, l) -> Isa.Beq (x, y, resolve l)
+    | Isa.Bne (x, y, l) -> Isa.Bne (x, y, resolve l)
+    | Isa.Bltu (x, y, l) -> Isa.Bltu (x, y, resolve l)
+    | Isa.Bgeu (x, y, l) -> Isa.Bgeu (x, y, resolve l)
+    | Isa.Jmp l -> Isa.Jmp (resolve l)
+    | i -> i
+  in
+  let instrs = Array.of_list (List.rev_map patch b.code) in
+  let slots =
+    Hashtbl.fold (fun x a acc -> (x, a) :: acc) b.slots []
+    |> List.sort (fun (_, a) (_, a') -> compare a a')
+  in
+  { source = p; instrs; slots; width = p.Lang.width }
+
+let slot_of (t : t) x =
+  match List.assoc_opt x t.slots with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Compile.slot_of: unknown variable %s" x)
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "@[<v>; %s, %d instructions@," t.source.Lang.name
+    (Array.length t.instrs);
+  List.iter (fun (x, a) -> Format.fprintf fmt "; %s at [%d]@," x a) t.slots;
+  Isa.pp_program fmt t.instrs;
+  Format.fprintf fmt "@]"

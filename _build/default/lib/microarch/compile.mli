@@ -1,0 +1,22 @@
+(** Compiler from the {!Prog.Lang} IR to {!Isa} machine code.
+
+    Program variables live in fixed word-aligned memory slots (so variable
+    traffic exercises the data cache); expressions are evaluated in a
+    register stack r0..r11. Loops compile to backward branches — programs
+    are compiled {e without} unrolling, since the machine executes loops
+    natively. [Assume] statements compile to a conditional branch to a
+    trap. *)
+
+type t = {
+  source : Prog.Lang.t;
+  instrs : Isa.instr array;
+  slots : (string * int) list;  (** variable -> byte address *)
+  width : int;
+}
+
+exception Register_pressure
+(** Raised when an expression is too deep for the register stack. *)
+
+val compile : Prog.Lang.t -> t
+val slot_of : t -> string -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+type reg = int
+
+type instr =
+  | Li of reg * int
+  | Mov of reg * reg
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg
+  | Rem of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Not of reg * reg
+  | Neg of reg * reg
+  | Shl of reg * reg * reg
+  | Shr of reg * reg * reg
+  | Sar of reg * reg * reg
+  | Ld of reg * int
+  | St of int * reg
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Bltu of reg * reg * int
+  | Bgeu of reg * reg * int
+  | Jmp of int
+  | Halt
+  | Trap
+
+let num_regs = 16
+
+let uses = function
+  | Li _ | Ld _ | Jmp _ | Halt | Trap -> []
+  | Mov (_, a) | Not (_, a) | Neg (_, a) -> [ a ]
+  | Add (_, a, b)
+  | Sub (_, a, b)
+  | Mul (_, a, b)
+  | Div (_, a, b)
+  | Rem (_, a, b)
+  | And (_, a, b)
+  | Or (_, a, b)
+  | Xor (_, a, b)
+  | Shl (_, a, b)
+  | Shr (_, a, b)
+  | Sar (_, a, b) -> [ a; b ]
+  | St (_, a) -> [ a ]
+  | Beq (a, b, _) | Bne (a, b, _) | Bltu (a, b, _) | Bgeu (a, b, _) -> [ a; b ]
+
+let defines = function
+  | Li (d, _)
+  | Mov (d, _)
+  | Add (d, _, _)
+  | Sub (d, _, _)
+  | Mul (d, _, _)
+  | Div (d, _, _)
+  | Rem (d, _, _)
+  | And (d, _, _)
+  | Or (d, _, _)
+  | Xor (d, _, _)
+  | Not (d, _)
+  | Neg (d, _)
+  | Shl (d, _, _)
+  | Shr (d, _, _)
+  | Sar (d, _, _)
+  | Ld (d, _) -> Some d
+  | St _ | Beq _ | Bne _ | Bltu _ | Bgeu _ | Jmp _ | Halt | Trap -> None
+
+let pp fmt = function
+  | Li (d, v) -> Format.fprintf fmt "li    r%d, %d" d v
+  | Mov (d, a) -> Format.fprintf fmt "mov   r%d, r%d" d a
+  | Add (d, a, b) -> Format.fprintf fmt "add   r%d, r%d, r%d" d a b
+  | Sub (d, a, b) -> Format.fprintf fmt "sub   r%d, r%d, r%d" d a b
+  | Mul (d, a, b) -> Format.fprintf fmt "mul   r%d, r%d, r%d" d a b
+  | Div (d, a, b) -> Format.fprintf fmt "div   r%d, r%d, r%d" d a b
+  | Rem (d, a, b) -> Format.fprintf fmt "rem   r%d, r%d, r%d" d a b
+  | And (d, a, b) -> Format.fprintf fmt "and   r%d, r%d, r%d" d a b
+  | Or (d, a, b) -> Format.fprintf fmt "or    r%d, r%d, r%d" d a b
+  | Xor (d, a, b) -> Format.fprintf fmt "xor   r%d, r%d, r%d" d a b
+  | Not (d, a) -> Format.fprintf fmt "not   r%d, r%d" d a
+  | Neg (d, a) -> Format.fprintf fmt "neg   r%d, r%d" d a
+  | Shl (d, a, b) -> Format.fprintf fmt "shl   r%d, r%d, r%d" d a b
+  | Shr (d, a, b) -> Format.fprintf fmt "shr   r%d, r%d, r%d" d a b
+  | Sar (d, a, b) -> Format.fprintf fmt "sar   r%d, r%d, r%d" d a b
+  | Ld (d, addr) -> Format.fprintf fmt "ld    r%d, [%d]" d addr
+  | St (addr, a) -> Format.fprintf fmt "st    [%d], r%d" addr a
+  | Beq (a, b, t) -> Format.fprintf fmt "beq   r%d, r%d, @%d" a b t
+  | Bne (a, b, t) -> Format.fprintf fmt "bne   r%d, r%d, @%d" a b t
+  | Bltu (a, b, t) -> Format.fprintf fmt "bltu  r%d, r%d, @%d" a b t
+  | Bgeu (a, b, t) -> Format.fprintf fmt "bgeu  r%d, r%d, @%d" a b t
+  | Jmp t -> Format.fprintf fmt "jmp   @%d" t
+  | Halt -> Format.pp_print_string fmt "halt"
+  | Trap -> Format.pp_print_string fmt "trap"
+
+let pp_program fmt instrs =
+  Array.iteri (fun i ins -> Format.fprintf fmt "%3d: %a@," i pp ins) instrs

@@ -1,0 +1,47 @@
+(** A small RISC instruction set.
+
+    The target of {!Compile} and the input of {!Machine}. The machine has
+    16 general-purpose registers and a flat byte-addressed data memory;
+    variables are compiled to fixed word-aligned memory slots so that
+    loads and stores exercise the data cache. Branch targets are absolute
+    instruction indices. *)
+
+type reg = int (** 0..15 *)
+
+type instr =
+  | Li of reg * int  (** load immediate *)
+  | Mov of reg * reg
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+      (** iterative early-termination multiplier: latency depends on the
+          magnitude of the second operand, as on the StrongARM *)
+  | Div of reg * reg * reg  (** unsigned; div-by-zero yields all-ones *)
+  | Rem of reg * reg * reg  (** unsigned; rem-by-zero yields the dividend *)
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Not of reg * reg
+  | Neg of reg * reg
+  | Shl of reg * reg * reg
+  | Shr of reg * reg * reg  (** logical *)
+  | Sar of reg * reg * reg  (** arithmetic *)
+  | Ld of reg * int  (** load from byte address *)
+  | St of int * reg  (** store to byte address *)
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Bltu of reg * reg * int
+  | Bgeu of reg * reg * int
+  | Jmp of int
+  | Halt
+  | Trap  (** failed assumption *)
+
+val num_regs : int
+val uses : instr -> reg list
+(** Source registers read by the instruction. *)
+
+val defines : instr -> reg option
+(** Destination register, if any. *)
+
+val pp : Format.formatter -> instr -> unit
+val pp_program : Format.formatter -> instr array -> unit

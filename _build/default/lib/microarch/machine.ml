@@ -1,0 +1,171 @@
+module Bv = Smt.Bv
+
+exception Trap_executed
+exception Out_of_fuel
+
+type predictor =
+  | Static_not_taken
+  | Backward_taken
+  | Bimodal of int
+
+type stats = {
+  cycles : int;
+  instructions : int;
+  icache_hits : int;
+  icache_misses : int;
+  dcache_hits : int;
+  dcache_misses : int;
+  mispredictions : int;
+}
+
+type result = {
+  stats : stats;
+  outputs : (string * int) list;
+}
+
+let significant_bits v =
+  let rec go n v = if v = 0 then n else go (n + 1) (v lsr 1) in
+  go 0 v
+
+(* early-termination multiplier: the StrongARM retires 12 bits of the
+   multiplier per cycle; we retire 4 bits per cycle of the second operand *)
+let mul_latency b = 1 + ((significant_bits b + 3) / 4)
+
+(* iterative restoring divider: one cycle per significant dividend bit *)
+let div_latency a = 2 + significant_bits a
+
+let taken_branch_penalty = 2
+let instr_bytes = 4
+
+let run ?(fuel = 1_000_000) ?(icache = Cache.default_icache)
+    ?(dcache = Cache.default_dcache) ?cache_rng
+    ?(predictor = Static_not_taken) (c : Compile.t) inputs =
+  let width = c.Compile.width in
+  let trunc v = Bv.truncate ~width v in
+  let regs = Array.make Isa.num_regs 0 in
+  let mem = Hashtbl.create 32 in
+  let ic = Cache.create icache and dc = Cache.create dcache in
+  (match cache_rng with
+  | None -> ()
+  | Some rng ->
+    Cache.randomize ic rng;
+    Cache.randomize dc rng);
+  List.iter
+    (fun x ->
+      let v = Option.value (List.assoc_opt x inputs) ~default:0 in
+      Hashtbl.replace mem (Compile.slot_of c x) (trunc v))
+    c.Compile.source.Prog.Lang.inputs;
+  let cycles = ref 0 in
+  let executed = ref 0 in
+  let pc = ref 0 in
+  let last_load : int option ref = ref None in
+  let running = ref true in
+  let mispredictions = ref 0 in
+  let bimodal =
+    match predictor with
+    | Bimodal size ->
+      if size <= 0 || size land (size - 1) <> 0 then
+        invalid_arg "Machine.run: bimodal table size must be a power of two";
+      Array.make size 1 (* weakly not-taken *)
+    | _ -> [||]
+  in
+  while !running do
+    if !executed >= fuel then raise Out_of_fuel;
+    let instr = c.Compile.instrs.(!pc) in
+    incr executed;
+    (* fetch: one base cycle plus I-cache behaviour *)
+    cycles := !cycles + 1 + Cache.access ic (!pc * instr_bytes);
+    (* load-use interlock *)
+    (match !last_load with
+    | Some r when List.mem r (Isa.uses instr) -> incr cycles
+    | _ -> ());
+    last_load := None;
+    let next = ref (!pc + 1) in
+    let set d v = regs.(d) <- trunc v in
+    (* unconditional control transfer always flushes *)
+    let taken t =
+      next := t;
+      cycles := !cycles + taken_branch_penalty
+    in
+    (* conditional branch: charge the flush only on a misprediction *)
+    let branch target cond =
+      let predicted_taken =
+        match predictor with
+        | Static_not_taken -> false
+        | Backward_taken -> target <= !pc
+        | Bimodal size -> bimodal.(!pc land (size - 1)) >= 2
+      in
+      (match predictor with
+      | Bimodal size ->
+        let idx = !pc land (size - 1) in
+        bimodal.(idx) <-
+          (if cond then min 3 (bimodal.(idx) + 1) else max 0 (bimodal.(idx) - 1))
+      | _ -> ());
+      if cond <> predicted_taken then begin
+        incr mispredictions;
+        cycles := !cycles + taken_branch_penalty
+      end;
+      if cond then next := target
+    in
+    (match instr with
+    | Isa.Li (d, v) -> set d v
+    | Isa.Mov (d, a) -> set d regs.(a)
+    | Isa.Add (d, a, b) -> set d (regs.(a) + regs.(b))
+    | Isa.Sub (d, a, b) -> set d (regs.(a) - regs.(b))
+    | Isa.Mul (d, a, b) ->
+      cycles := !cycles + mul_latency regs.(b);
+      set d (regs.(a) * regs.(b))
+    | Isa.Div (d, a, b) ->
+      cycles := !cycles + div_latency regs.(a);
+      set d (if regs.(b) = 0 then (1 lsl width) - 1 else regs.(a) / regs.(b))
+    | Isa.Rem (d, a, b) ->
+      cycles := !cycles + div_latency regs.(a);
+      set d (if regs.(b) = 0 then regs.(a) else regs.(a) mod regs.(b))
+    | Isa.And (d, a, b) -> set d (regs.(a) land regs.(b))
+    | Isa.Or (d, a, b) -> set d (regs.(a) lor regs.(b))
+    | Isa.Xor (d, a, b) -> set d (regs.(a) lxor regs.(b))
+    | Isa.Not (d, a) -> set d (lnot regs.(a))
+    | Isa.Neg (d, a) -> set d (-regs.(a))
+    | Isa.Shl (d, a, b) -> set d (if regs.(b) >= width then 0 else regs.(a) lsl regs.(b))
+    | Isa.Shr (d, a, b) -> set d (if regs.(b) >= width then 0 else regs.(a) lsr regs.(b))
+    | Isa.Sar (d, a, b) ->
+      let s = Bv.to_signed ~width regs.(a) in
+      set d (if regs.(b) >= width then s asr 62 else s asr regs.(b))
+    | Isa.Ld (d, addr) ->
+      cycles := !cycles + Cache.access dc addr;
+      set d (Option.value (Hashtbl.find_opt mem addr) ~default:0);
+      last_load := Some d
+    | Isa.St (addr, a) ->
+      cycles := !cycles + Cache.access dc addr;
+      Hashtbl.replace mem addr regs.(a)
+    | Isa.Beq (a, b, t) -> branch t (regs.(a) = regs.(b))
+    | Isa.Bne (a, b, t) -> branch t (regs.(a) <> regs.(b))
+    | Isa.Bltu (a, b, t) -> branch t (regs.(a) < regs.(b))
+    | Isa.Bgeu (a, b, t) -> branch t (regs.(a) >= regs.(b))
+    | Isa.Jmp t -> taken t
+    | Isa.Halt -> running := false
+    | Isa.Trap -> raise Trap_executed);
+    if !running then pc := !next
+  done;
+  let outputs =
+    List.map
+      (fun x ->
+        ( x,
+          Option.value
+            (Hashtbl.find_opt mem (Compile.slot_of c x))
+            ~default:0 ))
+      c.Compile.source.Prog.Lang.outputs
+  in
+  {
+    stats =
+      {
+        cycles = !cycles;
+        instructions = !executed;
+        icache_hits = Cache.hits ic;
+        icache_misses = Cache.misses ic;
+        dcache_hits = Cache.hits dc;
+        dcache_misses = Cache.misses dc;
+        mispredictions = !mispredictions;
+      };
+    outputs;
+  }

@@ -1,0 +1,54 @@
+(** Cycle-accurate execution of compiled programs.
+
+    Models an in-order 5-stage pipeline in the style of the StrongARM-1100
+    (the platform of the paper's Fig. 6 experiment): one instruction per
+    cycle, plus
+
+    - instruction-cache and data-cache miss penalties,
+    - a one-cycle load-use interlock,
+    - a two-cycle taken-branch flush,
+    - an iterative early-termination multiplier whose latency depends on
+      the magnitude of the second operand, and
+    - an iterative divider whose latency depends on the dividend.
+
+    These data-dependent latencies are exactly what makes execution time
+    path-dependent, which is what GameTime's (w, pi) model must capture. *)
+
+exception Trap_executed
+exception Out_of_fuel
+
+(** Direction prediction for conditional branches. Mispredictions cost
+    the two-cycle flush; unconditional jumps always flush. *)
+type predictor =
+  | Static_not_taken  (** the default: every taken branch flushes *)
+  | Backward_taken  (** predict taken for backward branches (loops) *)
+  | Bimodal of int  (** 2-bit saturating counters, table size (power of 2) *)
+
+type stats = {
+  cycles : int;
+  instructions : int;
+  icache_hits : int;
+  icache_misses : int;
+  dcache_hits : int;
+  dcache_misses : int;
+  mispredictions : int;
+}
+
+type result = {
+  stats : stats;
+  outputs : (string * int) list;  (** program outputs read from memory *)
+}
+
+val run :
+  ?fuel:int ->
+  ?icache:Cache.config ->
+  ?dcache:Cache.config ->
+  ?cache_rng:Random.State.t ->
+  ?predictor:predictor ->
+  Compile.t ->
+  (string * int) list ->
+  result
+(** Execute from cold caches, or — when [cache_rng] is given — from
+    randomized cache contents, modelling an adversarially unknown
+    starting environment state. [fuel] bounds executed instructions
+    (default 1_000_000). *)

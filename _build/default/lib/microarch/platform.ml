@@ -1,0 +1,26 @@
+type t = {
+  compiled : Compile.t;
+  icache : Cache.config;
+  dcache : Cache.config;
+  cache_rng : Random.State.t option;
+  predictor : Machine.predictor;
+}
+
+let create ?(icache = Cache.default_icache) ?(dcache = Cache.default_dcache)
+    ?noise_seed ?(predictor = Machine.Static_not_taken) p =
+  {
+    compiled = Compile.compile p;
+    icache;
+    dcache;
+    cache_rng = Option.map (fun s -> Random.State.make [| s |]) noise_seed;
+    predictor;
+  }
+
+let program t = t.compiled.Compile.source
+
+let run t inputs =
+  Machine.run ~icache:t.icache ~dcache:t.dcache ?cache_rng:t.cache_rng
+    ~predictor:t.predictor t.compiled inputs
+
+let time t inputs = (run t inputs).Machine.stats.Machine.cycles
+let code_size t = Array.length t.compiled.Compile.instrs

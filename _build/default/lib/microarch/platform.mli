@@ -1,0 +1,29 @@
+(** The end-to-end timing oracle handed to GameTime.
+
+    GameTime (Section 3 of the paper) treats the platform as a black box:
+    the only observable is the end-to-end execution time of a run. This
+    module packages compilation + cycle-accurate execution behind exactly
+    that interface. *)
+
+type t
+
+val create :
+  ?icache:Cache.config ->
+  ?dcache:Cache.config ->
+  ?noise_seed:int ->
+  ?predictor:Machine.predictor ->
+  Prog.Lang.t ->
+  t
+(** Compiles the program once. By default each measurement starts from
+    cold caches (a fixed starting environment state); with [noise_seed],
+    every run starts from freshly randomized cache contents — the
+    adversarial environment of the (w, pi) game, making repeated
+    measurements genuinely noisy. *)
+
+val program : t -> Prog.Lang.t
+
+val time : t -> (string * int) list -> int
+(** End-to-end cycle count of one run on the given inputs. *)
+
+val run : t -> (string * int) list -> Machine.result
+val code_size : t -> int

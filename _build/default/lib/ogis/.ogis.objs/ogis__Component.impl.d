@@ -1,0 +1,1 @@
+lib/ogis/component.ml: List Printf Smt

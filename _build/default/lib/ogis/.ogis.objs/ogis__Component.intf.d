@@ -1,0 +1,1 @@
+lib/ogis/component.mli: Smt

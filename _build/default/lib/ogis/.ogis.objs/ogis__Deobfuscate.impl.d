@@ -1,0 +1,1 @@
+lib/ogis/deobfuscate.ml: Encode List Prog Straightline Synth Unix

@@ -1,0 +1,1 @@
+lib/ogis/deobfuscate.mli: Component Prog Stdlib Straightline Synth

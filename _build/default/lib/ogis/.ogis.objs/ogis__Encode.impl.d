@@ -1,0 +1,1 @@
+lib/ogis/encode.ml: Array Component Hashtbl List Printf Smt Straightline

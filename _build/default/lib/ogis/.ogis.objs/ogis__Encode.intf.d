@@ -1,0 +1,1 @@
+lib/ogis/encode.mli: Component Straightline

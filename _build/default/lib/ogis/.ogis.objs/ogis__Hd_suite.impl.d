@@ -1,0 +1,1 @@
+lib/ogis/hd_suite.ml: Component Encode List Smt Straightline Synth Unix

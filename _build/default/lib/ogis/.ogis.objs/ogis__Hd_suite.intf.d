@@ -1,0 +1,1 @@
+lib/ogis/hd_suite.mli: Component Smt Straightline Synth

@@ -1,0 +1,1 @@
+lib/ogis/straightline.ml: Array Component Format List Printf Smt String

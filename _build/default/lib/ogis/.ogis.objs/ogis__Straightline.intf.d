@@ -1,0 +1,1 @@
+lib/ogis/straightline.mli: Component Format Smt

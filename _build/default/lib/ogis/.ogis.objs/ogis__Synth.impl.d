@@ -1,0 +1,1 @@
+lib/ogis/synth.ml: Encode List Option Printf Smt Straightline

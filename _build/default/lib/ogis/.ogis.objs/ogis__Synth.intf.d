@@ -1,0 +1,1 @@
+lib/ogis/synth.mli: Encode Smt Straightline

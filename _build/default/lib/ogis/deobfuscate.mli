@@ -1,0 +1,24 @@
+(** Malware deobfuscation as program re-synthesis (Section 4.1).
+
+    The obfuscated program is treated purely as an I/O oracle — the
+    synthesizer never inspects its syntax, so the cost of synthesis
+    depends on the program's intrinsic functionality, not on the
+    obfuscations applied to it. *)
+
+val oracle_of_program : Prog.Lang.t -> Synth.oracle
+(** Wrap an interpreter run as an I/O oracle; inputs/outputs follow the
+    program's declared input/output order. *)
+
+type result = {
+  clean : Straightline.t;
+  stats : Synth.stats;
+  seconds : float;
+}
+
+val run :
+  ?max_iterations:int ->
+  library:Component.t list ->
+  Prog.Lang.t ->
+  (result, Synth.outcome) Stdlib.result
+(** Deobfuscate a program against a component library. [Error] carries
+    the non-success outcome. *)

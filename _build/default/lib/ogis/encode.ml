@@ -1,0 +1,192 @@
+module Bv = Smt.Bv
+module Solver = Smt.Solver
+
+type spec = {
+  width : int;
+  ninputs : int;
+  noutputs : int;
+  library : Component.t list;
+}
+
+let num_locations s = s.ninputs + List.length s.library
+
+let loc_width s =
+  (* must also represent the exclusive upper bound [num_locations s]
+     itself, which appears as a constant in the range constraints *)
+  let n = num_locations s in
+  let rec bits k = if 1 lsl k > n then k else bits (k + 1) in
+  bits 1
+
+(* variable names; every query runs in a fresh solver so fixed names are
+   unambiguous *)
+let lo i = Printf.sprintf "lo%d" i
+let li i j = Printf.sprintf "li%d_%d" i j
+let lout k = Printf.sprintf "lout%d" k
+let vo e i = Printf.sprintf "vo%d_%d" e i
+let vi e i j = Printf.sprintf "vi%d_%d_%d" e i j
+let dx j = Printf.sprintf "dx%d" j
+
+let lconst s v = Bv.const ~width:(loc_width s) v
+let lvar s name = Bv.var ~width:(loc_width s) name
+
+(* ---- well-formedness: ranges, distinct outputs, acyclicity ---- *)
+let wfp s =
+  let n = List.length s.library in
+  let nloc = num_locations s in
+  let ranges =
+    List.concat
+      (List.mapi
+         (fun i (c : Component.t) ->
+           let out_range =
+             [
+               Bv.ule (lconst s s.ninputs) (lvar s (lo i));
+               Bv.ult (lvar s (lo i)) (lconst s nloc);
+             ]
+           in
+           let in_ranges =
+             List.concat
+               (List.init c.Component.arity (fun j ->
+                    [
+                      Bv.ult (lvar s (li i j)) (lconst s nloc);
+                      (* acyclicity *)
+                      Bv.ult (lvar s (li i j)) (lvar s (lo i));
+                    ]))
+           in
+           out_range @ in_ranges)
+         s.library)
+  in
+  let lib = Array.of_list s.library in
+  let distinct =
+    List.concat
+      (List.init n (fun i ->
+           List.init (n - i - 1) (fun d ->
+               let j = i + d + 1 in
+               (* interchangeable identical components: break the symmetry
+                  by ordering their output locations (strictness also
+                  subsumes distinctness) *)
+               if lib.(i).Component.name = lib.(j).Component.name then
+                 Bv.ult (lvar s (lo i)) (lvar s (lo j))
+               else Bv.neq (lvar s (lo i)) (lvar s (lo j)))))
+  in
+  let out_ranges =
+    List.init s.noutputs (fun k -> Bv.ult (lvar s (lout k)) (lconst s nloc))
+  in
+  ranges @ distinct @ out_ranges
+
+(* Connect a port to every possible source: the location variable [lport]
+   selecting source [l] forces the port's value [vport] to equal the value
+   there. Input locations are static constants; component output locations
+   are the [lo] variables themselves — the wiring is dynamic, so the
+   comparison must be against [lo i'], not against a fixed slot. *)
+let port_connections s ~input_term e lport vport =
+  let to_inputs =
+    List.init s.ninputs (fun l ->
+        Bv.fimplies (Bv.eq lport (lconst s l)) (Bv.eq vport (input_term l)))
+  in
+  let to_components =
+    List.mapi
+      (fun i' _ ->
+        Bv.fimplies
+          (Bv.eq lport (lvar s (lo i')))
+          (Bv.eq vport (Bv.var ~width:s.width (vo e i'))))
+      s.library
+  in
+  to_inputs @ to_components
+
+(* ---- connection + semantics constraints for one example ---- *)
+let example_constraints s ~input_term e =
+  let conns = ref [] in
+  List.iteri
+    (fun i (c : Component.t) ->
+      (* component semantics *)
+      let args =
+        List.init c.Component.arity (fun j -> Bv.var ~width:s.width (vi e i j))
+      in
+      conns :=
+        Bv.eq (Bv.var ~width:s.width (vo e i)) (Component.apply c args)
+        :: !conns;
+      (* input port connections *)
+      for j = 0 to c.Component.arity - 1 do
+        conns :=
+          port_connections s ~input_term e
+            (lvar s (li i j))
+            (Bv.var ~width:s.width (vi e i j))
+          @ !conns
+      done)
+    s.library;
+  !conns
+
+(* program output k equals [term] in example [e] *)
+let output_constraint s ~input_term e k term =
+  Bv.conj (port_connections s ~input_term e (lvar s (lout k)) term)
+
+let concrete_example_formulas s e (ins, outs) =
+  let input_term j = Bv.const ~width:s.width (List.nth ins j) in
+  example_constraints s ~input_term e
+  @ List.mapi
+      (fun k out ->
+        output_constraint s ~input_term e k (Bv.const ~width:s.width out))
+      outs
+
+(* ---- decoding a model into a straight-line program ---- *)
+let decode s (env : Bv.env) =
+  let placed =
+    List.mapi (fun i c -> (env.Bv.bv (lo i), i, c)) s.library
+    |> List.sort compare
+  in
+  (* model location -> straight-line location *)
+  let loc_map = Hashtbl.create 16 in
+  for j = 0 to s.ninputs - 1 do
+    Hashtbl.replace loc_map j j
+  done;
+  List.iteri
+    (fun t (l, _, _) -> Hashtbl.replace loc_map l (s.ninputs + t))
+    placed;
+  let lines =
+    List.map
+      (fun (_, i, (c : Component.t)) ->
+        let args =
+          List.init c.Component.arity (fun j ->
+              Hashtbl.find loc_map (env.Bv.bv (li i j)))
+        in
+        { Straightline.comp = c; args })
+      placed
+  in
+  let outputs =
+    List.init s.noutputs (fun k -> Hashtbl.find loc_map (env.Bv.bv (lout k)))
+  in
+  Straightline.make ~width:s.width ~ninputs:s.ninputs lines ~outputs
+
+let synthesize_candidate s ~examples =
+  let formulas =
+    wfp s
+    @ List.concat (List.mapi (concrete_example_formulas s) examples)
+  in
+  (* location variables may be unconstrained in corner cases (e.g. no
+     examples); anchor them into range by the wfp constraints above *)
+  match Solver.check_formulas formulas with
+  | Error () -> None
+  | Ok env -> Some (decode s env)
+
+let distinguishing_input s ~examples candidate =
+  let e_sym = List.length examples in
+  let sym_inputs = List.init s.ninputs (fun j -> Bv.var ~width:s.width (dx j)) in
+  let input_term j = List.nth sym_inputs j in
+  let candidate_outs = Straightline.to_terms candidate sym_inputs in
+  (* the alternative program's outputs differ on the symbolic input *)
+  let differs =
+    Bv.disj
+      (List.mapi
+         (fun k cand_out ->
+           Bv.fnot (output_constraint s ~input_term e_sym k cand_out))
+         candidate_outs)
+  in
+  let formulas =
+    wfp s
+    @ List.concat (List.mapi (concrete_example_formulas s) examples)
+    @ example_constraints s ~input_term e_sym
+    @ [ differs ]
+  in
+  match Solver.check_formulas formulas with
+  | Error () -> None
+  | Ok env -> Some (List.init s.ninputs (fun j -> env.Bv.bv (dx j)))

@@ -1,0 +1,39 @@
+(** The location-variable SMT encoding of component-based synthesis
+    (Jha, Gulwani, Seshia, Tiwari — ICSE 2010, as summarized in Section 4
+    of the paper).
+
+    Each library component is used exactly once; integer-valued location
+    variables choose where each component sits in the straight-line
+    program and where its inputs come from. Well-formedness constrains
+    locations (distinct outputs, acyclicity); connection constraints tie
+    values at equal locations together per I/O example.
+
+    Two queries are exposed, matching the two roles of the deductive
+    engine in Section 4.2: synthesizing a candidate consistent with the
+    examples, and finding a distinguishing input separating two
+    non-equivalent consistent candidates. *)
+
+type spec = {
+  width : int;  (** word width of the synthesized program *)
+  ninputs : int;
+  noutputs : int;
+  library : Component.t list;
+}
+
+val loc_width : spec -> int
+(** Bits used for location variables. *)
+
+val synthesize_candidate :
+  spec -> examples:(int list * int list) list -> Straightline.t option
+(** A program over the library consistent with every example, or [None]
+    if no such program exists (the "infeasibility reported" branch of
+    Fig. 7). *)
+
+val distinguishing_input :
+  spec ->
+  examples:(int list * int list) list ->
+  Straightline.t ->
+  int list option
+(** An input on which some other library program — also consistent with
+    all examples — disagrees with the candidate; [None] means the
+    candidate is semantically unique and synthesis can stop. *)

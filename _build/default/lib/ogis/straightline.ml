@@ -1,0 +1,69 @@
+module Bv = Smt.Bv
+
+type line = { comp : Component.t; args : int list }
+
+type t = {
+  width : int;
+  ninputs : int;
+  lines : line list;
+  outputs : int list;
+}
+
+let make ~width ~ninputs lines ~outputs =
+  List.iteri
+    (fun i { comp; args } ->
+      if List.length args <> comp.Component.arity then
+        invalid_arg "Straightline.make: arity mismatch";
+      List.iter
+        (fun a ->
+          if a < 0 || a >= ninputs + i then
+            invalid_arg "Straightline.make: forward or invalid reference")
+        args)
+    lines;
+  let nloc = ninputs + List.length lines in
+  List.iter
+    (fun o ->
+      if o < 0 || o >= nloc then invalid_arg "Straightline.make: bad output")
+    outputs;
+  { width; ninputs; lines; outputs }
+
+let num_locations p = p.ninputs + List.length p.lines
+
+(* shared fold over locations: [inject] lifts inputs into the value
+   domain, components are applied symbolically *)
+let values_of p (inputs : Bv.term list) =
+  if List.length inputs <> p.ninputs then
+    invalid_arg "Straightline: wrong number of inputs";
+  let values = Array.make (num_locations p) (Bv.const ~width:p.width 0) in
+  List.iteri (fun i t -> values.(i) <- t) inputs;
+  List.iteri
+    (fun i { comp; args } ->
+      let arg_terms = List.map (fun a -> values.(a)) args in
+      values.(p.ninputs + i) <- Component.apply comp arg_terms)
+    p.lines;
+  values
+
+let to_terms p inputs =
+  let values = values_of p inputs in
+  List.map (fun o -> values.(o)) p.outputs
+
+let eval p inputs =
+  let terms =
+    to_terms p (List.map (fun v -> Bv.const ~width:p.width v) inputs)
+  in
+  let env = Bv.env_of_alist [] in
+  List.map (Bv.eval_term env) terms
+
+let loc_name p loc =
+  if loc < p.ninputs then Printf.sprintf "x%d" loc
+  else Printf.sprintf "t%d" (loc - p.ninputs)
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i { comp; args } ->
+      let rendered = comp.Component.print (List.map (loc_name p) args) in
+      Format.fprintf fmt "t%d := %s;@," i rendered)
+    p.lines;
+  Format.fprintf fmt "return (%s)@]"
+    (String.concat ", " (List.map (loc_name p) p.outputs))

@@ -1,0 +1,31 @@
+(** Loop-free straight-line programs over a component library.
+
+    Locations follow the encoding of Jha et al. (ICSE 2010): location
+    [0..ninputs-1] denotes the program inputs; location [ninputs + i] the
+    output of the [i]-th line. Each line applies a component to earlier
+    locations, so programs are well-formed by construction. *)
+
+type line = { comp : Component.t; args : int list }
+
+type t = {
+  width : int;
+  ninputs : int;
+  lines : line list;
+  outputs : int list;  (** locations returned, in order *)
+}
+
+val make :
+  width:int -> ninputs:int -> line list -> outputs:int list -> t
+(** Checks location validity and acyclicity. *)
+
+val num_locations : t -> int
+
+val eval : t -> int list -> int list
+(** Run the program on concrete inputs. *)
+
+val to_terms : t -> Smt.Bv.term list -> Smt.Bv.term list
+(** Symbolic outputs over the given symbolic inputs. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the program with inputs named [x0, x1, ...] and temporaries
+    [t0, t1, ...]. *)

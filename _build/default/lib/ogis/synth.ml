@@ -1,0 +1,74 @@
+module Bv = Smt.Bv
+module Solver = Smt.Solver
+
+type oracle = int list -> int list
+
+type stats = {
+  iterations : int;
+  oracle_queries : int;
+  examples : (int list * int list) list;
+}
+
+type outcome =
+  | Synthesized of Straightline.t * stats
+  | Unrealizable of stats
+  | Out_of_budget of stats
+
+let synthesize ?(max_iterations = 64) ?initial_inputs (spec : Encode.spec)
+    oracle =
+  let queries = ref 0 in
+  let ask ins =
+    incr queries;
+    (ins, oracle ins)
+  in
+  let initial =
+    (* deterministic initial probes: a richer starting example set prunes
+       most wirings immediately and makes the final uniqueness proof much
+       cheaper (Jha et al. seed with random examples for the same reason) *)
+    let w = spec.Encode.width in
+    let mask = (1 lsl w) - 1 in
+    let patterns =
+      [
+        (fun _ -> 0);
+        (fun _ -> 1);
+        (fun j -> (0x5555 + j) land mask);
+        (fun j -> (0xCC3 * (j + 7)) land mask);
+      ]
+    in
+    Option.value initial_inputs
+      ~default:
+        (List.map
+           (fun f -> List.init spec.Encode.ninputs f)
+           patterns)
+  in
+  let rec loop iterations examples =
+    let stats () =
+      { iterations; oracle_queries = !queries; examples = List.rev examples }
+    in
+    if iterations >= max_iterations then Out_of_budget (stats ())
+    else
+      match Encode.synthesize_candidate spec ~examples with
+      | None -> Unrealizable (stats ())
+      | Some candidate -> (
+        match Encode.distinguishing_input spec ~examples candidate with
+        | None -> Synthesized (candidate, stats ())
+        | Some input -> loop (iterations + 1) (ask input :: examples))
+  in
+  loop 0 (List.map ask initial)
+
+let verify_against (spec : Encode.spec) prog ~spec_fn =
+  let w = spec.Encode.width in
+  let inputs =
+    List.init spec.Encode.ninputs (fun j ->
+        Bv.var ~width:w (Printf.sprintf "cx%d" j))
+  in
+  let got = Straightline.to_terms prog inputs in
+  let want = spec_fn inputs in
+  if List.length got <> List.length want then
+    invalid_arg "Synth.verify_against: output arity mismatch";
+  let differs = Bv.disj (List.map2 Bv.neq got want) in
+  match Solver.check_formulas [ differs ] with
+  | Error () -> Ok ()
+  | Ok env ->
+    Error (List.init spec.Encode.ninputs (fun j ->
+        env.Bv.bv (Printf.sprintf "cx%d" j)))

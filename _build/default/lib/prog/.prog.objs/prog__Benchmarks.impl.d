@@ -1,0 +1,1 @@
+lib/prog/benchmarks.ml: Lang Printf Smt

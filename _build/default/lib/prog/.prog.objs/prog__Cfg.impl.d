@@ -1,0 +1,1 @@
+lib/prog/cfg.ml: Array Format Lang List Smt

@@ -1,0 +1,1 @@
+lib/prog/cfg.mli: Format Lang Smt

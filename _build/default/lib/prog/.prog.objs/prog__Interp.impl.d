@@ -1,0 +1,1 @@
+lib/prog/interp.ml: Hashtbl Lang List Option Smt

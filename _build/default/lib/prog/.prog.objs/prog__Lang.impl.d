@@ -1,0 +1,1 @@
+lib/prog/lang.ml: Format List Printf Smt String

@@ -1,0 +1,1 @@
+lib/prog/lang.mli: Format Smt

@@ -1,0 +1,1 @@
+lib/prog/paths.ml: Array Cfg Format List Seq String

@@ -1,0 +1,1 @@
+lib/prog/paths.mli: Cfg Format Seq

@@ -1,0 +1,1 @@
+lib/prog/symexec.ml: Array Cfg Lang List Map Smt String

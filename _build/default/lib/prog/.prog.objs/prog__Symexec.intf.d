@@ -1,0 +1,1 @@
+lib/prog/symexec.mli: Cfg Lang Paths Smt

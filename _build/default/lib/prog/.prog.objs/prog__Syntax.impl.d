@@ -1,0 +1,1 @@
+lib/prog/syntax.ml: Array Format Lang List Printf Smt String

@@ -1,0 +1,1 @@
+lib/prog/syntax.mli: Format Lang

@@ -1,0 +1,1 @@
+lib/prog/testgen.ml: Lang List Smt Symexec

@@ -1,0 +1,1 @@
+lib/prog/testgen.mli: Cfg Lang Paths Smt

@@ -1,0 +1,1 @@
+lib/prog/unroll.ml: Lang List Smt

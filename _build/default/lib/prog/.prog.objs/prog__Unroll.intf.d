@@ -1,0 +1,1 @@
+lib/prog/unroll.mli: Lang

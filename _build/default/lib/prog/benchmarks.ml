@@ -1,0 +1,228 @@
+module Bv = Smt.Bv
+
+let w16 = 16
+
+let v name = Bv.var ~width:w16 name
+let c value = Bv.const ~width:w16 value
+
+let toy =
+  (* Fig. 4: while(!flag) { flag = 1; x++; }  x += 2; *)
+  Lang.make ~name:"toy" ~width:w16 ~inputs:[ "flag"; "x" ] ~outputs:[ "x" ]
+    [
+      Lang.While
+        ( Bv.eq (v "flag") (c 0),
+          [
+            Lang.Assign ("flag", c 1);
+            Lang.Assign ("x", Bv.badd (v "x") (c 1));
+          ] );
+      Lang.Assign ("x", Bv.badd (v "x") (c 2));
+    ]
+
+let modulus = 251
+
+let modexp ?(bits = 8) () =
+  (* square-and-multiply, LSB first:
+       result = 1; b = base mod n;
+       for i in 0..bits-1:
+         if (exp >> i) & 1 = 1 then result = result * b mod n;
+         b = b * b mod n *)
+  let mulmod a b = Bv.burem (Bv.bmul a b) (c modulus) in
+  Lang.make
+    ~name:(Printf.sprintf "modexp%d" bits)
+    ~width:w16 ~inputs:[ "base"; "exp" ] ~outputs:[ "result" ]
+    [
+      Lang.Assign ("result", c 1);
+      Lang.Assign ("b", Bv.burem (v "base") (c modulus));
+      Lang.Assign ("i", c 0);
+      Lang.While
+        ( Bv.ult (v "i") (c bits),
+          [
+            Lang.If
+              ( Bv.eq (Bv.band (Bv.blshr (v "exp") (v "i")) (c 1)) (c 1),
+                [ Lang.Assign ("result", mulmod (v "result") (v "b")) ],
+                [] );
+            Lang.Assign ("b", mulmod (v "b") (v "b"));
+            Lang.Assign ("i", Bv.badd (v "i") (c 1));
+          ] );
+    ]
+
+let modexp_reference ?(bits = 8) ~base ~exp () =
+  let exp = exp land ((1 lsl bits) - 1) in
+  let rec go acc b e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then acc * b mod modulus else acc in
+      go acc (b * b mod modulus) (e lsr 1)
+  in
+  go 1 (base mod modulus) exp
+
+let bitcount ?(bits = 4) () =
+  Lang.make
+    ~name:(Printf.sprintf "bitcount%d" bits)
+    ~width:w16 ~inputs:[ "x" ] ~outputs:[ "n" ]
+    [
+      Lang.Assign ("n", c 0);
+      Lang.Assign ("i", c 0);
+      Lang.While
+        ( Bv.ult (v "i") (c bits),
+          [
+            Lang.If
+              ( Bv.eq (Bv.band (Bv.blshr (v "x") (v "i")) (c 1)) (c 1),
+                [ Lang.Assign ("n", Bv.badd (v "n") (c 1)) ],
+                [] );
+            Lang.Assign ("i", Bv.badd (v "i") (c 1));
+          ] );
+    ]
+
+(* ---- Fig. 8, P1: interchange ---- *)
+
+let interchange_obs_w ~width =
+  let v name = Bv.var ~width name in
+  let x_or a b = Bv.bxor (v a) (v b) in
+  (* Transcribed from the paper, with the early returns rewritten as
+     explicit else-branches (the trailing two xors are the fall-through
+     tail, duplicated where the original falls out of the conditionals). *)
+  let tail =
+    [
+      Lang.Assign ("dest", x_or "src" "dest");
+      Lang.Assign ("src", x_or "src" "dest");
+    ]
+  in
+  Lang.make ~name:"interchangeObs" ~width ~inputs:[ "src"; "dest" ]
+    ~outputs:[ "src"; "dest" ]
+    [
+      Lang.Assign ("src", x_or "src" "dest");
+      Lang.If
+        ( Bv.eq (v "src") (x_or "src" "dest"),
+          [
+            Lang.Assign ("src", x_or "src" "dest");
+            Lang.If
+              ( Bv.eq (v "src") (x_or "src" "dest"),
+                [
+                  Lang.Assign ("dest", x_or "src" "dest");
+                  Lang.If
+                    ( Bv.eq (v "dest") (x_or "src" "dest"),
+                      [ Lang.Assign ("src", x_or "dest" "src") ],
+                      [
+                        Lang.Assign ("src", x_or "src" "dest");
+                        Lang.Assign ("dest", x_or "src" "dest");
+                      ] );
+                ],
+                Lang.Assign ("src", x_or "src" "dest") :: tail );
+          ],
+          tail );
+    ]
+
+let interchange_w ~width =
+  let x_or a b = Bv.bxor (Bv.var ~width a) (Bv.var ~width b) in
+  Lang.make ~name:"interchange" ~width ~inputs:[ "src"; "dest" ]
+    ~outputs:[ "src"; "dest" ]
+    [
+      Lang.Assign ("dest", x_or "src" "dest");
+      Lang.Assign ("src", x_or "src" "dest");
+      Lang.Assign ("dest", x_or "src" "dest");
+    ]
+
+(* ---- Fig. 8, P2: multiply by 45 ---- *)
+
+let multiply45_obs_w ~width =
+  let v name = Bv.var ~width name in
+  let c value = Bv.const ~width value in
+  (* a, b, c act as one-bit flags driving a 4-phase loop:
+       phase 1: z = y<<2        phase 2: y = z+y   (y := 5y)
+       phase 3: z = y<<3        phase 4: y = z+y   (y := 45y), break.
+     The paper's `~` on flags is logical negation; `break` is modelled
+     with a `done` flag. *)
+  let toggle x = Lang.Assign (x, Bv.ite (Bv.eq (v x) (c 0)) (c 1) (c 0)) in
+  Lang.make ~name:"multiply45Obs" ~width ~inputs:[ "y" ] ~outputs:[ "y" ]
+    [
+      Lang.Assign ("a", c 1);
+      Lang.Assign ("b", c 0);
+      Lang.Assign ("z", c 1);
+      Lang.Assign ("cf", c 0);
+      Lang.Assign ("done_", c 0);
+      Lang.While
+        ( Bv.eq (v "done_") (c 0),
+          [
+            Lang.If
+              ( Bv.eq (v "a") (c 0),
+                [
+                  Lang.If
+                    ( Bv.eq (v "b") (c 0),
+                      [
+                        Lang.Assign ("y", Bv.badd (v "z") (v "y"));
+                        toggle "a";
+                        toggle "b";
+                        toggle "cf";
+                        Lang.If
+                          ( Bv.eq (v "cf") (c 0),
+                            [ Lang.Assign ("done_", c 1) ],
+                            [] );
+                      ],
+                      [
+                        Lang.Assign ("z", Bv.badd (v "z") (v "y"));
+                        toggle "a";
+                        toggle "b";
+                        toggle "cf";
+                        Lang.If
+                          ( Bv.eq (v "cf") (c 0),
+                            [ Lang.Assign ("done_", c 1) ],
+                            [] );
+                      ] );
+                ],
+                [
+                  Lang.If
+                    ( Bv.eq (v "b") (c 0),
+                      [ Lang.Assign ("z", Bv.bshl (v "y") (c 2)); toggle "a" ],
+                      [
+                        Lang.Assign ("z", Bv.bshl (v "y") (c 3));
+                        toggle "a";
+                        toggle "b";
+                      ] );
+                ] );
+          ] );
+    ]
+
+let multiply45_w ~width =
+  let v name = Bv.var ~width name in
+  let c value = Bv.const ~width value in
+  Lang.make ~name:"multiply45" ~width ~inputs:[ "y" ] ~outputs:[ "y" ]
+    [
+      Lang.Assign ("z", Bv.bshl (v "y") (c 2));
+      Lang.Assign ("y", Bv.badd (v "z") (v "y"));
+      Lang.Assign ("z", Bv.bshl (v "y") (c 3));
+      Lang.Assign ("y", Bv.badd (v "z") (v "y"));
+    ]
+
+let interchange_obs = interchange_obs_w ~width:w16
+let interchange = interchange_w ~width:w16
+let multiply45_obs = multiply45_obs_w ~width:w16
+let multiply45 = multiply45_w ~width:w16
+
+let deceptive ?(bits = 4) () =
+  (* Each iteration branches: the syntactically long arm does three cheap
+     additions; the short arm one expensive division of the input [d]
+     (expected to be pinned to a large value, so the divider's iterative
+     latency is path-independent). A structural longest-path WCET
+     heuristic picks the wrong arms; GameTime's measurement-based model
+     does not. *)
+  Lang.make
+    ~name:(Printf.sprintf "deceptive%d" bits)
+    ~width:w16 ~inputs:[ "x"; "d" ] ~outputs:[ "acc" ]
+    [
+      Lang.Assign ("acc", c 0);
+      Lang.Assign ("i", c 0);
+      Lang.While
+        ( Bv.ult (v "i") (c bits),
+          [
+            Lang.If
+              ( Bv.eq (Bv.band (Bv.blshr (v "x") (v "i")) (c 1)) (c 1),
+                [
+                  Lang.Assign ("acc", Bv.badd (v "acc") (c 1));
+                  Lang.Assign ("acc", Bv.badd (v "acc") (c 2));
+                  Lang.Assign ("acc", Bv.badd (v "acc") (c 3));
+                ],
+                [ Lang.Assign ("acc", Bv.badd (v "acc") (Bv.budiv (v "d") (c 3))) ] );
+            Lang.Assign ("i", Bv.badd (v "i") (c 1));
+          ] );
+    ]

@@ -1,0 +1,54 @@
+(** The example programs used throughout the paper.
+
+    - [toy] is the illustrative program of Fig. 4;
+    - [modexp] is the modular-exponentiation kernel whose execution-time
+      distribution GameTime reproduces in Fig. 6;
+    - [interchange_obs]/[interchange] and [multiply45_obs]/[multiply45]
+      are the two deobfuscation benchmarks of Fig. 8 (obfuscated original
+      and expected clean version);
+    - [bitcount] is a small modexp-shaped kernel used to keep unit tests
+      fast. *)
+
+val toy : Lang.t
+(** [while (!flag) { flag = 1; x++ }; x += 2] over inputs [flag], [x]. *)
+
+val modexp : ?bits:int -> unit -> Lang.t
+(** Square-and-multiply [base^exp mod 251] with a [bits]-bit exponent
+    (default 8, giving the paper's 256 paths). Inputs [base], [exp];
+    output [result]. Loop bound for unrolling = [bits]. *)
+
+val modexp_reference : ?bits:int -> base:int -> exp:int -> unit -> int
+(** Ground-truth modexp used to validate the program. *)
+
+val bitcount : ?bits:int -> unit -> Lang.t
+(** Counts set bits of input [x] over [bits] iterations (default 4). *)
+
+val interchange_obs : Lang.t
+(** Fig. 8, P1: the obfuscated XOR-based swap. Inputs/outputs [src],
+    [dest]. *)
+
+val interchange : Lang.t
+(** Fig. 8, P1: expected clean 3-statement swap. *)
+
+val multiply45_obs : Lang.t
+(** Fig. 8, P2: obfuscated multiply-by-45 (flag-driven loop). Input [y],
+    output [y]. *)
+
+val multiply45 : Lang.t
+(** Fig. 8, P2: expected clean shift/add version. *)
+
+(** Width-parametric variants of the Fig. 8 programs: the paper's
+    benchmarks are word-level, so the same programs are meaningful at any
+    width (tests use width 8 to keep the SMT queries small; the benchmark
+    harness uses the full 16 bits). *)
+
+val interchange_obs_w : width:int -> Lang.t
+val interchange_w : width:int -> Lang.t
+val multiply45_obs_w : width:int -> Lang.t
+val multiply45_w : width:int -> Lang.t
+
+val deceptive : ?bits:int -> unit -> Lang.t
+(** A kernel whose syntactically longer branch arm is the cheaper one
+    (three adds vs one iterative division): defeats structural WCET
+    heuristics but not measurement-based GameTime. Input [x] selects the
+    arm per iteration via its low [bits] bits (default 4). *)

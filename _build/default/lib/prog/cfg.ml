@@ -1,0 +1,82 @@
+module Bv = Smt.Bv
+
+type label =
+  | Assign of string * Bv.term
+  | Guard of Bv.formula
+  | Skip
+
+type edge = { id : int; src : int; dst : int; label : label }
+
+type t = {
+  nnodes : int;
+  entry : int;
+  exit_ : int;
+  edges : edge array;
+  succ : edge list array;
+}
+
+type builder = {
+  mutable next_node : int;
+  mutable acc : edge list; (* reverse order *)
+  mutable next_edge : int;
+}
+
+let new_node b =
+  let n = b.next_node in
+  b.next_node <- n + 1;
+  n
+
+let add_edge b src dst label =
+  b.acc <- { id = b.next_edge; src; dst; label } :: b.acc;
+  b.next_edge <- b.next_edge + 1
+
+(* returns the node at which control resumes after the statement *)
+let rec build_stmt b entry = function
+  | Lang.Assign (x, e) ->
+    let n = new_node b in
+    add_edge b entry n (Assign (x, e));
+    n
+  | Lang.Assume f ->
+    let n = new_node b in
+    add_edge b entry n (Guard f);
+    n
+  | Lang.If (c, then_, else_) ->
+    let nt = new_node b in
+    add_edge b entry nt (Guard c);
+    let jt = build_block b nt then_ in
+    let ne = new_node b in
+    add_edge b entry ne (Guard (Bv.fnot c));
+    let je = build_block b ne else_ in
+    let join = new_node b in
+    add_edge b jt join Skip;
+    add_edge b je join Skip;
+    join
+  | Lang.While _ -> invalid_arg "Cfg.of_program: program contains a loop"
+
+and build_block b entry stmts = List.fold_left (build_stmt b) entry stmts
+
+let of_program (p : Lang.t) =
+  let b = { next_node = 0; acc = []; next_edge = 0 } in
+  let entry = new_node b in
+  let exit_ = build_block b entry p.Lang.body in
+  let edges = Array.of_list (List.rev b.acc) in
+  Array.iteri (fun i e -> assert (e.id = i)) edges;
+  let succ = Array.make b.next_node [] in
+  Array.iter (fun e -> succ.(e.src) <- e :: succ.(e.src)) edges;
+  (* restore source order of outgoing edges *)
+  Array.iteri (fun i es -> succ.(i) <- List.rev es) succ;
+  { nnodes = b.next_node; entry; exit_; edges; succ }
+
+let num_edges g = Array.length g.edges
+
+let pp_label fmt = function
+  | Assign (x, e) -> Format.fprintf fmt "%s := %a" x Bv.pp_term e
+  | Guard f -> Format.fprintf fmt "[%a]" Bv.pp f
+  | Skip -> Format.pp_print_string fmt "skip"
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>entry=%d exit=%d@," g.entry g.exit_;
+  Array.iter
+    (fun e -> Format.fprintf fmt "e%d: %d -> %d  %a@," e.id e.src e.dst pp_label e.label)
+    g.edges;
+  Format.fprintf fmt "@]"

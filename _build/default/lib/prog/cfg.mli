@@ -1,0 +1,27 @@
+(** Control-flow graphs of loop-free programs.
+
+    Nodes are integers; every CFG has a unique entry and exit. Edges carry
+    the program semantics: an assignment, a guard (branch condition or
+    assumption), or a skip (join) edge. The edge set is the coordinate
+    space for GameTime's path vectors. *)
+
+type label =
+  | Assign of string * Smt.Bv.term
+  | Guard of Smt.Bv.formula
+  | Skip
+
+type edge = { id : int; src : int; dst : int; label : label }
+
+type t = {
+  nnodes : int;
+  entry : int;
+  exit_ : int;
+  edges : edge array; (** indexed by [id] *)
+  succ : edge list array; (** outgoing edges per node *)
+}
+
+val of_program : Lang.t -> t
+(** Raises [Invalid_argument] if the program still contains loops. *)
+
+val num_edges : t -> int
+val pp : Format.formatter -> t -> unit

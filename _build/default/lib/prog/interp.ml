@@ -1,0 +1,60 @@
+module Bv = Smt.Bv
+
+exception Assumption_failed
+exception Out_of_fuel
+
+type state = {
+  store : (string, int) Hashtbl.t;
+  mutable fuel : int;
+  mutable branches : bool list; (* reverse order *)
+}
+
+let env_of_store store =
+  {
+    Bv.bv =
+      (fun name -> match Hashtbl.find_opt store name with Some v -> v | None -> 0);
+    Bv.bool = (fun _ -> false);
+  }
+
+let rec exec st stmt =
+  match stmt with
+  | Lang.Assign (x, e) ->
+    Hashtbl.replace st.store x (Bv.eval_term (env_of_store st.store) e)
+  | Lang.Assume f ->
+    if not (Bv.eval (env_of_store st.store) f) then raise Assumption_failed
+  | Lang.If (c, a, b) ->
+    let taken = Bv.eval (env_of_store st.store) c in
+    st.branches <- taken :: st.branches;
+    List.iter (exec st) (if taken then a else b)
+  | Lang.While (c, body) ->
+    let taken = Bv.eval (env_of_store st.store) c in
+    st.branches <- taken :: st.branches;
+    if taken then begin
+      if st.fuel <= 0 then raise Out_of_fuel;
+      st.fuel <- st.fuel - 1;
+      List.iter (exec st) body;
+      exec st stmt
+    end
+
+let start ?(fuel = 10_000) (p : Lang.t) inputs =
+  let st = { store = Hashtbl.create 16; fuel; branches = [] } in
+  List.iter
+    (fun x ->
+      let v = Option.value (List.assoc_opt x inputs) ~default:0 in
+      Hashtbl.replace st.store x (Bv.truncate ~width:p.Lang.width v))
+    p.Lang.inputs;
+  List.iter (exec st) p.Lang.body;
+  st
+
+let run ?fuel (p : Lang.t) inputs =
+  let st = start ?fuel p inputs in
+  List.map
+    (fun x ->
+      (x, Option.value (Hashtbl.find_opt st.store x) ~default:0))
+    p.Lang.outputs
+
+let run_fn p inputs = run p inputs
+
+let trace_branches ?fuel p inputs =
+  let st = start ?fuel p inputs in
+  List.rev st.branches

@@ -1,0 +1,21 @@
+(** Concrete interpreter.
+
+    Executes a program on an input valuation and returns the values of its
+    output variables. This is the I/O oracle of Section 4: the obfuscated
+    program is only ever observed through [run]. *)
+
+exception Assumption_failed
+exception Out_of_fuel
+
+val run :
+  ?fuel:int -> Lang.t -> (string * int) list -> (string * int) list
+(** [run p inputs] executes [p]; unspecified inputs default to 0. [fuel]
+    bounds the total number of loop-iterations taken (default 10_000).
+    Returns output bindings in the order of [p.outputs]. *)
+
+val run_fn : Lang.t -> (string * int) list -> (string * int) list
+(** [run] with the default fuel — convenient as a first-class oracle. *)
+
+val trace_branches : ?fuel:int -> Lang.t -> (string * int) list -> bool list
+(** Branch outcomes (in execution order) of a run; used in tests to relate
+    concrete runs to CFG paths. *)

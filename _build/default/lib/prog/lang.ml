@@ -1,0 +1,67 @@
+module Bv = Smt.Bv
+
+type stmt =
+  | Assign of string * Bv.term
+  | If of Bv.formula * stmt list * stmt list
+  | While of Bv.formula * stmt list
+  | Assume of Bv.formula
+
+type t = {
+  name : string;
+  width : int;
+  inputs : string list;
+  outputs : string list;
+  body : stmt list;
+}
+
+let rec check_stmt width = function
+  | Assign (_, e) ->
+    if Bv.width e <> width then
+      invalid_arg
+        (Printf.sprintf "Lang.make: expression of width %d in width-%d program"
+           (Bv.width e) width)
+  | If (_, a, b) ->
+    List.iter (check_stmt width) a;
+    List.iter (check_stmt width) b
+  | While (_, body) -> List.iter (check_stmt width) body
+  | Assume _ -> ()
+
+let make ~name ~width ~inputs ~outputs body =
+  List.iter (check_stmt width) body;
+  { name; width; inputs; outputs; body }
+
+let rec assigned_in acc = function
+  | Assign (x, _) -> x :: acc
+  | If (_, a, b) -> List.fold_left assigned_in (List.fold_left assigned_in acc a) b
+  | While (_, body) -> List.fold_left assigned_in acc body
+  | Assume _ -> acc
+
+let assigned_vars stmts =
+  List.sort_uniq compare (List.fold_left assigned_in [] stmts)
+
+let rec stmt_loop_free = function
+  | Assign _ | Assume _ -> true
+  | If (_, a, b) -> List.for_all stmt_loop_free a && List.for_all stmt_loop_free b
+  | While _ -> false
+
+let is_loop_free p = List.for_all stmt_loop_free p.body
+
+let rec pp_stmt fmt = function
+  | Assign (x, e) -> Format.fprintf fmt "%s := %a;" x Bv.pp_term e
+  | Assume f -> Format.fprintf fmt "assume %a;" Bv.pp f
+  | If (c, a, []) ->
+    Format.fprintf fmt "@[<v 2>if %a {@,%a@]@,}" Bv.pp c pp_block a
+  | If (c, a, b) ->
+    Format.fprintf fmt "@[<v 2>if %a {@,%a@]@,@[<v 2>} else {@,%a@]@,}" Bv.pp c
+      pp_block a pp_block b
+  | While (c, body) ->
+    Format.fprintf fmt "@[<v 2>while %a {@,%a@]@,}" Bv.pp c pp_block body
+
+and pp_block fmt stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt fmt stmts
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v 2>%s(%s) -> (%s) {@,%a@]@,}" p.name
+    (String.concat ", " p.inputs)
+    (String.concat ", " p.outputs)
+    pp_block p.body

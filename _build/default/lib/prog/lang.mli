@@ -1,0 +1,32 @@
+(** A small imperative bit-vector language.
+
+    This is the program substrate shared by the GameTime timing analysis
+    (Section 3 of the paper) and the deobfuscation oracle of Section 4.
+    Expressions are {!Smt.Bv} terms over program variables, so concrete
+    interpretation, symbolic execution and SMT encoding all share one
+    expression semantics. *)
+
+type stmt =
+  | Assign of string * Smt.Bv.term
+  | If of Smt.Bv.formula * stmt list * stmt list
+  | While of Smt.Bv.formula * stmt list
+  | Assume of Smt.Bv.formula
+      (** Blocks execution when false; introduced by loop unrolling to cut
+          paths beyond the iteration bound. *)
+
+type t = {
+  name : string;
+  width : int;  (** width of every variable in the program *)
+  inputs : string list;
+  outputs : string list;
+  body : stmt list;
+}
+
+val make :
+  name:string -> width:int -> inputs:string list -> outputs:string list ->
+  stmt list -> t
+(** Checks that every expression in the body has the program width. *)
+
+val assigned_vars : stmt list -> string list
+val is_loop_free : t -> bool
+val pp : Format.formatter -> t -> unit

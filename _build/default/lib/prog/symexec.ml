@@ -1,0 +1,39 @@
+module Bv = Smt.Bv
+module Smap = Map.Make (String)
+
+type result = {
+  path_condition : Bv.formula;
+  final : (string * Bv.term) list;
+}
+
+let exec (p : Lang.t) (g : Cfg.t) path =
+  let width = p.Lang.width in
+  let is_input x = List.mem x p.Lang.inputs in
+  let lookup store x =
+    match Smap.find_opt x store with
+    | Some t -> Some t
+    | None -> Some (if is_input x then Bv.var ~width x else Bv.const ~width 0)
+  in
+  let step (store, pc) edge_id =
+    let e = g.Cfg.edges.(edge_id) in
+    match e.Cfg.label with
+    | Cfg.Skip -> (store, pc)
+    | Cfg.Guard f -> (store, Bv.fand pc (Bv.subst (lookup store) f))
+    | Cfg.Assign (x, rhs) ->
+      (Smap.add x (Bv.subst_term (lookup store) rhs) store, pc)
+  in
+  let store, pc = List.fold_left step (Smap.empty, Bv.tru) path in
+  { path_condition = pc; final = Smap.bindings store }
+
+let output_terms (p : Lang.t) r =
+  let width = p.Lang.width in
+  List.map
+    (fun x ->
+      let t =
+        match List.assoc_opt x r.final with
+        | Some t -> t
+        | None ->
+          if List.mem x p.Lang.inputs then Bv.var ~width x else Bv.const ~width 0
+      in
+      (x, t))
+    p.Lang.outputs

@@ -1,0 +1,17 @@
+(** Per-path symbolic execution.
+
+    Walks the edges of a single CFG path maintaining a substitution from
+    program variables to terms over the program's {e input} variables, and
+    accumulates the path condition. Uninitialized non-input variables read
+    as 0, matching the concrete interpreter. *)
+
+type result = {
+  path_condition : Smt.Bv.formula;
+  final : (string * Smt.Bv.term) list;
+      (** symbolic value of every assigned variable at path exit *)
+}
+
+val exec : Lang.t -> Cfg.t -> Paths.path -> result
+
+val output_terms : Lang.t -> result -> (string * Smt.Bv.term) list
+(** Symbolic value of each program output at path exit. *)

@@ -1,0 +1,415 @@
+module Bv = Smt.Bv
+
+exception Parse_error of { line : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | PUNCT of string
+  | EOF
+
+let keywords =
+  [ "program"; "width"; "while"; "if"; "else"; "assume"; "skip"; "true"; "false" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* longest-match punctuation, tried in order *)
+let puncts =
+  [
+    ":="; "->"; "<=s"; "<s"; "<<"; ">>>"; ">>"; "=="; "!="; "<="; ">="; "&&";
+    "||"; "("; ")"; "{"; "}"; ","; ";"; "|"; "^"; "&"; "+"; "-"; "*"; "/";
+    "%"; "~"; "!"; "<"; ">"; "?"; ":";
+  ]
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let fail message = raise (Parse_error { line = !line; message }) in
+  let starts_with p =
+    let lp = String.length p in
+    !i + lp <= n && String.sub text !i lp = p
+  in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if starts_with "//" then begin
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit text.[!i] do
+        incr i
+      done;
+      tokens := (INT (int_of_string (String.sub text start (!i - start))), !line) :: !tokens
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do
+        incr i
+      done;
+      tokens := (IDENT (String.sub text start (!i - start)), !line) :: !tokens
+    end
+    else begin
+      match List.find_opt starts_with puncts with
+      | Some p ->
+        i := !i + String.length p;
+        tokens := (PUNCT p, !line) :: !tokens
+      | None -> fail (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  Array.of_list (List.rev ((EOF, !line) :: !tokens))
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  tokens : (token * int) array;
+  mutable pos : int;
+  mutable width : int;
+}
+
+exception Backtrack
+
+let peek st = fst st.tokens.(st.pos)
+let line_at st = snd st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st message = raise (Parse_error { line = line_at st; message })
+
+let expect_punct st p =
+  match peek st with
+  | PUNCT q when q = p -> advance st
+  | _ -> fail st (Printf.sprintf "expected %S" p)
+
+let expect_ident st =
+  match peek st with
+  | IDENT x when not (List.mem x keywords) ->
+    advance st;
+    x
+  | _ -> fail st "expected an identifier"
+
+let expect_keyword st kw =
+  match peek st with
+  | IDENT x when x = kw -> advance st
+  | _ -> fail st (Printf.sprintf "expected %S" kw)
+
+let expect_int st =
+  match peek st with
+  | INT v ->
+    advance st;
+    v
+  | _ -> fail st "expected an integer"
+
+let eat_punct st p =
+  match peek st with
+  | PUNCT q when q = p ->
+    advance st;
+    true
+  | _ -> false
+
+(* term precedence, loosest to tightest *)
+let binops_by_level =
+  [
+    [ ("|", Bv.bor) ];
+    [ ("^", Bv.bxor) ];
+    [ ("&", Bv.band) ];
+    [ ("<<", Bv.bshl); (">>>", Bv.bashr); (">>", Bv.blshr) ];
+    [ ("+", Bv.badd); ("-", Bv.bsub) ];
+    [ ("*", Bv.bmul); ("/", Bv.budiv); ("%", Bv.burem) ];
+  ]
+
+let rec parse_term st = parse_level st binops_by_level
+
+and parse_level st = function
+  | [] -> parse_unary st
+  | ops :: tighter ->
+    let lhs = ref (parse_level st tighter) in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | PUNCT p when List.mem_assoc p ops ->
+        advance st;
+        let rhs = parse_level st tighter in
+        lhs := (List.assoc p ops) !lhs rhs
+      | _ -> continue := false
+    done;
+    !lhs
+
+and parse_unary st =
+  match peek st with
+  | PUNCT "~" ->
+    advance st;
+    Bv.bnot (parse_unary st)
+  | PUNCT "-" ->
+    advance st;
+    Bv.bneg (parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | INT v ->
+    advance st;
+    Bv.const ~width:st.width v
+  | IDENT x when not (List.mem x keywords) ->
+    advance st;
+    Bv.var ~width:st.width x
+  | PUNCT "(" -> (
+    (* "(term)" or "(formula ? term : term)" — try the term first *)
+    let saved = st.pos in
+    advance st;
+    match
+      let t = parse_term st in
+      expect_punct st ")";
+      t
+    with
+    | t -> t
+    | exception Parse_error _ ->
+      st.pos <- saved;
+      advance st;
+      let c = parse_formula st in
+      expect_punct st "?";
+      let a = parse_term st in
+      expect_punct st ":";
+      let b = parse_term st in
+      expect_punct st ")";
+      Bv.ite c a b)
+  | _ -> fail st "expected a term"
+
+and parse_comparison st =
+  let a = parse_term st in
+  let op =
+    match peek st with
+    | PUNCT "==" -> Bv.eq
+    | PUNCT "!=" -> Bv.neq
+    | PUNCT "<=s" -> Bv.sle
+    | PUNCT "<s" -> Bv.slt
+    | PUNCT "<=" -> Bv.ule
+    | PUNCT "<" -> Bv.ult
+    | PUNCT ">=" -> Bv.uge
+    | PUNCT ">" -> Bv.ugt
+    | _ -> raise Backtrack
+  in
+  advance st;
+  let b = parse_term st in
+  op a b
+
+and parse_atom st =
+  match peek st with
+  | PUNCT "!" ->
+    advance st;
+    Bv.fnot (parse_atom st)
+  | IDENT "true" ->
+    advance st;
+    Bv.tru
+  | IDENT "false" ->
+    advance st;
+    Bv.fls
+  | _ -> (
+    (* comparison, or a parenthesized formula *)
+    let saved = st.pos in
+    match parse_comparison st with
+    | f -> f
+    | exception (Backtrack | Parse_error _) -> (
+      st.pos <- saved;
+      match peek st with
+      | PUNCT "(" ->
+        advance st;
+        let f = parse_formula st in
+        expect_punct st ")";
+        f
+      | _ -> fail st "expected a condition"))
+
+and parse_conj st =
+  let lhs = ref (parse_atom st) in
+  while eat_punct st "&&" do
+    lhs := Bv.fand !lhs (parse_atom st)
+  done;
+  !lhs
+
+and parse_formula st =
+  let lhs = ref (parse_conj st) in
+  while eat_punct st "||" do
+    lhs := Bv.for_ !lhs (parse_conj st)
+  done;
+  !lhs
+
+let rec parse_stmt st =
+  match peek st with
+  | IDENT "skip" ->
+    advance st;
+    expect_punct st ";";
+    None
+  | IDENT "assume" ->
+    advance st;
+    expect_punct st "(";
+    let f = parse_formula st in
+    expect_punct st ")";
+    expect_punct st ";";
+    Some (Lang.Assume f)
+  | IDENT "while" ->
+    advance st;
+    expect_punct st "(";
+    let c = parse_formula st in
+    expect_punct st ")";
+    Some (Lang.While (c, parse_block st))
+  | IDENT "if" ->
+    advance st;
+    expect_punct st "(";
+    let c = parse_formula st in
+    expect_punct st ")";
+    let then_ = parse_block st in
+    let else_ =
+      match peek st with
+      | IDENT "else" ->
+        advance st;
+        parse_block st
+      | _ -> []
+    in
+    Some (Lang.If (c, then_, else_))
+  | IDENT x when not (List.mem x keywords) ->
+    advance st;
+    expect_punct st ":=";
+    let e = parse_term st in
+    expect_punct st ";";
+    Some (Lang.Assign (x, e))
+  | _ -> fail st "expected a statement"
+
+and parse_block st =
+  expect_punct st "{";
+  let stmts = ref [] in
+  while peek st <> PUNCT "}" do
+    match parse_stmt st with
+    | Some s -> stmts := s :: !stmts
+    | None -> ()
+  done;
+  expect_punct st "}";
+  List.rev !stmts
+
+let parse_ident_list st =
+  expect_punct st "(";
+  let rec go acc =
+    match peek st with
+    | PUNCT ")" ->
+      advance st;
+      List.rev acc
+    | _ ->
+      let x = expect_ident st in
+      if eat_punct st "," then go (x :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (x :: acc)
+      end
+  in
+  go []
+
+let parse text =
+  let st = { tokens = tokenize text; pos = 0; width = 8 } in
+  expect_keyword st "program";
+  let name = expect_ident st in
+  let inputs = parse_ident_list st in
+  expect_punct st "->";
+  let outputs = parse_ident_list st in
+  expect_keyword st "width";
+  let width = expect_int st in
+  if width < 1 || width > Bv.max_width then fail st "width out of range";
+  st.width <- width;
+  let body = parse_block st in
+  (match peek st with
+  | EOF -> ()
+  | _ -> fail st "trailing input after the program");
+  Lang.make ~name ~width ~inputs ~outputs body
+
+let parse_file path =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  parse text
+
+(* ------------------------------------------------------------------ *)
+(* Printer (fully parenthesized, so it parses back unambiguously)      *)
+(* ------------------------------------------------------------------ *)
+
+let binop_symbol = function
+  | Bv.Band -> "&"
+  | Bv.Bor -> "|"
+  | Bv.Bxor -> "^"
+  | Bv.Badd -> "+"
+  | Bv.Bsub -> "-"
+  | Bv.Bmul -> "*"
+  | Bv.Budiv -> "/"
+  | Bv.Burem -> "%"
+  | Bv.Bshl -> "<<"
+  | Bv.Blshr -> ">>"
+  | Bv.Bashr -> ">>>"
+
+let rec print_term fmt (t : Bv.term) =
+  match t with
+  | Bv.Const { value; _ } -> Format.pp_print_int fmt value
+  | Bv.Var { name; _ } -> Format.pp_print_string fmt name
+  | Bv.Unop (Bv.Bnot, a) -> Format.fprintf fmt "~%a" print_term a
+  | Bv.Unop (Bv.Bneg, a) -> Format.fprintf fmt "-%a" print_term a
+  | Bv.Binop (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" print_term a (binop_symbol op) print_term b
+  | Bv.Ite (c, a, b) ->
+    Format.fprintf fmt "(%a ? %a : %a)" print_formula c print_term a print_term
+      b
+
+and print_formula fmt (f : Bv.formula) =
+  match f with
+  | Bv.Btrue -> Format.pp_print_string fmt "true"
+  | Bv.Bfalse -> Format.pp_print_string fmt "false"
+  | Bv.Pvar _ ->
+    invalid_arg "Syntax.print: boolean variables have no concrete syntax"
+  | Bv.Eq (a, b) -> Format.fprintf fmt "%a == %a" print_term a print_term b
+  | Bv.Ult (a, b) -> Format.fprintf fmt "%a < %a" print_term a print_term b
+  | Bv.Ule (a, b) -> Format.fprintf fmt "%a <= %a" print_term a print_term b
+  | Bv.Slt (a, b) -> Format.fprintf fmt "%a <s %a" print_term a print_term b
+  | Bv.Sle (a, b) -> Format.fprintf fmt "%a <=s %a" print_term a print_term b
+  | Bv.Fnot g -> Format.fprintf fmt "!(%a)" print_formula g
+  | Bv.Fand (a, b) ->
+    Format.fprintf fmt "((%a) && (%a))" print_formula a print_formula b
+  | Bv.For (a, b) ->
+    Format.fprintf fmt "((%a) || (%a))" print_formula a print_formula b
+  | Bv.Fxor (a, b) ->
+    (* no concrete xor connective: encode as inequality of the sides *)
+    Format.fprintf fmt "(((%a) && !(%a)) || (!(%a) && (%a)))" print_formula a
+      print_formula b print_formula a print_formula b
+
+let rec print_stmt fmt = function
+  | Lang.Assign (x, e) -> Format.fprintf fmt "%s := %a;" x print_term e
+  | Lang.Assume f -> Format.fprintf fmt "assume (%a);" print_formula f
+  | Lang.If (c, t, e) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,}" print_formula c print_block t;
+    if e <> [] then
+      Format.fprintf fmt "@[<v 2> else {@,%a@]@,}" print_block e
+  | Lang.While (c, body) ->
+    Format.fprintf fmt "@[<v 2>while (%a) {@,%a@]@,}" print_formula c
+      print_block body
+
+and print_block fmt stmts =
+  if stmts = [] then Format.pp_print_string fmt "skip;"
+  else Format.pp_print_list ~pp_sep:Format.pp_print_cut print_stmt fmt stmts
+
+let print fmt (p : Lang.t) =
+  Format.fprintf fmt "@[<v>@[<v 2>program %s (%s) -> (%s) width %d {@,%a@]@,}@]"
+    p.Lang.name
+    (String.concat ", " p.Lang.inputs)
+    (String.concat ", " p.Lang.outputs)
+    p.Lang.width print_block p.Lang.body
+
+let to_string p = Format.asprintf "%a" print p

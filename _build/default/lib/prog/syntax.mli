@@ -1,0 +1,33 @@
+(** Concrete syntax for the program language.
+
+    A small self-contained lexer and recursive-descent parser, plus a
+    printer whose output parses back to the same program, so programs can
+    live in files and be fed to the CLI tools. The grammar:
+
+    {v
+program NAME (in1, in2) -> (out1) width 16 {
+  x := 1;
+  while (i < 8) {
+    if ((e >> i) & 1 == 1) { x := (x * b) % 251; } else { skip; }
+    i := i + 1;
+  }
+  assume (x <= 255);
+}
+    v}
+
+    Expression operators, loosest to tightest:
+    [|], [^], [&], [<<] [>>] [>>>], [+] [-], [*] [/] [%], unary [~] [-].
+    Comparisons ([==] [!=] [<] [<=] [>] [>=], signed [<s] [<=s]) combine
+    with [&&], [||], [!]. Line comments start with [//]. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Lang.t
+(** Raises {!Parse_error} with a 1-based line number on bad input. *)
+
+val parse_file : string -> Lang.t
+
+val print : Format.formatter -> Lang.t -> unit
+(** Emits the concrete syntax; [parse (print p)] reconstructs [p]. *)
+
+val to_string : Lang.t -> string

@@ -1,0 +1,12 @@
+module Bv = Smt.Bv
+module Solver = Smt.Solver
+
+let feasible ?(assuming = Bv.tru) (p : Lang.t) g path =
+  let r = Symexec.exec p g path in
+  match Solver.check_formulas [ assuming; r.Symexec.path_condition ] with
+  | Error () -> None
+  | Ok env -> Some (List.map (fun x -> (x, env.Bv.bv x)) p.Lang.inputs)
+
+let check_drives (p : Lang.t) g path inputs =
+  let r = Symexec.exec p g path in
+  Bv.eval (Bv.env_of_alist inputs) r.Symexec.path_condition

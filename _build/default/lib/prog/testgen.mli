@@ -1,0 +1,19 @@
+(** SMT-backed path feasibility and test generation.
+
+    This is the deductive engine [D] of GameTime (Section 3.2): from each
+    candidate basis path an SMT formula is generated that is satisfiable
+    iff the path is feasible; the model is a test case driving execution
+    down that path. *)
+
+val feasible :
+  ?assuming:Smt.Bv.formula ->
+  Lang.t -> Cfg.t -> Paths.path ->
+  (string * int) list option
+(** [Some inputs] gives values for the program inputs that drive execution
+    down exactly this path; [None] means the path is infeasible.
+    [assuming] conjoins an extra constraint over the inputs (used to pin
+    some inputs to fixed values, e.g. a fixed modexp base). *)
+
+val check_drives : Lang.t -> Cfg.t -> Paths.path -> (string * int) list -> bool
+(** Validate (concretely) that [inputs] follows [path]: re-run symbolic
+    execution's path condition under the concrete values. *)

@@ -1,0 +1,21 @@
+module Bv = Smt.Bv
+
+let rec unroll_stmt bound = function
+  | Lang.While (c, body) ->
+    let rec go n =
+      if n = 0 then [ Lang.Assume (Bv.fnot c) ]
+      else
+        [ Lang.If (c, List.concat_map (unroll_stmt bound) body @ go (n - 1), []) ]
+    in
+    go bound
+  | Lang.If (c, a, b) ->
+    [
+      Lang.If
+        (c, List.concat_map (unroll_stmt bound) a,
+         List.concat_map (unroll_stmt bound) b);
+    ]
+  | (Lang.Assign _ | Lang.Assume _) as s -> [ s ]
+
+let unroll ~bound (p : Lang.t) =
+  if bound < 0 then invalid_arg "Unroll.unroll: negative bound";
+  { p with Lang.body = List.concat_map (unroll_stmt bound) p.Lang.body }

@@ -1,0 +1,9 @@
+(** Loop unrolling.
+
+    GameTime's first step (Fig. 5 of the paper): unroll every loop to a
+    maximum iteration bound so the control-flow graph becomes a DAG. Paths
+    that would iterate beyond the bound are cut with an [Assume] of the
+    negated loop condition. *)
+
+val unroll : bound:int -> Lang.t -> Lang.t
+(** The result is loop-free; [Lang.is_loop_free] holds on it. *)

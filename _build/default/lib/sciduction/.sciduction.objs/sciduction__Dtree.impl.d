@@ -1,0 +1,1 @@
+lib/sciduction/dtree.ml: Array Format Fun Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/sciduction/dtree.mli: Format

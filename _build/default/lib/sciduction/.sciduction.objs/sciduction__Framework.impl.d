@@ -1,0 +1,1 @@
+lib/sciduction/framework.ml: Format

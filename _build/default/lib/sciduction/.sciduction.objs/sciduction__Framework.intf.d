@@ -1,0 +1,1 @@
+lib/sciduction/framework.mli: Format

@@ -1,0 +1,1 @@
+lib/sciduction/instances.ml: Format List String

@@ -1,0 +1,1 @@
+lib/sciduction/instances.mli: Format

@@ -1,0 +1,1 @@
+lib/sciduction/oracles.mli:

@@ -1,0 +1,121 @@
+type t =
+  | Leaf of bool
+  | Node of {
+      feature : int;
+      if_true : t;
+      if_false : t;
+    }
+
+let entropy pos total =
+  if pos = 0 || pos = total then 0.0
+  else begin
+    let p = float_of_int pos /. float_of_int total in
+    let q = 1.0 -. p in
+    -.((p *. log p) +. (q *. log q)) /. log 2.0
+  end
+
+let count_pos examples =
+  List.fold_left (fun acc (_, label) -> if label then acc + 1 else acc) 0 examples
+
+let majority examples = 2 * count_pos examples >= List.length examples
+
+let information_gain examples feature =
+  let t, f = List.partition (fun (x, _) -> x.(feature)) examples in
+  let n = List.length examples in
+  let h = entropy (count_pos examples) n in
+  let weigh part =
+    let np = List.length part in
+    if np = 0 then 0.0
+    else float_of_int np /. float_of_int n *. entropy (count_pos part) np
+  in
+  h -. weigh t -. weigh f
+
+let learn ~nfeatures ?(max_depth = 16) examples =
+  if examples = [] then invalid_arg "Dtree.learn: no examples";
+  let rec go examples depth available =
+    let pos = count_pos examples in
+    let n = List.length examples in
+    if pos = 0 then Leaf false
+    else if pos = n then Leaf true
+    else if depth >= max_depth then Leaf (majority examples)
+    else begin
+      (* prefer the highest information gain, but — unlike textbook ID3 —
+         still split on a zero-gain feature when the examples are impure
+         (XOR-shaped concepts have zero marginal gain at the root), as
+         long as the split actually separates the examples *)
+      let splits_properly f =
+        let t, fa = List.partition (fun (x, _) -> x.(f)) examples in
+        t <> [] && fa <> []
+      in
+      let best =
+        List.fold_left
+          (fun acc f ->
+            if not (splits_properly f) then acc
+            else
+              let g = information_gain examples f in
+              match acc with
+              | Some (_, bg) when bg >= g -> acc
+              | _ -> Some (f, g))
+          None available
+      in
+      match best with
+      | None -> Leaf (majority examples)
+      | Some (feature, _) ->
+        let t, f = List.partition (fun (x, _) -> x.(feature)) examples in
+        let rest = List.filter (( <> ) feature) available in
+        Node
+          {
+            feature;
+            if_true = go t (depth + 1) rest;
+            if_false = go f (depth + 1) rest;
+          }
+    end
+  in
+  go examples 0 (List.init nfeatures Fun.id)
+
+let rec classify t x =
+  match t with
+  | Leaf b -> b
+  | Node { feature; if_true; if_false } ->
+    classify (if x.(feature) then if_true else if_false) x
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node { if_true; if_false; _ } -> 1 + max (depth if_true) (depth if_false)
+
+let rec size = function
+  | Leaf _ -> 1
+  | Node { if_true; if_false; _ } -> 1 + size if_true + size if_false
+
+let features_used t =
+  (* breadth-first so shallower (more informative) features come first *)
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let queue = Queue.create () in
+  Queue.add t queue;
+  while not (Queue.is_empty queue) do
+    match Queue.pop queue with
+    | Leaf _ -> ()
+    | Node { feature; if_true; if_false } ->
+      if not (Hashtbl.mem seen feature) then begin
+        Hashtbl.replace seen feature ();
+        acc := feature :: !acc
+      end;
+      Queue.add if_true queue;
+      Queue.add if_false queue
+  done;
+  List.rev !acc
+
+let training_accuracy t examples =
+  let correct =
+    List.fold_left
+      (fun acc (x, label) -> if classify t x = label then acc + 1 else acc)
+      0 examples
+  in
+  float_of_int correct /. float_of_int (List.length examples)
+
+let rec pp fmt = function
+  | Leaf b -> Format.fprintf fmt "%b" b
+  | Node { feature; if_true; if_false } ->
+    Format.fprintf fmt "@[<v 2>f%d?@,+ %a@,- %a@]" feature pp if_true pp
+      if_false

@@ -1,0 +1,33 @@
+(** Decision-tree learning over boolean features (ID3).
+
+    Section 2.4 notes that CEGAR's inductive engine need not be the
+    version-space walk of the abstraction lattice: "alternative learning
+    algorithms (such as induction on decision trees) can also be used,
+    as demonstrated by Gupta". This module provides that learner; the
+    CEGAR implementation uses it to pick refinement variables by how
+    well they separate reachable states from bad states. *)
+
+type t =
+  | Leaf of bool
+  | Node of {
+      feature : int;
+      if_true : t;
+      if_false : t;
+    }
+
+val learn :
+  nfeatures:int -> ?max_depth:int -> (bool array * bool) list -> t
+(** ID3 with information gain; splits until examples are pure, features
+    are exhausted, or [max_depth] (default 16) is reached. Impure leaves
+    take the majority label. The example list must be non-empty. *)
+
+val classify : t -> bool array -> bool
+val depth : t -> int
+val size : t -> int
+
+val features_used : t -> int list
+(** Features in breadth-first order (roughly most-informative first),
+    deduplicated. *)
+
+val training_accuracy : t -> (bool array * bool) list -> float
+val pp : Format.formatter -> t -> unit

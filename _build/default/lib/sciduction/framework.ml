@@ -1,0 +1,62 @@
+type lightweightness =
+  | Strict_special_case of string
+  | Lower_complexity of string
+  | Decidable_subproblem of string
+  | Practical of string
+
+type ('artifact, 'instance) structure_hypothesis = {
+  h_name : string;
+  h_description : string;
+  member : 'artifact -> bool;
+  strict : bool;
+  primitive : ('artifact -> 'instance -> bool) option;
+}
+
+type ('example, 'artifact) inductive_engine = {
+  i_name : string;
+  i_description : string;
+  infer : 'example list -> 'artifact option;
+}
+
+type ('query, 'answer) deductive_engine = {
+  d_name : string;
+  d_description : string;
+  lightweight : lightweightness;
+  solve : 'query -> 'answer;
+}
+
+type guarantee =
+  | Sound_if_hypothesis_valid
+  | Probabilistically_sound_if_hypothesis_valid of string
+  | Best_effort
+
+type ('example, 'artifact, 'query, 'answer) instance = {
+  name : string;
+  problem : string;
+  hypothesis : ('artifact, 'example) structure_hypothesis;
+  inductive : ('example, 'artifact) inductive_engine;
+  deductive : ('query, 'answer) deductive_engine;
+  soundness : guarantee;
+}
+
+let pp_lightweightness fmt = function
+  | Strict_special_case s -> Format.fprintf fmt "strict special case: %s" s
+  | Lower_complexity s -> Format.fprintf fmt "lower complexity: %s" s
+  | Decidable_subproblem s -> Format.fprintf fmt "decidable subproblem: %s" s
+  | Practical s -> Format.fprintf fmt "lightweight in practice: %s" s
+
+let pp_guarantee fmt = function
+  | Sound_if_hypothesis_valid ->
+    Format.pp_print_string fmt "sound if valid(H)"
+  | Probabilistically_sound_if_hypothesis_valid p ->
+    Format.fprintf fmt "probabilistically sound if valid(H): %s" p
+  | Best_effort -> Format.pp_print_string fmt "best effort"
+
+let describe fmt i =
+  Format.fprintf fmt
+    "@[<v 2>%s — %s@,H: %s (%s%s)@,I: %s (%s)@,D: %s (%s; %a)@,soundness: %a@]"
+    i.name i.problem i.hypothesis.h_name i.hypothesis.h_description
+    (if i.hypothesis.strict then "; C_H strictly inside C_S" else "")
+    i.inductive.i_name i.inductive.i_description i.deductive.d_name
+    i.deductive.d_description pp_lightweightness i.deductive.lightweight
+    pp_guarantee i.soundness

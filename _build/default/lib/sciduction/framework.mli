@@ -1,0 +1,76 @@
+(** The sciduction formalization of Section 2.
+
+    An instance of sciduction is a triple <H, I, D>:
+
+    - a {e structure hypothesis} [H] — the class of artifacts the
+      procedure may produce (a subclass C_H of the full artifact class
+      C_S, ideally a strict one, supplying inductive bias);
+    - an {e inductive inference engine} [I] — an algorithm learning an
+      artifact of C_H from examples;
+    - a {e lightweight deductive engine} [D] — a decision procedure for
+      a problem easier than the overall verification/synthesis problem,
+      used to generate or label examples and to synthesize candidates.
+
+    The types here make the triple a first-class value, so the three
+    applications of the paper (and the Section 2.4 instances such as
+    CEGAR) can be described, composed and reported uniformly — see
+    {!Instances} for Table 1. *)
+
+(** How the "lightweight" requirement of Section 2.2.3 is met. *)
+type lightweightness =
+  | Strict_special_case of string
+      (** D solves a strict special case of the original problem *)
+  | Lower_complexity of string
+      (** decidable original: D is asymptotically cheaper *)
+  | Decidable_subproblem of string
+      (** undecidable original: D solves a decidable problem *)
+  | Practical of string
+      (** the fuzzier practical notion; argument recorded as prose *)
+
+type ('artifact, 'instance) structure_hypothesis = {
+  h_name : string;
+  h_description : string;
+  member : 'artifact -> bool;  (** artifact ∈ C_H *)
+  strict : bool;  (** C_H ⊊ C_S (recommended; see Section 2.2.4) *)
+  primitive : ('artifact -> 'instance -> bool) option;
+      (** optional semantics: is the primitive element consistent with
+          the artifact (e.g. a point inside a hyperbox)? *)
+}
+
+type ('example, 'artifact) inductive_engine = {
+  i_name : string;
+  i_description : string;
+  infer : 'example list -> 'artifact option;
+}
+
+type ('query, 'answer) deductive_engine = {
+  d_name : string;
+  d_description : string;
+  lightweight : lightweightness;
+  solve : 'query -> 'answer;
+}
+
+(** Soundness in the sense of Section 2.3: conditional on the validity
+    of the structure hypothesis, possibly only probabilistic. *)
+type guarantee =
+  | Sound_if_hypothesis_valid
+  | Probabilistically_sound_if_hypothesis_valid of string
+      (** the probability bound, e.g. "1 - delta after poly(ln 1/delta)
+          tests" *)
+  | Best_effort
+
+type ('example, 'artifact, 'query, 'answer) instance = {
+  name : string;
+  problem : string;  (** the verification/synthesis problem attacked *)
+  hypothesis : ('artifact, 'example) structure_hypothesis;
+  inductive : ('example, 'artifact) inductive_engine;
+  deductive : ('query, 'answer) deductive_engine;
+  soundness : guarantee;
+}
+
+val pp_lightweightness : Format.formatter -> lightweightness -> unit
+val pp_guarantee : Format.formatter -> guarantee -> unit
+
+val describe :
+  Format.formatter -> (_, _, _, _) instance -> unit
+(** One Table-1-style row: name, H, I, D. *)

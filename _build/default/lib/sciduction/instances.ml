@@ -1,0 +1,71 @@
+type row = {
+  application : string;
+  h : string;
+  i : string;
+  d : string;
+}
+
+let table1 =
+  [
+    {
+      application = "Timing analysis (Sec 3)";
+      h = "(w, pi) model & constraints";
+      i = "game-theoretic online learning";
+      d = "SMT solving for basis path generation";
+    };
+    {
+      application = "Program synthesis (Sec 4)";
+      h = "loop-free programs from component library";
+      i = "learning from distinguishing inputs";
+      d = "SMT solving for input/program generation";
+    };
+    {
+      application = "Switching logic synthesis (Sec 5)";
+      h = "guards as hyperboxes";
+      i = "hyperbox learning from labeled points";
+      d = "numerical simulation as reachability oracle";
+    };
+  ]
+
+let section24 =
+  [
+    {
+      application = "CEGAR (Sec 2.4)";
+      h = "abstract domain (localization abstraction)";
+      i = "abstraction refinement from spurious counterexamples";
+      d = "model checker on the abstraction + SAT spuriousness check";
+    };
+    {
+      application = "Assume-guarantee reasoning (Sec 2.4)";
+      h = "assumptions as DFAs over the interface alphabet";
+      i = "Angluin's L* from queries and counterexamples";
+      d = "model checking for membership/equivalence queries";
+    };
+    {
+      application = "Invariant generation (Sec 2.4)";
+      h = "constants / equivalences / implications over netlist nodes";
+      i = "keep candidates consistent with random simulation";
+      d = "SAT-based temporal induction";
+    };
+  ]
+
+let pp_table fmt rows =
+  let widths =
+    List.fold_left
+      (fun (a, b, c, d) r ->
+        ( max a (String.length r.application),
+          max b (String.length r.h),
+          max c (String.length r.i),
+          max d (String.length r.d) ))
+      (11, 1, 1, 1) rows
+  in
+  let wa, wh, wi, wd = widths in
+  let line a h i d =
+    Format.fprintf fmt "| %-*s | %-*s | %-*s | %-*s |@," wa a wh h wi i wd d
+  in
+  Format.fprintf fmt "@[<v>";
+  line "Application" "H" "I" "D";
+  line (String.make wa '-') (String.make wh '-') (String.make wi '-')
+    (String.make wd '-');
+  List.iter (fun r -> line r.application r.h r.i r.d) rows;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,21 @@
+(** The demonstrated applications as sciduction instances — the content
+    of Table 1 of the paper, plus the Section 2.4 instances implemented
+    in this repository. *)
+
+type row = {
+  application : string;
+  h : string;
+  i : string;
+  d : string;
+}
+
+val table1 : row list
+(** The paper's Table 1: timing analysis, program synthesis, switching
+    logic synthesis. *)
+
+val section24 : row list
+(** The closely-related instances of Section 2.4 that this repository
+    also implements: CEGAR, L*-based assume-guarantee reasoning,
+    simulation-guided invariant generation. *)
+
+val pp_table : Format.formatter -> row list -> unit

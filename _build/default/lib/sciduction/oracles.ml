@@ -1,0 +1,43 @@
+type ('q, 'a) oracle = 'q -> 'a
+
+type ('q, 'a) counted = {
+  oracle : ('q, 'a) oracle;
+  count : unit -> int;
+  reset : unit -> unit;
+}
+
+let counting f =
+  let n = ref 0 in
+  {
+    oracle =
+      (fun q ->
+        incr n;
+        f q);
+    count = (fun () -> !n);
+    reset = (fun () -> n := 0);
+  }
+
+let memoizing f =
+  let tbl = Hashtbl.create 64 in
+  fun q ->
+    match Hashtbl.find_opt tbl q with
+    | Some a -> a
+    | None ->
+      let a = f q in
+      Hashtbl.add tbl q a;
+      a
+
+let tracing cb f q =
+  let a = f q in
+  cb f q a;
+  a
+
+let log_to log f q =
+  let a = f q in
+  log := (q, a) :: !log;
+  a
+
+type ('input, 'output) io_oracle = ('input, 'output) oracle
+type 'point label_oracle = ('point, bool) oracle
+type 'word membership_oracle = ('word, bool) oracle
+type ('hypothesis, 'cex) equivalence_oracle = ('hypothesis, 'cex option) oracle

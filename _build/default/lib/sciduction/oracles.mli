@@ -1,0 +1,40 @@
+(** Oracle interfaces and combinators (Section 2.2.2).
+
+    Inductive engines in sciduction learn from examples produced by
+    oracles, which are in turn implemented by deductive procedures, by
+    executing a model, or by a human. These combinators add the
+    bookkeeping every application needs: query counting, memoization and
+    tracing. *)
+
+type ('q, 'a) oracle = 'q -> 'a
+
+type ('q, 'a) counted = {
+  oracle : ('q, 'a) oracle;
+  count : unit -> int;
+  reset : unit -> unit;
+}
+
+val counting : ('q, 'a) oracle -> ('q, 'a) counted
+val memoizing : ('q, 'a) oracle -> ('q, 'a) oracle
+(** Cache answers by structural equality of the query. *)
+
+val tracing :
+  (('q, 'a) oracle -> 'q -> 'a -> unit) -> ('q, 'a) oracle -> ('q, 'a) oracle
+(** Invoke a callback on every query/answer pair. *)
+
+val log_to : ('q * 'a) list ref -> ('q, 'a) oracle -> ('q, 'a) oracle
+
+(** Common oracle shapes, named as in the paper. *)
+
+type ('input, 'output) io_oracle = ('input, 'output) oracle
+(** Section 4: maps a program input to the desired output. *)
+
+type 'point label_oracle = ('point, bool) oracle
+(** Section 5: labels a point positive (safe) or negative. *)
+
+type 'word membership_oracle = ('word, bool) oracle
+(** L*-style: is the word in the target language? *)
+
+type ('hypothesis, 'cex) equivalence_oracle =
+  ('hypothesis, ('cex option)) oracle
+(** L*-style: [None] means equivalent, [Some cex] is a counterexample. *)

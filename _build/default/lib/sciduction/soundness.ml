@@ -1,0 +1,42 @@
+type validity =
+  | Proved of string
+  | Assumed of string
+  | Tested of { method_ : string; passed : bool }
+  | Refuted of string
+
+type 'cex test = unit -> (unit, 'cex) result
+
+type report = {
+  hypothesis : string;
+  validity : validity;
+  conclusion : string;
+}
+
+let conclude ~hypothesis validity =
+  let conclusion =
+    match validity with
+    | Proved _ -> "valid(H) holds, so the procedure is sound"
+    | Tested { passed = true; _ } ->
+      "hypothesis test passed: output verified against the specification"
+    | Assumed _ ->
+      "soundness is conditional on the assumed structure hypothesis"
+    | Refuted _ | Tested { passed = false; _ } ->
+      "structure hypothesis is invalid: the output may be incorrect"
+  in
+  { hypothesis; validity; conclusion }
+
+let run_test ~hypothesis ~method_ test =
+  let passed = match test () with Ok () -> true | Error _ -> false in
+  conclude ~hypothesis (Tested { method_; passed })
+
+let pp_validity fmt = function
+  | Proved why -> Format.fprintf fmt "proved (%s)" why
+  | Assumed why -> Format.fprintf fmt "assumed (%s)" why
+  | Tested { method_; passed } ->
+    Format.fprintf fmt "tested by %s: %s" method_
+      (if passed then "passed" else "FAILED")
+  | Refuted why -> Format.fprintf fmt "refuted (%s)" why
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v 2>hypothesis: %s@,validity: %a@,=> %s@]"
+    r.hypothesis pp_validity r.validity r.conclusion

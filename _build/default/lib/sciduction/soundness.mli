@@ -1,0 +1,39 @@
+(** Validity of structure hypotheses and conditional soundness
+    (Section 2.3).
+
+    valid(H) is the formula
+    (exists c in C_S. c |= Psi) => (exists c in C_H. c |= Psi): if any
+    artifact satisfying the specification exists, one exists inside the
+    hypothesis class. A sciductive procedure must satisfy
+    valid(H) => sound(P).
+
+    Validity is rarely checkable outright; this module records how it
+    was discharged — proved for the system class, assumed, or tested
+    a posteriori (Section 6's "structure hypothesis testing", e.g. the
+    SMT equivalence check of {!Ogis.Synth.verify_against}). *)
+
+type validity =
+  | Proved of string  (** argument, e.g. monotone dynamics + finite grid *)
+  | Assumed of string
+  | Tested of { method_ : string; passed : bool }
+  | Refuted of string
+
+type 'cex test = unit -> (unit, 'cex) result
+(** An a-posteriori hypothesis test (equivalence check, exhaustive
+    simulation, ...). *)
+
+type report = {
+  hypothesis : string;
+  validity : validity;
+  conclusion : string;
+      (** what soundness follows, per valid(H) => sound(P) *)
+}
+
+val conclude : hypothesis:string -> validity -> report
+(** Instantiate valid(H) => sound(P): [Proved]/[Tested passed] yield a
+    soundness conclusion, [Assumed] a conditional one, [Refuted]/[Tested
+    failed] a warning that the output may be wrong (Fig. 7's right
+    branch). *)
+
+val run_test : hypothesis:string -> method_:string -> 'cex test -> report
+val pp : Format.formatter -> report -> unit

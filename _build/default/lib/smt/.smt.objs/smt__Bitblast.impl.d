@@ -1,0 +1,1 @@
+lib/smt/bitblast.ml: Array Bv Hashtbl Lit Option Printf Tseitin

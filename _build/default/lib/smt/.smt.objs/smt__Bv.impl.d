@@ -1,0 +1,1 @@
+lib/smt/bv.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/smt/dimacs.ml: Array Dpll Format List Lit Printf Sat String

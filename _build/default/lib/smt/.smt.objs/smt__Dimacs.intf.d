@@ -1,0 +1,1 @@
+lib/smt/dimacs.mli: Dpll Format Lit

@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Bitblast List Option Printf Sat Tseitin

@@ -1,0 +1,1 @@
+lib/smt/tseitin.ml: List Lit Sat

@@ -1,0 +1,1 @@
+lib/smt/tseitin.mli: Lit Sat

@@ -1,0 +1,330 @@
+type term =
+  | Const of { width : int; value : int }
+  | Var of { width : int; name : string }
+  | Unop of unop * term
+  | Binop of binop * term * term
+  | Ite of formula * term * term
+
+and unop =
+  | Bnot
+  | Bneg
+
+and binop =
+  | Band
+  | Bor
+  | Bxor
+  | Badd
+  | Bsub
+  | Bmul
+  | Budiv
+  | Burem
+  | Bshl
+  | Blshr
+  | Bashr
+
+and formula =
+  | Btrue
+  | Bfalse
+  | Pvar of string
+  | Eq of term * term
+  | Ult of term * term
+  | Ule of term * term
+  | Slt of term * term
+  | Sle of term * term
+  | Fnot of formula
+  | Fand of formula * formula
+  | For of formula * formula
+  | Fxor of formula * formula
+
+let max_width = 31
+
+let rec width = function
+  | Const { width; _ } | Var { width; _ } -> width
+  | Unop (_, a) | Binop (_, a, _) | Ite (_, a, _) -> width a
+
+let width_of = width
+
+let mask ~width = (1 lsl width) - 1
+let truncate ~width v = v land mask ~width
+
+let to_signed ~width v =
+  let v = truncate ~width v in
+  if v land (1 lsl (width - 1)) <> 0 then v - (1 lsl width) else v
+
+let check_width w =
+  if w < 1 || w > max_width then
+    invalid_arg (Printf.sprintf "Bv: width %d out of range 1..%d" w max_width)
+
+let check_same a b op =
+  if width a <> width b then
+    invalid_arg
+      (Printf.sprintf "Bv.%s: width mismatch (%d vs %d)" op (width a) (width b))
+
+let const ~width v =
+  check_width width;
+  Const { width; value = truncate ~width v }
+
+let var ~width name =
+  check_width width;
+  Var { width; name }
+
+(* -- constant folding helpers -- *)
+
+let eval_unop op ~width v =
+  match op with
+  | Bnot -> truncate ~width (lnot v)
+  | Bneg -> truncate ~width (-v)
+
+let eval_binop op ~width a b =
+  let t = truncate ~width in
+  match op with
+  | Band -> a land b
+  | Bor -> a lor b
+  | Bxor -> a lxor b
+  | Badd -> t (a + b)
+  | Bsub -> t (a - b)
+  | Bmul -> t (a * b)
+  | Budiv -> if b = 0 then mask ~width else a / b
+  | Burem -> if b = 0 then a else a mod b
+  | Bshl -> if b >= width then 0 else t (a lsl b)
+  | Blshr -> if b >= width then 0 else a lsr b
+  | Bashr ->
+    let s = to_signed ~width a in
+    if b >= width then t (s asr 62) else t (s asr b)
+
+let unop op a =
+  match a with
+  | Const { width; value } -> Const { width; value = eval_unop op ~width value }
+  | _ -> Unop (op, a)
+
+let binop op a b =
+  check_same a b
+    (match op with
+    | Band -> "band"
+    | Bor -> "bor"
+    | Bxor -> "bxor"
+    | Badd -> "badd"
+    | Bsub -> "bsub"
+    | Bmul -> "bmul"
+    | Budiv -> "budiv"
+    | Burem -> "burem"
+    | Bshl -> "bshl"
+    | Blshr -> "blshr"
+    | Bashr -> "bashr");
+  match (a, b) with
+  | Const { width; value = va }, Const { value = vb; _ } ->
+    Const { width; value = eval_binop op ~width va vb }
+  | _ -> Binop (op, a, b)
+
+let bnot a = unop Bnot a
+let bneg a = unop Bneg a
+let band a b = binop Band a b
+let bor a b = binop Bor a b
+let bxor a b = binop Bxor a b
+let badd a b = binop Badd a b
+let bsub a b = binop Bsub a b
+let bmul a b = binop Bmul a b
+let budiv a b = binop Budiv a b
+let burem a b = binop Burem a b
+let bshl a b = binop Bshl a b
+let blshr a b = binop Blshr a b
+let bashr a b = binop Bashr a b
+
+let tru = Btrue
+let fls = Bfalse
+let pvar name = Pvar name
+
+let cmp ctor fold a b op =
+  check_same a b op;
+  match (a, b) with
+  | Const { width; value = va }, Const { value = vb; _ } ->
+    if fold ~width va vb then Btrue else Bfalse
+  | _ -> ctor (a, b)
+
+let eq a b =
+  cmp (fun (a, b) -> Eq (a, b)) (fun ~width:_ x y -> x = y) a b "eq"
+
+let ult a b =
+  cmp (fun (a, b) -> Ult (a, b)) (fun ~width:_ x y -> x < y) a b "ult"
+
+let ule a b =
+  cmp (fun (a, b) -> Ule (a, b)) (fun ~width:_ x y -> x <= y) a b "ule"
+
+let slt a b =
+  cmp
+    (fun (a, b) -> Slt (a, b))
+    (fun ~width x y -> to_signed ~width x < to_signed ~width y)
+    a b "slt"
+
+let sle a b =
+  cmp
+    (fun (a, b) -> Sle (a, b))
+    (fun ~width x y -> to_signed ~width x <= to_signed ~width y)
+    a b "sle"
+
+let fnot = function
+  | Btrue -> Bfalse
+  | Bfalse -> Btrue
+  | Fnot f -> f
+  | f -> Fnot f
+
+let fand a b =
+  match (a, b) with
+  | Btrue, f | f, Btrue -> f
+  | Bfalse, _ | _, Bfalse -> Bfalse
+  | _ -> Fand (a, b)
+
+let for_ a b =
+  match (a, b) with
+  | Bfalse, f | f, Bfalse -> f
+  | Btrue, _ | _, Btrue -> Btrue
+  | _ -> For (a, b)
+
+let fxor a b =
+  match (a, b) with
+  | Bfalse, f | f, Bfalse -> f
+  | Btrue, f | f, Btrue -> fnot f
+  | _ -> Fxor (a, b)
+
+let fimplies a b = for_ (fnot a) b
+let fiff a b = fnot (fxor a b)
+let neq a b = fnot (eq a b)
+let ugt a b = ult b a
+let uge a b = ule b a
+let conj fs = List.fold_left fand Btrue fs
+let disj fs = List.fold_left for_ Bfalse fs
+
+let ite c a b =
+  check_same a b "ite";
+  match c with
+  | Btrue -> a
+  | Bfalse -> b
+  | _ -> if a = b then a else Ite (c, a, b)
+
+(* -- evaluation -- *)
+
+type env = { bv : string -> int; bool : string -> bool }
+
+let env_of_alist alist =
+  {
+    bv = (fun name -> match List.assoc_opt name alist with Some v -> v | None -> 0);
+    bool = (fun _ -> false);
+  }
+
+let rec eval_term env = function
+  | Const { value; _ } -> value
+  | Var { width; name } -> truncate ~width (env.bv name)
+  | Unop (op, a) ->
+    let w = width a in
+    eval_unop op ~width:w (eval_term env a)
+  | Binop (op, a, b) ->
+    let w = width a in
+    eval_binop op ~width:w (eval_term env a) (eval_term env b)
+  | Ite (c, a, b) -> if eval env c then eval_term env a else eval_term env b
+
+and eval env = function
+  | Btrue -> true
+  | Bfalse -> false
+  | Pvar name -> env.bool name
+  | Eq (a, b) -> eval_term env a = eval_term env b
+  | Ult (a, b) -> eval_term env a < eval_term env b
+  | Ule (a, b) -> eval_term env a <= eval_term env b
+  | Slt (a, b) ->
+    let w = width a in
+    to_signed ~width:w (eval_term env a) < to_signed ~width:w (eval_term env b)
+  | Sle (a, b) ->
+    let w = width a in
+    to_signed ~width:w (eval_term env a) <= to_signed ~width:w (eval_term env b)
+  | Fnot f -> not (eval env f)
+  | Fand (a, b) -> eval env a && eval env b
+  | For (a, b) -> eval env a || eval env b
+  | Fxor (a, b) -> eval env a <> eval env b
+
+(* -- substitution -- *)
+
+let rec subst_term lookup = function
+  | Const _ as t -> t
+  | Var { width; name } as t -> (
+    match lookup name with
+    | None -> t
+    | Some r ->
+      if width_of r <> width then
+        invalid_arg
+          (Printf.sprintf "Bv.subst_term: %s replaced at wrong width" name);
+      r)
+  | Unop (op, a) -> unop op (subst_term lookup a)
+  | Binop (op, a, b) -> binop op (subst_term lookup a) (subst_term lookup b)
+  | Ite (c, a, b) ->
+    ite (subst lookup c) (subst_term lookup a) (subst_term lookup b)
+
+and subst lookup = function
+  | (Btrue | Bfalse | Pvar _) as f -> f
+  | Eq (a, b) -> eq (subst_term lookup a) (subst_term lookup b)
+  | Ult (a, b) -> ult (subst_term lookup a) (subst_term lookup b)
+  | Ule (a, b) -> ule (subst_term lookup a) (subst_term lookup b)
+  | Slt (a, b) -> slt (subst_term lookup a) (subst_term lookup b)
+  | Sle (a, b) -> sle (subst_term lookup a) (subst_term lookup b)
+  | Fnot f -> fnot (subst lookup f)
+  | Fand (a, b) -> fand (subst lookup a) (subst lookup b)
+  | For (a, b) -> for_ (subst lookup a) (subst lookup b)
+  | Fxor (a, b) -> fxor (subst lookup a) (subst lookup b)
+
+(* -- free variables -- *)
+
+let rec term_vars_acc acc = function
+  | Const _ -> acc
+  | Var { width; name } -> (name, width) :: acc
+  | Unop (_, a) -> term_vars_acc acc a
+  | Binop (_, a, b) -> term_vars_acc (term_vars_acc acc a) b
+  | Ite (c, a, b) -> term_vars_acc (term_vars_acc (formula_vars_acc acc c) a) b
+
+and formula_vars_acc acc = function
+  | Btrue | Bfalse | Pvar _ -> acc
+  | Eq (a, b) | Ult (a, b) | Ule (a, b) | Slt (a, b) | Sle (a, b) ->
+    term_vars_acc (term_vars_acc acc a) b
+  | Fnot f -> formula_vars_acc acc f
+  | Fand (a, b) | For (a, b) | Fxor (a, b) ->
+    formula_vars_acc (formula_vars_acc acc a) b
+
+let term_vars t = List.sort_uniq compare (term_vars_acc [] t)
+let formula_vars f = List.sort_uniq compare (formula_vars_acc [] f)
+
+(* -- pretty printing -- *)
+
+let unop_name = function Bnot -> "~" | Bneg -> "-"
+
+let binop_name = function
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Badd -> "+"
+  | Bsub -> "-"
+  | Bmul -> "*"
+  | Budiv -> "/"
+  | Burem -> "%"
+  | Bshl -> "<<"
+  | Blshr -> ">>"
+  | Bashr -> ">>a"
+
+let rec pp_term fmt = function
+  | Const { width; value } -> Format.fprintf fmt "%d:%d" value width
+  | Var { name; _ } -> Format.pp_print_string fmt name
+  | Unop (op, a) -> Format.fprintf fmt "%s%a" (unop_name op) pp_term a
+  | Binop (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp_term a (binop_name op) pp_term b
+  | Ite (c, a, b) ->
+    Format.fprintf fmt "(ite %a %a %a)" pp c pp_term a pp_term b
+
+and pp fmt = function
+  | Btrue -> Format.pp_print_string fmt "true"
+  | Bfalse -> Format.pp_print_string fmt "false"
+  | Pvar name -> Format.pp_print_string fmt name
+  | Eq (a, b) -> Format.fprintf fmt "(%a = %a)" pp_term a pp_term b
+  | Ult (a, b) -> Format.fprintf fmt "(%a <u %a)" pp_term a pp_term b
+  | Ule (a, b) -> Format.fprintf fmt "(%a <=u %a)" pp_term a pp_term b
+  | Slt (a, b) -> Format.fprintf fmt "(%a <s %a)" pp_term a pp_term b
+  | Sle (a, b) -> Format.fprintf fmt "(%a <=s %a)" pp_term a pp_term b
+  | Fnot f -> Format.fprintf fmt "!%a" pp f
+  | Fand (a, b) -> Format.fprintf fmt "(%a /\\ %a)" pp a pp b
+  | For (a, b) -> Format.fprintf fmt "(%a \\/ %a)" pp a pp b
+  | Fxor (a, b) -> Format.fprintf fmt "(%a xor %a)" pp a pp b

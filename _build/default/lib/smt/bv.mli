@@ -1,0 +1,123 @@
+(** Quantifier-free bit-vector terms and formulas (QF_BV).
+
+    Widths are limited to 1..31 bits so that values fit comfortably in an
+    OCaml [int] (products of 31-bit values still fit in 63 bits). Values
+    are unsigned integers in [0, 2^width); signed operations interpret the
+    top bit as the sign in two's complement.
+
+    Construct terms with the smart constructors below — they check width
+    agreement and fold constants. *)
+
+type term = private
+  | Const of { width : int; value : int }
+  | Var of { width : int; name : string }
+  | Unop of unop * term
+  | Binop of binop * term * term
+  | Ite of formula * term * term
+
+and unop =
+  | Bnot  (** bitwise complement *)
+  | Bneg  (** two's complement negation *)
+
+and binop =
+  | Band
+  | Bor
+  | Bxor
+  | Badd
+  | Bsub
+  | Bmul
+  | Budiv  (** unsigned division; division by zero yields all-ones *)
+  | Burem  (** unsigned remainder; remainder by zero yields the dividend *)
+  | Bshl
+  | Blshr
+  | Bashr
+
+and formula = private
+  | Btrue
+  | Bfalse
+  | Pvar of string  (** free boolean variable *)
+  | Eq of term * term
+  | Ult of term * term
+  | Ule of term * term
+  | Slt of term * term
+  | Sle of term * term
+  | Fnot of formula
+  | Fand of formula * formula
+  | For of formula * formula
+  | Fxor of formula * formula
+
+val max_width : int
+
+val width : term -> int
+
+(** {2 Term constructors} *)
+
+val const : width:int -> int -> term
+(** [const ~width v] truncates [v] to [width] bits. *)
+
+val var : width:int -> string -> term
+val bnot : term -> term
+val bneg : term -> term
+val band : term -> term -> term
+val bor : term -> term -> term
+val bxor : term -> term -> term
+val badd : term -> term -> term
+val bsub : term -> term -> term
+val bmul : term -> term -> term
+val budiv : term -> term -> term
+val burem : term -> term -> term
+val bshl : term -> term -> term
+val blshr : term -> term -> term
+val bashr : term -> term -> term
+val ite : formula -> term -> term -> term
+
+(** {2 Formula constructors} *)
+
+val tru : formula
+val fls : formula
+val pvar : string -> formula
+val eq : term -> term -> formula
+val neq : term -> term -> formula
+val ult : term -> term -> formula
+val ule : term -> term -> formula
+val ugt : term -> term -> formula
+val uge : term -> term -> formula
+val slt : term -> term -> formula
+val sle : term -> term -> formula
+val fnot : formula -> formula
+val fand : formula -> formula -> formula
+val for_ : formula -> formula -> formula
+val fxor : formula -> formula -> formula
+val fimplies : formula -> formula -> formula
+val fiff : formula -> formula -> formula
+val conj : formula list -> formula
+val disj : formula list -> formula
+
+(** {2 Evaluation} *)
+
+type env = { bv : string -> int; bool : string -> bool }
+
+val env_of_alist : (string * int) list -> env
+(** Unknown bit-vector variables evaluate to 0, booleans to [false]. *)
+
+val eval_term : env -> term -> int
+val eval : env -> formula -> bool
+
+(** {2 Semantics helpers} *)
+
+val truncate : width:int -> int -> int
+val to_signed : width:int -> int -> int
+(** Reinterpret an unsigned [width]-bit value as a signed integer. *)
+
+val subst_term : (string -> term option) -> term -> term
+(** Capture-free substitution of bit-vector variables. The replacement
+    must have the same width as the variable it replaces. *)
+
+val subst : (string -> term option) -> formula -> formula
+
+val term_vars : term -> (string * int) list
+val formula_vars : formula -> (string * int) list
+(** Free bit-vector variables with their widths, deduplicated. *)
+
+val pp_term : Format.formatter -> term -> unit
+val pp : Format.formatter -> formula -> unit

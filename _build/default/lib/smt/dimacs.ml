@@ -1,0 +1,75 @@
+type problem = {
+  nvars : int;
+  clauses : Lit.t list list;
+}
+
+let parse text =
+  let tokens_of line = String.split_on_char ' ' line |> List.filter (( <> ) "") in
+  let lines = String.split_on_char '\n' text in
+  let nvars = ref (-1) in
+  let nclauses = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> failwith (Printf.sprintf "Dimacs.parse: bad token %S" tok)
+    | Some 0 ->
+      clauses := List.rev !current :: !clauses;
+      current := []
+    | Some i ->
+      if !nvars < 0 then failwith "Dimacs.parse: literal before header";
+      if abs i > !nvars then
+        failwith (Printf.sprintf "Dimacs.parse: literal %d out of range" i);
+      current := Lit.of_int i :: !current
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match tokens_of line with
+        | [ "p"; "cnf"; nv; nc ] -> (
+          match (int_of_string_opt nv, int_of_string_opt nc) with
+          | Some nv, Some nc ->
+            nvars := nv;
+            nclauses := nc
+          | _ -> failwith "Dimacs.parse: bad header")
+        | _ -> failwith "Dimacs.parse: bad header"
+      end
+      else List.iter handle_token (tokens_of line))
+    lines;
+  if !nvars < 0 then failwith "Dimacs.parse: missing header";
+  if !current <> [] then failwith "Dimacs.parse: unterminated clause";
+  let clauses = List.rev !clauses in
+  if !nclauses >= 0 && List.length clauses <> !nclauses then
+    failwith
+      (Printf.sprintf "Dimacs.parse: header declares %d clauses, found %d"
+         !nclauses (List.length clauses));
+  { nvars = !nvars; clauses }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text
+
+let print fmt p =
+  Format.fprintf fmt "p cnf %d %d@." p.nvars (List.length p.clauses);
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Format.fprintf fmt "%d " (Lit.to_int l)) clause;
+      Format.fprintf fmt "0@.")
+    p.clauses
+
+let to_string p = Format.asprintf "%a" print p
+
+let solve p =
+  let s = Sat.create () in
+  for _ = 1 to p.nvars do
+    ignore (Sat.new_var s)
+  done;
+  List.iter (Sat.add_clause s) p.clauses;
+  match Sat.solve s with
+  | Sat.Unsat -> Dpll.Unsat
+  | Sat.Sat -> Dpll.Sat (Array.init p.nvars (Sat.value s))

@@ -1,0 +1,26 @@
+(** DIMACS CNF reading and writing.
+
+    Standard interchange format for the SAT solver, so instances can be
+    exported to (or imported from) external tools. *)
+
+type problem = {
+  nvars : int;
+  clauses : Lit.t list list;
+}
+
+val parse : string -> problem
+(** Parse DIMACS CNF text. Accepts comment lines ([c ...]), a [p cnf]
+    header, and 0-terminated clauses (possibly spanning lines). Raises
+    [Failure] on malformed input or out-of-range literals. *)
+
+val parse_file : string -> problem
+
+val print : Format.formatter -> problem -> unit
+(** Render in DIMACS format (with a [p cnf] header). *)
+
+val to_string : problem -> string
+
+val solve : problem -> Dpll.result
+(** Decide with the CDCL solver ({!Sat}); the model (if any) is reported
+    in the same representation as the reference solver's for easy
+    checking. *)

@@ -1,0 +1,58 @@
+type result =
+  | Sat of bool array
+  | Unsat
+
+let eval_clause m c = List.exists (fun l -> m.(Lit.var l) = Lit.sign l) c
+let eval m cnf = List.for_all (eval_clause m) cnf
+
+(* assignment: 1 true / 0 false / -1 unassigned *)
+let lit_value assign l =
+  let a = assign.(Lit.var l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+exception Conflict
+
+(* Simplify clauses under [assign]: drop satisfied clauses, remove false
+   literals, collect unit literals. Raises [Conflict] on an empty clause. *)
+let rec propagate assign cnf =
+  let units = ref [] in
+  let rest = ref [] in
+  let changed = ref false in
+  let examine c =
+    if not (List.exists (fun l -> lit_value assign l = 1) c) then begin
+      match List.filter (fun l -> lit_value assign l < 0) c with
+      | [] -> raise Conflict
+      | [ u ] -> units := u :: !units
+      | c' -> rest := c' :: !rest
+    end
+  in
+  List.iter examine cnf;
+  List.iter
+    (fun u ->
+      match lit_value assign u with
+      | 1 -> ()
+      | 0 -> raise Conflict
+      | _ ->
+        assign.(Lit.var u) <- (if Lit.sign u then 1 else 0);
+        changed := true)
+    !units;
+  if !changed then propagate assign !rest else !rest
+
+let solve ~nvars cnf =
+  let assign = Array.make (max nvars 1) (-1) in
+  let rec go cnf =
+    match propagate assign cnf with
+    | exception Conflict -> false
+    | [] -> true
+    | (l :: _) :: _ ->
+      let saved = Array.copy assign in
+      let try_branch lit =
+        assign.(Lit.var lit) <- (if Lit.sign lit then 1 else 0);
+        let ok = go cnf in
+        if not ok then Array.blit saved 0 assign 0 (Array.length assign);
+        ok
+      in
+      try_branch l || try_branch (Lit.neg l)
+    | [] :: _ -> false
+  in
+  if go cnf then Sat (Array.map (fun a -> a = 1) assign) else Unsat

@@ -1,0 +1,15 @@
+(** A deliberately simple DPLL solver used as a test reference.
+
+    Recursive unit propagation + branching, no learning. Exponential on
+    hard instances, but trustworthy by inspection: the CDCL solver in
+    {!Sat} is differentially tested against it on random formulas. *)
+
+type result =
+  | Sat of bool array (** model indexed by variable *)
+  | Unsat
+
+val solve : nvars:int -> Lit.t list list -> result
+
+val eval_clause : bool array -> Lit.t list -> bool
+val eval : bool array -> Lit.t list list -> bool
+(** [eval m cnf] checks that assignment [m] satisfies every clause. *)

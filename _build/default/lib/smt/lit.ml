@@ -1,0 +1,17 @@
+type t = int
+
+let make v sign =
+  assert (v >= 0);
+  (2 * v) + if sign then 0 else 1
+
+let pos v = make v true
+let neg_of v = make v false
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let neg l = l lxor 1
+let to_int l = if sign l then var l + 1 else -(var l + 1)
+let of_int i =
+  assert (i <> 0);
+  if i > 0 then pos (i - 1) else neg_of (-i - 1)
+
+let pp fmt l = Format.fprintf fmt "%d" (to_int l)

@@ -1,0 +1,29 @@
+(** Propositional literals.
+
+    Variables are non-negative integers. A literal packs a variable and a
+    sign into one integer: the positive literal of variable [v] is [2 * v],
+    its negation [2 * v + 1]. This is the classic MiniSat encoding: it lets
+    watch lists be indexed directly by literal. *)
+
+type t = int
+
+val make : int -> bool -> t
+(** [make v sign] is the literal on variable [v]; positive iff [sign]. *)
+
+val pos : int -> t
+val neg_of : int -> t
+
+val var : t -> int
+val sign : t -> bool
+(** [sign l] is [true] for a positive literal. *)
+
+val neg : t -> t
+(** Negation; an involution. *)
+
+val to_int : t -> int
+(** DIMACS-style signed integer: variable index + 1, negative if negated. *)
+
+val of_int : int -> t
+(** Inverse of [to_int]; [of_int 0] is invalid. *)
+
+val pp : Format.formatter -> t -> unit

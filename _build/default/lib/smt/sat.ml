@@ -1,0 +1,435 @@
+module Ivec = Vec.Ivec
+
+type result =
+  | Sat
+  | Unsat
+
+type t = {
+  mutable ok : bool; (* false once an empty clause has been derived *)
+  clauses : int array Vec.t;
+  mutable watches : Ivec.t array; (* indexed by literal *)
+  mutable assign : int array; (* per var: 1 true, 0 false, -1 unassigned *)
+  mutable level : int array;
+  mutable reason : int array; (* clause index or -1 *)
+  mutable phase : bool array; (* saved polarity *)
+  mutable activity : float array;
+  mutable heap_pos : int array; (* position in [heap], -1 if absent *)
+  heap : Ivec.t;
+  trail : Ivec.t;
+  trail_lim : Ivec.t;
+  mutable qhead : int;
+  mutable nvars : int;
+  mutable var_inc : float;
+  mutable conflicts : int;
+  mutable saved_model : bool array;
+}
+
+let create () =
+  {
+    ok = true;
+    clauses = Vec.create ();
+    watches = [||];
+    assign = [||];
+    level = [||];
+    reason = [||];
+    phase = [||];
+    activity = [||];
+    heap_pos = [||];
+    heap = Ivec.create ();
+    trail = Ivec.create ();
+    trail_lim = Ivec.create ();
+    qhead = 0;
+    nvars = 0;
+    var_inc = 1.0;
+    conflicts = 0;
+    saved_model = [||];
+  }
+
+let num_vars s = s.nvars
+let num_clauses s = Vec.size s.clauses
+let num_conflicts s = s.conflicts
+
+(* ----- variable order heap (max-heap on activity) ----- *)
+
+let heap_lt s a b = s.activity.(a) > s.activity.(b)
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    let vi = Ivec.get s.heap i and vp = Ivec.get s.heap p in
+    if heap_lt s vi vp then begin
+      Ivec.set s.heap i vp;
+      Ivec.set s.heap p vi;
+      s.heap_pos.(vp) <- i;
+      s.heap_pos.(vi) <- p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let n = Ivec.size s.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  if l < n then begin
+    let c =
+      if r < n && heap_lt s (Ivec.get s.heap r) (Ivec.get s.heap l) then r
+      else l
+    in
+    let vi = Ivec.get s.heap i and vc = Ivec.get s.heap c in
+    if heap_lt s vc vi then begin
+      Ivec.set s.heap i vc;
+      Ivec.set s.heap c vi;
+      s.heap_pos.(vc) <- i;
+      s.heap_pos.(vi) <- c;
+      heap_down s c
+    end
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    Ivec.push s.heap v;
+    s.heap_pos.(v) <- Ivec.size s.heap - 1;
+    heap_up s (Ivec.size s.heap - 1)
+  end
+
+let heap_pop_max s =
+  let top = Ivec.get s.heap 0 in
+  let lst = Ivec.pop s.heap in
+  s.heap_pos.(top) <- -1;
+  if Ivec.size s.heap > 0 then begin
+    Ivec.set s.heap 0 lst;
+    s.heap_pos.(lst) <- 0;
+    heap_down s 0
+  end;
+  top
+
+(* ----- variables ----- *)
+
+let grow_to len arr fill =
+  let n = Array.length arr in
+  if len <= n then arr
+  else begin
+    let a = Array.make (max len (max 16 (2 * n))) fill in
+    Array.blit arr 0 a 0 n;
+    a
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assign <- grow_to s.nvars s.assign (-1);
+  s.level <- grow_to s.nvars s.level 0;
+  s.reason <- grow_to s.nvars s.reason (-1);
+  s.phase <- grow_to s.nvars s.phase false;
+  s.activity <- grow_to s.nvars s.activity 0.0;
+  s.heap_pos <- grow_to s.nvars s.heap_pos (-1);
+  if Array.length s.watches < 2 * s.nvars then begin
+    let w = Array.init (max 32 (4 * s.nvars)) (fun _ -> Ivec.create ()) in
+    Array.blit s.watches 0 w 0 (Array.length s.watches);
+    s.watches <- w
+  end;
+  heap_insert s v;
+  v
+
+let lit_value s l =
+  let a = s.assign.(Lit.var l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let decision_level s = Ivec.size s.trail_lim
+
+let enqueue s p reason =
+  let v = Lit.var p in
+  assert (s.assign.(v) < 0);
+  s.assign.(v) <- (if Lit.sign p then 1 else 0);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Ivec.push s.trail p
+
+let new_decision_level s = Ivec.push s.trail_lim (Ivec.size s.trail)
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Ivec.get s.trail_lim lvl in
+    for i = Ivec.size s.trail - 1 downto bound do
+      let p = Ivec.get s.trail i in
+      let v = Lit.var p in
+      s.phase.(v) <- Lit.sign p;
+      s.assign.(v) <- -1;
+      s.reason.(v) <- -1;
+      heap_insert s v
+    done;
+    s.qhead <- bound;
+    Ivec.shrink s.trail bound;
+    Ivec.shrink s.trail_lim lvl
+  end
+
+(* ----- activity ----- *)
+
+let var_rescale s =
+  for v = 0 to s.nvars - 1 do
+    s.activity.(v) <- s.activity.(v) *. 1e-100
+  done;
+  s.var_inc <- s.var_inc *. 1e-100
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then var_rescale s;
+  if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+(* ----- clauses ----- *)
+
+let attach s ci =
+  let c = Vec.get s.clauses ci in
+  Ivec.push s.watches.(c.(0)) ci;
+  Ivec.push s.watches.(c.(1)) ci
+
+let add_clause_internal s lits =
+  (* Caller guarantees: no duplicates, no tautology, size >= 2,
+     no literal true at level 0, no literal false at level 0. *)
+  let c = Array.of_list lits in
+  Vec.push s.clauses c;
+  attach s (Vec.size s.clauses - 1)
+
+let add_clause s lits =
+  assert (decision_level s = 0);
+  if s.ok then begin
+    let lits = List.sort_uniq compare lits in
+    let tauto =
+      List.exists (fun l -> List.mem (Lit.neg l) lits) lits
+      || List.exists (fun l -> lit_value s l = 1) lits
+    in
+    if not tauto then begin
+      let lits = List.filter (fun l -> lit_value s l <> 0) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ p ] -> enqueue s p (-1)
+      | _ -> add_clause_internal s lits
+    end
+  end
+
+(* ----- propagation ----- *)
+
+let propagate s =
+  let confl = ref (-1) in
+  while !confl < 0 && s.qhead < Ivec.size s.trail do
+    let p = Ivec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    let false_lit = Lit.neg p in
+    let ws = s.watches.(false_lit) in
+    let n = Ivec.size ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let ci = Ivec.get ws !i in
+      incr i;
+      if !confl >= 0 then begin
+        (* conflict already found: keep remaining watches untouched *)
+        Ivec.set ws !j ci;
+        incr j
+      end
+      else begin
+        let c = Vec.get s.clauses ci in
+        if c.(0) = false_lit then begin
+          c.(0) <- c.(1);
+          c.(1) <- false_lit
+        end;
+        if lit_value s c.(0) = 1 then begin
+          Ivec.set ws !j ci;
+          incr j
+        end
+        else begin
+          let len = Array.length c in
+          let k = ref 2 in
+          while !k < len && lit_value s c.(!k) = 0 do
+            incr k
+          done;
+          if !k < len then begin
+            (* found a replacement watch *)
+            c.(1) <- c.(!k);
+            c.(!k) <- false_lit;
+            Ivec.push s.watches.(c.(1)) ci
+          end
+          else begin
+            Ivec.set ws !j ci;
+            incr j;
+            if lit_value s c.(0) = 0 then confl := ci
+            else enqueue s c.(0) ci
+          end
+        end
+      end
+    done;
+    Ivec.shrink ws !j
+  done;
+  !confl
+
+(* ----- conflict analysis (first UIP) ----- *)
+
+let analyze s confl seen =
+  let learnt = ref [] in
+  let path_c = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Ivec.size s.trail - 1) in
+  let confl = ref confl in
+  let continue = ref true in
+  while !continue do
+    let c = Vec.get s.clauses !confl in
+    let start = if !p < 0 then 0 else 1 in
+    for j = start to Array.length c - 1 do
+      let q = c.(j) in
+      let v = Lit.var q in
+      if (not (Bytes.unsafe_get seen v = '\001')) && s.level.(v) > 0 then begin
+        Bytes.unsafe_set seen v '\001';
+        var_bump s v;
+        if s.level.(v) >= decision_level s then incr path_c
+        else learnt := q :: !learnt
+      end
+    done;
+    (* find the next marked literal on the trail *)
+    while Bytes.get seen (Lit.var (Ivec.get s.trail !index)) <> '\001' do
+      decr index
+    done;
+    p := Ivec.get s.trail !index;
+    decr index;
+    Bytes.set seen (Lit.var !p) '\000';
+    decr path_c;
+    if !path_c > 0 then confl := s.reason.(Lit.var !p) else continue := false
+  done;
+  let asserting = Lit.neg !p in
+  (* local clause minimization (Sörensson–Biere): a literal is redundant
+     when every antecedent in its reason clause is already in the learnt
+     clause (still marked seen) or assigned at level 0 *)
+  let redundant q =
+    let r = s.reason.(Lit.var q) in
+    r >= 0
+    && Array.for_all
+         (fun p ->
+           Lit.var p = Lit.var q
+           || Bytes.get seen (Lit.var p) = '\001'
+           || s.level.(Lit.var p) = 0)
+         (Vec.get s.clauses r)
+  in
+  let minimized = List.filter (fun q -> not (redundant q)) !learnt in
+  List.iter (fun q -> Bytes.set seen (Lit.var q) '\000') !learnt;
+  let learnt = ref minimized in
+  (* backjump level = max level among the non-asserting literals *)
+  match !learnt with
+  | [] -> (asserting, [], 0)
+  | rest ->
+    let best =
+      List.fold_left
+        (fun acc q -> if s.level.(Lit.var q) > s.level.(Lit.var acc) then q else acc)
+        (List.hd rest) rest
+    in
+    let rest = best :: List.filter (fun q -> q != best) rest in
+    (asserting, rest, s.level.(Lit.var best))
+
+(* ----- search ----- *)
+
+exception Found of result
+
+let rec luby i =
+  (* Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i do
+    incr k
+  done;
+  if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
+  else luby (i - (1 lsl (!k - 1)) + 1)
+
+let save_model s =
+  let m = Array.make s.nvars false in
+  for v = 0 to s.nvars - 1 do
+    m.(v) <- s.assign.(v) = 1
+  done;
+  s.saved_model <- m
+
+let handle_conflict s seen ci =
+  s.conflicts <- s.conflicts + 1;
+  if decision_level s = 0 then raise (Found Unsat);
+  let asserting, rest, blevel = analyze s ci seen in
+  cancel_until s blevel;
+  (match rest with
+  | [] -> enqueue s asserting (-1)
+  | _ ->
+    let c = Array.of_list (asserting :: rest) in
+    Vec.push s.clauses c;
+    let ci = Vec.size s.clauses - 1 in
+    attach s ci;
+    enqueue s asserting ci);
+  var_decay s
+
+(* Re-establish assumptions as pseudo-decisions; raises [Found Unsat] when
+   an assumption is already false under the current prefix. *)
+let rec assume s assumptions =
+  if decision_level s < Array.length assumptions then begin
+    let p = assumptions.(decision_level s) in
+    match lit_value s p with
+    | 1 -> new_decision_level s; assume s assumptions
+    | 0 -> raise (Found Unsat)
+    | _ ->
+      new_decision_level s;
+      enqueue s p (-1);
+      (* propagate before the next assumption so values are visible *)
+      let ci = propagate s in
+      if ci >= 0 then raise (Found Unsat) else assume s assumptions
+  end
+
+let decide s =
+  let rec pick () =
+    if Ivec.size s.heap = 0 then None
+    else
+      let v = heap_pop_max s in
+      if s.assign.(v) < 0 then Some v else pick ()
+  in
+  match pick () with
+  | None ->
+    save_model s;
+    raise (Found Sat)
+  | Some v ->
+    new_decision_level s;
+    enqueue s (Lit.make v s.phase.(v)) (-1)
+
+let search s seen assumptions budget =
+  let local = ref 0 in
+  let rec loop () =
+    let ci = propagate s in
+    if ci >= 0 then begin
+      incr local;
+      handle_conflict s seen ci;
+      loop ()
+    end
+    else if !local >= budget then begin
+      cancel_until s 0;
+      `Restart
+    end
+    else begin
+      assume s assumptions;
+      decide s;
+      loop ()
+    end
+  in
+  loop ()
+
+let solve_with_assumptions s assumptions =
+  if not s.ok then Unsat
+  else begin
+    let assumptions = Array.of_list assumptions in
+    let seen = Bytes.make (max 1 s.nvars) '\000' in
+    try
+      let rec run i =
+        match search s seen assumptions (100 * luby i) with
+        | `Restart -> run (i + 1)
+      in
+      run 1
+    with Found r ->
+      cancel_until s 0;
+      r
+  end
+
+let solve s = solve_with_assumptions s []
+
+let value s v =
+  if v < Array.length s.saved_model then s.saved_model.(v) else false
+
+let model s = Array.copy s.saved_model

@@ -1,0 +1,47 @@
+(** A CDCL SAT solver.
+
+    Implements the standard conflict-driven clause learning architecture:
+    two-watched-literal unit propagation, first-UIP conflict analysis with
+    non-chronological backjumping, VSIDS variable activities with phase
+    saving, and Luby-sequence restarts. This is the deductive engine [D]
+    underneath every bit-vector query in the repository.
+
+    Usage: create a solver, allocate variables with [new_var], add clauses
+    (lists of {!Lit.t}), then call [solve]. *)
+
+type t
+
+type result =
+  | Sat
+  | Unsat
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable and return its index. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+val num_conflicts : t -> int
+(** Conflicts encountered during all [solve] calls so far. *)
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a clause. Tautologies are dropped; the empty clause makes the
+    instance trivially unsatisfiable. All mentioned variables must have
+    been allocated with [new_var]. Clauses may only be added before
+    [solve] is called. *)
+
+val solve : t -> result
+(** Decide satisfiability. May be called once per solver. *)
+
+val solve_with_assumptions : t -> Lit.t list -> result
+(** Like [solve] but under the given assumption literals. The solver can
+    be re-used across calls with different assumptions, and clauses may be
+    added between calls. *)
+
+val value : t -> int -> bool
+(** [value s v] is the truth value of variable [v] in the model found by
+    the last successful [solve]. Unassigned variables read as [false]. *)
+
+val model : t -> bool array
+(** The full model (indexed by variable) after a [Sat] answer. *)

@@ -1,0 +1,33 @@
+type t = { bb : Bitblast.t }
+
+type answer =
+  | Sat
+  | Unsat
+
+let create () = { bb = Bitblast.create () }
+let assert_formula t f = Bitblast.assert_formula t.bb f
+
+let check t =
+  let sat = Tseitin.solver (Bitblast.context t.bb) in
+  match Sat.solve_with_assumptions sat [] with
+  | Sat.Sat -> Sat
+  | Sat.Unsat -> Unsat
+
+let value t name = Option.value (Bitblast.value_of t.bb name) ~default:0
+
+let bool_value t name =
+  Option.value (Bitblast.bool_value_of t.bb name) ~default:false
+
+let model_env t = Bitblast.model_env t.bb
+
+let check_formulas fs =
+  let t = create () in
+  List.iter (assert_formula t) fs;
+  match check t with
+  | Sat -> Ok (model_env t)
+  | Unsat -> Error ()
+
+let stats t =
+  let sat = Tseitin.solver (Bitblast.context t.bb) in
+  Printf.sprintf "vars=%d clauses=%d conflicts=%d" (Sat.num_vars sat)
+    (Sat.num_clauses sat) (Sat.num_conflicts sat)

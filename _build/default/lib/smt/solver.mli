@@ -1,0 +1,29 @@
+(** User-facing QF_BV satisfiability interface.
+
+    This is the deductive engine handed to the sciduction applications:
+    assert formulas, check, read back a model. The solver is incremental
+    in the "assert more, check again" sense (no retraction). *)
+
+type t
+
+type answer =
+  | Sat
+  | Unsat
+
+val create : unit -> t
+val assert_formula : t -> Bv.formula -> unit
+val check : t -> answer
+
+val value : t -> string -> int
+(** Model value of a bit-vector variable after a [Sat] answer; variables
+    the solver never saw read as 0. *)
+
+val bool_value : t -> string -> bool
+val model_env : t -> Bv.env
+
+val check_formulas : Bv.formula list -> (Bv.env, unit) result
+(** One-shot convenience: satisfiability of a conjunction. [Ok env]
+    carries the model; [Error ()] means unsatisfiable. *)
+
+val stats : t -> string
+(** Human-readable solver statistics (variables, clauses, conflicts). *)

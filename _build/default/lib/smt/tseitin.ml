@@ -1,0 +1,81 @@
+type t = { sat : Sat.t; tt : Lit.t }
+
+let create () =
+  let sat = Sat.create () in
+  let v = Sat.new_var sat in
+  let tt = Lit.pos v in
+  Sat.add_clause sat [ tt ];
+  { sat; tt }
+
+let solver t = t.sat
+let true_ t = t.tt
+let false_ t = Lit.neg t.tt
+let of_bool t b = if b then true_ t else false_ t
+let fresh t = Lit.pos (Sat.new_var t.sat)
+let assert_lit t l = Sat.add_clause t.sat [ l ]
+let assert_clause t c = Sat.add_clause t.sat c
+let not_ l = Lit.neg l
+
+let is_true t l = l = t.tt
+let is_false t l = l = Lit.neg t.tt
+
+let and2 t a b =
+  if is_false t a || is_false t b then false_ t
+  else if is_true t a then b
+  else if is_true t b then a
+  else if a = b then a
+  else if a = Lit.neg b then false_ t
+  else begin
+    let o = fresh t in
+    Sat.add_clause t.sat [ Lit.neg o; a ];
+    Sat.add_clause t.sat [ Lit.neg o; b ];
+    Sat.add_clause t.sat [ o; Lit.neg a; Lit.neg b ];
+    o
+  end
+
+let or2 t a b = Lit.neg (and2 t (Lit.neg a) (Lit.neg b))
+
+let xor2 t a b =
+  if is_false t a then b
+  else if is_false t b then a
+  else if is_true t a then Lit.neg b
+  else if is_true t b then Lit.neg a
+  else if a = b then false_ t
+  else if a = Lit.neg b then true_ t
+  else begin
+    let o = fresh t in
+    Sat.add_clause t.sat [ Lit.neg o; a; b ];
+    Sat.add_clause t.sat [ Lit.neg o; Lit.neg a; Lit.neg b ];
+    Sat.add_clause t.sat [ o; Lit.neg a; b ];
+    Sat.add_clause t.sat [ o; a; Lit.neg b ];
+    o
+  end
+
+let iff2 t a b = Lit.neg (xor2 t a b)
+let implies t a b = or2 t (Lit.neg a) b
+
+let mux t c a b =
+  if is_true t c then a
+  else if is_false t c then b
+  else if a = b then a
+  else begin
+    let o = fresh t in
+    Sat.add_clause t.sat [ Lit.neg c; Lit.neg a; o ];
+    Sat.add_clause t.sat [ Lit.neg c; a; Lit.neg o ];
+    Sat.add_clause t.sat [ c; Lit.neg b; o ];
+    Sat.add_clause t.sat [ c; b; Lit.neg o ];
+    o
+  end
+
+let and_list t = List.fold_left (and2 t) (true_ t)
+let or_list t = List.fold_left (or2 t) (false_ t)
+
+let full_adder t a b cin =
+  let axb = xor2 t a b in
+  let sum = xor2 t axb cin in
+  let carry = or2 t (and2 t a b) (and2 t axb cin) in
+  (sum, carry)
+
+let lit_of_model t l =
+  let v = Sat.value t.sat (Lit.var l) in
+  if Lit.sign l then v else not v

@@ -1,0 +1,40 @@
+(** Tseitin-style gate encoding on top of {!Sat}.
+
+    A context wraps a SAT solver and provides boolean "wires" (literals)
+    plus gate constructors that emit the defining clauses. Constant wires
+    are folded away eagerly, so downstream encoders (notably the bit
+    blaster) can be written naively and still produce compact CNF. *)
+
+type t
+
+val create : unit -> t
+val solver : t -> Sat.t
+
+val true_ : t -> Lit.t
+val false_ : t -> Lit.t
+val of_bool : t -> bool -> Lit.t
+val fresh : t -> Lit.t
+(** A fresh unconstrained wire. *)
+
+val assert_lit : t -> Lit.t -> unit
+(** Constrain a wire to be true (adds a unit clause). *)
+
+val assert_clause : t -> Lit.t list -> unit
+
+val not_ : Lit.t -> Lit.t
+val and2 : t -> Lit.t -> Lit.t -> Lit.t
+val or2 : t -> Lit.t -> Lit.t -> Lit.t
+val xor2 : t -> Lit.t -> Lit.t -> Lit.t
+val iff2 : t -> Lit.t -> Lit.t -> Lit.t
+val implies : t -> Lit.t -> Lit.t -> Lit.t
+val mux : t -> Lit.t -> Lit.t -> Lit.t -> Lit.t
+(** [mux t c a b] is [if c then a else b]. *)
+
+val and_list : t -> Lit.t list -> Lit.t
+val or_list : t -> Lit.t list -> Lit.t
+
+val full_adder : t -> Lit.t -> Lit.t -> Lit.t -> Lit.t * Lit.t
+(** [full_adder t a b cin] is [(sum, carry_out)]. *)
+
+val lit_of_model : t -> Lit.t -> bool
+(** Value of a wire in the model of the last successful solve. *)

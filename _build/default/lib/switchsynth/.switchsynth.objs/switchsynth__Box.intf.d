@@ -1,0 +1,1 @@
+lib/switchsynth/box.mli: Format

@@ -1,0 +1,1 @@
+lib/switchsynth/boxlearn.ml: Array Box Float List

@@ -1,0 +1,1 @@
+lib/switchsynth/boxlearn.mli: Box

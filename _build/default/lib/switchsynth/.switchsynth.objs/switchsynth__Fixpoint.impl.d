@@ -1,0 +1,1 @@
+lib/switchsynth/fixpoint.ml: Array Box Boxlearn Hashtbl Hybrid Label List Printf

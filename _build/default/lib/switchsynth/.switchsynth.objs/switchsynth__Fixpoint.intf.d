@@ -1,0 +1,1 @@
+lib/switchsynth/fixpoint.mli: Box Hybrid Label

@@ -1,0 +1,1 @@
+lib/switchsynth/label.ml: Array Box Hybrid List

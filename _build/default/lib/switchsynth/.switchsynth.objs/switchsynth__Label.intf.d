@@ -1,0 +1,1 @@
+lib/switchsynth/label.mli: Box Hybrid

@@ -1,0 +1,1 @@
+lib/switchsynth/optimal.ml: Array Box Fixpoint Hybrid List String

@@ -1,0 +1,1 @@
+lib/switchsynth/optimal.mli: Fixpoint

@@ -1,0 +1,1 @@
+lib/switchsynth/thermostat_synth.ml: Array Box Fixpoint Hybrid Label

@@ -1,0 +1,1 @@
+lib/switchsynth/thermostat_synth.mli: Fixpoint

@@ -1,0 +1,1 @@
+lib/switchsynth/transmission_synth.ml: Array Box Fixpoint Hybrid Label

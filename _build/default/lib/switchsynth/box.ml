@@ -1,0 +1,64 @@
+type t = {
+  lo : float array;
+  hi : float array;
+}
+
+let make ~lo ~hi =
+  if Array.length lo <> Array.length hi then
+    invalid_arg "Box.make: dimension mismatch";
+  { lo; hi }
+
+let dim b = Array.length b.lo
+let empty d = { lo = Array.make (max d 1) 1.0; hi = Array.make (max d 1) 0.0 }
+
+let is_empty b =
+  let rec go i = i < dim b && (b.lo.(i) > b.hi.(i) || go (i + 1)) in
+  go 0
+
+let mem b p =
+  let rec go i =
+    i >= dim b || (b.lo.(i) <= p.(i) && p.(i) <= b.hi.(i) && go (i + 1))
+  in
+  (not (is_empty b)) && go 0
+
+let segment_meets b p q =
+  let rec go i =
+    i >= dim b
+    || (max b.lo.(i) (min p.(i) q.(i)) <= min b.hi.(i) (max p.(i) q.(i))
+       && go (i + 1))
+  in
+  (not (is_empty b)) && go 0
+
+let snap ~grid b =
+  let r v = Float.round (v /. grid) *. grid in
+  { lo = Array.map r b.lo; hi = Array.map r b.hi }
+
+let equal ?(eps = 1e-9) a b =
+  dim a = dim b
+  && (is_empty a = is_empty b)
+  && (is_empty a
+     ||
+     let rec go i =
+       i >= dim a
+       || (abs_float (a.lo.(i) -. b.lo.(i)) <= eps
+          && abs_float (a.hi.(i) -. b.hi.(i)) <= eps
+          && go (i + 1))
+     in
+     go 0)
+
+let pp fmt b =
+  if is_empty b then Format.pp_print_string fmt "(empty)"
+  else begin
+    Format.fprintf fmt "[";
+    for i = 0 to dim b - 1 do
+      if i > 0 then Format.fprintf fmt " x ";
+      Format.fprintf fmt "%.2f..%.2f" b.lo.(i) b.hi.(i)
+    done;
+    Format.fprintf fmt "]"
+  end
+
+let pp1 fmt b =
+  if is_empty b then Format.pp_print_string fmt "(empty)"
+  else if abs_float (b.lo.(0) -. b.hi.(0)) < 1e-9 then
+    Format.fprintf fmt "w = %.2f" b.lo.(0)
+  else Format.fprintf fmt "%.2f <= w <= %.2f" b.lo.(0) b.hi.(0)

@@ -1,0 +1,33 @@
+(** Hyperboxes on a discrete grid — the structure hypothesis of Section 5.
+
+    A box is a conjunction of interval constraints, one per dimension.
+    The paper's structure hypothesis requires box vertices to lie on a
+    known discrete grid (finite-precision recording of continuous
+    values); {!snap} rounds to that grid. *)
+
+type t = {
+  lo : float array;
+  hi : float array;
+}
+
+val make : lo:float array -> hi:float array -> t
+val dim : t -> int
+val empty : int -> t
+(** A canonical empty box ([lo > hi] in every dimension). *)
+
+val is_empty : t -> bool
+val mem : t -> float array -> bool
+
+val segment_meets : t -> float array -> float array -> bool
+(** [segment_meets b p q]: does the axis-aligned bounding segment from
+    [p] to [q] intersect [b] in every dimension? Used for exit-guard
+    crossing detection between consecutive simulation samples. *)
+
+val snap : grid:float -> t -> t
+(** Round both corners to grid multiples (lo up is not performed — plain
+    nearest rounding, matching finite-precision recording). *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp1 : Format.formatter -> t -> unit
+(** Print a 1-D box as an interval [lo <= x <= hi]. *)

@@ -1,0 +1,100 @@
+let label_count = ref 0
+let labels_used () = !label_count
+let reset_labels_used () = label_count := 0
+
+let counting label p =
+  incr label_count;
+  label p
+
+let snap grid v = Float.round (v /. grid) *. grid
+
+(* Largest k in [0, steps] such that every grid point between the seed
+   and [seed + k * dir * grid] along dimension [d] labels positive —
+   i.e., the edge of the seed's connected component. The positive set
+   need not be one interval (e.g. the transmission's vacuously-safe
+   low-speed pocket is disjoint from the efficient band), so we must find
+   the NEAREST label flip: gallop outward doubling the stride until the
+   first negative, then bisect inside that bracket. *)
+let edge_search ~grid ~label ~seed ~d ~dir ~steps =
+  let probe k =
+    let p = Array.copy seed in
+    p.(d) <- snap grid (seed.(d) +. (float_of_int k *. dir *. grid));
+    counting label p
+  in
+  let rec bisect lo hi =
+    (* invariant: probe lo = true, probe (hi + 1) = false *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if probe mid then bisect mid hi else bisect lo (mid - 1)
+  in
+  let rec gallop last_true stride =
+    let k = min steps (last_true + stride) in
+    if k = last_true then last_true
+    else if probe k then gallop k (2 * stride)
+    else bisect last_true (k - 1)
+  in
+  if steps <= 0 then 0 else gallop 0 1
+
+let learn ~grid ~label ~within ~seed =
+  if Box.is_empty within || not (Box.mem within seed) then None
+  else if not (counting label seed) then None
+  else begin
+    let d = Box.dim within in
+    let seed = Array.map (snap grid) seed in
+    let lo = Array.copy seed and hi = Array.copy seed in
+    for i = 0 to d - 1 do
+      let steps_up =
+        int_of_float (Float.round ((within.Box.hi.(i) -. seed.(i)) /. grid))
+      in
+      let steps_down =
+        int_of_float (Float.round ((seed.(i) -. within.Box.lo.(i)) /. grid))
+      in
+      let up = edge_search ~grid ~label ~seed ~d:i ~dir:1.0 ~steps:steps_up in
+      let down =
+        edge_search ~grid ~label ~seed ~d:i ~dir:(-1.0) ~steps:steps_down
+      in
+      hi.(i) <- snap grid (seed.(i) +. (float_of_int up *. grid));
+      lo.(i) <- snap grid (seed.(i) -. (float_of_int down *. grid))
+    done;
+    Some (Box.snap ~grid (Box.make ~lo ~hi))
+  end
+
+let find_seed ~grid ~coarse ~label ~within ~prefer =
+  if Box.is_empty within then None
+  else begin
+    let prefer_snapped = Array.map (snap grid) prefer in
+    let clamp p =
+      Array.mapi (fun i v -> max within.Box.lo.(i) (min within.Box.hi.(i) v)) p
+    in
+    let first = clamp prefer_snapped in
+    if counting label first then Some first
+    else begin
+      let d = Box.dim within in
+      let axis i =
+        let n =
+          int_of_float ((within.Box.hi.(i) -. within.Box.lo.(i)) /. coarse)
+        in
+        List.init (n + 1) (fun k ->
+            snap grid (within.Box.lo.(i) +. (float_of_int k *. coarse)))
+      in
+      let candidates =
+        match d with
+        | 1 -> List.map (fun x -> [| x |]) (axis 0)
+        | 2 ->
+          List.concat_map
+            (fun x -> List.map (fun y -> [| x; y |]) (axis 1))
+            (axis 0)
+        | _ -> invalid_arg "Boxlearn.find_seed: only 1-D and 2-D supported"
+      in
+      let dist p =
+        let s = ref 0.0 in
+        Array.iteri (fun i v -> s := !s +. abs_float (v -. prefer.(i))) p;
+        !s
+      in
+      candidates
+      |> List.filter (fun p -> Box.mem within p)
+      |> List.sort (fun a b -> compare (dist a) (dist b))
+      |> List.find_opt (counting label)
+    end
+  end

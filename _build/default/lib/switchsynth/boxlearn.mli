@@ -1,0 +1,34 @@
+(** Learning hyperboxes from labeled points (the inductive engine of
+    Section 5.2, after Goldman–Kearns).
+
+    Points are labeled positive (safe switching state) or negative by an
+    oracle; the learner finds the maximal grid-aligned box around a
+    positive seed via per-dimension binary search. Correct when the
+    positive set restricted to each search line is an interval — which
+    the structure hypothesis (safe switching states form a box)
+    guarantees. *)
+
+val learn :
+  grid:float ->
+  label:(float array -> bool) ->
+  within:Box.t ->
+  seed:float array ->
+  Box.t option
+(** Maximal box around [seed], clipped to [within], vertices on the
+    grid. [None] when [seed] itself labels negative. *)
+
+val find_seed :
+  grid:float ->
+  coarse:float ->
+  label:(float array -> bool) ->
+  within:Box.t ->
+  prefer:float array ->
+  float array option
+(** A positive point inside [within]: tries [prefer] first, then scans a
+    coarse grid (1-D and 2-D boxes only), choosing the positive point
+    closest to [prefer]. *)
+
+val labels_used : unit -> int
+(** Number of label-oracle queries made so far (for the ablation bench). *)
+
+val reset_labels_used : unit -> unit

@@ -1,0 +1,80 @@
+module Mds = Hybrid.Mds
+
+type problem = {
+  sys : Mds.t;
+  config : Label.config;
+  grid : float;
+  coarse : float;
+  init : string -> Box.t;
+  frozen : string list;
+  seed_hint : string -> float array;
+  max_iterations : int;
+}
+
+type result = {
+  guards : (string * Box.t) list;
+  iterations : int;
+  converged : bool;
+  labels_queried : int;
+}
+
+let synthesize p =
+  Boxlearn.reset_labels_used ();
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (tr : Mds.transition) ->
+      Hashtbl.replace tbl tr.Mds.label (p.init tr.Mds.label))
+    p.sys.Mds.transitions;
+  let lookup label = Hashtbl.find tbl label in
+  let refine (tr : Mds.transition) =
+    let label_oracle point =
+      Label.safe_entry p.config p.sys ~guards:lookup ~mode:tr.Mds.dst point
+    in
+    let within = lookup tr.Mds.label in
+    let learned =
+      match
+        Boxlearn.find_seed ~grid:p.grid ~coarse:p.coarse ~label:label_oracle
+          ~within ~prefer:(p.seed_hint tr.Mds.label)
+      with
+      | None -> Box.empty (Box.dim within)
+      | Some seed -> (
+        match
+          Boxlearn.learn ~grid:p.grid ~label:label_oracle ~within ~seed
+        with
+        | None -> Box.empty (Box.dim within)
+        | Some b -> b)
+    in
+    if Box.equal learned within then false
+    else begin
+      Hashtbl.replace tbl tr.Mds.label learned;
+      true
+    end
+  in
+  let rec iterate n =
+    if n >= p.max_iterations then (n, false)
+    else begin
+      let changed = ref false in
+      Array.iter
+        (fun (tr : Mds.transition) ->
+          if not (List.mem tr.Mds.label p.frozen) then
+            if refine tr then changed := true)
+        p.sys.Mds.transitions;
+      if !changed then iterate (n + 1) else (n + 1, true)
+    end
+  in
+  let iterations, converged = iterate 0 in
+  {
+    guards =
+      Array.to_list p.sys.Mds.transitions
+      |> List.map (fun (tr : Mds.transition) -> (tr.Mds.label, lookup tr.Mds.label));
+    iterations;
+    converged;
+    labels_queried = Boxlearn.labels_used ();
+  }
+
+let guard_fn r label =
+  match List.assoc_opt label r.guards with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Fixpoint.guard_fn: unknown guard %s" label)
+
+let mem r label point = Box.mem (guard_fn r label) point

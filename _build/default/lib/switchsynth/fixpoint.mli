@@ -1,0 +1,34 @@
+(** The outer guard-shrinking fixpoint loop (Section 5.2, last
+    paragraph): initialize each guard with an over-approximate box, then
+    iteratively shrink entry guards with the hyperbox learner, whose
+    labels come from the simulation oracle, until no guard changes.
+
+    Shrinking is monotone (each learned box is searched inside the
+    current one), so the loop converges; the result is the greatest
+    fixpoint, i.e. a controlled-invariant switching logic. *)
+
+type problem = {
+  sys : Hybrid.Mds.t;
+  config : Label.config;
+  grid : float;
+  coarse : float;  (** coarse scan step for seed finding *)
+  init : string -> Box.t;  (** initial guard over-approximations *)
+  frozen : string list;  (** guards taken as given, never refined *)
+  seed_hint : string -> float array;
+      (** preferred positive point per guard (e.g. the gear's peak
+          efficiency speed) *)
+  max_iterations : int;
+}
+
+type result = {
+  guards : (string * Box.t) list;  (** in transition order *)
+  iterations : int;
+  converged : bool;
+  labels_queried : int;  (** total calls to the simulation oracle *)
+}
+
+val synthesize : problem -> result
+
+val guard_fn : result -> string -> Box.t
+val mem : result -> string -> float array -> bool
+(** Guard membership of a guard point. *)

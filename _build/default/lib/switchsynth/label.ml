@@ -1,0 +1,42 @@
+module Mds = Hybrid.Mds
+module Simulate = Hybrid.Simulate
+
+type config = {
+  dt : float;
+  max_time : float;
+  dwell : int -> float;
+  guard_dims : int array;
+  entry_state : int -> float array -> float array;
+}
+
+let project cfg state = Array.map (fun d -> state.(d)) cfg.guard_dims
+
+let safe_entry cfg (sys : Mds.t) ~guards ~mode p =
+  let state = cfg.entry_state mode p in
+  let exits =
+    Mds.outgoing sys mode
+    |> List.filter (fun (tr : Mds.transition) -> tr.Mds.dst <> mode)
+    |> List.map (fun (tr : Mds.transition) ->
+           let box = guards tr.Mds.label in
+           (* crossing detection between consecutive consulted samples:
+              the first consultation is pointwise, later ones check the
+              segment from the previously consulted sample *)
+           let prev = ref None in
+           let hit cur =
+             let q = project cfg cur in
+             let meets =
+               match !prev with
+               | None -> Box.mem box q
+               | Some p0 -> Box.segment_meets box p0 q
+             in
+             prev := Some q;
+             meets
+           in
+           (tr.Mds.label, hit))
+  in
+  match
+    Simulate.in_mode sys ~mode ~exits ~min_dwell:(cfg.dwell mode) ~dt:cfg.dt
+      ~max_time:cfg.max_time state
+  with
+  | Simulate.Exit _ -> true
+  | Simulate.Unsafe _ | Simulate.Timeout _ -> false

@@ -1,0 +1,36 @@
+(** The labeling oracle: is a switching state safe?
+
+    Answers the deductive query of Section 5.2 by simulation: entering
+    mode [m] at a given state, the trajectory must visit only safe states
+    until some exit guard (a transition to a {e different} mode) becomes
+    true. Self-loop transitions are not exits — re-entering the same mode
+    does not change the dynamics, and counting them would validate
+    states that merely sit inside their own entry guard while drifting
+    toward unsafety.
+
+    With a positive dwell requirement, exit guards are only consulted
+    after [dwell] time units in the mode, yielding the Eq. 4 variant. *)
+
+type config = {
+  dt : float;
+  max_time : float;  (** simulation horizon; timeout labels "unsafe" *)
+  dwell : int -> float;  (** minimum dwell per mode *)
+  guard_dims : int array;
+      (** state dimensions that guards constrain (e.g. just omega) *)
+  entry_state : int -> float array -> float array;
+      (** rebuild a full entry state from a guard point, per mode *)
+}
+
+val project : config -> float array -> float array
+(** Restrict a state to the guard dimensions. *)
+
+val safe_entry :
+  config ->
+  Hybrid.Mds.t ->
+  guards:(string -> Box.t) ->
+  mode:int ->
+  float array ->
+  bool
+(** [safe_entry cfg sys ~guards ~mode p]: is the guard point [p] a safe
+    state at which to switch into [mode], given the current guard
+    boxes? *)

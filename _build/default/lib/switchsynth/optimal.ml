@@ -1,0 +1,170 @@
+module T = Hybrid.Transmission
+module Mds = Hybrid.Mds
+module Simulate = Hybrid.Simulate
+
+type objective =
+  | Minimize_time
+  | Maximize_mean_efficiency
+
+type policy = (string * float) list
+
+type result = {
+  policy : policy;
+  cost : float;
+  baseline_cost : float;
+  evaluations : int;
+}
+
+let gear_of_mode_name = function
+  | "G1U" | "G1D" -> 1
+  | "G2U" | "G2D" -> 2
+  | "G3U" | "G3D" -> 3
+  | _ -> 0
+
+(* guard: fire once omega has reached the threshold IN THE SOURCE MODE'S
+   FLOW DIRECTION — at or above theta while accelerating, at or below
+   while decelerating. A symmetric window would fire one integration step
+   early, i.e. just outside the safe band. The terminal g1ND fires when
+   the speed has decayed to rest. *)
+let direction_of label =
+  let tr = T.system.Mds.transitions.(Mds.transition_index T.system label) in
+  let src = T.system.Mds.modes.(tr.Mds.src).Mds.name in
+  if String.length src = 3 && src.[2] = 'D' then `Down else `Up
+
+let guard_of_policy policy label y =
+  if label = "g1ND" then y.(1) <= 0.02
+  else
+    match List.assoc_opt label policy with
+    | None -> false
+    | Some theta -> (
+      match direction_of label with
+      | `Up -> y.(1) >= theta -. 1e-9
+      | `Down -> y.(1) <= theta +. 1e-9)
+
+let simulate policy ~plan ~dwell =
+  Simulate.run_policy T.system
+    ~guard:(guard_of_policy policy)
+    ~plan ~min_dwell:dwell ~sample_every:0.05 ~dt:0.01 ~max_time:400.0
+    [| 0.0; 0.0 |]
+
+let cost_of_policy _guards ~plan ~dwell objective policy =
+  let run = simulate policy ~plan ~dwell in
+  match run.Simulate.outcome with
+  | `Unsafe | `Timeout -> infinity
+  | `Completed -> (
+    match objective with
+    | Minimize_time -> (
+      match List.rev run.Simulate.switches with
+      | [] -> infinity
+      | last :: _ -> last.Simulate.switch_time)
+    | Maximize_mean_efficiency ->
+      (* time-weighted mean efficiency over the gear modes *)
+      let total = ref 0.0 and acc = ref 0.0 in
+      List.iter
+        (fun (s : Simulate.sample) ->
+          let name = T.system.Mds.modes.(s.Simulate.mode).Mds.name in
+          let gear = gear_of_mode_name name in
+          if gear > 0 then begin
+            total := !total +. 1.0;
+            acc := !acc +. T.eta gear s.Simulate.state.(1)
+          end)
+        run.Simulate.samples;
+      if !total = 0.0 then infinity else 1.0 -. (!acc /. !total))
+
+(* first-opportunity baseline: switch as soon as the state is inside the
+   guard box; the observed switch speeds seed the threshold optimization
+   with a known-feasible policy *)
+let baseline_run (guards : Fixpoint.result) ~plan ~dwell =
+  let guard label y =
+    if label = "g1ND" then y.(1) <= 0.02
+    else Box.mem (Fixpoint.guard_fn guards label) [| y.(1) |]
+  in
+  Simulate.run_policy T.system ~guard ~plan ~min_dwell:dwell
+    ~sample_every:0.05 ~dt:0.01 ~max_time:400.0 [| 0.0; 0.0 |]
+
+let clamp_into_guard guards label v =
+  let b = Fixpoint.guard_fn guards label in
+  max b.Box.lo.(0) (min b.Box.hi.(0) v)
+
+let baseline_policy guards ~plan ~dwell =
+  let run = baseline_run guards ~plan ~dwell in
+  List.filter_map
+    (fun (sw : Simulate.switch) ->
+      if sw.Simulate.label = "g1ND" then None
+      else
+        Some
+          ( sw.Simulate.label,
+            clamp_into_guard guards sw.Simulate.label sw.Simulate.at.(1) ))
+    run.Simulate.switches
+
+let golden = (sqrt 5.0 -. 1.0) /. 2.0
+
+(* plain golden-section minimization *)
+let golden_section f lo hi tol counter =
+  let rec search lo hi x1 x2 f1 f2 =
+    if hi -. lo <= tol then (lo +. hi) /. 2.0
+    else if f1 <= f2 then begin
+      let hi = x2 in
+      let x2 = x1 in
+      let f2 = f1 in
+      let x1 = hi -. (golden *. (hi -. lo)) in
+      incr counter;
+      search lo hi x1 x2 (f x1) f2
+    end
+    else begin
+      let lo = x1 in
+      let x1 = x2 in
+      let f1 = f2 in
+      let x2 = lo +. (golden *. (hi -. lo)) in
+      incr counter;
+      search lo hi x1 x2 f1 (f x2)
+    end
+  in
+  let x1 = hi -. (golden *. (hi -. lo)) in
+  let x2 = lo +. (golden *. (hi -. lo)) in
+  counter := !counter + 2;
+  search lo hi x1 x2 (f x1) (f x2)
+
+let optimize ?(rounds = 3) ?(tolerance = 0.05) guards ~plan ~dwell objective =
+  let baseline = baseline_policy guards ~plan ~dwell in
+  let evaluations = ref 0 in
+  let cost p =
+    incr evaluations;
+    cost_of_policy guards ~plan ~dwell objective p
+  in
+  let baseline_cost = cost baseline in
+  let policy = ref baseline in
+  for _ = 1 to rounds do
+    List.iter
+      (fun (label, _) ->
+        let b = Fixpoint.guard_fn guards label in
+        let lo = b.Box.lo.(0) and hi = b.Box.hi.(0) in
+        let f theta =
+          cost
+            (List.map
+               (fun (l, t) -> if l = label then (l, theta) else (l, t))
+               !policy)
+        in
+        let best = golden_section f lo hi tolerance evaluations in
+        if f best <= f (List.assoc label !policy) then
+          policy :=
+            List.map
+              (fun (l, t) -> if l = label then (l, best) else (l, t))
+              !policy)
+      !policy
+  done;
+  let final_cost = cost !policy in
+  if final_cost <= baseline_cost then
+    {
+      policy = !policy;
+      cost = final_cost;
+      baseline_cost;
+      evaluations = !evaluations;
+    }
+  else
+    {
+      policy = baseline;
+      cost = baseline_cost;
+      baseline_cost;
+      evaluations = !evaluations;
+    }

@@ -1,0 +1,49 @@
+(** Switching logic synthesis for optimality (Section 6; Jha–Seshia–
+    Tiwari, EMSOFT 2011).
+
+    Safety synthesis (Eq. 3/Eq. 4) returns {e permission} boxes: the
+    controller may switch anywhere inside a guard. This module picks the
+    best point: a policy assigns each planned transition a switching
+    threshold inside its safe guard, and cyclic coordinate descent with
+    golden-section line search minimizes a simulated cost over the
+    thresholds. Safety is inherited by construction — thresholds never
+    leave the synthesized guards. *)
+
+type objective =
+  | Minimize_time
+      (** wall-clock time to complete the plan *)
+  | Maximize_mean_efficiency
+      (** cost = 1 - (time-weighted mean transmission efficiency in the
+          gear modes); for the transmission this is minimized near the
+          analytic gear-crossover speeds eta_i = eta_{i+1} *)
+
+type policy = (string * float) list
+(** A switching threshold per planned transition, over omega. *)
+
+type result = {
+  policy : policy;
+  cost : float;
+  baseline_cost : float;  (** the switch-at-first-opportunity policy *)
+  evaluations : int;  (** simulator runs spent optimizing *)
+}
+
+val cost_of_policy :
+  Fixpoint.result ->
+  plan:string list ->
+  dwell:float ->
+  objective ->
+  policy ->
+  float
+(** Simulate the closed loop under the thresholds; infinite if the run
+    is unsafe or does not complete. *)
+
+val optimize :
+  ?rounds:int ->
+  ?tolerance:float ->
+  Fixpoint.result ->
+  plan:string list ->
+  dwell:float ->
+  objective ->
+  result
+(** [rounds] of coordinate descent (default 3); golden-section line
+    search per coordinate down to [tolerance] (default 0.05) in omega. *)

@@ -1,0 +1,28 @@
+module Th = Hybrid.Thermostat
+
+let problem ?(dwell = 0.0) ?(grid = 0.01) () =
+  {
+    Fixpoint.sys = Th.system;
+    config =
+      {
+        Label.dt = 0.01;
+        max_time = 600.0;
+        dwell = (fun _ -> dwell);
+        guard_dims = [| 0 |];
+        entry_state = (fun _mode point -> [| point.(0) |]);
+      };
+    grid;
+    coarse = 0.5;
+    init = (fun _ -> Box.make ~lo:[| 0.0 |] ~hi:[| 40.0 |]);
+    frozen = [];
+    seed_hint = (fun _ -> [| 20.0 |]);
+    max_iterations = 10;
+  }
+
+let synthesize ?dwell ?grid () = Fixpoint.synthesize (problem ?dwell ?grid ())
+
+let expected ~dwell =
+  [
+    ("gOn", (Th.t_lo, Th.expected_on_guard_hi ~dwell));
+    ("gOff", (Th.expected_off_guard_lo ~dwell, Th.t_hi));
+  ]

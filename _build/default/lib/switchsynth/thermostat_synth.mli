@@ -1,0 +1,11 @@
+(** Switching-logic synthesis for the thermostat (second case study). *)
+
+val problem : ?dwell:float -> ?grid:float -> unit -> Fixpoint.problem
+(** Guards over the temperature; initial over-approximations span the
+    whole operating range [0, 40]. *)
+
+val synthesize : ?dwell:float -> ?grid:float -> unit -> Fixpoint.result
+
+val expected : dwell:float -> (string * (float * float)) list
+(** The closed-form guards (see {!Hybrid.Thermostat}): gOn (entering On)
+    is [t_lo, t_heat - (t_heat - t_hi) e^(a tau)], gOff symmetric. *)

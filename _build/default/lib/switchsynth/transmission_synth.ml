@@ -1,0 +1,75 @@
+module T = Hybrid.Transmission
+module Mds = Hybrid.Mds
+
+let entry_state _mode point = [| 0.0; point.(0) |]
+
+(* seeds: the gear's peak-efficiency speed is always inside the safe
+   component the paper's guards converge to *)
+let seed_hint label =
+  let gear_peak g = [| T.a.(g - 1) |] in
+  match label with
+  | "gN1U" | "g11U" | "g11D" | "g21D" -> gear_peak 1
+  | "g12U" | "g22U" | "g22D" | "g32D" -> gear_peak 2
+  | "g23U" | "g33U" | "g33D" -> gear_peak 3
+  | "g1ND" -> [| 0.0 |]
+  | _ -> [| 0.0 |]
+
+let problem ?(dwell = 0.0) ?(grid = 0.01) () =
+  let dwell_of mode =
+    (* the dwell requirement applies to the six gear modes, not Neutral *)
+    if T.system.Mds.modes.(mode).Mds.name = "N" then 0.0 else dwell
+  in
+  {
+    Fixpoint.sys = T.system;
+    config =
+      {
+        Label.dt = 0.01;
+        max_time = 200.0;
+        dwell = dwell_of;
+        guard_dims = [| 1 |];
+        entry_state;
+      };
+    grid;
+    coarse = 1.0;
+    init =
+      (fun label ->
+        let lo, hi = T.initial_guard_overapprox label in
+        Box.make ~lo:[| lo |] ~hi:[| hi |]);
+    frozen = [ "g1ND" ];
+    seed_hint;
+    max_iterations = 10;
+  }
+
+let synthesize ?dwell ?grid () = Fixpoint.synthesize (problem ?dwell ?grid ())
+
+let paper_eq3 =
+  [
+    ("gN1U", (0.0, 16.70));
+    ("g11U", (0.0, 16.70));
+    ("g12U", (13.29, 26.70));
+    ("g22U", (13.29, 26.70));
+    ("g23U", (23.29, 36.70));
+    ("g33U", (23.29, 36.70));
+    ("g33D", (23.29, 36.70));
+    ("g32D", (13.29, 26.70));
+    ("g22D", (13.29, 26.70));
+    ("g21D", (0.0, 16.70));
+    ("g11D", (0.0, 16.70));
+    ("g1ND", (0.0, 0.0));
+  ]
+
+let paper_eq4 =
+  [
+    ("gN1U", (0.0, 0.0));
+    ("g11U", (0.0, 0.0));
+    ("g12U", (13.29, 23.42));
+    ("g22U", (13.29, 23.42));
+    ("g23U", (26.70, 33.42));
+    ("g33U", (23.29, 33.42));
+    ("g33D", (36.70, 36.70));
+    ("g32D", (16.58, 26.70));
+    ("g22D", (26.70, 26.70));
+    ("g21D", (1.31, 16.70));
+    ("g11D", (1.31, 16.70));
+    ("g1ND", (0.0, 0.0));
+  ]

@@ -1,0 +1,14 @@
+(** Ready-made switching-logic synthesis problems for the automatic
+    transmission (the Section 5.4 experiments). *)
+
+val problem : ?dwell:float -> ?grid:float -> unit -> Fixpoint.problem
+(** [dwell] defaults to 0 (the Eq. 3 safety-only setting); 5.0 gives the
+    Eq. 4 dwell-time variant. [grid] defaults to the paper's 0.01. *)
+
+val synthesize : ?dwell:float -> ?grid:float -> unit -> Fixpoint.result
+
+val paper_eq3 : (string * (float * float)) list
+(** The guard intervals reported in Eq. 3 of the paper, over omega. *)
+
+val paper_eq4 : (string * (float * float)) list
+(** The guard intervals reported in Eq. 4 (dwell-time variant). *)

@@ -1,0 +1,1 @@
+test/test_gametime.ml: Alcotest Array Format Gametime List Microarch Option Printf Prog QCheck2 QCheck_alcotest Seq String

@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest Array Hybrid List Printf

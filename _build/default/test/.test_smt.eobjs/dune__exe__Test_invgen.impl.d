@@ -1,0 +1,1 @@
+test/test_invgen.ml: Alcotest Array Invgen List Printf QCheck2 QCheck_alcotest Random

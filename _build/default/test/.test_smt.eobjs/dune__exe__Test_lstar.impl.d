@@ -1,0 +1,1 @@
+test/test_lstar.ml: Alcotest Format List Lstar Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Format List Mc Printf QCheck2 QCheck_alcotest

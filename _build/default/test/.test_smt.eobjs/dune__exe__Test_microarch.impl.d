@@ -1,0 +1,1 @@
+test/test_microarch.ml: Alcotest Format List Microarch Printf Prog QCheck2 QCheck_alcotest Smt

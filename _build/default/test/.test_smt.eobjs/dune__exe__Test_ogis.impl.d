@@ -1,0 +1,1 @@
+test/test_ogis.ml: Alcotest Format List Ogis Printf Prog Smt String

@@ -1,0 +1,1 @@
+test/test_prog.ml: Alcotest Array List Printf Prog QCheck2 QCheck_alcotest Seq Smt

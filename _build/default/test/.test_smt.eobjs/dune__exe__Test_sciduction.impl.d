@@ -1,0 +1,1 @@
+test/test_sciduction.ml: Alcotest Array Format List Ogis Prog Sciduction Smt String

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Format List Printf QCheck2 QCheck_alcotest Smt String

@@ -1,0 +1,1 @@
+test/test_switchsynth.ml: Alcotest Array Format Hybrid Lazy List Printf QCheck2 QCheck_alcotest Switchsynth

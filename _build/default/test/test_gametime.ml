@@ -1,0 +1,467 @@
+(* Tests for GameTime: exact rational linear algebra, feasible basis path
+   extraction (including the paper's "9 basis paths for modexp" claim),
+   the game-theoretic learner, and end-to-end WCET analysis against the
+   cycle-accurate platform. *)
+
+module Q = Gametime.Rational
+module Linalg = Gametime.Linalg
+module Basis = Gametime.Basis
+module Learner = Gametime.Learner
+module Gt = Gametime.Analysis
+module Lang = Prog.Lang
+module Cfg = Prog.Cfg
+module Paths = Prog.Paths
+module Unroll = Prog.Unroll
+module Testgen = Prog.Testgen
+module B = Prog.Benchmarks
+module Platform = Microarch.Platform
+
+(* ------------------------------------------------------------------ *)
+(* Rationals                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_rational_basics () =
+  let q a b = Q.make a b in
+  Alcotest.(check bool) "1/2 + 1/3 = 5/6" true (Q.equal (Q.add (q 1 2) (q 1 3)) (q 5 6));
+  Alcotest.(check bool) "normalized" true (Q.equal (q 2 4) (q 1 2));
+  Alcotest.(check bool) "sign in denominator" true (Q.equal (q 1 (-2)) (q (-1) 2));
+  Alcotest.(check bool) "mul" true (Q.equal (Q.mul (q 2 3) (q 3 4)) (q 1 2));
+  Alcotest.(check bool) "div" true (Q.equal (Q.div (q 1 2) (q 1 4)) (Q.of_int 2));
+  Alcotest.(check int) "compare" (-1) (Q.compare (q 1 3) (q 1 2));
+  Alcotest.check_raises "zero denominator"
+    (Invalid_argument "Rational.make: zero denominator") (fun () ->
+      ignore (q 1 0))
+
+let gen_q =
+  QCheck2.Gen.(
+    let* n = int_range (-20) 20 and* d = int_range 1 20 in
+    return (Q.make n d))
+
+let prop_rational_field =
+  QCheck2.Test.make ~name:"rational field laws" ~count:300
+    ~print:(fun (a, b, c) -> Format.asprintf "%a %a %a" Q.pp a Q.pp b Q.pp c)
+    QCheck2.Gen.(triple gen_q gen_q gen_q)
+    (fun (a, b, c) ->
+      Q.equal (Q.add a b) (Q.add b a)
+      && Q.equal (Q.add (Q.add a b) c) (Q.add a (Q.add b c))
+      && Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c))
+      && Q.equal (Q.sub a a) Q.zero
+      && (Q.is_zero b || Q.equal (Q.mul (Q.div a b) b) a))
+
+(* ------------------------------------------------------------------ *)
+(* Linear algebra                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_rank () =
+  let s = Linalg.empty_span ~dim:3 in
+  Alcotest.(check bool) "e1 independent" true
+    (Linalg.add_if_independent s [| 1; 0; 0 |]);
+  Alcotest.(check bool) "e1+e2 independent" true
+    (Linalg.add_if_independent s [| 1; 1; 0 |]);
+  Alcotest.(check bool) "e2 dependent" false
+    (Linalg.add_if_independent s [| 0; 1; 0 |]);
+  Alcotest.(check bool) "e3 independent" true
+    (Linalg.add_if_independent s [| 1; 1; 1 |]);
+  Alcotest.(check int) "rank 3" 3 (Linalg.rank s);
+  Alcotest.(check bool) "anything now in span" true
+    (Linalg.in_span s [| 7; -2; 13 |])
+
+let test_solve_exact () =
+  let basis = [ [| 1; 0; 1 |]; [| 0; 1; 1 |] ] in
+  (match Linalg.solve basis [| 2; 3; 5 |] with
+  | Some coeffs ->
+    Alcotest.(check bool) "coeff 0 = 2" true (Q.equal coeffs.(0) (Q.of_int 2));
+    Alcotest.(check bool) "coeff 1 = 3" true (Q.equal coeffs.(1) (Q.of_int 3))
+  | None -> Alcotest.fail "solvable system reported unsolvable");
+  match Linalg.solve basis [| 1; 0; 0 |] with
+  | Some _ -> Alcotest.fail "target outside span accepted"
+  | None -> ()
+
+let prop_solve_recovers_combination =
+  let gen =
+    QCheck2.Gen.(
+      let* dim = int_range 2 6 in
+      let* k = int_range 1 4 in
+      let vec = array_size (return dim) (int_range 0 3) in
+      let* basis = list_size (return k) vec in
+      let* coeffs = list_size (return k) (int_range (-3) 3) in
+      return (basis, coeffs))
+  in
+  QCheck2.Test.make ~name:"solve recovers linear combinations" ~count:300
+    ~print:(fun (basis, coeffs) ->
+      Printf.sprintf "basis=%s coeffs=%s"
+        (String.concat ","
+           (List.map
+              (fun v ->
+                "[" ^ String.concat ";" (Array.to_list (Array.map string_of_int v)) ^ "]")
+              basis))
+        (String.concat ";" (List.map string_of_int coeffs)))
+    gen
+    (fun (basis, coeffs) ->
+      let dim = Array.length (List.hd basis) in
+      let target = Array.make dim 0 in
+      List.iter2
+        (fun v c -> Array.iteri (fun i x -> target.(i) <- target.(i) + (c * x)) v)
+        basis coeffs;
+      match Linalg.solve basis target with
+      | None -> false
+      | Some sol ->
+        (* the solution need not equal [coeffs] (basis may be dependent);
+           verify it reproduces the target instead *)
+        let recon = Array.make dim Q.zero in
+        List.iteri
+          (fun j v ->
+            Array.iteri
+              (fun i x -> recon.(i) <- Q.add recon.(i) (Q.mul sol.(j) (Q.of_int x)))
+              v)
+          basis;
+        Array.for_all2 (fun r t -> Q.equal r (Q.of_int t)) recon target)
+
+(* ------------------------------------------------------------------ *)
+(* Basis path extraction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bitcount_setup bits =
+  let u = Unroll.unroll ~bound:bits (B.bitcount ~bits ()) in
+  let g = Cfg.of_program u in
+  (u, g)
+
+let test_basis_bitcount () =
+  let u, g = bitcount_setup 4 in
+  let basis = Basis.extract u g in
+  (* one diamond per iteration: affine dimension bits+1 *)
+  Alcotest.(check int) "basis size" 5 (List.length basis);
+  let span = Linalg.empty_span ~dim:(Cfg.num_edges g) in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "vectors independent" true
+        (Linalg.add_if_independent span b.Basis.vector))
+    basis;
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "test drives path" true
+        (Testgen.check_drives u g b.Basis.path b.Basis.test))
+    basis
+
+let test_basis_spans_feasible_paths () =
+  let u, g = bitcount_setup 4 in
+  let basis = Basis.extract u g in
+  let vectors = List.map (fun b -> b.Basis.vector) basis in
+  Paths.enumerate g
+  |> Seq.iter (fun path ->
+         if Testgen.feasible u g path <> None then
+           match Linalg.solve vectors (Paths.vector g path) with
+           | Some _ -> ()
+           | None -> Alcotest.fail "feasible path outside basis span")
+
+let test_modexp_nine_basis_paths () =
+  (* the paper's Section 3.3 headline: 256 paths, 9 basis paths *)
+  let u = Unroll.unroll ~bound:8 (B.modexp ()) in
+  let g = Cfg.of_program u in
+  let basis = Basis.extract u g in
+  Alcotest.(check int) "9 basis paths" 9 (List.length basis)
+
+(* ------------------------------------------------------------------ *)
+(* Learner: exactness on a synthetically linear platform               *)
+(* ------------------------------------------------------------------ *)
+
+(* a platform whose time is exactly a fixed weight vector dotted with the
+   executed path's edge vector: the structure hypothesis holds with
+   pi = 0, so prediction must be exact *)
+let linear_platform u g weights =
+  let feasible =
+    Paths.enumerate g
+    |> Seq.filter (fun path -> Testgen.feasible u g path <> None)
+    |> List.of_seq
+  in
+  fun inputs ->
+    let path =
+      List.find (fun path -> Testgen.check_drives u g path inputs) feasible
+    in
+    List.fold_left (fun acc e -> acc + weights.(e)) 0 path
+
+let test_learner_exact_on_linear_platform () =
+  let u, g = bitcount_setup 4 in
+  let m = Cfg.num_edges g in
+  let weights = Array.init m (fun i -> 1 + ((i * 7) mod 13)) in
+  let platform = linear_platform u g weights in
+  let basis = Basis.extract u g in
+  let model = Learner.learn ~seed:42 ~platform basis in
+  Paths.enumerate g
+  |> Seq.iter (fun path ->
+         if Testgen.feasible u g path <> None then begin
+           let expected =
+             float_of_int (List.fold_left (fun a e -> a + weights.(e)) 0 path)
+           in
+           match Learner.predict model (Paths.vector g path) with
+           | None -> Alcotest.fail "feasible path not predictable"
+           | Some got ->
+             Alcotest.(check (float 1e-6)) "exact prediction" expected got
+         end)
+
+(* ------------------------------------------------------------------ *)
+(* Barycentric spanner                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Spanner = Gametime.Spanner
+
+let feasible_with_tests u g =
+  Paths.enumerate g
+  |> Seq.filter_map (fun path ->
+         Option.map (fun test -> (path, test)) (Testgen.feasible u g path))
+  |> List.of_seq
+
+let test_spanner_coordinates () =
+  let u, g = bitcount_setup 3 in
+  let basis = Basis.extract u g in
+  (* each basis vector has unit coordinates in the basis *)
+  List.iteri
+    (fun i b ->
+      match Spanner.coordinates basis b.Basis.vector with
+      | None -> Alcotest.fail "basis vector outside its own span"
+      | Some co ->
+        Array.iteri
+          (fun j x ->
+            Alcotest.(check (float 1e-9))
+              "unit coordinate"
+              (if i = j then 1.0 else 0.0)
+              x)
+          co)
+    basis
+
+let test_spanner_two_spanner () =
+  let u, g = bitcount_setup 4 in
+  let basis = Basis.extract u g in
+  let candidates = feasible_with_tests u g in
+  let spanner = Spanner.barycentric basis ~candidates g in
+  Alcotest.(check int) "size preserved" (List.length basis)
+    (List.length spanner);
+  let q = Spanner.max_coordinate spanner ~candidates g in
+  Alcotest.(check bool)
+    (Printf.sprintf "c-spanner quality %.2f <= 2" q)
+    true (q <= 2.0 +. 1e-6);
+  (* the spanner must still span every feasible path *)
+  List.iter
+    (fun (path, _) ->
+      if Spanner.coordinates spanner (Paths.vector g path) = None then
+        Alcotest.fail "spanner lost span")
+    candidates
+
+let test_spanner_no_worse_than_greedy () =
+  let u, g = bitcount_setup 4 in
+  let basis = Basis.extract u g in
+  let candidates = feasible_with_tests u g in
+  let spanner = Spanner.barycentric basis ~candidates g in
+  Alcotest.(check bool) "max coordinate not increased" true
+    (Spanner.max_coordinate spanner ~candidates g
+    <= Spanner.max_coordinate basis ~candidates g +. 1e-6)
+
+let test_spanner_prediction_still_exact () =
+  let u, g = bitcount_setup 4 in
+  let m = Cfg.num_edges g in
+  let weights = Array.init m (fun i -> 1 + ((i * 5) mod 11)) in
+  let platform = linear_platform u g weights in
+  let t = Gt.analyze ~bound:4 ~seed:5 ~platform (B.bitcount ()) in
+  let t = Gt.refine_with_spanner ~seed:5 ~platform t in
+  Paths.enumerate g
+  |> Seq.iter (fun path ->
+         if Testgen.feasible u g path <> None then begin
+           let expected =
+             float_of_int (List.fold_left (fun a e -> a + weights.(e)) 0 path)
+           in
+           match Gt.predict_path t path with
+           | None -> Alcotest.fail "path not predictable after refinement"
+           | Some got ->
+             Alcotest.(check (float 1e-6)) "exact prediction" expected got
+         end)
+
+(* ------------------------------------------------------------------ *)
+(* End to end against the cycle-accurate platform                      *)
+(* ------------------------------------------------------------------ *)
+
+let modexp_analysis bits =
+  let p = B.modexp ~bits () in
+  let pf = Platform.create p in
+  let platform = Platform.time pf in
+  let t =
+    Gt.analyze ~bound:bits ~seed:7 ~pin:[ ("base", 123) ] ~platform p
+  in
+  (t, platform)
+
+let test_wcet_modexp4 () =
+  let t, platform = modexp_analysis 4 in
+  let w = Gt.wcet t ~platform in
+  (* ground truth: measure every exponent exhaustively *)
+  let true_max =
+    List.fold_left
+      (fun acc e -> max acc (platform [ ("base", 123); ("exp", e) ]))
+      0
+      (List.init 16 (fun i -> i))
+  in
+  Alcotest.(check int) "WCET test case achieves the true maximum" true_max
+    w.Gt.measured_cycles;
+  (* the worst case sets all exponent bits *)
+  Alcotest.(check int) "worst exponent is 15" 15
+    (List.assoc "exp" w.Gt.test land 15)
+
+let test_answer_ta () =
+  let t, platform = modexp_analysis 4 in
+  let w = Gt.wcet t ~platform in
+  (match Gt.answer_ta t ~platform ~tau:w.Gt.measured_cycles with
+  | `Yes -> ()
+  | `No _ -> Alcotest.fail "tau = WCET must be YES");
+  match Gt.answer_ta t ~platform ~tau:(w.Gt.measured_cycles - 1) with
+  | `No test ->
+    Alcotest.(check bool) "witness exceeds tau" true
+      (platform test > w.Gt.measured_cycles - 1)
+  | `Yes -> Alcotest.fail "tau < WCET must be NO"
+
+let test_prediction_accuracy_modexp4 () =
+  let t, platform = modexp_analysis 4 in
+  let paths = Gt.feasible_paths t in
+  Alcotest.(check int) "16 feasible paths" 16 (List.length paths);
+  List.iter
+    (fun (path, test) ->
+      let measured = float_of_int (platform test) in
+      match Gt.predict_path t path with
+      | None -> Alcotest.fail "unpredictable feasible path"
+      | Some predicted ->
+        let err = abs_float (predicted -. measured) /. measured in
+        if err > 0.05 then
+          Alcotest.failf "prediction off by %.1f%% (%.0f vs %.0f)" (100. *. err)
+            predicted measured)
+    paths
+
+let test_more_trials_reduce_noise_error () =
+  (* with a randomized starting environment, measurements are noisy; the
+     probabilistic-soundness story of Section 3.3 needs more trials to
+     tighten the model. Compare mean error at 1 vs 40 trials/path against
+     a long-run average ground truth. *)
+  let p = B.modexp ~bits:4 () in
+  (* tiny caches with a heavy miss penalty make the adversarial starting
+     state matter *)
+  let cachecfg = { Microarch.Cache.lines = 4; line_bytes = 8; miss_penalty = 40 } in
+  let pf =
+    Platform.create ~icache:cachecfg ~dcache:cachecfg ~noise_seed:9 p
+  in
+  let platform = Platform.time pf in
+  let truth test =
+    let n = 400 in
+    let s = ref 0 in
+    for _ = 1 to n do
+      s := !s + platform test
+    done;
+    float_of_int !s /. float_of_int n
+  in
+  let mean_err t =
+    let paths = Gt.feasible_paths t in
+    let errs =
+      List.filter_map
+        (fun (path, test) ->
+          Option.map
+            (fun pred -> abs_float (pred -. truth test))
+            (Gt.predict_path t path))
+        paths
+    in
+    List.fold_left ( +. ) 0.0 errs /. float_of_int (List.length errs)
+  in
+  (* average the model error across several learner seeds *)
+  let avg_err trials =
+    let seeds = [ 1; 2; 3; 4; 5 ] in
+    let total =
+      List.fold_left
+        (fun acc seed ->
+          acc
+          +. mean_err
+               (Gt.analyze ~bound:4 ~trials ~seed ~pin:[ ("base", 123) ]
+                  ~platform p))
+        0.0 seeds
+    in
+    total /. float_of_int (List.length seeds)
+  in
+  let e_few = avg_err 5 and e_many = avg_err 300 in
+  Alcotest.(check bool)
+    (Printf.sprintf "more trials help (%.1f -> %.1f cycles)" e_few e_many)
+    true (e_many < e_few)
+
+let test_hypothesis_quality () =
+  (* exactly linear platform: mu_hat must vanish and the margin hold *)
+  let u, g = bitcount_setup 4 in
+  let m = Cfg.num_edges g in
+  let weights = Array.init m (fun i -> 1 + ((i * 7) mod 13)) in
+  let platform = linear_platform u g weights in
+  let t = Gt.analyze ~bound:4 ~seed:3 ~platform (B.bitcount ()) in
+  let q = Gt.hypothesis_quality t ~platform in
+  Alcotest.(check (float 1e-6)) "mu_hat = 0 when H holds exactly" 0.0 q.Gt.mu_hat;
+  Alcotest.(check bool) "margin ok" true q.Gt.margin_ok;
+  Alcotest.(check int) "all paths checked" 16 q.Gt.paths_checked;
+  (* real platform: mu_hat is nonzero but small relative to the times *)
+  let t, platform = modexp_analysis 4 in
+  let q = Gt.hypothesis_quality t ~platform in
+  Alcotest.(check bool) "perturbation detected" true (q.Gt.mu_hat > 0.0);
+  Alcotest.(check bool) "perturbation small" true (q.Gt.mu_hat < 50.0)
+
+let test_distributions_close () =
+  let t, platform = modexp_analysis 4 in
+  let pred = Gt.predicted_distribution t in
+  let meas = Gt.measured_distribution t ~platform in
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 in
+  Alcotest.(check int) "same mass" (total meas) (total pred);
+  let mean d =
+    let s = List.fold_left (fun a (v, n) -> a +. float_of_int (v * n)) 0.0 d in
+    s /. float_of_int (total d)
+  in
+  let dm = abs_float (mean pred -. mean meas) /. mean meas in
+  if dm > 0.02 then Alcotest.failf "distribution means differ by %.2f%%" (100. *. dm)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "gametime"
+    [
+      ( "rational",
+        Alcotest.test_case "basics" `Quick test_rational_basics
+        :: qsuite [ prop_rational_field ] );
+      ( "linalg",
+        [
+          Alcotest.test_case "span and rank" `Quick test_span_rank;
+          Alcotest.test_case "solve" `Quick test_solve_exact;
+        ]
+        @ qsuite [ prop_solve_recovers_combination ] );
+      ( "basis",
+        [
+          Alcotest.test_case "bitcount basis" `Quick test_basis_bitcount;
+          Alcotest.test_case "basis spans feasible paths" `Quick
+            test_basis_spans_feasible_paths;
+          Alcotest.test_case "modexp has 9 basis paths (paper)" `Slow
+            test_modexp_nine_basis_paths;
+        ] );
+      ( "learner",
+        [
+          Alcotest.test_case "exact on a linear platform" `Quick
+            test_learner_exact_on_linear_platform;
+        ] );
+      ( "spanner",
+        [
+          Alcotest.test_case "basis coordinates are units" `Quick
+            test_spanner_coordinates;
+          Alcotest.test_case "produces a 2-spanner" `Quick
+            test_spanner_two_spanner;
+          Alcotest.test_case "no worse than greedy" `Quick
+            test_spanner_no_worse_than_greedy;
+          Alcotest.test_case "prediction still exact after refinement" `Quick
+            test_spanner_prediction_still_exact;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "WCET on modexp4" `Quick test_wcet_modexp4;
+          Alcotest.test_case "problem TA" `Quick test_answer_ta;
+          Alcotest.test_case "per-path prediction accuracy" `Quick
+            test_prediction_accuracy_modexp4;
+          Alcotest.test_case "distribution shape" `Quick test_distributions_close;
+          Alcotest.test_case "trials vs environment noise" `Quick
+            test_more_trials_reduce_noise_error;
+          Alcotest.test_case "hypothesis quality estimators" `Quick
+            test_hypothesis_quality;
+        ] );
+    ]

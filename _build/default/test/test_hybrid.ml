@@ -1,0 +1,219 @@
+(* Tests for the hybrid-systems substrate: RK4 integration accuracy, the
+   transmission model of Fig. 9, and mode-level simulation semantics. *)
+
+module Ode = Hybrid.Ode
+module Mds = Hybrid.Mds
+module T = Hybrid.Transmission
+module Simulate = Hybrid.Simulate
+
+let close ?(eps = 1e-6) name expected got =
+  if abs_float (expected -. got) > eps then
+    Alcotest.failf "%s: expected %.9f got %.9f" name expected got
+
+(* ------------------------------------------------------------------ *)
+(* ODE                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rk4_exponential () =
+  (* dx/dt = x, x(0) = 1: x(1) = e *)
+  let flow y = [| y.(0) |] in
+  let t, y =
+    Ode.integrate flow ~dt:0.001 ~max_time:1.0 [| 1.0 |] ~stop:(fun ~t:_ _ ->
+        false)
+  in
+  close "final time" ~eps:1e-9 1.0 t;
+  close "e" ~eps:1e-6 (exp 1.0) y.(0)
+
+let test_rk4_harmonic () =
+  (* x'' = -x: energy x^2 + v^2 conserved *)
+  let flow y = [| y.(1); -.y.(0) |] in
+  let _, y =
+    Ode.integrate flow ~dt:0.001 ~max_time:10.0 [| 1.0; 0.0 |]
+      ~stop:(fun ~t:_ _ -> false)
+  in
+  close "energy" ~eps:1e-6 1.0 ((y.(0) *. y.(0)) +. (y.(1) *. y.(1)));
+  close "x(10) = cos 10" ~eps:1e-5 (cos 10.0) y.(0)
+
+let test_rk4_stop () =
+  let flow y = [| y.(0) |] in
+  let t, y =
+    Ode.integrate flow ~dt:0.01 ~max_time:10.0 [| 1.0 |] ~stop:(fun ~t:_ y ->
+        y.(0) >= 2.0)
+  in
+  Alcotest.(check bool) "stopped near ln 2" true (abs_float (t -. log 2.0) < 0.02);
+  Alcotest.(check bool) "value >= 2" true (y.(0) >= 2.0)
+
+let test_rk4_stop_at_zero () =
+  (* stop is evaluated on the initial state *)
+  let flow y = [| y.(0) |] in
+  let t, _ =
+    Ode.integrate flow ~dt:0.01 ~max_time:10.0 [| 5.0 |] ~stop:(fun ~t:_ y ->
+        y.(0) >= 2.0)
+  in
+  close "stopped immediately" ~eps:1e-12 0.0 t
+
+(* ------------------------------------------------------------------ *)
+(* Transmission model                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_eta_peaks () =
+  for gear = 1 to 3 do
+    close
+      (Printf.sprintf "eta%d peak" gear)
+      ~eps:1e-9 1.0
+      (T.eta gear T.a.(gear - 1))
+  done
+
+let test_eta_threshold () =
+  for gear = 1 to 3 do
+    let lo, hi = T.eta_threshold gear in
+    close (Printf.sprintf "eta%d(lo)" gear) ~eps:1e-9 0.5 (T.eta gear lo);
+    close (Printf.sprintf "eta%d(hi)" gear) ~eps:1e-9 0.5 (T.eta gear hi);
+    (* the Eq. 3 guard bounds are grid roundings of these thresholds *)
+    close
+      (Printf.sprintf "hi%d near paper value" gear)
+      ~eps:0.01 hi
+      (match gear with 1 -> 16.70 | 2 -> 26.70 | _ -> 36.70)
+  done
+
+let test_safety_predicate () =
+  let g1u = Mds.mode_index T.system "G1U" in
+  let n = Mds.mode_index T.system "N" in
+  Alcotest.(check bool) "slow is safe" true (T.system.Mds.safe g1u [| 0.; 2. |]);
+  Alcotest.(check bool) "peak is safe" true (T.system.Mds.safe g1u [| 0.; 10. |]);
+  Alcotest.(check bool) "inefficient is unsafe" false
+    (T.system.Mds.safe g1u [| 0.; 30. |]);
+  Alcotest.(check bool) "negative speed unsafe" false
+    (T.system.Mds.safe g1u [| 0.; -0.1 |]);
+  Alcotest.(check bool) "overspeed unsafe" false
+    (T.system.Mds.safe n [| 0.; 61. |]);
+  Alcotest.(check bool) "neutral at any legal speed safe" true
+    (T.system.Mds.safe n [| 0.; 59. |])
+
+let test_topology () =
+  Alcotest.(check int) "7 modes" 7 (Array.length T.system.Mds.modes);
+  Alcotest.(check int) "12 transitions" 12 (Array.length T.system.Mds.transitions);
+  let g2u = Mds.mode_index T.system "G2U" in
+  let out = List.map (fun (t : Mds.transition) -> t.Mds.label) (Mds.outgoing T.system g2u) in
+  Alcotest.(check (list string)) "G2U outgoing" [ "g22U"; "g23U" ] out;
+  let inc = List.map (fun (t : Mds.transition) -> t.Mds.label) (Mds.incoming T.system g2u) in
+  Alcotest.(check (list string)) "G2U incoming" [ "g12U"; "g22U" ] inc;
+  Alcotest.check_raises "unknown mode"
+    (Invalid_argument "Mds.mode_index: unknown mode G4U") (fun () ->
+      ignore (Mds.mode_index T.system "G4U"))
+
+(* ------------------------------------------------------------------ *)
+(* Mode simulation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let g1u = Mds.mode_index T.system "G1U"
+
+let interval lo hi y = lo <= y.(1) && y.(1) <= hi
+
+let test_in_mode_exit () =
+  match
+    Simulate.in_mode T.system ~mode:g1u
+      ~exits:[ ("g12U", interval 13.3 26.7) ]
+      ~dt:0.01 ~max_time:200.0 [| 0.0; 0.0 |]
+  with
+  | Simulate.Exit (label, y, t) ->
+    Alcotest.(check string) "exits via g12U" "g12U" label;
+    Alcotest.(check bool) "speed at exit" true (abs_float (y.(1) -. 13.3) < 0.05);
+    Alcotest.(check bool) "takes positive time" true (t > 1.0)
+  | _ -> Alcotest.fail "expected exit"
+
+let test_in_mode_unsafe_entry () =
+  match
+    Simulate.in_mode T.system ~mode:g1u
+      ~exits:[ ("g12U", interval 13.3 26.7) ]
+      ~dt:0.01 ~max_time:10.0 [| 0.0; 30.0 |]
+  with
+  | Simulate.Unsafe (_, t) -> close "unsafe at entry" ~eps:1e-12 0.0 t
+  | _ -> Alcotest.fail "expected unsafe"
+
+let test_in_mode_timeout () =
+  match
+    Simulate.in_mode T.system ~mode:(Mds.mode_index T.system "N")
+      ~exits:[ ("gN1U", interval 50.0 60.0) ]
+      ~dt:0.01 ~max_time:1.0 [| 0.0; 0.0 |]
+  with
+  | Simulate.Timeout _ -> ()
+  | _ -> Alcotest.fail "expected timeout"
+
+let test_in_mode_dwell_delays_exit () =
+  (* the guard is true immediately, but the dwell forbids exiting early *)
+  match
+    Simulate.in_mode T.system ~mode:g1u
+      ~exits:[ ("g11U", interval 0.0 16.7) ]
+      ~min_dwell:2.0 ~dt:0.01 ~max_time:10.0 [| 0.0; 1.0 |]
+  with
+  | Simulate.Exit (_, _, t) ->
+    Alcotest.(check bool) "exit after dwell" true (t >= 2.0 -. 1e-9)
+  | _ -> Alcotest.fail "expected exit"
+
+let test_in_mode_exit_beats_unsafety () =
+  (* decelerating through omega = 0: the point guard is crossed in the
+     same step that omega would go negative; the exit must win *)
+  let g1d = Mds.mode_index T.system "G1D" in
+  match
+    Simulate.in_mode T.system ~mode:g1d
+      ~exits:
+        [
+          ( "g1ND",
+            let prev = ref None in
+            fun y ->
+              let cur = y.(1) in
+              let hit =
+                match !prev with
+                | None -> cur = 0.0
+                | Some p -> (p >= 0.0 && cur <= 0.0) || cur = 0.0
+              in
+              prev := Some cur;
+              hit );
+        ]
+      ~dt:0.01 ~max_time:100.0 [| 0.0; 5.0 |]
+  with
+  | Simulate.Exit (label, _, _) -> Alcotest.(check string) "g1ND" "g1ND" label
+  | Simulate.Unsafe _ -> Alcotest.fail "unsafe should not precede the exit"
+  | Simulate.Timeout _ -> Alcotest.fail "timeout"
+
+let test_run_policy_plan_mismatch () =
+  Alcotest.check_raises "bad plan"
+    (Invalid_argument "Simulate.run_policy: g23U does not leave mode G1U")
+    (fun () ->
+      ignore
+        (Simulate.run_policy T.system
+           ~guard:(fun _ _ -> true)
+           ~plan:[ "gN1U"; "g23U" ] ~dt:0.01 ~max_time:1.0 [| 0.0; 0.0 |]))
+
+let () =
+  Alcotest.run "hybrid"
+    [
+      ( "ode",
+        [
+          Alcotest.test_case "exponential growth" `Quick test_rk4_exponential;
+          Alcotest.test_case "harmonic oscillator" `Quick test_rk4_harmonic;
+          Alcotest.test_case "stop condition" `Quick test_rk4_stop;
+          Alcotest.test_case "stop at t=0" `Quick test_rk4_stop_at_zero;
+        ] );
+      ( "transmission",
+        [
+          Alcotest.test_case "efficiency peaks at a_i" `Quick test_eta_peaks;
+          Alcotest.test_case "eta threshold = Eq.3 bounds" `Quick
+            test_eta_threshold;
+          Alcotest.test_case "safety predicate" `Quick test_safety_predicate;
+          Alcotest.test_case "topology of Fig. 9" `Quick test_topology;
+        ] );
+      ( "simulate",
+        [
+          Alcotest.test_case "exit via guard" `Quick test_in_mode_exit;
+          Alcotest.test_case "unsafe entry" `Quick test_in_mode_unsafe_entry;
+          Alcotest.test_case "timeout" `Quick test_in_mode_timeout;
+          Alcotest.test_case "dwell delays exit" `Quick
+            test_in_mode_dwell_delays_exit;
+          Alcotest.test_case "exit beats unsafety in one step" `Quick
+            test_in_mode_exit_beats_unsafety;
+          Alcotest.test_case "policy plan mismatch" `Quick
+            test_run_policy_plan_mismatch;
+        ] );
+    ]

@@ -1,0 +1,376 @@
+(* Tests for the CEGAR instance: transition systems, explicit-state
+   reachability, localization abstraction, SAT-based BMC, and the full
+   refinement loop of Fig. 3. *)
+
+module Ts = Mc.Ts
+module Reach = Mc.Reach
+module Abstraction = Mc.Abstraction
+module Bmc = Mc.Bmc
+module Cegar = Mc.Cegar
+module Systems = Mc.Systems
+
+(* ------------------------------------------------------------------ *)
+(* Transition systems                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_ts_eval () =
+  let e = Ts.And (Ts.V 0, Ts.Or (Ts.In 0, Ts.Not (Ts.V 1))) in
+  let eval s i = Ts.eval e ~state:s ~input:i in
+  Alcotest.(check bool) "true case" true (eval [| true; false |] [| false |]);
+  Alcotest.(check bool) "input flips it" true (eval [| true; true |] [| true |]);
+  Alcotest.(check bool) "false case" false (eval [| true; true |] [| false |]);
+  Alcotest.(check bool) "v0 gates" false (eval [| false; false |] [| true |])
+
+let test_ts_validation () =
+  Alcotest.check_raises "latch range" (Invalid_argument "Ts: latch out of range")
+    (fun () ->
+      ignore
+        (Ts.make ~name:"x" ~num_latches:1 ~num_inputs:0 ~init:[| false |]
+           ~next:[| Ts.V 3 |] ~bad:Ts.F))
+
+let test_counter_step () =
+  let t = Systems.mod_counter ~bits:3 ~modulus:6 ~bad_value:7 () in
+  let s = ref t.Ts.init in
+  for _ = 1 to 7 do
+    s := Ts.step t ~state:!s ~input:[| true |]
+  done;
+  (* 7 enabled steps mod 6 = state 1 *)
+  Alcotest.(check (array bool)) "wraps at 6" [| true; false; false |] !s;
+  let s' = Ts.step t ~state:!s ~input:[| false |] in
+  Alcotest.(check (array bool)) "disabled holds" !s s'
+
+(* ------------------------------------------------------------------ *)
+(* Reachability                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_reach_unsafe_counter () =
+  let t = Systems.mod_counter ~bits:3 ~modulus:8 ~bad_value:5 () in
+  match Reach.check t with
+  | Reach.Cex trace ->
+    Alcotest.(check int) "shortest trace" 5 (List.length trace);
+    Alcotest.(check bool) "replay reaches bad" true (Reach.replay t trace)
+  | Reach.Safe _ -> Alcotest.fail "counter reaches 5"
+
+let test_reach_safe_counter () =
+  let t = Systems.mod_counter ~bits:3 ~modulus:6 ~bad_value:7 () in
+  match Reach.check t with
+  | Reach.Safe { states_explored } ->
+    Alcotest.(check bool) "explored the mod-6 orbit" true (states_explored >= 6)
+  | Reach.Cex _ -> Alcotest.fail "7 is unreachable modulo 6"
+
+let test_reach_initial_bad () =
+  let t = Systems.mod_counter ~bits:2 ~modulus:4 ~bad_value:0 () in
+  match Reach.check t with
+  | Reach.Cex [] -> ()
+  | _ -> Alcotest.fail "initial state is bad"
+
+(* ------------------------------------------------------------------ *)
+(* Abstraction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_localization_overapproximates () =
+  (* hiding latches must not make an unsafe system look safe *)
+  let t = Systems.mod_counter ~bits:3 ~modulus:8 ~bad_value:5 () in
+  let a = Abstraction.localize t ~visible:[ 0; 2 ] in
+  (match Reach.check a.Abstraction.abstract with
+  | Reach.Cex _ -> ()
+  | Reach.Safe _ -> Alcotest.fail "abstraction lost a concrete cex");
+  Alcotest.(check int) "abstract latch count" 2
+    a.Abstraction.abstract.Ts.num_latches;
+  Alcotest.(check int) "hidden latch became an input" 2
+    a.Abstraction.abstract.Ts.num_inputs
+
+let test_localization_junk_invisible () =
+  let t = Systems.mod_counter ~junk:6 ~bits:3 ~modulus:6 ~bad_value:7 () in
+  let a = Abstraction.localize t ~visible:[ 0; 1; 2 ] in
+  match Reach.check a.Abstraction.abstract with
+  | Reach.Safe _ -> ()
+  | Reach.Cex _ -> Alcotest.fail "counter logic alone proves safety"
+
+let test_referenced_hidden () =
+  let t = Systems.mod_counter ~bits:3 ~modulus:8 ~bad_value:5 () in
+  let a = Abstraction.localize t ~visible:[ 2 ] in
+  (* latch 2's next function and the bad predicate mention latches 0, 1 *)
+  Alcotest.(check (list int)) "refinement candidates" [ 0; 1 ]
+    (List.sort compare (Abstraction.referenced_hidden a))
+
+(* ------------------------------------------------------------------ *)
+(* BMC                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_bmc_finds_cex () =
+  let t = Systems.mod_counter ~bits:3 ~modulus:8 ~bad_value:5 () in
+  (match Bmc.check t ~depth:4 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "bad_value 5 needs 5 steps");
+  match Bmc.check t ~depth:5 with
+  | Some trace ->
+    Alcotest.(check int) "length" 5 (List.length trace);
+    Alcotest.(check bool) "replays" true (Reach.replay t trace)
+  | None -> Alcotest.fail "cex exists at depth 5"
+
+let test_bmc_safe () =
+  let t = Systems.mod_counter ~bits:3 ~modulus:6 ~bad_value:7 () in
+  Alcotest.(check bool) "no cex at any tested depth" true
+    (Bmc.check t ~depth:20 = None)
+
+let test_bmc_agrees_with_reach () =
+  (* differential: BMC at a generous depth agrees with explicit search *)
+  List.iter
+    (fun t ->
+      let r = Reach.check t in
+      let b = Bmc.check t ~depth:12 in
+      match (r, b) with
+      | Reach.Safe _, None -> ()
+      | Reach.Cex _, Some _ -> ()
+      | Reach.Safe _, Some _ -> Alcotest.failf "%s: BMC invented a cex" t.Ts.name
+      | Reach.Cex tr, None when List.length tr > 12 -> ()
+      | Reach.Cex _, None -> Alcotest.failf "%s: BMC missed a cex" t.Ts.name)
+    [
+      Systems.mod_counter ~bits:3 ~modulus:8 ~bad_value:5 ();
+      Systems.mod_counter ~bits:3 ~modulus:6 ~bad_value:7 ();
+      Systems.mod_counter ~bits:2 ~modulus:3 ~bad_value:2 ();
+      Systems.shift_register ~len:4;
+      Systems.request_grant;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* CEGAR                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cegar_safe_with_small_abstraction () =
+  let t = Systems.mod_counter ~junk:8 ~bits:3 ~modulus:6 ~bad_value:7 () in
+  match Cegar.verify t with
+  | Cegar.Safe { abstract_latches; _ } ->
+    Alcotest.(check bool)
+      (Printf.sprintf "junk latches stay hidden (visible=%d)" abstract_latches)
+      true (abstract_latches <= 3)
+  | Cegar.Unsafe _ -> Alcotest.fail "system is safe"
+
+let test_cegar_unsafe_validated () =
+  let t = Systems.mod_counter ~junk:4 ~bits:3 ~modulus:8 ~bad_value:5 () in
+  match Cegar.verify t with
+  | Cegar.Unsafe { trace; _ } ->
+    Alcotest.(check bool) "trace replays concretely" true (Reach.replay t trace)
+  | Cegar.Safe _ -> Alcotest.fail "system is unsafe"
+
+let test_cegar_request_grant () =
+  match Cegar.verify Systems.request_grant with
+  | Cegar.Unsafe { trace; _ } ->
+    Alcotest.(check int) "two-step bug" 2 (List.length trace)
+  | Cegar.Safe _ -> Alcotest.fail "arbiter bug must be found"
+
+let test_cegar_refines_shift_register () =
+  (* the property needs the whole chain: CEGAR must refine all the way *)
+  let t = Systems.shift_register ~len:5 in
+  match Cegar.verify t with
+  | Cegar.Safe { abstract_latches; iterations; _ } ->
+    Alcotest.(check bool) "needed several refinements" true (iterations >= 3);
+    Alcotest.(check bool) "most latches visible" true (abstract_latches >= 5)
+  | Cegar.Unsafe _ -> Alcotest.fail "shift register is safe"
+
+let test_dtree_candidates_rank_relevant_latches () =
+  (* counter bits separate reachable from bad states; junk latches do not *)
+  let t = Systems.mod_counter ~junk:5 ~bits:3 ~modulus:8 ~bad_value:5 () in
+  match Cegar.decision_tree_candidates t ~visible:[] ~samples:64 ~seed:3 with
+  | [] -> Alcotest.fail "no candidates"
+  | first :: _ ->
+    Alcotest.(check bool)
+      (Printf.sprintf "top candidate %d is a counter bit" first)
+      true (first < 3)
+
+let test_cegar_decision_tree_strategy () =
+  (* differential: the learning-based refinement reaches the same
+     verdicts as the syntactic one *)
+  List.iter
+    (fun t ->
+      let expected =
+        match Cegar.verify t with
+        | Cegar.Safe _ -> `Safe
+        | Cegar.Unsafe _ -> `Unsafe
+      in
+      let got =
+        match
+          Cegar.verify
+            ~refinement:(Cegar.Decision_tree { samples = 64; seed = 1 })
+            t
+        with
+        | Cegar.Safe _ -> `Safe
+        | Cegar.Unsafe _ -> `Unsafe
+      in
+      if expected <> got then Alcotest.failf "%s: strategies disagree" t.Ts.name)
+    [
+      Systems.mod_counter ~junk:4 ~bits:3 ~modulus:6 ~bad_value:7 ();
+      Systems.mod_counter ~bits:3 ~modulus:8 ~bad_value:5 ();
+      Systems.shift_register ~len:4;
+      Systems.request_grant;
+    ]
+
+let test_cegar_agrees_with_reach () =
+  List.iter
+    (fun t ->
+      let expected =
+        match Reach.check t with Reach.Safe _ -> `Safe | Reach.Cex _ -> `Unsafe
+      in
+      let got =
+        match Cegar.verify t with
+        | Cegar.Safe _ -> `Safe
+        | Cegar.Unsafe _ -> `Unsafe
+      in
+      if expected <> got then Alcotest.failf "%s: CEGAR disagrees" t.Ts.name)
+    [
+      Systems.mod_counter ~bits:4 ~modulus:11 ~bad_value:9 ();
+      Systems.mod_counter ~bits:4 ~modulus:11 ~bad_value:12 ();
+      Systems.mod_counter ~junk:3 ~bits:2 ~modulus:4 ~bad_value:3 ();
+      Systems.shift_register ~len:3;
+      Systems.request_grant;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Random transition systems: the three engines must agree             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_ts =
+  QCheck2.Gen.(
+    let* num_latches = int_range 2 4 in
+    let* num_inputs = int_range 1 2 in
+    let gen_expr =
+      sized_size (int_range 0 3) @@ fix (fun self n ->
+          if n = 0 then
+            oneof
+              [
+                oneofl [ Ts.T; Ts.F ];
+                (let* i = int_range 0 (num_latches - 1) in
+                 return (Ts.V i));
+                (let* i = int_range 0 (num_inputs - 1) in
+                 return (Ts.In i));
+              ]
+          else
+            let sub = self (n / 2) in
+            oneof
+              [
+                (let* a = sub in
+                 return (Ts.Not a));
+                (let* a = sub and* b = sub in
+                 let* op =
+                   oneofl
+                     [
+                       (fun a b -> Ts.And (a, b));
+                       (fun a b -> Ts.Or (a, b));
+                       (fun a b -> Ts.Xor (a, b));
+                     ]
+                 in
+                 return (op a b));
+              ])
+    in
+    let gen_state_expr =
+      (* bad must not mention inputs *)
+      sized_size (int_range 0 3) @@ fix (fun self n ->
+          if n = 0 then
+            oneof
+              [
+                oneofl [ Ts.T; Ts.F ];
+                (let* i = int_range 0 (num_latches - 1) in
+                 return (Ts.V i));
+              ]
+          else
+            let sub = self (n / 2) in
+            oneof
+              [
+                (let* a = sub in
+                 return (Ts.Not a));
+                (let* a = sub and* b = sub in
+                 let* op =
+                   oneofl
+                     [ (fun a b -> Ts.And (a, b)); (fun a b -> Ts.Or (a, b)) ]
+                 in
+                 return (op a b));
+              ])
+    in
+    let* init = array_size (return num_latches) bool in
+    let* next = array_size (return num_latches) gen_expr in
+    let* bad = gen_state_expr in
+    return (Ts.make ~name:"rand" ~num_latches ~num_inputs ~init ~next ~bad))
+
+let print_ts (t : Ts.t) =
+  Format.asprintf "latches=%d inputs=%d bad=%a" t.Ts.num_latches t.Ts.num_inputs
+    Ts.pp_expr t.Ts.bad
+
+let prop_engines_agree =
+  QCheck2.Test.make ~name:"Reach, BMC and CEGAR agree on random systems"
+    ~count:150 ~print:print_ts gen_ts (fun t ->
+      let reach = Reach.check t in
+      let bmc = Bmc.check t ~depth:20 in
+      let cegar = Cegar.verify t in
+      (* any counterexample within 2^4 states is found within depth 20 *)
+      match (reach, bmc, cegar) with
+      | Reach.Safe _, None, Cegar.Safe _ -> true
+      | Reach.Cex r, Some b, Cegar.Unsafe { trace; _ } ->
+        Reach.replay t r && Reach.replay t b && Reach.replay t trace
+      | _ -> false)
+
+let prop_localization_sound =
+  QCheck2.Test.make
+    ~name:"hiding latches never hides a real counterexample" ~count:150
+    ~print:print_ts gen_ts (fun t ->
+      match Reach.check t with
+      | Reach.Safe _ -> true
+      | Reach.Cex _ ->
+        (* any abstraction must also report a counterexample *)
+        let a = Abstraction.localize t ~visible:[ 0 ] in
+        (match Reach.check a.Abstraction.abstract with
+        | Reach.Cex _ -> true
+        | Reach.Safe _ -> false))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "ts",
+        [
+          Alcotest.test_case "expression evaluation" `Quick test_ts_eval;
+          Alcotest.test_case "validation" `Quick test_ts_validation;
+          Alcotest.test_case "counter semantics" `Quick test_counter_step;
+        ] );
+      ( "reach",
+        [
+          Alcotest.test_case "unsafe counter" `Quick test_reach_unsafe_counter;
+          Alcotest.test_case "safe counter" `Quick test_reach_safe_counter;
+          Alcotest.test_case "initially bad" `Quick test_reach_initial_bad;
+        ] );
+      ( "abstraction",
+        [
+          Alcotest.test_case "over-approximates" `Quick
+            test_localization_overapproximates;
+          Alcotest.test_case "junk latches hidden" `Quick
+            test_localization_junk_invisible;
+          Alcotest.test_case "refinement candidates" `Quick
+            test_referenced_hidden;
+        ] );
+      ( "bmc",
+        [
+          Alcotest.test_case "finds counterexample at the right depth" `Quick
+            test_bmc_finds_cex;
+          Alcotest.test_case "safe system" `Quick test_bmc_safe;
+          Alcotest.test_case "agrees with explicit reachability" `Quick
+            test_bmc_agrees_with_reach;
+        ] );
+      ( "cegar",
+        [
+          Alcotest.test_case "safe via small abstraction" `Quick
+            test_cegar_safe_with_small_abstraction;
+          Alcotest.test_case "unsafe with validated trace" `Quick
+            test_cegar_unsafe_validated;
+          Alcotest.test_case "arbiter bug" `Quick test_cegar_request_grant;
+          Alcotest.test_case "refines when necessary" `Quick
+            test_cegar_refines_shift_register;
+          Alcotest.test_case "decision-tree candidates rank by relevance"
+            `Quick test_dtree_candidates_rank_relevant_latches;
+          Alcotest.test_case "decision-tree refinement agrees" `Quick
+            test_cegar_decision_tree_strategy;
+          Alcotest.test_case "agrees with explicit reachability" `Quick
+            test_cegar_agrees_with_reach;
+        ] );
+      ("random-systems", qsuite [ prop_engines_agree; prop_localization_sound ]);
+    ]

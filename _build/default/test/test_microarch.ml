@@ -1,0 +1,368 @@
+(* Tests for the microarchitecture substrate. The central property is
+   differential: running a compiled program on the cycle-accurate machine
+   computes the same outputs as the reference interpreter. Timing tests
+   check the properties GameTime relies on: determinism and genuine
+   path-dependence. *)
+
+module Bv = Smt.Bv
+module Lang = Prog.Lang
+module Interp = Prog.Interp
+module B = Prog.Benchmarks
+module Compile = Microarch.Compile
+module Machine = Microarch.Machine
+module Platform = Microarch.Platform
+module Cache = Microarch.Cache
+
+let compiled_outputs p inputs =
+  (Machine.run (Compile.compile p) inputs).Machine.outputs
+
+let check_against_interp name p inputs =
+  Alcotest.(check (list (pair string int)))
+    name (Interp.run p inputs) (compiled_outputs p inputs)
+
+(* ------------------------------------------------------------------ *)
+(* Functional correctness                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_compile_toy () =
+  check_against_interp "toy flag=0" B.toy [ ("flag", 0); ("x", 7) ];
+  check_against_interp "toy flag=1" B.toy [ ("flag", 1); ("x", 7) ]
+
+let test_compile_modexp () =
+  List.iter
+    (fun (base, exp) ->
+      check_against_interp
+        (Printf.sprintf "modexp %d^%d" base exp)
+        (B.modexp ())
+        [ ("base", base); ("exp", exp) ])
+    [ (2, 0); (2, 255); (7, 77); (251, 128); (123, 200) ]
+
+let test_compile_fig8 () =
+  List.iter
+    (fun y -> check_against_interp "multiply45Obs" B.multiply45_obs [ ("y", y) ])
+    [ 0; 3; 999; 65535 ];
+  List.iter
+    (fun (s, d) ->
+      check_against_interp "interchangeObs" B.interchange_obs
+        [ ("src", s); ("dest", d) ])
+    [ (0, 0); (5, 9); (65535, 1) ]
+
+let prop_compiled_matches_interp =
+  QCheck2.Test.make ~name:"compiled modexp = interpreted modexp" ~count:100
+    ~print:(fun (b, e) -> Printf.sprintf "base=%d exp=%d" b e)
+    QCheck2.Gen.(pair (int_range 0 65535) (int_range 0 255))
+    (fun (base, exp) ->
+      let inputs = [ ("base", base); ("exp", exp) ] in
+      Interp.run (B.modexp ()) inputs = compiled_outputs (B.modexp ()) inputs)
+
+(* random structured programs: the strongest differential test of the
+   compiler + machine against the reference interpreter *)
+let gen_program =
+  QCheck2.Gen.(
+    let width = 8 in
+    let var_names = [ "a"; "b"; "x"; "y" ] in
+    let gen_var = oneofl var_names in
+    let gen_expr =
+      sized_size (int_range 0 2) @@ fix (fun self n ->
+          if n = 0 then
+            oneof
+              [
+                (let* v = int_range 0 255 in
+                 return (Smt.Bv.const ~width v));
+                (let* x = gen_var in
+                 return (Smt.Bv.var ~width x));
+              ]
+          else
+            let sub = self (n / 2) in
+            let* a = sub and* b = sub in
+            let* op =
+              oneofl
+                Smt.Bv.[ badd; bsub; bmul; band; bor; bxor; bshl; blshr; burem ]
+            in
+            return (op a b))
+    in
+    let gen_cond =
+      let* a = gen_expr and* b = gen_expr in
+      let* op = oneofl Smt.Bv.[ eq; ult; ule; neq ] in
+      return (op a b)
+    in
+    let rec gen_stmts depth budget =
+      if budget = 0 then return []
+      else
+        let* stmt =
+          if depth = 0 then
+            let* x = gen_var and* e = gen_expr in
+            return (Lang.Assign (x, e))
+          else
+            frequency
+              [
+                ( 3,
+                  let* x = gen_var and* e = gen_expr in
+                  return (Lang.Assign (x, e)) );
+                ( 1,
+                  let* c = gen_cond in
+                  let* t = gen_stmts (depth - 1) 2 and* f = gen_stmts (depth - 1) 2 in
+                  return (Lang.If (c, t, f)) );
+                ( 1,
+                  (* a bounded counting loop; the counter is private to
+                     this nesting depth so nested loops cannot clobber
+                     each other's counters *)
+                  let* k = int_range 1 3 in
+                  let* body = gen_stmts (depth - 1) 2 in
+                  let iv = Printf.sprintf "i%d" depth in
+                  let i = Smt.Bv.var ~width iv in
+                  return
+                    (Lang.If
+                       ( Smt.Bv.tru,
+                         [
+                           Lang.Assign (iv, Smt.Bv.const ~width 0);
+                           Lang.While
+                             ( Smt.Bv.ult i (Smt.Bv.const ~width k),
+                               body
+                               @ [
+                                   Lang.Assign
+                                     (iv, Smt.Bv.badd i (Smt.Bv.const ~width 1));
+                                 ] );
+                         ],
+                         [] )) );
+              ]
+        in
+        let* rest = gen_stmts depth (budget - 1) in
+        return (stmt :: rest)
+    in
+    let* body = gen_stmts 2 4 in
+    let* inputs = return [ "a"; "b" ] in
+    return
+      (Lang.make ~name:"rand" ~width ~inputs ~outputs:var_names body))
+
+let print_program p = Format.asprintf "%a" Prog.Lang.pp p
+
+let prop_random_programs_compile_correctly =
+  QCheck2.Test.make ~name:"random programs: machine = interpreter" ~count:150
+    ~print:(fun (p, a, b) -> Printf.sprintf "%s with a=%d b=%d" (print_program p) a b)
+    QCheck2.Gen.(triple gen_program (int_range 0 255) (int_range 0 255))
+    (fun (p, a, b) ->
+      let inputs = [ ("a", a); ("b", b) ] in
+      Interp.run p inputs = compiled_outputs p inputs)
+
+let prop_compiled_ite =
+  (* Bv.ite compiles through branches; exercise it directly *)
+  let p =
+    Lang.make ~name:"ite" ~width:16 ~inputs:[ "x" ] ~outputs:[ "r" ]
+      [
+        Lang.Assign
+          ( "r",
+            Bv.ite
+              (Bv.ult (Bv.var ~width:16 "x") (Bv.const ~width:16 100))
+              (Bv.badd (Bv.var ~width:16 "x") (Bv.const ~width:16 1))
+              (Bv.bsub (Bv.var ~width:16 "x") (Bv.const ~width:16 1)) );
+      ]
+  in
+  QCheck2.Test.make ~name:"compiled ite = interpreted ite" ~count:100
+    ~print:string_of_int
+    QCheck2.Gen.(int_range 0 65535)
+    (fun x ->
+      Interp.run p [ ("x", x) ] = compiled_outputs p [ ("x", x) ])
+
+let test_trap_on_failed_assume () =
+  let p =
+    Lang.make ~name:"assume_false" ~width:8 ~inputs:[ "x" ] ~outputs:[]
+      [ Lang.Assume (Bv.eq (Bv.var ~width:8 "x") (Bv.const ~width:8 0)) ]
+  in
+  let c = Compile.compile p in
+  ignore (Machine.run c [ ("x", 0) ]);
+  Alcotest.check_raises "trap" Machine.Trap_executed (fun () ->
+      ignore (Machine.run c [ ("x", 1) ]))
+
+let test_fuel () =
+  let p =
+    Lang.make ~name:"spin" ~width:8 ~inputs:[] ~outputs:[]
+      [ Lang.While (Bv.tru, []) ]
+  in
+  Alcotest.check_raises "fuel" Machine.Out_of_fuel (fun () ->
+      ignore (Machine.run ~fuel:100 (Compile.compile p) []))
+
+(* ------------------------------------------------------------------ *)
+(* Timing behaviour                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_timing_deterministic () =
+  let pf = Platform.create (B.modexp ()) in
+  let inputs = [ ("base", 123); ("exp", 77) ] in
+  Alcotest.(check int)
+    "same input, same cycles"
+    (Platform.time pf inputs) (Platform.time pf inputs)
+
+let test_timing_path_dependent () =
+  let pf = Platform.create (B.modexp ()) in
+  let t0 = Platform.time pf [ ("base", 123); ("exp", 0) ] in
+  let t255 = Platform.time pf [ ("base", 123); ("exp", 255) ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "exp=255 (%d cy) slower than exp=0 (%d cy)" t255 t0)
+    true (t255 > t0)
+
+let test_timing_monotone_in_popcount () =
+  (* more set exponent bits => more multiply work; spot-check a chain *)
+  let pf = Platform.create (B.modexp ()) in
+  let time exp = Platform.time pf [ ("base", 200); ("exp", exp) ] in
+  let t1 = time 1 and t3 = time 3 and t15 = time 15 in
+  Alcotest.(check bool) "1 bit < 2 bits" true (t1 < t3);
+  Alcotest.(check bool) "2 bits < 4 bits" true (t3 < t15)
+
+let test_mul_early_termination () =
+  (* multiplying by a small constant is faster than by a large one *)
+  let make name k =
+    Lang.make ~name ~width:16 ~inputs:[ "x" ] ~outputs:[ "r" ]
+      [
+        Lang.Assign
+          ("r", Bv.bmul (Bv.var ~width:16 "x") (Bv.const ~width:16 k));
+      ]
+  in
+  let t_small = Platform.time (Platform.create (make "mul_small" 1)) [ ("x", 3) ] in
+  let t_large =
+    Platform.time (Platform.create (make "mul_large" 0xFFFF)) [ ("x", 3) ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "small multiplier (%d cy) < large (%d cy)" t_small t_large)
+    true (t_small < t_large)
+
+let test_noisy_platform () =
+  let pf = Platform.create ~noise_seed:42 (B.modexp ~bits:4 ()) in
+  let inputs = [ ("base", 200); ("exp", 11) ] in
+  let times = List.init 30 (fun _ -> Platform.time pf inputs) in
+  let distinct = List.sort_uniq compare times in
+  Alcotest.(check bool) "noise produces varying timings" true
+    (List.length distinct > 1);
+  (* functional behaviour is unaffected by cache noise *)
+  let r = Platform.run pf inputs in
+  Alcotest.(check (list (pair string int)))
+    "outputs unaffected"
+    (Interp.run (B.modexp ~bits:4 ()) inputs)
+    r.Machine.outputs
+
+let test_cold_cache_misses () =
+  let pf = Platform.create (B.modexp ()) in
+  let r = Platform.run pf [ ("base", 5); ("exp", 170) ] in
+  Alcotest.(check bool)
+    "cold start has icache misses" true
+    (r.Machine.stats.Machine.icache_misses > 0);
+  Alcotest.(check bool)
+    "loop brings icache hits" true
+    (r.Machine.stats.Machine.icache_hits > r.Machine.stats.Machine.icache_misses)
+
+let test_branch_prediction () =
+  let inputs = [ ("base", 123); ("exp", 170) ] in
+  let time predictor =
+    Platform.time (Platform.create ~predictor (B.modexp ())) inputs
+  in
+  let t_static = time Machine.Static_not_taken in
+  let t_backward = time Machine.Backward_taken in
+  let t_bimodal = time (Machine.Bimodal 64) in
+  Alcotest.(check bool)
+    (Printf.sprintf "loop prediction helps (static %d, backward %d, bimodal %d)"
+       t_static t_backward t_bimodal)
+    true
+    (t_backward < t_static && t_bimodal < t_static);
+  (* functional behaviour is independent of the predictor *)
+  List.iter
+    (fun predictor ->
+      Alcotest.(check (list (pair string int)))
+        "outputs unchanged"
+        (Interp.run (B.modexp ()) inputs)
+        (Platform.run (Platform.create ~predictor (B.modexp ())) inputs)
+          .Machine.outputs)
+    [ Machine.Static_not_taken; Machine.Backward_taken; Machine.Bimodal 16 ]
+
+let test_bimodal_counts_mispredictions () =
+  let pf = Platform.create ~predictor:(Machine.Bimodal 64) (B.modexp ()) in
+  let r = Platform.run pf [ ("base", 7); ("exp", 255) ] in
+  Alcotest.(check bool) "some mispredictions while warming up" true
+    (r.Machine.stats.Machine.mispredictions > 0);
+  Alcotest.(check bool) "far fewer than branches executed" true
+    (r.Machine.stats.Machine.mispredictions * 4
+    < r.Machine.stats.Machine.instructions)
+
+let test_bimodal_size_validated () =
+  let c = Compile.compile B.toy in
+  Alcotest.check_raises "power of two"
+    (Invalid_argument "Machine.run: bimodal table size must be a power of two")
+    (fun () ->
+      ignore (Machine.run ~predictor:(Machine.Bimodal 5) c [ ("flag", 1) ]))
+
+let test_cache_direct_mapped () =
+  let c = Cache.create { Cache.lines = 2; line_bytes = 4; miss_penalty = 10 } in
+  Alcotest.(check int) "first access misses" 10 (Cache.access c 0);
+  Alcotest.(check int) "same line hits" 0 (Cache.access c 3);
+  Alcotest.(check int) "other line misses" 10 (Cache.access c 4);
+  Alcotest.(check int) "conflicting line evicts" 10 (Cache.access c 8);
+  Alcotest.(check int) "original was evicted" 10 (Cache.access c 0);
+  Alcotest.(check int) "hits counted" 1 (Cache.hits c);
+  Alcotest.(check int) "misses counted" 4 (Cache.misses c)
+
+let test_cache_reset () =
+  let c = Cache.create { Cache.lines = 2; line_bytes = 4; miss_penalty = 7 } in
+  ignore (Cache.access c 0);
+  Cache.reset c;
+  Alcotest.(check int) "miss again after reset" 7 (Cache.access c 0);
+  Alcotest.(check int) "stats cleared" 1 (Cache.misses c)
+
+let test_register_pressure () =
+  (* build a deliberately deep right-leaning expression *)
+  let rec deep n =
+    if n = 0 then Bv.var ~width:16 "x"
+    else Bv.badd (Bv.const ~width:16 1) (deep (n - 1))
+  in
+  let p =
+    Lang.make ~name:"deep" ~width:16 ~inputs:[ "x" ] ~outputs:[ "r" ]
+      [ Lang.Assign ("r", deep 20) ]
+  in
+  Alcotest.check_raises "register pressure" Compile.Register_pressure (fun () ->
+      ignore (Compile.compile p))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "microarch"
+    [
+      ( "compile",
+        [
+          Alcotest.test_case "toy" `Quick test_compile_toy;
+          Alcotest.test_case "modexp" `Quick test_compile_modexp;
+          Alcotest.test_case "fig8 programs" `Quick test_compile_fig8;
+          Alcotest.test_case "assume traps" `Quick test_trap_on_failed_assume;
+          Alcotest.test_case "fuel bound" `Quick test_fuel;
+          Alcotest.test_case "register pressure detected" `Quick
+            test_register_pressure;
+        ] );
+      ( "compile-qcheck",
+        qsuite
+          [
+            prop_compiled_matches_interp;
+            prop_compiled_ite;
+            prop_random_programs_compile_correctly;
+          ] );
+      ( "timing",
+        [
+          Alcotest.test_case "deterministic" `Quick test_timing_deterministic;
+          Alcotest.test_case "path dependent" `Quick test_timing_path_dependent;
+          Alcotest.test_case "monotone in exponent popcount" `Quick
+            test_timing_monotone_in_popcount;
+          Alcotest.test_case "early-termination multiplier" `Quick
+            test_mul_early_termination;
+          Alcotest.test_case "cold cache misses" `Quick test_cold_cache_misses;
+          Alcotest.test_case "noisy environment varies timing" `Quick
+            test_noisy_platform;
+          Alcotest.test_case "branch prediction reduces cycles" `Quick
+            test_branch_prediction;
+          Alcotest.test_case "bimodal misprediction accounting" `Quick
+            test_bimodal_counts_mispredictions;
+          Alcotest.test_case "bimodal size validated" `Quick
+            test_bimodal_size_validated;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "direct mapped behaviour" `Quick
+            test_cache_direct_mapped;
+          Alcotest.test_case "reset" `Quick test_cache_reset;
+        ] );
+    ]

@@ -1,0 +1,244 @@
+(* Tests for the sciduction framework: oracle combinators, soundness
+   reports, Table 1 rendering, and a worked end-to-end instance tying the
+   framework types to the OGIS application. *)
+
+module Framework = Sciduction.Framework
+module Oracles = Sciduction.Oracles
+module Soundness = Sciduction.Soundness
+module Instances = Sciduction.Instances
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Oracles                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counting () =
+  let c = Oracles.counting (fun x -> x * 2) in
+  Alcotest.(check int) "initially zero" 0 (c.Oracles.count ());
+  Alcotest.(check int) "answer" 14 (c.Oracles.oracle 7);
+  ignore (c.Oracles.oracle 1);
+  Alcotest.(check int) "two queries" 2 (c.Oracles.count ());
+  c.Oracles.reset ();
+  Alcotest.(check int) "reset" 0 (c.Oracles.count ())
+
+let test_memoizing () =
+  let calls = ref 0 in
+  let f x =
+    incr calls;
+    x + 1
+  in
+  let m = Oracles.memoizing f in
+  Alcotest.(check int) "first" 6 (m 5);
+  Alcotest.(check int) "cached" 6 (m 5);
+  Alcotest.(check int) "underlying called once" 1 !calls;
+  Alcotest.(check int) "different query" 8 (m 7);
+  Alcotest.(check int) "called twice total" 2 !calls
+
+let test_log_to () =
+  let log = ref [] in
+  let f = Oracles.log_to log (fun x -> -x) in
+  ignore (f 1);
+  ignore (f 2);
+  Alcotest.(check (list (pair int int))) "log order" [ (2, -2); (1, -1) ] !log
+
+(* ------------------------------------------------------------------ *)
+(* Soundness                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_conclude () =
+  let r =
+    Soundness.conclude ~hypothesis:"guards are hyperboxes"
+      (Soundness.Proved "monotone dynamics on a finite grid")
+  in
+  Alcotest.(check bool) "sound conclusion" true (contains r.Soundness.conclusion "sound");
+  let r =
+    Soundness.conclude ~hypothesis:"library sufficient"
+      (Soundness.Refuted "cex found")
+  in
+  Alcotest.(check bool) "warns" true
+    (contains r.Soundness.conclusion "invalid")
+
+let test_run_test () =
+  let ok = Soundness.run_test ~hypothesis:"h" ~method_:"equivalence check" (fun () -> Ok ()) in
+  (match ok.Soundness.validity with
+  | Soundness.Tested { passed = true; _ } -> ()
+  | _ -> Alcotest.fail "expected passed test");
+  let bad =
+    Soundness.run_test ~hypothesis:"h" ~method_:"equivalence check" (fun () ->
+        Error [ 1; 2 ])
+  in
+  match bad.Soundness.validity with
+  | Soundness.Tested { passed = false; _ } -> ()
+  | _ -> Alcotest.fail "expected failed test"
+
+(* ------------------------------------------------------------------ *)
+(* Decision trees                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Dtree = Sciduction.Dtree
+
+let all_inputs n =
+  List.init (1 lsl n) (fun code ->
+      Array.init n (fun i -> code land (1 lsl i) <> 0))
+
+let learn_fn n f =
+  let examples = List.map (fun x -> (x, f x)) (all_inputs n) in
+  (Dtree.learn ~nfeatures:n examples, examples)
+
+let test_dtree_learns_exactly () =
+  List.iter
+    (fun (name, n, f) ->
+      let tree, examples = learn_fn n f in
+      Alcotest.(check (float 1e-9)) (name ^ " accuracy") 1.0
+        (Dtree.training_accuracy tree examples))
+    [
+      ("single feature", 3, fun x -> x.(1));
+      ("and", 2, fun x -> x.(0) && x.(1));
+      ("xor", 2, fun x -> x.(0) <> x.(1));
+      ("majority of 3", 3, fun x ->
+        (if x.(0) then 1 else 0) + (if x.(1) then 1 else 0)
+        + (if x.(2) then 1 else 0)
+        >= 2);
+    ]
+
+let test_dtree_ignores_irrelevant_features () =
+  (* only feature 2 matters; the tree should use just that one *)
+  let tree, _ = learn_fn 5 (fun x -> x.(2)) in
+  Alcotest.(check (list int)) "features used" [ 2 ] (Dtree.features_used tree);
+  Alcotest.(check int) "depth 1" 1 (Dtree.depth tree)
+
+let test_dtree_constant_labels () =
+  let tree, _ = learn_fn 3 (fun _ -> true) in
+  Alcotest.(check int) "single leaf" 1 (Dtree.size tree);
+  Alcotest.(check bool) "classifies true" true
+    (Dtree.classify tree [| false; true; false |])
+
+let test_dtree_majority_on_contradictions () =
+  (* identical inputs with conflicting labels: majority wins *)
+  let x = [| true |] in
+  let tree = Dtree.learn ~nfeatures:1 [ (x, true); (x, true); (x, false) ] in
+  Alcotest.(check bool) "majority" true (Dtree.classify tree x)
+
+let test_dtree_max_depth () =
+  (* xor over 4 features needs depth 4; cap at 2 and check it respects it *)
+  let f x = x.(0) <> x.(1) <> x.(2) <> x.(3) in
+  let examples = List.map (fun x -> (x, f x)) (all_inputs 4) in
+  let tree = Dtree.learn ~nfeatures:4 ~max_depth:2 examples in
+  Alcotest.(check bool) "depth capped" true (Dtree.depth tree <= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Instances and Table 1                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table1 () =
+  Alcotest.(check int) "three applications" 3 (List.length Instances.table1);
+  Alcotest.(check int) "three 2.4 instances" 3 (List.length Instances.section24);
+  let rendered = Format.asprintf "%a" Instances.pp_table Instances.table1 in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains rendered needle))
+    [ "Timing analysis"; "hyperboxes"; "distinguishing inputs"; "SMT" ]
+
+(* a live instance: OGIS on the paper's P2 benchmark, at width 8 *)
+let test_live_ogis_instance () =
+  let width = 8 in
+  let library = Ogis.Component.fig8_p2 in
+  let spec = { Ogis.Encode.width; ninputs = 1; noutputs = 1; library } in
+  let oracle =
+    Oracles.counting
+      (Ogis.Deobfuscate.oracle_of_program
+         (Prog.Benchmarks.multiply45_obs_w ~width))
+  in
+  let hypothesis =
+    {
+      Framework.h_name = "loop-free over {shl2, shl3, add, add}";
+      h_description = "straight-line compositions of the component library";
+      member = (fun (p : Ogis.Straightline.t) -> List.length p.Ogis.Straightline.lines = 4);
+      strict = true;
+      primitive =
+        Some
+          (fun p (ins, outs) -> Ogis.Straightline.eval p ins = outs);
+    }
+  in
+  let inductive =
+    {
+      Framework.i_name = "distinguishing-input learner";
+      i_description = "OGIS loop over the I/O oracle";
+      infer =
+        (fun seeds ->
+          match
+            Ogis.Synth.synthesize ~initial_inputs:(List.map fst seeds) spec
+              oracle.Oracles.oracle
+          with
+          | Ogis.Synth.Synthesized (p, _) -> Some p
+          | _ -> None);
+    }
+  in
+  let deductive =
+    {
+      Framework.d_name = "QF_BV SMT solver";
+      d_description = "candidate + distinguishing-input queries";
+      lightweight =
+        Framework.Lower_complexity
+          "NP queries instead of the Sigma2 synthesis problem";
+      solve = (fun fs -> Smt.Solver.check_formulas fs);
+    }
+  in
+  let inst =
+    {
+      Framework.name = "component-based synthesis";
+      problem = "deobfuscate multiply45Obs";
+      hypothesis;
+      inductive;
+      deductive;
+      soundness = Framework.Sound_if_hypothesis_valid;
+    }
+  in
+  (* run the instance end to end through the framework record *)
+  (match inst.Framework.inductive.Framework.infer [ ([ 0 ], [ 0 ]); ([ 1 ], [ 45 ]) ] with
+  | None -> Alcotest.fail "instance failed to synthesize"
+  | Some p ->
+    Alcotest.(check bool) "artifact in C_H" true
+      (inst.Framework.hypothesis.Framework.member p);
+    Alcotest.(check (list int)) "computes 45y" [ (45 * 3) land 0xFF ]
+      (Ogis.Straightline.eval p [ 3 ]));
+  Alcotest.(check bool) "oracle was consulted" true (oracle.Oracles.count () > 0);
+  let rendered = Format.asprintf "%a" Framework.describe inst in
+  Alcotest.(check bool) "description mentions soundness" true
+    (contains rendered "sound if valid(H)")
+
+let () =
+  Alcotest.run "sciduction"
+    [
+      ( "oracles",
+        [
+          Alcotest.test_case "counting" `Quick test_counting;
+          Alcotest.test_case "memoizing" `Quick test_memoizing;
+          Alcotest.test_case "logging" `Quick test_log_to;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "conclude" `Quick test_conclude;
+          Alcotest.test_case "run_test" `Quick test_run_test;
+        ] );
+      ( "dtree",
+        [
+          Alcotest.test_case "learns boolean functions exactly" `Quick
+            test_dtree_learns_exactly;
+          Alcotest.test_case "ignores irrelevant features" `Quick
+            test_dtree_ignores_irrelevant_features;
+          Alcotest.test_case "constant labels" `Quick test_dtree_constant_labels;
+          Alcotest.test_case "majority on contradictions" `Quick
+            test_dtree_majority_on_contradictions;
+          Alcotest.test_case "max depth respected" `Quick test_dtree_max_depth;
+        ] );
+      ( "instances",
+        [
+          Alcotest.test_case "table 1" `Quick test_table1;
+          Alcotest.test_case "live OGIS instance" `Quick test_live_ogis_instance;
+        ] );
+    ]

@@ -1,0 +1,454 @@
+(* Tests for switching-logic synthesis: boxes, the hyperbox learner, the
+   labeling oracle and the guard fixpoint, culminating in the Eq. 3
+   reproduction check against the paper's reported guard intervals. *)
+
+module Box = Switchsynth.Box
+module Boxlearn = Switchsynth.Boxlearn
+module Label = Switchsynth.Label
+module Fixpoint = Switchsynth.Fixpoint
+module TS = Switchsynth.Transmission_synth
+module T = Hybrid.Transmission
+module Mds = Hybrid.Mds
+module Simulate = Hybrid.Simulate
+
+(* ------------------------------------------------------------------ *)
+(* Boxes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_box_mem () =
+  let b = Box.make ~lo:[| 0.0; 10.0 |] ~hi:[| 5.0; 20.0 |] in
+  Alcotest.(check bool) "inside" true (Box.mem b [| 2.0; 15.0 |]);
+  Alcotest.(check bool) "boundary" true (Box.mem b [| 0.0; 20.0 |]);
+  Alcotest.(check bool) "outside one dim" false (Box.mem b [| 6.0; 15.0 |]);
+  Alcotest.(check bool) "empty has no members" false
+    (Box.mem (Box.empty 2) [| 0.0; 0.0 |])
+
+let test_box_segment_meets () =
+  let b = Box.make ~lo:[| 0.0 |] ~hi:[| 0.0 |] in
+  Alcotest.(check bool) "straddles point guard" true
+    (Box.segment_meets b [| 0.01 |] [| -0.01 |]);
+  Alcotest.(check bool) "misses" false
+    (Box.segment_meets b [| 0.3 |] [| 0.1 |]);
+  Alcotest.(check bool) "endpoint touch" true
+    (Box.segment_meets b [| 0.2 |] [| 0.0 |]);
+  let b2 = Box.make ~lo:[| 1.0; 1.0 |] ~hi:[| 2.0; 2.0 |] in
+  Alcotest.(check bool) "2d meets" true
+    (Box.segment_meets b2 [| 0.0; 0.0 |] [| 3.0; 3.0 |]);
+  Alcotest.(check bool) "2d misses in one dim" false
+    (Box.segment_meets b2 [| 0.0; 5.0 |] [| 3.0; 4.0 |])
+
+let test_box_snap_equal () =
+  let b = Box.make ~lo:[| 0.004 |] ~hi:[| 9.996 |] in
+  let s = Box.snap ~grid:0.01 b in
+  Alcotest.(check bool) "snapped" true
+    (Box.equal s (Box.make ~lo:[| 0.0 |] ~hi:[| 10.0 |]));
+  Alcotest.(check bool) "empties equal" true (Box.equal (Box.empty 1) (Box.empty 1));
+  Alcotest.(check bool) "empty <> nonempty" false (Box.equal (Box.empty 1) s)
+
+(* ------------------------------------------------------------------ *)
+(* Hyperbox learning                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let within01 = Box.make ~lo:[| 0.0 |] ~hi:[| 10.0 |]
+
+let test_learn_recovers_interval () =
+  let target p = 3.0 <= p.(0) && p.(0) <= 7.25 in
+  match Boxlearn.learn ~grid:0.01 ~label:target ~within:within01 ~seed:[| 5.0 |] with
+  | None -> Alcotest.fail "seed is positive"
+  | Some b ->
+    Alcotest.(check bool) "exact interval" true
+      (Box.equal b (Box.make ~lo:[| 3.0 |] ~hi:[| 7.25 |]))
+
+let test_learn_ignores_disjoint_pocket () =
+  (* positives: [0, 1] u [5, 6]; seed in the right component *)
+  let target p = (0.0 <= p.(0) && p.(0) <= 1.0) || (5.0 <= p.(0) && p.(0) <= 6.0) in
+  match Boxlearn.learn ~grid:0.01 ~label:target ~within:within01 ~seed:[| 5.5 |] with
+  | None -> Alcotest.fail "seed is positive"
+  | Some b ->
+    Alcotest.(check bool)
+      (Format.asprintf "component only, got %a" Box.pp b)
+      true
+      (Box.equal b (Box.make ~lo:[| 5.0 |] ~hi:[| 6.0 |]))
+
+let test_learn_negative_seed () =
+  Alcotest.(check bool) "negative seed" true
+    (Boxlearn.learn ~grid:0.01 ~label:(fun _ -> false) ~within:within01
+       ~seed:[| 5.0 |]
+    = None)
+
+let test_learn_2d () =
+  let target p = 1.0 <= p.(0) && p.(0) <= 2.0 && 3.0 <= p.(1) && p.(1) <= 8.0 in
+  let within = Box.make ~lo:[| 0.0; 0.0 |] ~hi:[| 10.0; 10.0 |] in
+  match Boxlearn.learn ~grid:0.1 ~label:target ~within ~seed:[| 1.5; 5.0 |] with
+  | None -> Alcotest.fail "seed positive"
+  | Some b ->
+    Alcotest.(check bool) "2d box" true
+      (Box.equal b (Box.make ~lo:[| 1.0; 3.0 |] ~hi:[| 2.0; 8.0 |]))
+
+let test_find_seed () =
+  let target p = 8.0 <= p.(0) && p.(0) <= 9.0 in
+  (match
+     Boxlearn.find_seed ~grid:0.01 ~coarse:0.5 ~label:target ~within:within01
+       ~prefer:[| 2.0 |]
+   with
+  | Some p -> Alcotest.(check bool) "found in component" true (target p)
+  | None -> Alcotest.fail "seed exists");
+  Alcotest.(check bool) "no positive anywhere" true
+    (Boxlearn.find_seed ~grid:0.01 ~coarse:0.5
+       ~label:(fun _ -> false)
+       ~within:within01 ~prefer:[| 2.0 |]
+    = None)
+
+let prop_learn_exact =
+  let gen =
+    QCheck2.Gen.(
+      let pt = int_range 0 100 in
+      let* a = pt and* b = pt in
+      let lo = min a b and hi = max a b in
+      let* seed = int_range lo hi in
+      return (float_of_int lo /. 10., float_of_int hi /. 10., float_of_int seed /. 10.))
+  in
+  QCheck2.Test.make ~name:"learner recovers random grid intervals" ~count:200
+    ~print:(fun (lo, hi, seed) -> Printf.sprintf "[%g, %g] seed %g" lo hi seed)
+    gen
+    (fun (lo, hi, seed) ->
+      let target p = lo -. 1e-9 <= p.(0) && p.(0) <= hi +. 1e-9 in
+      match
+        Boxlearn.learn ~grid:0.1 ~label:target ~within:within01 ~seed:[| seed |]
+      with
+      | None -> false
+      | Some b -> Box.equal ~eps:1e-6 b (Box.make ~lo:[| lo |] ~hi:[| hi |]))
+
+(* ------------------------------------------------------------------ *)
+(* Labeling on the transmission                                        *)
+(* ------------------------------------------------------------------ *)
+
+let overapprox_guards label =
+  let lo, hi = T.initial_guard_overapprox label in
+  Box.make ~lo:[| lo |] ~hi:[| hi |]
+
+let cfg = (TS.problem ()).Fixpoint.config
+
+let test_label_pointwise_unsafe () =
+  (* entering G3U at omega = 10 violates phi_S at entry *)
+  let g3u = Mds.mode_index T.system "G3U" in
+  Alcotest.(check bool) "unsafe entry" false
+    (Label.safe_entry cfg T.system ~guards:overapprox_guards ~mode:g3u [| 10.0 |])
+
+let test_label_safe_entry () =
+  let g3u = Mds.mode_index T.system "G3U" in
+  Alcotest.(check bool) "peak entry safe" true
+    (Label.safe_entry cfg T.system ~guards:overapprox_guards ~mode:g3u [| 30.0 |])
+
+let test_label_depends_on_guards () =
+  (* entering G1U at omega = 0 is safe only if some exit will open up *)
+  let g1u = Mds.mode_index T.system "G1U" in
+  let no_exit label =
+    if label = "g12U" then Box.empty 1 else overapprox_guards label
+  in
+  Alcotest.(check bool) "no exit -> unsafe" false
+    (Label.safe_entry cfg T.system ~guards:no_exit ~mode:g1u [| 0.0 |]);
+  Alcotest.(check bool) "with exit -> safe" true
+    (Label.safe_entry cfg T.system ~guards:overapprox_guards ~mode:g1u [| 0.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Eq. 3 reproduction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let eq3 = lazy (TS.synthesize ())
+
+let test_eq3_converges () =
+  let r = Lazy.force eq3 in
+  Alcotest.(check bool) "converged" true r.Fixpoint.converged;
+  Alcotest.(check bool) "few iterations" true (r.Fixpoint.iterations <= 5)
+
+let test_eq3_matches_paper () =
+  let r = Lazy.force eq3 in
+  List.iter
+    (fun (label, (lo, hi)) ->
+      let b = Fixpoint.guard_fn r label in
+      if Box.is_empty b then Alcotest.failf "%s came out empty" label;
+      let ok v w = abs_float (v -. w) <= 0.011 in
+      if not (ok b.Box.lo.(0) lo && ok b.Box.hi.(0) hi) then
+        Alcotest.failf "%s: got %a, paper says [%.2f, %.2f]" label Box.pp b lo
+          hi)
+    TS.paper_eq3
+
+let test_eq3_guards_are_safe () =
+  (* soundness spot-check: points inside synthesized guards re-label safe *)
+  let r = Lazy.force eq3 in
+  Array.iter
+    (fun (tr : Mds.transition) ->
+      let b = Fixpoint.guard_fn r tr.Mds.label in
+      if not (Box.is_empty b) then
+        List.iter
+          (fun f ->
+            let p = [| b.Box.lo.(0) +. (f *. (b.Box.hi.(0) -. b.Box.lo.(0))) |] in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s at %.2f safe" tr.Mds.label p.(0))
+              true
+              (Label.safe_entry cfg T.system ~guards:(Fixpoint.guard_fn r)
+                 ~mode:tr.Mds.dst p))
+          [ 0.0; 0.5; 1.0 ])
+    T.system.Mds.transitions
+
+let test_eq4_shrinks_eq3 () =
+  let r3 = Lazy.force eq3 in
+  let r4 = TS.synthesize ~dwell:5.0 () in
+  Alcotest.(check bool) "converged" true r4.Fixpoint.converged;
+  List.iter
+    (fun (label, b4) ->
+      let b3 = Fixpoint.guard_fn r3 label in
+      if not (Box.is_empty b4) then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: dwell guard inside safety guard" label)
+          true
+          (b3.Box.lo.(0) -. 1e-9 <= b4.Box.lo.(0)
+          && b4.Box.hi.(0) <= b3.Box.hi.(0) +. 1e-9)
+      end)
+    r4.Fixpoint.guards;
+  (* the guards the paper reports that our dwell semantics also yields *)
+  List.iter
+    (fun label ->
+      let lo, hi = List.assoc label TS.paper_eq4 in
+      let b = Fixpoint.guard_fn r4 label in
+      let ok v w = abs_float (v -. w) <= 0.02 in
+      if not (ok b.Box.lo.(0) lo && ok b.Box.hi.(0) hi) then
+        Alcotest.failf "%s: got %a, paper says [%.2f, %.2f]" label Box.pp b lo hi)
+    [ "g12U"; "g22U"; "g33U"; "g32D"; "g21D"; "g11D" ]
+
+let test_fig10_trace () =
+  (* Fig. 10: the synthesized switching logic drives the system through
+     all six gears with eta >= 0.5 whenever omega >= 5 *)
+  let r = TS.synthesize ~dwell:5.0 () in
+  (* guards are permissions to switch; the Fig. 10 behaviour accelerates
+     to the top of the g33D band before engaging the downshift *)
+  let guard label y =
+    let b = Fixpoint.guard_fn r label in
+    if label = "g33D" then y.(1) >= b.Box.hi.(0) -. 0.1 && y.(1) <= b.Box.hi.(0)
+    else Box.mem b [| y.(1) |]
+  in
+  let run =
+    Simulate.run_policy T.system ~guard
+      ~plan:[ "gN1U"; "g12U"; "g23U"; "g33D"; "g32D"; "g21D" ]
+      ~min_dwell:5.0 ~sample_every:0.1 ~dt:0.01 ~max_time:300.0 [| 0.0; 0.0 |]
+  in
+  let samples = run.Simulate.samples in
+  (match run.Simulate.outcome with
+  | `Completed -> ()
+  | `Unsafe -> Alcotest.fail "trajectory left the safe set"
+  | `Timeout -> Alcotest.fail "plan did not complete");
+  let top_speed =
+    List.fold_left (fun m (s : Simulate.sample) -> max m s.Simulate.state.(1)) 0.0 samples
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "reaches third gear speeds (top=%.1f)" top_speed)
+    true (top_speed > 30.0);
+  let modes_seen =
+    List.sort_uniq compare (List.map (fun (s : Simulate.sample) -> s.Simulate.mode) samples)
+  in
+  Alcotest.(check bool) "visits at least 6 modes" true
+    (List.length modes_seen >= 6)
+
+(* ------------------------------------------------------------------ *)
+(* Thermostat: a case study with closed-form guards                    *)
+(* ------------------------------------------------------------------ *)
+
+module Th = Hybrid.Thermostat
+module ThS = Switchsynth.Thermostat_synth
+
+let check_guards r expected_pairs tol =
+  List.iter
+    (fun (label, (lo, hi)) ->
+      let b = Fixpoint.guard_fn r label in
+      if Box.is_empty b then Alcotest.failf "%s empty" label;
+      if
+        abs_float (b.Box.lo.(0) -. lo) > tol
+        || abs_float (b.Box.hi.(0) -. hi) > tol
+      then
+        Alcotest.failf "%s: got %a, closed form [%.4f, %.4f]" label Box.pp b lo
+          hi)
+    expected_pairs
+
+let test_thermostat_no_dwell () =
+  let r = ThS.synthesize () in
+  Alcotest.(check bool) "converged" true r.Fixpoint.converged;
+  check_guards r [ ("gOn", (18.0, 22.0)); ("gOff", (18.0, 22.0)) ] 1e-9
+
+let test_thermostat_matches_closed_form () =
+  List.iter
+    (fun dwell ->
+      let r = ThS.synthesize ~dwell () in
+      check_guards r (ThS.expected ~dwell) 0.011)
+    [ 5.0; 10.0 ]
+
+let test_thermostat_closed_form_sanity () =
+  Alcotest.(check (float 1e-9)) "dwell 0 lower" 18.0
+    (Th.expected_off_guard_lo ~dwell:0.0);
+  Alcotest.(check (float 1e-9)) "dwell 0 upper" 22.0
+    (Th.expected_on_guard_hi ~dwell:0.0);
+  Alcotest.(check bool) "guards shrink with dwell" true
+    (Th.expected_off_guard_lo ~dwell:10.0 > Th.expected_off_guard_lo ~dwell:5.0
+    && Th.expected_on_guard_hi ~dwell:10.0 < Th.expected_on_guard_hi ~dwell:5.0)
+
+let test_thermostat_closed_loop () =
+  (* bang-bang under the synthesized dwell-5 guards: always safe, and
+     every dwell really is at least 5 seconds *)
+  let dwell = 5.0 in
+  let r = ThS.synthesize ~dwell () in
+  let guard label y = Box.mem (Fixpoint.guard_fn r label) [| y.(0) |] in
+  let plan = List.concat (List.init 8 (fun _ -> [ "gOn"; "gOff" ])) in
+  let run =
+    Simulate.run_policy Th.system ~guard ~plan ~min_dwell:dwell
+      ~sample_every:0.5 ~dt:0.01 ~max_time:2000.0 [| 20.0 |]
+  in
+  (match run.Simulate.outcome with
+  | `Completed -> ()
+  | `Unsafe -> Alcotest.fail "left the safe band"
+  | `Timeout -> Alcotest.fail "did not complete the plan");
+  List.iter
+    (fun (s : Simulate.sample) ->
+      let x = s.Simulate.state.(0) in
+      if x < Th.t_lo -. 1e-6 || x > Th.t_hi +. 1e-6 then
+        Alcotest.failf "temperature %.3f out of band" x)
+    run.Simulate.samples;
+  let rec check_gaps = function
+    | (a : Simulate.switch) :: (b : Simulate.switch) :: rest ->
+      if b.Simulate.switch_time -. a.Simulate.switch_time < dwell -. 1e-6 then
+        Alcotest.failf "dwell violated between %s and %s" a.Simulate.label
+          b.Simulate.label;
+      check_gaps (b :: rest)
+    | _ -> ()
+  in
+  check_gaps run.Simulate.switches
+
+(* ------------------------------------------------------------------ *)
+(* Optimal switching (Section 6 / EMSOFT 2011 direction)               *)
+(* ------------------------------------------------------------------ *)
+
+module Optimal = Switchsynth.Optimal
+
+let full_plan = [ "gN1U"; "g12U"; "g23U"; "g33D"; "g32D"; "g21D"; "g1ND" ]
+
+let test_optimal_improves_baseline () =
+  let guards = Lazy.force eq3 in
+  List.iter
+    (fun obj ->
+      let r = Optimal.optimize guards ~plan:full_plan ~dwell:0.0 obj in
+      Alcotest.(check bool) "finite cost" true (r.Optimal.cost < infinity);
+      Alcotest.(check bool) "no worse than first-opportunity" true
+        (r.Optimal.cost <= r.Optimal.baseline_cost +. 1e-9))
+    [ Optimal.Minimize_time; Optimal.Maximize_mean_efficiency ]
+
+let test_optimal_finds_crossover_speeds () =
+  (* the efficiency-optimal upshift points are the analytic crossovers
+     eta_1 = eta_2 at omega = 15 and eta_2 = eta_3 at omega = 25 *)
+  let guards = Lazy.force eq3 in
+  let r =
+    Optimal.optimize guards ~plan:full_plan ~dwell:0.0
+      Optimal.Maximize_mean_efficiency
+  in
+  let theta label = List.assoc label r.Optimal.policy in
+  Alcotest.(check bool)
+    (Printf.sprintf "g12U threshold %.2f near 15" (theta "g12U"))
+    true
+    (abs_float (theta "g12U" -. 15.0) < 0.5);
+  Alcotest.(check bool)
+    (Printf.sprintf "g23U threshold %.2f near 25" (theta "g23U"))
+    true
+    (abs_float (theta "g23U" -. 25.0) < 0.5)
+
+let test_optimal_thresholds_inside_guards () =
+  let guards = Lazy.force eq3 in
+  let r =
+    Optimal.optimize guards ~plan:full_plan ~dwell:0.0 Optimal.Minimize_time
+  in
+  List.iter
+    (fun (label, theta) ->
+      let b = Fixpoint.guard_fn guards label in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s threshold inside guard" label)
+        true
+        (b.Box.lo.(0) -. 1e-9 <= theta && theta <= b.Box.hi.(0) +. 1e-9))
+    r.Optimal.policy
+
+let test_optimal_policy_runs_safely () =
+  let guards = Lazy.force eq3 in
+  let r =
+    Optimal.optimize guards ~plan:full_plan ~dwell:0.0 Optimal.Minimize_time
+  in
+  let c =
+    Optimal.cost_of_policy guards ~plan:full_plan ~dwell:0.0
+      Optimal.Minimize_time r.Optimal.policy
+  in
+  Alcotest.(check bool) "re-simulates to the same finite cost" true
+    (abs_float (c -. r.Optimal.cost) < 1e-9)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "switchsynth"
+    [
+      ( "box",
+        [
+          Alcotest.test_case "membership" `Quick test_box_mem;
+          Alcotest.test_case "segment crossing" `Quick test_box_segment_meets;
+          Alcotest.test_case "snap and equality" `Quick test_box_snap_equal;
+        ] );
+      ( "boxlearn",
+        [
+          Alcotest.test_case "recovers an interval" `Quick
+            test_learn_recovers_interval;
+          Alcotest.test_case "ignores disjoint pockets" `Quick
+            test_learn_ignores_disjoint_pocket;
+          Alcotest.test_case "negative seed" `Quick test_learn_negative_seed;
+          Alcotest.test_case "2-D box" `Quick test_learn_2d;
+          Alcotest.test_case "seed finding" `Quick test_find_seed;
+        ]
+        @ qsuite [ prop_learn_exact ] );
+      ( "label",
+        [
+          Alcotest.test_case "pointwise unsafe entry" `Quick
+            test_label_pointwise_unsafe;
+          Alcotest.test_case "safe entry at peak" `Quick test_label_safe_entry;
+          Alcotest.test_case "labels depend on current guards" `Quick
+            test_label_depends_on_guards;
+        ] );
+      ( "eq3",
+        [
+          Alcotest.test_case "fixpoint converges" `Quick test_eq3_converges;
+          Alcotest.test_case "guards match the paper (Eq. 3)" `Quick
+            test_eq3_matches_paper;
+          Alcotest.test_case "synthesized guards re-label safe" `Quick
+            test_eq3_guards_are_safe;
+        ] );
+      ( "eq4-fig10",
+        [
+          Alcotest.test_case "dwell shrinks guards; matches paper subset"
+            `Quick test_eq4_shrinks_eq3;
+          Alcotest.test_case "Fig. 10 trace through all gears" `Quick
+            test_fig10_trace;
+        ] );
+      ( "thermostat",
+        [
+          Alcotest.test_case "no dwell: full safe band" `Quick
+            test_thermostat_no_dwell;
+          Alcotest.test_case "matches the closed-form guards" `Quick
+            test_thermostat_matches_closed_form;
+          Alcotest.test_case "closed-form sanity" `Quick
+            test_thermostat_closed_form_sanity;
+          Alcotest.test_case "closed loop safe with real dwells" `Quick
+            test_thermostat_closed_loop;
+        ] );
+      ( "optimal",
+        [
+          Alcotest.test_case "improves on first-opportunity" `Quick
+            test_optimal_improves_baseline;
+          Alcotest.test_case "finds the crossover speeds" `Quick
+            test_optimal_finds_crossover_speeds;
+          Alcotest.test_case "thresholds stay inside guards" `Quick
+            test_optimal_thresholds_inside_guards;
+          Alcotest.test_case "policy re-simulates safely" `Quick
+            test_optimal_policy_runs_safely;
+        ] );
+    ]
