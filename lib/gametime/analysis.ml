@@ -31,11 +31,10 @@ let predict_path t path = Learner.predict t.model (Paths.vector t.cfg path)
 
 let feasible_paths t =
   let assuming = pin_formula t.program t.pin in
+  let sess = Testgen.new_session ~assuming t.unrolled t.cfg in
   Paths.enumerate t.cfg
   |> Seq.filter_map (fun path ->
-         Option.map
-           (fun test -> (path, test))
-           (Testgen.feasible ~assuming t.unrolled t.cfg path))
+         Option.map (fun test -> (path, test)) (Testgen.feasible_in sess path))
   |> List.of_seq
 
 let predictions t =

@@ -14,12 +14,13 @@ let extract ?(max_paths = 100_000) ?assuming p (g : Cfg.t) =
   let dim = Cfg.num_edges g in
   let span = Linalg.empty_span ~dim in
   let bound = rank_bound g in
+  let sess = Testgen.new_session ?assuming p g in
   let acc = ref [] in
   let examined = ref 0 in
   let take path =
     let vector = Paths.vector g path in
     if not (Linalg.in_span span vector) then begin
-      match Testgen.feasible ?assuming p g path with
+      match Testgen.feasible_in sess path with
       | None -> ()
       | Some test ->
         ignore (Linalg.add_if_independent span vector);

@@ -82,16 +82,82 @@ let filter_pass aig cands ~base =
          (fun (c, l) -> if Tseitin.lit_of_model ctx l then Some c else None)
          cand_lits)
 
-let rec fixpoint aig cands ~base =
+let rec fixpoint_fresh aig cands ~base =
   match cands with
   | [] -> []
   | _ -> (
     match filter_pass aig cands ~base with
     | None -> cands
-    | Some survivors -> fixpoint aig survivors ~base)
+    | Some survivors -> fixpoint_fresh aig survivors ~base)
 
-let filter_inductive aig cands =
+(* Incremental fixpoint: one solver for all passes of one phase. The
+   frames are encoded once. In the step phase each candidate gets a
+   selector literal guarding its frame-A assumption, so the shrinking
+   survivor set is expressed through assumptions instead of re-encoding;
+   the per-pass "some survivor fails in the check frame" clause lives in
+   a push/pop scope. Conflict clauses learned while refuting one pass
+   carry over to the next. *)
+let fixpoint aig cands ~base =
+  match cands with
+  | [] -> []
+  | _ ->
+    let ctx = Tseitin.create () in
+    let init_lits =
+      Array.map (fun b -> Tseitin.of_bool ctx b) (Aig.initial_state aig)
+    in
+    let frame_a_latches =
+      if base then init_lits
+      else Array.map (fun _ -> Tseitin.fresh ctx) init_lits
+    in
+    let m_a = encode_frame ctx aig ~latch_lits:frame_a_latches in
+    let m_check =
+      if base then m_a
+      else encode_frame ctx aig ~latch_lits:(next_latch_lits aig m_a)
+    in
+    (* (candidate, its check-frame literal, frame-A selector) *)
+    let items =
+      List.map
+        (fun c ->
+          let sel =
+            if base then None
+            else begin
+              let s = Tseitin.fresh ctx in
+              Tseitin.assert_clause ctx
+                [ Tseitin.not_ s; candidate_lit ctx m_a c ];
+              Some s
+            end
+          in
+          (c, candidate_lit ctx m_check c, sel))
+        cands
+    in
+    let sat = Tseitin.solver ctx in
+    let rec go survivors =
+      match survivors with
+      | [] -> []
+      | _ -> (
+        let assumptions = List.filter_map (fun (_, _, s) -> s) survivors in
+        Tseitin.push ctx;
+        Tseitin.assert_clause ctx
+          (List.map (fun (_, l, _) -> Tseitin.not_ l) survivors);
+        let next =
+          match Sat.solve_with_assumptions sat assumptions with
+          | Sat.Unsat -> None
+          | Sat.Sat ->
+            Some
+              (List.filter
+                 (fun (_, l, _) -> Tseitin.lit_of_model ctx l)
+                 survivors)
+        in
+        Tseitin.pop ctx;
+        match next with
+        | None -> List.map (fun (c, _, _) -> c) survivors
+        | Some remaining -> go remaining)
+    in
+    go items
+
+let filter_inductive ?(reuse = true) aig cands =
   Aig.validate aig;
+  let fixpoint = if reuse then fixpoint else fixpoint_fresh in
   let after_base = fixpoint aig cands ~base:true in
   fixpoint aig after_base ~base:false
 

@@ -19,7 +19,13 @@ type verdict =
   | Cex_in_base
   | Unknown  (** the induction step failed; no conclusion *)
 
-val filter_inductive : Aig.t -> Candidates.t list -> Candidates.t list
+val filter_inductive :
+  ?reuse:bool -> Aig.t -> Candidates.t list -> Candidates.t list
+(** With [reuse] (the default) each phase of the fixpoint keeps one
+    incremental solver across all filtering passes — selector literals
+    turn the shrinking survivor set into solver assumptions;
+    [~reuse:false] re-encodes both frames every pass (benchmark
+    baseline). *)
 
 val prove_property :
   ?k:int -> Aig.t -> bad:Aig.lit -> invariants:Candidates.t list -> verdict

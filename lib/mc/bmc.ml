@@ -15,6 +15,19 @@ let compile ctx ~state ~input e =
   in
   go e
 
+(* replay the model's inputs and truncate the trace at the first bad
+   state *)
+let trace_of_inputs (ts : Ts.t) all_inputs =
+  let rec truncate state steps_taken inputs_left =
+    if Ts.is_bad ts state then Some (List.rev steps_taken)
+    else
+      match inputs_left with
+      | [] -> None (* model exists, so this cannot happen *)
+      | input :: rest ->
+        truncate (Ts.step ts ~state ~input) (input :: steps_taken) rest
+  in
+  truncate ts.Ts.init [] all_inputs
+
 let check (ts : Ts.t) ~depth =
   let ctx = Tseitin.create () in
   let state0 =
@@ -39,17 +52,81 @@ let check (ts : Ts.t) ~depth =
   match Sat.solve_with_assumptions (Tseitin.solver ctx) [] with
   | Sat.Unsat -> None
   | Sat.Sat ->
-    (* extract inputs and truncate the trace at the first bad state *)
     let value l = Tseitin.lit_of_model ctx l in
     let all_inputs =
       Array.to_list (Array.map (fun inp -> Array.map value inp) inputs)
     in
-    let rec truncate state steps_taken inputs_left =
-      if Ts.is_bad ts state then Some (List.rev steps_taken)
-      else
-        match inputs_left with
-        | [] -> None (* model exists, so this cannot happen *)
-        | input :: rest ->
-          truncate (Ts.step ts ~state ~input) (input :: steps_taken) rest
+    trace_of_inputs ts all_inputs
+
+(* ---- persistent incremental session ---- *)
+
+(* The unrolled transition relation is monotone in the depth: frame t's
+   wires never change once built. A session therefore keeps one Tseitin
+   context alive, extends the unrolling lazily, and per query only
+   asserts "some bad within the bound" inside a push/pop scope. Repeated
+   queries at growing depths — the shape of both BMC loops and CEGAR's
+   spuriousness checks — reuse every frame and every learned clause. *)
+type session = {
+  ts : Ts.t;
+  ctx : Tseitin.t;
+  mutable frames : int;  (* steps unrolled so far *)
+  mutable state : Lit.t array;  (* state wires after [frames] steps *)
+  mutable inputs_rev : Lit.t array list;
+  mutable bads_rev : Lit.t list;  (* frames+1 entries, newest first *)
+}
+
+let new_session (ts : Ts.t) =
+  let ctx = Tseitin.create () in
+  let state0 = Array.map (fun b -> Tseitin.of_bool ctx b) ts.Ts.init in
+  {
+    ts;
+    ctx;
+    frames = 0;
+    state = state0;
+    inputs_rev = [];
+    bads_rev = [ compile ctx ~state:state0 ~input:[||] ts.Ts.bad ];
+  }
+
+let extend sess depth =
+  while sess.frames < depth do
+    let input =
+      Array.init sess.ts.Ts.num_inputs (fun _ -> Tseitin.fresh sess.ctx)
     in
-    truncate ts.Ts.init [] all_inputs
+    sess.inputs_rev <- input :: sess.inputs_rev;
+    let next =
+      Array.map
+        (fun e -> compile sess.ctx ~state:sess.state ~input e)
+        sess.ts.Ts.next
+    in
+    sess.state <- next;
+    sess.bads_rev <-
+      compile sess.ctx ~state:next ~input:[||] sess.ts.Ts.bad :: sess.bads_rev;
+    sess.frames <- sess.frames + 1
+  done
+
+let rec drop n l = if n <= 0 then l else drop (n - 1) (List.tl l)
+
+let rec take n l =
+  if n <= 0 then []
+  else match l with [] -> [] | x :: rest -> x :: take (n - 1) rest
+
+let check_depth sess ~depth =
+  extend sess depth;
+  let ctx = sess.ctx in
+  let bads = List.rev (drop (sess.frames - depth) sess.bads_rev) in
+  Tseitin.push ctx;
+  Tseitin.assert_lit ctx (Tseitin.or_list ctx bads);
+  let result =
+    match Sat.solve_with_assumptions (Tseitin.solver ctx) [] with
+    | Sat.Unsat -> None
+    | Sat.Sat ->
+      let value l = Tseitin.lit_of_model ctx l in
+      let all_inputs =
+        List.map
+          (fun inp -> Array.map value inp)
+          (take depth (List.rev sess.inputs_rev))
+      in
+      trace_of_inputs sess.ts all_inputs
+  in
+  Tseitin.pop ctx;
+  result

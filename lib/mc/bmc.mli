@@ -17,4 +17,21 @@ val compile :
 val check : Ts.t -> depth:int -> bool array list option
 (** [check ts ~depth] returns a concrete input trace reaching a bad
     state after at most [depth] steps, or [None] if none exists within
-    the bound. The trace has one input valuation per executed step. *)
+    the bound. The trace has one input valuation per executed step.
+    One-shot: builds a fresh solver per call; loops that query repeated
+    depths should use a {!session}. *)
+
+(** {2 Persistent sessions}
+
+    One solver for a whole sequence of bounded queries against the same
+    transition system. The unrolling is extended lazily and shared
+    between queries; only the "bad within the bound" assertion is
+    per-query (scoped), so learned clauses about the transition relation
+    carry across depths. *)
+
+type session
+
+val new_session : Ts.t -> session
+
+val check_depth : session -> depth:int -> bool array list option
+(** Same contract as {!check}. Depths may be queried in any order. *)

@@ -84,8 +84,16 @@ let bad_support (ts : Ts.t) =
   !acc
 
 let verify ?initial_visible ?(max_iterations = 64)
-    ?(refinement = Most_referenced) (ts : Ts.t) =
+    ?(refinement = Most_referenced) ?(reuse = true) (ts : Ts.t) =
   let initial = Option.value initial_visible ~default:(bad_support ts) in
+  (* one BMC session answers every spuriousness check of the loop; with
+     [~reuse:false] each check rebuilds its solver (benchmark baseline) *)
+  let bmc = if reuse then Some (Bmc.new_session ts) else None in
+  let concretize ~depth =
+    match bmc with
+    | Some sess -> Bmc.check_depth sess ~depth
+    | None -> Bmc.check ts ~depth
+  in
   let rec loop visible iterations =
     if iterations >= max_iterations then
       failwith "Cegar.verify: iteration budget exceeded";
@@ -100,7 +108,7 @@ let verify ?initial_visible ?(max_iterations = 64)
         }
     | Reach.Cex abstract_trace -> (
       let depth = List.length abstract_trace in
-      match Bmc.check ts ~depth with
+      match concretize ~depth with
       | Some trace ->
         assert (Reach.replay ts trace);
         Unsafe { trace; iterations = iterations + 1 }

@@ -32,12 +32,16 @@ val verify :
   ?initial_visible:int list ->
   ?max_iterations:int ->
   ?refinement:refinement ->
+  ?reuse:bool ->
   Ts.t ->
   result
 (** [initial_visible] defaults to the support of the bad predicate;
-    [refinement] to [Most_referenced]. Raises [Failure] if refinement
-    runs out of candidates (cannot happen for well-formed systems: the
-    full system is a valid refinement). *)
+    [refinement] to [Most_referenced]. With [reuse] (the default) all
+    spuriousness checks share one incremental {!Bmc.session};
+    [~reuse:false] rebuilds the BMC solver per check (benchmark
+    baseline). Raises [Failure] if refinement runs out of candidates
+    (cannot happen for well-formed systems: the full system is a valid
+    refinement). *)
 
 val decision_tree_candidates :
   Ts.t -> visible:int list -> samples:int -> seed:int -> int list

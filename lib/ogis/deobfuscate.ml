@@ -11,7 +11,7 @@ type result = {
   seconds : float;
 }
 
-let run ?max_iterations ~library (p : Lang.t) =
+let run ?max_iterations ?initial_inputs ?reuse ~library (p : Lang.t) =
   let spec =
     {
       Encode.width = p.Lang.width;
@@ -21,7 +21,10 @@ let run ?max_iterations ~library (p : Lang.t) =
     }
   in
   let t0 = Unix.gettimeofday () in
-  match Synth.synthesize ?max_iterations spec (oracle_of_program p) with
+  match
+    Synth.synthesize ?max_iterations ?initial_inputs ?reuse spec
+      (oracle_of_program p)
+  with
   | Synth.Synthesized (clean, stats) ->
     Ok { clean; stats; seconds = Unix.gettimeofday () -. t0 }
   | other -> Error other

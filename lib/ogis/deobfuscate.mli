@@ -17,8 +17,11 @@ type result = {
 
 val run :
   ?max_iterations:int ->
+  ?initial_inputs:int list list ->
+  ?reuse:bool ->
   library:Component.t list ->
   Prog.Lang.t ->
   (result, Synth.outcome) Stdlib.result
 (** Deobfuscate a program against a component library. [Error] carries
-    the non-success outcome. *)
+    the non-success outcome. [initial_inputs] and [reuse] are forwarded
+    to {!Synth.synthesize}. *)

@@ -17,8 +17,10 @@ let loc_width s =
   let rec bits k = if 1 lsl k > n then k else bits (k + 1) in
   bits 1
 
-(* variable names; every query runs in a fresh solver so fixed names are
-   unambiguous *)
+(* variable names; the per-example index [e] keeps value variables of
+   different examples apart, so one persistent solver can accumulate
+   examples (the symbolic distinguishing example uses the sentinel
+   index -1, which no concrete example ever gets) *)
 let lo i = Printf.sprintf "lo%d" i
 let li i j = Printf.sprintf "li%d_%d" i j
 let lout k = Printf.sprintf "lout%d" k
@@ -167,6 +169,83 @@ let synthesize_candidate s ~examples =
   match Solver.check_formulas formulas with
   | Error () -> None
   | Ok env -> Some (decode s env)
+
+(* ---- persistent incremental session ---- *)
+
+(* Two solvers live for the whole OGIS run. The synthesis solver only
+   ever gains constraints (each new example strengthens it), so it needs
+   no retraction at all. The verification solver carries the symbolic
+   "alternative program on a symbolic input" example permanently; the
+   per-candidate "outputs differ" disjunction is a retractable
+   assertion, and it is retracted only when the candidate actually
+   changes: while the candidate survives (the common case once the loop
+   converges), consecutive distinguishing queries are a monotone
+   strengthening of one another, and the final uniqueness proof is an
+   incremental continuation of the previous query's search rather than
+   a from-scratch solve. Learned clauses and the bit-blasted encoding
+   survive across iterations in both solvers. *)
+type session = {
+  sspec : spec;
+  synth : Solver.t;
+  verify : Solver.t;
+  mutable nexamples : int;
+  (* candidate whose differs-disjunction is currently asserted in
+     [verify]; compared physically — the driving loop hands the same
+     value back when it retains a candidate *)
+  mutable differs : (Straightline.t * Solver.retractable) option;
+}
+
+let sym_example = -1
+let sym_inputs s = List.init s.ninputs (fun j -> Bv.var ~width:s.width (dx j))
+
+let new_session s =
+  let synth = Solver.create () in
+  let verify = Solver.create () in
+  List.iter (Solver.assert_formula synth) (wfp s);
+  List.iter (Solver.assert_formula verify) (wfp s);
+  let sym = sym_inputs s in
+  let input_term j = List.nth sym j in
+  List.iter
+    (Solver.assert_formula verify)
+    (example_constraints s ~input_term sym_example);
+  { sspec = s; synth; verify; nexamples = 0; differs = None }
+
+let add_example sess ex =
+  let e = sess.nexamples in
+  sess.nexamples <- e + 1;
+  let fs = concrete_example_formulas sess.sspec e ex in
+  List.iter (Solver.assert_formula sess.synth) fs;
+  List.iter (Solver.assert_formula sess.verify) fs
+
+let next_candidate sess =
+  match Solver.check sess.synth with
+  | Solver.Unsat -> None
+  | Solver.Sat -> Some (decode sess.sspec (Solver.model_env sess.synth))
+
+let distinguishing sess candidate =
+  let s = sess.sspec in
+  (match sess.differs with
+  | Some (prev, _) when prev == candidate -> ()
+  | prev ->
+    (match prev with
+    | Some (_, r) -> Solver.retract sess.verify r
+    | None -> ());
+    let sym = sym_inputs s in
+    let input_term j = List.nth sym j in
+    let candidate_outs = Straightline.to_terms candidate sym in
+    let differs =
+      Bv.disj
+        (List.mapi
+           (fun k cand_out ->
+             Bv.fnot (output_constraint s ~input_term sym_example k cand_out))
+           candidate_outs)
+    in
+    let r = Solver.assert_retractable sess.verify differs in
+    sess.differs <- Some (candidate, r));
+  match Solver.check sess.verify with
+  | Solver.Unsat -> None
+  | Solver.Sat ->
+    Some (List.init s.ninputs (fun j -> Solver.value sess.verify (dx j)))
 
 let distinguishing_input s ~examples candidate =
   let e_sym = List.length examples in

@@ -37,3 +37,31 @@ val distinguishing_input :
 (** An input on which some other library program — also consistent with
     all examples — disagrees with the candidate; [None] means the
     candidate is semantically unique and synthesis can stop. *)
+
+(** {2 Persistent sessions}
+
+    [synthesize_candidate] and [distinguishing_input] rebuild both
+    encodings from scratch on every call. A {!session} instead keeps two
+    incremental solvers alive across the whole OGIS loop — one for the
+    candidate query, one for the distinguishing-input query — so each
+    iteration only asserts the constraints of the {e new} example, and
+    clauses learned in earlier iterations keep pruning the search. *)
+
+type session
+
+val new_session : spec -> session
+(** Fresh session with no examples: well-formedness asserted in both
+    solvers, the symbolic distinguishing example asserted in the
+    verification solver. *)
+
+val add_example : session -> int list * int list -> unit
+(** Assert one concrete I/O example in both solvers (permanently — the
+    example set only grows). *)
+
+val next_candidate : session -> Straightline.t option
+(** Like {!synthesize_candidate} over all examples added so far. *)
+
+val distinguishing : session -> Straightline.t -> int list option
+(** Like {!distinguishing_input} over all examples added so far; the
+    candidate-specific constraint is asserted in a scope and retracted
+    before returning. *)

@@ -14,8 +14,8 @@ type outcome =
   | Unrealizable of stats
   | Out_of_budget of stats
 
-let synthesize ?(max_iterations = 64) ?initial_inputs (spec : Encode.spec)
-    oracle =
+let synthesize ?(max_iterations = 64) ?initial_inputs ?(reuse = true)
+    (spec : Encode.spec) oracle =
   let queries = ref 0 in
   let ask ins =
     incr queries;
@@ -41,20 +41,59 @@ let synthesize ?(max_iterations = 64) ?initial_inputs (spec : Encode.spec)
            (fun f -> List.init spec.Encode.ninputs f)
            patterns)
   in
-  let rec loop iterations examples =
-    let stats () =
-      { iterations; oracle_queries = !queries; examples = List.rev examples }
+  if reuse then (
+    (* persistent solvers: each iteration only asserts the new example *)
+    let sess = Encode.new_session spec in
+    let rec loop iterations candidate examples =
+      let stats () =
+        { iterations; oracle_queries = !queries; examples = List.rev examples }
+      in
+      if iterations >= max_iterations then Out_of_budget (stats ())
+      else
+        let candidate =
+          match candidate with
+          | Some _ -> candidate
+          | None -> Encode.next_candidate sess
+        in
+        match candidate with
+        | None -> Unrealizable (stats ())
+        | Some cand -> (
+          match Encode.distinguishing sess cand with
+          | None -> Synthesized (cand, stats ())
+          | Some input ->
+            let ((ins, outs) as ex) = ask input in
+            Encode.add_example sess ex;
+            (* candidate retention: the distinguishing input separates
+               the candidate from some alternative, so the oracle's
+               answer falsifies at least one of the two — but not
+               necessarily the candidate. When the oracle agrees with
+               the candidate, only the alternative dies: skip the
+               synthesis re-solve and keep the verifier's differs
+               constraint in place, so the next distinguishing query is
+               a pure strengthening of this one. *)
+            let keep = Straightline.eval cand ins = outs in
+            loop (iterations + 1)
+              (if keep then Some cand else None)
+              (ex :: examples))
     in
-    if iterations >= max_iterations then Out_of_budget (stats ())
-    else
-      match Encode.synthesize_candidate spec ~examples with
-      | None -> Unrealizable (stats ())
-      | Some candidate -> (
-        match Encode.distinguishing_input spec ~examples candidate with
-        | None -> Synthesized (candidate, stats ())
-        | Some input -> loop (iterations + 1) (ask input :: examples))
-  in
-  loop 0 (List.map ask initial)
+    let seed = List.map ask initial in
+    List.iter (Encode.add_example sess) seed;
+    loop 0 None seed)
+  else
+    let rec loop iterations examples =
+      let stats () =
+        { iterations; oracle_queries = !queries; examples = List.rev examples }
+      in
+      if iterations >= max_iterations then Out_of_budget (stats ())
+      else
+        match Encode.synthesize_candidate spec ~examples with
+        | None -> Unrealizable (stats ())
+        | Some candidate -> (
+          match Encode.distinguishing_input spec ~examples candidate with
+          | None -> Synthesized (candidate, stats ())
+          | Some input -> loop (iterations + 1) (ask input :: examples))
+    in
+    loop 0 (List.map ask initial)
 
 let verify_against (spec : Encode.spec) prog ~spec_fn =
   let w = spec.Encode.width in

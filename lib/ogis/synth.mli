@@ -25,13 +25,17 @@ type outcome =
 val synthesize :
   ?max_iterations:int ->
   ?initial_inputs:int list list ->
+  ?reuse:bool ->
   Encode.spec ->
   oracle ->
   outcome
 (** [synthesize spec oracle] runs the loop: synthesize a candidate
     consistent with the examples seen so far, ask for a distinguishing
     input, query the oracle on it, repeat. Starts from the all-zero
-    input unless [initial_inputs] is given. *)
+    input unless [initial_inputs] is given. With [reuse] (the default)
+    one pair of incremental solvers persists across iterations via
+    {!Encode.session}; [~reuse:false] rebuilds both encodings each
+    iteration and exists as the benchmark baseline. *)
 
 val verify_against :
   Encode.spec ->

@@ -7,6 +7,37 @@ let feasible ?(assuming = Bv.tru) (p : Lang.t) g path =
   | Error () -> None
   | Ok env -> Some (List.map (fun x -> (x, env.Bv.bv x)) p.Lang.inputs)
 
+(* Persistent session for checking many paths of one program: path
+   conditions of sibling paths share long prefixes, so keeping one
+   solver alive lets the bit-blast cache and learned clauses carry over;
+   each query only scopes in its own path condition. *)
+type session = {
+  prog : Lang.t;
+  cfg : Cfg.t;
+  solver : Solver.t;
+}
+
+let new_session ?(assuming = Bv.tru) (p : Lang.t) g =
+  let solver = Solver.create () in
+  Solver.assert_formula solver assuming;
+  { prog = p; cfg = g; solver }
+
+let feasible_in sess path =
+  let r = Symexec.exec sess.prog sess.cfg path in
+  Solver.push sess.solver;
+  Solver.assert_formula sess.solver r.Symexec.path_condition;
+  let res =
+    match Solver.check sess.solver with
+    | Solver.Unsat -> None
+    | Solver.Sat ->
+      Some
+        (List.map
+           (fun x -> (x, Solver.value sess.solver x))
+           sess.prog.Lang.inputs)
+  in
+  Solver.pop sess.solver;
+  res
+
 let check_drives (p : Lang.t) g path inputs =
   let r = Symexec.exec p g path in
   Bv.eval (Bv.env_of_alist inputs) r.Symexec.path_condition

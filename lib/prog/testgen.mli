@@ -14,6 +14,22 @@ val feasible :
     [assuming] conjoins an extra constraint over the inputs (used to pin
     some inputs to fixed values, e.g. a fixed modexp base). *)
 
+(** {2 Persistent sessions}
+
+    Checking many paths of the same program (basis extraction, full
+    path enumeration) with {!feasible} rebuilds the encoding per path.
+    A {!session} keeps one incremental solver: the [assuming] constraint
+    is asserted once, and each path's condition is scoped in and
+    retracted, so shared path prefixes are encoded once and conflict
+    clauses carry across paths. *)
+
+type session
+
+val new_session : ?assuming:Smt.Bv.formula -> Lang.t -> Cfg.t -> session
+
+val feasible_in : session -> Paths.path -> (string * int) list option
+(** Same contract as {!feasible} against the session's program. *)
+
 val check_drives : Lang.t -> Cfg.t -> Paths.path -> (string * int) list -> bool
 (** Validate (concretely) that [inputs] follows [path]: re-run symbolic
     execution's path condition under the concrete values. *)

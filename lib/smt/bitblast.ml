@@ -215,7 +215,9 @@ and divider t a b =
   let nz_case =
     Tseitin.and_list ctx [ low_eq; high_zero; r_lt_b ]
   in
-  Tseitin.assert_lit ctx (Tseitin.mux ctx b_zero zero_case nz_case);
+  (* permanent: the q/r wires are memoized with the term, so their
+     definition must survive any scope pop *)
+  Tseitin.assert_permanent ctx (Tseitin.mux ctx b_zero zero_case nz_case);
   (q, r)
 
 and formula t (f : Bv.formula) : Lit.t =

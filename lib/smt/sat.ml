@@ -4,10 +4,49 @@ type result =
   | Sat
   | Unsat
 
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  solves : int;
+  learnts : int;
+  learnts_deleted : int;
+  db_reductions : int;
+  clauses : int;
+  vars : int;
+}
+
+(* Fleet-wide counters: the bench harness compares fresh-solver loops
+   (which discard each solver, and with it its per-instance counters)
+   against persistent-solver loops, so query/conflict totals must survive
+   solver teardown. *)
+let g_solves = ref 0
+let g_conflicts = ref 0
+let g_propagations = ref 0
+
+type global_stats = {
+  g_solves : int;
+  g_conflicts : int;
+  g_propagations : int;
+}
+
+let global_stats () =
+  { g_solves = !g_solves;
+    g_conflicts = !g_conflicts;
+    g_propagations = !g_propagations }
+
+let reset_global_stats () =
+  g_solves := 0;
+  g_conflicts := 0;
+  g_propagations := 0
+
 type t = {
   mutable ok : bool; (* false once an empty clause has been derived *)
-  clauses : int array Vec.t;
-  mutable watches : Ivec.t array; (* indexed by literal *)
+  mutable clauses : int array Vec.t;
+  mutable clbd : Ivec.t; (* per clause: -1 = problem clause, else LBD *)
+  mutable watches : Ivec.t array;
+      (* indexed by literal; (clause index, blocking literal) pairs *)
   mutable assign : int array; (* per var: 1 true, 0 false, -1 unassigned *)
   mutable level : int array;
   mutable reason : int array; (* clause index or -1 *)
@@ -17,17 +56,36 @@ type t = {
   heap : Ivec.t;
   trail : Ivec.t;
   trail_lim : Ivec.t;
+  scopes : Ivec.t; (* activation variables of open assumption scopes *)
+  out_learnt : Ivec.t; (* conflict-analysis buffer *)
+  scratch : Ivec.t; (* pre-minimization copy, for mark clearing *)
+  mutable seen : Bytes.t;
+  mutable level_mark : int array; (* LBD computation, stamped by mark_gen *)
+  mutable mark_gen : int;
   mutable qhead : int;
   mutable nvars : int;
   mutable var_inc : float;
-  mutable conflicts : int;
   mutable saved_model : bool array;
+  (* learned-clause database control *)
+  mutable n_learnts : int; (* live learned clauses *)
+  mutable max_learnts : int; (* 0 = not yet initialized *)
+  learnt_limit : int; (* initial cap override from [create], 0 = auto *)
+  mutable simp_trail : int; (* root-trail size at the last simplification *)
+  (* statistics *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable solves : int;
+  mutable learnts_deleted : int;
+  mutable db_reductions : int;
 }
 
-let create () =
+let create ?(learnt_limit = 0) () =
   {
     ok = true;
     clauses = Vec.create ();
+    clbd = Ivec.create ();
     watches = [||];
     assign = [||];
     level = [||];
@@ -38,16 +96,47 @@ let create () =
     heap = Ivec.create ();
     trail = Ivec.create ();
     trail_lim = Ivec.create ();
+    scopes = Ivec.create ();
+    out_learnt = Ivec.create ();
+    scratch = Ivec.create ();
+    seen = Bytes.create 0;
+    level_mark = [||];
+    mark_gen = 0;
     qhead = 0;
     nvars = 0;
     var_inc = 1.0;
-    conflicts = 0;
     saved_model = [||];
+    n_learnts = 0;
+    max_learnts = 0;
+    learnt_limit;
+    simp_trail = 0;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    solves = 0;
+    learnts_deleted = 0;
+    db_reductions = 0;
   }
 
 let num_vars s = s.nvars
 let num_clauses s = Vec.size s.clauses
 let num_conflicts s = s.conflicts
+let num_learnts s = s.n_learnts
+
+let stats s =
+  {
+    conflicts = s.conflicts;
+    decisions = s.decisions;
+    propagations = s.propagations;
+    restarts = s.restarts;
+    solves = s.solves;
+    learnts = s.n_learnts;
+    learnts_deleted = s.learnts_deleted;
+    db_reductions = s.db_reductions;
+    clauses = Vec.size s.clauses;
+    vars = s.nvars;
+  }
 
 (* ----- variable order heap (max-heap on activity) ----- *)
 
@@ -122,6 +211,12 @@ let new_var s =
   s.phase <- grow_to s.nvars s.phase false;
   s.activity <- grow_to s.nvars s.activity 0.0;
   s.heap_pos <- grow_to s.nvars s.heap_pos (-1);
+  s.level_mark <- grow_to (s.nvars + 1) s.level_mark (-1);
+  if Bytes.length s.seen < s.nvars then begin
+    let b = Bytes.make (max 16 (2 * s.nvars)) '\000' in
+    Bytes.blit s.seen 0 b 0 (Bytes.length s.seen);
+    s.seen <- b
+  end;
   if Array.length s.watches < 2 * s.nvars then begin
     let w = Array.init (max 32 (4 * s.nvars)) (fun _ -> Ivec.create ()) in
     Array.blit s.watches 0 w 0 (Array.length s.watches);
@@ -179,34 +274,78 @@ let var_decay s = s.var_inc <- s.var_inc /. 0.95
 
 (* ----- clauses ----- *)
 
+(* Watch lists hold (clause index, blocking literal) pairs; the blocker is
+   some other literal of the clause, checked before the clause itself is
+   touched so satisfied clauses cost one array read instead of a cache
+   miss on the clause. *)
 let attach s ci =
   let c = Vec.get s.clauses ci in
   Ivec.push s.watches.(c.(0)) ci;
-  Ivec.push s.watches.(c.(1)) ci
+  Ivec.push s.watches.(c.(0)) c.(1);
+  Ivec.push s.watches.(c.(1)) ci;
+  Ivec.push s.watches.(c.(1)) c.(0)
 
-let add_clause_internal s lits =
-  (* Caller guarantees: no duplicates, no tautology, size >= 2,
-     no literal true at level 0, no literal false at level 0. *)
-  let c = Array.of_list lits in
+let push_clause s c ~lbd =
   Vec.push s.clauses c;
-  attach s (Vec.size s.clauses - 1)
+  Ivec.push s.clbd lbd;
+  let ci = Vec.size s.clauses - 1 in
+  if lbd >= 0 then s.n_learnts <- s.n_learnts + 1;
+  attach s ci;
+  ci
 
-let add_clause s lits =
+(* [add_clause_permanent] ignores open assumption scopes: the clause is
+   part of the problem forever. Tseitin gate definitions go through here
+   because encoders cache the wires they return across scope pops. *)
+let add_clause_permanent s lits =
   assert (decision_level s = 0);
   if s.ok then begin
     let lits = List.sort_uniq compare lits in
-    let tauto =
-      List.exists (fun l -> List.mem (Lit.neg l) lits) lits
-      || List.exists (fun l -> lit_value s l = 1) lits
+    (* one linear pass over the sorted literals: positive and negative
+       occurrences of a variable encode as adjacent integers (2v, 2v+1),
+       so a tautology shows up as two neighbours with equal [Lit.var];
+       level-0 values fold in the same pass *)
+    let rec scan acc = function
+      | [] -> Some (List.rev acc)
+      | l :: rest ->
+        if match rest with
+          | l' :: _ -> Lit.var l' = Lit.var l
+          | [] -> false
+        then None (* p and ~p: tautology *)
+        else (
+          match lit_value s l with
+          | 1 -> None (* already satisfied at level 0 *)
+          | 0 -> scan acc rest (* false at level 0: drop the literal *)
+          | _ -> scan (l :: acc) rest)
     in
-    if not tauto then begin
-      let lits = List.filter (fun l -> lit_value s l <> 0) lits in
-      match lits with
-      | [] -> s.ok <- false
-      | [ p ] -> enqueue s p (-1)
-      | _ -> add_clause_internal s lits
-    end
+    match scan [] lits with
+    | None -> ()
+    | Some [] -> s.ok <- false
+    | Some [ p ] -> enqueue s p (-1)
+    | Some lits -> ignore (push_clause s (Array.of_list lits) ~lbd:(-1))
   end
+
+(* ----- assumption-literal scopes ----- *)
+
+let num_scopes s = Ivec.size s.scopes
+
+let push s =
+  let v = new_var s in
+  Ivec.push s.scopes v
+
+let pop s =
+  if Ivec.size s.scopes = 0 then invalid_arg "Sat.pop: no open scope";
+  cancel_until s 0;
+  let v = Ivec.pop s.scopes in
+  (* permanently satisfies (and thereby retracts) every clause guarded by
+     this scope's activation literal *)
+  add_clause_permanent s [ Lit.neg_of v ]
+
+(* Clauses added inside a scope carry the negated activation literal of
+   the innermost scope; the literal is assumed true during [solve], so
+   the clause is active exactly while the scope is open. *)
+let add_clause s lits =
+  if Ivec.size s.scopes = 0 then add_clause_permanent s lits
+  else add_clause_permanent s (Lit.neg_of (Ivec.last s.scopes) :: lits)
 
 (* ----- propagation ----- *)
 
@@ -215,29 +354,33 @@ let propagate s =
   while !confl < 0 && s.qhead < Ivec.size s.trail do
     let p = Ivec.get s.trail s.qhead in
     s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
     let false_lit = Lit.neg p in
     let ws = s.watches.(false_lit) in
     let n = Ivec.size ws in
     let j = ref 0 in
     let i = ref 0 in
+    let keep ci blocker =
+      Ivec.set ws !j ci;
+      Ivec.set ws (!j + 1) blocker;
+      j := !j + 2
+    in
     while !i < n do
       let ci = Ivec.get ws !i in
-      incr i;
-      if !confl >= 0 then begin
+      let blocker = Ivec.get ws (!i + 1) in
+      i := !i + 2;
+      if !confl >= 0 then
         (* conflict already found: keep remaining watches untouched *)
-        Ivec.set ws !j ci;
-        incr j
-      end
+        keep ci blocker
+      else if lit_value s blocker = 1 then keep ci blocker
       else begin
         let c = Vec.get s.clauses ci in
         if c.(0) = false_lit then begin
           c.(0) <- c.(1);
           c.(1) <- false_lit
         end;
-        if lit_value s c.(0) = 1 then begin
-          Ivec.set ws !j ci;
-          incr j
-        end
+        let first = c.(0) in
+        if lit_value s first = 1 then keep ci first
         else begin
           let len = Array.length c in
           let k = ref 2 in
@@ -248,13 +391,12 @@ let propagate s =
             (* found a replacement watch *)
             c.(1) <- c.(!k);
             c.(!k) <- false_lit;
-            Ivec.push s.watches.(c.(1)) ci
+            Ivec.push s.watches.(c.(1)) ci;
+            Ivec.push s.watches.(c.(1)) first
           end
           else begin
-            Ivec.set ws !j ci;
-            incr j;
-            if lit_value s c.(0) = 0 then confl := ci
-            else enqueue s c.(0) ci
+            keep ci first;
+            if lit_value s first = 0 then confl := ci else enqueue s first ci
           end
         end
       end
@@ -263,10 +405,137 @@ let propagate s =
   done;
   !confl
 
+(* ----- learned-clause database reduction ----- *)
+
+let locked s ci =
+  let c = Vec.get s.clauses ci in
+  let v = Lit.var c.(0) in
+  s.assign.(v) >= 0 && s.reason.(v) = ci
+
+(* Delete the worst half of the learned clauses by LBD (ties broken
+   towards longer clauses); glue clauses (LBD <= 2) and clauses currently
+   acting as reasons are kept. The database is compacted in place:
+   surviving clauses are renumbered, watches rebuilt, reasons remapped. *)
+let reduce_db s =
+  s.db_reductions <- s.db_reductions + 1;
+  let cand = ref [] in
+  let ncand = ref 0 in
+  for ci = 0 to Vec.size s.clauses - 1 do
+    let lbd = Ivec.get s.clbd ci in
+    if lbd > 2 && not (locked s ci) then begin
+      cand := (lbd, Array.length (Vec.get s.clauses ci), ci) :: !cand;
+      incr ncand
+    end
+  done;
+  (* worst first: highest LBD, then longest *)
+  let cand = List.sort (fun a b -> compare b a) !cand in
+  let ndelete = min !ncand (s.n_learnts / 2) in
+  let delete = Bytes.make (Vec.size s.clauses) '\000' in
+  List.iteri
+    (fun i (_, _, ci) -> if i < ndelete then Bytes.set delete ci '\001')
+    cand;
+  let old_clauses = s.clauses and old_clbd = s.clbd in
+  let remap = Array.make (Vec.size old_clauses) (-1) in
+  let clauses = Vec.create () and clbd = Ivec.create () in
+  for ci = 0 to Vec.size old_clauses - 1 do
+    if Bytes.get delete ci = '\000' then begin
+      remap.(ci) <- Vec.size clauses;
+      Vec.push clauses (Vec.get old_clauses ci);
+      Ivec.push clbd (Ivec.get old_clbd ci)
+    end
+  done;
+  s.clauses <- clauses;
+  s.clbd <- clbd;
+  s.n_learnts <- s.n_learnts - ndelete;
+  s.learnts_deleted <- s.learnts_deleted + ndelete;
+  Array.iter Ivec.clear s.watches;
+  for ci = 0 to Vec.size s.clauses - 1 do
+    attach s ci
+  done;
+  (* only clauses locked as reasons survive, so the remap is total on the
+     reason pointers of assigned variables *)
+  for v = 0 to s.nvars - 1 do
+    if s.reason.(v) >= 0 then s.reason.(v) <- remap.(s.reason.(v))
+  done;
+  s.max_learnts <- (s.max_learnts * 11 / 10) + 16
+
+(* ----- level-0 simplification ----- *)
+
+(* Remove clauses satisfied at the root level and strengthen the rest by
+   deleting their root-false literals. Retraction (scope pops,
+   [Solver.retract]) works by asserting a unit that permanently
+   satisfies every clause of the retired scope, so a long-lived
+   incremental solver accumulates dead clauses in its watch lists; this
+   sweep reclaims them. Must be called at decision level 0 with
+   propagation at fixpoint, so no surviving clause is all-false or
+   unit. *)
+let simplify s =
+  (* root-level facts never need their reasons again: conflict analysis
+     ignores level-0 literals — and this releases every clause lock *)
+  for i = 0 to Ivec.size s.trail - 1 do
+    s.reason.(Lit.var (Ivec.get s.trail i)) <- -1
+  done;
+  let old_clauses = s.clauses and old_clbd = s.clbd in
+  let clauses = Vec.create () and clbd = Ivec.create () in
+  for ci = 0 to Vec.size old_clauses - 1 do
+    let c = Vec.get old_clauses ci in
+    let len = Array.length c in
+    let sat = ref false in
+    let k = ref 0 in
+    for j = 0 to len - 1 do
+      match lit_value s c.(j) with
+      | 1 -> sat := true
+      | 0 -> ()
+      | _ ->
+        c.(!k) <- c.(j);
+        incr k
+    done;
+    if !sat then begin
+      if Ivec.get old_clbd ci >= 0 then begin
+        s.n_learnts <- s.n_learnts - 1;
+        s.learnts_deleted <- s.learnts_deleted + 1
+      end
+    end
+    else begin
+      let c = if !k = len then c else Array.sub c 0 !k in
+      Vec.push clauses c;
+      Ivec.push clbd (Ivec.get old_clbd ci)
+    end
+  done;
+  s.clauses <- clauses;
+  s.clbd <- clbd;
+  Array.iter Ivec.clear s.watches;
+  for ci = 0 to Vec.size s.clauses - 1 do
+    attach s ci
+  done;
+  s.simp_trail <- Ivec.size s.trail
+
 (* ----- conflict analysis (first UIP) ----- *)
 
-let analyze s confl seen =
-  let learnt = ref [] in
+(* Number of distinct decision levels among [n] literals produced by
+   [get]; the literal-block distance of Audemard–Simon. *)
+let lbd_of s n get =
+  s.mark_gen <- s.mark_gen + 1;
+  let gen = s.mark_gen in
+  let distinct = ref 0 in
+  for i = 0 to n - 1 do
+    let lvl = s.level.(Lit.var (get i)) in
+    if s.level_mark.(lvl) <> gen then begin
+      s.level_mark.(lvl) <- gen;
+      incr distinct
+    end
+  done;
+  !distinct
+
+(* Fills [s.out_learnt] with the learnt clause (asserting literal first,
+   a literal of the backjump level second) and returns the backjump
+   level. Uses the persistent [seen]/[out_learnt]/[scratch] buffers: no
+   lists are allocated on this path. *)
+let analyze s confl =
+  let out = s.out_learnt in
+  let seen = s.seen in
+  Ivec.clear out;
+  Ivec.push out 0 (* slot 0: asserting literal, patched below *);
   let path_c = ref 0 in
   let p = ref (-1) in
   let index = ref (Ivec.size s.trail - 1) in
@@ -282,7 +551,7 @@ let analyze s confl seen =
         Bytes.unsafe_set seen v '\001';
         var_bump s v;
         if s.level.(v) >= decision_level s then incr path_c
-        else learnt := q :: !learnt
+        else Ivec.push out q
       end
     done;
     (* find the next marked literal on the trail *)
@@ -295,47 +564,72 @@ let analyze s confl seen =
     decr path_c;
     if !path_c > 0 then confl := s.reason.(Lit.var !p) else continue := false
   done;
-  let asserting = Lit.neg !p in
+  Ivec.set out 0 (Lit.neg !p);
   (* local clause minimization (Sörensson–Biere): a literal is redundant
      when every antecedent in its reason clause is already in the learnt
      clause (still marked seen) or assigned at level 0 *)
-  let redundant q =
+  let scratch = s.scratch in
+  Ivec.clear scratch;
+  for i = 0 to Ivec.size out - 1 do
+    Ivec.push scratch (Ivec.get out i)
+  done;
+  let j = ref 1 in
+  for i = 1 to Ivec.size out - 1 do
+    let q = Ivec.get out i in
     let r = s.reason.(Lit.var q) in
-    r >= 0
-    && Array.for_all
-         (fun p ->
-           Lit.var p = Lit.var q
-           || Bytes.get seen (Lit.var p) = '\001'
-           || s.level.(Lit.var p) = 0)
-         (Vec.get s.clauses r)
-  in
-  let minimized = List.filter (fun q -> not (redundant q)) !learnt in
-  List.iter (fun q -> Bytes.set seen (Lit.var q) '\000') !learnt;
-  let learnt = ref minimized in
-  (* backjump level = max level among the non-asserting literals *)
-  match !learnt with
-  | [] -> (asserting, [], 0)
-  | rest ->
-    let best =
-      List.fold_left
-        (fun acc q -> if s.level.(Lit.var q) > s.level.(Lit.var acc) then q else acc)
-        (List.hd rest) rest
+    let redundant =
+      r >= 0
+      && Array.for_all
+           (fun pl ->
+             Lit.var pl = Lit.var q
+             || Bytes.get seen (Lit.var pl) = '\001'
+             || s.level.(Lit.var pl) = 0)
+           (Vec.get s.clauses r)
     in
-    let rest = best :: List.filter (fun q -> q != best) rest in
-    (asserting, rest, s.level.(Lit.var best))
+    if not redundant then begin
+      Ivec.set out !j q;
+      incr j
+    end
+  done;
+  Ivec.shrink out !j;
+  (* clear marks of every literal considered, removed ones included *)
+  for i = 1 to Ivec.size scratch - 1 do
+    Bytes.set seen (Lit.var (Ivec.get scratch i)) '\000'
+  done;
+  (* backjump level = max level among the non-asserting literals; that
+     literal moves to slot 1 so it is watched after learning *)
+  if Ivec.size out = 1 then 0
+  else begin
+    let best = ref 1 in
+    for i = 2 to Ivec.size out - 1 do
+      if s.level.(Lit.var (Ivec.get out i)) > s.level.(Lit.var (Ivec.get out !best))
+      then best := i
+    done;
+    let tmp = Ivec.get out 1 in
+    Ivec.set out 1 (Ivec.get out !best);
+    Ivec.set out !best tmp;
+    s.level.(Lit.var (Ivec.get out 1))
+  end
 
 (* ----- search ----- *)
 
 exception Found of result
 
-let rec luby i =
-  (* Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
-  let k = ref 1 in
-  while (1 lsl !k) - 1 < i do
-    incr k
+let luby i =
+  (* Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+     Iterative form of "find the enclosing 2^k - 1 block, recurse into its
+     tail": total work O(log^2 i), no recursion. *)
+  let i = ref i in
+  let res = ref (-1) in
+  while !res < 0 do
+    let k = ref 1 in
+    while (1 lsl !k) - 1 < !i do
+      incr k
+    done;
+    if (1 lsl !k) - 1 = !i then res := 1 lsl (!k - 1)
+    else i := !i - (1 lsl (!k - 1)) + 1
   done;
-  if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
-  else luby (i - (1 lsl (!k - 1)) + 1)
+  !res
 
 let save_model s =
   let m = Array.make s.nvars false in
@@ -344,19 +638,20 @@ let save_model s =
   done;
   s.saved_model <- m
 
-let handle_conflict s seen ci =
+let handle_conflict s ci =
   s.conflicts <- s.conflicts + 1;
+  incr g_conflicts;
   if decision_level s = 0 then raise (Found Unsat);
-  let asserting, rest, blevel = analyze s ci seen in
+  let blevel = analyze s ci in
   cancel_until s blevel;
-  (match rest with
-  | [] -> enqueue s asserting (-1)
-  | _ ->
-    let c = Array.of_list (asserting :: rest) in
-    Vec.push s.clauses c;
-    let ci = Vec.size s.clauses - 1 in
-    attach s ci;
-    enqueue s asserting ci);
+  let out = s.out_learnt in
+  (if Ivec.size out = 1 then enqueue s (Ivec.get out 0) (-1)
+   else begin
+     let c = Array.init (Ivec.size out) (Ivec.get out) in
+     let lbd = lbd_of s (Array.length c) (Array.get c) in
+     let ci = push_clause s c ~lbd in
+     enqueue s c.(0) ci
+   end);
   var_decay s
 
 (* Re-establish assumptions as pseudo-decisions; raises [Found Unsat] when
@@ -365,7 +660,9 @@ let rec assume s assumptions =
   if decision_level s < Array.length assumptions then begin
     let p = assumptions.(decision_level s) in
     match lit_value s p with
-    | 1 -> new_decision_level s; assume s assumptions
+    | 1 ->
+      new_decision_level s;
+      assume s assumptions
     | 0 -> raise (Found Unsat)
     | _ ->
       new_decision_level s;
@@ -387,20 +684,23 @@ let decide s =
     save_model s;
     raise (Found Sat)
   | Some v ->
+    s.decisions <- s.decisions + 1;
     new_decision_level s;
     enqueue s (Lit.make v s.phase.(v)) (-1)
 
-let search s seen assumptions budget =
+let search s assumptions budget =
   let local = ref 0 in
   let rec loop () =
     let ci = propagate s in
     if ci >= 0 then begin
       incr local;
-      handle_conflict s seen ci;
+      handle_conflict s ci;
+      if s.max_learnts > 0 && s.n_learnts > s.max_learnts then reduce_db s;
       loop ()
     end
     else if !local >= budget then begin
       cancel_until s 0;
+      s.restarts <- s.restarts + 1;
       `Restart
     end
     else begin
@@ -412,19 +712,48 @@ let search s seen assumptions budget =
   loop ()
 
 let solve_with_assumptions s assumptions =
+  s.solves <- s.solves + 1;
+  incr g_solves;
   if not s.ok then Unsat
   else begin
-    let assumptions = Array.of_list assumptions in
-    let seen = Bytes.make (max 1 s.nvars) '\000' in
-    try
-      let rec run i =
-        match search s seen assumptions (100 * luby i) with
-        | `Restart -> run (i + 1)
-      in
-      run 1
-    with Found r ->
-      cancel_until s 0;
-      r
+    (* the cap tracks problem size: an incremental solver keeps gaining
+       clauses after its first solve, and must not be stuck with the cap
+       a small prefix of the problem suggested *)
+    if s.learnt_limit > 0 then begin
+      if s.max_learnts = 0 then s.max_learnts <- s.learnt_limit
+    end
+    else
+      s.max_learnts <-
+        max s.max_learnts (max 2000 ((Vec.size s.clauses - s.n_learnts) / 3));
+    (* scope activation literals are standing assumptions *)
+    let assumptions =
+      Array.of_list
+        (List.map Lit.pos (Ivec.to_list s.scopes) @ assumptions)
+    in
+    let p0 = s.propagations in
+    (* settle the root level, then sweep out clauses retired since the
+       last solve (retracted scopes leave permanently satisfied clauses
+       behind; fresh root units strengthen what remains) *)
+    if propagate s >= 0 then s.ok <- false
+    else if Ivec.size s.trail > s.simp_trail then simplify s;
+    if not s.ok then begin
+      g_propagations := !g_propagations + (s.propagations - p0);
+      Unsat
+    end
+    else
+    let r =
+      try
+        let rec run i =
+          match search s assumptions (100 * luby i) with
+          | `Restart -> run (i + 1)
+        in
+        run 1
+      with Found r ->
+        cancel_until s 0;
+        r
+    in
+    g_propagations := !g_propagations + (s.propagations - p0);
+    r
   end
 
 let solve s = solve_with_assumptions s []

@@ -1,13 +1,18 @@
-(** A CDCL SAT solver.
+(** A CDCL SAT solver with MiniSat-style incrementality.
 
     Implements the standard conflict-driven clause learning architecture:
-    two-watched-literal unit propagation, first-UIP conflict analysis with
-    non-chronological backjumping, VSIDS variable activities with phase
-    saving, and Luby-sequence restarts. This is the deductive engine [D]
-    underneath every bit-vector query in the repository.
+    two-watched-literal unit propagation with blocking literals, first-UIP
+    conflict analysis with non-chronological backjumping, VSIDS variable
+    activities with phase saving, Luby-sequence restarts, and a learned
+    clause database with LBD (glue) tracking and periodic geometric
+    reduction. This is the deductive engine [D] underneath every
+    bit-vector query in the repository.
 
-    Usage: create a solver, allocate variables with [new_var], add clauses
-    (lists of {!Lit.t}), then call [solve]. *)
+    The solver is fully incremental: clauses can be added between
+    [solve] calls, queries can carry assumption literals, and
+    {!push}/{!pop} open retractable scopes implemented with activation
+    literals, so counterexample-guided loops keep one solver (and its
+    learned clauses) alive across iterations. *)
 
 type t
 
@@ -15,29 +20,80 @@ type result =
   | Sat
   | Unsat
 
-val create : unit -> t
+(** Cumulative solver statistics (since [create]). *)
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;  (** literals propagated *)
+  restarts : int;
+  solves : int;  (** [solve]/[solve_with_assumptions] calls *)
+  learnts : int;  (** learned clauses currently alive *)
+  learnts_deleted : int;  (** learned clauses removed by DB reduction *)
+  db_reductions : int;
+  clauses : int;  (** total clauses alive (problem + learnt) *)
+  vars : int;
+}
+
+type global_stats = {
+  g_solves : int;
+  g_conflicts : int;
+  g_propagations : int;
+}
+
+val create : ?learnt_limit:int -> unit -> t
+(** [learnt_limit] overrides the initial learned-clause cap (before
+    geometric growth); the default is derived from the problem size.
+    Mainly useful to force database reductions in tests. *)
 
 val new_var : t -> int
 (** Allocate a fresh variable and return its index. *)
 
 val num_vars : t -> int
 val num_clauses : t -> int
+val num_learnts : t -> int
 val num_conflicts : t -> int
 (** Conflicts encountered during all [solve] calls so far. *)
+
+val stats : t -> stats
+
+val global_stats : unit -> global_stats
+(** Process-wide totals across {e all} solver instances, surviving
+    solver teardown; used by the bench harness to compare fresh-solver
+    loops against persistent-solver loops. *)
+
+val reset_global_stats : unit -> unit
 
 val add_clause : t -> Lit.t list -> unit
 (** Add a clause. Tautologies are dropped; the empty clause makes the
     instance trivially unsatisfiable. All mentioned variables must have
-    been allocated with [new_var]. Clauses may only be added before
-    [solve] is called. *)
+    been allocated with [new_var]. Clauses may be added freely between
+    [solve] calls. Inside an open {!push} scope the clause is guarded by
+    the scope's activation literal and disappears at the matching
+    {!pop}. *)
+
+val add_clause_permanent : t -> Lit.t list -> unit
+(** Like {!add_clause} but never scope-guarded: the clause survives every
+    [pop]. Encoders whose output wires are cached across scopes (Tseitin
+    gate definitions) must use this. *)
+
+val push : t -> unit
+(** Open an assumption-literal scope: subsequent {!add_clause}s are
+    retractable by the matching {!pop}. Scopes nest. *)
+
+val pop : t -> unit
+(** Close the innermost scope, permanently retracting its clauses.
+    Learned clauses derived from them remain (they are satisfied by the
+    retired activation literal and eventually reclaimed by database
+    reduction). Raises [Invalid_argument] without an open scope. *)
+
+val num_scopes : t -> int
 
 val solve : t -> result
-(** Decide satisfiability. May be called once per solver. *)
+(** Decide satisfiability under the currently open scopes. May be called
+    repeatedly, with clauses added between calls. *)
 
 val solve_with_assumptions : t -> Lit.t list -> result
-(** Like [solve] but under the given assumption literals. The solver can
-    be re-used across calls with different assumptions, and clauses may be
-    added between calls. *)
+(** Like [solve] but additionally under the given assumption literals. *)
 
 val value : t -> int -> bool
 (** [value s v] is the truth value of variable [v] in the model found by
@@ -45,3 +101,7 @@ val value : t -> int -> bool
 
 val model : t -> bool array
 (** The full model (indexed by variable) after a [Sat] answer. *)
+
+val luby : int -> int
+(** The Luby restart sequence, 1-indexed: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8…
+    Iterative; exposed for testing. *)

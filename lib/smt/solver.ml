@@ -1,15 +1,38 @@
-type t = { bb : Bitblast.t }
+type t = {
+  bb : Bitblast.t;
+  mutable retractables : Lit.t list; (* active retractable activation lits *)
+}
 
 type answer =
   | Sat
   | Unsat
 
-let create () = { bb = Bitblast.create () }
+type retractable = Lit.t
+
+let create () = { bb = Bitblast.create (); retractables = [] }
+let sat t = Tseitin.solver (Bitblast.context t.bb)
 let assert_formula t f = Bitblast.assert_formula t.bb f
 
+let push t = Tseitin.push (Bitblast.context t.bb)
+let pop t = Tseitin.pop (Bitblast.context t.bb)
+
+let assert_retractable t f =
+  let ctx = Bitblast.context t.bb in
+  let l = Bitblast.formula t.bb f in
+  let a = Tseitin.fresh ctx in
+  Sat.add_clause_permanent (sat t) [ Lit.neg a; l ];
+  t.retractables <- a :: t.retractables;
+  a
+
+let retract t a =
+  if not (List.memq a t.retractables) then
+    invalid_arg "Solver.retract: not an active retractable assertion";
+  t.retractables <- List.filter (fun x -> x <> a) t.retractables;
+  (* permanently satisfies the guarded clause *)
+  Sat.add_clause_permanent (sat t) [ Lit.neg a ]
+
 let check t =
-  let sat = Tseitin.solver (Bitblast.context t.bb) in
-  match Sat.solve_with_assumptions sat [] with
+  match Sat.solve_with_assumptions (sat t) t.retractables with
   | Sat.Sat -> Sat
   | Sat.Unsat -> Unsat
 
@@ -27,7 +50,11 @@ let check_formulas fs =
   | Sat -> Ok (model_env t)
   | Unsat -> Error ()
 
+let sat_stats t = Sat.stats (sat t)
+
 let stats t =
-  let sat = Tseitin.solver (Bitblast.context t.bb) in
-  Printf.sprintf "vars=%d clauses=%d conflicts=%d" (Sat.num_vars sat)
-    (Sat.num_clauses sat) (Sat.num_conflicts sat)
+  let st = sat_stats t in
+  Printf.sprintf
+    "vars=%d clauses=%d learnts=%d conflicts=%d restarts=%d reductions=%d"
+    st.Sat.vars st.Sat.clauses st.Sat.learnts st.Sat.conflicts st.Sat.restarts
+    st.Sat.db_reductions

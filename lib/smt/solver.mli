@@ -2,7 +2,12 @@
 
     This is the deductive engine handed to the sciduction applications:
     assert formulas, check, read back a model. The solver is incremental
-    in the "assert more, check again" sense (no retraction). *)
+    in both senses: "assert more, check again" (monotone strengthening),
+    and retraction via {!push}/{!pop} scopes or individual
+    {!assert_retractable} assertions — both implemented with activation
+    literals over one persistent CDCL instance, so bit-blasted encodings
+    of shared subterms and learned clauses are reused across the queries
+    of a counterexample-guided loop. *)
 
 type t
 
@@ -11,8 +16,32 @@ type answer =
   | Unsat
 
 val create : unit -> t
+
 val assert_formula : t -> Bv.formula -> unit
+(** Assert a formula. Inside an open {!push} scope the assertion is
+    retracted by the matching {!pop}; otherwise it is permanent. *)
+
+val push : t -> unit
+(** Open a retractable assertion scope. Scopes nest. *)
+
+val pop : t -> unit
+(** Close the innermost scope, retracting the formulas asserted inside
+    it. The bit-blast cache survives: re-asserting a formula whose
+    subterms were already encoded costs no new clauses. *)
+
+type retractable
+
+val assert_retractable : t -> Bv.formula -> retractable
+(** Assert a formula that can later be withdrawn with {!retract},
+    independently of the scope stack. *)
+
+val retract : t -> retractable -> unit
+(** Withdraw a retractable assertion. Raises [Invalid_argument] if it is
+    not currently active. *)
+
 val check : t -> answer
+(** Decide satisfiability of everything currently asserted. May be
+    called any number of times, interleaved with assertions. *)
 
 val value : t -> string -> int
 (** Model value of a bit-vector variable after a [Sat] answer; variables
@@ -22,8 +51,12 @@ val bool_value : t -> string -> bool
 val model_env : t -> Bv.env
 
 val check_formulas : Bv.formula list -> (Bv.env, unit) result
-(** One-shot convenience: satisfiability of a conjunction. [Ok env]
-    carries the model; [Error ()] means unsatisfiable. *)
+(** One-shot convenience: satisfiability of a conjunction in a fresh
+    solver. [Ok env] carries the model; [Error ()] means unsatisfiable.
+    Counterexample-guided loops should prefer a persistent [t]. *)
+
+val sat_stats : t -> Sat.stats
+(** Statistics of the underlying CDCL solver. *)
 
 val stats : t -> string
-(** Human-readable solver statistics (variables, clauses, conflicts). *)
+(** Human-readable solver statistics. *)

@@ -4,7 +4,7 @@ let create () =
   let sat = Sat.create () in
   let v = Sat.new_var sat in
   let tt = Lit.pos v in
-  Sat.add_clause sat [ tt ];
+  Sat.add_clause_permanent sat [ tt ];
   { sat; tt }
 
 let solver t = t.sat
@@ -14,6 +14,12 @@ let of_bool t b = if b then true_ t else false_ t
 let fresh t = Lit.pos (Sat.new_var t.sat)
 let assert_lit t l = Sat.add_clause t.sat [ l ]
 let assert_clause t c = Sat.add_clause t.sat c
+
+(* Assertions that must survive scope pops: definitional constraints whose
+   wires are cached by encoders (e.g. the bit blaster's divider). *)
+let assert_permanent t l = Sat.add_clause_permanent t.sat [ l ]
+let push t = Sat.push t.sat
+let pop t = Sat.pop t.sat
 let not_ l = Lit.neg l
 
 let is_true t l = l = t.tt
@@ -27,9 +33,9 @@ let and2 t a b =
   else if a = Lit.neg b then false_ t
   else begin
     let o = fresh t in
-    Sat.add_clause t.sat [ Lit.neg o; a ];
-    Sat.add_clause t.sat [ Lit.neg o; b ];
-    Sat.add_clause t.sat [ o; Lit.neg a; Lit.neg b ];
+    Sat.add_clause_permanent t.sat [ Lit.neg o; a ];
+    Sat.add_clause_permanent t.sat [ Lit.neg o; b ];
+    Sat.add_clause_permanent t.sat [ o; Lit.neg a; Lit.neg b ];
     o
   end
 
@@ -44,10 +50,10 @@ let xor2 t a b =
   else if a = Lit.neg b then true_ t
   else begin
     let o = fresh t in
-    Sat.add_clause t.sat [ Lit.neg o; a; b ];
-    Sat.add_clause t.sat [ Lit.neg o; Lit.neg a; Lit.neg b ];
-    Sat.add_clause t.sat [ o; Lit.neg a; b ];
-    Sat.add_clause t.sat [ o; a; Lit.neg b ];
+    Sat.add_clause_permanent t.sat [ Lit.neg o; a; b ];
+    Sat.add_clause_permanent t.sat [ Lit.neg o; Lit.neg a; Lit.neg b ];
+    Sat.add_clause_permanent t.sat [ o; Lit.neg a; b ];
+    Sat.add_clause_permanent t.sat [ o; a; Lit.neg b ];
     o
   end
 
@@ -60,10 +66,10 @@ let mux t c a b =
   else if a = b then a
   else begin
     let o = fresh t in
-    Sat.add_clause t.sat [ Lit.neg c; Lit.neg a; o ];
-    Sat.add_clause t.sat [ Lit.neg c; a; Lit.neg o ];
-    Sat.add_clause t.sat [ c; Lit.neg b; o ];
-    Sat.add_clause t.sat [ c; b; Lit.neg o ];
+    Sat.add_clause_permanent t.sat [ Lit.neg c; Lit.neg a; o ];
+    Sat.add_clause_permanent t.sat [ Lit.neg c; a; Lit.neg o ];
+    Sat.add_clause_permanent t.sat [ c; Lit.neg b; o ];
+    Sat.add_clause_permanent t.sat [ c; b; Lit.neg o ];
     o
   end
 

@@ -17,9 +17,23 @@ val fresh : t -> Lit.t
 (** A fresh unconstrained wire. *)
 
 val assert_lit : t -> Lit.t -> unit
-(** Constrain a wire to be true (adds a unit clause). *)
+(** Constrain a wire to be true (adds a unit clause). Inside an open
+    {!push} scope the assertion is retracted by the matching {!pop};
+    gate-definition clauses are always permanent, so wires cached across
+    scopes stay well-defined. *)
 
 val assert_clause : t -> Lit.t list -> unit
+
+val assert_permanent : t -> Lit.t -> unit
+(** Assert a wire true regardless of open scopes. For definitional
+    constraints whose wires outlive the current scope (e.g. the bit
+    blaster's division encoding). *)
+
+val push : t -> unit
+(** Open a retractable assertion scope on the underlying solver. *)
+
+val pop : t -> unit
+(** Close the innermost scope, retracting its assertions. *)
 
 val not_ : Lit.t -> Lit.t
 val and2 : t -> Lit.t -> Lit.t -> Lit.t

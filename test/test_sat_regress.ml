@@ -1,0 +1,340 @@
+(* Regression suite for the incremental SAT API, driven by DIMACS
+   instances. These tests exercise exactly the access patterns the
+   counterexample-guided loops rely on: solve / add-clause / solve
+   sequences on one long-lived solver, assumption-literal scopes
+   (push/pop) flipping instances between sat and unsat, and model
+   soundness after the learned-clause database has been reduced (forced
+   with [Sat.create ~learnt_limit]). Every model the CDCL solver
+   produces is checked against the clauses with the reference
+   evaluator. *)
+
+module Lit = Smt.Lit
+module Sat = Smt.Sat
+module Dpll = Smt.Dpll
+module Dimacs = Smt.Dimacs
+module Bv = Smt.Bv
+module Solver = Smt.Solver
+
+(* ------------------------------------------------------------------ *)
+(* DIMACS fixtures                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* x1..x4 in a satisfiable ring of implications plus a seed unit *)
+let ring_cnf = "p cnf 4 5\n1 0\n-1 2 0\n-2 3 0\n-3 4 0\n-4 1 0\n"
+
+(* an 8-variable instance with several models *)
+let multi_cnf =
+  "c multi-model instance\n\
+   p cnf 8 9\n\
+   1 2 3 0\n\
+   -1 4 0\n\
+   -2 5 0\n\
+   -3 6 0\n\
+   4 5 6 0\n\
+   -7 -8 0\n\
+   7 8 0\n\
+   -4 -5 7 0\n\
+   -6 8 0\n"
+
+(* clauses that, added on top of [ring_cnf], make it unsatisfiable *)
+let ring_killer = "p cnf 4 1\n-2 -4 0\n"
+
+let load ?learnt_limit text =
+  let p = Dimacs.parse text in
+  let s = Sat.create ?learnt_limit () in
+  for _ = 1 to p.Dimacs.nvars do
+    ignore (Sat.new_var s)
+  done;
+  List.iter (Sat.add_clause s) p.Dimacs.clauses;
+  (s, p)
+
+let model_of s (p : Dimacs.problem) = Array.init p.Dimacs.nvars (Sat.value s)
+
+let check_model name s (p : Dimacs.problem) =
+  Alcotest.(check bool)
+    (name ^ ": model satisfies all clauses")
+    true
+    (Dpll.eval (model_of s p) p.Dimacs.clauses)
+
+(* ------------------------------------------------------------------ *)
+(* solve / add-clause / solve sequences                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_solve_add_solve () =
+  let s, p = load ring_cnf in
+  (match Sat.solve s with
+  | Sat.Sat -> check_model "ring" s p
+  | Sat.Unsat -> Alcotest.fail "ring should be sat");
+  (* the ring forces all variables true *)
+  for v = 0 to 3 do
+    Alcotest.(check bool) (Printf.sprintf "x%d forced" (v + 1)) true
+      (Sat.value s v)
+  done;
+  let killer = Dimacs.parse ring_killer in
+  List.iter (Sat.add_clause s) killer.Dimacs.clauses;
+  match Sat.solve s with
+  | Sat.Unsat -> ()
+  | Sat.Sat -> Alcotest.fail "ring + killer should be unsat"
+
+(* Enumerate all models of [multi_cnf] by repeatedly blocking the last
+   model — the canonical solve/add-clause/solve loop — and compare the
+   count against brute force. *)
+let test_model_enumeration () =
+  let s, p = load multi_cnf in
+  let n = p.Dimacs.nvars in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Sat.solve s with
+    | Sat.Unsat -> continue := false
+    | Sat.Sat ->
+      check_model "enum" s p;
+      incr count;
+      if !count > 1 lsl n then Alcotest.fail "enumeration did not terminate";
+      Sat.add_clause s
+        (List.init n (fun v -> Lit.make v (not (Sat.value s v))))
+  done;
+  let brute = ref 0 in
+  for bits = 0 to (1 lsl n) - 1 do
+    let m = Array.init n (fun v -> bits land (1 lsl v) <> 0) in
+    if Dpll.eval m p.Dimacs.clauses then incr brute
+  done;
+  Alcotest.(check int) "model count matches brute force" !brute !count
+
+(* ------------------------------------------------------------------ *)
+(* assumption scopes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_scope_flip () =
+  let s, p = load multi_cnf in
+  (match Sat.solve s with
+  | Sat.Sat -> check_model "base" s p
+  | Sat.Unsat -> Alcotest.fail "base should be sat");
+  Sat.push s;
+  let killer = Dimacs.parse "p cnf 8 3\n-1 0\n-2 0\n-3 0\n" in
+  List.iter (Sat.add_clause s) killer.Dimacs.clauses;
+  (match Sat.solve s with
+  | Sat.Unsat -> ()
+  | Sat.Sat -> Alcotest.fail "scoped killer should make it unsat");
+  Sat.pop s;
+  (match Sat.solve s with
+  | Sat.Sat -> check_model "after pop" s p
+  | Sat.Unsat -> Alcotest.fail "pop must restore satisfiability");
+  Alcotest.(check int) "scopes closed" 0 (Sat.num_scopes s)
+
+let test_scope_nesting () =
+  let s, p = load multi_cnf in
+  Sat.push s;
+  Sat.add_clause s [ Lit.neg_of 0 ];
+  (* ~x1 *)
+  Sat.push s;
+  Sat.add_clause s [ Lit.neg_of 1 ];
+  Sat.add_clause s [ Lit.neg_of 2 ];
+  (* ~x1 /\ ~x2 /\ ~x3 contradicts clause (1 2 3) *)
+  (match Sat.solve s with
+  | Sat.Unsat -> ()
+  | Sat.Sat -> Alcotest.fail "inner scope should be unsat");
+  Sat.pop s;
+  (match Sat.solve s with
+  | Sat.Sat ->
+    check_model "outer scope" s p;
+    Alcotest.(check bool) "outer clause still active" false (Sat.value s 0)
+  | Sat.Unsat -> Alcotest.fail "outer scope alone should be sat");
+  Sat.pop s;
+  (match Sat.solve s with
+  | Sat.Sat -> check_model "all popped" s p
+  | Sat.Unsat -> Alcotest.fail "unscoped instance should be sat");
+  Alcotest.check_raises "pop without scope"
+    (Invalid_argument "Sat.pop: no open scope") (fun () -> Sat.pop s)
+
+let test_assumptions_vs_scopes () =
+  (* assumptions and scopes compose: under an open scope forcing ~x7,
+     assuming x8 must still work, and the combination is consistent
+     with clause (7 8) *)
+  let s, p = load multi_cnf in
+  Sat.push s;
+  Sat.add_clause s [ Lit.neg_of 6 ];
+  (match Sat.solve_with_assumptions s [ Lit.pos 7 ] with
+  | Sat.Sat ->
+    check_model "scope+assumption" s p;
+    Alcotest.(check bool) "x7 false" false (Sat.value s 6);
+    Alcotest.(check bool) "x8 true" true (Sat.value s 7)
+  | Sat.Unsat -> Alcotest.fail "should be sat");
+  (* assuming x7 under the same scope contradicts the scoped unit *)
+  (match Sat.solve_with_assumptions s [ Lit.pos 6 ] with
+  | Sat.Unsat -> ()
+  | Sat.Sat -> Alcotest.fail "assumption contradicting scope");
+  Sat.pop s;
+  match Sat.solve_with_assumptions s [ Lit.pos 6 ] with
+  | Sat.Sat -> check_model "after pop" s p
+  | Sat.Unsat -> Alcotest.fail "x7 is free again after pop"
+
+(* ------------------------------------------------------------------ *)
+(* clause-database reduction                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* deterministic pseudo-random CNF (seeded LCG; no global Random state) *)
+let lcg seed =
+  let state = ref seed in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    (* take high bits: the low bits of an LCG cycle with tiny period *)
+    (!state lsr 15) mod bound
+
+let random_cnf ~seed ~nvars ~nclauses =
+  let next = lcg seed in
+  let clause _ =
+    List.init 3 (fun _ -> Lit.make (next nvars) (next 2 = 0))
+  in
+  { Dimacs.nvars; clauses = List.init nclauses clause }
+
+(* With a tiny learnt limit, a conflict-heavy instance is forced through
+   many database reductions; answers and models must be unaffected. *)
+let test_db_reduction_unsat () =
+  let n = 7 in
+  (* pigeonhole PHP(8,7): hard enough to learn thousands of clauses *)
+  let s = Sat.create ~learnt_limit:20 () in
+  for _ = 1 to (n + 1) * n do
+    ignore (Sat.new_var s)
+  done;
+  let v i h = (i * n) + h in
+  for i = 0 to n do
+    Sat.add_clause s (List.init n (fun h -> Lit.pos (v i h)))
+  done;
+  for h = 0 to n - 1 do
+    for i = 0 to n do
+      for j = i + 1 to n do
+        Sat.add_clause s [ Lit.neg_of (v i h); Lit.neg_of (v j h) ]
+      done
+    done
+  done;
+  (match Sat.solve s with
+  | Sat.Unsat -> ()
+  | Sat.Sat -> Alcotest.fail "PHP(8,7) must stay unsat under reduction");
+  let st = Sat.stats s in
+  Alcotest.(check bool) "database was reduced" true (st.Sat.db_reductions > 0);
+  Alcotest.(check bool) "learnts were deleted" true
+    (st.Sat.learnts_deleted > 0)
+
+let test_db_reduction_models () =
+  (* near-threshold random 3-CNF: enough conflicts to trigger reductions
+     with a small cap; every sat answer's model is checked, and every
+     answer is cross-checked against a fresh unconstrained solver *)
+  let checked_reductions = ref 0 in
+  for seed = 1 to 20 do
+    let p = random_cnf ~seed ~nvars:50 ~nclauses:215 in
+    let constrained = Sat.create ~learnt_limit:8 () in
+    let fresh = Sat.create () in
+    List.iter
+      (fun s ->
+        for _ = 1 to p.Dimacs.nvars do
+          ignore (Sat.new_var s)
+        done;
+        List.iter (Sat.add_clause s) p.Dimacs.clauses)
+      [ constrained; fresh ];
+    let a = Sat.solve constrained and b = Sat.solve fresh in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: answers agree" seed)
+      true (a = b);
+    (match a with
+    | Sat.Sat -> check_model (Printf.sprintf "seed %d" seed) constrained p
+    | Sat.Unsat -> ());
+    let st = Sat.stats constrained in
+    if st.Sat.db_reductions > 0 then incr checked_reductions
+  done;
+  Alcotest.(check bool) "some instances exercised reduction" true
+    (!checked_reductions > 0)
+
+let test_reduction_then_increment () =
+  (* after heavy reduction the solver must remain usable incrementally:
+     keep strengthening a sat random instance until it goes unsat, and
+     agree with the reference solver at every step *)
+  let p = random_cnf ~seed:42 ~nvars:24 ~nclauses:96 in
+  let s = Sat.create ~learnt_limit:8 () in
+  for _ = 1 to p.Dimacs.nvars do
+    ignore (Sat.new_var s)
+  done;
+  List.iter (Sat.add_clause s) p.Dimacs.clauses;
+  let extra = random_cnf ~seed:77 ~nvars:24 ~nclauses:60 in
+  let added = ref p.Dimacs.clauses in
+  List.iter
+    (fun c ->
+      Sat.add_clause s c;
+      added := c :: !added;
+      let got = Sat.solve s in
+      let want = Dpll.solve ~nvars:p.Dimacs.nvars !added in
+      match (got, want) with
+      | Sat.Sat, Dpll.Sat _ ->
+        Alcotest.(check bool) "incremental model sound" true
+          (Dpll.eval (Array.init p.Dimacs.nvars (Sat.value s)) !added)
+      | Sat.Unsat, Dpll.Unsat -> ()
+      | Sat.Sat, Dpll.Unsat | Sat.Unsat, Dpll.Sat _ ->
+        Alcotest.fail "incremental answer diverged from reference")
+    (List.filteri (fun i _ -> i < 12) extra.Dimacs.clauses)
+
+(* ------------------------------------------------------------------ *)
+(* Solver-level (QF_BV) incrementality                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_solver_push_pop () =
+  let w = 8 in
+  let x = Bv.var ~width:w "x" in
+  let c v = Bv.const ~width:w v in
+  let s = Solver.create () in
+  Solver.assert_formula s (Bv.ult x (c 10));
+  (match Solver.check s with
+  | Solver.Sat -> Alcotest.(check bool) "x < 10" true (Solver.value s "x" < 10)
+  | Solver.Unsat -> Alcotest.fail "x < 10 is sat");
+  Solver.push s;
+  Solver.assert_formula s (Bv.ult (c 20) x);
+  (match Solver.check s with
+  | Solver.Unsat -> ()
+  | Solver.Sat -> Alcotest.fail "x < 10 /\\ x > 20 is unsat");
+  Solver.pop s;
+  (match Solver.check s with
+  | Solver.Sat -> Alcotest.(check bool) "restored" true (Solver.value s "x" < 10)
+  | Solver.Unsat -> Alcotest.fail "pop must restore satisfiability");
+  let r = Solver.assert_retractable s (Bv.eq x (c 3)) in
+  (match Solver.check s with
+  | Solver.Sat -> Alcotest.(check int) "pinned" 3 (Solver.value s "x")
+  | Solver.Unsat -> Alcotest.fail "x = 3 consistent with x < 10");
+  Solver.retract s r;
+  Solver.assert_formula s (Bv.fnot (Bv.eq x (c 3)));
+  match Solver.check s with
+  | Solver.Sat ->
+    let v = Solver.value s "x" in
+    Alcotest.(check bool) "x < 10 and x <> 3" true (v < 10 && v <> 3)
+  | Solver.Unsat -> Alcotest.fail "still satisfiable after retraction"
+
+let () =
+  Alcotest.run "sat-regress"
+    [
+      ( "incremental",
+        [
+          Alcotest.test_case "solve/add-clause/solve" `Quick
+            test_solve_add_solve;
+          Alcotest.test_case "model enumeration by blocking" `Quick
+            test_model_enumeration;
+        ] );
+      ( "scopes",
+        [
+          Alcotest.test_case "push/pop flips sat" `Quick test_scope_flip;
+          Alcotest.test_case "nested scopes" `Quick test_scope_nesting;
+          Alcotest.test_case "assumptions compose with scopes" `Quick
+            test_assumptions_vs_scopes;
+        ] );
+      ( "db-reduction",
+        [
+          Alcotest.test_case "unsat preserved under reduction" `Quick
+            test_db_reduction_unsat;
+          Alcotest.test_case "models sound under reduction" `Quick
+            test_db_reduction_models;
+          Alcotest.test_case "incremental use after reduction" `Quick
+            test_reduction_then_increment;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "push/pop and retractables over QF_BV" `Quick
+            test_solver_push_pop;
+        ] );
+    ]

@@ -148,6 +148,17 @@ let test_sat_assumptions () =
   | Sat.Unsat -> Alcotest.fail "expected sat under x1");
   Alcotest.(check bool) "assumption honoured" true (Sat.value s 1)
 
+let test_sat_luby () =
+  (* the canonical prefix of the 1-indexed Luby sequence *)
+  Alcotest.(check (list int))
+    "luby prefix"
+    [ 1; 1; 2; 1; 1; 2; 4; 1; 1; 2; 1; 1; 2; 4; 8 ]
+    (List.init 15 (fun i -> Sat.luby (i + 1)));
+  (* spot-check deeper entries: position 2^k - 1 is 2^(k-1) *)
+  Alcotest.(check int) "luby 31" 16 (Sat.luby 31);
+  Alcotest.(check int) "luby 63" 32 (Sat.luby 63);
+  Alcotest.(check int) "luby 64" 1 (Sat.luby 64)
+
 let test_sat_incremental () =
   let s = mk_solver 3 in
   Sat.add_clause s [ Lit.pos 0; Lit.pos 1 ];
@@ -531,6 +542,7 @@ let () =
           Alcotest.test_case "propagation chain" `Quick test_sat_propagation_chain;
           Alcotest.test_case "pigeonhole unsat" `Quick test_sat_pigeonhole;
           Alcotest.test_case "assumptions" `Quick test_sat_assumptions;
+          Alcotest.test_case "luby sequence" `Quick test_sat_luby;
           Alcotest.test_case "incremental strengthening" `Quick test_sat_incremental;
         ] );
       qsuite "sat-qcheck" [ prop_cdcl_vs_dpll ];
