@@ -662,15 +662,18 @@ let ablate () =
    measured even though its per-instance stats die with each solver. *)
 let perf () =
   section "Solver incrementality: fresh solvers vs persistent sessions";
+  (* the whole metrics registry is reset around each run, so each side's
+     snapshot isolates its own solver work (per-instance stats die with
+     each fresh solver, registry totals don't) *)
   let measure f =
-    Smt.Sat.reset_global_stats ();
+    Obs.Metrics.reset ();
     let r, seconds = timed f in
-    (r, seconds, Smt.Sat.global_stats ())
+    (r, seconds, Smt.Sat.global_stats (), Obs.Metrics.snapshot ())
   in
   let results = ref [] in
   let row name ~baseline ~incremental ~agree =
-    let rb, tb, gb = measure baseline in
-    let ri, ti, gi = measure incremental in
+    let rb, tb, gb, sb = measure baseline in
+    let ri, ti, gi, si = measure incremental in
     if not (agree rb ri) then
       Format.printf "!! %s: baseline and incremental runs disagree@." name;
     let speedup = tb /. max 1e-9 ti in
@@ -679,7 +682,7 @@ let perf () =
        %8d conflicts | %5.2fx@."
       name tb gb.Smt.Sat.g_solves gb.Smt.Sat.g_conflicts ti
       gi.Smt.Sat.g_solves gi.Smt.Sat.g_conflicts speedup;
-    results := (name, (tb, gb), (ti, gi), speedup) :: !results
+    results := (name, (tb, gb, sb), (ti, gi, si), speedup) :: !results
   in
   (* OGIS deobfuscation: masked-needle predicates ((x ^ M) & K <= 1)
      behind dead mixing, synthesized from a single seed probe so the
@@ -777,23 +780,59 @@ let perf () =
   in
   Format.printf "@.%d of %d workloads at >= 2x speedup@." twofold
     (List.length rows);
-  (* machine-readable record for CI artifacts and EXPERIMENTS.md *)
-  let oc = open_out "BENCH_solver.json" in
-  let side (seconds, (g : Smt.Sat.global_stats)) =
-    Printf.sprintf
-      {|{"seconds": %.6f, "solves": %d, "conflicts": %d, "propagations": %d}|}
-      seconds g.Smt.Sat.g_solves g.Smt.Sat.g_conflicts
-      g.Smt.Sat.g_propagations
+  (* machine-readable record for CI artifacts and EXPERIMENTS.md; each
+     side embeds its registry snapshot next to the legacy headline keys *)
+  let json_of_snapshot snap =
+    Obs.Json.Obj
+      (List.filter_map
+         (fun (name, v) ->
+           match v with
+           | Obs.Metrics.Counter 0 -> None
+           | Obs.Metrics.Counter c -> Some (name, Obs.Json.Int c)
+           | Obs.Metrics.Gauge 0.0 -> None
+           | Obs.Metrics.Gauge g -> Some (name, Obs.Json.Float g)
+           | Obs.Metrics.Histogram { count = 0; _ } -> None
+           | Obs.Metrics.Histogram { count; sum; max; _ } ->
+             Some
+               ( name,
+                 Obs.Json.Obj
+                   [
+                     ("count", Obs.Json.Int count);
+                     ("sum", Obs.Json.Int sum);
+                     ("max", Obs.Json.Int max);
+                   ] ))
+         snap)
   in
-  Printf.fprintf oc "{\n  \"benchmarks\": [\n%s\n  ]\n}\n"
-    (String.concat ",\n"
-       (List.map
-          (fun (name, fresh, incr, speedup) ->
-            Printf.sprintf
-              "    {\"name\": %S, \"fresh\": %s, \"incremental\": %s, \
-               \"speedup\": %.2f}"
-              name (side fresh) (side incr) speedup)
-          rows));
+  let side (seconds, (g : Smt.Sat.global_stats), snap) =
+    Obs.Json.Obj
+      [
+        ("seconds", Obs.Json.Float seconds);
+        ("solves", Obs.Json.Int g.Smt.Sat.g_solves);
+        ("conflicts", Obs.Json.Int g.Smt.Sat.g_conflicts);
+        ("propagations", Obs.Json.Int g.Smt.Sat.g_propagations);
+        ("metrics", json_of_snapshot snap);
+      ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ( "benchmarks",
+          Obs.Json.List
+            (List.map
+               (fun (name, fresh, incr, speedup) ->
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.String name);
+                     ("fresh", side fresh);
+                     ("incremental", side incr);
+                     ("speedup", Obs.Json.Float speedup);
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_solver.json" in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
   close_out oc;
   Format.printf "wrote BENCH_solver.json@."
 

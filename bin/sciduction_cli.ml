@@ -4,12 +4,55 @@
      sciduction_cli timing --bits 6 --tau 550
      sciduction_cli transmission --dwell 5
      sciduction_cli cegar --junk 10
-     sciduction_cli table *)
+     sciduction_cli bmc --junk 10 --max-depth 12
+     sciduction_cli invgen --circuit mod5
+     sciduction_cli lstar --states 5
+     sciduction_cli table
+     sciduction_cli export-chrome trace.jsonl -o trace.json
+
+   Every application subcommand accepts --trace FILE (JSON-lines
+   telemetry), --stats (console summary on exit) and --quiet (suppress
+   diagnostics, keep the final verdict). *)
 
 open Cmdliner
 
 module Bv = Smt.Bv
 module B = Prog.Benchmarks
+
+(* ---- telemetry plumbing shared by all subcommands ---- *)
+
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a JSON-lines telemetry trace (spans, loop events, \
+                final metrics snapshot) to $(docv).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print a telemetry summary (per-loop timings, hottest spans, \
+                solver metrics) on exit.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress diagnostics; keep final verdicts.")
+  in
+  Term.(const (fun t s q -> (t, s, q)) $ trace $ stats $ quiet)
+
+let with_obs (trace, stats, quiet) f =
+  Obs.set_quiet quiet;
+  if trace <> None || stats then begin
+    Obs.enable ();
+    Option.iter (fun path -> Obs.add_sink (Obs.jsonl_sink path)) trace
+  end;
+  let code = Fun.protect ~finally:Obs.shutdown f in
+  if stats then Format.printf "%a@." Obs.pp_summary ();
+  code
 
 (* ---- deobfuscate ---- *)
 
@@ -31,13 +74,13 @@ let deobfuscate_run program width =
       Format.eprintf "unknown program %s (use p1 or p2)@." other;
       exit 2
   in
-  Format.printf "obfuscated source:@.%a@.@." Prog.Lang.pp obf;
+  Obs.info "obfuscated source:@.%a@.@." Prog.Lang.pp obf;
   match Ogis.Deobfuscate.run ~library obf with
   | Error _ ->
     Format.printf "synthesis failed@.";
     1
   | Ok r ->
-    Format.printf "re-synthesized in %.3fs (%d oracle queries):@.%a@."
+    Obs.info "re-synthesized in %.3fs (%d oracle queries):@.%a@."
       r.Ogis.Deobfuscate.seconds
       r.Ogis.Deobfuscate.stats.Ogis.Synth.oracle_queries Ogis.Straightline.pp
       r.Ogis.Deobfuscate.clean;
@@ -69,7 +112,10 @@ let deobfuscate_cmd =
   in
   Cmd.v
     (Cmd.info "deobfuscate" ~doc:"Re-synthesize an obfuscated program (Fig. 8)")
-    Term.(const deobfuscate_run $ program $ width)
+    Term.(
+      const (fun obs program width ->
+          with_obs obs (fun () -> deobfuscate_run program width))
+      $ obs_term $ program $ width)
 
 (* ---- timing ---- *)
 
@@ -85,9 +131,8 @@ let timing_run file bits tau =
     Gametime.Analysis.analyze ~bound:bits ~seed:2012 ~pin ~platform program
   in
   let w = Gametime.Analysis.wcet t ~platform in
-  Format.printf "basis paths: %d; WCET %d cycles at %s@."
-    (List.length t.Gametime.Analysis.basis)
-    w.Gametime.Analysis.measured_cycles
+  Obs.info "basis paths: %d@." (List.length t.Gametime.Analysis.basis);
+  Format.printf "WCET %d cycles at %s@." w.Gametime.Analysis.measured_cycles
     (String.concat ", "
        (List.map
           (fun (x, v) -> Printf.sprintf "%s=%d" x v)
@@ -126,7 +171,10 @@ let timing_cmd =
   in
   Cmd.v
     (Cmd.info "timing" ~doc:"GameTime analysis of a program (Sec. 3)")
-    Term.(const timing_run $ file $ bits $ tau)
+    Term.(
+      const (fun obs file bits tau ->
+          with_obs obs (fun () -> timing_run file bits tau))
+      $ obs_term $ file $ bits $ tau)
 
 (* ---- transmission ---- *)
 
@@ -140,7 +188,7 @@ let transmission_run dwell grid =
     r.Switchsynth.Fixpoint.labels_queried;
   List.iter
     (fun (label, b) ->
-      Format.printf "  %-6s %a@." label Switchsynth.Box.pp1 b)
+      Obs.info "  %-6s %a@." label Switchsynth.Box.pp1 b)
     r.Switchsynth.Fixpoint.guards;
   0
 
@@ -156,13 +204,16 @@ let transmission_cmd =
   Cmd.v
     (Cmd.info "transmission"
        ~doc:"Synthesize transmission switching guards (Sec. 5)")
-    Term.(const transmission_run $ dwell $ grid)
+    Term.(
+      const (fun obs dwell grid ->
+          with_obs obs (fun () -> transmission_run dwell grid))
+      $ obs_term $ dwell $ grid)
 
 (* ---- cegar ---- *)
 
 let cegar_run junk bits modulus bad_value =
   let t = Mc.Systems.mod_counter ~junk ~bits ~modulus ~bad_value () in
-  Format.printf "system %s: %d latches@." t.Mc.Ts.name t.Mc.Ts.num_latches;
+  Obs.info "system %s: %d latches@." t.Mc.Ts.name t.Mc.Ts.num_latches;
   match Mc.Cegar.verify t with
   | Mc.Cegar.Safe { abstract_latches; iterations; _ } ->
     Format.printf "SAFE: %d visible latches after %d iterations@."
@@ -183,7 +234,163 @@ let cegar_cmd =
   in
   Cmd.v
     (Cmd.info "cegar" ~doc:"CEGAR on a counter with irrelevant latches")
-    Term.(const cegar_run $ junk $ bits $ modulus $ bad_value)
+    Term.(
+      const (fun obs junk bits modulus bad_value ->
+          with_obs obs (fun () -> cegar_run junk bits modulus bad_value))
+      $ obs_term $ junk $ bits $ modulus $ bad_value)
+
+(* ---- bmc ---- *)
+
+let bmc_run junk bits modulus bad_value max_depth =
+  let t = Mc.Systems.mod_counter ~junk ~bits ~modulus ~bad_value () in
+  Obs.info "system %s: %d latches@." t.Mc.Ts.name t.Mc.Ts.num_latches;
+  match Mc.Bmc.sweep t ~max_depth with
+  | Some (depth, trace) ->
+    Format.printf "UNSAFE: counterexample of %d steps at depth %d@."
+      (List.length trace) depth;
+    1
+  | None ->
+    Format.printf "SAFE within depth %d@." max_depth;
+    0
+
+let bmc_cmd =
+  let junk =
+    Arg.(value & opt int 8 & info [ "junk" ] ~doc:"Irrelevant latches.")
+  in
+  let bits = Arg.(value & opt int 3 & info [ "bits" ] ~doc:"Counter width.") in
+  let modulus = Arg.(value & opt int 6 & info [ "modulus" ] ~doc:"Wrap value.") in
+  let bad_value =
+    Arg.(value & opt int 7 & info [ "bad" ] ~doc:"Bad counter value.")
+  in
+  let max_depth =
+    Arg.(
+      value & opt int 16
+      & info [ "max-depth" ] ~docv:"N" ~doc:"Largest unrolling depth to try.")
+  in
+  Cmd.v
+    (Cmd.info "bmc" ~doc:"Bounded model checking sweep over growing depths")
+    Term.(
+      const (fun obs junk bits modulus bad_value max_depth ->
+          with_obs obs (fun () -> bmc_run junk bits modulus bad_value max_depth))
+      $ obs_term $ junk $ bits $ modulus $ bad_value $ max_depth)
+
+(* ---- invgen ---- *)
+
+let invgen_run circuit n =
+  let aig, bad =
+    match circuit with
+    | "ring" -> Invgen.Engine.ring_counter ~n
+    | "mod5" -> Invgen.Engine.counter_mod5 ()
+    | "twin" -> Invgen.Engine.twin_registers ~len:n
+    | "stuck" -> Invgen.Engine.stuck_bit
+    | other ->
+      Format.eprintf "unknown circuit %s (use ring, mod5, twin or stuck)@."
+        other;
+      exit 2
+  in
+  let r = Invgen.Engine.run aig ~bad in
+  let verdict = function
+    | Invgen.Induction.Proved -> "proved"
+    | Invgen.Induction.Cex_in_base -> "cex-in-base"
+    | Invgen.Induction.Unknown -> "unknown"
+  in
+  Obs.info "%d candidates from simulation, %d proven inductive@."
+    r.Invgen.Engine.candidates
+    (List.length r.Invgen.Engine.proven);
+  Format.printf "with invariants: %s; unaided: %s@."
+    (verdict r.Invgen.Engine.verdict)
+    (verdict r.Invgen.Engine.verdict_unaided);
+  match r.Invgen.Engine.verdict with
+  | Invgen.Induction.Proved -> 0
+  | _ -> 1
+
+let invgen_cmd =
+  let circuit =
+    Arg.(
+      value & opt string "mod5"
+      & info [ "circuit" ] ~docv:"NAME"
+          ~doc:"Example circuit: ring, mod5, twin or stuck.")
+  in
+  let n =
+    Arg.(
+      value & opt int 4
+      & info [ "n" ] ~docv:"N" ~doc:"Size parameter for ring/twin.")
+  in
+  Cmd.v
+    (Cmd.info "invgen"
+       ~doc:"Invariant generation by simulation + mutual induction (Sec. 2.4)")
+    Term.(
+      const (fun obs circuit n -> with_obs obs (fun () -> invgen_run circuit n))
+      $ obs_term $ circuit $ n)
+
+(* ---- lstar ---- *)
+
+let lstar_run states =
+  if states < 1 then begin
+    Format.eprintf "--states must be positive@.";
+    exit 2
+  end;
+  (* target: words over {0,1} whose number of 1s is divisible by [states] *)
+  let target =
+    Lstar.Dfa.make ~alphabet:2 ~start:0
+      ~accept:(Array.init states (fun s -> s = 0))
+      ~delta:
+        (Array.init states (fun s -> [| s; (s + 1) mod states |]))
+  in
+  let h, st = Lstar.Learner.learn_exact ~target in
+  Obs.info "%d membership queries, %d equivalence queries@."
+    st.Lstar.Learner.membership_queries st.Lstar.Learner.equivalence_queries;
+  Format.printf "learned %d-state DFA in %d rounds@." h.Lstar.Dfa.num_states
+    st.Lstar.Learner.rounds;
+  match Lstar.Dfa.equal h target with Ok () -> 0 | Error _ -> 1
+
+let lstar_cmd =
+  let states =
+    Arg.(
+      value & opt int 5
+      & info [ "states" ] ~docv:"N"
+          ~doc:"States of the target DFA (1s-count mod $(docv)).")
+  in
+  Cmd.v
+    (Cmd.info "lstar" ~doc:"Learn a DFA with Angluin's L* algorithm")
+    Term.(
+      const (fun obs states -> with_obs obs (fun () -> lstar_run states))
+      $ obs_term $ states)
+
+(* ---- export-chrome ---- *)
+
+let export_chrome_run input output =
+  let output =
+    match output with
+    | Some o -> o
+    | None -> Filename.remove_extension input ^ ".chrome.json"
+  in
+  match Obs.export_chrome ~input ~output with
+  | Ok () ->
+    Format.printf "wrote %s@." output;
+    0
+  | Error msg ->
+    Format.eprintf "export failed: %s@." msg;
+    1
+
+let export_chrome_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"JSON-lines trace produced by --trace.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output path (default: TRACE with a .chrome.json extension).")
+  in
+  Cmd.v
+    (Cmd.info "export-chrome"
+       ~doc:"Convert a JSONL trace to Chrome trace_event format")
+    Term.(const export_chrome_run $ input $ output)
 
 (* ---- run ---- *)
 
@@ -206,7 +413,7 @@ let run_run file bindings machine =
     Format.eprintf "%s:%d: %s@." file line message;
     2
   | p ->
-    Format.printf "%a@.@." Prog.Syntax.print p;
+    Obs.info "%a@.@." Prog.Syntax.print p;
     let outputs = Prog.Interp.run p bindings in
     List.iter (fun (x, v) -> Format.printf "%s = %d@." x v) outputs;
     if machine then begin
@@ -247,7 +454,10 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Parse and execute a program file")
-    Term.(const run_run $ file $ bindings $ machine)
+    Term.(
+      const (fun obs file bindings machine ->
+          with_obs obs (fun () -> run_run file bindings machine))
+      $ obs_term $ file $ bindings $ machine)
 
 (* ---- table ---- *)
 
@@ -270,5 +480,6 @@ let () =
           (Cmd.info "sciduction_cli" ~doc)
           [
             deobfuscate_cmd; timing_cmd; transmission_cmd; cegar_cmd;
-            table_cmd; run_cmd;
+            bmc_cmd; invgen_cmd; lstar_cmd; table_cmd; run_cmd;
+            export_chrome_cmd;
           ]))

@@ -1,0 +1,176 @@
+(* Validator for JSON-lines telemetry traces, used by CI's perf-smoke
+   job and the test suite:
+
+     trace_check out.jsonl --require-loop ogis
+
+   Checks that every line parses as a JSON object of a known record
+   kind, that timestamps and durations are sane, that each loop's
+   event stream is well-formed (loop_started first, iterations before
+   loop_finished, nothing after loop_finished), and that the trace ends
+   with a metrics snapshot. *)
+
+module Json = Obs.Json
+
+let fail = ref false
+
+let error fmt =
+  fail := true;
+  Printf.eprintf "trace_check: ";
+  Printf.kfprintf (fun oc -> output_char oc '\n') stderr fmt
+
+type loop_state = {
+  mutable started : int;
+  mutable finished : int;
+  mutable iterations : int;
+  mutable counterexamples : int;
+}
+
+let loops : (string, loop_state) Hashtbl.t = Hashtbl.create 8
+
+let loop_state name =
+  match Hashtbl.find_opt loops name with
+  | Some st -> st
+  | None ->
+    let st =
+      { started = 0; finished = 0; iterations = 0; counterexamples = 0 }
+    in
+    Hashtbl.add loops name st;
+    st
+
+let known_events =
+  [
+    "loop_started"; "iteration"; "candidate"; "oracle_verdict";
+    "counterexample"; "solver_call"; "loop_finished";
+  ]
+
+let str k r = Option.bind (Json.member k r) Json.to_str
+let num k r = Option.bind (Json.member k r) Json.to_float
+
+let check_event lineno r =
+  match (str "name" r, str "loop" r) with
+  | None, _ -> error "line %d: event without a name" lineno
+  | Some name, _ when not (List.mem name known_events) ->
+    error "line %d: unknown event %S" lineno name
+  | _, None -> error "line %d: event without a loop field" lineno
+  | Some name, Some loop ->
+    if loop = "" && name <> "solver_call" then
+      error "line %d: %s event with an empty loop name" lineno name;
+    if loop <> "" then begin
+      let st = loop_state loop in
+      (match name with
+      | "loop_started" -> st.started <- st.started + 1
+      | _ when st.started = 0 ->
+        error "line %d: %s for loop %S before loop_started" lineno name loop
+      | _ -> ());
+      (match name with
+      | "loop_finished" -> st.finished <- st.finished + 1
+      | _ when st.finished >= st.started ->
+        error "line %d: %s for loop %S after loop_finished" lineno name loop
+      | _ -> ());
+      match name with
+      | "iteration" -> st.iterations <- st.iterations + 1
+      | "counterexample" -> st.counterexamples <- st.counterexamples + 1
+      | _ -> ()
+    end
+
+(* validates one record and returns its kind *)
+let check_record lineno r =
+  (match num "t" r with
+  | None -> error "line %d: record without a timestamp" lineno
+  | Some t -> if t < 0.0 then error "line %d: negative timestamp" lineno);
+  match str "kind" r with
+  | Some "span" ->
+    if str "name" r = None then error "line %d: span without a name" lineno;
+    (match num "dur" r with
+    | None -> error "line %d: span without a duration" lineno
+    | Some d -> if d < 0.0 then error "line %d: negative duration" lineno);
+    "span"
+  | Some "event" ->
+    check_event lineno r;
+    "event"
+  | Some "metrics" ->
+    if Json.member "metrics" r = None then
+      error "line %d: metrics record without a snapshot" lineno;
+    "metrics"
+  | _ ->
+    error "line %d: unknown record kind" lineno;
+    ""
+
+let () =
+  let path = ref None in
+  let required = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--require-loop" :: name :: rest ->
+      required := name :: !required;
+      parse rest
+    | "--require-loop" :: [] ->
+      prerr_endline "trace_check: --require-loop needs an argument";
+      exit 2
+    | arg :: rest ->
+      (match !path with
+      | None -> path := Some arg
+      | Some _ ->
+        prerr_endline "trace_check: exactly one trace file expected";
+        exit 2);
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let path =
+    match !path with
+    | Some p -> p
+    | None ->
+      prerr_endline "usage: trace_check TRACE.jsonl [--require-loop NAME]...";
+      exit 2
+  in
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      prerr_endline ("trace_check: " ^ msg);
+      exit 2
+  in
+  let lineno = ref 0 in
+  let records = ref 0 in
+  let last_kind = ref "" in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         match Json.parse line with
+         | Error msg -> error "line %d: %s" !lineno msg
+         | Ok r ->
+           incr records;
+           last_kind := check_record !lineno r
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !records = 0 then error "empty trace";
+  if !last_kind <> "metrics" then
+    error "trace does not end with a metrics snapshot (got %S)" !last_kind;
+  Hashtbl.iter
+    (fun name st ->
+      if st.finished > st.started then
+        error "loop %S: %d loop_finished but only %d loop_started" name
+          st.finished st.started)
+    loops;
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt loops name with
+      | None -> error "required loop %S absent from the trace" name
+      | Some st ->
+        if st.finished = 0 then error "required loop %S never finished" name;
+        if st.iterations = 0 then
+          error "required loop %S has no iterations" name)
+    !required;
+  if !fail then exit 1
+  else begin
+    Printf.printf "trace_check: %s ok (%d records" path !records;
+    Hashtbl.iter
+      (fun name st ->
+        Printf.printf "; %s: %d iterations, %d cexes" name st.iterations
+          st.counterexamples)
+      loops;
+    print_endline ")"
+  end

@@ -21,15 +21,24 @@ let pin_formula (program : Lang.t) pin =
        pin)
 
 let analyze ?(bound = 8) ?trials ?seed ?(pin = []) ~platform program =
+  Obs.with_span "gametime.analyze" ~attrs:[ ("bound", Obs.Int bound) ]
+  @@ fun () ->
   let unrolled = Unroll.unroll ~bound program in
   let cfg = Cfg.of_program unrolled in
-  let basis = Basis.extract ~assuming:(pin_formula program pin) unrolled cfg in
-  let model = Learner.learn ?trials ?seed ~platform basis in
+  let basis =
+    Obs.with_span "gametime.basis" (fun () ->
+        Basis.extract ~assuming:(pin_formula program pin) unrolled cfg)
+  in
+  let model =
+    Obs.with_span "gametime.learn" (fun () ->
+        Learner.learn ?trials ?seed ~platform basis)
+  in
   { program; unrolled; cfg; basis; model; pin }
 
 let predict_path t path = Learner.predict t.model (Paths.vector t.cfg path)
 
 let feasible_paths t =
+  Obs.with_span "gametime.feasible_paths" @@ fun () ->
   let assuming = pin_formula t.program t.pin in
   let sess = Testgen.new_session ~assuming t.unrolled t.cfg in
   Paths.enumerate t.cfg

@@ -14,15 +14,25 @@ let extract ?(max_paths = 100_000) ?assuming p (g : Cfg.t) =
   let dim = Cfg.num_edges g in
   let span = Linalg.empty_span ~dim in
   let bound = rank_bound g in
+  let lp =
+    Obs.Loop.start "gametime"
+      ~attrs:[ ("edges", Obs.Int dim); ("rank_bound", Obs.Int bound) ]
+  in
   let sess = Testgen.new_session ?assuming p g in
   let acc = ref [] in
   let examined = ref 0 in
   let take path =
     let vector = Paths.vector g path in
     if not (Linalg.in_span span vector) then begin
+      (* independent direction: a candidate basis path, pending the
+         feasibility oracle's verdict *)
+      Obs.Loop.candidate lp ~attrs:[ ("rank", Obs.Int (Linalg.rank span)) ];
       match Testgen.feasible_in sess path with
-      | None -> ()
+      | None ->
+        Obs.Loop.verdict lp "infeasible";
+        Obs.Loop.counterexample lp
       | Some test ->
+        Obs.Loop.verdict lp "feasible";
         ignore (Linalg.add_if_independent span vector);
         acc := { path; vector; test } :: !acc
     end
@@ -32,10 +42,18 @@ let extract ?(max_paths = 100_000) ?assuming p (g : Cfg.t) =
       match seq () with
       | Seq.Nil -> ()
       | Seq.Cons (path, rest) ->
+        Obs.Loop.iteration lp !examined;
         incr examined;
         take path;
         consume rest
     end
   in
   consume (Paths.enumerate g);
+  Obs.Loop.finish lp
+    ~attrs:
+      [
+        ("examined", Obs.Int !examined);
+        ("basis", Obs.Int (List.length !acc));
+        ("rank", Obs.Int (Linalg.rank span));
+      ];
   List.rev !acc

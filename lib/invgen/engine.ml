@@ -5,15 +5,34 @@ type report = {
   verdict_unaided : Induction.verdict;
 }
 
+let string_of_verdict = function
+  | Induction.Proved -> "proved"
+  | Induction.Cex_in_base -> "cex_in_base"
+  | Induction.Unknown -> "unknown"
+
 let run ?frames ?seed aig ~bad =
-  let cands = Candidates.from_simulation ?frames ?seed aig in
-  let proven = Induction.filter_inductive aig cands in
-  {
-    candidates = List.length cands;
-    proven;
-    verdict = Induction.prove_property aig ~bad ~invariants:proven;
-    verdict_unaided = Induction.prove_property aig ~bad ~invariants:[];
-  }
+  let lp =
+    Obs.Loop.start "invgen"
+      ~attrs:[ ("latches", Obs.Int (Aig.num_latches aig)) ]
+  in
+  let cands =
+    Obs.with_span "invgen.simulate" (fun () ->
+        Candidates.from_simulation ?frames ?seed aig)
+  in
+  (* the simulation-pruned candidate set is this loop's hypothesis *)
+  Obs.Loop.candidate lp ~attrs:[ ("count", Obs.Int (List.length cands)) ];
+  let proven = Induction.filter_inductive ~loop:lp aig cands in
+  let verdict = Induction.prove_property aig ~bad ~invariants:proven in
+  Obs.Loop.verdict lp (string_of_verdict verdict)
+    ~attrs:[ ("proven", Obs.Int (List.length proven)) ];
+  let verdict_unaided = Induction.prove_property aig ~bad ~invariants:[] in
+  Obs.Loop.finish lp
+    ~attrs:
+      [
+        ("outcome", Obs.String (string_of_verdict verdict));
+        ("unaided", Obs.String (string_of_verdict verdict_unaided));
+      ];
+  { candidates = List.length cands; proven; verdict; verdict_unaided }
 
 let ring_counter ~n =
   let aig = Aig.create () in

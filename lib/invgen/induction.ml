@@ -82,13 +82,40 @@ let filter_pass aig cands ~base =
          (fun (c, l) -> if Tseitin.lit_of_model ctx l then Some c else None)
          cand_lits)
 
-let rec fixpoint_fresh aig cands ~base =
-  match cands with
-  | [] -> []
-  | _ -> (
-    match filter_pass aig cands ~base with
-    | None -> cands
-    | Some survivors -> fixpoint_fresh aig survivors ~base)
+(* telemetry: one fixpoint pass = one loop iteration; candidates dropped
+   by a pass are the counterexample that shrinks the survivor set *)
+let pass_started loop ~base ~index ~survivors =
+  Option.iter
+    (fun lp ->
+      Obs.Loop.iteration lp index
+        ~attrs:
+          [
+            ("phase", Obs.String (if base then "base" else "step"));
+            ("survivors", Obs.Int survivors);
+          ])
+    loop
+
+let pass_dropped loop ~before ~after =
+  Option.iter
+    (fun lp ->
+      Obs.Loop.counterexample lp
+        ~attrs:[ ("dropped", Obs.Int (before - after)) ])
+    loop
+
+let fixpoint_fresh ?loop aig cands ~base =
+  let rec go index cands =
+    match cands with
+    | [] -> []
+    | _ -> (
+      pass_started loop ~base ~index ~survivors:(List.length cands);
+      match filter_pass aig cands ~base with
+      | None -> cands
+      | Some survivors ->
+        pass_dropped loop ~before:(List.length cands)
+          ~after:(List.length survivors);
+        go (index + 1) survivors)
+  in
+  go 0 cands
 
 (* Incremental fixpoint: one solver for all passes of one phase. The
    frames are encoded once. In the step phase each candidate gets a
@@ -97,7 +124,7 @@ let rec fixpoint_fresh aig cands ~base =
    the per-pass "some survivor fails in the check frame" clause lives in
    a push/pop scope. Conflict clauses learned while refuting one pass
    carry over to the next. *)
-let fixpoint aig cands ~base =
+let fixpoint ?loop aig cands ~base =
   match cands with
   | [] -> []
   | _ ->
@@ -131,10 +158,11 @@ let fixpoint aig cands ~base =
         cands
     in
     let sat = Tseitin.solver ctx in
-    let rec go survivors =
+    let rec go index survivors =
       match survivors with
       | [] -> []
       | _ -> (
+        pass_started loop ~base ~index ~survivors:(List.length survivors);
         let assumptions = List.filter_map (fun (_, _, s) -> s) survivors in
         Tseitin.push ctx;
         Tseitin.assert_clause ctx
@@ -151,21 +179,25 @@ let fixpoint aig cands ~base =
         Tseitin.pop ctx;
         match next with
         | None -> List.map (fun (c, _, _) -> c) survivors
-        | Some remaining -> go remaining)
+        | Some remaining ->
+          pass_dropped loop ~before:(List.length survivors)
+            ~after:(List.length remaining);
+          go (index + 1) remaining)
     in
-    go items
+    go 0 items
 
-let filter_inductive ?(reuse = true) aig cands =
+let filter_inductive ?(reuse = true) ?loop aig cands =
   Aig.validate aig;
   let fixpoint = if reuse then fixpoint else fixpoint_fresh in
-  let after_base = fixpoint aig cands ~base:true in
-  fixpoint aig after_base ~base:false
+  let after_base = fixpoint ?loop aig cands ~base:true in
+  fixpoint ?loop aig after_base ~base:false
 
 let prove_property ?(k = 1) aig ~bad ~invariants =
   Aig.validate aig;
   if k < 1 then invalid_arg "Induction.prove_property: k must be positive";
   (* base: no bad state within the first k steps from the initial state *)
   let base_fails =
+    Obs.with_span "induction.base" ~attrs:[ ("k", Obs.Int k) ] @@ fun () ->
     let ctx = Tseitin.create () in
     let latch =
       ref (Array.map (fun b -> Tseitin.of_bool ctx b) (Aig.initial_state aig))
@@ -183,6 +215,10 @@ let prove_property ?(k = 1) aig ~bad ~invariants =
   else begin
     (* step: k consecutive frames satisfying the invariants and ~bad,
        followed by a bad frame, must be unsatisfiable *)
+    Obs.with_span "induction.step"
+      ~attrs:
+        [ ("k", Obs.Int k); ("invariants", Obs.Int (List.length invariants)) ]
+    @@ fun () ->
     let ctx = Tseitin.create () in
     let latch =
       ref (Array.init (Aig.num_latches aig) (fun _ -> Tseitin.fresh ctx))

@@ -20,12 +20,15 @@ type verdict =
   | Unknown  (** the induction step failed; no conclusion *)
 
 val filter_inductive :
-  ?reuse:bool -> Aig.t -> Candidates.t list -> Candidates.t list
+  ?reuse:bool -> ?loop:Obs.Loop.t -> Aig.t -> Candidates.t list ->
+  Candidates.t list
 (** With [reuse] (the default) each phase of the fixpoint keeps one
     incremental solver across all filtering passes — selector literals
     turn the shrinking survivor set into solver assumptions;
     [~reuse:false] re-encodes both frames every pass (benchmark
-    baseline). *)
+    baseline). When [loop] is given, each filtering pass is reported as
+    one telemetry iteration of that loop, and dropped candidates as its
+    counterexamples. *)
 
 val prove_property :
   ?k:int -> Aig.t -> bad:Aig.lit -> invariants:Candidates.t list -> verdict

@@ -19,11 +19,17 @@ type table = {
   mutable queries : int;
 }
 
+let m_membership = Obs.Metrics.counter "lstar.membership_queries"
+let m_membership_cached = Obs.Metrics.counter "lstar.membership_cached"
+
 let ask t w =
   match Hashtbl.find_opt t.answers w with
-  | Some b -> b
+  | Some b ->
+    Obs.Metrics.incr m_membership_cached;
+    b
   | None ->
     t.queries <- t.queries + 1;
+    Obs.Metrics.incr m_membership;
     let b = t.membership w in
     Hashtbl.add t.answers w b;
     b
@@ -111,14 +117,29 @@ let learn ~alphabet ~membership ~equivalence ?(max_rounds = 200) () =
       queries = 0;
     }
   in
+  let lp = Obs.Loop.start "lstar" ~attrs:[ ("alphabet", Obs.Int alphabet) ] in
   let eq_queries = ref 0 in
   let rec go round =
-    if round > max_rounds then failwith "Lstar.learn: round budget exceeded";
-    fix t;
-    let h = hypothesis t in
+    if round > max_rounds then begin
+      Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "budget_exceeded") ];
+      failwith "Lstar.learn: round budget exceeded"
+    end;
+    Obs.Loop.iteration lp round
+      ~attrs:[ ("rows", Obs.Int (Wset.cardinal t.s)) ];
+    Obs.with_span "lstar.fix" (fun () -> fix t);
+    let h = Obs.with_span "lstar.hypothesis" (fun () -> hypothesis t) in
+    Obs.Loop.candidate lp ~attrs:[ ("states", Obs.Int h.Dfa.num_states) ];
     incr eq_queries;
     match equivalence h with
     | None ->
+      Obs.Loop.verdict lp "equivalent";
+      Obs.Loop.finish lp
+        ~attrs:
+          [
+            ("outcome", Obs.String "learned");
+            ("membership_queries", Obs.Int t.queries);
+            ("rounds", Obs.Int round);
+          ];
       ( h,
         {
           membership_queries = t.queries;
@@ -126,6 +147,8 @@ let learn ~alphabet ~membership ~equivalence ?(max_rounds = 200) () =
           rounds = round;
         } )
     | Some cex ->
+      Obs.Loop.verdict lp "counterexample";
+      Obs.Loop.counterexample lp ~attrs:[ ("length", Obs.Int (List.length cex)) ];
       (* add all prefixes of the counterexample to S *)
       let rec prefixes acc = function
         | [] -> acc

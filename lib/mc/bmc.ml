@@ -29,6 +29,7 @@ let trace_of_inputs (ts : Ts.t) all_inputs =
   truncate ts.Ts.init [] all_inputs
 
 let check (ts : Ts.t) ~depth =
+  Obs.with_span "bmc.check" ~attrs:[ ("depth", Obs.Int depth) ] @@ fun () ->
   let ctx = Tseitin.create () in
   let state0 =
     Array.map (fun b -> Tseitin.of_bool ctx b) ts.Ts.init
@@ -111,6 +112,8 @@ let rec take n l =
   else match l with [] -> [] | x :: rest -> x :: take (n - 1) rest
 
 let check_depth sess ~depth =
+  Obs.with_span "bmc.check_depth" ~attrs:[ ("depth", Obs.Int depth) ]
+  @@ fun () ->
   extend sess depth;
   let ctx = sess.ctx in
   let bads = List.rev (drop (sess.frames - depth) sess.bads_rev) in
@@ -130,3 +133,39 @@ let check_depth sess ~depth =
   in
   Tseitin.pop ctx;
   result
+
+(* The classic BMC loop: one persistent session, depths 0..max_depth in
+   turn. Each depth is one loop iteration, so a trace of a sweep shows
+   where the solving time concentrates as the unrolling grows. *)
+let sweep ?(start = 0) (ts : Ts.t) ~max_depth =
+  let lp =
+    Obs.Loop.start "bmc"
+      ~attrs:
+        [
+          ("start", Obs.Int start);
+          ("max_depth", Obs.Int max_depth);
+          ("latches", Obs.Int ts.Ts.num_latches);
+          ("inputs", Obs.Int ts.Ts.num_inputs);
+        ]
+  in
+  let sess = new_session ts in
+  let rec go depth i =
+    if depth > max_depth then begin
+      Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "safe_within_bound") ];
+      None
+    end
+    else begin
+      Obs.Loop.iteration lp i ~attrs:[ ("depth", Obs.Int depth) ];
+      match check_depth sess ~depth with
+      | Some trace ->
+        Obs.Loop.counterexample lp
+          ~attrs:[ ("length", Obs.Int (List.length trace)) ];
+        Obs.Loop.verdict lp "unsafe" ~attrs:[ ("depth", Obs.Int depth) ];
+        Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "unsafe") ];
+        Some (depth, trace)
+      | None ->
+        Obs.Loop.verdict lp "no_cex" ~attrs:[ ("depth", Obs.Int depth) ];
+        go (depth + 1) (i + 1)
+    end
+  in
+  go start 0

@@ -35,3 +35,10 @@ val new_session : Ts.t -> session
 
 val check_depth : session -> depth:int -> bool array list option
 (** Same contract as {!check}. Depths may be queried in any order. *)
+
+val sweep :
+  ?start:int -> Ts.t -> max_depth:int -> (int * bool array list) option
+(** The standard BMC loop over one persistent session: query depths
+    [start..max_depth] in turn, returning [(depth, trace)] for the first
+    reachable bad state, or [None] when the whole range is clean. Emits
+    one telemetry loop iteration per depth. *)

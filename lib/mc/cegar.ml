@@ -86,6 +86,15 @@ let bad_support (ts : Ts.t) =
 let verify ?initial_visible ?(max_iterations = 64)
     ?(refinement = Most_referenced) ?(reuse = true) (ts : Ts.t) =
   let initial = Option.value initial_visible ~default:(bad_support ts) in
+  let lp =
+    Obs.Loop.start "cegar"
+      ~attrs:
+        [
+          ("latches", Obs.Int ts.Ts.num_latches);
+          ("inputs", Obs.Int ts.Ts.num_inputs);
+          ("reuse", Obs.Bool reuse);
+        ]
+  in
   (* one BMC session answers every spuriousness check of the loop; with
      [~reuse:false] each check rebuilds its solver (benchmark baseline) *)
   let bmc = if reuse then Some (Bmc.new_session ts) else None in
@@ -95,11 +104,21 @@ let verify ?initial_visible ?(max_iterations = 64)
     | None -> Bmc.check ts ~depth
   in
   let rec loop visible iterations =
-    if iterations >= max_iterations then
-      failwith "Cegar.verify: iteration budget exceeded";
+    if iterations >= max_iterations then begin
+      Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "budget_exceeded") ];
+      failwith "Cegar.verify: iteration budget exceeded"
+    end;
+    Obs.Loop.iteration lp iterations
+      ~attrs:[ ("visible", Obs.Int (List.length visible)) ];
     let a = Abstraction.localize ts ~visible in
+    (* the abstraction is this loop's candidate: a localization that may
+       or may not prove the property *)
+    Obs.Loop.candidate lp
+      ~attrs:[ ("visible", Obs.Int (List.length visible)) ];
     match Reach.check a.Abstraction.abstract with
     | Reach.Safe _ ->
+      Obs.Loop.verdict lp "abstract_safe";
+      Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "safe") ];
       Safe
         {
           visible;
@@ -108,12 +127,18 @@ let verify ?initial_visible ?(max_iterations = 64)
         }
     | Reach.Cex abstract_trace -> (
       let depth = List.length abstract_trace in
+      Obs.Loop.verdict lp "abstract_cex" ~attrs:[ ("depth", Obs.Int depth) ];
       match concretize ~depth with
       | Some trace ->
         assert (Reach.replay ts trace);
+        Obs.Loop.verdict lp "concrete";
+        Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "unsafe") ];
         Unsafe { trace; iterations = iterations + 1 }
       | None -> (
-        (* spurious: pick a hidden latch to reveal *)
+        (* abstract counterexample refuted by BMC: a spurious cex is the
+           counterexample that drives refinement *)
+        Obs.Loop.counterexample lp ~attrs:[ ("depth", Obs.Int depth) ];
+        (* pick a hidden latch to reveal *)
         let hidden_all =
           List.filter
             (fun i -> not (List.mem i visible))
@@ -130,7 +155,10 @@ let verify ?initial_visible ?(max_iterations = 64)
           match strategy_candidates with [] -> hidden_all | cs -> cs
         in
         match candidates with
-        | [] -> failwith "Cegar.verify: spurious counterexample but nothing to refine"
+        | [] ->
+          Obs.Loop.finish lp
+            ~attrs:[ ("outcome", Obs.String "refinement_stuck") ];
+          failwith "Cegar.verify: spurious counterexample but nothing to refine"
         | pick :: _ -> loop (List.sort compare (pick :: visible)) (iterations + 1)))
   in
   loop initial 0

@@ -1,0 +1,35 @@
+(** A minimal JSON value type with a printer and parser.
+
+    The telemetry sinks emit JSON-lines traces and the Chrome
+    [trace_event] export through this module, and the trace checker and
+    tests parse them back, so printer and parser are kept mutually
+    inverse on everything the sinks produce. No external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. Non-finite floats print as [null]
+    (JSON has no NaN/infinity). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing garbage (other than whitespace) is an
+    error. Numbers without [.]/[e] parse as [Int], the rest as
+    [Float]. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+(** [Int] directly, or a [Float] with integral value. *)
+
+val to_float : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,138 @@
+type counter = int ref
+type gauge = float ref
+
+(* 1 + bits(v) buckets: observation v lands in bucket [bits v], whose
+   inclusive upper bound is 2^bits - 1; bucket 0 holds v <= 0 *)
+let nbuckets = 63
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int; (* max_int when empty *)
+  mutable h_max : int;
+  h_buckets : int array;
+}
+
+type entry =
+  | C of counter
+  | G of gauge
+  | H of histogram
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+let register name make describe =
+  match Hashtbl.find_opt registry name with
+  | Some e -> describe e
+  | None ->
+    let e = make () in
+    Hashtbl.add registry name e;
+    describe e
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Obs.Metrics: %s already registered as another kind" name)
+
+let counter name =
+  register name
+    (fun () -> C (ref 0))
+    (function C c -> c | _ -> kind_error name)
+
+let incr (c : counter) = Stdlib.incr c
+let add (c : counter) n = c := !c + n
+let counter_value (c : counter) = !c
+let set_counter (c : counter) n = c := n
+
+let gauge name =
+  register name
+    (fun () -> G (ref 0.0))
+    (function G g -> g | _ -> kind_error name)
+
+let set_gauge (g : gauge) v = g := v
+let gauge_value (g : gauge) = !g
+
+let histogram name =
+  register name
+    (fun () ->
+      H
+        {
+          h_count = 0;
+          h_sum = 0;
+          h_min = max_int;
+          h_max = 0;
+          h_buckets = Array.make nbuckets 0;
+        })
+    (function H h -> h | _ -> kind_error name)
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while !v > 0 do
+      Stdlib.incr b;
+      v := !v lsr 1
+    done;
+    min !b (nbuckets - 1)
+  end
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+let hist_max h = h.h_max
+
+type snapshot_value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      count : int;
+      sum : int;
+      min : int;
+      max : int;
+      buckets : (int * int) list;
+    }
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name entry acc ->
+      let v =
+        match entry with
+        | C c -> Counter !c
+        | G g -> Gauge !g
+        | H h ->
+          let buckets = ref [] in
+          for b = nbuckets - 1 downto 0 do
+            if h.h_buckets.(b) > 0 then
+              buckets := ((1 lsl b) - 1, h.h_buckets.(b)) :: !buckets
+          done;
+          Histogram
+            {
+              count = h.h_count;
+              sum = h.h_sum;
+              min = (if h.h_count = 0 then 0 else h.h_min);
+              max = h.h_max;
+              buckets = !buckets;
+            }
+      in
+      (name, v) :: acc)
+    registry []
+  |> List.sort compare
+
+let reset () =
+  Hashtbl.iter
+    (fun _ entry ->
+      match entry with
+      | C c -> c := 0
+      | G g -> g := 0.0
+      | H h ->
+        h.h_count <- 0;
+        h.h_sum <- 0;
+        h.h_min <- max_int;
+        h.h_max <- 0;
+        Array.fill h.h_buckets 0 nbuckets 0)
+    registry

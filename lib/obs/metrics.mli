@@ -1,0 +1,58 @@
+(** A process-wide registry of named counters, gauges and histograms.
+
+    Instrumented code obtains its instrument once (typically at module
+    initialization) and then updates it with a single unguarded memory
+    write, so the always-on cost is one increment — no hashing, no
+    branching on an enable flag. The registry owns the names: asking for
+    the same name twice returns the same instrument, and a [reset]
+    zeroes values while keeping every registration alive.
+
+    Counters are monotone event counts (solver conflicts, cache hits).
+    Gauges are last-write-wins levels (learnt-DB size). Histograms
+    record integer observations into power-of-two buckets and keep
+    count/sum/min/max exactly (LBD distribution, assumption depth). *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Find or register. Raises [Invalid_argument] if the name is already
+    registered as a different instrument kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set_counter : counter -> int -> unit
+(** Used by the legacy [Sat.reset_global_stats] shim; new code should
+    reset through {!reset}. *)
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+val histogram : string -> histogram
+val observe : histogram -> int -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+val hist_max : histogram -> int
+
+type snapshot_value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      count : int;
+      sum : int;
+      min : int;  (** 0 when empty *)
+      max : int;
+      buckets : (int * int) list;
+          (** (inclusive upper bound, observations) for non-empty
+              power-of-two buckets: 0, 1, 3, 7, 15, ... *)
+    }
+
+val snapshot : unit -> (string * snapshot_value) list
+(** Every registered instrument, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero all values; registrations (and the refs instrumented code
+    holds) stay valid. *)

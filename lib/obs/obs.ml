@@ -1,0 +1,486 @@
+module Json = Json
+module Metrics = Metrics
+
+type value =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | String of string
+
+type attrs = (string * value) list
+
+(* ----- global state (single-threaded, like the rest of the repo) ----- *)
+
+let enabled_flag = ref false
+let quiet_flag = ref false
+let t0 = ref 0.0
+let depth = ref 0
+let loop_stack : string list ref = ref []
+
+type sink = {
+  sink_name : string;
+  emit : Json.t -> unit;
+  close : unit -> unit;
+}
+
+let sinks : sink list ref = ref []
+
+type span_agg = {
+  mutable s_count : int;
+  mutable s_total : float;
+  mutable s_max : float;
+}
+
+let span_aggs : (string, span_agg) Hashtbl.t = Hashtbl.create 32
+
+type loop_agg = {
+  mutable l_runs : int;
+  mutable l_iterations : int;
+  mutable l_candidates : int;
+  mutable l_cexes : int;
+  mutable l_solver_calls : int;
+  mutable l_elapsed : float;
+}
+
+let loop_aggs : (string, loop_agg) Hashtbl.t = Hashtbl.create 8
+let now () = Unix.gettimeofday ()
+let enabled () = !enabled_flag
+
+let enable () =
+  if not !enabled_flag then begin
+    enabled_flag := true;
+    t0 := now ()
+  end
+
+(* ----- record plumbing ----- *)
+
+let json_of_value = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Bool b -> Json.Bool b
+  | String s -> Json.String s
+
+let json_of_attrs attrs =
+  Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) attrs)
+
+let emit_record r = List.iter (fun s -> s.emit r) !sinks
+
+let span_record ~t ~name ~dur ~depth ~attrs =
+  Json.Obj
+    [
+      ("t", Json.Float t);
+      ("kind", Json.String "span");
+      ("name", Json.String name);
+      ("dur", Json.Float dur);
+      ("depth", Json.Int depth);
+      ("attrs", json_of_attrs attrs);
+    ]
+
+let event_record ~t ~name ~loop ~attrs =
+  Json.Obj
+    [
+      ("t", Json.Float t);
+      ("kind", Json.String "event");
+      ("name", Json.String name);
+      ("loop", Json.String loop);
+      ("attrs", json_of_attrs attrs);
+    ]
+
+let json_of_snapshot_value = function
+  | Metrics.Counter c -> Json.Int c
+  | Metrics.Gauge g -> Json.Float g
+  | Metrics.Histogram { count; sum; min; max; buckets } ->
+    Json.Obj
+      [
+        ("count", Json.Int count);
+        ("sum", Json.Int sum);
+        ("min", Json.Int min);
+        ("max", Json.Int max);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (le, n) -> Json.List [ Json.Int le; Json.Int n ])
+               buckets) );
+      ]
+
+let metrics_record () =
+  Json.Obj
+    [
+      ("t", Json.Float (now () -. !t0));
+      ("kind", Json.String "metrics");
+      ( "metrics",
+        Json.Obj
+          (List.map
+             (fun (name, v) -> (name, json_of_snapshot_value v))
+             (Metrics.snapshot ())) );
+    ]
+
+let close_sinks () =
+  List.iter (fun s -> s.close ()) !sinks;
+  sinks := []
+
+let shutdown () =
+  if !enabled_flag && !sinks <> [] then emit_record (metrics_record ());
+  close_sinks ();
+  enabled_flag := false;
+  depth := 0;
+  loop_stack := []
+
+let reset () =
+  close_sinks ();
+  enabled_flag := false;
+  depth := 0;
+  loop_stack := [];
+  Hashtbl.reset span_aggs;
+  Hashtbl.reset loop_aggs;
+  Metrics.reset ()
+
+(* ----- sinks ----- *)
+
+let add_sink s = sinks := !sinks @ [ s ]
+
+let jsonl_sink path =
+  let oc = open_out path in
+  {
+    sink_name = path;
+    emit =
+      (fun r ->
+        output_string oc (Json.to_string r);
+        output_char oc '\n');
+    close = (fun () -> close_out oc);
+  }
+
+let memory_sink () =
+  let records = ref [] in
+  ( {
+      sink_name = "memory";
+      emit = (fun r -> records := r :: !records);
+      close = ignore;
+    },
+    fun () -> List.rev !records )
+
+(* ----- spans ----- *)
+
+type span = {
+  sp_name : string;
+  sp_start : float; (* seconds since t0 *)
+  sp_depth : int;
+  sp_attrs : attrs;
+  sp_live : bool;
+}
+
+let null_span =
+  { sp_name = ""; sp_start = 0.0; sp_depth = 0; sp_attrs = []; sp_live = false }
+
+let start_span ?(attrs = []) name =
+  if not !enabled_flag then null_span
+  else begin
+    let d = !depth in
+    depth := d + 1;
+    {
+      sp_name = name;
+      sp_start = now () -. !t0;
+      sp_depth = d;
+      sp_attrs = attrs;
+      sp_live = true;
+    }
+  end
+
+let span_agg_of name =
+  match Hashtbl.find_opt span_aggs name with
+  | Some a -> a
+  | None ->
+    let a = { s_count = 0; s_total = 0.0; s_max = 0.0 } in
+    Hashtbl.add span_aggs name a;
+    a
+
+let end_span ?(attrs = []) sp =
+  if sp.sp_live && !enabled_flag then begin
+    if !depth > 0 then depth := !depth - 1;
+    let dur = now () -. !t0 -. sp.sp_start in
+    let dur = if dur < 0.0 then 0.0 else dur in
+    let a = span_agg_of sp.sp_name in
+    a.s_count <- a.s_count + 1;
+    a.s_total <- a.s_total +. dur;
+    if dur > a.s_max then a.s_max <- dur;
+    emit_record
+      (span_record ~t:sp.sp_start ~name:sp.sp_name ~dur ~depth:sp.sp_depth
+         ~attrs:(sp.sp_attrs @ attrs))
+  end
+
+let with_span ?attrs name f =
+  let sp = start_span ?attrs name in
+  match f () with
+  | r ->
+    end_span sp;
+    r
+  | exception e ->
+    end_span sp ~attrs:[ ("error", Bool true) ];
+    raise e
+
+(* ----- typed loop events ----- *)
+
+type event =
+  | Loop_started of { loop : string; attrs : attrs }
+  | Iteration of { loop : string; index : int; attrs : attrs }
+  | Candidate of { loop : string; attrs : attrs }
+  | Oracle_verdict of { loop : string; verdict : string; attrs : attrs }
+  | Counterexample of { loop : string; attrs : attrs }
+  | Solver_call of { loop : string; result : string; attrs : attrs }
+  | Loop_finished of { loop : string; attrs : attrs }
+
+let loop_agg_of name =
+  match Hashtbl.find_opt loop_aggs name with
+  | Some a -> a
+  | None ->
+    let a =
+      {
+        l_runs = 0;
+        l_iterations = 0;
+        l_candidates = 0;
+        l_cexes = 0;
+        l_solver_calls = 0;
+        l_elapsed = 0.0;
+      }
+    in
+    Hashtbl.add loop_aggs name a;
+    a
+
+let emit ev =
+  if !enabled_flag then begin
+    let t = now () -. !t0 in
+    let name, loop, attrs =
+      match ev with
+      | Loop_started { loop; attrs } ->
+        (loop_agg_of loop).l_runs <- (loop_agg_of loop).l_runs + 1;
+        ("loop_started", loop, attrs)
+      | Iteration { loop; index; attrs } ->
+        (loop_agg_of loop).l_iterations <- (loop_agg_of loop).l_iterations + 1;
+        ("iteration", loop, ("index", Int index) :: attrs)
+      | Candidate { loop; attrs } ->
+        (loop_agg_of loop).l_candidates <- (loop_agg_of loop).l_candidates + 1;
+        ("candidate", loop, attrs)
+      | Oracle_verdict { loop; verdict; attrs } ->
+        ("oracle_verdict", loop, ("verdict", String verdict) :: attrs)
+      | Counterexample { loop; attrs } ->
+        (loop_agg_of loop).l_cexes <- (loop_agg_of loop).l_cexes + 1;
+        ("counterexample", loop, attrs)
+      | Solver_call { loop; result; attrs } ->
+        if loop <> "" then
+          (loop_agg_of loop).l_solver_calls
+          <- (loop_agg_of loop).l_solver_calls + 1;
+        ("solver_call", loop, ("result", String result) :: attrs)
+      | Loop_finished { loop; attrs } -> ("loop_finished", loop, attrs)
+    in
+    emit_record (event_record ~t ~name ~loop ~attrs)
+  end
+
+let current_loop () = match !loop_stack with [] -> "" | l :: _ -> l
+
+module Loop = struct
+  type t = {
+    ln : string;
+    lt0 : float;
+    mutable alive : bool;
+  }
+
+  let start ?(attrs = []) name =
+    if not !enabled_flag then { ln = name; lt0 = 0.0; alive = false }
+    else begin
+      loop_stack := name :: !loop_stack;
+      emit (Loop_started { loop = name; attrs });
+      { ln = name; lt0 = now (); alive = true }
+    end
+
+  let name l = l.ln
+
+  let iteration ?(attrs = []) l index =
+    if l.alive then emit (Iteration { loop = l.ln; index; attrs })
+
+  let candidate ?(attrs = []) l =
+    if l.alive then emit (Candidate { loop = l.ln; attrs })
+
+  let verdict ?(attrs = []) l verdict =
+    if l.alive then emit (Oracle_verdict { loop = l.ln; verdict; attrs })
+
+  let counterexample ?(attrs = []) l =
+    if l.alive then emit (Counterexample { loop = l.ln; attrs })
+
+  let finish ?(attrs = []) l =
+    if l.alive then begin
+      l.alive <- false;
+      let elapsed = now () -. l.lt0 in
+      (loop_agg_of l.ln).l_elapsed <- (loop_agg_of l.ln).l_elapsed +. elapsed;
+      (match !loop_stack with
+      | top :: rest when top = l.ln -> loop_stack := rest
+      | stack -> loop_stack := List.filter (fun n -> n <> l.ln) stack);
+      emit
+        (Loop_finished
+           { loop = l.ln; attrs = attrs @ [ ("elapsed", Float elapsed) ] })
+    end
+end
+
+let solver_call ~result attrs =
+  if !enabled_flag then
+    emit (Solver_call { loop = current_loop (); result; attrs })
+
+(* ----- console ----- *)
+
+let set_quiet q = quiet_flag := q
+let quiet () = !quiet_flag
+
+let info fmt =
+  if !quiet_flag then Format.ifprintf Format.std_formatter fmt
+  else Format.printf fmt
+
+let pp_summary ppf () =
+  let line fmt = Format.fprintf ppf fmt in
+  line "@.== telemetry summary ==@.";
+  (* per-loop timings *)
+  let loops =
+    Hashtbl.fold (fun n a acc -> (n, a) :: acc) loop_aggs []
+    |> List.sort compare
+  in
+  if loops <> [] then begin
+    line "@.loops:@.";
+    line "  %-10s %5s %6s %6s %6s %7s %9s %9s@." "loop" "runs" "iters" "cands"
+      "cexes" "solves" "seconds" "ms/iter";
+    List.iter
+      (fun (n, a) ->
+        line "  %-10s %5d %6d %6d %6d %7d %9.3f %9.2f@." n a.l_runs
+          a.l_iterations a.l_candidates a.l_cexes a.l_solver_calls a.l_elapsed
+          (if a.l_iterations = 0 then 0.0
+           else 1000.0 *. a.l_elapsed /. float_of_int a.l_iterations))
+      loops
+  end;
+  (* span table, by total time *)
+  let spans =
+    Hashtbl.fold (fun n a acc -> (n, a) :: acc) span_aggs []
+    |> List.sort (fun (_, a) (_, b) -> compare b.s_total a.s_total)
+  in
+  if spans <> [] then begin
+    line "@.spans:@.";
+    line "  %-24s %7s %9s %9s %9s@." "span" "count" "total(s)" "mean(ms)"
+      "max(ms)";
+    List.iter
+      (fun (n, a) ->
+        line "  %-24s %7d %9.3f %9.2f %9.2f@." n a.s_count a.s_total
+          (1000.0 *. a.s_total /. float_of_int (max 1 a.s_count))
+          (1000.0 *. a.s_max))
+      spans
+  end;
+  (* metrics registry *)
+  let metrics = Metrics.snapshot () in
+  if metrics <> [] then begin
+    line "@.metrics:@.";
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Metrics.Counter c -> line "  %-28s %d@." name c
+        | Metrics.Gauge g -> line "  %-28s %g@." name g
+        | Metrics.Histogram { count; sum; min; max; buckets } ->
+          line "  %-28s count=%d sum=%d min=%d max=%d@." name count sum min max;
+          if buckets <> [] then begin
+            line "  %-28s " "";
+            List.iter (fun (le, n) -> line "<=%d:%d " le n) buckets;
+            line "@."
+          end)
+      metrics;
+    (* derived: bit-blast cache hit rate *)
+    let cval name =
+      match List.assoc_opt name metrics with
+      | Some (Metrics.Counter c) -> c
+      | _ -> 0
+    in
+    let hits = cval "bitblast.term_cache_hits" + cval "bitblast.formula_cache_hits" in
+    let misses =
+      cval "bitblast.term_cache_misses" + cval "bitblast.formula_cache_misses"
+    in
+    if hits + misses > 0 then
+      line "@.  bitblast cache hit rate      %.1f%% (%d/%d)@."
+        (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+        hits (hits + misses)
+  end
+
+(* ----- Chrome trace_event export ----- *)
+
+let export_chrome ~input ~output =
+  match open_in input with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let events = ref [] in
+    let push e = events := e :: !events in
+    let err = ref None in
+    let lineno = ref 0 in
+    (try
+       while !err = None do
+         let line = input_line ic in
+         incr lineno;
+         if String.trim line <> "" then begin
+           match Json.parse line with
+           | Error msg ->
+             err := Some (Printf.sprintf "line %d: %s" !lineno msg)
+           | Ok r -> (
+             let field k = Json.member k r in
+             let str k = Option.bind (field k) Json.to_str in
+             let num k = Option.bind (field k) Json.to_float in
+             let us v = Json.Float (1e6 *. v) in
+             let common name ph t =
+               [
+                 ("name", Json.String name);
+                 ("ph", Json.String ph);
+                 ("ts", us t);
+                 ("pid", Json.Int 1);
+                 ("tid", Json.Int 1);
+               ]
+             in
+             match (str "kind", str "name", num "t") with
+             | Some "span", Some name, Some t ->
+               let dur = Option.value (num "dur") ~default:0.0 in
+               let args =
+                 Option.value (field "attrs") ~default:(Json.Obj [])
+               in
+               push
+                 (Json.Obj
+                    (common name "X" t
+                    @ [ ("dur", us dur); ("args", args) ]))
+             | Some "event", Some name, Some t ->
+               let loop = Option.value (str "loop") ~default:"" in
+               let label = if loop = "" then name else loop ^ "." ^ name in
+               let args =
+                 Option.value (field "attrs") ~default:(Json.Obj [])
+               in
+               push
+                 (Json.Obj
+                    (common label "i" t
+                    @ [ ("s", Json.String "t"); ("args", args) ]))
+             | Some "metrics", _, Some t ->
+               (* counters only; histograms don't fit Chrome's "C" shape *)
+               (match field "metrics" with
+               | Some (Json.Obj fields) ->
+                 List.iter
+                   (fun (name, v) ->
+                     match v with
+                     | Json.Int _ | Json.Float _ ->
+                       push
+                         (Json.Obj
+                            (common name "C" t
+                            @ [ ("args", Json.Obj [ ("value", v) ]) ]))
+                     | _ -> ())
+                   fields
+               | _ -> ())
+             | _ ->
+               err := Some (Printf.sprintf "line %d: unknown record" !lineno))
+         end
+       done
+     with End_of_file -> ());
+    close_in ic;
+    (match !err with
+    | Some msg -> Error msg
+    | None ->
+      let oc = open_out output in
+      output_string oc
+        (Json.to_string (Json.Obj [ ("traceEvents", Json.List (List.rev !events)) ]));
+      output_char oc '\n';
+      close_out oc;
+      Ok ())

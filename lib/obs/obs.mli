@@ -1,0 +1,145 @@
+(** Telemetry for the sciduction stack: hierarchical timed spans, a
+    typed event log for the counterexample-guided loops, the process-wide
+    metrics registry, and pluggable sinks (JSON-lines trace files, an
+    in-memory collector for tests, a console summary, and a Chrome
+    [trace_event] exporter for flamegraph viewing).
+
+    Tracing is off by default and designed to cost ~nothing while off:
+    {!start_span} reads no clock and allocates nothing observable, the
+    loop event emitters return immediately, and only the registry
+    counters (plain increments that predate this library) stay live.
+    [enable] starts the monotonic-origin clock; every record carries a
+    timestamp in seconds since then. The library is single-threaded, like
+    the rest of the repository. *)
+
+module Json = Json
+module Metrics = Metrics
+
+(** Attribute values attached to spans and events. *)
+type value =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | String of string
+
+type attrs = (string * value) list
+
+(** {1 Lifecycle} *)
+
+val enable : unit -> unit
+(** Turn tracing on and zero the trace clock. Idempotent. *)
+
+val enabled : unit -> bool
+
+val shutdown : unit -> unit
+(** Emit the final metrics-snapshot record, flush and close every sink,
+    and disable tracing. Aggregates survive for {!pp_summary}. *)
+
+val reset : unit -> unit
+(** Testing/bench hook: disable, drop sinks without emitting the final
+    record, clear span/loop aggregates and the metrics registry values. *)
+
+(** {1 Sinks} *)
+
+type sink = {
+  sink_name : string;
+  emit : Json.t -> unit;  (** one record; JSONL sinks write one line *)
+  close : unit -> unit;
+}
+
+val add_sink : sink -> unit
+
+val jsonl_sink : string -> sink
+(** Opens [path] for writing; each record becomes one JSON line. *)
+
+val memory_sink : unit -> sink * (unit -> Json.t list)
+(** The second component returns the records collected so far, in
+    emission order. *)
+
+(** {1 Spans}
+
+    Records carry [t] (start, seconds since [enable]), [dur], [depth]
+    (nesting level at entry) and attributes; they are emitted at span
+    end, so a trace lists spans in completion order. *)
+
+type span
+
+val null_span : span
+
+val start_span : ?attrs:attrs -> string -> span
+(** Inert when disabled. *)
+
+val end_span : ?attrs:attrs -> span -> unit
+(** End attributes are appended after the start attributes. Ending
+    [null_span] (or any span started while disabled) is a no-op. *)
+
+val with_span : ?attrs:attrs -> string -> (unit -> 'a) -> 'a
+(** Ends the span on exceptions too, tagging it [error=true]. *)
+
+(** {1 Typed loop events}
+
+    The shared vocabulary of the paper's counterexample-guided loops
+    (OGIS, CEGAR, BMC, invariant generation, L*, GameTime): an
+    iteration begins, a candidate is proposed, an oracle delivers a
+    verdict, a counterexample joins the example set, a solver call
+    completes. Each event names its loop, so interleaved loops (CEGAR
+    driving BMC) stay distinguishable in one trace. *)
+
+type event =
+  | Loop_started of { loop : string; attrs : attrs }
+  | Iteration of { loop : string; index : int; attrs : attrs }
+  | Candidate of { loop : string; attrs : attrs }
+  | Oracle_verdict of { loop : string; verdict : string; attrs : attrs }
+  | Counterexample of { loop : string; attrs : attrs }
+  | Solver_call of { loop : string; result : string; attrs : attrs }
+  | Loop_finished of { loop : string; attrs : attrs }
+
+val emit : event -> unit
+(** No-op while disabled. *)
+
+(** Scoped helper over {!emit}: tracks the active loop (so solver calls
+    attribute themselves to it) and feeds the per-loop aggregates behind
+    {!pp_summary}. *)
+module Loop : sig
+  type t
+
+  val start : ?attrs:attrs -> string -> t
+  val name : t -> string
+  val iteration : ?attrs:attrs -> t -> int -> unit
+  val candidate : ?attrs:attrs -> t -> unit
+  val verdict : ?attrs:attrs -> t -> string -> unit
+  val counterexample : ?attrs:attrs -> t -> unit
+
+  val finish : ?attrs:attrs -> t -> unit
+  (** Also records the loop's wall time. Idempotent. *)
+end
+
+val current_loop : unit -> string
+(** Name of the innermost active loop, or [""]. *)
+
+val solver_call : result:string -> attrs -> unit
+(** Emitted by the SAT core after each solve, with the per-call stats
+    delta as attributes; attributed to {!current_loop}. *)
+
+(** {1 Console} *)
+
+val set_quiet : bool -> unit
+
+val quiet : unit -> bool
+
+val info : ('a, Format.formatter, unit) format -> 'a
+(** Diagnostic printf to stdout, suppressed by [set_quiet true]. Final
+    verdicts should use plain [Format.printf] so [--quiet] keeps them. *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** The console stats summary: per-loop iteration timings, hottest
+    spans, and the metrics registry (SAT counters, bitblast cache hit
+    rate, LBD distribution, ...). *)
+
+(** {1 Chrome trace_event export} *)
+
+val export_chrome : input:string -> output:string -> (unit, string) result
+(** Convert a JSON-lines trace to Chrome's [trace_event] JSON format
+    (load via chrome://tracing or https://ui.perfetto.dev): spans become
+    complete ["X"] events, loop events become instants, the final
+    metrics record becomes counter events. *)

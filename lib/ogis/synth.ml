@@ -16,10 +16,40 @@ type outcome =
 
 let synthesize ?(max_iterations = 64) ?initial_inputs ?(reuse = true)
     (spec : Encode.spec) oracle =
+  let lp =
+    Obs.Loop.start "ogis"
+      ~attrs:
+        [
+          ("width", Obs.Int spec.Encode.width);
+          ("ninputs", Obs.Int spec.Encode.ninputs);
+          ("reuse", Obs.Bool reuse);
+          ("max_iterations", Obs.Int max_iterations);
+        ]
+  in
   let queries = ref 0 in
   let ask ins =
     incr queries;
     (ins, oracle ins)
+  in
+  let finished outcome =
+    let st =
+      match outcome with
+      | Synthesized (_, s) | Unrealizable s | Out_of_budget s -> s
+    in
+    let label =
+      match outcome with
+      | Synthesized _ -> "synthesized"
+      | Unrealizable _ -> "unrealizable"
+      | Out_of_budget _ -> "out_of_budget"
+    in
+    Obs.Loop.finish lp
+      ~attrs:
+        [
+          ("outcome", Obs.String label);
+          ("iterations", Obs.Int st.iterations);
+          ("oracle_queries", Obs.Int st.oracle_queries);
+        ];
+    outcome
   in
   let initial =
     (* deterministic initial probes: a richer starting example set prunes
@@ -48,20 +78,28 @@ let synthesize ?(max_iterations = 64) ?initial_inputs ?(reuse = true)
       let stats () =
         { iterations; oracle_queries = !queries; examples = List.rev examples }
       in
-      if iterations >= max_iterations then Out_of_budget (stats ())
-      else
+      if iterations >= max_iterations then finished (Out_of_budget (stats ()))
+      else begin
+        Obs.Loop.iteration lp iterations
+          ~attrs:[ ("examples", Obs.Int (List.length examples)) ];
+        let retained = candidate <> None in
         let candidate =
           match candidate with
           | Some _ -> candidate
           | None -> Encode.next_candidate sess
         in
         match candidate with
-        | None -> Unrealizable (stats ())
+        | None -> finished (Unrealizable (stats ()))
         | Some cand -> (
+          Obs.Loop.candidate lp ~attrs:[ ("retained", Obs.Bool retained) ];
           match Encode.distinguishing sess cand with
-          | None -> Synthesized (cand, stats ())
+          | None ->
+            Obs.Loop.verdict lp "unique";
+            finished (Synthesized (cand, stats ()))
           | Some input ->
+            Obs.Loop.verdict lp "distinguished";
             let ((ins, outs) as ex) = ask input in
+            Obs.Loop.counterexample lp;
             Encode.add_example sess ex;
             (* candidate retention: the distinguishing input separates
                the candidate from some alternative, so the oracle's
@@ -75,6 +113,7 @@ let synthesize ?(max_iterations = 64) ?initial_inputs ?(reuse = true)
             loop (iterations + 1)
               (if keep then Some cand else None)
               (ex :: examples))
+      end
     in
     let seed = List.map ask initial in
     List.iter (Encode.add_example sess) seed;
@@ -84,14 +123,24 @@ let synthesize ?(max_iterations = 64) ?initial_inputs ?(reuse = true)
       let stats () =
         { iterations; oracle_queries = !queries; examples = List.rev examples }
       in
-      if iterations >= max_iterations then Out_of_budget (stats ())
-      else
+      if iterations >= max_iterations then finished (Out_of_budget (stats ()))
+      else begin
+        Obs.Loop.iteration lp iterations
+          ~attrs:[ ("examples", Obs.Int (List.length examples)) ];
         match Encode.synthesize_candidate spec ~examples with
-        | None -> Unrealizable (stats ())
+        | None -> finished (Unrealizable (stats ()))
         | Some candidate -> (
+          Obs.Loop.candidate lp;
           match Encode.distinguishing_input spec ~examples candidate with
-          | None -> Synthesized (candidate, stats ())
-          | Some input -> loop (iterations + 1) (ask input :: examples))
+          | None ->
+            Obs.Loop.verdict lp "unique";
+            finished (Synthesized (candidate, stats ()))
+          | Some input ->
+            Obs.Loop.verdict lp "distinguished";
+            let ex = ask input in
+            Obs.Loop.counterexample lp;
+            loop (iterations + 1) (ex :: examples))
+      end
     in
     loop 0 (List.map ask initial)
 

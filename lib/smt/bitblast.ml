@@ -1,3 +1,8 @@
+let m_term_hits = Obs.Metrics.counter "bitblast.term_cache_hits"
+let m_term_misses = Obs.Metrics.counter "bitblast.term_cache_misses"
+let m_formula_hits = Obs.Metrics.counter "bitblast.formula_cache_hits"
+let m_formula_misses = Obs.Metrics.counter "bitblast.formula_cache_misses"
+
 type t = {
   ctx : Tseitin.t;
   tmemo : (Bv.term, Lit.t array) Hashtbl.t;
@@ -147,8 +152,11 @@ let ashr_bits t a amount =
 
 let rec term t (e : Bv.term) : Lit.t array =
   match Hashtbl.find_opt t.tmemo e with
-  | Some bits -> bits
+  | Some bits ->
+    Obs.Metrics.incr m_term_hits;
+    bits
   | None ->
+    Obs.Metrics.incr m_term_misses;
     let bits = term_uncached t e in
     Hashtbl.add t.tmemo e bits;
     bits
@@ -222,8 +230,11 @@ and divider t a b =
 
 and formula t (f : Bv.formula) : Lit.t =
   match Hashtbl.find_opt t.fmemo f with
-  | Some l -> l
+  | Some l ->
+    Obs.Metrics.incr m_formula_hits;
+    l
   | None ->
+    Obs.Metrics.incr m_formula_misses;
     let l = formula_uncached t f in
     Hashtbl.add t.fmemo f l;
     l

@@ -15,15 +15,27 @@ type stats = {
   db_reductions : int;
   clauses : int;
   vars : int;
+  lbd_sum : int;
+  lbd_max : int;
+  max_assumption_depth : int;
 }
 
-(* Fleet-wide counters: the bench harness compares fresh-solver loops
-   (which discard each solver, and with it its per-instance counters)
-   against persistent-solver loops, so query/conflict totals must survive
-   solver teardown. *)
-let g_solves = ref 0
-let g_conflicts = ref 0
-let g_propagations = ref 0
+(* Fleet-wide counters live in the Obs metrics registry: the bench
+   harness compares fresh-solver loops (which discard each solver, and
+   with it its per-instance counters) against persistent-solver loops,
+   so query/conflict totals must survive solver teardown. Hot-path
+   counters are batched into the registry as per-solve deltas. *)
+let m_solves = Obs.Metrics.counter "sat.solves"
+let m_conflicts = Obs.Metrics.counter "sat.conflicts"
+let m_propagations = Obs.Metrics.counter "sat.propagations"
+let m_decisions = Obs.Metrics.counter "sat.decisions"
+let m_restarts = Obs.Metrics.counter "sat.restarts"
+let m_clauses_added = Obs.Metrics.counter "sat.clauses_added"
+let m_learnts_deleted = Obs.Metrics.counter "sat.learnts_deleted"
+let m_db_reductions = Obs.Metrics.counter "sat.db_reductions"
+let m_learnt_db = Obs.Metrics.gauge "sat.learnt_db_size"
+let m_lbd = Obs.Metrics.histogram "sat.lbd"
+let m_assumption_depth = Obs.Metrics.histogram "sat.assumption_depth"
 
 type global_stats = {
   g_solves : int;
@@ -31,15 +43,19 @@ type global_stats = {
   g_propagations : int;
 }
 
+(* Thin shim over the registry, kept for the bench harness; the registry
+   is the single source of truth, so the two views cannot drift. *)
 let global_stats () =
-  { g_solves = !g_solves;
-    g_conflicts = !g_conflicts;
-    g_propagations = !g_propagations }
+  {
+    g_solves = Obs.Metrics.counter_value m_solves;
+    g_conflicts = Obs.Metrics.counter_value m_conflicts;
+    g_propagations = Obs.Metrics.counter_value m_propagations;
+  }
 
 let reset_global_stats () =
-  g_solves := 0;
-  g_conflicts := 0;
-  g_propagations := 0
+  Obs.Metrics.set_counter m_solves 0;
+  Obs.Metrics.set_counter m_conflicts 0;
+  Obs.Metrics.set_counter m_propagations 0
 
 type t = {
   mutable ok : bool; (* false once an empty clause has been derived *)
@@ -79,6 +95,9 @@ type t = {
   mutable solves : int;
   mutable learnts_deleted : int;
   mutable db_reductions : int;
+  mutable lbd_sum : int;
+  mutable lbd_max : int;
+  mutable max_assumption_depth : int;
 }
 
 let create ?(learnt_limit = 0) () =
@@ -117,6 +136,9 @@ let create ?(learnt_limit = 0) () =
     solves = 0;
     learnts_deleted = 0;
     db_reductions = 0;
+    lbd_sum = 0;
+    lbd_max = 0;
+    max_assumption_depth = 0;
   }
 
 let num_vars s = s.nvars
@@ -136,6 +158,9 @@ let stats s =
     db_reductions = s.db_reductions;
     clauses = Vec.size s.clauses;
     vars = s.nvars;
+    lbd_sum = s.lbd_sum;
+    lbd_max = s.lbd_max;
+    max_assumption_depth = s.max_assumption_depth;
   }
 
 (* ----- variable order heap (max-heap on activity) ----- *)
@@ -321,7 +346,9 @@ let add_clause_permanent s lits =
     | None -> ()
     | Some [] -> s.ok <- false
     | Some [ p ] -> enqueue s p (-1)
-    | Some lits -> ignore (push_clause s (Array.of_list lits) ~lbd:(-1))
+    | Some lits ->
+      Obs.Metrics.incr m_clauses_added;
+      ignore (push_clause s (Array.of_list lits) ~lbd:(-1))
   end
 
 (* ----- assumption-literal scopes ----- *)
@@ -418,6 +445,7 @@ let locked s ci =
    surviving clauses are renumbered, watches rebuilt, reasons remapped. *)
 let reduce_db s =
   s.db_reductions <- s.db_reductions + 1;
+  Obs.Metrics.incr m_db_reductions;
   let cand = ref [] in
   let ncand = ref 0 in
   for ci = 0 to Vec.size s.clauses - 1 do
@@ -448,6 +476,7 @@ let reduce_db s =
   s.clbd <- clbd;
   s.n_learnts <- s.n_learnts - ndelete;
   s.learnts_deleted <- s.learnts_deleted + ndelete;
+  Obs.Metrics.add m_learnts_deleted ndelete;
   Array.iter Ivec.clear s.watches;
   for ci = 0 to Vec.size s.clauses - 1 do
     attach s ci
@@ -493,7 +522,8 @@ let simplify s =
     if !sat then begin
       if Ivec.get old_clbd ci >= 0 then begin
         s.n_learnts <- s.n_learnts - 1;
-        s.learnts_deleted <- s.learnts_deleted + 1
+        s.learnts_deleted <- s.learnts_deleted + 1;
+        Obs.Metrics.incr m_learnts_deleted
       end
     end
     else begin
@@ -640,15 +670,22 @@ let save_model s =
 
 let handle_conflict s ci =
   s.conflicts <- s.conflicts + 1;
-  incr g_conflicts;
   if decision_level s = 0 then raise (Found Unsat);
   let blevel = analyze s ci in
   cancel_until s blevel;
   let out = s.out_learnt in
-  (if Ivec.size out = 1 then enqueue s (Ivec.get out 0) (-1)
+  (if Ivec.size out = 1 then begin
+     Obs.Metrics.observe m_lbd 1;
+     s.lbd_sum <- s.lbd_sum + 1;
+     if s.lbd_max = 0 then s.lbd_max <- 1;
+     enqueue s (Ivec.get out 0) (-1)
+   end
    else begin
      let c = Array.init (Ivec.size out) (Ivec.get out) in
      let lbd = lbd_of s (Array.length c) (Array.get c) in
+     Obs.Metrics.observe m_lbd lbd;
+     s.lbd_sum <- s.lbd_sum + lbd;
+     if lbd > s.lbd_max then s.lbd_max <- lbd;
      let ci = push_clause s c ~lbd in
      enqueue s c.(0) ci
    end);
@@ -711,9 +748,7 @@ let search s assumptions budget =
   in
   loop ()
 
-let solve_with_assumptions s assumptions =
-  s.solves <- s.solves + 1;
-  incr g_solves;
+let run_solve s assumptions =
   if not s.ok then Unsat
   else begin
     (* the cap tracks problem size: an incremental solver keeps gaining
@@ -730,18 +765,13 @@ let solve_with_assumptions s assumptions =
       Array.of_list
         (List.map Lit.pos (Ivec.to_list s.scopes) @ assumptions)
     in
-    let p0 = s.propagations in
     (* settle the root level, then sweep out clauses retired since the
        last solve (retracted scopes leave permanently satisfied clauses
        behind; fresh root units strengthen what remains) *)
     if propagate s >= 0 then s.ok <- false
     else if Ivec.size s.trail > s.simp_trail then simplify s;
-    if not s.ok then begin
-      g_propagations := !g_propagations + (s.propagations - p0);
-      Unsat
-    end
+    if not s.ok then Unsat
     else
-    let r =
       try
         let rec run i =
           match search s assumptions (100 * luby i) with
@@ -751,10 +781,44 @@ let solve_with_assumptions s assumptions =
       with Found r ->
         cancel_until s 0;
         r
-    in
-    g_propagations := !g_propagations + (s.propagations - p0);
-    r
   end
+
+let solve_with_assumptions s assumptions =
+  s.solves <- s.solves + 1;
+  Obs.Metrics.incr m_solves;
+  let adepth = List.length assumptions + Ivec.size s.scopes in
+  Obs.Metrics.observe m_assumption_depth adepth;
+  if adepth > s.max_assumption_depth then s.max_assumption_depth <- adepth;
+  let sp =
+    if Obs.enabled () then Obs.start_span "sat.solve" else Obs.null_span
+  in
+  let c0 = s.conflicts and d0 = s.decisions in
+  let p0 = s.propagations and r0 = s.restarts in
+  let r = run_solve s assumptions in
+  (* fleet-wide registry totals, batched as per-solve deltas *)
+  Obs.Metrics.add m_conflicts (s.conflicts - c0);
+  Obs.Metrics.add m_decisions (s.decisions - d0);
+  Obs.Metrics.add m_propagations (s.propagations - p0);
+  Obs.Metrics.add m_restarts (s.restarts - r0);
+  Obs.Metrics.set_gauge m_learnt_db (float_of_int s.n_learnts);
+  if Obs.enabled () then begin
+    let result = match r with Sat -> "sat" | Unsat -> "unsat" in
+    let delta =
+      [
+        ("conflicts", Obs.Int (s.conflicts - c0));
+        ("decisions", Obs.Int (s.decisions - d0));
+        ("propagations", Obs.Int (s.propagations - p0));
+        ("restarts", Obs.Int (s.restarts - r0));
+        ("vars", Obs.Int s.nvars);
+        ("clauses", Obs.Int (Vec.size s.clauses));
+        ("learnts", Obs.Int s.n_learnts);
+        ("assumptions", Obs.Int adepth);
+      ]
+    in
+    Obs.end_span sp ~attrs:(("result", Obs.String result) :: delta);
+    Obs.solver_call ~result delta
+  end;
+  r
 
 let solve s = solve_with_assumptions s []
 

@@ -32,6 +32,11 @@ type stats = {
   db_reductions : int;
   clauses : int;  (** total clauses alive (problem + learnt) *)
   vars : int;
+  lbd_sum : int;  (** sum of learned-clause LBDs (unit learnts count 1) *)
+  lbd_max : int;
+  max_assumption_depth : int;
+      (** largest assumption count (explicit + scope literals) any solve
+          carried *)
 }
 
 type global_stats = {
@@ -59,9 +64,14 @@ val stats : t -> stats
 val global_stats : unit -> global_stats
 (** Process-wide totals across {e all} solver instances, surviving
     solver teardown; used by the bench harness to compare fresh-solver
-    loops against persistent-solver loops. *)
+    loops against persistent-solver loops. A thin shim over the
+    [Obs.Metrics] registry ([sat.solves] / [sat.conflicts] /
+    [sat.propagations]), so these totals and a metrics snapshot can
+    never drift apart. *)
 
 val reset_global_stats : unit -> unit
+(** Zeroes only the three counters above; prefer [Obs.Metrics.reset] to
+    clear the whole registry. *)
 
 val add_clause : t -> Lit.t list -> unit
 (** Add a clause. Tautologies are dropped; the empty clause makes the

@@ -32,9 +32,12 @@ let retract t a =
   Sat.add_clause_permanent (sat t) [ Lit.neg a ]
 
 let check t =
-  match Sat.solve_with_assumptions (sat t) t.retractables with
-  | Sat.Sat -> Sat
-  | Sat.Unsat -> Unsat
+  Obs.with_span "smt.check"
+    ~attrs:[ ("retractables", Obs.Int (List.length t.retractables)) ]
+    (fun () ->
+      match Sat.solve_with_assumptions (sat t) t.retractables with
+      | Sat.Sat -> Sat
+      | Sat.Unsat -> Unsat)
 
 let value t name = Option.value (Bitblast.value_of t.bb name) ~default:0
 

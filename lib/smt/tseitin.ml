@@ -1,5 +1,9 @@
 type t = { sat : Sat.t; tt : Lit.t }
 
+(* fresh gate outputs actually encoded (constant-folded calls don't count) *)
+let m_gates = Obs.Metrics.counter "tseitin.gates"
+let m_gate_clauses = Obs.Metrics.counter "tseitin.clauses"
+
 let create () =
   let sat = Sat.create () in
   let v = Sat.new_var sat in
@@ -33,6 +37,8 @@ let and2 t a b =
   else if a = Lit.neg b then false_ t
   else begin
     let o = fresh t in
+    Obs.Metrics.incr m_gates;
+    Obs.Metrics.add m_gate_clauses 3;
     Sat.add_clause_permanent t.sat [ Lit.neg o; a ];
     Sat.add_clause_permanent t.sat [ Lit.neg o; b ];
     Sat.add_clause_permanent t.sat [ o; Lit.neg a; Lit.neg b ];
@@ -50,6 +56,8 @@ let xor2 t a b =
   else if a = Lit.neg b then true_ t
   else begin
     let o = fresh t in
+    Obs.Metrics.incr m_gates;
+    Obs.Metrics.add m_gate_clauses 4;
     Sat.add_clause_permanent t.sat [ Lit.neg o; a; b ];
     Sat.add_clause_permanent t.sat [ Lit.neg o; Lit.neg a; Lit.neg b ];
     Sat.add_clause_permanent t.sat [ o; Lit.neg a; b ];
@@ -66,6 +74,8 @@ let mux t c a b =
   else if a = b then a
   else begin
     let o = fresh t in
+    Obs.Metrics.incr m_gates;
+    Obs.Metrics.add m_gate_clauses 4;
     Sat.add_clause_permanent t.sat [ Lit.neg c; Lit.neg a; o ];
     Sat.add_clause_permanent t.sat [ Lit.neg c; a; Lit.neg o ];
     Sat.add_clause_permanent t.sat [ c; Lit.neg b; o ];

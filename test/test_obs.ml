@@ -1,0 +1,368 @@
+(* Tests for the telemetry library: JSON codec, metrics registry, span
+   nesting/timing, sinks, disabled-mode cost model, the Chrome exporter,
+   and an end-to-end traced OGIS run whose event stream must be
+   well-formed. *)
+
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+
+let with_memory_trace f =
+  Obs.reset ();
+  let sink, records = Obs.memory_sink () in
+  Obs.add_sink sink;
+  Obs.enable ();
+  let r = f () in
+  Obs.shutdown ();
+  (r, records ())
+
+let str_field k r =
+  match Option.bind (Json.member k r) Json.to_str with
+  | Some s -> s
+  | None -> Alcotest.fail (Printf.sprintf "missing string field %s" k)
+
+let num_field k r =
+  match Option.bind (Json.member k r) Json.to_float with
+  | Some f -> f
+  | None -> Alcotest.fail (Printf.sprintf "missing numeric field %s" k)
+
+let kind_of = str_field "kind"
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("int", Json.Int 42);
+        ("neg", Json.Int (-7));
+        ("float", Json.Float 1.5);
+        ("bool", Json.Bool true);
+        ("null", Json.Null);
+        ("str", Json.String "line\nbreak \"quoted\" tab\t\\done");
+        ("ctrl", Json.String "\001\031");
+        ( "nested",
+          Json.List [ Json.Int 1; Json.Obj [ ("k", Json.String "v") ]; Json.Null ]
+        );
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Error msg -> Alcotest.fail msg
+  | Ok v' -> Alcotest.(check bool) "roundtrip equal" true (v = v')
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted invalid %S" s))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "{\"a\":1} x" ]
+
+let test_json_unicode_escape () =
+  (match Json.parse {|"a\u00e9b\u0041"|} with
+  | Ok (Json.String s) -> Alcotest.(check string) "decoded" "a\xc3\xa9bA" s
+  | _ -> Alcotest.fail "unicode escape");
+  (* control characters round-trip through the printer's \u escapes *)
+  match Json.parse (Json.to_string (Json.String "\001\031")) with
+  | Ok v -> Alcotest.(check bool) "ctrl roundtrip" true (v = Json.String "\001\031")
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_registry () =
+  Obs.reset ();
+  let c = Metrics.counter "test.counter" in
+  let c' = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.add c' 4;
+  Alcotest.(check int) "shared instrument" 5 (Metrics.counter_value c);
+  (match Metrics.gauge "test.counter" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch accepted");
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.counter_value c);
+  Alcotest.(check bool) "registration survives reset" true
+    (List.mem_assoc "test.counter" (Metrics.snapshot ()))
+
+let test_histogram () =
+  Obs.reset ();
+  let h = Metrics.histogram "test.hist" in
+  List.iter (Metrics.observe h) [ 1; 2; 3; 100 ];
+  Alcotest.(check int) "count" 4 (Metrics.hist_count h);
+  Alcotest.(check int) "sum" 106 (Metrics.hist_sum h);
+  Alcotest.(check int) "max" 100 (Metrics.hist_max h);
+  match List.assoc "test.hist" (Metrics.snapshot ()) with
+  | Metrics.Histogram { count; sum; min; max; buckets } ->
+    Alcotest.(check int) "snap count" 4 count;
+    Alcotest.(check int) "snap sum" 106 sum;
+    Alcotest.(check int) "snap min" 1 min;
+    Alcotest.(check int) "snap max" 100 max;
+    (* every bucket upper bound is of the form 2^k - 1, and the bucket
+       counts cover all observations *)
+    Alcotest.(check int) "bucketed" 4
+      (List.fold_left (fun a (_, n) -> a + n) 0 buckets);
+    List.iter
+      (fun (le, _) ->
+        Alcotest.(check bool) "pow2-1 bound" true
+          (le >= 0 && (le land (le + 1)) = 0))
+      buckets
+  | _ -> Alcotest.fail "snapshot kind"
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let (), records =
+    with_memory_trace (fun () ->
+        Obs.with_span "outer" (fun () ->
+            Obs.with_span "inner" (fun () -> ());
+            Obs.with_span "inner" (fun () -> ())))
+  in
+  let spans = List.filter (fun r -> kind_of r = "span") records in
+  (* spans are emitted at end time: both inners before the outer *)
+  (match List.map (str_field "name") spans with
+  | [ "inner"; "inner"; "outer" ] -> ()
+  | names -> Alcotest.fail ("bad span order: " ^ String.concat "," names));
+  let outer = List.nth spans 2 and inner = List.hd spans in
+  Alcotest.(check int) "outer depth" 0
+    (int_of_float (num_field "depth" outer));
+  Alcotest.(check int) "inner depth" 1
+    (int_of_float (num_field "depth" inner));
+  (* timing monotonicity: child starts after the parent, fits inside it *)
+  Alcotest.(check bool) "durations non-negative" true
+    (List.for_all (fun s -> num_field "dur" s >= 0.0) spans);
+  Alcotest.(check bool) "inner starts after outer" true
+    (num_field "t" inner >= num_field "t" outer);
+  Alcotest.(check bool) "inner within outer" true
+    (num_field "t" inner +. num_field "dur" inner
+    <= num_field "t" outer +. num_field "dur" outer +. 1e-9)
+
+let test_span_error_attr () =
+  let (), records =
+    with_memory_trace (fun () ->
+        try Obs.with_span "boom" (fun () -> failwith "x")
+        with Failure _ -> ())
+  in
+  match List.filter (fun r -> kind_of r = "span") records with
+  | [ s ] ->
+    let attrs = Option.get (Json.member "attrs" s) in
+    Alcotest.(check bool) "error tagged" true
+      (Json.member "error" attrs = Some (Json.Bool true))
+  | _ -> Alcotest.fail "expected one span"
+
+(* ------------------------------------------------------------------ *)
+(* Disabled mode                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_emits_nothing () =
+  Obs.reset ();
+  let sink, records = Obs.memory_sink () in
+  Obs.add_sink sink;
+  (* no enable: spans and events must not reach the sink *)
+  Obs.with_span "quiet" (fun () -> ());
+  let lp = Obs.Loop.start "quietloop" in
+  Obs.Loop.iteration lp 0;
+  Obs.Loop.finish lp;
+  Obs.emit (Obs.Candidate { loop = "quietloop"; attrs = [] });
+  Obs.solver_call ~result:"sat" [];
+  Alcotest.(check int) "no records" 0 (List.length (records ()));
+  (* the registry stays live even when tracing is off *)
+  let c = Metrics.counter "test.disabled" in
+  Metrics.incr c;
+  Alcotest.(check int) "counters still count" 1 (Metrics.counter_value c);
+  Obs.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* JSONL sink round-trip                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_jsonl_sink_roundtrip () =
+  let path = Filename.temp_file "obs_test" ".jsonl" in
+  Obs.reset ();
+  Obs.add_sink (Obs.jsonl_sink path);
+  Obs.enable ();
+  let lp = Obs.Loop.start "demo" ~attrs:[ ("size", Obs.Int 3) ] in
+  Obs.Loop.iteration lp 0;
+  Obs.Loop.verdict lp "ok" ~attrs:[ ("score", Obs.Float 0.5) ];
+  Obs.Loop.finish lp;
+  Obs.shutdown ();
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let records =
+    List.rev_map
+      (fun line ->
+        match Json.parse line with
+        | Ok r -> r
+        | Error msg -> Alcotest.fail (Printf.sprintf "bad line %S: %s" line msg))
+      !lines
+  in
+  (* loop_started, iteration, oracle_verdict, loop_finished, metrics *)
+  Alcotest.(check int) "record count" 5 (List.length records);
+  (match List.map kind_of records with
+  | [ "event"; "event"; "event"; "event"; "metrics" ] -> ()
+  | ks -> Alcotest.fail ("bad kinds: " ^ String.concat "," ks));
+  let verdict = List.nth records 2 in
+  Alcotest.(check string) "verdict loop" "demo" (str_field "loop" verdict);
+  let attrs = Option.get (Json.member "attrs" verdict) in
+  Alcotest.(check bool) "verdict attr" true
+    (Json.member "verdict" attrs = Some (Json.String "ok"));
+  Alcotest.(check (float 1e-9)) "float attr" 0.5
+    (Option.get (Option.bind (Json.member "score" attrs) Json.to_float))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_export () =
+  let trace = Filename.temp_file "obs_test" ".jsonl" in
+  Obs.reset ();
+  Obs.add_sink (Obs.jsonl_sink trace);
+  Obs.enable ();
+  Metrics.incr (Metrics.counter "test.chrome");
+  Obs.with_span "work" (fun () ->
+      let lp = Obs.Loop.start "demo" in
+      Obs.Loop.iteration lp 0;
+      Obs.Loop.finish lp);
+  Obs.shutdown ();
+  let out = Filename.temp_file "obs_test" ".json" in
+  (match Obs.export_chrome ~input:trace ~output:out with
+  | Error msg -> Alcotest.fail msg
+  | Ok () -> ());
+  let ic = open_in out in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove trace;
+  Sys.remove out;
+  match Json.parse content with
+  | Error msg -> Alcotest.fail msg
+  | Ok doc -> (
+    match Json.member "traceEvents" doc with
+    | Some (Json.List events) ->
+      let phs =
+        List.filter_map
+          (fun e -> Option.bind (Json.member "ph" e) Json.to_str)
+          events
+      in
+      Alcotest.(check bool) "has complete span" true (List.mem "X" phs);
+      Alcotest.(check bool) "has instant" true (List.mem "i" phs);
+      Alcotest.(check bool) "has counter" true (List.mem "C" phs)
+    | _ -> Alcotest.fail "no traceEvents")
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: traced OGIS run                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_traced_ogis_run () =
+  let width = 8 in
+  let spec =
+    {
+      Ogis.Encode.width;
+      ninputs = 1;
+      noutputs = 1;
+      library = [ Ogis.Component.dec; Ogis.Component.and_ ];
+    }
+  in
+  let mask = (1 lsl width) - 1 in
+  let oracle = function
+    | [ x ] -> [ x land (x - 1) land mask ]
+    | _ -> assert false
+  in
+  let outcome, records =
+    with_memory_trace (fun () -> Ogis.Synth.synthesize spec oracle)
+  in
+  let stats =
+    match outcome with
+    | Ogis.Synth.Synthesized (_, stats) -> stats
+    | _ -> Alcotest.fail "synthesis failed"
+  in
+  let ogis_events =
+    List.filter
+      (fun r -> kind_of r = "event" && str_field "loop" r = "ogis")
+      records
+  in
+  let names = List.map (str_field "name") ogis_events in
+  (* the event stream brackets correctly *)
+  Alcotest.(check string) "starts with loop_started" "loop_started"
+    (List.hd names);
+  Alcotest.(check string) "ends with loop_finished" "loop_finished"
+    (List.nth names (List.length names - 1));
+  let count n = List.length (List.filter (( = ) n) names) in
+  Alcotest.(check int) "one start" 1 (count "loop_started");
+  Alcotest.(check int) "one finish" 1 (count "loop_finished");
+  (* [stats.iterations] counts counterexample rounds; the final round
+     (unique candidate) also enters the loop and logs an iteration *)
+  Alcotest.(check int) "one iteration event per loop round"
+    (stats.Ogis.Synth.iterations + 1)
+    (count "iteration");
+  (* every candidate gets an oracle verdict *)
+  Alcotest.(check int) "verdict per candidate" (count "candidate")
+    (count "oracle_verdict");
+  (* 4 deterministic seed probes; every further oracle query is driven
+     by a distinguishing input and logged as a counterexample *)
+  Alcotest.(check int) "counterexamples match oracle queries"
+    (stats.Ogis.Synth.oracle_queries - 4)
+    (count "counterexample");
+  (* iteration → candidate → oracle_verdict, in that order per round *)
+  let rec well_formed = function
+    | "iteration" :: "candidate" :: "oracle_verdict" :: rest ->
+      well_formed
+        (match rest with "counterexample" :: r -> r | r -> r)
+    | "iteration" :: rest ->
+      (* budget/unrealizable rounds have no candidate *)
+      well_formed rest
+    | [ "loop_finished" ] -> true
+    | _ -> false
+  in
+  let rounds =
+    List.filter (fun n -> n <> "solver_call") (List.tl names)
+  in
+  Alcotest.(check bool) "per-round event shape" true (well_formed rounds);
+  (* solver calls were attributed to the ogis loop *)
+  Alcotest.(check bool) "solver calls attributed" true
+    (count "solver_call" > 0);
+  Obs.reset ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escape;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter registry" `Quick test_counter_registry;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and timing" `Quick test_span_nesting;
+          Alcotest.test_case "error attr" `Quick test_span_error_attr;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "disabled emits nothing" `Quick
+            test_disabled_emits_nothing;
+          Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_sink_roundtrip;
+          Alcotest.test_case "chrome export" `Quick test_chrome_export;
+        ] );
+      ( "loops",
+        [ Alcotest.test_case "traced ogis run" `Quick test_traced_ogis_run ] );
+    ]
