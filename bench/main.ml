@@ -655,6 +655,10 @@ let ablate () =
 (* Solver incrementality: fresh-solver baseline vs persistent sessions *)
 (* ================================================================== *)
 
+(* The solver-perf document from the last [perf] run, kept in memory so
+   [--check-baseline] can diff it without re-reading the file. *)
+let perf_doc = ref None
+
 (* Each workload runs its counterexample-guided loop twice: once with
    [~reuse:false] (a fresh solver per query, the pre-incremental
    behaviour) and once with the persistent sessions. Process-wide SAT
@@ -834,7 +838,60 @@ let perf () =
   output_string oc (Obs.Json.to_string doc);
   output_char oc '\n';
   close_out oc;
+  perf_doc := Some doc;
   Format.printf "wrote BENCH_solver.json@."
+
+(* ================================================================== *)
+(* Baseline regression gate                                            *)
+(* ================================================================== *)
+
+(* `bench/main.exe --check-baseline BENCH_baseline.json` reruns the
+   solver-perf suite and diffs its figures against the committed
+   baseline with Obs.Analyze's thresholds, so CI catches solver
+   regressions the same way trace_report catches loop regressions.
+   Writes BENCH_gate.json next to BENCH_solver.json and exits non-zero
+   when any figure regresses past its threshold. *)
+let check_baseline path =
+  let read_json path =
+    match open_in path with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Obs.Json.parse s
+  in
+  section (Printf.sprintf "Baseline gate: current perf vs %s" path);
+  if !perf_doc = None then perf ();
+  let doc = Option.get !perf_doc in
+  match read_json path with
+  | Error msg ->
+    Format.printf "cannot read baseline %s: %s@." path msg;
+    exit 2
+  | Ok baseline ->
+    let findings =
+      Obs.Analyze.diff
+        ~base:(Obs.Analyze.key_figures baseline)
+        (Obs.Analyze.key_figures doc)
+    in
+    Format.printf "%a@." Obs.Analyze.pp_findings findings;
+    let regressed = Obs.Analyze.regressed findings in
+    let gate =
+      Obs.Json.Obj
+        [
+          ("baseline", Obs.Json.String path);
+          ("findings", Obs.Analyze.findings_json findings);
+          ( "verdict",
+            Obs.Json.String (if regressed then "FAIL" else "PASS") );
+        ]
+    in
+    let oc = open_out "BENCH_gate.json" in
+    output_string oc (Obs.Json.to_string gate);
+    output_char oc '\n';
+    close_out oc;
+    Format.printf "verdict: %s (BENCH_gate.json)@."
+      (if regressed then "FAIL" else "PASS");
+    if regressed then exit 1
 
 (* ================================================================== *)
 (* Bechamel micro-benchmarks                                           *)
@@ -967,10 +1024,22 @@ let experiments =
   ]
 
 let () =
+  let rec split_baseline acc = function
+    | [] -> (List.rev acc, None)
+    | [ "--check-baseline" ] ->
+      Format.printf "--check-baseline expects a file@.";
+      exit 2
+    | "--check-baseline" :: file :: rest -> (List.rev acc @ rest, Some file)
+    | name :: rest -> split_baseline (name :: acc) rest
+  in
+  let names, baseline =
+    split_baseline [] (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match (names, baseline) with
+    | [], Some _ -> [] (* gate only: check_baseline runs perf itself *)
+    | [], None -> List.map fst experiments
+    | names, _ -> names
   in
   List.iter
     (fun name ->
@@ -980,4 +1049,5 @@ let () =
         Format.printf "unknown experiment %s; available: %s@." name
           (String.concat " " (List.map fst experiments));
         exit 1)
-    requested
+    requested;
+  Option.iter check_baseline baseline

@@ -4,10 +4,14 @@
      trace_check out.jsonl --require-loop ogis
 
    Checks that every line parses as a JSON object of a known record
-   kind, that timestamps and durations are sane, that each loop's
-   event stream is well-formed (loop_started first, iterations before
-   loop_finished, nothing after loop_finished), and that the trace ends
-   with a metrics snapshot. *)
+   kind, that timestamps and durations are sane, that emission times
+   are monotonically non-decreasing (spans are emitted at completion,
+   so a span's emission time is t + dur), that span depths are
+   consistent with the nesting their intervals imply (every non-root
+   completed span sits directly inside a completed span one level up),
+   that each loop's event stream is well-formed (loop_started first,
+   iterations before loop_finished, nothing after loop_finished), and
+   that the trace ends with a metrics snapshot. *)
 
 module Json = Obs.Json
 
@@ -45,6 +49,73 @@ let known_events =
 
 let str k r = Option.bind (Json.member k r) Json.to_str
 let num k r = Option.bind (Json.member k r) Json.to_float
+let int_field k r = Option.bind (Json.member k r) Json.to_int
+
+(* float timestamps come through the JSON printer/parser round trip,
+   so comparisons leave a little room *)
+let eps = 1e-9
+
+(* emission-order monotonicity: events and metrics are emitted at [t],
+   spans at completion, i.e. [t + dur] *)
+let last_emit = ref neg_infinity
+let last_emit_line = ref 0
+
+let check_emission lineno t =
+  if t < !last_emit -. 1e-6 then
+    error
+      "line %d: emission time %.9f earlier than line %d's %.9f (trace not \
+       in emission order)"
+      lineno t !last_emit_line !last_emit;
+  if t > !last_emit then begin
+    last_emit := t;
+    last_emit_line := lineno
+  end
+
+(* depth consistency: spans appear in completion order, children before
+   parents, so completed spans wait on a pending list until a span one
+   level up adopts every pending span inside its interval *)
+type pending_span = {
+  ps_line : int;
+  ps_name : string;
+  ps_depth : int;
+  ps_start : float;
+  ps_end : float;
+}
+
+let pending_spans : pending_span list ref = ref []
+
+let check_span_depth lineno name depth t t_end =
+  if depth < 0 then error "line %d: span %S with negative depth" lineno name
+  else begin
+    let inside p = p.ps_start >= t -. eps && p.ps_end <= t_end +. eps in
+    let adopted, rest =
+      List.partition (fun p -> p.ps_depth = depth + 1 && inside p)
+        !pending_spans
+    in
+    ignore adopted;
+    List.iter
+      (fun p ->
+        if p.ps_depth > depth && inside p then
+          error
+            "line %d: span %S (depth %d) lies inside span %S (depth %d) but \
+             is not its direct child — an intermediate span never completed"
+            p.ps_line p.ps_name p.ps_depth name depth)
+      rest;
+    pending_spans :=
+      { ps_line = lineno; ps_name = name; ps_depth = depth;
+        ps_start = t; ps_end = t_end }
+      :: List.filter (fun p -> not (p.ps_depth > depth && inside p)) rest
+  end
+
+let check_pending_at_eof () =
+  List.iter
+    (fun p ->
+      if p.ps_depth > 0 then
+        error
+          "line %d: span %S completed at depth %d but no enclosing span \
+           completed around it"
+          p.ps_line p.ps_name p.ps_depth)
+    !pending_spans
 
 let check_event lineno r =
   match (str "name" r, str "loop" r) with
@@ -75,20 +146,47 @@ let check_event lineno r =
 
 (* validates one record and returns its kind *)
 let check_record lineno r =
-  (match num "t" r with
-  | None -> error "line %d: record without a timestamp" lineno
-  | Some t -> if t < 0.0 then error "line %d: negative timestamp" lineno);
+  let t =
+    match num "t" r with
+    | None ->
+      error "line %d: record without a timestamp" lineno;
+      None
+    | Some t ->
+      if t < 0.0 then error "line %d: negative timestamp" lineno;
+      Some t
+  in
   match str "kind" r with
   | Some "span" ->
-    if str "name" r = None then error "line %d: span without a name" lineno;
-    (match num "dur" r with
-    | None -> error "line %d: span without a duration" lineno
-    | Some d -> if d < 0.0 then error "line %d: negative duration" lineno);
+    let name =
+      match str "name" r with
+      | Some n -> n
+      | None ->
+        error "line %d: span without a name" lineno;
+        "?"
+    in
+    let dur =
+      match num "dur" r with
+      | None ->
+        error "line %d: span without a duration" lineno;
+        None
+      | Some d ->
+        if d < 0.0 then error "line %d: negative duration" lineno;
+        Some d
+    in
+    (match (t, dur) with
+    | Some t, Some dur when t >= 0.0 && dur >= 0.0 ->
+      check_emission lineno (t +. dur);
+      (match int_field "depth" r with
+      | None -> error "line %d: span without a depth" lineno
+      | Some depth -> check_span_depth lineno name depth t (t +. dur))
+    | _ -> ());
     "span"
   | Some "event" ->
+    Option.iter (check_emission lineno) t;
     check_event lineno r;
     "event"
   | Some "metrics" ->
+    Option.iter (check_emission lineno) t;
     if Json.member "metrics" r = None then
       error "line %d: metrics record without a snapshot" lineno;
     "metrics"
@@ -149,6 +247,7 @@ let () =
   if !records = 0 then error "empty trace";
   if !last_kind <> "metrics" then
     error "trace does not end with a metrics snapshot (got %S)" !last_kind;
+  check_pending_at_eof ();
   Hashtbl.iter
     (fun name st ->
       if st.finished > st.started then

@@ -86,6 +86,33 @@ let hist_count h = h.h_count
 let hist_sum h = h.h_sum
 let hist_max h = h.h_max
 
+let buckets_of h =
+  let buckets = ref [] in
+  for b = nbuckets - 1 downto 0 do
+    if h.h_buckets.(b) > 0 then
+      buckets := ((1 lsl b) - 1, h.h_buckets.(b)) :: !buckets
+  done;
+  !buckets
+
+let percentile_of_buckets ~buckets ~count ~max:hmax p =
+  if count <= 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (p /. 100.0 *. float_of_int count)) in
+      if r < 1 then 1 else if r > count then count else r
+    in
+    let rec go cum = function
+      | [] -> hmax
+      | (le, n) :: rest ->
+        let cum = cum + n in
+        if cum >= rank then Stdlib.min le hmax else go cum rest
+    in
+    go 0 buckets
+  end
+
+let hist_percentile h p =
+  percentile_of_buckets ~buckets:(buckets_of h) ~count:h.h_count ~max:h.h_max p
+
 type snapshot_value =
   | Counter of int
   | Gauge of float
@@ -105,18 +132,13 @@ let snapshot () =
         | C c -> Counter !c
         | G g -> Gauge !g
         | H h ->
-          let buckets = ref [] in
-          for b = nbuckets - 1 downto 0 do
-            if h.h_buckets.(b) > 0 then
-              buckets := ((1 lsl b) - 1, h.h_buckets.(b)) :: !buckets
-          done;
           Histogram
             {
               count = h.h_count;
               sum = h.h_sum;
               min = (if h.h_count = 0 then 0 else h.h_min);
               max = h.h_max;
-              buckets = !buckets;
+              buckets = buckets_of h;
             }
       in
       (name, v) :: acc)

@@ -37,6 +37,17 @@ val hist_count : histogram -> int
 val hist_sum : histogram -> int
 val hist_max : histogram -> int
 
+val hist_percentile : histogram -> float -> int
+(** [hist_percentile h p] for [p] in (0, 100]: the inclusive upper bound
+    of the first power-of-two bucket holding the ceil(p/100 * count)-th
+    observation, clamped to the exact maximum (so [p = 100.0] is exact).
+    0 when empty. *)
+
+val percentile_of_buckets :
+  buckets:(int * int) list -> count:int -> max:int -> float -> int
+(** Same estimate over an exported bucket list (snapshot form, or a
+    bucket list parsed back from a trace's metrics record). *)
+
 type snapshot_value =
   | Counter of int
   | Gauge of float

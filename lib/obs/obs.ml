@@ -1,5 +1,6 @@
 module Json = Json
 module Metrics = Metrics
+module Analyze = Analyze
 
 type value =
   | Int of int
@@ -329,9 +330,10 @@ let solver_call ~result attrs =
 let set_quiet q = quiet_flag := q
 let quiet () = !quiet_flag
 
+(* stderr, so diagnostics compose with piping a verdict from stdout *)
 let info fmt =
-  if !quiet_flag then Format.ifprintf Format.std_formatter fmt
-  else Format.printf fmt
+  if !quiet_flag then Format.ifprintf Format.err_formatter fmt
+  else Format.eprintf fmt
 
 let pp_summary ppf () =
   let line fmt = Format.fprintf ppf fmt in
@@ -378,13 +380,11 @@ let pp_summary ppf () =
         match v with
         | Metrics.Counter c -> line "  %-28s %d@." name c
         | Metrics.Gauge g -> line "  %-28s %g@." name g
-        | Metrics.Histogram { count; sum; min; max; buckets } ->
-          line "  %-28s count=%d sum=%d min=%d max=%d@." name count sum min max;
-          if buckets <> [] then begin
-            line "  %-28s " "";
-            List.iter (fun (le, n) -> line "<=%d:%d " le n) buckets;
-            line "@."
-          end)
+        | Metrics.Histogram { count; sum; min = _; max; buckets } ->
+          let pct p = Metrics.percentile_of_buckets ~buckets ~count ~max p in
+          line "  %-28s count=%d mean=%.1f p50=%d p90=%d max=%d@." name count
+            (if count = 0 then 0.0 else float_of_int sum /. float_of_int count)
+            (pct 50.0) (pct 90.0) max)
       metrics;
     (* derived: bit-blast cache hit rate *)
     let cval name =

@@ -15,6 +15,10 @@
 module Json = Json
 module Metrics = Metrics
 
+module Analyze = Analyze
+(** The read side: trace ingestion, convergence diagnostics, flame
+    profiles, and the cross-trace regression diff. *)
+
 (** Attribute values attached to spans and events. *)
 type value =
   | Int of int
@@ -128,13 +132,15 @@ val set_quiet : bool -> unit
 val quiet : unit -> bool
 
 val info : ('a, Format.formatter, unit) format -> 'a
-(** Diagnostic printf to stdout, suppressed by [set_quiet true]. Final
-    verdicts should use plain [Format.printf] so [--quiet] keeps them. *)
+(** Diagnostic printf to {e stderr}, suppressed by [set_quiet true], so
+    diagnostics compose with piping a verdict from stdout. Final
+    verdicts should use plain [Format.printf]. *)
 
 val pp_summary : Format.formatter -> unit -> unit
 (** The console stats summary: per-loop iteration timings, hottest
     spans, and the metrics registry (SAT counters, bitblast cache hit
-    rate, LBD distribution, ...). *)
+    rate, histogram percentiles, ...). Callers conventionally print it
+    to stderr for the same stdout-composability reason as {!info}. *)
 
 (** {1 Chrome trace_event export} *)
 

@@ -113,6 +113,26 @@ let test_histogram () =
       buckets
   | _ -> Alcotest.fail "snapshot kind"
 
+let test_histogram_percentiles () =
+  Obs.reset ();
+  let h = Metrics.histogram "test.pct" in
+  (* empty histogram: every percentile is 0 *)
+  Alcotest.(check int) "empty p50" 0 (Metrics.hist_percentile h 50.0);
+  List.iter (Metrics.observe h) [ 1; 2; 3; 100 ];
+  (* ranks land in pow2-1 buckets: p50 covers {1,2} -> bucket bound 3;
+     p90 and p100 land in the last bucket, clamped to the exact max *)
+  Alcotest.(check int) "p50" 3 (Metrics.hist_percentile h 50.0);
+  Alcotest.(check int) "p90" 100 (Metrics.hist_percentile h 90.0);
+  Alcotest.(check int) "p100" 100 (Metrics.hist_percentile h 100.0);
+  Alcotest.(check int) "p0 clamps to first rank" 1
+    (Metrics.hist_percentile h 0.0);
+  (* a single observation answers every percentile *)
+  let h1 = Metrics.histogram "test.pct1" in
+  Metrics.observe h1 7;
+  Alcotest.(check int) "single p50" 7 (Metrics.hist_percentile h1 50.0);
+  Alcotest.(check int) "single p99" 7 (Metrics.hist_percentile h1 99.0);
+  Obs.reset ()
+
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -261,6 +281,35 @@ let test_chrome_export () =
       Alcotest.(check bool) "has counter" true (List.mem "C" phs)
     | _ -> Alcotest.fail "no traceEvents")
 
+let test_chrome_export_errors () =
+  (* missing input file *)
+  (match
+     Obs.export_chrome ~input:"/nonexistent/trace.jsonl"
+       ~output:(Filename.temp_file "obs_test" ".json")
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted a missing input file");
+  (* malformed line: the error names the offending line *)
+  let bad = Filename.temp_file "obs_test" ".jsonl" in
+  let oc = open_out bad in
+  output_string oc "not json\n";
+  close_out oc;
+  let out = Filename.temp_file "obs_test" ".json" in
+  (match Obs.export_chrome ~input:bad ~output:out with
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error %S names line 1" msg)
+      true
+      (let re = "line 1" in
+       let rec contains i =
+         i + String.length re <= String.length msg
+         && (String.sub msg i (String.length re) = re || contains (i + 1))
+       in
+       contains 0)
+  | Ok () -> Alcotest.fail "accepted a malformed line");
+  Sys.remove bad;
+  (try Sys.remove out with Sys_error _ -> ())
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end: traced OGIS run                                         *)
 (* ------------------------------------------------------------------ *)
@@ -350,6 +399,8 @@ let () =
         [
           Alcotest.test_case "counter registry" `Quick test_counter_registry;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
         ] );
       ( "spans",
         [
@@ -362,6 +413,8 @@ let () =
             test_disabled_emits_nothing;
           Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_sink_roundtrip;
           Alcotest.test_case "chrome export" `Quick test_chrome_export;
+          Alcotest.test_case "chrome export errors" `Quick
+            test_chrome_export_errors;
         ] );
       ( "loops",
         [ Alcotest.test_case "traced ogis run" `Quick test_traced_ogis_run ] );
