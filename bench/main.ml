@@ -5,8 +5,10 @@
      dune exec bench/main.exe              -- everything
      dune exec bench/main.exe fig6         -- one experiment
      (experiments: fig6 fig8 hd eq3 eq4 fig10 optimal table1 ablate
-      perf micro; `perf` compares fresh-solver loops against the
-      persistent incremental sessions and writes BENCH_solver.json)
+      perf par micro; `perf` compares fresh-solver loops against the
+      persistent incremental sessions and writes BENCH_solver.json;
+      `par` reruns the portfolio-SAT and BMC suites sequentially and
+      under `--jobs N` worker domains and writes BENCH_par.json)
 
    Absolute numbers (cycle counts, wall-clock) depend on our simulated
    platform and homemade solver; EXPERIMENTS.md records the comparison
@@ -894,6 +896,137 @@ let check_baseline path =
     if regressed then exit 1
 
 (* ================================================================== *)
+(* Parallel fan-out: sequential vs --jobs N (writes BENCH_par.json)    *)
+(* ================================================================== *)
+
+(* set by the --jobs flag; 0 means "SCIDUCTION_JOBS or 4" *)
+let par_jobs = ref 0
+
+(* Planted 3-SAT at clause ratio 4.2: clauses are random except that
+   each keeps at least one positive literal, so the all-true assignment
+   is a model. The vanilla solver (phase false) starts in the all-false
+   corner and has to climb out conflict by conflict, while a phase-true
+   portfolio member reads the planted model off in zero conflicts — the
+   race finishes at the speed of its luckiest configuration, which is
+   exactly the algorithmic win a portfolio buys (and the only kind
+   available on a single-core machine, where fan-out adds no cycles). *)
+let planted_3sat ~nvars ~seed =
+  let rng = Random.State.make [| seed |] in
+  let nclauses = int_of_float (6.0 *. float_of_int nvars) in
+  let rec clause () =
+    let c =
+      List.init 3 (fun _ ->
+          Smt.Lit.make (Random.State.int rng nvars) (Random.State.bool rng))
+    in
+    if List.exists Smt.Lit.sign c then c else clause ()
+  in
+  { Smt.Dimacs.nvars; clauses = List.init nclauses (fun _ -> clause ()) }
+
+let par () =
+  let jobs = if !par_jobs > 0 then !par_jobs else Par.env_jobs ~default:4 () in
+  section (Printf.sprintf "Parallel fan-out: sequential vs --jobs %d" jobs);
+  Par.Pool.with_pool ~jobs @@ fun pool ->
+  let inst name t_seq t_par ok =
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.String name);
+        ("seconds_sequential", Obs.Json.Float t_seq);
+        ("seconds_parallel", Obs.Json.Float t_par);
+        ("speedup", Obs.Json.Float (t_seq /. max 1e-9 t_par));
+        ("verdicts_agree", Obs.Json.Bool ok);
+      ]
+  in
+  let suite name rows =
+    let tot sel = List.fold_left (fun a r -> a +. sel r) 0.0 rows in
+    let ts = tot (fun (_, s, _, _) -> s) and tp = tot (fun (_, _, p, _) -> p) in
+    let agree = List.for_all (fun (_, _, _, ok) -> ok) rows in
+    let speedup = ts /. max 1e-9 tp in
+    Format.printf
+      "suite total: sequential %.3fs | parallel %.3fs | %.2fx | all verdicts \
+       agree: %b@."
+      ts tp speedup agree;
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.String name);
+        ( "instances",
+          Obs.Json.List (List.map (fun (n, s, p, ok) -> inst n s p ok) rows) );
+        ("seconds_sequential", Obs.Json.Float ts);
+        ("seconds_parallel", Obs.Json.Float tp);
+        ("speedup", Obs.Json.Float speedup);
+        ("verdicts_agree", Obs.Json.Bool agree);
+      ]
+  in
+  subsection "portfolio SAT (planted 3-SAT, vanilla phase starts all-false)";
+  let nvars = 300 in
+  let sat_rows =
+    List.map
+      (fun i ->
+        let name = Printf.sprintf "planted-n%d-%d" nvars i in
+        let p = planted_3sat ~nvars ~seed:(1009 * (i + 1)) in
+        let seq, t_seq = timed (fun () -> Smt.Portfolio.solve p) in
+        let prl, t_par = timed (fun () -> Smt.Portfolio.solve ~pool p) in
+        let agree = seq.Smt.Portfolio.result = prl.Smt.Portfolio.result in
+        let model_ok =
+          match prl.Smt.Portfolio.model with
+          | Some m -> Smt.Dpll.eval m p.Smt.Dimacs.clauses
+          | None -> prl.Smt.Portfolio.result <> Smt.Sat.Sat
+        in
+        Format.printf
+          "%-18s seq %7.3fs | par %7.3fs (winner cfg %d of %d) | %6.2fx | \
+           agree=%b@."
+          name t_seq t_par prl.Smt.Portfolio.winner prl.Smt.Portfolio.raced
+          (t_seq /. max 1e-9 t_par)
+          (agree && model_ok);
+        (name, t_seq, t_par, agree && model_ok))
+      [ 0; 1; 2; 3 ]
+  in
+  let sat_suite = suite "portfolio_sat" sat_rows in
+  subsection "BMC depth sweep (striped incremental sessions)";
+  let bmc_rows =
+    List.map
+      (fun (name, ts, max_depth) ->
+        let seq, t_seq = timed (fun () -> Mc.Bmc.sweep ts ~max_depth) in
+        let prl, t_par = timed (fun () -> Mc.Bmc.sweep ~pool ts ~max_depth) in
+        let agree = seq = prl in
+        Format.printf "%-18s seq %7.3fs | par %7.3fs | %6.2fx | agree=%b@."
+          name t_seq t_par
+          (t_seq /. max 1e-9 t_par)
+          agree;
+        (name, t_seq, t_par, agree))
+      [
+        ( "safe-mod11-d24",
+          Mc.Systems.mod_counter ~junk:10 ~bits:4 ~modulus:11 ~bad_value:15 (),
+          24 );
+        ( "unsafe-mod8-d24",
+          Mc.Systems.mod_counter ~junk:4 ~bits:3 ~modulus:8 ~bad_value:5 (),
+          24 );
+      ]
+  in
+  let bmc_suite = suite "bmc_sweep" bmc_rows in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("jobs", Obs.Json.Int jobs);
+        ("suites", Obs.Json.List [ sat_suite; bmc_suite ]);
+      ]
+  in
+  let oc = open_out "BENCH_par.json" in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "wrote BENCH_par.json@.";
+  (* speedups are machine-dependent and only reported; verdict agreement
+     is the contract, so divergence fails the run *)
+  if
+    not
+      (List.for_all (fun (_, _, _, ok) -> ok) sat_rows
+      && List.for_all (fun (_, _, _, ok) -> ok) bmc_rows)
+  then begin
+    Format.printf "!! parallel verdicts diverged from sequential@.";
+    exit 1
+  end
+
+(* ================================================================== *)
 (* Bechamel micro-benchmarks                                           *)
 (* ================================================================== *)
 
@@ -1020,6 +1153,7 @@ let experiments =
     ("table1", table1);
     ("ablate", ablate);
     ("perf", perf);
+    ("par", par);
     ("micro", micro);
   ]
 
@@ -1030,6 +1164,17 @@ let () =
       Format.printf "--check-baseline expects a file@.";
       exit 2
     | "--check-baseline" :: file :: rest -> (List.rev acc @ rest, Some file)
+    | [ "--jobs" ] ->
+      Format.printf "--jobs expects a positive integer@.";
+      exit 2
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        par_jobs := n;
+        split_baseline acc rest
+      | _ ->
+        Format.printf "--jobs expects a positive integer, got %s@." n;
+        exit 2)
     | name :: rest -> split_baseline (name :: acc) rest
   in
   let names, baseline =

@@ -12,8 +12,9 @@
      sciduction_cli report trace.jsonl --baseline summary.json
 
    Every application subcommand accepts --trace FILE (JSON-lines
-   telemetry), --stats (console summary on exit) and --quiet (suppress
-   diagnostics, keep the final verdict). *)
+   telemetry), --stats (console summary on exit), --quiet (suppress
+   diagnostics, keep the final verdict) and --jobs N (worker domains
+   for the parallel fan-outs; defaults to SCIDUCTION_JOBS or 1). *)
 
 open Cmdliner
 
@@ -43,22 +44,45 @@ let obs_term =
       value & flag
       & info [ "quiet" ] ~doc:"Suppress diagnostics; keep final verdicts.")
   in
-  Term.(const (fun t s q -> (t, s, q)) $ trace $ stats $ quiet)
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for parallel fan-out (portfolio SAT, BMC \
+                depth sweep, candidate re-checking). Default: \
+                $(b,SCIDUCTION_JOBS) or 1; 1 keeps everything sequential.")
+  in
+  Term.(const (fun t s q j -> (t, s, q, j)) $ trace $ stats $ quiet $ jobs)
 
-let with_obs (trace, stats, quiet) f =
+(* [f] receives the pool ([None] when --jobs resolves to 1): verdicts do
+   not depend on it, only wall-clock time does *)
+let with_obs (trace, stats, quiet, jobs) f =
   Obs.set_quiet quiet;
   if trace <> None || stats then begin
     Obs.enable ();
     Option.iter (fun path -> Obs.add_sink (Obs.jsonl_sink path)) trace
   end;
-  let code = Fun.protect ~finally:Obs.shutdown f in
+  let jobs =
+    match jobs with Some j -> j | None -> Par.env_jobs ~default:1 ()
+  in
+  if jobs < 1 then begin
+    Format.eprintf "--jobs must be positive@.";
+    exit 2
+  end;
+  let pool = if jobs > 1 then Some (Par.Pool.create ~jobs ()) else None in
+  let finally () =
+    Option.iter Par.Pool.shutdown pool;
+    Obs.shutdown ()
+  in
+  let code = Fun.protect ~finally (fun () -> f pool) in
   (* stderr, so --stats composes with piping the verdict from stdout *)
   if stats then Format.eprintf "%a@." Obs.pp_summary ();
   code
 
 (* ---- deobfuscate ---- *)
 
-let deobfuscate_run program width =
+let deobfuscate_run pool program width =
   let obf, library, spec_fn =
     match program with
     | "p1" ->
@@ -77,7 +101,7 @@ let deobfuscate_run program width =
       exit 2
   in
   Obs.info "obfuscated source:@.%a@.@." Prog.Lang.pp obf;
-  match Ogis.Deobfuscate.run ~library obf with
+  match Ogis.Deobfuscate.run ?pool ~library obf with
   | Error _ ->
     Format.printf "synthesis failed@.";
     1
@@ -116,12 +140,12 @@ let deobfuscate_cmd =
     (Cmd.info "deobfuscate" ~doc:"Re-synthesize an obfuscated program (Fig. 8)")
     Term.(
       const (fun obs program width ->
-          with_obs obs (fun () -> deobfuscate_run program width))
+          with_obs obs (fun pool -> deobfuscate_run pool program width))
       $ obs_term $ program $ width)
 
 (* ---- timing ---- *)
 
-let timing_run file bits tau =
+let timing_run pool file bits tau =
   let program, pin =
     match file with
     | Some f -> (Prog.Syntax.parse_file f, [])
@@ -130,7 +154,8 @@ let timing_run file bits tau =
   let pf = Microarch.Platform.create program in
   let platform = Microarch.Platform.time pf in
   let t =
-    Gametime.Analysis.analyze ~bound:bits ~seed:2012 ~pin ~platform program
+    Gametime.Analysis.analyze ~bound:bits ~seed:2012 ~pin ?pool ~platform
+      program
   in
   let w = Gametime.Analysis.wcet t ~platform in
   Obs.info "basis paths: %d@." (List.length t.Gametime.Analysis.basis);
@@ -175,7 +200,7 @@ let timing_cmd =
     (Cmd.info "timing" ~doc:"GameTime analysis of a program (Sec. 3)")
     Term.(
       const (fun obs file bits tau ->
-          with_obs obs (fun () -> timing_run file bits tau))
+          with_obs obs (fun pool -> timing_run pool file bits tau))
       $ obs_term $ file $ bits $ tau)
 
 (* ---- transmission ---- *)
@@ -208,7 +233,7 @@ let transmission_cmd =
        ~doc:"Synthesize transmission switching guards (Sec. 5)")
     Term.(
       const (fun obs dwell grid ->
-          with_obs obs (fun () -> transmission_run dwell grid))
+          with_obs obs (fun _pool -> transmission_run dwell grid))
       $ obs_term $ dwell $ grid)
 
 (* ---- cegar ---- *)
@@ -238,15 +263,15 @@ let cegar_cmd =
     (Cmd.info "cegar" ~doc:"CEGAR on a counter with irrelevant latches")
     Term.(
       const (fun obs junk bits modulus bad_value ->
-          with_obs obs (fun () -> cegar_run junk bits modulus bad_value))
+          with_obs obs (fun _pool -> cegar_run junk bits modulus bad_value))
       $ obs_term $ junk $ bits $ modulus $ bad_value)
 
 (* ---- bmc ---- *)
 
-let bmc_run junk bits modulus bad_value max_depth =
+let bmc_run pool junk bits modulus bad_value max_depth =
   let t = Mc.Systems.mod_counter ~junk ~bits ~modulus ~bad_value () in
   Obs.info "system %s: %d latches@." t.Mc.Ts.name t.Mc.Ts.num_latches;
-  match Mc.Bmc.sweep t ~max_depth with
+  match Mc.Bmc.sweep ?pool t ~max_depth with
   | Some (depth, trace) ->
     Format.printf "UNSAFE: counterexample of %d steps at depth %d@."
       (List.length trace) depth;
@@ -273,12 +298,13 @@ let bmc_cmd =
     (Cmd.info "bmc" ~doc:"Bounded model checking sweep over growing depths")
     Term.(
       const (fun obs junk bits modulus bad_value max_depth ->
-          with_obs obs (fun () -> bmc_run junk bits modulus bad_value max_depth))
+          with_obs obs (fun pool ->
+              bmc_run pool junk bits modulus bad_value max_depth))
       $ obs_term $ junk $ bits $ modulus $ bad_value $ max_depth)
 
 (* ---- invgen ---- *)
 
-let invgen_run circuit n =
+let invgen_run pool circuit n =
   let aig, bad =
     match circuit with
     | "ring" -> Invgen.Engine.ring_counter ~n
@@ -290,7 +316,7 @@ let invgen_run circuit n =
         other;
       exit 2
   in
-  let r = Invgen.Engine.run aig ~bad in
+  let r = Invgen.Engine.run ?pool aig ~bad in
   let verdict = function
     | Invgen.Induction.Proved -> "proved"
     | Invgen.Induction.Cex_in_base -> "cex-in-base"
@@ -322,7 +348,8 @@ let invgen_cmd =
     (Cmd.info "invgen"
        ~doc:"Invariant generation by simulation + mutual induction (Sec. 2.4)")
     Term.(
-      const (fun obs circuit n -> with_obs obs (fun () -> invgen_run circuit n))
+      const (fun obs circuit n ->
+          with_obs obs (fun pool -> invgen_run pool circuit n))
       $ obs_term $ circuit $ n)
 
 (* ---- lstar ---- *)
@@ -356,7 +383,7 @@ let lstar_cmd =
   Cmd.v
     (Cmd.info "lstar" ~doc:"Learn a DFA with Angluin's L* algorithm")
     Term.(
-      const (fun obs states -> with_obs obs (fun () -> lstar_run states))
+      const (fun obs states -> with_obs obs (fun _pool -> lstar_run states))
       $ obs_term $ states)
 
 (* ---- export-chrome ---- *)
@@ -546,7 +573,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Parse and execute a program file")
     Term.(
       const (fun obs file bindings machine ->
-          with_obs obs (fun () -> run_run file bindings machine))
+          with_obs obs (fun _pool -> run_run file bindings machine))
       $ obs_term $ file $ bindings $ machine)
 
 (* ---- table ---- *)

@@ -73,7 +73,9 @@ let check_emission lineno t =
 
 (* depth consistency: spans appear in completion order, children before
    parents, so completed spans wait on a pending list until a span one
-   level up adopts every pending span inside its interval *)
+   level up adopts every pending span inside its interval. Span depth is
+   domain-local (each domain nests its own spans), so the pending lists
+   are kept per [dom] field and nesting is checked within a domain. *)
 type pending_span = {
   ps_line : int;
   ps_name : string;
@@ -82,9 +84,18 @@ type pending_span = {
   ps_end : float;
 }
 
-let pending_spans : pending_span list ref = ref []
+let pending_by_dom : (int, pending_span list ref) Hashtbl.t = Hashtbl.create 4
 
-let check_span_depth lineno name depth t t_end =
+let pending_spans_of dom =
+  match Hashtbl.find_opt pending_by_dom dom with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add pending_by_dom dom l;
+    l
+
+let check_span_depth lineno ~dom name depth t t_end =
+  let pending_spans = pending_spans_of dom in
   if depth < 0 then error "line %d: span %S with negative depth" lineno name
   else begin
     let inside p = p.ps_start >= t -. eps && p.ps_end <= t_end +. eps in
@@ -108,14 +119,17 @@ let check_span_depth lineno name depth t t_end =
   end
 
 let check_pending_at_eof () =
-  List.iter
-    (fun p ->
-      if p.ps_depth > 0 then
-        error
-          "line %d: span %S completed at depth %d but no enclosing span \
-           completed around it"
-          p.ps_line p.ps_name p.ps_depth)
-    !pending_spans
+  Hashtbl.iter
+    (fun _dom pending ->
+      List.iter
+        (fun p ->
+          if p.ps_depth > 0 then
+            error
+              "line %d: span %S completed at depth %d but no enclosing span \
+               completed around it"
+              p.ps_line p.ps_name p.ps_depth)
+        !pending)
+    pending_by_dom
 
 let check_event lineno r =
   match (str "name" r, str "loop" r) with
@@ -176,9 +190,11 @@ let check_record lineno r =
     (match (t, dur) with
     | Some t, Some dur when t >= 0.0 && dur >= 0.0 ->
       check_emission lineno (t +. dur);
+      (* traces predating the dom field are all single-domain *)
+      let dom = Option.value (int_field "dom" r) ~default:0 in
       (match int_field "depth" r with
       | None -> error "line %d: span without a depth" lineno
-      | Some depth -> check_span_depth lineno name depth t (t +. dur))
+      | Some depth -> check_span_depth lineno ~dom name depth t (t +. dur))
     | _ -> ());
     "span"
   | Some "event" ->

@@ -20,7 +20,7 @@ let pin_formula (program : Lang.t) pin =
        (fun (x, v) -> Smt.Bv.eq (Smt.Bv.var ~width x) (Smt.Bv.const ~width v))
        pin)
 
-let analyze ?(bound = 8) ?trials ?seed ?(pin = []) ~platform program =
+let analyze ?(bound = 8) ?trials ?seed ?(pin = []) ?pool ~platform program =
   Obs.with_span "gametime.analyze" ~attrs:[ ("bound", Obs.Int bound) ]
   @@ fun () ->
   let unrolled = Unroll.unroll ~bound program in
@@ -31,7 +31,7 @@ let analyze ?(bound = 8) ?trials ?seed ?(pin = []) ~platform program =
   in
   let model =
     Obs.with_span "gametime.learn" (fun () ->
-        Learner.learn ?trials ?seed ~platform basis)
+        Learner.learn ?trials ?seed ?pool ~platform basis)
   in
   { program; unrolled; cfg; basis; model; pin }
 
@@ -52,9 +52,9 @@ let predictions t =
       Option.map (fun cy -> (path, test, cy)) (predict_path t path))
     (feasible_paths t)
 
-let refine_with_spanner ?trials ?seed ?c ~platform t =
+let refine_with_spanner ?trials ?seed ?c ?pool ~platform t =
   let basis = Spanner.barycentric ?c t.basis ~candidates:(feasible_paths t) t.cfg in
-  let model = Learner.learn ?trials ?seed ~platform basis in
+  let model = Learner.learn ?trials ?seed ?pool ~platform basis in
   { t with basis; model }
 
 type wcet = {

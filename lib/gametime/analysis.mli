@@ -20,6 +20,7 @@ val analyze :
   ?trials:int ->
   ?seed:int ->
   ?pin:(string * int) list ->
+  ?pool:Par.Pool.t ->
   platform:((string * int) list -> int) ->
   Prog.Lang.t ->
   t
@@ -27,7 +28,8 @@ val analyze :
     inputs to constants in every generated test case: problem <TA> is
     posed for a fixed starting environment state, and pinning the
     non-path-relevant inputs (e.g. the modexp base) fixes the data state
-    the same way the paper's Fig. 6 experiment does. *)
+    the same way the paper's Fig. 6 experiment does. [pool] is
+    forwarded to {!Learner.learn} for the measurement fan-out. *)
 
 val predict_path : t -> Prog.Paths.path -> float option
 
@@ -35,6 +37,7 @@ val refine_with_spanner :
   ?trials:int ->
   ?seed:int ->
   ?c:float ->
+  ?pool:Par.Pool.t ->
   platform:((string * int) list -> int) ->
   t ->
   t

@@ -21,7 +21,7 @@ let all_zero w = Array.for_all (fun x -> x = 0) w
 let implies_sig a b =
   Array.for_all2 (fun wa wb -> wa land lnot wb land lanes_mask = 0) a b
 
-let from_simulation ?(frames = 16) ?(seed = 99) ?implication_focus aig =
+let from_simulation ?(frames = 16) ?(seed = 99) ?implication_focus ?pool aig =
   Aig.validate aig;
   let sig_ = Aig.simulate_words aig ~frames ~seed in
   let n = Aig.num_nodes aig in
@@ -51,23 +51,34 @@ let from_simulation ?(frames = 16) ?(seed = 99) ?implication_focus aig =
       end
     end
   done;
-  (* implications *)
+  (* implications: an O(|focus|^2) scan over pure signature reads, so
+     the rows fan out one pool task per antecedent literal; row order is
+     preserved, giving the same candidate list as the sequential scan *)
   let focus =
     Option.value implication_focus ~default:(Aig.latches aig)
   in
   let lits = List.concat_map (fun l -> [ l; Aig.neg l ]) focus in
-  List.iter
-    (fun a ->
-      List.iter
-        (fun b ->
-          if a <> b && a <> Aig.neg b then begin
-            let sa = signature_of sig_ a and sb = signature_of sig_ b in
-            if implies_sig sa sb && not (all_zero sa) && not (all_zero (signature_of sig_ (Aig.neg b)))
-            then cands := Implies (a, b) :: !cands
-          end)
-        lits)
-    lits;
-  List.rev !cands
+  let row a =
+    List.filter_map
+      (fun b ->
+        if a <> b && a <> Aig.neg b then begin
+          let sa = signature_of sig_ a and sb = signature_of sig_ b in
+          if
+            implies_sig sa sb && (not (all_zero sa))
+            && not (all_zero (signature_of sig_ (Aig.neg b)))
+          then Some (Implies (a, b))
+          else None
+        end
+        else None)
+      lits
+  in
+  let impls =
+    match pool with
+    | Some pool when Par.Pool.jobs pool > 1 ->
+      List.concat (Par.map_list pool row lits)
+    | _ -> List.concat_map row lits
+  in
+  List.rev !cands @ impls
 
 let pp fmt = function
   | Equiv (a, b) -> Format.fprintf fmt "l%d == l%d" a b

@@ -15,10 +15,16 @@ type t =
 val holds_in : Aig.t -> latch_values:bool array -> input_values:bool array -> t -> bool
 
 val from_simulation :
-  ?frames:int -> ?seed:int -> ?implication_focus:Aig.lit list -> Aig.t ->
+  ?frames:int ->
+  ?seed:int ->
+  ?implication_focus:Aig.lit list ->
+  ?pool:Par.Pool.t ->
+  Aig.t ->
   t list
 (** Constants and equivalences over all non-input nodes, plus
     implications among [implication_focus] literals and their negations
-    (default: the latch literals). *)
+    (default: the latch literals). With [?pool] the quadratic
+    implication scan fans out one task per antecedent literal; the
+    result is identical to the sequential scan. *)
 
 val pp : Format.formatter -> t -> unit

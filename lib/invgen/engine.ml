@@ -10,22 +10,43 @@ let string_of_verdict = function
   | Induction.Cex_in_base -> "cex_in_base"
   | Induction.Unknown -> "unknown"
 
-let run ?frames ?seed aig ~bad =
+let run ?frames ?seed ?pool aig ~bad =
   let lp =
     Obs.Loop.start "invgen"
       ~attrs:[ ("latches", Obs.Int (Aig.num_latches aig)) ]
   in
   let cands =
     Obs.with_span "invgen.simulate" (fun () ->
-        Candidates.from_simulation ?frames ?seed aig)
+        Candidates.from_simulation ?frames ?seed ?pool aig)
   in
   (* the simulation-pruned candidate set is this loop's hypothesis *)
   Obs.Loop.candidate lp ~attrs:[ ("count", Obs.Int (List.length cands)) ];
   let proven = Induction.filter_inductive ~loop:lp aig cands in
-  let verdict = Induction.prove_property aig ~bad ~invariants:proven in
-  Obs.Loop.verdict lp (string_of_verdict verdict)
-    ~attrs:[ ("proven", Obs.Int (List.length proven)) ];
-  let verdict_unaided = Induction.prove_property aig ~bad ~invariants:[] in
+  (* the strengthened and unaided property checks are independent SAT
+     problems over separate solvers, so with a pool they race on two
+     domains; loop events are still emitted in the sequential order *)
+  let emit_verdict v =
+    Obs.Loop.verdict lp (string_of_verdict v)
+      ~attrs:[ ("proven", Obs.Int (List.length proven)) ]
+  in
+  let verdict, verdict_unaided =
+    match pool with
+    | Some pool when Par.Pool.jobs pool > 1 ->
+      let aided =
+        Par.submit pool (fun () ->
+            Induction.prove_property aig ~bad ~invariants:proven)
+      and unaided =
+        Par.submit pool (fun () ->
+            Induction.prove_property aig ~bad ~invariants:[])
+      in
+      let v = Par.await pool aided in
+      emit_verdict v;
+      (v, Par.await pool unaided)
+    | _ ->
+      let v = Induction.prove_property aig ~bad ~invariants:proven in
+      emit_verdict v;
+      (v, Induction.prove_property aig ~bad ~invariants:[])
+  in
   Obs.Loop.finish lp
     ~attrs:
       [

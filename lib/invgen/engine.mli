@@ -10,7 +10,11 @@ type report = {
   verdict_unaided : Induction.verdict;  (** plain induction, no invariants *)
 }
 
-val run : ?frames:int -> ?seed:int -> Aig.t -> bad:Aig.lit -> report
+val run :
+  ?frames:int -> ?seed:int -> ?pool:Par.Pool.t -> Aig.t -> bad:Aig.lit -> report
+(** With [?pool], the candidate implication scan fans out across domains
+    and the strengthened/unaided property checks run concurrently; the
+    report is identical to a sequential run. *)
 
 (** {2 Example circuits} *)
 

@@ -134,10 +134,87 @@ let check_depth sess ~depth =
   Tseitin.pop ctx;
   result
 
+(* Parallel sweep: depths are striped across the pool's concurrency
+   units, each stripe owning its own persistent incremental session over
+   its residue class (depth = start + w, start + w + jobs, ...), so
+   frame reuse and learned clauses survive within a stripe just as they
+   do across the whole sequential sweep. A shared atomic records the
+   shallowest counterexample depth found so far; stripes skip depths at
+   or past it. Any recorded depth is a genuine counterexample depth, so
+   every depth below the minimal one is still checked by its owner —
+   the reported depth is therefore the same minimal depth the
+   sequential sweep finds. Only the concrete trace can differ from the
+   sequential one (each stripe's solver sees its own query history,
+   though that history is itself deterministic below the minimal
+   counterexample depth). *)
+let sweep_par ~start pool (ts : Ts.t) ~max_depth =
+  let width = Par.Pool.jobs pool in
+  let lp =
+    Obs.Loop.start "bmc"
+      ~attrs:
+        [
+          ("start", Obs.Int start);
+          ("max_depth", Obs.Int max_depth);
+          ("latches", Obs.Int ts.Ts.num_latches);
+          ("inputs", Obs.Int ts.Ts.num_inputs);
+          ("jobs", Obs.Int width);
+        ]
+  in
+  let best = Atomic.make max_int in
+  let iter_ix = Atomic.make 0 in
+  let rec record depth =
+    let cur = Atomic.get best in
+    if depth < cur && not (Atomic.compare_and_set best cur depth) then
+      record depth
+  in
+  let stripe w () =
+    let sess = new_session ts in
+    let found = ref None in
+    let d = ref (start + w) in
+    while !d <= max_depth && !d < Atomic.get best do
+      let depth = !d in
+      Obs.Loop.iteration lp
+        (Atomic.fetch_and_add iter_ix 1)
+        ~attrs:[ ("depth", Obs.Int depth) ];
+      match check_depth sess ~depth with
+      | Some trace ->
+        found := Some (depth, trace);
+        record depth;
+        (* deeper depths in this stripe are moot: a counterexample at
+           [depth] subsumes them *)
+        d := max_depth + 1
+      | None ->
+        Obs.Loop.verdict lp "no_cex" ~attrs:[ ("depth", Obs.Int depth) ];
+        d := depth + width
+    done;
+    !found
+  in
+  let futures = List.init width (fun w -> Par.submit pool (stripe w)) in
+  let results = Par.await_all pool futures in
+  let first =
+    List.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | Some (da, _), Some (db, _) -> if db < da then r else acc
+        | None, r -> r
+        | acc, None -> acc)
+      None results
+  in
+  match first with
+  | Some (depth, trace) ->
+    Obs.Loop.counterexample lp
+      ~attrs:[ ("length", Obs.Int (List.length trace)) ];
+    Obs.Loop.verdict lp "unsafe" ~attrs:[ ("depth", Obs.Int depth) ];
+    Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "unsafe") ];
+    Some (depth, trace)
+  | None ->
+    Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "safe_within_bound") ];
+    None
+
 (* The classic BMC loop: one persistent session, depths 0..max_depth in
    turn. Each depth is one loop iteration, so a trace of a sweep shows
    where the solving time concentrates as the unrolling grows. *)
-let sweep ?(start = 0) (ts : Ts.t) ~max_depth =
+let sweep_seq ~start (ts : Ts.t) ~max_depth =
   let lp =
     Obs.Loop.start "bmc"
       ~attrs:
@@ -169,3 +246,8 @@ let sweep ?(start = 0) (ts : Ts.t) ~max_depth =
     end
   in
   go start 0
+
+let sweep ?(start = 0) ?pool (ts : Ts.t) ~max_depth =
+  match pool with
+  | Some pool when Par.Pool.jobs pool > 1 -> sweep_par ~start pool ts ~max_depth
+  | _ -> sweep_seq ~start ts ~max_depth

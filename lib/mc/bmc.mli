@@ -37,8 +37,19 @@ val check_depth : session -> depth:int -> bool array list option
 (** Same contract as {!check}. Depths may be queried in any order. *)
 
 val sweep :
-  ?start:int -> Ts.t -> max_depth:int -> (int * bool array list) option
+  ?start:int ->
+  ?pool:Par.Pool.t ->
+  Ts.t ->
+  max_depth:int ->
+  (int * bool array list) option
 (** The standard BMC loop over one persistent session: query depths
     [start..max_depth] in turn, returning [(depth, trace)] for the first
     reachable bad state, or [None] when the whole range is clean. Emits
-    one telemetry loop iteration per depth. *)
+    one telemetry loop iteration per depth.
+
+    With [?pool] (of more than one job), depths are striped across the
+    pool's concurrency units, one persistent session per stripe, and a
+    stripe that finds a counterexample cuts the others short at the
+    next depth boundary; the minimal reachable depth — and hence the
+    verdict — is identical to the sequential sweep, though the concrete
+    trace may differ. *)

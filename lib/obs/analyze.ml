@@ -10,6 +10,7 @@ type record =
       name : string;
       dur : float;
       depth : int;
+      dom : int;
       attrs : (string * Json.t) list;
     }
   | Event of {
@@ -37,7 +38,11 @@ let record_of_json j =
       let depth =
         Option.value ~default:0 (Option.bind (Json.member "depth" j) Json.to_int)
       in
-      Ok (Span { t; name; dur; depth; attrs = fields "attrs" }))
+      (* traces predating the dom field are all single-domain *)
+      let dom =
+        Option.value ~default:0 (Option.bind (Json.member "dom" j) Json.to_int)
+      in
+      Ok (Span { t; name; dur; depth; dom; attrs = fields "attrs" }))
   | Some "event", Some t -> (
     match str "name" with
     | None -> Error "event without a name"
@@ -276,7 +281,7 @@ type node = {
    interval. Deeper or earlier leftovers mean the enclosing span never
    completed (a truncated trace); they surface as roots and are counted
    as orphans. *)
-let span_forest spans =
+let span_forest_one spans =
   let eps = 1e-9 in
   let pending = ref [] in
   let roots = ref [] in
@@ -309,6 +314,32 @@ let span_forest spans =
       roots := n :: !roots)
     !pending;
   (List.sort (fun a b -> compare a.n_t b.n_t) !roots, !orphans)
+
+(* Depth is domain-local, so completion-order reconstruction only makes
+   sense within one domain: group the spans by their [dom] field, build
+   each domain's forest, then merge the roots chronologically. *)
+let span_forest spans =
+  let by_dom : (int, (string * float * float * int) list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let order = ref [] in
+  List.iter
+    (fun (dom, span) ->
+      match Hashtbl.find_opt by_dom dom with
+      | Some l -> l := span :: !l
+      | None ->
+        Hashtbl.add by_dom dom (ref [ span ]);
+        order := dom :: !order)
+    spans;
+  let roots, orphans =
+    List.fold_left
+      (fun (roots, orphans) dom ->
+        let l = Hashtbl.find by_dom dom in
+        let r, o = span_forest_one (List.rev !l) in
+        (List.rev_append r roots, orphans + o))
+      ([], 0) !order
+  in
+  (List.sort (fun a b -> compare a.n_t b.n_t) roots, orphans)
 
 let frames_of_forest roots =
   let tbl : (string list, int ref * float ref * float ref) Hashtbl.t =
@@ -400,10 +431,10 @@ let analyze records =
   List.iter
     (fun r ->
       match r with
-      | Span { t; name; dur; depth; attrs = _ } ->
+      | Span { t; name; dur; depth; dom; attrs = _ } ->
         incr nspans;
         wall := Float.max !wall (t +. dur);
-        spans := (name, t, dur, depth) :: !spans;
+        spans := (dom, (name, t, dur, depth)) :: !spans;
         last_kind := `Other
       | Snapshot { t; metrics = m } ->
         wall := Float.max !wall t;

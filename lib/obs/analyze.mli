@@ -21,6 +21,7 @@ type record =
       name : string;
       dur : float;
       depth : int;
+      dom : int;  (** emitting domain; 0 in single-domain traces *)
       attrs : (string * Json.t) list;
     }
   | Event of {

@@ -1,11 +1,16 @@
-type counter = int ref
-type gauge = float ref
+type counter = int Atomic.t
+type gauge = float Atomic.t
 
 (* 1 + bits(v) buckets: observation v lands in bucket [bits v], whose
    inclusive upper bound is 2^bits - 1; bucket 0 holds v <= 0 *)
 let nbuckets = 63
 
+(* Counters and gauges are single atomics; histograms update four
+   fields plus a bucket per observation, so they carry a private mutex
+   (uncontended in sequential runs, and observations are far rarer than
+   counter bumps). *)
 type histogram = {
+  h_lock : Mutex.t;
   mutable h_count : int;
   mutable h_sum : int;
   mutable h_min : int; (* max_int when empty *)
@@ -20,13 +25,22 @@ type entry =
 
 let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
 
+(* Guards the registry table itself (registration, snapshot, reset) —
+   never the per-instrument updates. *)
+let registry_lock = Mutex.create ()
+
 let register name make describe =
-  match Hashtbl.find_opt registry name with
-  | Some e -> describe e
-  | None ->
-    let e = make () in
-    Hashtbl.add registry name e;
-    describe e
+  Mutex.lock registry_lock;
+  let e =
+    match Hashtbl.find_opt registry name with
+    | Some e -> e
+    | None ->
+      let e = make () in
+      Hashtbl.add registry name e;
+      e
+  in
+  Mutex.unlock registry_lock;
+  describe e
 
 let kind_error name =
   invalid_arg
@@ -34,27 +48,28 @@ let kind_error name =
 
 let counter name =
   register name
-    (fun () -> C (ref 0))
+    (fun () -> C (Atomic.make 0))
     (function C c -> c | _ -> kind_error name)
 
-let incr (c : counter) = Stdlib.incr c
-let add (c : counter) n = c := !c + n
-let counter_value (c : counter) = !c
-let set_counter (c : counter) n = c := n
+let incr (c : counter) = ignore (Atomic.fetch_and_add c 1 : int)
+let add (c : counter) n = ignore (Atomic.fetch_and_add c n : int)
+let counter_value (c : counter) = Atomic.get c
+let set_counter (c : counter) n = Atomic.set c n
 
 let gauge name =
   register name
-    (fun () -> G (ref 0.0))
+    (fun () -> G (Atomic.make 0.0))
     (function G g -> g | _ -> kind_error name)
 
-let set_gauge (g : gauge) v = g := v
-let gauge_value (g : gauge) = !g
+let set_gauge (g : gauge) v = Atomic.set g v
+let gauge_value (g : gauge) = Atomic.get g
 
 let histogram name =
   register name
     (fun () ->
       H
         {
+          h_lock = Mutex.create ();
           h_count = 0;
           h_sum = 0;
           h_min = max_int;
@@ -75,24 +90,32 @@ let bucket_of v =
   end
 
 let observe h v =
+  Mutex.lock h.h_lock;
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum + v;
   if v < h.h_min then h.h_min <- v;
   if v > h.h_max then h.h_max <- v;
   let b = bucket_of v in
-  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1;
+  Mutex.unlock h.h_lock
 
 let hist_count h = h.h_count
 let hist_sum h = h.h_sum
 let hist_max h = h.h_max
 
-let buckets_of h =
+let buckets_of_locked h =
   let buckets = ref [] in
   for b = nbuckets - 1 downto 0 do
     if h.h_buckets.(b) > 0 then
       buckets := ((1 lsl b) - 1, h.h_buckets.(b)) :: !buckets
   done;
   !buckets
+
+let buckets_of h =
+  Mutex.lock h.h_lock;
+  let b = buckets_of_locked h in
+  Mutex.unlock h.h_lock;
+  b
 
 let percentile_of_buckets ~buckets ~count ~max:hmax p =
   if count <= 0 then 0
@@ -125,36 +148,48 @@ type snapshot_value =
     }
 
 let snapshot () =
-  Hashtbl.fold
-    (fun name entry acc ->
+  Mutex.lock registry_lock;
+  let entries = Hashtbl.fold (fun name e acc -> (name, e) :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.map
+    (fun (name, entry) ->
       let v =
         match entry with
-        | C c -> Counter !c
-        | G g -> Gauge !g
+        | C c -> Counter (Atomic.get c)
+        | G g -> Gauge (Atomic.get g)
         | H h ->
-          Histogram
-            {
-              count = h.h_count;
-              sum = h.h_sum;
-              min = (if h.h_count = 0 then 0 else h.h_min);
-              max = h.h_max;
-              buckets = buckets_of h;
-            }
+          Mutex.lock h.h_lock;
+          let v =
+            Histogram
+              {
+                count = h.h_count;
+                sum = h.h_sum;
+                min = (if h.h_count = 0 then 0 else h.h_min);
+                max = h.h_max;
+                buckets = buckets_of_locked h;
+              }
+          in
+          Mutex.unlock h.h_lock;
+          v
       in
-      (name, v) :: acc)
-    registry []
+      (name, v))
+    entries
   |> List.sort compare
 
 let reset () =
-  Hashtbl.iter
-    (fun _ entry ->
-      match entry with
-      | C c -> c := 0
-      | G g -> g := 0.0
+  Mutex.lock registry_lock;
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.iter
+    (function
+      | C c -> Atomic.set c 0
+      | G g -> Atomic.set g 0.0
       | H h ->
+        Mutex.lock h.h_lock;
         h.h_count <- 0;
         h.h_sum <- 0;
         h.h_min <- max_int;
         h.h_max <- 0;
-        Array.fill h.h_buckets 0 nbuckets 0)
-    registry
+        Array.fill h.h_buckets 0 nbuckets 0;
+        Mutex.unlock h.h_lock)
+    entries

@@ -1,11 +1,16 @@
 (** A process-wide registry of named counters, gauges and histograms.
 
     Instrumented code obtains its instrument once (typically at module
-    initialization) and then updates it with a single unguarded memory
-    write, so the always-on cost is one increment — no hashing, no
-    branching on an enable flag. The registry owns the names: asking for
-    the same name twice returns the same instrument, and a [reset]
+    initialization) and then updates it with a single atomic memory
+    operation, so the always-on cost is one fetch-and-add — no hashing,
+    no branching on an enable flag. The registry owns the names: asking
+    for the same name twice returns the same instrument, and a [reset]
     zeroes values while keeping every registration alive.
+
+    The registry is domain-safe: counters and gauges are atomics,
+    histograms and the name table are mutex-guarded, so solvers running
+    on [Par] pool domains update the same process-wide totals without
+    losing increments.
 
     Counters are monotone event counts (solver conflicts, cache hits).
     Gauges are last-write-wins levels (learnt-DB size). Histograms

@@ -10,13 +10,28 @@ type value =
 
 type attrs = (string * value) list
 
-(* ----- global state (single-threaded, like the rest of the repo) ----- *)
+(* ----- global state -----
+
+   Shared across domains once a [Par] pool is in play. Three rules keep
+   it coherent: (1) one process-wide [obs_lock] guards the sinks, the
+   aggregate tables, and — crucially — the timestamp-and-emit step, so
+   records land in the trace in emission order even when several domains
+   finish spans at once; (2) span depth and the loop stack are
+   domain-local (a worker's spans nest among themselves, not inside
+   whatever the submitter happens to be doing); (3) every span/event
+   record carries the emitting domain's id, so [trace_check] and
+   [Analyze] reconstruct each domain's nesting separately. *)
 
 let enabled_flag = ref false
 let quiet_flag = ref false
 let t0 = ref 0.0
-let depth = ref 0
-let loop_stack : string list ref = ref []
+let obs_lock = Mutex.create ()
+
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+let loop_stack_key = Domain.DLS.new_key (fun () : string list ref -> ref [])
+let depth () = Domain.DLS.get depth_key
+let loop_stack () = Domain.DLS.get loop_stack_key
+let dom_id () = (Domain.self () :> int)
 
 type sink = {
   sink_name : string;
@@ -64,6 +79,7 @@ let json_of_value = function
 let json_of_attrs attrs =
   Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) attrs)
 
+(* must be called with [obs_lock] held *)
 let emit_record r = List.iter (fun s -> s.emit r) !sinks
 
 let span_record ~t ~name ~dur ~depth ~attrs =
@@ -74,6 +90,7 @@ let span_record ~t ~name ~dur ~depth ~attrs =
       ("name", Json.String name);
       ("dur", Json.Float dur);
       ("depth", Json.Int depth);
+      ("dom", Json.Int (dom_id ()));
       ("attrs", json_of_attrs attrs);
     ]
 
@@ -84,6 +101,7 @@ let event_record ~t ~name ~loop ~attrs =
       ("kind", Json.String "event");
       ("name", Json.String name);
       ("loop", Json.String loop);
+      ("dom", Json.Int (dom_id ()));
       ("attrs", json_of_attrs attrs);
     ]
 
@@ -121,24 +139,31 @@ let close_sinks () =
   sinks := []
 
 let shutdown () =
+  Mutex.lock obs_lock;
   if !enabled_flag && !sinks <> [] then emit_record (metrics_record ());
   close_sinks ();
   enabled_flag := false;
-  depth := 0;
-  loop_stack := []
+  Mutex.unlock obs_lock;
+  depth () := 0;
+  loop_stack () := []
 
 let reset () =
+  Mutex.lock obs_lock;
   close_sinks ();
   enabled_flag := false;
-  depth := 0;
-  loop_stack := [];
   Hashtbl.reset span_aggs;
   Hashtbl.reset loop_aggs;
+  Mutex.unlock obs_lock;
+  depth () := 0;
+  loop_stack () := [];
   Metrics.reset ()
 
 (* ----- sinks ----- *)
 
-let add_sink s = sinks := !sinks @ [ s ]
+let add_sink s =
+  Mutex.lock obs_lock;
+  sinks := !sinks @ [ s ];
+  Mutex.unlock obs_lock
 
 let jsonl_sink path =
   let oc = open_out path in
@@ -176,6 +201,7 @@ let null_span =
 let start_span ?(attrs = []) name =
   if not !enabled_flag then null_span
   else begin
+    let depth = depth () in
     let d = !depth in
     depth := d + 1;
     {
@@ -197,7 +223,12 @@ let span_agg_of name =
 
 let end_span ?(attrs = []) sp =
   if sp.sp_live && !enabled_flag then begin
+    let depth = depth () in
     if !depth > 0 then depth := !depth - 1;
+    (* the clock is read inside the lock: emission time is t + dur, so
+       serializing the read with the write keeps the trace in emission
+       order across domains *)
+    Mutex.lock obs_lock;
     let dur = now () -. !t0 -. sp.sp_start in
     let dur = if dur < 0.0 then 0.0 else dur in
     let a = span_agg_of sp.sp_name in
@@ -206,7 +237,8 @@ let end_span ?(attrs = []) sp =
     if dur > a.s_max then a.s_max <- dur;
     emit_record
       (span_record ~t:sp.sp_start ~name:sp.sp_name ~dur ~depth:sp.sp_depth
-         ~attrs:(sp.sp_attrs @ attrs))
+         ~attrs:(sp.sp_attrs @ attrs));
+    Mutex.unlock obs_lock
   end
 
 let with_span ?attrs name f =
@@ -249,6 +281,7 @@ let loop_agg_of name =
 
 let emit ev =
   if !enabled_flag then begin
+    Mutex.lock obs_lock;
     let t = now () -. !t0 in
     let name, loop, attrs =
       match ev with
@@ -273,10 +306,11 @@ let emit ev =
         ("solver_call", loop, ("result", String result) :: attrs)
       | Loop_finished { loop; attrs } -> ("loop_finished", loop, attrs)
     in
-    emit_record (event_record ~t ~name ~loop ~attrs)
+    emit_record (event_record ~t ~name ~loop ~attrs);
+    Mutex.unlock obs_lock
   end
 
-let current_loop () = match !loop_stack with [] -> "" | l :: _ -> l
+let current_loop () = match !(loop_stack ()) with [] -> "" | l :: _ -> l
 
 module Loop = struct
   type t = {
@@ -288,7 +322,8 @@ module Loop = struct
   let start ?(attrs = []) name =
     if not !enabled_flag then { ln = name; lt0 = 0.0; alive = false }
     else begin
-      loop_stack := name :: !loop_stack;
+      let stack = loop_stack () in
+      stack := name :: !stack;
       emit (Loop_started { loop = name; attrs });
       { ln = name; lt0 = now (); alive = true }
     end
@@ -311,10 +346,13 @@ module Loop = struct
     if l.alive then begin
       l.alive <- false;
       let elapsed = now () -. l.lt0 in
+      Mutex.lock obs_lock;
       (loop_agg_of l.ln).l_elapsed <- (loop_agg_of l.ln).l_elapsed +. elapsed;
-      (match !loop_stack with
-      | top :: rest when top = l.ln -> loop_stack := rest
-      | stack -> loop_stack := List.filter (fun n -> n <> l.ln) stack);
+      Mutex.unlock obs_lock;
+      let stack = loop_stack () in
+      (match !stack with
+      | top :: rest when top = l.ln -> stack := rest
+      | s -> stack := List.filter (fun n -> n <> l.ln) s);
       emit
         (Loop_finished
            { loop = l.ln; attrs = attrs @ [ ("elapsed", Float elapsed) ] })
@@ -339,6 +377,7 @@ let pp_summary ppf () =
   let line fmt = Format.fprintf ppf fmt in
   line "@.== telemetry summary ==@.";
   (* per-loop timings *)
+  Mutex.lock obs_lock;
   let loops =
     Hashtbl.fold (fun n a acc -> (n, a) :: acc) loop_aggs []
     |> List.sort compare
@@ -360,6 +399,7 @@ let pp_summary ppf () =
     Hashtbl.fold (fun n a acc -> (n, a) :: acc) span_aggs []
     |> List.sort (fun (_, a) (_, b) -> compare b.s_total a.s_total)
   in
+  Mutex.unlock obs_lock;
   if spans <> [] then begin
     line "@.spans:@.";
     line "  %-24s %7s %9s %9s %9s@." "span" "count" "total(s)" "mean(ms)"

@@ -9,8 +9,15 @@
     loop event emitters return immediately, and only the registry
     counters (plain increments that predate this library) stay live.
     [enable] starts the monotonic-origin clock; every record carries a
-    timestamp in seconds since then. The library is single-threaded, like
-    the rest of the repository. *)
+    timestamp in seconds since then.
+
+    The library is domain-safe: the metrics registry uses atomics, sink
+    writes and aggregate updates are serialized under one lock (records
+    reach a JSONL trace whole, in emission order), and span depth and
+    the current-loop stack are domain-local, so tasks on a [Par] pool
+    trace independently. Each span/event record carries a [dom] field
+    (the emitting domain's id); [trace_check] and {!Analyze} reconstruct
+    nesting per domain. Spans must start and end on the same domain. *)
 
 module Json = Json
 module Metrics = Metrics

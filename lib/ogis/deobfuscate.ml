@@ -11,7 +11,7 @@ type result = {
   seconds : float;
 }
 
-let run ?max_iterations ?initial_inputs ?reuse ~library (p : Lang.t) =
+let run ?max_iterations ?initial_inputs ?reuse ?pool ~library (p : Lang.t) =
   let spec =
     {
       Encode.width = p.Lang.width;
@@ -22,7 +22,7 @@ let run ?max_iterations ?initial_inputs ?reuse ~library (p : Lang.t) =
   in
   let t0 = Unix.gettimeofday () in
   match
-    Synth.synthesize ?max_iterations ?initial_inputs ?reuse spec
+    Synth.synthesize ?max_iterations ?initial_inputs ?reuse ?pool spec
       (oracle_of_program p)
   with
   | Synth.Synthesized (clean, stats) ->

@@ -19,9 +19,10 @@ val run :
   ?max_iterations:int ->
   ?initial_inputs:int list list ->
   ?reuse:bool ->
+  ?pool:Par.Pool.t ->
   library:Component.t list ->
   Prog.Lang.t ->
   (result, Synth.outcome) Stdlib.result
 (** Deobfuscate a program against a component library. [Error] carries
-    the non-success outcome. [initial_inputs] and [reuse] are forwarded
-    to {!Synth.synthesize}. *)
+    the non-success outcome. [initial_inputs], [reuse] and [pool] are
+    forwarded to {!Synth.synthesize}. *)

@@ -28,6 +28,14 @@ type outcome = {
   seconds : float;
 }
 
-val run : ?width:int -> benchmark -> outcome
+val run : ?width:int -> ?pool:Par.Pool.t -> benchmark -> outcome
 (** Synthesize at the given width (default 8) and verify the result
-    against [spec] with an SMT equivalence query. *)
+    against [spec] with an SMT equivalence query. [?pool] is forwarded
+    to [Synth.synthesize] for the candidate re-check fan-out. *)
+
+val run_all : ?width:int -> ?pool:Par.Pool.t -> unit -> outcome list
+(** Run the whole suite, in [all]'s order. With [?pool], one pool task
+    per benchmark (the benchmarks share no state); each benchmark's
+    outcome — synthesized program, verification, statistics — is the
+    same as a sequential run, only the wall-clock order of execution
+    differs. *)

@@ -14,7 +14,20 @@ type outcome =
   | Unrealizable of stats
   | Out_of_budget of stats
 
-let synthesize ?(max_iterations = 64) ?initial_inputs ?(reuse = true)
+(* Candidate-vs-counterexample re-checking. Sequentially only the new
+   example needs evaluating (the synthesis solver guarantees consistency
+   with every older one); with a pool the whole example set is re-checked
+   concurrently — [Straightline.eval] is pure, so the chunked fan-out is
+   safe and the verdict identical. *)
+let candidate_holds ?pool cand ex examples =
+  let agrees (ins, outs) = Straightline.eval cand ins = outs in
+  match pool with
+  | Some pool when Par.Pool.jobs pool > 1 ->
+    Array.for_all Fun.id
+      (Par.map pool agrees (Array.of_list (ex :: examples)))
+  | _ -> agrees ex
+
+let synthesize ?(max_iterations = 64) ?initial_inputs ?(reuse = true) ?pool
     (spec : Encode.spec) oracle =
   let lp =
     Obs.Loop.start "ogis"
@@ -98,7 +111,7 @@ let synthesize ?(max_iterations = 64) ?initial_inputs ?(reuse = true)
             finished (Synthesized (cand, stats ()))
           | Some input ->
             Obs.Loop.verdict lp "distinguished";
-            let ((ins, outs) as ex) = ask input in
+            let ex = ask input in
             Obs.Loop.counterexample lp;
             Encode.add_example sess ex;
             (* candidate retention: the distinguishing input separates
@@ -109,7 +122,7 @@ let synthesize ?(max_iterations = 64) ?initial_inputs ?(reuse = true)
                synthesis re-solve and keep the verifier's differs
                constraint in place, so the next distinguishing query is
                a pure strengthening of this one. *)
-            let keep = Straightline.eval cand ins = outs in
+            let keep = candidate_holds ?pool cand ex examples in
             loop (iterations + 1)
               (if keep then Some cand else None)
               (ex :: examples))

@@ -26,6 +26,7 @@ val synthesize :
   ?max_iterations:int ->
   ?initial_inputs:int list list ->
   ?reuse:bool ->
+  ?pool:Par.Pool.t ->
   Encode.spec ->
   oracle ->
   outcome
@@ -35,7 +36,11 @@ val synthesize :
     input unless [initial_inputs] is given. With [reuse] (the default)
     one pair of incremental solvers persists across iterations via
     {!Encode.session}; [~reuse:false] rebuilds both encodings each
-    iteration and exists as the benchmark baseline. *)
+    iteration and exists as the benchmark baseline.
+
+    [?pool] parallelizes the candidate-vs-counterexample re-check of the
+    retention step across the whole example set; the loop's verdicts and
+    iteration structure are unchanged. *)
 
 val verify_against :
   Encode.spec ->

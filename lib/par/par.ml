@@ -1,0 +1,263 @@
+exception Cancelled
+
+module Cancel = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+  let none = Atomic.make false
+  let set t = Atomic.set t true
+  let is_set t = Atomic.get t
+  let check t = if Atomic.get t then raise Cancelled
+end
+
+(* A job is a closure that runs a task and stores its outcome in the
+   task's future; the queue never sees result types. *)
+type job = unit -> unit
+
+type pool = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  jobs : int;
+  mutable workers : unit Domain.t list;
+  mutable closing : bool;
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fut_lock : Mutex.t;
+  settled : Condition.t;
+  mutable state : 'a state;
+}
+
+(* Pop a job if one is queued. Blocking variant used by workers only;
+   returns None when the pool is closing and the queue has drained. *)
+let try_pop p =
+  Mutex.lock p.lock;
+  let job = if Queue.is_empty p.queue then None else Some (Queue.pop p.queue) in
+  Mutex.unlock p.lock;
+  job
+
+let pop_blocking p =
+  Mutex.lock p.lock;
+  let rec wait () =
+    if not (Queue.is_empty p.queue) then Some (Queue.pop p.queue)
+    else if p.closing then None
+    else begin
+      Condition.wait p.nonempty p.lock;
+      wait ()
+    end
+  in
+  let job = wait () in
+  Mutex.unlock p.lock;
+  job
+
+let worker_loop p =
+  let rec go () =
+    match pop_blocking p with
+    | None -> ()
+    | Some job ->
+      job ();
+      go ()
+  in
+  go ()
+
+module Pool = struct
+  type t = pool
+
+  let create ?jobs () =
+    let jobs =
+      match jobs with
+      | Some n ->
+        if n < 1 then invalid_arg "Par.Pool.create: jobs must be >= 1";
+        n
+      | None -> Domain.recommended_domain_count ()
+    in
+    let p =
+      {
+        lock = Mutex.create ();
+        nonempty = Condition.create ();
+        queue = Queue.create ();
+        jobs;
+        workers = [];
+        closing = false;
+      }
+    in
+    p.workers <-
+      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p));
+    p
+
+  let jobs p = p.jobs
+
+  let shutdown p =
+    Mutex.lock p.lock;
+    let ws = p.workers in
+    p.closing <- true;
+    p.workers <- [];
+    Condition.broadcast p.nonempty;
+    Mutex.unlock p.lock;
+    List.iter Domain.join ws
+
+  let with_pool ?jobs f =
+    let p = create ?jobs () in
+    Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+end
+
+let env_jobs ?(default = 1) () =
+  match Sys.getenv_opt "SCIDUCTION_JOBS" with
+  | None -> default
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> default)
+
+let settle fut st =
+  Mutex.lock fut.fut_lock;
+  fut.state <- st;
+  Condition.broadcast fut.settled;
+  Mutex.unlock fut.fut_lock
+
+let submit p task =
+  let fut =
+    { fut_lock = Mutex.create (); settled = Condition.create ();
+      state = Pending }
+  in
+  let job () =
+    match task () with
+    | v -> settle fut (Done v)
+    | exception e -> settle fut (Failed (e, Printexc.get_raw_backtrace ()))
+  in
+  Mutex.lock p.lock;
+  if p.closing then begin
+    Mutex.unlock p.lock;
+    invalid_arg "Par.submit: pool is shut down"
+  end;
+  Queue.push job p.queue;
+  Condition.signal p.nonempty;
+  Mutex.unlock p.lock;
+  fut
+
+let settled_value fut =
+  match fut.state with
+  | Done v -> Some (Ok v)
+  | Failed (e, bt) -> Some (Error (e, bt))
+  | Pending -> None
+
+(* The submitter helps drain the queue while its future is pending, so
+   a jobs=1 pool degenerates to plain sequential execution and larger
+   pools never idle the calling domain. Only when the queue is empty
+   (our task is running on a worker) do we block on the future. *)
+let await p fut =
+  let rec loop () =
+    Mutex.lock fut.fut_lock;
+    let v = settled_value fut in
+    Mutex.unlock fut.fut_lock;
+    match v with
+    | Some r -> r
+    | None -> (
+      match try_pop p with
+      | Some job ->
+        job ();
+        loop ()
+      | None ->
+        Mutex.lock fut.fut_lock;
+        while settled_value fut = None do
+          Condition.wait fut.settled fut.fut_lock
+        done;
+        let r = Option.get (settled_value fut) in
+        Mutex.unlock fut.fut_lock;
+        r)
+  in
+  match loop () with
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let await_all p futs =
+  (* settle everything before raising, so a failure in one task never
+     leaves siblings running behind the caller's back *)
+  let settled =
+    List.map
+      (fun fut ->
+        match await p fut with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+      futs
+  in
+  List.map
+    (function
+      | Ok v -> v
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+    settled
+
+let default_chunk p n = max 1 (n / (Pool.jobs p * 4))
+
+let map ?chunk p f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let chunk =
+      match chunk with
+      | Some c ->
+        if c < 1 then invalid_arg "Par.map: chunk must be >= 1";
+        c
+      | None -> default_chunk p n
+    in
+    let out = Array.make n None in
+    let rec spawn lo acc =
+      if lo >= n then acc
+      else begin
+        let hi = min n (lo + chunk) in
+        let fut =
+          submit p (fun () ->
+              for i = lo to hi - 1 do
+                out.(i) <- Some (f xs.(i))
+              done)
+        in
+        spawn hi (fut :: acc)
+      end
+    in
+    let futs = List.rev (spawn 0 []) in
+    ignore (await_all p futs : unit list);
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false)
+      out
+  end
+
+let iter ?chunk p f xs = ignore (map ?chunk p f xs : unit array)
+
+let map_list p f xs =
+  let futs = List.map (fun x -> submit p (fun () -> f x)) xs in
+  await_all p futs
+
+let first_some p thunks =
+  let token = Cancel.create () in
+  let winner = Atomic.make None in
+  let futs =
+    List.map
+      (fun thunk ->
+        submit p (fun () ->
+            match thunk token with
+            | Some v ->
+              (* first writer wins; everyone else backs off *)
+              if Atomic.compare_and_set winner None (Some v) then
+                Cancel.set token
+            | None -> ()))
+      thunks
+  in
+  let outcomes =
+    List.map
+      (fun fut ->
+        match await p fut with
+        | () -> None
+        | exception Cancelled -> None
+        | exception e -> Some (e, Printexc.get_raw_backtrace ()))
+      futs
+  in
+  match Atomic.get winner with
+  | Some _ as w -> w
+  | None -> (
+    match List.find_opt Option.is_some outcomes with
+    | Some (Some (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | _ -> None)

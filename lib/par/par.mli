@@ -1,0 +1,99 @@
+(** Domain-based parallel execution for the counterexample-guided loops.
+
+    A fixed-size pool of OCaml 5 domains behind a work queue, with
+    chunked {!map}/{!iter}, structured {!await_all}, cooperative
+    {!Cancel} tokens and exception funneling back to the submitter. The
+    pool is the only place the repository spawns domains; everything
+    else takes an optional [?pool] argument and stays sequential (and
+    bit-for-bit identical to the pre-parallel behaviour) when it is
+    omitted.
+
+    Tasks must be self-contained: they may use the {!Obs} registry
+    (domain-safe) and build their own solvers, but must not share
+    mutable state with other tasks, and must not [await] from inside a
+    task (workers never block on other tasks, which keeps the pool
+    deadlock-free). *)
+
+exception Cancelled
+(** Raised by {!Cancel.check} inside a task whose token has been set. *)
+
+(** Cooperative cancellation tokens: a racing task polls its token and
+    stops early once a sibling has produced the answer. *)
+module Cancel : sig
+  type t
+
+  val create : unit -> t
+
+  val none : t
+  (** A shared token that is never set; do not [set] it. *)
+
+  val set : t -> unit
+  val is_set : t -> bool
+
+  val check : t -> unit
+  (** Raise {!Cancelled} if the token is set. *)
+end
+
+module Pool : sig
+  type t
+
+  val create : ?jobs:int -> unit -> t
+  (** A pool with [jobs] units of concurrency (default
+      [Domain.recommended_domain_count ()]): [jobs - 1] worker domains
+      plus the submitter, which executes queued tasks while it waits in
+      [await]. [jobs = 1] spawns no domains at all — every task runs
+      sequentially on the submitter, in submission order. *)
+
+  val jobs : t -> int
+
+  val shutdown : t -> unit
+  (** Drain nothing: signal the workers to exit after the tasks already
+      running and join them. Idempotent. Submitting to a shut-down pool
+      raises [Invalid_argument]. *)
+
+  val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+  (** [create], run, [shutdown] (on exceptions too). *)
+end
+
+val env_jobs : ?default:int -> unit -> int
+(** Concurrency requested by the [SCIDUCTION_JOBS] environment variable,
+    or [default] (itself defaulting to 1) when unset or unparsable.
+    Lets CI exercise the whole test suite under a pool without every
+    test site growing a flag. *)
+
+(** {1 Futures} *)
+
+type 'a future
+
+val submit : Pool.t -> (unit -> 'a) -> 'a future
+(** Enqueue a task. Its exceptions are caught and re-raised by
+    {!await}. *)
+
+val await : Pool.t -> 'a future -> 'a
+(** Block until the task settles, executing other queued tasks of the
+    pool while waiting. Re-raises the task's exception. *)
+
+val await_all : Pool.t -> 'a future list -> 'a list
+(** Await every future (so no task is left running), then return the
+    results in order — or re-raise the {e first} failure after all have
+    settled. *)
+
+(** {1 Fan-out combinators} *)
+
+val map : ?chunk:int -> Pool.t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map], in [chunk]-sized blocks (default: enough
+    blocks for 4 per concurrency unit). Results land in input order;
+    exceptions funnel to the submitter. *)
+
+val iter : ?chunk:int -> Pool.t -> ('a -> unit) -> 'a array -> unit
+
+val map_list : Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map], one task per element (use for coarse-grained
+    elements like whole solver runs). *)
+
+val first_some : Pool.t -> (Cancel.t -> 'a option) list -> 'a option
+(** Race the thunks: each receives a shared token, set as soon as any
+    thunk returns [Some]. The first winner's value is returned after
+    every thunk has stopped; losers' {!Cancelled} exceptions are
+    swallowed, any other exception is re-raised only when nobody won.
+    The portfolio front-end in [Smt.Portfolio] is the main client. *)

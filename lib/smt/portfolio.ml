@@ -1,0 +1,87 @@
+type config = {
+  seed : int;
+  default_phase : bool;
+  restart_base : int;
+}
+
+let vanilla = { seed = 0; default_phase = false; restart_base = 100 }
+
+(* Config 0 is always the vanilla solver, so a 1-wide portfolio (and the
+   no-pool path) is bit-for-bit the plain [Sat] run. The rest rotate
+   polarity, jitter the branching order with distinct seeds, and stretch
+   or shrink the Luby schedule. *)
+let default_configs n =
+  List.init n (fun i ->
+      if i = 0 then vanilla
+      else
+        {
+          seed = 0x5eed + (7919 * i);
+          default_phase = i land 1 = 1;
+          restart_base = (match i mod 3 with 0 -> 100 | 1 -> 50 | _ -> 200);
+        })
+
+type outcome = {
+  result : Sat.result;
+  model : bool array option;
+  winner : int;
+  raced : int;
+}
+
+let m_races = Obs.Metrics.counter "portfolio.races"
+let m_cancelled = Obs.Metrics.counter "portfolio.cancelled"
+let m_sequential = Obs.Metrics.counter "portfolio.sequential"
+
+let mk_solver (p : Dimacs.problem) config =
+  let s =
+    Sat.create ~seed:config.seed ~default_phase:config.default_phase
+      ~restart_base:config.restart_base ()
+  in
+  for _ = 1 to p.Dimacs.nvars do
+    ignore (Sat.new_var s : int)
+  done;
+  List.iter (Sat.add_clause s) p.Dimacs.clauses;
+  s
+
+let run_sequential p config ~winner ~raced =
+  Obs.Metrics.incr m_sequential;
+  let s = mk_solver p config in
+  let result = Sat.solve s in
+  let model = if result = Sat.Sat then Some (Sat.model s) else None in
+  { result; model; winner; raced }
+
+let solve ?pool ?configs (p : Dimacs.problem) =
+  let configs =
+    match configs with
+    | Some [] -> invalid_arg "Portfolio.solve: empty config list"
+    | Some cs -> cs
+    | None ->
+      default_configs (match pool with Some pl -> Par.Pool.jobs pl | None -> 1)
+  in
+  match (pool, configs) with
+  | None, c0 :: _ | Some _, [ c0 ] -> run_sequential p c0 ~winner:0 ~raced:1
+  | Some pool, configs ->
+    Obs.Metrics.incr m_races;
+    let thunks =
+      List.mapi
+        (fun i config token ->
+          let s = mk_solver p config in
+          Sat.set_terminate s (Some (fun () -> Par.Cancel.is_set token));
+          match Sat.solve s with
+          | result ->
+            let model =
+              if result = Sat.Sat then Some (Sat.model s) else None
+            in
+            Some (i, result, model)
+          | exception Sat.Interrupted ->
+            Obs.Metrics.incr m_cancelled;
+            None)
+        configs
+    in
+    (match Par.first_some pool thunks with
+    | Some (winner, result, model) ->
+      { result; model; winner; raced = List.length configs }
+    | None ->
+      (* unreachable with complete solvers (a loser only stops once a
+         winner set the token), but fail safe: decide sequentially *)
+      run_sequential p (List.hd configs) ~winner:0 ~raced:1)
+  | None, [] -> assert false

@@ -1,0 +1,45 @@
+(** Portfolio SAT solving: race diversified CDCL configurations on one
+    CNF, first verdict wins, losers are cancelled.
+
+    Soundness is inherited, not negotiated: every configuration is the
+    same sound-and-complete {!Sat} solver, differing only in search
+    heuristics (initial polarity, branching-order jitter, restart
+    schedule), so whichever instance answers first answers correctly and
+    every instance would eventually agree. The verdict is therefore
+    bit-for-bit identical to a sequential run; only {e which} model a
+    satisfiable instance yields (and how long the race takes) can
+    differ. Cancelled solvers still merge their per-solve statistics
+    into the [Obs.Metrics] registry; the race itself counts under
+    [portfolio.races] / [portfolio.cancelled]. *)
+
+(** One diversified solver configuration (the knobs of [Sat.create]). *)
+type config = {
+  seed : int;  (** branching-order jitter; 0 = off *)
+  default_phase : bool;  (** initial decision polarity *)
+  restart_base : int;  (** Luby schedule scale (conflicts per unit) *)
+}
+
+val vanilla : config
+(** [Sat.create]'s own defaults: seed 0, phase [false], base 100. *)
+
+val default_configs : int -> config list
+(** [n] configurations for an [n]-wide race. Index 0 is {!vanilla}, so
+    narrow portfolios degrade gracefully to the plain solver; the others
+    alternate polarity, carry distinct seeds, and halve or double the
+    restart base. *)
+
+type outcome = {
+  result : Sat.result;
+  model : bool array option;  (** the winner's model, on [Sat] *)
+  winner : int;  (** index into the raced configuration list *)
+  raced : int;  (** configurations actually raced *)
+}
+
+val solve : ?pool:Par.Pool.t -> ?configs:config list -> Dimacs.problem -> outcome
+(** Decide the CNF. Without [?pool] (or with a single configuration)
+    this runs exactly one solver — the first configuration, by default
+    {!vanilla} — sequentially. With a pool, one task per configuration
+    is raced under a shared [Par.Cancel] token ([?configs] defaults to
+    [default_configs (Par.Pool.jobs pool)]); the first verdict sets the
+    token and the siblings stop at their next termination poll.
+    Raises [Invalid_argument] on an empty [?configs]. *)

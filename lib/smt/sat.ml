@@ -98,9 +98,18 @@ type t = {
   mutable lbd_sum : int;
   mutable lbd_max : int;
   mutable max_assumption_depth : int;
+  (* diversification knobs (portfolio solving) *)
+  default_phase : bool;
+  seed : int;
+  restart_base : int;
+  (* cooperative cancellation *)
+  mutable terminate : (unit -> bool) option;
+  mutable poll : int; (* countdown to the next terminate poll *)
 }
 
-let create ?(learnt_limit = 0) () =
+let create ?(learnt_limit = 0) ?(seed = 0) ?(default_phase = false)
+    ?(restart_base = 100) () =
+  if restart_base < 1 then invalid_arg "Sat.create: restart_base must be >= 1";
   {
     ok = true;
     clauses = Vec.create ();
@@ -139,6 +148,11 @@ let create ?(learnt_limit = 0) () =
     lbd_sum = 0;
     lbd_max = 0;
     max_assumption_depth = 0;
+    default_phase;
+    seed;
+    restart_base;
+    terminate = None;
+    poll = 0;
   }
 
 let num_vars s = s.nvars
@@ -227,6 +241,17 @@ let grow_to len arr fill =
     a
   end
 
+(* Deterministic avalanche of (seed, var): the low bits drive the
+   initial-activity jitter that perturbs the variable order. *)
+let mix seed v =
+  let h = ref (seed + (v * 0x9E3779B9)) in
+  h := !h lxor (!h lsr 16);
+  h := !h * 0x45D9F3B;
+  h := !h lxor (!h lsr 16);
+  h := !h * 0x45D9F3B;
+  h := !h lxor (!h lsr 16);
+  !h land 0x3FFFFFFF
+
 let new_var s =
   let v = s.nvars in
   s.nvars <- v + 1;
@@ -247,6 +272,12 @@ let new_var s =
     Array.blit s.watches 0 w 0 (Array.length s.watches);
     s.watches <- w
   end;
+  s.phase.(v) <- s.default_phase;
+  (* sub-var_inc jitter: invisible once real bumps arrive, but it breaks
+     the insertion-order tie among untouched variables, so different
+     seeds start their searches in different corners *)
+  if s.seed <> 0 then
+    s.activity.(v) <- float_of_int (mix s.seed v) *. 1e-12;
   heap_insert s v;
   v
 
@@ -644,6 +675,27 @@ let analyze s confl =
 (* ----- search ----- *)
 
 exception Found of result
+exception Interrupted
+
+let set_terminate s f =
+  s.terminate <- f;
+  s.poll <- 0
+
+(* Polled once per search step (conflict or decision), but the callback
+   itself only runs every 128 steps: cancellation latency stays well
+   under a restart, at no measurable cost to the hot loop. *)
+let check_terminate s =
+  match s.terminate with
+  | None -> ()
+  | Some f ->
+    s.poll <- s.poll - 1;
+    if s.poll <= 0 then begin
+      s.poll <- 128;
+      if f () then begin
+        cancel_until s 0;
+        raise Interrupted
+      end
+    end
 
 let luby i =
   (* Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
@@ -728,6 +780,7 @@ let decide s =
 let search s assumptions budget =
   let local = ref 0 in
   let rec loop () =
+    check_terminate s;
     let ci = propagate s in
     if ci >= 0 then begin
       incr local;
@@ -774,7 +827,7 @@ let run_solve s assumptions =
     else
       try
         let rec run i =
-          match search s assumptions (100 * luby i) with
+          match search s assumptions (s.restart_base * luby i) with
           | `Restart -> run (i + 1)
         in
         run 1
@@ -794,7 +847,13 @@ let solve_with_assumptions s assumptions =
   in
   let c0 = s.conflicts and d0 = s.decisions in
   let p0 = s.propagations and r0 = s.restarts in
-  let r = run_solve s assumptions in
+  (* a cancelled portfolio member still funnels its work into the
+     registry and closes its span before the exception escapes *)
+  let r =
+    match run_solve s assumptions with
+    | r -> Ok r
+    | exception e -> Error (e, Printexc.get_raw_backtrace ())
+  in
   (* fleet-wide registry totals, batched as per-solve deltas *)
   Obs.Metrics.add m_conflicts (s.conflicts - c0);
   Obs.Metrics.add m_decisions (s.decisions - d0);
@@ -802,7 +861,13 @@ let solve_with_assumptions s assumptions =
   Obs.Metrics.add m_restarts (s.restarts - r0);
   Obs.Metrics.set_gauge m_learnt_db (float_of_int s.n_learnts);
   if Obs.enabled () then begin
-    let result = match r with Sat -> "sat" | Unsat -> "unsat" in
+    let result =
+      match r with
+      | Ok Sat -> "sat"
+      | Ok Unsat -> "unsat"
+      | Error (Interrupted, _) -> "interrupted"
+      | Error _ -> "error"
+    in
     let delta =
       [
         ("conflicts", Obs.Int (s.conflicts - c0));
@@ -818,7 +883,9 @@ let solve_with_assumptions s assumptions =
     Obs.end_span sp ~attrs:(("result", Obs.String result) :: delta);
     Obs.solver_call ~result delta
   end;
-  r
+  match r with
+  | Ok r -> r
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
 
 let solve s = solve_with_assumptions s []
 

@@ -45,10 +45,27 @@ type global_stats = {
   g_propagations : int;
 }
 
-val create : ?learnt_limit:int -> unit -> t
+val create :
+  ?learnt_limit:int ->
+  ?seed:int ->
+  ?default_phase:bool ->
+  ?restart_base:int ->
+  unit ->
+  t
 (** [learnt_limit] overrides the initial learned-clause cap (before
     geometric growth); the default is derived from the problem size.
-    Mainly useful to force database reductions in tests. *)
+    Mainly useful to force database reductions in tests.
+
+    The remaining knobs diversify the search without affecting
+    soundness, so a portfolio can race differently-configured solvers on
+    the same instance (see [Portfolio]):
+    - [seed] (default 0 = off) deterministically jitters initial
+      variable activities, perturbing the branching order;
+    - [default_phase] (default [false]) is the polarity a variable is
+      first decided with, before phase saving takes over;
+    - [restart_base] (default 100) scales the Luby restart schedule:
+      the [i]-th search segment allows [restart_base * luby i]
+      conflicts. *)
 
 val new_var : t -> int
 (** Allocate a fresh variable and return its index. *)
@@ -115,3 +132,17 @@ val model : t -> bool array
 val luby : int -> int
 (** The Luby restart sequence, 1-indexed: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8…
     Iterative; exposed for testing. *)
+
+exception Interrupted
+(** Raised out of [solve]/[solve_with_assumptions] when the
+    {!set_terminate} callback answers [true]. The solver is left at
+    decision level 0 with its clauses and statistics intact (and its
+    per-solve metrics already merged into the registry), so it remains
+    usable for further queries. *)
+
+val set_terminate : t -> (unit -> bool) option -> unit
+(** Install (or with [None], remove) a cooperative termination callback,
+    polled from the search loop every few dozen steps. Used by the
+    portfolio front-end to cancel losing solvers; the callback must be
+    cheap and safe to call from another domain's token (e.g.
+    [Par.Cancel.is_set]). *)

@@ -1,0 +1,408 @@
+(* The domain pool and the portfolio SAT front-end. The pool tests pin
+   down the contract the fan-out adapters rely on: results in input
+   order, exceptions funneled to the submitter without wedging the pool,
+   pools reusable across loop iterations, and cooperative cancellation
+   that actually stops losing tasks. The portfolio tests check the
+   soundness claim — parallel verdicts bit-for-bit equal to sequential
+   ones — on the DIMACS regression instances, and that the Sat
+   diversification knobs change the search without changing answers. *)
+
+module Lit = Smt.Lit
+module Sat = Smt.Sat
+module Dpll = Smt.Dpll
+module Dimacs = Smt.Dimacs
+module Portfolio = Smt.Portfolio
+
+exception Boom
+
+(* ------------------------------------------------------------------ *)
+(* pool basics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_matches_sequential () =
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = Array.init 1000 (fun i -> i) in
+      let got = Par.map pool (fun x -> (x * x) + 1) xs in
+      let want = Array.map (fun x -> (x * x) + 1) xs in
+      Alcotest.(check (array int)) "map = Array.map" want got;
+      let got_small = Par.map ~chunk:1 pool (fun x -> -x) (Array.sub xs 0 7) in
+      Alcotest.(check (array int))
+        "chunk:1 map = Array.map"
+        (Array.init 7 (fun i -> -i))
+        got_small)
+
+let test_map_list_order () =
+  Par.Pool.with_pool ~jobs:3 (fun pool ->
+      let got = Par.map_list pool (fun x -> 2 * x) [ 5; 1; 4; 1; 3 ] in
+      Alcotest.(check (list int)) "order preserved" [ 10; 2; 8; 2; 6 ] got)
+
+let test_iter_covers_all () =
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      let sum = Atomic.make 0 in
+      Par.iter pool
+        (fun x -> ignore (Atomic.fetch_and_add sum x : int))
+        (Array.init 100 (fun i -> i + 1));
+      Alcotest.(check int) "every element visited once" 5050 (Atomic.get sum))
+
+let test_sequential_degeneration () =
+  (* jobs = 1 spawns no domains; everything runs on the submitter *)
+  Par.Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs" 1 (Par.Pool.jobs pool);
+      let got = Par.map pool (fun x -> x + 1) (Array.init 10 (fun i -> i)) in
+      Alcotest.(check (array int))
+        "map works without workers"
+        (Array.init 10 (fun i -> i + 1))
+        got)
+
+(* ------------------------------------------------------------------ *)
+(* exception funneling                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_exception_funnel () =
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      let futs =
+        List.init 8 (fun i ->
+            Par.submit pool (fun () -> if i = 3 then raise Boom else i))
+      in
+      (match Par.await_all pool futs with
+      | _ -> Alcotest.fail "await_all must re-raise the task's exception"
+      | exception Boom -> ());
+      (* the failure must not wedge the pool: it keeps executing tasks *)
+      let got = Par.map pool (fun x -> x * 10) [| 1; 2; 3 |] in
+      Alcotest.(check (array int))
+        "pool usable after a failed task" [| 10; 20; 30 |] got)
+
+let test_reuse_across_loops () =
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      for round = 1 to 5 do
+        let got =
+          Par.map pool (fun x -> x * round) (Array.init 50 (fun i -> i))
+        in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (Array.init 50 (fun i -> i * round))
+          got
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* cancellation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_first_some_cancels_losers () =
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      let losers_stopped = Atomic.make 0 in
+      let loser token =
+        match
+          while true do
+            Par.Cancel.check token
+          done
+        with
+        | () -> None
+        | exception Par.Cancelled ->
+          ignore (Atomic.fetch_and_add losers_stopped 1 : int);
+          None
+      in
+      let winner _token = Some 42 in
+      (* this test terminates only if cancellation reaches the spinning
+         losers; the winner's verdict must come through regardless *)
+      let got = Par.first_some pool [ loser; winner; loser; loser ] in
+      Alcotest.(check (option int)) "winner's value" (Some 42) got;
+      Alcotest.(check int) "all losers observed cancellation" 3
+        (Atomic.get losers_stopped))
+
+let test_first_some_no_winner () =
+  Par.Pool.with_pool ~jobs:2 (fun pool ->
+      let got = Par.first_some pool [ (fun _ -> None); (fun _ -> None) ] in
+      Alcotest.(check (option int)) "no winner" None got;
+      match Par.first_some pool [ (fun _ -> None); (fun _ -> raise Boom) ] with
+      | _ -> Alcotest.fail "loser-free failure must re-raise"
+      | exception Boom -> ())
+
+(* ------------------------------------------------------------------ *)
+(* obs under domains                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_concurrent_exact () =
+  let c = Obs.Metrics.counter "test_par.concurrent" in
+  Obs.Metrics.set_counter c 0;
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      Par.iter pool
+        (fun _ ->
+          for _ = 1 to 1000 do
+            Obs.Metrics.incr c
+          done)
+        (Array.make 16 ()));
+  Alcotest.(check int) "no lost increments" 16000 (Obs.Metrics.counter_value c)
+
+let test_spans_from_domains () =
+  Obs.reset ();
+  let sink, records = Obs.memory_sink () in
+  Obs.add_sink sink;
+  Obs.enable ();
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      Par.iter pool
+        (fun i -> Obs.with_span "par.task" (fun () -> ignore (Sys.opaque_identity (i * i) : int)))
+        (Array.init 32 (fun i -> i)));
+  Obs.shutdown ();
+  let spans =
+    List.filter_map
+      (fun r ->
+        match Obs.Analyze.record_of_json r with
+        | Ok (Obs.Analyze.Span { name; depth; dom; _ }) -> Some (name, depth, dom)
+        | _ -> None)
+      (records ())
+  in
+  Alcotest.(check int) "one span per task" 32 (List.length spans);
+  List.iter
+    (fun (name, depth, dom) ->
+      Alcotest.(check string) "span name" "par.task" name;
+      Alcotest.(check int) "domain-local depth" 0 depth;
+      Alcotest.(check bool) "dom id present" true (dom >= 0))
+    spans;
+  Obs.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Sat diversification                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* deterministic pseudo-random CNF (seeded LCG; no global Random state) *)
+let lcg seed =
+  let state = ref seed in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    (!state lsr 15) mod bound
+
+let random_cnf ~seed ~nvars ~nclauses =
+  let next = lcg seed in
+  let clause _ = List.init 3 (fun _ -> Lit.make (next nvars) (next 2 = 0)) in
+  { Dimacs.nvars; clauses = List.init nclauses clause }
+
+let solve_with ?seed ?default_phase ?restart_base (p : Dimacs.problem) =
+  let s = Sat.create ?seed ?default_phase ?restart_base () in
+  for _ = 1 to p.Dimacs.nvars do
+    ignore (Sat.new_var s : int)
+  done;
+  List.iter (Sat.add_clause s) p.Dimacs.clauses;
+  let r = Sat.solve s in
+  (r, Sat.stats s, s)
+
+let test_seed_diversification () =
+  let diverged = ref false in
+  for i = 1 to 8 do
+    let p = random_cnf ~seed:(100 + i) ~nvars:60 ~nclauses:255 in
+    let r0, st0, s0 = solve_with ~seed:0 p in
+    let r1, st1, _ = solve_with ~seed:987654321 p in
+    Alcotest.(check bool)
+      (Printf.sprintf "instance %d: seeds agree on sat/unsat" i)
+      true (r0 = r1);
+    if r0 = Sat.Sat then
+      Alcotest.(check bool)
+        (Printf.sprintf "instance %d: model sound" i)
+        true
+        (Dpll.eval (Array.init p.Dimacs.nvars (Sat.value s0)) p.Dimacs.clauses);
+    if
+      (st0.Sat.decisions, st0.Sat.conflicts, st0.Sat.propagations)
+      <> (st1.Sat.decisions, st1.Sat.conflicts, st1.Sat.propagations)
+    then diverged := true
+  done;
+  Alcotest.(check bool)
+    "some instance explored a different decision sequence" true !diverged
+
+let test_phase_default_changes_first_model () =
+  (* every clause has a positive literal, so all-true satisfies it: a
+     phase-true solver decides straight into a model *)
+  let p =
+    { Dimacs.nvars = 30;
+      clauses =
+        List.init 60 (fun i ->
+            [ Lit.pos (i mod 30); Lit.make ((i + 7) mod 30) (i mod 3 = 0) ]) }
+  in
+  let r_true, st_true, s = solve_with ~default_phase:true p in
+  let r_false, _, _ = solve_with ~default_phase:false p in
+  Alcotest.(check bool) "phase knobs agree on satisfiability" true
+    (r_true = Sat.Sat && r_false = Sat.Sat);
+  Alcotest.(check bool) "all-true model found without conflicts" true
+    (st_true.Sat.conflicts = 0);
+  Alcotest.(check bool) "model sound" true
+    (Dpll.eval (Array.init p.Dimacs.nvars (Sat.value s)) p.Dimacs.clauses)
+
+(* ------------------------------------------------------------------ *)
+(* portfolio vs sequential on the DIMACS regression instances          *)
+(* ------------------------------------------------------------------ *)
+
+let ring_cnf = "p cnf 4 5\n1 0\n-1 2 0\n-2 3 0\n-3 4 0\n-4 1 0\n"
+
+let multi_cnf =
+  "p cnf 8 9\n1 2 3 0\n-1 4 0\n-2 5 0\n-3 6 0\n4 5 6 0\n-7 -8 0\n7 8 0\n\
+   -4 -5 7 0\n-6 8 0\n"
+
+let ring_unsat_cnf =
+  "p cnf 4 6\n1 0\n-1 2 0\n-2 3 0\n-3 4 0\n-4 1 0\n-2 -4 0\n"
+
+let test_portfolio_agrees_with_sequential () =
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      let instances =
+        [ Dimacs.parse ring_cnf; Dimacs.parse multi_cnf;
+          Dimacs.parse ring_unsat_cnf ]
+        @ List.init 10 (fun i ->
+              random_cnf ~seed:(500 + i) ~nvars:40 ~nclauses:172)
+      in
+      List.iteri
+        (fun i p ->
+          let seq = Portfolio.solve p in
+          Alcotest.(check int) "sequential races one solver" 1 seq.Portfolio.raced;
+          let par = Portfolio.solve ~pool p in
+          Alcotest.(check bool)
+            (Printf.sprintf "instance %d: verdicts identical" i)
+            true
+            (seq.Portfolio.result = par.Portfolio.result);
+          Alcotest.(check int)
+            (Printf.sprintf "instance %d: full race" i)
+            (Par.Pool.jobs pool) par.Portfolio.raced;
+          match par.Portfolio.model with
+          | Some m ->
+            Alcotest.(check bool)
+              (Printf.sprintf "instance %d: winner's model sound" i)
+              true
+              (Dpll.eval m p.Dimacs.clauses)
+          | None ->
+            Alcotest.(check bool)
+              (Printf.sprintf "instance %d: no model only on unsat" i)
+              true
+              (par.Portfolio.result = Sat.Unsat))
+        instances)
+
+
+(* ------------------------------------------------------------------ *)
+(* fan-out adapters                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* replay a BMC trace: the final state after consuming every input must
+   be bad (that is where [Bmc.check] truncates) *)
+let trace_reaches_bad ts trace =
+  let state =
+    List.fold_left
+      (fun state input -> Mc.Ts.step ts ~state ~input)
+      ts.Mc.Ts.init trace
+  in
+  Mc.Ts.is_bad ts state
+
+let test_bmc_sweep_agreement () =
+  (* CI sets SCIDUCTION_JOBS to exercise wider pools; locally default 2 *)
+  let jobs = max 2 (Par.env_jobs ~default:2 ()) in
+  Par.Pool.with_pool ~jobs @@ fun pool ->
+  List.iter
+    (fun (name, ts, max_depth) ->
+      let seq = Mc.Bmc.sweep ts ~max_depth in
+      let par = Mc.Bmc.sweep ~pool ts ~max_depth in
+      match (seq, par) with
+      | None, None -> ()
+      | Some (d_seq, _), Some (d_par, trace) ->
+        Alcotest.(check int) (name ^ ": minimal depth") d_seq d_par;
+        Alcotest.(check bool)
+          (name ^ ": parallel trace reaches bad") true
+          (trace_reaches_bad ts trace)
+      | Some _, None -> Alcotest.failf "%s: parallel sweep missed the cex" name
+      | None, Some _ -> Alcotest.failf "%s: parallel sweep invented a cex" name)
+    [
+      ( "safe",
+        Mc.Systems.mod_counter ~junk:6 ~bits:3 ~modulus:6 ~bad_value:7 (),
+        12 );
+      ( "unsafe",
+        Mc.Systems.mod_counter ~junk:4 ~bits:3 ~modulus:8 ~bad_value:5 (),
+        12 );
+    ]
+
+let test_invgen_agreement () =
+  Par.Pool.with_pool ~jobs:3 @@ fun pool ->
+  List.iter
+    (fun (name, (aig, bad)) ->
+      let seq = Invgen.Engine.run aig ~bad in
+      let par = Invgen.Engine.run ~pool aig ~bad in
+      Alcotest.(check int)
+        (name ^ ": candidates") seq.Invgen.Engine.candidates
+        par.Invgen.Engine.candidates;
+      Alcotest.(check bool)
+        (name ^ ": proven sets equal") true
+        (seq.Invgen.Engine.proven = par.Invgen.Engine.proven);
+      Alcotest.(check bool)
+        (name ^ ": verdicts equal") true
+        (seq.Invgen.Engine.verdict = par.Invgen.Engine.verdict
+        && seq.Invgen.Engine.verdict_unaided = par.Invgen.Engine.verdict_unaided))
+    [
+      ("mod5", Invgen.Engine.counter_mod5 ());
+      ("ring4", Invgen.Engine.ring_counter ~n:4);
+    ]
+
+let test_gametime_learner_agreement () =
+  Par.Pool.with_pool ~jobs:3 @@ fun pool ->
+  let program = Prog.Benchmarks.modexp ~bits:4 () in
+  let pf = Microarch.Platform.create program in
+  let platform = Microarch.Platform.time pf in
+  let seq = Gametime.Analysis.analyze ~bound:4 ~seed:7 ~platform program in
+  let par =
+    Gametime.Analysis.analyze ~bound:4 ~seed:7 ~pool ~platform program
+  in
+  Alcotest.(check bool)
+    "learned means identical" true
+    (seq.Gametime.Analysis.model.Gametime.Learner.means
+    = par.Gametime.Analysis.model.Gametime.Learner.means);
+  Alcotest.(check bool)
+    "sample counts identical" true
+    (seq.Gametime.Analysis.model.Gametime.Learner.samples
+    = par.Gametime.Analysis.model.Gametime.Learner.samples)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick
+            test_map_matches_sequential;
+          Alcotest.test_case "map_list preserves order" `Quick
+            test_map_list_order;
+          Alcotest.test_case "iter covers every element" `Quick
+            test_iter_covers_all;
+          Alcotest.test_case "jobs=1 runs on the submitter" `Quick
+            test_sequential_degeneration;
+          Alcotest.test_case "exceptions funnel without wedging" `Quick
+            test_exception_funnel;
+          Alcotest.test_case "reuse across loop iterations" `Quick
+            test_reuse_across_loops;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "first_some cancels losers" `Quick
+            test_first_some_cancels_losers;
+          Alcotest.test_case "no winner, failures re-raised" `Quick
+            test_first_some_no_winner;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "concurrent counters are exact" `Quick
+            test_metrics_concurrent_exact;
+          Alcotest.test_case "spans carry domain ids" `Quick
+            test_spans_from_domains;
+        ] );
+      ( "diversification",
+        [
+          Alcotest.test_case "seeds diverge but agree" `Quick
+            test_seed_diversification;
+          Alcotest.test_case "phase default steers the search" `Quick
+            test_phase_default_changes_first_model;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "parallel verdicts = sequential verdicts" `Quick
+            test_portfolio_agrees_with_sequential;
+        ] );
+      ( "adapters",
+        [
+          Alcotest.test_case "bmc sweep agrees with sequential" `Quick
+            test_bmc_sweep_agreement;
+          Alcotest.test_case "invgen report agrees with sequential" `Quick
+            test_invgen_agreement;
+          Alcotest.test_case "gametime model is bit-identical" `Quick
+            test_gametime_learner_agreement;
+        ] );
+    ]
