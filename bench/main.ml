@@ -35,6 +35,12 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* every run in this harness is unbudgeted unless an experiment says
+   otherwise, so exhaustion is a bug, not a result *)
+let conv = function
+  | Budget.Converged x -> x
+  | Budget.Exhausted _ -> failwith "unbudgeted run exhausted"
+
 (* ================================================================== *)
 (* E1 / Fig. 6: modexp execution-time distribution                     *)
 (* ================================================================== *)
@@ -46,7 +52,9 @@ let fig6 () =
   let platform = Platform.time pf in
   let (t : Gt.t), elapsed =
     timed (fun () ->
-        Gt.analyze ~bound:8 ~seed:2012 ~pin:[ ("base", 123) ] ~platform program)
+        conv
+          (Gt.analyze ~bound:8 ~seed:2012 ~pin:[ ("base", 123) ] ~platform
+             program))
   in
   Format.printf "analysis time: %.1fs (basis extraction + learning)@." elapsed;
   Format.printf "basis paths: %d    (paper: 9)@." (List.length t.Gt.basis);
@@ -369,7 +377,7 @@ let ablate_gametime () =
   let pf = Platform.create program in
   let platform = Platform.time pf in
   let t =
-    Gt.analyze ~bound:bits ~seed:7 ~pin:[ ("d", 9999) ] ~platform program
+    conv (Gt.analyze ~bound:bits ~seed:7 ~pin:[ ("d", 9999) ] ~platform program)
   in
   let w = Gt.wcet t ~platform in
   let paths = Gt.feasible_paths t in
@@ -454,8 +462,9 @@ let ablate_ogis () =
       if fuel = 0 then "gave up"
       else
         match Ogis.Encode.synthesize_candidate spec ~examples with
-        | None -> "unrealizable?!"
-        | Some cand ->
+        | `Unrealizable -> "unrealizable?!"
+        | `Unknown _ -> "solver gave up?!"
+        | `Candidate cand ->
           if correct cand then Printf.sprintf "%4d oracle queries" !queries
           else begin
             let rec find k =
@@ -475,7 +484,7 @@ let ablate_ogis () =
   in
   let distinguishing spec oracle correct =
     match Ogis.Synth.synthesize ~initial_inputs:[ [ 0 ] ] spec oracle with
-    | Ogis.Synth.Synthesized (p, stats) ->
+    | Budget.Converged (Ogis.Synth.Synthesized (p, stats)) ->
       Printf.sprintf "%4d oracle queries (correct=%b)"
         stats.Ogis.Synth.oracle_queries (correct p)
     | _ -> "failed"
@@ -544,7 +553,10 @@ let ablate_sat () =
       in
       Format.printf
         "3-SAT n=%-3d (%s): CDCL %.3fs, DPLL %.3fs (%.0fx), agree=%b@." nvars
-        (match !r_cdcl with Smt.Sat.Sat -> "sat" | Smt.Sat.Unsat -> "unsat")
+        (match !r_cdcl with
+        | Smt.Sat.Sat -> "sat"
+        | Smt.Sat.Unsat -> "unsat"
+        | Smt.Sat.Unknown _ -> "unknown")
         t_cdcl t_dpll
         (t_dpll /. max 1e-9 t_cdcl)
         agree)
@@ -557,7 +569,7 @@ let ablate_spanner () =
   let pf = Platform.create program in
   let platform = Platform.time pf in
   let t =
-    Gt.analyze ~bound:6 ~seed:11 ~pin:[ ("base", 123) ] ~platform program
+    conv (Gt.analyze ~bound:6 ~seed:11 ~pin:[ ("base", 123) ] ~platform program)
   in
   let candidates = Gt.feasible_paths t in
   let report label (t : Gt.t) =
@@ -595,11 +607,12 @@ let ablate_refinement () =
           Printf.sprintf "unsafe, %d iters" iterations
       in
       Format.printf "%-24s most-referenced: %-26s decision-tree: %s@." name
-        (iters (Mc.Cegar.verify t))
+        (iters (conv (Mc.Cegar.verify t)))
         (iters
-           (Mc.Cegar.verify
-              ~refinement:(Mc.Cegar.Decision_tree { samples = 64; seed = 5 })
-              t)))
+           (conv
+              (Mc.Cegar.verify
+                 ~refinement:(Mc.Cegar.Decision_tree { samples = 64; seed = 5 })
+                 t))))
     [
       ("counter + 8 junk", Mc.Systems.mod_counter ~junk:8 ~bits:3 ~modulus:6 ~bad_value:7 ());
       ("shift register 6", Mc.Systems.shift_register ~len:6);
@@ -614,7 +627,9 @@ let ablate_platforms () =
     (fun (name, pf) ->
       let platform = Platform.time pf in
       let t =
-        Gt.analyze ~bound:6 ~seed:13 ~pin:[ ("base", 123) ] ~platform program
+        conv
+          (Gt.analyze ~bound:6 ~seed:13 ~pin:[ ("base", 123) ] ~platform
+             program)
       in
       let t = Gt.refine_with_spanner ~seed:13 ~platform t in
       let w = Gt.wcet t ~platform in
@@ -754,9 +769,9 @@ let perf () =
   row "cegar/counter6-minabs+junk8"
     ~baseline:(fun () ->
       cegar_outcome
-        (Mc.Cegar.verify ~initial_visible:[ 0 ] ~reuse:false cegar_ts))
+        (conv (Mc.Cegar.verify ~initial_visible:[ 0 ] ~reuse:false cegar_ts)))
     ~incremental:(fun () ->
-      cegar_outcome (Mc.Cegar.verify ~initial_visible:[ 0 ] cegar_ts))
+      cegar_outcome (conv (Mc.Cegar.verify ~initial_visible:[ 0 ] cegar_ts)))
     ~agree:( = );
   (* BMC: depth sweep on a mod-11 counter whose bad value is outside the
      counting range; every query is UNSAT, consecutive unrollings differ
@@ -771,13 +786,19 @@ let perf () =
     ~baseline:(fun () ->
       (true, List.length
          (List.filter
-            (fun d -> Mc.Bmc.check bmc_ts ~depth:d <> None)
+            (fun d ->
+              match Mc.Bmc.check bmc_ts ~depth:d with
+              | `Cex _ -> true
+              | `No_cex | `Unknown _ -> false)
             (List.init (bmc_depth + 1) Fun.id))))
     ~incremental:(fun () ->
       let sess = Mc.Bmc.new_session bmc_ts in
       (true, List.length
          (List.filter
-            (fun d -> Mc.Bmc.check_depth sess ~depth:d <> None)
+            (fun d ->
+              match Mc.Bmc.check_depth sess ~depth:d with
+              | `Cex _ -> true
+              | `No_cex | `Unknown _ -> false)
             (List.init (bmc_depth + 1) Fun.id))))
     ~agree:( = );
   let rows = List.rev !results in
@@ -985,8 +1006,10 @@ let par () =
   let bmc_rows =
     List.map
       (fun (name, ts, max_depth) ->
-        let seq, t_seq = timed (fun () -> Mc.Bmc.sweep ts ~max_depth) in
-        let prl, t_par = timed (fun () -> Mc.Bmc.sweep ~pool ts ~max_depth) in
+        let seq, t_seq = timed (fun () -> conv (Mc.Bmc.sweep ts ~max_depth)) in
+        let prl, t_par =
+          timed (fun () -> conv (Mc.Bmc.sweep ~pool ts ~max_depth))
+        in
         let agree = seq = prl in
         Format.printf "%-18s seq %7.3fs | par %7.3fs | %6.2fx | agree=%b@."
           name t_seq t_par
@@ -1105,7 +1128,7 @@ let micro () =
                ~accept:[| true; true; false |]
                ~delta:[| [| 0; 1 |]; [| 0; 2 |]; [| 2; 2 |] |]
            in
-           ignore (Lstar.Learner.learn_exact ~target:no_11)))
+           ignore (Lstar.Learner.learn_exact ~target:no_11 ())))
   in
   let tests =
     [ php5; xor_swap; ogis_p1; basis; eq3_bench; cegar; invg; lstar_bench ]
@@ -1140,6 +1163,84 @@ let micro () =
     rows
 
 (* ================================================================== *)
+(* Budget metering overhead (EXPERIMENTS.md)                           *)
+(* ================================================================== *)
+
+(* Every loop now threads a Budget.meter through its iterations and
+   solver calls; this experiment measures what that accounting costs by
+   running the same workloads unbudgeted and under caps generous enough
+   never to trip. Both runs converge to identical answers, so the delta
+   is pure metering overhead. *)
+let budget_overhead () =
+  section "Budget metering overhead (generous caps, identical workloads)";
+  let generous =
+    Budget.limited ~iterations:1_000_000 ~conflicts:max_int ~seconds:3600.0 ()
+  in
+  (* warm up, then batch each measurement to >= ~50ms and take the best
+     of three so the sub-millisecond loops aren't measuring noise *)
+  let best_of f =
+    let _, t1 = timed f in
+    let reps = max 1 (int_of_float (0.05 /. max 1e-9 t1)) in
+    let rec go k acc =
+      if k = 0 then acc
+      else
+        let _, t =
+          timed (fun () ->
+              for _ = 1 to reps do
+                f ()
+              done)
+        in
+        go (k - 1) (min acc (t /. float_of_int reps))
+    in
+    go 3 infinity
+  in
+  let row name plain budgeted =
+    let t_plain = best_of (fun () -> ignore (plain ())) in
+    let t_budget = best_of (fun () -> ignore (budgeted ())) in
+    Format.printf "%-26s unbudgeted %8.4fs | budgeted %8.4fs | %+6.2f%%@." name
+      t_plain t_budget
+      (100.0 *. ((t_budget -. t_plain) /. max 1e-9 t_plain))
+  in
+  let cegar_ts =
+    Mc.Systems.mod_counter ~junk:8 ~bits:6 ~modulus:41 ~bad_value:63 ()
+  in
+  row "cegar/counter6+junk8"
+    (fun () -> conv (Mc.Cegar.verify ~initial_visible:[ 0 ] cegar_ts))
+    (fun () ->
+      conv (Mc.Cegar.verify ~budget:generous ~initial_visible:[ 0 ] cegar_ts));
+  let bmc_ts =
+    Mc.Systems.mod_counter ~junk:10 ~bits:4 ~modulus:11 ~bad_value:15 ()
+  in
+  row "bmc/sweep-d24"
+    (fun () -> conv (Mc.Bmc.sweep bmc_ts ~max_depth:24))
+    (fun () -> conv (Mc.Bmc.sweep ~budget:generous bmc_ts ~max_depth:24));
+  let p1_spec =
+    {
+      Ogis.Encode.width = 8;
+      ninputs = 2;
+      noutputs = 1;
+      library = Ogis.Component.fig8_p1;
+    }
+  in
+  let p1_oracle = Ogis.Deobfuscate.oracle_of_program (B.interchange_obs_w ~width:8) in
+  row "ogis/p1-interchange-8bit"
+    (fun () -> Ogis.Synth.synthesize p1_spec p1_oracle)
+    (fun () -> Ogis.Synth.synthesize ~budget:generous p1_spec p1_oracle);
+  let aig, bad = Invgen.Engine.counter_mod5 () in
+  row "invgen/mod5-pipeline"
+    (fun () -> conv (Invgen.Engine.run aig ~bad))
+    (fun () -> conv (Invgen.Engine.run ~budget:generous aig ~bad));
+  let no_11 =
+    Lstar.Dfa.make ~alphabet:2 ~start:0
+      ~accept:[| true; true; false |]
+      ~delta:[| [| 0; 1 |]; [| 0; 2 |]; [| 2; 2 |] |]
+  in
+  row "lstar/learn-no11"
+    (fun () -> conv (Lstar.Learner.learn_exact ~target:no_11 ()))
+    (fun () ->
+      conv (Lstar.Learner.learn_exact ~budget:generous ~target:no_11 ()))
+
+(* ================================================================== *)
 
 let experiments =
   [
@@ -1155,6 +1256,7 @@ let experiments =
     ("perf", perf);
     ("par", par);
     ("micro", micro);
+    ("budget", budget_overhead);
   ]
 
 let () =

@@ -14,7 +14,13 @@
    Every application subcommand accepts --trace FILE (JSON-lines
    telemetry), --stats (console summary on exit), --quiet (suppress
    diagnostics, keep the final verdict) and --jobs N (worker domains
-   for the parallel fan-outs; defaults to SCIDUCTION_JOBS or 1). *)
+   for the parallel fan-outs; defaults to SCIDUCTION_JOBS or 1).
+
+   Loop subcommands additionally accept resource governance flags:
+   --timeout SECONDS and --max-conflicts N budget the run (an exhausted
+   run reports its partial result and exits 0), and --fault SEED[:PROB]
+   arms deterministic fault injection (also via SCIDUCTION_FAULT_SEED;
+   the flag wins). *)
 
 open Cmdliner
 
@@ -55,6 +61,68 @@ let obs_term =
   in
   Term.(const (fun t s q j -> (t, s, q, j)) $ trace $ stats $ quiet $ jobs)
 
+(* ---- resource governance shared by the loop subcommands ---- *)
+
+let positive_int_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg (Printf.sprintf "%s must be positive" what))
+    | None -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let fault_conv =
+  let parse s =
+    match Fault.parse_spec s with Ok v -> Ok v | Error m -> Error (`Msg m)
+  in
+  let print fmt (seed, prob) =
+    match prob with
+    | None -> Format.fprintf fmt "%d" seed
+    | Some p -> Format.fprintf fmt "%d:%g" seed p
+  in
+  Arg.conv (parse, print)
+
+let budget_term =
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget for the whole run. On expiry the loop \
+                stops at the next solver poll and reports its partial \
+                result.")
+  in
+  let max_conflicts =
+    Arg.(
+      value
+      & opt (some (positive_int_conv "--max-conflicts")) None
+      & info [ "max-conflicts" ] ~docv:"N"
+          ~doc:"Pooled SAT-conflict budget shared by every solver call of \
+                the run (deterministic: the same run exhausts at the same \
+                point every time).")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt (some fault_conv) None
+      & info [ "fault" ] ~docv:"SEED[:PROB]"
+          ~doc:"Arm deterministic fault injection: solver calls spuriously \
+                answer Unknown and pool submissions die, with per-site \
+                probability $(i,PROB) (default 0.05). Overrides \
+                $(b,SCIDUCTION_FAULT_SEED).")
+  in
+  Term.(
+    const (fun timeout conflicts fault ->
+        (match fault with
+        | Some (seed, prob) -> Fault.activate ?probability:prob ~seed ()
+        | None -> ignore (Fault.activate_from_env ()));
+        Budget.limited ?conflicts ?seconds:timeout ())
+    $ timeout $ max_conflicts $ fault)
+
+let pp_exhausted fmt reason =
+  Format.fprintf fmt "EXHAUSTED (%s)" (Budget.reason_to_string reason)
+
 (* [f] receives the pool ([None] when --jobs resolves to 1): verdicts do
    not depend on it, only wall-clock time does *)
 let with_obs (trace, stats, quiet, jobs) f =
@@ -67,7 +135,7 @@ let with_obs (trace, stats, quiet, jobs) f =
     match jobs with Some j -> j | None -> Par.env_jobs ~default:1 ()
   in
   if jobs < 1 then begin
-    Format.eprintf "--jobs must be positive@.";
+    Format.eprintf "sciduction_cli: --jobs must be positive@.";
     exit 2
   end;
   let pool = if jobs > 1 then Some (Par.Pool.create ~jobs ()) else None in
@@ -75,36 +143,53 @@ let with_obs (trace, stats, quiet, jobs) f =
     Option.iter Par.Pool.shutdown pool;
     Obs.shutdown ()
   in
-  let code = Fun.protect ~finally (fun () -> f pool) in
+  let code =
+    Fun.protect ~finally (fun () ->
+        (* typed failures become a one-line diagnostic and a distinct
+           exit code, never a backtrace *)
+        try f pool with
+        | Failure msg ->
+          Format.eprintf "sciduction_cli: %s@." msg;
+          3
+        | Invalid_argument msg ->
+          Format.eprintf "sciduction_cli: %s@." msg;
+          3
+        | Sys_error msg ->
+          Format.eprintf "sciduction_cli: %s@." msg;
+          3)
+  in
   (* stderr, so --stats composes with piping the verdict from stdout *)
   if stats then Format.eprintf "%a@." Obs.pp_summary ();
   code
 
 (* ---- deobfuscate ---- *)
 
-let deobfuscate_run pool program width =
+let deobfuscate_run pool budget program width =
   let obf, library, spec_fn =
     match program with
-    | "p1" ->
+    | `P1 ->
       ( B.interchange_obs_w ~width,
         Ogis.Component.fig8_p1,
         fun ts -> (match ts with [ s; d ] -> [ d; s ] | _ -> assert false) )
-    | "p2" ->
+    | `P2 ->
       ( B.multiply45_obs_w ~width,
         Ogis.Component.fig8_p2,
         fun ts ->
           (match ts with
           | [ y ] -> [ Bv.bmul y (Bv.const ~width 45) ]
           | _ -> assert false) )
-    | other ->
-      Format.eprintf "unknown program %s (use p1 or p2)@." other;
-      exit 2
   in
   Obs.info "obfuscated source:@.%a@.@." Prog.Lang.pp obf;
-  match Ogis.Deobfuscate.run ?pool ~library obf with
-  | Error _ ->
-    Format.printf "synthesis failed@.";
+  match Ogis.Deobfuscate.run ?pool ~budget ~library obf with
+  | Error (Ogis.Deobfuscate.Unrealizable _) ->
+    Format.printf "synthesis failed: no library program fits the oracle@.";
     1
+  | Error (Ogis.Deobfuscate.Exhausted p) ->
+    Format.printf "%a: %d examples gathered, candidate %s@." pp_exhausted
+      p.Ogis.Synth.reason
+      (List.length p.Ogis.Synth.stats.Ogis.Synth.examples)
+      (match p.Ogis.Synth.best with Some _ -> "in hand" | None -> "none");
+    0
   | Ok r ->
     Obs.info "re-synthesized in %.3fs (%d oracle queries):@.%a@."
       r.Ogis.Deobfuscate.seconds
@@ -130,7 +215,8 @@ let deobfuscate_run pool program width =
 let deobfuscate_cmd =
   let program =
     Arg.(
-      value & opt string "p2"
+      value
+      & opt (enum [ ("p1", `P1); ("p2", `P2) ]) `P2
       & info [ "program" ] ~docv:"NAME" ~doc:"Benchmark to deobfuscate: p1 or p2.")
   in
   let width =
@@ -139,13 +225,13 @@ let deobfuscate_cmd =
   Cmd.v
     (Cmd.info "deobfuscate" ~doc:"Re-synthesize an obfuscated program (Fig. 8)")
     Term.(
-      const (fun obs program width ->
-          with_obs obs (fun pool -> deobfuscate_run pool program width))
-      $ obs_term $ program $ width)
+      const (fun obs budget program width ->
+          with_obs obs (fun pool -> deobfuscate_run pool budget program width))
+      $ obs_term $ budget_term $ program $ width)
 
 (* ---- timing ---- *)
 
-let timing_run pool file bits tau =
+let timing_run pool budget file bits tau =
   let program, pin =
     match file with
     | Some f -> (Prog.Syntax.parse_file f, [])
@@ -153,28 +239,49 @@ let timing_run pool file bits tau =
   in
   let pf = Microarch.Platform.create program in
   let platform = Microarch.Platform.time pf in
-  let t =
-    Gametime.Analysis.analyze ~bound:bits ~seed:2012 ~pin ?pool ~platform
-      program
+  let converged t =
+    match Gametime.Analysis.wcet_opt t ~platform with
+    | None ->
+      Format.printf "no feasible paths@.";
+      1
+    | Some w -> (
+      Obs.info "basis paths: %d@." (List.length t.Gametime.Analysis.basis);
+      Format.printf "WCET %d cycles at %s@." w.Gametime.Analysis.measured_cycles
+        (String.concat ", "
+           (List.map
+              (fun (x, v) -> Printf.sprintf "%s=%d" x v)
+              w.Gametime.Analysis.test));
+      match tau with
+      | None -> 0
+      | Some tau -> (
+        match Gametime.Analysis.answer_ta t ~platform ~tau with
+        | `Yes ->
+          Format.printf "<TA>: execution time is always <= %d@." tau;
+          0
+        | `No test ->
+          Format.printf "<TA>: NO — exp=%d takes %d cycles@."
+            (List.assoc "exp" test) (platform test);
+          1))
   in
-  let w = Gametime.Analysis.wcet t ~platform in
-  Obs.info "basis paths: %d@." (List.length t.Gametime.Analysis.basis);
-  Format.printf "WCET %d cycles at %s@." w.Gametime.Analysis.measured_cycles
-    (String.concat ", "
-       (List.map
-          (fun (x, v) -> Printf.sprintf "%s=%d" x v)
-          w.Gametime.Analysis.test));
-  match tau with
-  | None -> 0
-  | Some tau -> (
-    match Gametime.Analysis.answer_ta t ~platform ~tau with
-    | `Yes ->
-      Format.printf "<TA>: execution time is always <= %d@." tau;
-      0
-    | `No test ->
-      Format.printf "<TA>: NO — exp=%d takes %d cycles@."
-        (List.assoc "exp" test) (platform test);
-      1)
+  match
+    Gametime.Analysis.analyze ~bound:bits ~seed:2012 ~pin ?pool ~budget
+      ~platform program
+  with
+  | Budget.Converged t -> converged t
+  | Budget.Exhausted { Gametime.Analysis.analysis; reason } ->
+    (match analysis with
+    | None -> Format.printf "%a: no basis path extracted@." pp_exhausted reason
+    | Some t -> (
+      Format.printf "%a: truncated basis of %d paths@." pp_exhausted reason
+        (List.length t.Gametime.Analysis.basis);
+      match Gametime.Analysis.wcet_opt t ~platform with
+      | Some w ->
+        (* a lower bound only: paths outside the truncated basis's span
+           have no prediction *)
+        Format.printf "longest predicted path so far: %d cycles@."
+          w.Gametime.Analysis.measured_cycles
+      | None -> ()));
+    0
 
 let timing_cmd =
   let file =
@@ -199,9 +306,9 @@ let timing_cmd =
   Cmd.v
     (Cmd.info "timing" ~doc:"GameTime analysis of a program (Sec. 3)")
     Term.(
-      const (fun obs file bits tau ->
-          with_obs obs (fun pool -> timing_run pool file bits tau))
-      $ obs_term $ file $ bits $ tau)
+      const (fun obs budget file bits tau ->
+          with_obs obs (fun pool -> timing_run pool budget file bits tau))
+      $ obs_term $ budget_term $ file $ bits $ tau)
 
 (* ---- transmission ---- *)
 
@@ -238,17 +345,23 @@ let transmission_cmd =
 
 (* ---- cegar ---- *)
 
-let cegar_run junk bits modulus bad_value =
+let cegar_run budget junk bits modulus bad_value =
   let t = Mc.Systems.mod_counter ~junk ~bits ~modulus ~bad_value () in
   Obs.info "system %s: %d latches@." t.Mc.Ts.name t.Mc.Ts.num_latches;
-  match Mc.Cegar.verify t with
-  | Mc.Cegar.Safe { abstract_latches; iterations; _ } ->
+  match Mc.Cegar.verify ~budget t with
+  | Budget.Converged (Mc.Cegar.Safe { abstract_latches; iterations; _ }) ->
     Format.printf "SAFE: %d visible latches after %d iterations@."
       abstract_latches iterations;
     0
-  | Mc.Cegar.Unsafe { trace; _ } ->
+  | Budget.Converged (Mc.Cegar.Unsafe { trace; _ }) ->
     Format.printf "UNSAFE: counterexample of %d steps@." (List.length trace);
     1
+  | Budget.Exhausted p ->
+    Format.printf "%a: %d visible latches after %d refinements, no verdict@."
+      pp_exhausted p.Mc.Cegar.reason
+      (List.length p.Mc.Cegar.visible)
+      p.Mc.Cegar.iterations;
+    0
 
 let cegar_cmd =
   let junk =
@@ -262,22 +375,27 @@ let cegar_cmd =
   Cmd.v
     (Cmd.info "cegar" ~doc:"CEGAR on a counter with irrelevant latches")
     Term.(
-      const (fun obs junk bits modulus bad_value ->
-          with_obs obs (fun _pool -> cegar_run junk bits modulus bad_value))
-      $ obs_term $ junk $ bits $ modulus $ bad_value)
+      const (fun obs budget junk bits modulus bad_value ->
+          with_obs obs (fun _pool ->
+              cegar_run budget junk bits modulus bad_value))
+      $ obs_term $ budget_term $ junk $ bits $ modulus $ bad_value)
 
 (* ---- bmc ---- *)
 
-let bmc_run pool junk bits modulus bad_value max_depth =
+let bmc_run pool budget junk bits modulus bad_value max_depth =
   let t = Mc.Systems.mod_counter ~junk ~bits ~modulus ~bad_value () in
   Obs.info "system %s: %d latches@." t.Mc.Ts.name t.Mc.Ts.num_latches;
-  match Mc.Bmc.sweep ?pool t ~max_depth with
-  | Some (depth, trace) ->
+  match Mc.Bmc.sweep ?pool ~budget t ~max_depth with
+  | Budget.Converged (Some (depth, trace)) ->
     Format.printf "UNSAFE: counterexample of %d steps at depth %d@."
       (List.length trace) depth;
     1
-  | None ->
+  | Budget.Converged None ->
     Format.printf "SAFE within depth %d@." max_depth;
+    0
+  | Budget.Exhausted p ->
+    Format.printf "%a: proved clean through depth %d (of %d)@." pp_exhausted
+      p.Mc.Bmc.reason p.Mc.Bmc.proved_depth max_depth;
     0
 
 let bmc_cmd =
@@ -297,45 +415,55 @@ let bmc_cmd =
   Cmd.v
     (Cmd.info "bmc" ~doc:"Bounded model checking sweep over growing depths")
     Term.(
-      const (fun obs junk bits modulus bad_value max_depth ->
+      const (fun obs budget junk bits modulus bad_value max_depth ->
           with_obs obs (fun pool ->
-              bmc_run pool junk bits modulus bad_value max_depth))
-      $ obs_term $ junk $ bits $ modulus $ bad_value $ max_depth)
+              bmc_run pool budget junk bits modulus bad_value max_depth))
+      $ obs_term $ budget_term $ junk $ bits $ modulus $ bad_value $ max_depth)
 
 (* ---- invgen ---- *)
 
-let invgen_run pool circuit n =
+let invgen_run pool budget circuit n =
   let aig, bad =
     match circuit with
-    | "ring" -> Invgen.Engine.ring_counter ~n
-    | "mod5" -> Invgen.Engine.counter_mod5 ()
-    | "twin" -> Invgen.Engine.twin_registers ~len:n
-    | "stuck" -> Invgen.Engine.stuck_bit
-    | other ->
-      Format.eprintf "unknown circuit %s (use ring, mod5, twin or stuck)@."
-        other;
-      exit 2
+    | `Ring -> Invgen.Engine.ring_counter ~n
+    | `Mod5 -> Invgen.Engine.counter_mod5 ()
+    | `Twin -> Invgen.Engine.twin_registers ~len:n
+    | `Stuck -> Invgen.Engine.stuck_bit
   in
-  let r = Invgen.Engine.run ?pool aig ~bad in
   let verdict = function
     | Invgen.Induction.Proved -> "proved"
     | Invgen.Induction.Cex_in_base -> "cex-in-base"
     | Invgen.Induction.Unknown -> "unknown"
+    | Invgen.Induction.Aborted _ -> "aborted"
   in
-  Obs.info "%d candidates from simulation, %d proven inductive@."
-    r.Invgen.Engine.candidates
-    (List.length r.Invgen.Engine.proven);
-  Format.printf "with invariants: %s; unaided: %s@."
-    (verdict r.Invgen.Engine.verdict)
-    (verdict r.Invgen.Engine.verdict_unaided);
-  match r.Invgen.Engine.verdict with
-  | Invgen.Induction.Proved -> 0
-  | _ -> 1
+  match Invgen.Engine.run ?pool ~budget aig ~bad with
+  | Budget.Converged r ->
+    Obs.info "%d candidates from simulation, %d proven inductive@."
+      r.Invgen.Engine.candidates
+      (List.length r.Invgen.Engine.proven);
+    Format.printf "with invariants: %s; unaided: %s@."
+      (verdict r.Invgen.Engine.verdict)
+      (verdict r.Invgen.Engine.verdict_unaided);
+    (match r.Invgen.Engine.verdict with
+    | Invgen.Induction.Proved -> 0
+    | _ -> 1)
+  | Budget.Exhausted p ->
+    Format.printf "%a: %d candidate invariants %s, property undecided@."
+      pp_exhausted p.Invgen.Engine.reason
+      (List.length p.Invgen.Engine.survivors)
+      (if p.Invgen.Engine.filtered then "proven inductive"
+       else "surviving (inductiveness unproven)");
+    0
 
 let invgen_cmd =
   let circuit =
     Arg.(
-      value & opt string "mod5"
+      value
+      & opt
+          (enum
+             [ ("ring", `Ring); ("mod5", `Mod5); ("twin", `Twin);
+               ("stuck", `Stuck) ])
+          `Mod5
       & info [ "circuit" ] ~docv:"NAME"
           ~doc:"Example circuit: ring, mod5, twin or stuck.")
   in
@@ -348,17 +476,13 @@ let invgen_cmd =
     (Cmd.info "invgen"
        ~doc:"Invariant generation by simulation + mutual induction (Sec. 2.4)")
     Term.(
-      const (fun obs circuit n ->
-          with_obs obs (fun pool -> invgen_run pool circuit n))
-      $ obs_term $ circuit $ n)
+      const (fun obs budget circuit n ->
+          with_obs obs (fun pool -> invgen_run pool budget circuit n))
+      $ obs_term $ budget_term $ circuit $ n)
 
 (* ---- lstar ---- *)
 
-let lstar_run states =
-  if states < 1 then begin
-    Format.eprintf "--states must be positive@.";
-    exit 2
-  end;
+let lstar_run budget states =
   (* target: words over {0,1} whose number of 1s is divisible by [states] *)
   let target =
     Lstar.Dfa.make ~alphabet:2 ~start:0
@@ -366,25 +490,35 @@ let lstar_run states =
       ~delta:
         (Array.init states (fun s -> [| s; (s + 1) mod states |]))
   in
-  let h, st = Lstar.Learner.learn_exact ~target in
-  Obs.info "%d membership queries, %d equivalence queries@."
-    st.Lstar.Learner.membership_queries st.Lstar.Learner.equivalence_queries;
-  Format.printf "learned %d-state DFA in %d rounds@." h.Lstar.Dfa.num_states
-    st.Lstar.Learner.rounds;
-  match Lstar.Dfa.equal h target with Ok () -> 0 | Error _ -> 1
+  match Lstar.Learner.learn_exact ~budget ~target () with
+  | Budget.Converged (h, st) -> (
+    Obs.info "%d membership queries, %d equivalence queries@."
+      st.Lstar.Learner.membership_queries st.Lstar.Learner.equivalence_queries;
+    Format.printf "learned %d-state DFA in %d rounds@." h.Lstar.Dfa.num_states
+      st.Lstar.Learner.rounds;
+    match Lstar.Dfa.equal h target with Ok () -> 0 | Error _ -> 1)
+  | Budget.Exhausted p ->
+    Format.printf "%a: %d rounds, last hypothesis %s@." pp_exhausted
+      p.Lstar.Learner.reason p.Lstar.Learner.stats.Lstar.Learner.rounds
+      (match p.Lstar.Learner.hypothesis with
+      | Some h -> Printf.sprintf "has %d states" h.Lstar.Dfa.num_states
+      | None -> "none");
+    0
 
 let lstar_cmd =
   let states =
     Arg.(
-      value & opt int 5
+      value
+      & opt (positive_int_conv "--states") 5
       & info [ "states" ] ~docv:"N"
           ~doc:"States of the target DFA (1s-count mod $(docv)).")
   in
   Cmd.v
     (Cmd.info "lstar" ~doc:"Learn a DFA with Angluin's L* algorithm")
     Term.(
-      const (fun obs states -> with_obs obs (fun _pool -> lstar_run states))
-      $ obs_term $ states)
+      const (fun obs budget states ->
+          with_obs obs (fun _pool -> lstar_run budget states))
+      $ obs_term $ budget_term $ states)
 
 (* ---- export-chrome ---- *)
 

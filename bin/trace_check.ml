@@ -27,6 +27,8 @@ type loop_state = {
   mutable finished : int;
   mutable iterations : int;
   mutable counterexamples : int;
+  mutable exhausted : bool;
+      (* a budget_exhausted was seen for the current run of this loop *)
 }
 
 let loops : (string, loop_state) Hashtbl.t = Hashtbl.create 8
@@ -36,7 +38,13 @@ let loop_state name =
   | Some st -> st
   | None ->
     let st =
-      { started = 0; finished = 0; iterations = 0; counterexamples = 0 }
+      {
+        started = 0;
+        finished = 0;
+        iterations = 0;
+        counterexamples = 0;
+        exhausted = false;
+      }
     in
     Hashtbl.add loops name st;
     st
@@ -44,8 +52,10 @@ let loop_state name =
 let known_events =
   [
     "loop_started"; "iteration"; "candidate"; "oracle_verdict";
-    "counterexample"; "solver_call"; "loop_finished";
+    "counterexample"; "solver_call"; "budget_exhausted"; "loop_finished";
   ]
+
+let known_budget_reasons = [ "iterations"; "conflicts"; "deadline"; "solver" ]
 
 let str k r = Option.bind (Json.member k r) Json.to_str
 let num k r = Option.bind (Json.member k r) Json.to_float
@@ -143,7 +153,9 @@ let check_event lineno r =
     if loop <> "" then begin
       let st = loop_state loop in
       (match name with
-      | "loop_started" -> st.started <- st.started + 1
+      | "loop_started" ->
+        st.started <- st.started + 1;
+        st.exhausted <- false
       | _ when st.started = 0 ->
         error "line %d: %s for loop %S before loop_started" lineno name loop
       | _ -> ());
@@ -151,6 +163,30 @@ let check_event lineno r =
       | "loop_finished" -> st.finished <- st.finished + 1
       | _ when st.finished >= st.started ->
         error "line %d: %s for loop %S after loop_finished" lineno name loop
+      | _ -> ());
+      (* budget_exhausted is terminal: the loop may report nothing after
+         it except its loop_finished *)
+      (match name with
+      | "loop_finished" | "loop_started" -> ()
+      | _ when st.exhausted ->
+        error "line %d: %s for loop %S after budget_exhausted" lineno name
+          loop
+      | _ -> ());
+      (match name with
+      | "budget_exhausted" -> begin
+        st.exhausted <- true;
+        match
+          Option.bind (Json.member "attrs" r) (fun a ->
+              Option.bind (Json.member "reason" a) Json.to_str)
+        with
+        | None ->
+          error "line %d: budget_exhausted for loop %S without a reason"
+            lineno loop
+        | Some reason when not (List.mem reason known_budget_reasons) ->
+          error "line %d: budget_exhausted for loop %S with unknown reason %S"
+            lineno loop reason
+        | Some _ -> ()
+      end
       | _ -> ());
       match name with
       | "iteration" -> st.iterations <- st.iterations + 1

@@ -18,8 +18,10 @@ let smt_demo () =
   let x = Bv.var ~width:8 "x" in
   let f = Bv.eq (Bv.bmul x x) (Bv.const ~width:8 57121) in
   match Solver.check_formulas [ f ] with
-  | Ok env -> Format.printf "sat: x = %d@." (env.Bv.bv "x")
-  | Error () -> Format.printf "unsat@."
+  | `Sat env -> Format.printf "sat: x = %d@." (env.Bv.bv "x")
+  | `Unsat -> Format.printf "unsat@."
+  | `Unknown r ->
+    Format.printf "unknown (%s)@." (Smt.Sat.reason_to_string r)
 
 (* -- 2. oracle-guided synthesis ------------------------------------- *)
 
@@ -38,7 +40,7 @@ let synthesis_demo () =
     | _ -> assert false
   in
   match Ogis.Synth.synthesize spec oracle with
-  | Ogis.Synth.Synthesized (prog, stats) ->
+  | Budget.Converged (Ogis.Synth.Synthesized (prog, stats)) ->
     Format.printf "%a@.(%d oracle queries, %d distinguishing rounds)@."
       Ogis.Straightline.pp prog stats.Ogis.Synth.oracle_queries
       stats.Ogis.Synth.iterations

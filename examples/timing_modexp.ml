@@ -25,7 +25,12 @@ let () =
   Format.printf "Platform: in-order pipeline, %d instructions of code@.@."
     (Platform.code_size pf);
   let t =
-    Gt.analyze ~bound:bits ~seed:2012 ~pin:[ ("base", 123) ] ~platform program
+    match
+      Gt.analyze ~bound:bits ~seed:2012 ~pin:[ ("base", 123) ] ~platform
+        program
+    with
+    | Budget.Converged t -> t
+    | Budget.Exhausted _ -> failwith "unbudgeted analysis exhausted"
   in
   Format.printf "Feasible basis paths: %d (rank bound %d)@." (List.length t.Gt.basis)
     (Basis.rank_bound t.Gt.cfg);

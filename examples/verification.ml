@@ -13,18 +13,22 @@ let cegar_demo () =
   Format.printf "system: %s — %d latches (%d of them property-irrelevant)@."
     t.Mc.Ts.name t.Mc.Ts.num_latches 10;
   (match Mc.Cegar.verify t with
-  | Mc.Cegar.Safe { abstract_latches; iterations; visible } ->
+  | Budget.Converged (Mc.Cegar.Safe { abstract_latches; iterations; visible })
+    ->
     Format.printf
       "SAFE with only %d visible latches (%d iterations): %s@."
       abstract_latches iterations
       (String.concat "," (List.map string_of_int visible))
-  | Mc.Cegar.Unsafe _ -> Format.printf "unexpectedly unsafe@.");
+  | Budget.Converged (Mc.Cegar.Unsafe _) ->
+    Format.printf "unexpectedly unsafe@."
+  | Budget.Exhausted _ -> Format.printf "budget ran out@.");
   let buggy = Mc.Systems.request_grant in
   match Mc.Cegar.verify buggy with
-  | Mc.Cegar.Unsafe { trace; _ } ->
+  | Budget.Converged (Mc.Cegar.Unsafe { trace; _ }) ->
     Format.printf "%s: UNSAFE, counterexample of %d steps@."
       buggy.Mc.Ts.name (List.length trace)
-  | Mc.Cegar.Safe _ -> Format.printf "bug missed!@."
+  | Budget.Converged (Mc.Cegar.Safe _) -> Format.printf "bug missed!@."
+  | Budget.Exhausted _ -> Format.printf "budget ran out@."
 
 (* -- Assume-guarantee ------------------------------------------------- *)
 
@@ -44,27 +48,34 @@ let agr_demo () =
       ~accept:[| true; true; false |]
       ~delta:[| [| 1; 0 |]; [| 2; 0 |]; [| 2; 2 |] |]
   in
-  match Lstar.Agr.check ~m1:alternator ~m2:strict ~prop with
-  | Lstar.Agr.Holds { assumption; membership_queries; rounds } ->
+  match Lstar.Agr.check ~m1:alternator ~m2:strict ~prop () with
+  | Budget.Converged
+      (Lstar.Agr.Holds { assumption; membership_queries; rounds }) ->
     Format.printf
       "M1 || M2 |= P holds; learned a %d-state assumption in %d rounds (%d membership queries)@."
       assumption.Lstar.Dfa.num_states rounds membership_queries
-  | Lstar.Agr.Violated w ->
+  | Budget.Converged (Lstar.Agr.Violated w) ->
     Format.printf "violated by %s@."
       (String.concat "" (List.map string_of_int w))
+  | Budget.Exhausted _ -> Format.printf "budget ran out@."
 
 (* -- Invariant generation --------------------------------------------- *)
 
 let invgen_demo () =
   banner "Invariant generation: simulate, hypothesize, prove by induction";
   let aig, bad = Invgen.Engine.counter_mod5 () in
-  let r = Invgen.Engine.run aig ~bad in
+  let r =
+    match Invgen.Engine.run aig ~bad with
+    | Budget.Converged r -> r
+    | Budget.Exhausted _ -> failwith "unbudgeted run exhausted"
+  in
   Format.printf "mod-5 counter, property: count never reaches 7@.";
   Format.printf "  plain 1-induction: %s@."
     (match r.Invgen.Engine.verdict_unaided with
     | Invgen.Induction.Proved -> "proved"
     | Invgen.Induction.Unknown -> "UNKNOWN (property is not inductive)"
-    | Invgen.Induction.Cex_in_base -> "cex in base");
+    | Invgen.Induction.Cex_in_base -> "cex in base"
+    | Invgen.Induction.Aborted _ -> "aborted");
   Format.printf "  %d candidates from simulation, %d proved inductive:@."
     r.Invgen.Engine.candidates
     (List.length r.Invgen.Engine.proven);

@@ -1,0 +1,81 @@
+type t = {
+  iterations : int option;
+  conflicts : int option;
+  seconds : float option;
+}
+
+let unlimited = { iterations = None; conflicts = None; seconds = None }
+let limited ?iterations ?conflicts ?seconds () = { iterations; conflicts; seconds }
+
+let is_unlimited b =
+  b.iterations = None && b.conflicts = None && b.seconds = None
+
+let pp ppf b =
+  if is_unlimited b then Format.fprintf ppf "unlimited"
+  else begin
+    let sep = ref "" in
+    let field name pp_v v =
+      Format.fprintf ppf "%s%s=%a" !sep name pp_v v;
+      sep := ","
+    in
+    Option.iter (field "iterations" Format.pp_print_int) b.iterations;
+    Option.iter (field "conflicts" Format.pp_print_int) b.conflicts;
+    Option.iter (fun s -> field "seconds" Format.pp_print_float s) b.seconds
+  end
+
+type reason =
+  | Iterations
+  | Conflicts
+  | Deadline
+  | Solver
+
+let reason_to_string = function
+  | Iterations -> "iterations"
+  | Conflicts -> "conflicts"
+  | Deadline -> "deadline"
+  | Solver -> "solver"
+
+type ('a, 'p) outcome =
+  | Converged of 'a
+  | Exhausted of 'p
+
+type meter = {
+  b : t;
+  iters : int Atomic.t;
+  confl : int Atomic.t;
+  dl : float option; (* absolute, fixed at [start] *)
+}
+
+let start b =
+  {
+    b;
+    iters = Atomic.make 0;
+    confl = Atomic.make 0;
+    dl = Option.map (fun s -> Unix.gettimeofday () +. s) b.seconds;
+  }
+
+let budget m = m.b
+
+let check m =
+  match m.b.iterations with
+  | Some cap when Atomic.get m.iters >= cap -> Some Iterations
+  | _ -> (
+    match m.b.conflicts with
+    | Some cap when Atomic.get m.confl >= cap -> Some Conflicts
+    | _ -> (
+      match m.dl with
+      | Some d when Unix.gettimeofday () > d -> Some Deadline
+      | _ -> None))
+
+let tick m =
+  ignore (Atomic.fetch_and_add m.iters 1);
+  check m
+
+let charge_conflicts m n = if n > 0 then ignore (Atomic.fetch_and_add m.confl n)
+let used_iterations m = Atomic.get m.iters
+let used_conflicts m = Atomic.get m.confl
+
+let remaining_conflicts m =
+  Option.map (fun cap -> max 0 (cap - Atomic.get m.confl)) m.b.conflicts
+
+let deadline m = m.dl

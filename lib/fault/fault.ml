@@ -1,0 +1,82 @@
+type site =
+  | Solver_call
+  | Pool_submit
+  | Domain_spawn
+
+let site_to_string = function
+  | Solver_call -> "solver_call"
+  | Pool_submit -> "pool_submit"
+  | Domain_spawn -> "domain_spawn"
+
+let site_index = function
+  | Solver_call -> 0
+  | Pool_submit -> 1
+  | Domain_spawn -> 2
+
+exception Injected
+
+type config = {
+  c_seed : int;
+  threshold : int; (* fire when draw land below this, out of 2^30 *)
+}
+
+let state : config option Atomic.t = Atomic.make None
+let draws = Array.init 3 (fun _ -> Atomic.make 0)
+let fired = Array.init 3 (fun _ -> Atomic.make 0)
+
+let scale = 1 lsl 30
+
+let activate ?(probability = 0.05) ~seed () =
+  let p = if probability < 0. then 0. else if probability > 1. then 1. else probability in
+  Array.iter (fun a -> Atomic.set a 0) draws;
+  Array.iter (fun a -> Atomic.set a 0) fired;
+  Atomic.set state
+    (Some { c_seed = seed; threshold = int_of_float (p *. float_of_int scale) })
+
+let deactivate () = Atomic.set state None
+let active () = Atomic.get state <> None
+let seed () = Option.map (fun c -> c.c_seed) (Atomic.get state)
+
+(* splitmix64-style avalanche over (seed, site, draw index); pure, so a
+   given seed fixes the full fire/no-fire sequence at each site *)
+let hash seed site k =
+  let z = ref (seed lxor (site * 0x9E3779B9) lxor (k * 0x85EBCA6B)) in
+  z := (!z lxor (!z lsr 30)) * 0x4F58476D1CE4E5B9;
+  z := (!z lxor (!z lsr 27)) * 0x14D049BB133111EB;
+  !z lxor (!z lsr 31)
+
+let fire site =
+  match Atomic.get state with
+  | None -> false
+  | Some c ->
+    let i = site_index site in
+    let k = Atomic.fetch_and_add draws.(i) 1 in
+    let hit = hash c.c_seed i k land (scale - 1) < c.threshold in
+    if hit then ignore (Atomic.fetch_and_add fired.(i) 1);
+    hit
+
+let injected site = Atomic.get fired.(site_index site)
+
+let parse_spec spec =
+  let bad () = Error (Printf.sprintf "bad fault spec %S (want SEED or SEED:PROB)" spec) in
+  match String.index_opt spec ':' with
+  | None -> (
+    match int_of_string_opt (String.trim spec) with
+    | Some s -> Ok (s, None)
+    | None -> bad ())
+  | Some i -> (
+    let s = String.sub spec 0 i in
+    let p = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match (int_of_string_opt (String.trim s), float_of_string_opt (String.trim p)) with
+    | Some s, Some p when p >= 0. && p <= 1. -> Ok (s, Some p)
+    | _ -> bad ())
+
+let activate_from_env () =
+  match Sys.getenv_opt "SCIDUCTION_FAULT_SEED" with
+  | None | Some "" -> false
+  | Some spec -> (
+    match parse_spec spec with
+    | Ok (seed, prob) ->
+      activate ?probability:prob ~seed ();
+      true
+    | Error _ -> false)

@@ -1,0 +1,55 @@
+(** Deterministic seeded fault injection.
+
+    Sciduction loops must stay sound when the deductive engine fails
+    under them: a solver call answering Unknown, a pool submission whose
+    worker dies, a domain that refuses to spawn. This module gives the
+    libraries cheap probability-per-site hooks ({!fire}) that are
+    compiled in everywhere but dormant by default — activation is always
+    explicit ({!activate} / {!activate_from_env}), so production runs and
+    the plain unit suite pay one atomic load per site and see no
+    injected faults.
+
+    Determinism: each site keeps its own atomic draw counter, and a draw
+    is a pure hash of [(seed, site, counter)]. For a fixed seed, the
+    k-th draw at a site fires or not independently of wall clock,
+    scheduling, or the other sites — a sequential replay of the same
+    query sequence injects the same faults. (Across racing domains the
+    {e assignment} of draws to callers can vary; the draw sequence
+    itself cannot.) *)
+
+type site =
+  | Solver_call  (** a [Sat] solve boundary: fault = spurious Unknown *)
+  | Pool_submit
+      (** a [Par] pool submission: fault = the worker "dies" before
+          running the job; the submitter recovers at [await] *)
+  | Domain_spawn
+      (** [Domain.spawn] during pool creation: fault = spawn failure *)
+
+val site_to_string : site -> string
+
+exception Injected
+(** The failure injected at [Pool_submit]/[Domain_spawn] sites. *)
+
+val activate : ?probability:float -> seed:int -> unit -> unit
+(** Arm the injector. [probability] (default 0.05) is the per-draw fire
+    probability at every site, clamped to [0..1]. Re-activating resets
+    the draw counters. *)
+
+val deactivate : unit -> unit
+val active : unit -> bool
+val seed : unit -> int option
+
+val fire : site -> bool
+(** One draw at [site]: [true] if a fault should be injected here. Never
+    fires when dormant. *)
+
+val injected : site -> int
+(** How many draws at [site] have fired since the last {!activate}. *)
+
+val parse_spec : string -> (int * float option, string) result
+(** Parse a ["SEED"] or ["SEED:PROB"] spec (as taken by [--fault] and
+    [SCIDUCTION_FAULT_SEED]). *)
+
+val activate_from_env : unit -> bool
+(** Arm from [SCIDUCTION_FAULT_SEED] if set and well-formed; returns
+    whether activation happened. A malformed spec is ignored. *)

@@ -20,20 +20,38 @@ let pin_formula (program : Lang.t) pin =
        (fun (x, v) -> Smt.Bv.eq (Smt.Bv.var ~width x) (Smt.Bv.const ~width v))
        pin)
 
-let analyze ?(bound = 8) ?trials ?seed ?(pin = []) ?pool ~platform program =
+type partial = {
+  analysis : t option;
+  reason : Budget.reason;
+}
+
+let analyze ?(bound = 8) ?trials ?seed ?(pin = []) ?pool
+    ?(budget = Budget.unlimited) ~platform program =
   Obs.with_span "gametime.analyze" ~attrs:[ ("bound", Obs.Int bound) ]
   @@ fun () ->
   let unrolled = Unroll.unroll ~bound program in
   let cfg = Cfg.of_program unrolled in
-  let basis =
+  let mk basis =
+    let model =
+      Obs.with_span "gametime.learn" (fun () ->
+          Learner.learn ?trials ?seed ?pool ~platform basis)
+    in
+    { program; unrolled; cfg; basis; model; pin }
+  in
+  match
     Obs.with_span "gametime.basis" (fun () ->
-        Basis.extract ~assuming:(pin_formula program pin) unrolled cfg)
-  in
-  let model =
-    Obs.with_span "gametime.learn" (fun () ->
-        Learner.learn ?trials ?seed ?pool ~platform basis)
-  in
-  { program; unrolled; cfg; basis; model; pin }
+        Basis.extract ~assuming:(pin_formula program pin) ~budget unrolled cfg)
+  with
+  | Budget.Converged basis -> Budget.Converged (mk basis)
+  | Budget.Exhausted p ->
+    (* a truncated basis still supports a (weaker) timing model; with no
+       feasible path at all there is nothing to measure *)
+    Budget.Exhausted
+      {
+        analysis =
+          (match p.Basis.found with [] -> None | basis -> Some (mk basis));
+        reason = p.Basis.reason;
+      }
 
 let predict_path t path = Learner.predict t.model (Paths.vector t.cfg path)
 
@@ -43,7 +61,11 @@ let feasible_paths t =
   let sess = Testgen.new_session ~assuming t.unrolled t.cfg in
   Paths.enumerate t.cfg
   |> Seq.filter_map (fun path ->
-         Option.map (fun test -> (path, test)) (Testgen.feasible_in sess path))
+         match Testgen.feasible_in sess path with
+         | `Test test -> Some (path, test)
+         (* Unknown (possible only under injected faults here — these
+            queries are unbudgeted) conservatively drops the path *)
+         | `Infeasible | `Unknown _ -> None)
   |> List.of_seq
 
 let predictions t =
@@ -63,9 +85,9 @@ type wcet = {
   measured_cycles : int;
 }
 
-let wcet t ~platform =
+let wcet_opt t ~platform =
   match predictions t with
-  | [] -> invalid_arg "Gametime.wcet: no feasible paths"
+  | [] -> None
   | first :: rest ->
     let _, test, predicted_cycles =
       List.fold_left
@@ -73,7 +95,12 @@ let wcet t ~platform =
           if cy > best then cand else acc)
         first rest
     in
-    { predicted_cycles; test; measured_cycles = platform test }
+    Some { predicted_cycles; test; measured_cycles = platform test }
+
+let wcet t ~platform =
+  match wcet_opt t ~platform with
+  | None -> invalid_arg "Gametime.wcet: no feasible paths"
+  | Some w -> w
 
 let answer_ta t ~platform ~tau =
   let w = wcet t ~platform in

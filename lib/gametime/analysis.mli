@@ -15,21 +15,37 @@ type t = {
   pin : (string * int) list;  (** inputs held fixed during analysis *)
 }
 
+(** What an exhausted analysis still holds: a driver over the truncated
+    basis — its predictions are genuine measurements over genuinely
+    feasible paths, but the basis may not span the path space, so
+    predictions can be unavailable ([predict_path] = [None]) for more
+    paths than usual. [None] when not even one basis path was found. *)
+type partial = {
+  analysis : t option;
+  reason : Budget.reason;
+}
+
 val analyze :
   ?bound:int ->
   ?trials:int ->
   ?seed:int ->
   ?pin:(string * int) list ->
   ?pool:Par.Pool.t ->
+  ?budget:Budget.t ->
   platform:((string * int) list -> int) ->
   Prog.Lang.t ->
-  t
+  (t, partial) Budget.outcome
 (** [bound] is the loop-unrolling bound (default 8). [pin] fixes some
     inputs to constants in every generated test case: problem <TA> is
     posed for a fixed starting environment state, and pinning the
     non-path-relevant inputs (e.g. the modexp base) fixes the data state
     the same way the paper's Fig. 6 experiment does. [pool] is
-    forwarded to {!Learner.learn} for the measurement fan-out. *)
+    forwarded to {!Learner.learn} for the measurement fan-out.
+
+    [?budget] (default unlimited) meters basis extraction (see
+    {!Basis.extract}); platform measurement of whatever basis was found
+    is never cut short, so an [Exhausted] partial's model is still
+    internally consistent. *)
 
 val predict_path : t -> Prog.Paths.path -> float option
 
@@ -56,9 +72,15 @@ type wcet = {
   measured_cycles : int;  (** the prediction's test case, re-measured *)
 }
 
-val wcet : t -> platform:((string * int) list -> int) -> wcet
+val wcet_opt : t -> platform:((string * int) list -> int) -> wcet option
 (** Predict the longest path, then execute its test case (the final step
-    of GameTime's answer to problem <TA>). *)
+    of GameTime's answer to problem <TA>). [None] when no feasible path
+    has a prediction (e.g. a truncated basis from an exhausted
+    {!analyze}). *)
+
+val wcet : t -> platform:((string * int) list -> int) -> wcet
+(** Like {!wcet_opt} but raises [Invalid_argument] when no prediction
+    exists. *)
 
 val answer_ta :
   t -> platform:((string * int) list -> int) -> tau:int ->

@@ -8,12 +8,20 @@ type basis_path = {
   test : (string * int) list;
 }
 
+type partial = {
+  found : basis_path list;
+  examined : int;
+  reason : Budget.reason;
+}
+
 let rank_bound (g : Cfg.t) = Cfg.num_edges g - g.Cfg.nnodes + 2
 
-let extract ?(max_paths = 100_000) ?assuming p (g : Cfg.t) =
+let extract ?(max_paths = 100_000) ?assuming ?(budget = Budget.unlimited) p
+    (g : Cfg.t) =
   let dim = Cfg.num_edges g in
   let span = Linalg.empty_span ~dim in
   let bound = rank_bound g in
+  let meter = Budget.start budget in
   let lp =
     Obs.Loop.start "gametime"
       ~attrs:[ ("edges", Obs.Int dim); ("rank_bound", Obs.Int bound) ]
@@ -21,39 +29,63 @@ let extract ?(max_paths = 100_000) ?assuming p (g : Cfg.t) =
   let sess = Testgen.new_session ?assuming p g in
   let acc = ref [] in
   let examined = ref 0 in
+  (* a cut-short run loses basis paths, never gains wrong ones: every
+     kept path is still feasibility-certified and independent *)
+  let stopped = ref None in
   let take path =
     let vector = Paths.vector g path in
     if not (Linalg.in_span span vector) then begin
       (* independent direction: a candidate basis path, pending the
          feasibility oracle's verdict *)
       Obs.Loop.candidate lp ~attrs:[ ("rank", Obs.Int (Linalg.rank span)) ];
-      match Testgen.feasible_in sess path with
-      | None ->
+      let limits = Smt.Govern.limits_of_meter meter in
+      let c0 = Testgen.session_conflicts sess in
+      let q = Testgen.feasible_in ~limits sess path in
+      Budget.charge_conflicts meter (Testgen.session_conflicts sess - c0);
+      match q with
+      | `Infeasible ->
         Obs.Loop.verdict lp "infeasible";
         Obs.Loop.counterexample lp
-      | Some test ->
+      | `Unknown r ->
+        Obs.Loop.verdict lp "unknown";
+        stopped := Some (Smt.Govern.reason_of_sat r)
+      | `Test test ->
         Obs.Loop.verdict lp "feasible";
         ignore (Linalg.add_if_independent span vector);
         acc := { path; vector; test } :: !acc
     end
   in
   let rec consume seq =
-    if Linalg.rank span < bound && !examined < max_paths then begin
-      match seq () with
-      | Seq.Nil -> ()
-      | Seq.Cons (path, rest) ->
-        Obs.Loop.iteration lp !examined;
-        incr examined;
-        take path;
-        consume rest
+    if Linalg.rank span < bound && !examined < max_paths && !stopped = None
+    then begin
+      match Budget.tick meter with
+      | Some reason -> stopped := Some reason
+      | None -> (
+        match seq () with
+        | Seq.Nil -> ()
+        | Seq.Cons (path, rest) ->
+          Obs.Loop.iteration lp !examined;
+          incr examined;
+          take path;
+          consume rest)
     end
   in
   consume (Paths.enumerate g);
-  Obs.Loop.finish lp
-    ~attrs:
-      [
-        ("examined", Obs.Int !examined);
-        ("basis", Obs.Int (List.length !acc));
-        ("rank", Obs.Int (Linalg.rank span));
-      ];
-  List.rev !acc
+  let finish_attrs =
+    [
+      ("examined", Obs.Int !examined);
+      ("basis", Obs.Int (List.length !acc));
+      ("rank", Obs.Int (Linalg.rank span));
+    ]
+  in
+  match !stopped with
+  | None ->
+    Obs.Loop.finish lp ~attrs:finish_attrs;
+    Budget.Converged (List.rev !acc)
+  | Some reason ->
+    Obs.Loop.budget_exhausted lp
+      ~reason:(Budget.reason_to_string reason)
+      ~attrs:[ ("examined", Obs.Int !examined) ];
+    Obs.Loop.finish lp
+      ~attrs:(("outcome", Obs.String "exhausted") :: finish_attrs);
+    Budget.Exhausted { found = List.rev !acc; examined = !examined; reason }

@@ -13,16 +13,33 @@ type basis_path = {
   test : (string * int) list;  (** input valuation driving this path *)
 }
 
+(** What an exhausted extraction still holds: every path in [found] is
+    feasibility-certified with a driving test case and the set is
+    linearly independent — it just may not span the full rank bound. *)
+type partial = {
+  found : basis_path list;
+  examined : int;
+  reason : Budget.reason;
+}
+
 val extract :
   ?max_paths:int ->
   ?assuming:Smt.Bv.formula ->
-  Prog.Lang.t -> Prog.Cfg.t ->
-  basis_path list
+  ?budget:Budget.t ->
+  Prog.Lang.t ->
+  Prog.Cfg.t ->
+  (basis_path list, partial) Budget.outcome
 (** [extract unrolled cfg] returns the feasible basis paths. [max_paths]
     bounds the structural paths examined (default 100_000); extraction
     also stops early once the rank bound [m - n + 2] is reached. The
     program must be the unrolled one the CFG was built from. [assuming]
-    constrains the generated test cases (see {!Prog.Testgen.feasible}). *)
+    constrains the generated test cases (see {!Prog.Testgen.feasible}).
+
+    [?budget] (default unlimited) meters the loop: iterations count
+    examined structural paths, the conflict pool is drained by the
+    feasibility queries, and a query abandoned mid-extraction stops it.
+    [max_paths] running out still counts as convergence (it is the
+    algorithm's own enumeration cap, not a resource budget). *)
 
 val rank_bound : Prog.Cfg.t -> int
 (** The dimension bound [m - n + 2] on the path-vector space. *)

@@ -5,15 +5,35 @@ type report = {
   verdict_unaided : Induction.verdict;
 }
 
+type partial = {
+  p_candidates : int;
+  survivors : Candidates.t list;
+  filtered : bool;
+  reason : Budget.reason;
+}
+
 let string_of_verdict = function
   | Induction.Proved -> "proved"
   | Induction.Cex_in_base -> "cex_in_base"
   | Induction.Unknown -> "unknown"
+  | Induction.Aborted _ -> "aborted"
 
-let run ?frames ?seed ?pool aig ~bad =
+let run ?frames ?seed ?pool ?(budget = Budget.unlimited) aig ~bad =
+  let meter = Budget.start budget in
   let lp =
     Obs.Loop.start "invgen"
       ~attrs:[ ("latches", Obs.Int (Aig.num_latches aig)) ]
+  in
+  let exhaust ~p_candidates ~survivors ~filtered reason =
+    Obs.Loop.budget_exhausted lp
+      ~reason:(Budget.reason_to_string reason)
+      ~attrs:
+        [
+          ("survivors", Obs.Int (List.length survivors));
+          ("filtered", Obs.Bool filtered);
+        ];
+    Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "exhausted") ];
+    Budget.Exhausted { p_candidates; survivors; filtered; reason }
   in
   let cands =
     Obs.with_span "invgen.simulate" (fun () ->
@@ -21,39 +41,52 @@ let run ?frames ?seed ?pool aig ~bad =
   in
   (* the simulation-pruned candidate set is this loop's hypothesis *)
   Obs.Loop.candidate lp ~attrs:[ ("count", Obs.Int (List.length cands)) ];
-  let proven = Induction.filter_inductive ~loop:lp aig cands in
-  (* the strengthened and unaided property checks are independent SAT
-     problems over separate solvers, so with a pool they race on two
-     domains; loop events are still emitted in the sequential order *)
-  let emit_verdict v =
-    Obs.Loop.verdict lp (string_of_verdict v)
-      ~attrs:[ ("proven", Obs.Int (List.length proven)) ]
-  in
-  let verdict, verdict_unaided =
-    match pool with
-    | Some pool when Par.Pool.jobs pool > 1 ->
-      let aided =
-        Par.submit pool (fun () ->
-            Induction.prove_property aig ~bad ~invariants:proven)
-      and unaided =
-        Par.submit pool (fun () ->
-            Induction.prove_property aig ~bad ~invariants:[])
-      in
-      let v = Par.await pool aided in
-      emit_verdict v;
-      (v, Par.await pool unaided)
+  match Induction.filter_inductive ~loop:lp ~meter aig cands with
+  | Budget.Exhausted (survivors, reason) ->
+    exhaust ~p_candidates:(List.length cands) ~survivors ~filtered:false reason
+  | Budget.Converged proven -> (
+    (* the strengthened and unaided property checks are independent SAT
+       problems over separate solvers, so with a pool they race on two
+       domains; loop events are still emitted in the sequential order.
+       The meter's counters are atomic, so the racing checks share the
+       conflict pool safely. *)
+    let emit_verdict v =
+      Obs.Loop.verdict lp (string_of_verdict v)
+        ~attrs:[ ("proven", Obs.Int (List.length proven)) ]
+    in
+    let verdict, verdict_unaided =
+      match pool with
+      | Some pool when Par.Pool.jobs pool > 1 ->
+        let aided =
+          Par.submit pool (fun () ->
+              Induction.prove_property ~meter aig ~bad ~invariants:proven)
+        and unaided =
+          Par.submit pool (fun () ->
+              Induction.prove_property ~meter aig ~bad ~invariants:[])
+        in
+        let v = Par.await pool aided in
+        emit_verdict v;
+        (v, Par.await pool unaided)
+      | _ ->
+        let v = Induction.prove_property ~meter aig ~bad ~invariants:proven in
+        emit_verdict v;
+        (v, Induction.prove_property ~meter aig ~bad ~invariants:[])
+    in
+    match verdict with
+    | Induction.Aborted reason ->
+      (* the fixpoint did finish: [survivors] are genuinely inductive
+         even though the property check was cut short *)
+      exhaust ~p_candidates:(List.length cands) ~survivors:proven
+        ~filtered:true reason
     | _ ->
-      let v = Induction.prove_property aig ~bad ~invariants:proven in
-      emit_verdict v;
-      (v, Induction.prove_property aig ~bad ~invariants:[])
-  in
-  Obs.Loop.finish lp
-    ~attrs:
-      [
-        ("outcome", Obs.String (string_of_verdict verdict));
-        ("unaided", Obs.String (string_of_verdict verdict_unaided));
-      ];
-  { candidates = List.length cands; proven; verdict; verdict_unaided }
+      Obs.Loop.finish lp
+        ~attrs:
+          [
+            ("outcome", Obs.String (string_of_verdict verdict));
+            ("unaided", Obs.String (string_of_verdict verdict_unaided));
+          ];
+      Budget.Converged
+        { candidates = List.length cands; proven; verdict; verdict_unaided })
 
 let ring_counter ~n =
   let aig = Aig.create () in

@@ -10,11 +10,35 @@ type report = {
   verdict_unaided : Induction.verdict;  (** plain induction, no invariants *)
 }
 
+(** What an exhausted run still holds. When [filtered] is true the
+    fixpoint finished and [survivors] are genuinely mutually inductive
+    (only the final property check was cut short); when false they are
+    merely the candidates not yet refuted when the budget ran out. *)
+type partial = {
+  p_candidates : int;
+  survivors : Candidates.t list;
+  filtered : bool;
+  reason : Budget.reason;
+}
+
 val run :
-  ?frames:int -> ?seed:int -> ?pool:Par.Pool.t -> Aig.t -> bad:Aig.lit -> report
+  ?frames:int ->
+  ?seed:int ->
+  ?pool:Par.Pool.t ->
+  ?budget:Budget.t ->
+  Aig.t ->
+  bad:Aig.lit ->
+  (report, partial) Budget.outcome
 (** With [?pool], the candidate implication scan fans out across domains
     and the strengthened/unaided property checks run concurrently; the
-    report is identical to a sequential run. *)
+    report is identical to a sequential run.
+
+    [?budget] (default unlimited) meters the pipeline: iterations count
+    fixpoint filtering passes, and every SAT query drains the shared
+    conflict pool (the racing property checks overdraw by at most one
+    in-flight query each). A [Converged] report is exact; the unaided
+    verdict may read [Aborted] when the pool ran dry after the main
+    verdict was already decided. *)
 
 (** {2 Example circuits} *)
 

@@ -5,6 +5,22 @@ type verdict =
   | Proved
   | Cex_in_base
   | Unknown
+  | Aborted of Budget.reason
+
+(* shared by the metered entry points: bound one query by the meter's
+   remaining pool, then charge what the query actually spent *)
+let solve_metered ?meter sat assumptions =
+  Option.iter
+    (fun m -> Sat.set_limits sat (Smt.Govern.limits_of_meter m))
+    meter;
+  let c0 = Sat.num_conflicts sat in
+  let r = Sat.solve_with_assumptions sat assumptions in
+  Option.iter
+    (fun m -> Budget.charge_conflicts m (Sat.num_conflicts sat - c0))
+    meter;
+  r
+
+let tick_opt = function None -> None | Some m -> Budget.tick m
 
 (* encode one combinational frame: node index -> Tseitin literal. AND
    operands always precede their gate (structural hashing allocates
@@ -50,9 +66,8 @@ let next_latch_lits aig m =
          | None -> invalid_arg "Induction: unconnected latch")
        (Aig.latches aig))
 
-(* one filtering pass; returns the surviving subset, or None if all
-   survived (fixpoint) *)
-let filter_pass aig cands ~base =
+(* one filtering pass; [`Fixpoint] if all candidates survived *)
+let filter_pass ?meter aig cands ~base =
   let ctx = Tseitin.create () in
   let init_lits =
     Array.map (fun b -> Tseitin.of_bool ctx b) (Aig.initial_state aig)
@@ -74,10 +89,11 @@ let filter_pass aig cands ~base =
   let cand_lits = List.map (fun c -> (c, candidate_lit ctx m_check c)) cands in
   Tseitin.assert_lit ctx
     (Tseitin.or_list ctx (List.map (fun (_, l) -> Tseitin.not_ l) cand_lits));
-  match Sat.solve_with_assumptions (Tseitin.solver ctx) [] with
-  | Sat.Unsat -> None
+  match solve_metered ?meter (Tseitin.solver ctx) [] with
+  | Sat.Unsat -> `Fixpoint
+  | Sat.Unknown r -> `Aborted (Smt.Govern.reason_of_sat r)
   | Sat.Sat ->
-    Some
+    `Survivors
       (List.filter_map
          (fun (c, l) -> if Tseitin.lit_of_model ctx l then Some c else None)
          cand_lits)
@@ -102,18 +118,22 @@ let pass_dropped loop ~before ~after =
         ~attrs:[ ("dropped", Obs.Int (before - after)) ])
     loop
 
-let fixpoint_fresh ?loop aig cands ~base =
+let fixpoint_fresh ?loop ?meter aig cands ~base =
   let rec go index cands =
     match cands with
-    | [] -> []
+    | [] -> Budget.Converged []
     | _ -> (
-      pass_started loop ~base ~index ~survivors:(List.length cands);
-      match filter_pass aig cands ~base with
-      | None -> cands
-      | Some survivors ->
-        pass_dropped loop ~before:(List.length cands)
-          ~after:(List.length survivors);
-        go (index + 1) survivors)
+      match tick_opt meter with
+      | Some reason -> Budget.Exhausted (cands, reason)
+      | None -> (
+        pass_started loop ~base ~index ~survivors:(List.length cands);
+        match filter_pass ?meter aig cands ~base with
+        | `Fixpoint -> Budget.Converged cands
+        | `Aborted reason -> Budget.Exhausted (cands, reason)
+        | `Survivors survivors ->
+          pass_dropped loop ~before:(List.length cands)
+            ~after:(List.length survivors);
+          go (index + 1) survivors))
   in
   go 0 cands
 
@@ -124,9 +144,9 @@ let fixpoint_fresh ?loop aig cands ~base =
    the per-pass "some survivor fails in the check frame" clause lives in
    a push/pop scope. Conflict clauses learned while refuting one pass
    carry over to the next. *)
-let fixpoint ?loop aig cands ~base =
+let fixpoint ?loop ?meter aig cands ~base =
   match cands with
-  | [] -> []
+  | [] -> Budget.Converged []
   | _ ->
     let ctx = Tseitin.create () in
     let init_lits =
@@ -158,45 +178,52 @@ let fixpoint ?loop aig cands ~base =
         cands
     in
     let sat = Tseitin.solver ctx in
+    let cands_of items = List.map (fun (c, _, _) -> c) items in
     let rec go index survivors =
       match survivors with
-      | [] -> []
+      | [] -> Budget.Converged []
       | _ -> (
-        pass_started loop ~base ~index ~survivors:(List.length survivors);
-        let assumptions = List.filter_map (fun (_, _, s) -> s) survivors in
-        Tseitin.push ctx;
-        Tseitin.assert_clause ctx
-          (List.map (fun (_, l, _) -> Tseitin.not_ l) survivors);
-        let next =
-          match Sat.solve_with_assumptions sat assumptions with
-          | Sat.Unsat -> None
-          | Sat.Sat ->
-            Some
-              (List.filter
-                 (fun (_, l, _) -> Tseitin.lit_of_model ctx l)
-                 survivors)
-        in
-        Tseitin.pop ctx;
-        match next with
-        | None -> List.map (fun (c, _, _) -> c) survivors
-        | Some remaining ->
-          pass_dropped loop ~before:(List.length survivors)
-            ~after:(List.length remaining);
-          go (index + 1) remaining)
+        match tick_opt meter with
+        | Some reason -> Budget.Exhausted (cands_of survivors, reason)
+        | None -> (
+          pass_started loop ~base ~index ~survivors:(List.length survivors);
+          let assumptions = List.filter_map (fun (_, _, s) -> s) survivors in
+          Tseitin.push ctx;
+          Tseitin.assert_clause ctx
+            (List.map (fun (_, l, _) -> Tseitin.not_ l) survivors);
+          let next =
+            match solve_metered ?meter sat assumptions with
+            | Sat.Unsat -> `Fixpoint
+            | Sat.Unknown r -> `Aborted (Smt.Govern.reason_of_sat r)
+            | Sat.Sat ->
+              `Survivors
+                (List.filter
+                   (fun (_, l, _) -> Tseitin.lit_of_model ctx l)
+                   survivors)
+          in
+          Tseitin.pop ctx;
+          match next with
+          | `Fixpoint -> Budget.Converged (cands_of survivors)
+          | `Aborted reason -> Budget.Exhausted (cands_of survivors, reason)
+          | `Survivors remaining ->
+            pass_dropped loop ~before:(List.length survivors)
+              ~after:(List.length remaining);
+            go (index + 1) remaining))
     in
     go 0 items
 
-let filter_inductive ?(reuse = true) ?loop aig cands =
+let filter_inductive ?(reuse = true) ?loop ?meter aig cands =
   Aig.validate aig;
   let fixpoint = if reuse then fixpoint else fixpoint_fresh in
-  let after_base = fixpoint ?loop aig cands ~base:true in
-  fixpoint ?loop aig after_base ~base:false
+  match fixpoint ?loop ?meter aig cands ~base:true with
+  | Budget.Exhausted _ as e -> e
+  | Budget.Converged after_base -> fixpoint ?loop ?meter aig after_base ~base:false
 
-let prove_property ?(k = 1) aig ~bad ~invariants =
+let prove_property ?(k = 1) ?meter aig ~bad ~invariants =
   Aig.validate aig;
   if k < 1 then invalid_arg "Induction.prove_property: k must be positive";
   (* base: no bad state within the first k steps from the initial state *)
-  let base_fails =
+  let base =
     Obs.with_span "induction.base" ~attrs:[ ("k", Obs.Int k) ] @@ fun () ->
     let ctx = Tseitin.create () in
     let latch =
@@ -209,10 +236,12 @@ let prove_property ?(k = 1) aig ~bad ~invariants =
       latch := next_latch_lits aig m
     done;
     Tseitin.assert_lit ctx (Tseitin.or_list ctx !bads);
-    Sat.solve_with_assumptions (Tseitin.solver ctx) [] = Sat.Sat
+    solve_metered ?meter (Tseitin.solver ctx) []
   in
-  if base_fails then Cex_in_base
-  else begin
+  match base with
+  | Sat.Sat -> Cex_in_base
+  | Sat.Unknown r -> Aborted (Smt.Govern.reason_of_sat r)
+  | Sat.Unsat ->
     (* step: k consecutive frames satisfying the invariants and ~bad,
        followed by a bad frame, must be unsatisfiable *)
     Obs.with_span "induction.step"
@@ -233,7 +262,7 @@ let prove_property ?(k = 1) aig ~bad ~invariants =
     done;
     let m_last = encode_frame ctx aig ~latch_lits:!latch in
     Tseitin.assert_lit ctx (lit_of m_last bad);
-    match Sat.solve_with_assumptions (Tseitin.solver ctx) [] with
+    (match solve_metered ?meter (Tseitin.solver ctx) [] with
     | Sat.Unsat -> Proved
     | Sat.Sat -> Unknown
-  end
+    | Sat.Unknown r -> Aborted (Smt.Govern.reason_of_sat r))

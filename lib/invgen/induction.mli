@@ -18,17 +18,37 @@ type verdict =
   | Proved
   | Cex_in_base
   | Unknown  (** the induction step failed; no conclusion *)
+  | Aborted of Budget.reason
+      (** a solver query was cut short (budget, deadline or injected
+          fault); no conclusion either way *)
 
 val filter_inductive :
-  ?reuse:bool -> ?loop:Obs.Loop.t -> Aig.t -> Candidates.t list ->
-  Candidates.t list
+  ?reuse:bool ->
+  ?loop:Obs.Loop.t ->
+  ?meter:Budget.meter ->
+  Aig.t ->
+  Candidates.t list ->
+  (Candidates.t list, Candidates.t list * Budget.reason) Budget.outcome
 (** With [reuse] (the default) each phase of the fixpoint keeps one
     incremental solver across all filtering passes — selector literals
     turn the shrinking survivor set into solver assumptions;
     [~reuse:false] re-encodes both frames every pass (benchmark
     baseline). When [loop] is given, each filtering pass is reported as
     one telemetry iteration of that loop, and dropped candidates as its
-    counterexamples. *)
+    counterexamples.
+
+    With [?meter], each pass charges one iteration and its query is
+    bounded by the remaining conflict pool / deadline. [Converged]
+    survivors are mutually inductive; [Exhausted] carries the survivor
+    set at the moment the budget ran out — candidates not yet {e
+    refuted}, with no inductiveness claim. *)
 
 val prove_property :
-  ?k:int -> Aig.t -> bad:Aig.lit -> invariants:Candidates.t list -> verdict
+  ?k:int ->
+  ?meter:Budget.meter ->
+  Aig.t ->
+  bad:Aig.lit ->
+  invariants:Candidates.t list ->
+  verdict
+(** [?meter] bounds the two SAT queries by the remaining pool and
+    charges their conflicts; a cut-short query answers {!Aborted}. *)

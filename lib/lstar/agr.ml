@@ -11,7 +11,7 @@ let weakest_assumption_member ~m1 ~prop w =
 
 exception Real_violation of Dfa.word
 
-let check ~m1 ~m2 ~prop =
+let check ?budget ~m1 ~m2 ~prop () =
   if m1.Dfa.alphabet <> m2.Dfa.alphabet || m1.Dfa.alphabet <> prop.Dfa.alphabet
   then invalid_arg "Agr.check: alphabet mismatch";
   let membership = weakest_assumption_member ~m1 ~prop in
@@ -31,12 +31,16 @@ let check ~m1 ~m2 ~prop =
            small; otherwise running w against M1 violates P. *)
         if membership w then Some w else raise (Real_violation w))
   in
-  match Learner.learn ~alphabet:m1.Dfa.alphabet ~membership ~equivalence () with
-  | a, stats ->
-    Holds
-      {
-        assumption = a;
-        membership_queries = stats.Learner.membership_queries;
-        rounds = stats.Learner.rounds;
-      }
-  | exception Real_violation w -> Violated w
+  match
+    Learner.learn ~alphabet:m1.Dfa.alphabet ~membership ~equivalence ?budget ()
+  with
+  | Budget.Converged (a, stats) ->
+    Budget.Converged
+      (Holds
+         {
+           assumption = a;
+           membership_queries = stats.Learner.membership_queries;
+           rounds = stats.Learner.rounds;
+         })
+  | Budget.Exhausted p -> Budget.Exhausted p
+  | exception Real_violation w -> Budget.Converged (Violated w)

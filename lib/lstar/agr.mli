@@ -23,7 +23,18 @@ type result =
   | Violated of Dfa.word
       (** a word in L(M1) ∩ L(M2) \ L(P), i.e. a real counterexample *)
 
-val check : m1:Dfa.t -> m2:Dfa.t -> prop:Dfa.t -> result
+val check :
+  ?budget:Budget.t ->
+  m1:Dfa.t ->
+  m2:Dfa.t ->
+  prop:Dfa.t ->
+  unit ->
+  (result, Learner.partial) Budget.outcome
+(** Both converged answers are unconditional: [Holds] is witnessed by a
+    learned assumption discharging both premises, [Violated] by a
+    concrete trace in L(M1) ∩ L(M2) \ L(P). [Exhausted] carries the
+    learner's last hypothesis — a candidate assumption with no claim
+    attached. *)
 
 val weakest_assumption_member : m1:Dfa.t -> prop:Dfa.t -> Dfa.word -> bool
 (** Membership in WA (exposed for tests). *)

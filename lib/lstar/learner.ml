@@ -4,6 +4,12 @@ type stats = {
   rounds : int;
 }
 
+type partial = {
+  hypothesis : Dfa.t option;
+  stats : stats;
+  reason : Budget.reason;
+}
+
 module Wset = Set.Make (struct
   type t = Dfa.word
 
@@ -106,7 +112,8 @@ let hypothesis t =
   in
   Dfa.make ~alphabet:t.alphabet ~start:(index (row t [])) ~accept ~delta
 
-let learn ~alphabet ~membership ~equivalence ?(max_rounds = 200) () =
+let learn ~alphabet ~membership ~equivalence ?(max_rounds = 200)
+    ?(budget = Budget.unlimited) () =
   let t =
     {
       alphabet;
@@ -117,13 +124,30 @@ let learn ~alphabet ~membership ~equivalence ?(max_rounds = 200) () =
       queries = 0;
     }
   in
+  let meter = Budget.start budget in
   let lp = Obs.Loop.start "lstar" ~attrs:[ ("alphabet", Obs.Int alphabet) ] in
   let eq_queries = ref 0 in
-  let rec go round =
-    if round > max_rounds then begin
-      Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "budget_exceeded") ];
-      failwith "Lstar.learn: round budget exceeded"
-    end;
+  let rec go round last_h =
+    let stats () =
+      {
+        membership_queries = t.queries;
+        equivalence_queries = !eq_queries;
+        rounds = round - 1;
+      }
+    in
+    match
+      if round > max_rounds then Some Budget.Iterations
+      else Budget.tick meter
+    with
+    | Some reason ->
+      Obs.Loop.budget_exhausted lp
+        ~reason:(Budget.reason_to_string reason)
+        ~attrs:[ ("rounds", Obs.Int (round - 1)) ];
+      Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "exhausted") ];
+      Budget.Exhausted { hypothesis = last_h; stats = stats (); reason }
+    | None ->
+      go_round round
+  and go_round round =
     Obs.Loop.iteration lp round
       ~attrs:[ ("rows", Obs.Int (Wset.cardinal t.s)) ];
     Obs.with_span "lstar.fix" (fun () -> fix t);
@@ -140,12 +164,13 @@ let learn ~alphabet ~membership ~equivalence ?(max_rounds = 200) () =
             ("membership_queries", Obs.Int t.queries);
             ("rounds", Obs.Int round);
           ];
-      ( h,
-        {
-          membership_queries = t.queries;
-          equivalence_queries = !eq_queries;
-          rounds = round;
-        } )
+      Budget.Converged
+        ( h,
+          {
+            membership_queries = t.queries;
+            equivalence_queries = !eq_queries;
+            rounds = round;
+          } )
     | Some cex ->
       Obs.Loop.verdict lp "counterexample";
       Obs.Loop.counterexample lp ~attrs:[ ("length", Obs.Int (List.length cex)) ];
@@ -155,13 +180,13 @@ let learn ~alphabet ~membership ~equivalence ?(max_rounds = 200) () =
         | a :: rest -> prefixes ((List.hd acc @ [ a ]) :: acc) rest
       in
       List.iter (fun p -> t.s <- Wset.add p t.s) (prefixes [ [] ] cex);
-      go (round + 1)
+      go (round + 1) (Some h)
   in
-  go 1
+  go 1 None
 
-let learn_exact ~target =
+let learn_exact ?budget ~target () =
   learn ~alphabet:target.Dfa.alphabet
     ~membership:(Dfa.accepts target)
     ~equivalence:(fun h ->
       match Dfa.equal h target with Ok () -> None | Error w -> Some w)
-    ()
+    ?budget ()

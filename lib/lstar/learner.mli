@@ -12,16 +12,35 @@ type stats = {
   rounds : int;
 }
 
+(** What an exhausted run still holds: the last hypothesis submitted to
+    the equivalence oracle ([None] if not even one round finished) —
+    consistent with every membership answer seen, but {e not} known
+    equivalent to the target. *)
+type partial = {
+  hypothesis : Dfa.t option;
+  stats : stats;
+  reason : Budget.reason;
+}
+
 val learn :
   alphabet:int ->
   membership:(Dfa.word -> bool) ->
   equivalence:(Dfa.t -> Dfa.word option) ->
   ?max_rounds:int ->
+  ?budget:Budget.t ->
   unit ->
-  Dfa.t * stats
+  (Dfa.t * stats, partial) Budget.outcome
 (** The returned DFA is the hypothesis the equivalence oracle accepted.
-    Raises [Failure] when [max_rounds] (default 200) is exhausted. *)
+    [max_rounds] (default 200) and [?budget]'s iteration cap both bound
+    the learning rounds; either running out — or the budget's deadline
+    passing — returns [Exhausted] (L* issues no solver queries, so the
+    conflict pool never drains here). *)
 
-val learn_exact : target:Dfa.t -> Dfa.t * stats
+val learn_exact :
+  ?budget:Budget.t ->
+  target:Dfa.t ->
+  unit ->
+  (Dfa.t * stats, partial) Budget.outcome
 (** Learn a known target by answering both oracle types from it; for
-    testing, and for the ablation that counts queries. *)
+    testing, and for the ablation that counts queries. Always converges
+    when unbudgeted (L* terminates on exact oracles). *)

@@ -28,7 +28,10 @@ let trace_of_inputs (ts : Ts.t) all_inputs =
   in
   truncate ts.Ts.init [] all_inputs
 
-let check (ts : Ts.t) ~depth =
+type query =
+  [ `Cex of bool array list | `No_cex | `Unknown of Smt.Sat.reason ]
+
+let check ?(limits = Sat.no_limits) (ts : Ts.t) ~depth =
   Obs.with_span "bmc.check" ~attrs:[ ("depth", Obs.Int depth) ] @@ fun () ->
   let ctx = Tseitin.create () in
   let state0 =
@@ -50,14 +53,18 @@ let check (ts : Ts.t) ~depth =
   let inputs = Array.of_list (List.rev !inputs) in
   let bads = List.rev !bads in
   Tseitin.assert_lit ctx (Tseitin.or_list ctx bads);
+  Sat.set_limits (Tseitin.solver ctx) limits;
   match Sat.solve_with_assumptions (Tseitin.solver ctx) [] with
-  | Sat.Unsat -> None
-  | Sat.Sat ->
+  | Sat.Unsat -> `No_cex
+  | Sat.Unknown reason -> `Unknown reason
+  | Sat.Sat -> (
     let value l = Tseitin.lit_of_model ctx l in
     let all_inputs =
       Array.to_list (Array.map (fun inp -> Array.map value inp) inputs)
     in
-    trace_of_inputs ts all_inputs
+    match trace_of_inputs ts all_inputs with
+    | Some trace -> `Cex trace
+    | None -> `No_cex)
 
 (* ---- persistent incremental session ---- *)
 
@@ -111,25 +118,31 @@ let rec take n l =
   if n <= 0 then []
   else match l with [] -> [] | x :: rest -> x :: take (n - 1) rest
 
-let check_depth sess ~depth =
+let session_conflicts sess = Sat.num_conflicts (Tseitin.solver sess.ctx)
+
+let check_depth ?limits sess ~depth =
   Obs.with_span "bmc.check_depth" ~attrs:[ ("depth", Obs.Int depth) ]
   @@ fun () ->
   extend sess depth;
   let ctx = sess.ctx in
+  Option.iter (Sat.set_limits (Tseitin.solver ctx)) limits;
   let bads = List.rev (drop (sess.frames - depth) sess.bads_rev) in
   Tseitin.push ctx;
   Tseitin.assert_lit ctx (Tseitin.or_list ctx bads);
   let result =
     match Sat.solve_with_assumptions (Tseitin.solver ctx) [] with
-    | Sat.Unsat -> None
-    | Sat.Sat ->
+    | Sat.Unsat -> `No_cex
+    | Sat.Unknown reason -> `Unknown reason
+    | Sat.Sat -> (
       let value l = Tseitin.lit_of_model ctx l in
       let all_inputs =
         List.map
           (fun inp -> Array.map value inp)
           (take depth (List.rev sess.inputs_rev))
       in
-      trace_of_inputs sess.ts all_inputs
+      match trace_of_inputs sess.ts all_inputs with
+      | Some trace -> `Cex trace
+      | None -> `No_cex)
   in
   Tseitin.pop ctx;
   result
@@ -147,7 +160,20 @@ let check_depth sess ~depth =
    sequential one (each stripe's solver sees its own query history,
    though that history is itself deterministic below the minimal
    counterexample depth). *)
-let sweep_par ~start pool (ts : Ts.t) ~max_depth =
+type partial = {
+  proved_depth : int;
+  reason : Budget.reason;
+}
+
+(* the budget_exhausted loop event, then finish: terminal for the loop *)
+let exhaust lp ~proved_depth reason =
+  Obs.Loop.budget_exhausted lp
+    ~reason:(Budget.reason_to_string reason)
+    ~attrs:[ ("proved_depth", Obs.Int proved_depth) ];
+  Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "exhausted") ];
+  Budget.Exhausted { proved_depth; reason }
+
+let sweep_par ~start ~meter pool (ts : Ts.t) ~max_depth =
   let width = Par.Pool.jobs pool in
   let lp =
     Obs.Loop.start "bmc"
@@ -167,25 +193,47 @@ let sweep_par ~start pool (ts : Ts.t) ~max_depth =
     if depth < cur && not (Atomic.compare_and_set best cur depth) then
       record depth
   in
+  (* per-depth clean flags (distinct indices per stripe: no races) for
+     the proved-prefix computation, plus the first exhaustion reason *)
+  let nstatus = max 0 (max_depth - start + 1) in
+  let status = Array.make (max 1 nstatus) false in
+  let stopped = Atomic.make None in
+  let record_stop reason =
+    ignore (Atomic.compare_and_set stopped None (Some reason) : bool)
+  in
   let stripe w () =
     let sess = new_session ts in
+    let solver = Tseitin.solver sess.ctx in
     let found = ref None in
     let d = ref (start + w) in
     while !d <= max_depth && !d < Atomic.get best do
       let depth = !d in
-      Obs.Loop.iteration lp
-        (Atomic.fetch_and_add iter_ix 1)
-        ~attrs:[ ("depth", Obs.Int depth) ];
-      match check_depth sess ~depth with
-      | Some trace ->
-        found := Some (depth, trace);
-        record depth;
-        (* deeper depths in this stripe are moot: a counterexample at
-           [depth] subsumes them *)
+      match Budget.tick meter with
+      | Some reason ->
+        record_stop reason;
         d := max_depth + 1
-      | None ->
-        Obs.Loop.verdict lp "no_cex" ~attrs:[ ("depth", Obs.Int depth) ];
-        d := depth + width
+      | None -> (
+        Obs.Loop.iteration lp
+          (Atomic.fetch_and_add iter_ix 1)
+          ~attrs:[ ("depth", Obs.Int depth) ];
+        Sat.set_limits solver (Smt.Govern.limits_of_meter meter);
+        let c0 = Sat.num_conflicts solver in
+        let q = check_depth sess ~depth in
+        Budget.charge_conflicts meter (Sat.num_conflicts solver - c0);
+        match q with
+        | `Cex trace ->
+          found := Some (depth, trace);
+          record depth;
+          (* deeper depths in this stripe are moot: a counterexample at
+             [depth] subsumes them *)
+          d := max_depth + 1
+        | `No_cex ->
+          status.(depth - start) <- true;
+          Obs.Loop.verdict lp "no_cex" ~attrs:[ ("depth", Obs.Int depth) ];
+          d := depth + width
+        | `Unknown r ->
+          record_stop (Smt.Govern.reason_of_sat r);
+          d := max_depth + 1)
     done;
     !found
   in
@@ -206,15 +254,29 @@ let sweep_par ~start pool (ts : Ts.t) ~max_depth =
       ~attrs:[ ("length", Obs.Int (List.length trace)) ];
     Obs.Loop.verdict lp "unsafe" ~attrs:[ ("depth", Obs.Int depth) ];
     Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "unsafe") ];
-    Some (depth, trace)
-  | None ->
-    Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "safe_within_bound") ];
-    None
+    Budget.Converged (Some (depth, trace))
+  | None -> (
+    match Atomic.get stopped with
+    | None ->
+      Obs.Loop.finish lp
+        ~attrs:[ ("outcome", Obs.String "safe_within_bound") ];
+      Budget.Converged None
+    | Some reason ->
+      (* deepest depth below which every depth was proved clean; with
+         striping, depths past a stalled stripe's frontier don't count
+         even if their owner got further *)
+      let proved = ref (start - 1) in
+      (try
+         for i = 0 to nstatus - 1 do
+           if status.(i) then proved := start + i else raise Exit
+         done
+       with Exit -> ());
+      exhaust lp ~proved_depth:!proved reason)
 
 (* The classic BMC loop: one persistent session, depths 0..max_depth in
    turn. Each depth is one loop iteration, so a trace of a sweep shows
    where the solving time concentrates as the unrolling grows. *)
-let sweep_seq ~start (ts : Ts.t) ~max_depth =
+let sweep_seq ~start ~meter (ts : Ts.t) ~max_depth =
   let lp =
     Obs.Loop.start "bmc"
       ~attrs:
@@ -226,28 +288,40 @@ let sweep_seq ~start (ts : Ts.t) ~max_depth =
         ]
   in
   let sess = new_session ts in
+  let solver = Tseitin.solver sess.ctx in
   let rec go depth i =
     if depth > max_depth then begin
       Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "safe_within_bound") ];
-      None
+      Budget.Converged None
     end
-    else begin
-      Obs.Loop.iteration lp i ~attrs:[ ("depth", Obs.Int depth) ];
-      match check_depth sess ~depth with
-      | Some trace ->
-        Obs.Loop.counterexample lp
-          ~attrs:[ ("length", Obs.Int (List.length trace)) ];
-        Obs.Loop.verdict lp "unsafe" ~attrs:[ ("depth", Obs.Int depth) ];
-        Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "unsafe") ];
-        Some (depth, trace)
-      | None ->
-        Obs.Loop.verdict lp "no_cex" ~attrs:[ ("depth", Obs.Int depth) ];
-        go (depth + 1) (i + 1)
-    end
+    else
+      match Budget.tick meter with
+      | Some reason -> exhaust lp ~proved_depth:(depth - 1) reason
+      | None -> (
+        Obs.Loop.iteration lp i ~attrs:[ ("depth", Obs.Int depth) ];
+        Sat.set_limits solver (Smt.Govern.limits_of_meter meter);
+        let c0 = Sat.num_conflicts solver in
+        let q = check_depth sess ~depth in
+        Budget.charge_conflicts meter (Sat.num_conflicts solver - c0);
+        match q with
+        | `Cex trace ->
+          Obs.Loop.counterexample lp
+            ~attrs:[ ("length", Obs.Int (List.length trace)) ];
+          Obs.Loop.verdict lp "unsafe" ~attrs:[ ("depth", Obs.Int depth) ];
+          Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "unsafe") ];
+          Budget.Converged (Some (depth, trace))
+        | `No_cex ->
+          Obs.Loop.verdict lp "no_cex" ~attrs:[ ("depth", Obs.Int depth) ];
+          go (depth + 1) (i + 1)
+        | `Unknown r ->
+          exhaust lp ~proved_depth:(depth - 1) (Smt.Govern.reason_of_sat r))
   in
   go start 0
 
-let sweep ?(start = 0) ?pool (ts : Ts.t) ~max_depth =
+let sweep ?(start = 0) ?pool ?(budget = Budget.unlimited) (ts : Ts.t)
+    ~max_depth =
+  let meter = Budget.start budget in
   match pool with
-  | Some pool when Par.Pool.jobs pool > 1 -> sweep_par ~start pool ts ~max_depth
-  | _ -> sweep_seq ~start ts ~max_depth
+  | Some pool when Par.Pool.jobs pool > 1 ->
+    sweep_par ~start ~meter pool ts ~max_depth
+  | _ -> sweep_seq ~start ~meter ts ~max_depth

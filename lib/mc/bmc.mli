@@ -14,12 +14,18 @@ val compile :
   Smt.Lit.t
 (** Lower a boolean expression over the given state/input wires. *)
 
-val check : Ts.t -> depth:int -> bool array list option
-(** [check ts ~depth] returns a concrete input trace reaching a bad
-    state after at most [depth] steps, or [None] if none exists within
-    the bound. The trace has one input valuation per executed step.
-    One-shot: builds a fresh solver per call; loops that query repeated
-    depths should use a {!session}. *)
+(** One bounded query's answer. [`Cex] carries a concrete input trace
+    (one valuation per executed step) reaching a bad state within the
+    bound; [`Unknown] means the solver abandoned the query (limits,
+    interrupt or injected fault) — the depth is {e not} proved clean. *)
+type query =
+  [ `Cex of bool array list | `No_cex | `Unknown of Smt.Sat.reason ]
+
+val check : ?limits:Smt.Sat.limits -> Ts.t -> depth:int -> query
+(** [check ts ~depth] decides whether a bad state is reachable within
+    [depth] steps. One-shot: builds a fresh solver per call (bounded by
+    [?limits] if given); loops that query repeated depths should use a
+    {!session}. *)
 
 (** {2 Persistent sessions}
 
@@ -33,23 +39,50 @@ type session
 
 val new_session : Ts.t -> session
 
-val check_depth : session -> depth:int -> bool array list option
-(** Same contract as {!check}. Depths may be queried in any order. *)
+val check_depth : ?limits:Smt.Sat.limits -> session -> depth:int -> query
+(** Same contract as {!check}. Depths may be queried in any order.
+    [?limits], when given, is installed on the session's solver (and
+    persists for later queries until replaced). *)
+
+val session_conflicts : session -> int
+(** Cumulative conflicts of the session's solver; callers metering a
+    conflict pool charge per-query deltas of this. *)
+
+(** What an exhausted sweep still established: every depth in
+    [start..proved_depth] is proved clean (no bad state reachable that
+    shallow), and nothing is claimed past it. [proved_depth] is
+    [start - 1] when not even the first depth finished. *)
+type partial = {
+  proved_depth : int;
+  reason : Budget.reason;
+}
 
 val sweep :
   ?start:int ->
   ?pool:Par.Pool.t ->
+  ?budget:Budget.t ->
   Ts.t ->
   max_depth:int ->
-  (int * bool array list) option
+  ((int * bool array list) option, partial) Budget.outcome
 (** The standard BMC loop over one persistent session: query depths
-    [start..max_depth] in turn, returning [(depth, trace)] for the first
-    reachable bad state, or [None] when the whole range is clean. Emits
-    one telemetry loop iteration per depth.
+    [start..max_depth] in turn — [Converged (Some (depth, trace))] for
+    the first reachable bad state, [Converged None] when the whole range
+    is clean. Emits one telemetry loop iteration per depth.
+
+    [?budget] (default unlimited) meters the whole sweep: iterations
+    count queried depths, the conflict pool is drained by every solver
+    call, and the deadline cuts the run short mid-query. On exhaustion
+    the sweep returns [Exhausted] with the deepest fully-proved depth
+    and emits a [budget_exhausted] loop event. A budgeted sequential
+    sweep's verdicts agree with the unbudgeted run on the proved
+    prefix (the limit checks never alter the search itself).
 
     With [?pool] (of more than one job), depths are striped across the
     pool's concurrency units, one persistent session per stripe, and a
     stripe that finds a counterexample cuts the others short at the
     next depth boundary; the minimal reachable depth — and hence the
     verdict — is identical to the sequential sweep, though the concrete
-    trace may differ. *)
+    trace may differ. Under a budget the stripes share one conflict
+    pool (overdraw bounded by one in-flight query per stripe), and the
+    proved prefix on exhaustion counts only depths below every stalled
+    stripe's frontier. *)

@@ -40,7 +40,9 @@ let sample_bad (ts : Ts.t) ~samples =
   (try
      for _ = 1 to samples do
        match Smt.Sat.solve_with_assumptions sat [] with
-       | Smt.Sat.Unsat -> raise Exit
+       (* Unknown: stop sampling — fewer positive examples only weakens
+          the learned refinement hint, never soundness *)
+       | Smt.Sat.Unsat | Smt.Sat.Unknown _ -> raise Exit
        | Smt.Sat.Sat ->
          let model =
            Array.map (fun l -> Smt.Tseitin.lit_of_model ctx l) latch
@@ -83,9 +85,17 @@ let bad_support (ts : Ts.t) =
   done;
   !acc
 
+type partial = {
+  visible : int list;
+  iterations : int;
+  reason : Budget.reason;
+}
+
 let verify ?initial_visible ?(max_iterations = 64)
-    ?(refinement = Most_referenced) ?(reuse = true) (ts : Ts.t) =
+    ?(refinement = Most_referenced) ?(reuse = true)
+    ?(budget = Budget.unlimited) (ts : Ts.t) =
   let initial = Option.value initial_visible ~default:(bad_support ts) in
+  let meter = Budget.start budget in
   let lp =
     Obs.Loop.start "cegar"
       ~attrs:
@@ -95,19 +105,41 @@ let verify ?initial_visible ?(max_iterations = 64)
           ("reuse", Obs.Bool reuse);
         ]
   in
+  let exhaust ~visible ~iterations reason =
+    Obs.Loop.budget_exhausted lp
+      ~reason:(Budget.reason_to_string reason)
+      ~attrs:[ ("iterations", Obs.Int iterations) ];
+    Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "exhausted") ];
+    Budget.Exhausted { visible; iterations; reason }
+  in
   (* one BMC session answers every spuriousness check of the loop; with
      [~reuse:false] each check rebuilds its solver (benchmark baseline) *)
   let bmc = if reuse then Some (Bmc.new_session ts) else None in
   let concretize ~depth =
+    let limits = Smt.Govern.limits_of_meter meter in
     match bmc with
-    | Some sess -> Bmc.check_depth sess ~depth
-    | None -> Bmc.check ts ~depth
+    | Some sess ->
+      let c0 = Bmc.session_conflicts sess in
+      let q = Bmc.check_depth ~limits sess ~depth in
+      Budget.charge_conflicts meter (Bmc.session_conflicts sess - c0);
+      q
+    | None ->
+      (* fresh solver per check: its conflicts are only visible through
+         the process-wide registry *)
+      let g0 = (Smt.Sat.global_stats ()).Smt.Sat.g_conflicts in
+      let q = Bmc.check ~limits ts ~depth in
+      Budget.charge_conflicts meter
+        ((Smt.Sat.global_stats ()).Smt.Sat.g_conflicts - g0);
+      q
   in
   let rec loop visible iterations =
-    if iterations >= max_iterations then begin
-      Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "budget_exceeded") ];
-      failwith "Cegar.verify: iteration budget exceeded"
-    end;
+    match
+      if iterations >= max_iterations then Some Budget.Iterations
+      else Budget.tick meter
+    with
+    | Some reason -> exhaust ~visible ~iterations reason
+    | None -> real_loop visible iterations
+  and real_loop visible iterations =
     Obs.Loop.iteration lp iterations
       ~attrs:[ ("visible", Obs.Int (List.length visible)) ];
     let a = Abstraction.localize ts ~visible in
@@ -119,22 +151,28 @@ let verify ?initial_visible ?(max_iterations = 64)
     | Reach.Safe _ ->
       Obs.Loop.verdict lp "abstract_safe";
       Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "safe") ];
-      Safe
-        {
-          visible;
-          iterations = iterations + 1;
-          abstract_latches = List.length visible;
-        }
+      Budget.Converged
+        (Safe
+           {
+             visible;
+             iterations = iterations + 1;
+             abstract_latches = List.length visible;
+           })
     | Reach.Cex abstract_trace -> (
       let depth = List.length abstract_trace in
       Obs.Loop.verdict lp "abstract_cex" ~attrs:[ ("depth", Obs.Int depth) ];
       match concretize ~depth with
-      | Some trace ->
+      | `Cex trace ->
         assert (Reach.replay ts trace);
         Obs.Loop.verdict lp "concrete";
         Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "unsafe") ];
-        Unsafe { trace; iterations = iterations + 1 }
-      | None -> (
+        Budget.Converged (Unsafe { trace; iterations = iterations + 1 })
+      | `Unknown r ->
+        (* without the spuriousness verdict the loop can neither report
+           Unsafe nor refine; stop with the abstraction proved so far *)
+        exhaust ~visible ~iterations:(iterations + 1)
+          (Smt.Govern.reason_of_sat r)
+      | `No_cex -> (
         (* abstract counterexample refuted by BMC: a spurious cex is the
            counterexample that drives refinement *)
         Obs.Loop.counterexample lp ~attrs:[ ("depth", Obs.Int depth) ];

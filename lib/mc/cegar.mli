@@ -28,20 +28,41 @@ type refinement =
           and bad states (SAT models), learn a decision tree separating
           them, and reveal the most informative hidden feature *)
 
+(** What an exhausted run still holds: the visible-latch set of the
+    last abstraction tried, after [iterations] completed refinements.
+    No safety claim is made (the abstraction's check did not finish),
+    but the set is a sound restart point: re-running with
+    [?initial_visible] set to it resumes where the budget ran out. *)
+type partial = {
+  visible : int list;
+  iterations : int;
+  reason : Budget.reason;
+}
+
 val verify :
   ?initial_visible:int list ->
   ?max_iterations:int ->
   ?refinement:refinement ->
   ?reuse:bool ->
+  ?budget:Budget.t ->
   Ts.t ->
-  result
+  (result, partial) Budget.outcome
 (** [initial_visible] defaults to the support of the bad predicate;
     [refinement] to [Most_referenced]. With [reuse] (the default) all
     spuriousness checks share one incremental {!Bmc.session};
     [~reuse:false] rebuilds the BMC solver per check (benchmark
-    baseline). Raises [Failure] if refinement runs out of candidates
-    (cannot happen for well-formed systems: the full system is a valid
-    refinement). *)
+    baseline).
+
+    [?budget] (default unlimited) meters the refinement loop:
+    iterations are refinements (also capped by [max_iterations], which
+    now exhausts instead of raising), the conflict pool is drained by
+    the spuriousness checks, and a solver that answers Unknown mid-loop
+    exhausts with [reason = Solver]. Verdicts that do converge are
+    unconditional: [Safe] rests on the over-approximating abstraction,
+    [Unsafe] on a replayed concrete trace — a starved solver can delay
+    but never flip them. Raises [Failure] only if refinement runs out
+    of candidates (cannot happen for well-formed systems: the full
+    system is a valid refinement). *)
 
 val decision_tree_candidates :
   Ts.t -> visible:int list -> samples:int -> seed:int -> int list

@@ -260,6 +260,7 @@ type event =
   | Oracle_verdict of { loop : string; verdict : string; attrs : attrs }
   | Counterexample of { loop : string; attrs : attrs }
   | Solver_call of { loop : string; result : string; attrs : attrs }
+  | Budget_exhausted of { loop : string; reason : string; attrs : attrs }
   | Loop_finished of { loop : string; attrs : attrs }
 
 let loop_agg_of name =
@@ -304,6 +305,8 @@ let emit ev =
           (loop_agg_of loop).l_solver_calls
           <- (loop_agg_of loop).l_solver_calls + 1;
         ("solver_call", loop, ("result", String result) :: attrs)
+      | Budget_exhausted { loop; reason; attrs } ->
+        ("budget_exhausted", loop, ("reason", String reason) :: attrs)
       | Loop_finished { loop; attrs } -> ("loop_finished", loop, attrs)
     in
     emit_record (event_record ~t ~name ~loop ~attrs);
@@ -341,6 +344,9 @@ module Loop = struct
 
   let counterexample ?(attrs = []) l =
     if l.alive then emit (Counterexample { loop = l.ln; attrs })
+
+  let budget_exhausted ?(attrs = []) l ~reason =
+    if l.alive then emit (Budget_exhausted { loop = l.ln; reason; attrs })
 
   let finish ?(attrs = []) l =
     if l.alive then begin

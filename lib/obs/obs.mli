@@ -103,6 +103,9 @@ type event =
   | Oracle_verdict of { loop : string; verdict : string; attrs : attrs }
   | Counterexample of { loop : string; attrs : attrs }
   | Solver_call of { loop : string; result : string; attrs : attrs }
+  | Budget_exhausted of { loop : string; reason : string; attrs : attrs }
+      (** the loop's resource budget ran out; terminal for the loop —
+          only [Loop_finished] may follow for the same loop *)
   | Loop_finished of { loop : string; attrs : attrs }
 
 val emit : event -> unit
@@ -120,6 +123,10 @@ module Loop : sig
   val candidate : ?attrs:attrs -> t -> unit
   val verdict : ?attrs:attrs -> t -> string -> unit
   val counterexample : ?attrs:attrs -> t -> unit
+
+  val budget_exhausted : ?attrs:attrs -> t -> reason:string -> unit
+  (** The loop is stopping short on an exhausted budget; emit just
+      before the final {!finish}. *)
 
   val finish : ?attrs:attrs -> t -> unit
   (** Also records the loop's wall time. Idempotent. *)

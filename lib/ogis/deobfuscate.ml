@@ -11,7 +11,12 @@ type result = {
   seconds : float;
 }
 
-let run ?max_iterations ?initial_inputs ?reuse ?pool ~library (p : Lang.t) =
+type failure =
+  | Unrealizable of Synth.stats
+  | Exhausted of Synth.partial
+
+let run ?max_iterations ?initial_inputs ?reuse ?pool ?budget ~library
+    (p : Lang.t) =
   let spec =
     {
       Encode.width = p.Lang.width;
@@ -22,9 +27,10 @@ let run ?max_iterations ?initial_inputs ?reuse ?pool ~library (p : Lang.t) =
   in
   let t0 = Unix.gettimeofday () in
   match
-    Synth.synthesize ?max_iterations ?initial_inputs ?reuse ?pool spec
+    Synth.synthesize ?max_iterations ?initial_inputs ?reuse ?pool ?budget spec
       (oracle_of_program p)
   with
-  | Synth.Synthesized (clean, stats) ->
+  | Budget.Converged (Synth.Synthesized (clean, stats)) ->
     Ok { clean; stats; seconds = Unix.gettimeofday () -. t0 }
-  | other -> Error other
+  | Budget.Converged (Synth.Unrealizable stats) -> Error (Unrealizable stats)
+  | Budget.Exhausted partial -> Error (Exhausted partial)

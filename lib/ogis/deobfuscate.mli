@@ -15,14 +15,23 @@ type result = {
   seconds : float;
 }
 
+(** Why deobfuscation produced no clean program: the library cannot
+    express the oracle at all, or the synthesis budget ran out first
+    (the partial carries the best candidate and the examples gathered,
+    a sound warm start for a retry). *)
+type failure =
+  | Unrealizable of Synth.stats
+  | Exhausted of Synth.partial
+
 val run :
   ?max_iterations:int ->
   ?initial_inputs:int list list ->
   ?reuse:bool ->
   ?pool:Par.Pool.t ->
+  ?budget:Budget.t ->
   library:Component.t list ->
   Prog.Lang.t ->
-  (result, Synth.outcome) Stdlib.result
+  (result, failure) Stdlib.result
 (** Deobfuscate a program against a component library. [Error] carries
-    the non-success outcome. [initial_inputs], [reuse] and [pool] are
-    forwarded to {!Synth.synthesize}. *)
+    the non-success outcome. [initial_inputs], [reuse], [pool] and
+    [budget] are forwarded to {!Synth.synthesize}. *)

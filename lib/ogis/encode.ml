@@ -159,16 +159,17 @@ let decode s (env : Bv.env) =
   in
   Straightline.make ~width:s.width ~ninputs:s.ninputs lines ~outputs
 
-let synthesize_candidate s ~examples =
+let synthesize_candidate ?limits s ~examples =
   let formulas =
     wfp s
     @ List.concat (List.mapi (concrete_example_formulas s) examples)
   in
   (* location variables may be unconstrained in corner cases (e.g. no
      examples); anchor them into range by the wfp constraints above *)
-  match Solver.check_formulas formulas with
-  | Error () -> None
-  | Ok env -> Some (decode s env)
+  match Solver.check_formulas ?limits formulas with
+  | `Unsat -> `Unrealizable
+  | `Unknown r -> `Unknown r
+  | `Sat env -> `Candidate (decode s env)
 
 (* ---- persistent incremental session ---- *)
 
@@ -217,12 +218,18 @@ let add_example sess ex =
   List.iter (Solver.assert_formula sess.synth) fs;
   List.iter (Solver.assert_formula sess.verify) fs
 
-let next_candidate sess =
-  match Solver.check sess.synth with
-  | Solver.Unsat -> None
-  | Solver.Sat -> Some (decode sess.sspec (Solver.model_env sess.synth))
+let session_conflicts sess =
+  (Solver.sat_stats sess.synth).Smt.Sat.conflicts
+  + (Solver.sat_stats sess.verify).Smt.Sat.conflicts
 
-let distinguishing sess candidate =
+let next_candidate ?limits sess =
+  Option.iter (Solver.set_limits sess.synth) limits;
+  match Solver.check sess.synth with
+  | Solver.Unsat -> `Unrealizable
+  | Solver.Unknown r -> `Unknown r
+  | Solver.Sat -> `Candidate (decode sess.sspec (Solver.model_env sess.synth))
+
+let distinguishing ?limits sess candidate =
   let s = sess.sspec in
   (match sess.differs with
   | Some (prev, _) when prev == candidate -> ()
@@ -242,12 +249,14 @@ let distinguishing sess candidate =
     in
     let r = Solver.assert_retractable sess.verify differs in
     sess.differs <- Some (candidate, r));
+  Option.iter (Solver.set_limits sess.verify) limits;
   match Solver.check sess.verify with
-  | Solver.Unsat -> None
+  | Solver.Unsat -> `Unique
+  | Solver.Unknown r -> `Unknown r
   | Solver.Sat ->
-    Some (List.init s.ninputs (fun j -> Solver.value sess.verify (dx j)))
+    `Input (List.init s.ninputs (fun j -> Solver.value sess.verify (dx j)))
 
-let distinguishing_input s ~examples candidate =
+let distinguishing_input ?limits s ~examples candidate =
   let e_sym = List.length examples in
   let sym_inputs = List.init s.ninputs (fun j -> Bv.var ~width:s.width (dx j)) in
   let input_term j = List.nth sym_inputs j in
@@ -266,6 +275,7 @@ let distinguishing_input s ~examples candidate =
     @ example_constraints s ~input_term e_sym
     @ [ differs ]
   in
-  match Solver.check_formulas formulas with
-  | Error () -> None
-  | Ok env -> Some (List.init s.ninputs (fun j -> env.Bv.bv (dx j)))
+  match Solver.check_formulas ?limits formulas with
+  | `Unsat -> `Unique
+  | `Unknown r -> `Unknown r
+  | `Sat env -> `Input (List.init s.ninputs (fun j -> env.Bv.bv (dx j)))

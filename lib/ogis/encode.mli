@@ -24,18 +24,25 @@ val loc_width : spec -> int
 (** Bits used for location variables. *)
 
 val synthesize_candidate :
-  spec -> examples:(int list * int list) list -> Straightline.t option
-(** A program over the library consistent with every example, or [None]
-    if no such program exists (the "infeasibility reported" branch of
-    Fig. 7). *)
+  ?limits:Smt.Sat.limits ->
+  spec ->
+  examples:(int list * int list) list ->
+  [ `Candidate of Straightline.t
+  | `Unrealizable
+  | `Unknown of Smt.Sat.reason ]
+(** A program over the library consistent with every example;
+    [`Unrealizable] if no such program exists (the "infeasibility
+    reported" branch of Fig. 7); [`Unknown] if the (optionally bounded)
+    solver abandoned the query. *)
 
 val distinguishing_input :
+  ?limits:Smt.Sat.limits ->
   spec ->
   examples:(int list * int list) list ->
   Straightline.t ->
-  int list option
+  [ `Input of int list | `Unique | `Unknown of Smt.Sat.reason ]
 (** An input on which some other library program — also consistent with
-    all examples — disagrees with the candidate; [None] means the
+    all examples — disagrees with the candidate; [`Unique] means the
     candidate is semantically unique and synthesis can stop. *)
 
 (** {2 Persistent sessions}
@@ -58,10 +65,25 @@ val add_example : session -> int list * int list -> unit
 (** Assert one concrete I/O example in both solvers (permanently — the
     example set only grows). *)
 
-val next_candidate : session -> Straightline.t option
-(** Like {!synthesize_candidate} over all examples added so far. *)
+val next_candidate :
+  ?limits:Smt.Sat.limits ->
+  session ->
+  [ `Candidate of Straightline.t
+  | `Unrealizable
+  | `Unknown of Smt.Sat.reason ]
+(** Like {!synthesize_candidate} over all examples added so far.
+    [?limits] bounds this query (installed on the session's synthesis
+    solver; an abandoned query leaves the session usable). *)
 
-val distinguishing : session -> Straightline.t -> int list option
+val distinguishing :
+  ?limits:Smt.Sat.limits ->
+  session ->
+  Straightline.t ->
+  [ `Input of int list | `Unique | `Unknown of Smt.Sat.reason ]
 (** Like {!distinguishing_input} over all examples added so far; the
     candidate-specific constraint is asserted in a scope and retracted
     before returning. *)
+
+val session_conflicts : session -> int
+(** Cumulative conflicts across both of the session's solvers; callers
+    metering a conflict pool charge per-query deltas of this. *)

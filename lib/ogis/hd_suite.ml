@@ -117,7 +117,9 @@ let find name = List.find (fun b -> b.name = name) all
 
 type outcome = {
   benchmark : benchmark;
-  result : (Straightline.t * Synth.stats, Synth.outcome) result;
+  result :
+    (Straightline.t * Synth.stats, (Synth.outcome, Synth.partial) Budget.outcome)
+    result;
   verified : bool;
   seconds : float;
 }
@@ -129,7 +131,7 @@ let run ?(width = 8) ?pool b =
   let t0 = Unix.gettimeofday () in
   let result =
     match Synth.synthesize ?pool spec_record (b.reference ~width) with
-    | Synth.Synthesized (p, stats) -> Ok (p, stats)
+    | Budget.Converged (Synth.Synthesized (p, stats)) -> Ok (p, stats)
     | other -> Error other
   in
   let seconds = Unix.gettimeofday () -. t0 in

@@ -23,7 +23,11 @@ val find : string -> benchmark
 
 type outcome = {
   benchmark : benchmark;
-  result : (Straightline.t * Synth.stats, Synth.outcome) result;
+  result :
+    (Straightline.t * Synth.stats, (Synth.outcome, Synth.partial) Budget.outcome)
+    result;
+      (** [Error] carries the full non-success outcome (unrealizable, or
+          exhausted with its partial) *)
   verified : bool;
   seconds : float;
 }

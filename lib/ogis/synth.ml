@@ -12,7 +12,12 @@ type stats = {
 type outcome =
   | Synthesized of Straightline.t * stats
   | Unrealizable of stats
-  | Out_of_budget of stats
+
+type partial = {
+  best : Straightline.t option;
+  stats : stats;
+  reason : Budget.reason;
+}
 
 (* Candidate-vs-counterexample re-checking. Sequentially only the new
    example needs evaluating (the synthesis solver guarantees consistency
@@ -28,7 +33,8 @@ let candidate_holds ?pool cand ex examples =
   | _ -> agrees ex
 
 let synthesize ?(max_iterations = 64) ?initial_inputs ?(reuse = true) ?pool
-    (spec : Encode.spec) oracle =
+    ?(budget = Budget.unlimited) (spec : Encode.spec) oracle =
+  let meter = Budget.start budget in
   let lp =
     Obs.Loop.start "ogis"
       ~attrs:
@@ -46,14 +52,12 @@ let synthesize ?(max_iterations = 64) ?initial_inputs ?(reuse = true) ?pool
   in
   let finished outcome =
     let st =
-      match outcome with
-      | Synthesized (_, s) | Unrealizable s | Out_of_budget s -> s
+      match outcome with Synthesized (_, s) | Unrealizable s -> s
     in
     let label =
       match outcome with
       | Synthesized _ -> "synthesized"
       | Unrealizable _ -> "unrealizable"
-      | Out_of_budget _ -> "out_of_budget"
     in
     Obs.Loop.finish lp
       ~attrs:
@@ -62,7 +66,20 @@ let synthesize ?(max_iterations = 64) ?initial_inputs ?(reuse = true) ?pool
           ("iterations", Obs.Int st.iterations);
           ("oracle_queries", Obs.Int st.oracle_queries);
         ];
-    outcome
+    Budget.Converged outcome
+  in
+  let exhausted ~best stats reason =
+    Obs.Loop.budget_exhausted lp
+      ~reason:(Budget.reason_to_string reason)
+      ~attrs:[ ("iterations", Obs.Int stats.iterations) ];
+    Obs.Loop.finish lp
+      ~attrs:
+        [
+          ("outcome", Obs.String "exhausted");
+          ("iterations", Obs.Int stats.iterations);
+          ("oracle_queries", Obs.Int stats.oracle_queries);
+        ];
+    Budget.Exhausted { best; stats; reason }
   in
   let initial =
     (* deterministic initial probes: a richer starting example set prunes
@@ -87,29 +104,43 @@ let synthesize ?(max_iterations = 64) ?initial_inputs ?(reuse = true) ?pool
   if reuse then (
     (* persistent solvers: each iteration only asserts the new example *)
     let sess = Encode.new_session spec in
+    let charged q =
+      let c0 = Encode.session_conflicts sess in
+      let r = q () in
+      Budget.charge_conflicts meter (Encode.session_conflicts sess - c0);
+      r
+    in
     let rec loop iterations candidate examples =
       let stats () =
         { iterations; oracle_queries = !queries; examples = List.rev examples }
       in
-      if iterations >= max_iterations then finished (Out_of_budget (stats ()))
-      else begin
+      match
+        if iterations >= max_iterations then Some Budget.Iterations
+        else Budget.tick meter
+      with
+      | Some reason -> exhausted ~best:candidate (stats ()) reason
+      | None -> (
         Obs.Loop.iteration lp iterations
           ~attrs:[ ("examples", Obs.Int (List.length examples)) ];
-        let retained = candidate <> None in
-        let candidate =
+        let limits = Smt.Govern.limits_of_meter meter in
+        let retained = Option.is_some candidate in
+        match
           match candidate with
-          | Some _ -> candidate
-          | None -> Encode.next_candidate sess
-        in
-        match candidate with
-        | None -> finished (Unrealizable (stats ()))
-        | Some cand -> (
+          | Some c -> `Candidate c
+          | None -> charged (fun () -> Encode.next_candidate ~limits sess)
+        with
+        | `Unrealizable -> finished (Unrealizable (stats ()))
+        | `Unknown r ->
+          exhausted ~best:candidate (stats ()) (Smt.Govern.reason_of_sat r)
+        | `Candidate cand -> (
           Obs.Loop.candidate lp ~attrs:[ ("retained", Obs.Bool retained) ];
-          match Encode.distinguishing sess cand with
-          | None ->
+          match charged (fun () -> Encode.distinguishing ~limits sess cand) with
+          | `Unique ->
             Obs.Loop.verdict lp "unique";
             finished (Synthesized (cand, stats ()))
-          | Some input ->
+          | `Unknown r ->
+            exhausted ~best:(Some cand) (stats ()) (Smt.Govern.reason_of_sat r)
+          | `Input input ->
             Obs.Loop.verdict lp "distinguished";
             let ex = ask input in
             Obs.Loop.counterexample lp;
@@ -125,37 +156,56 @@ let synthesize ?(max_iterations = 64) ?initial_inputs ?(reuse = true) ?pool
             let keep = candidate_holds ?pool cand ex examples in
             loop (iterations + 1)
               (if keep then Some cand else None)
-              (ex :: examples))
-      end
+              (ex :: examples)))
     in
     let seed = List.map ask initial in
     List.iter (Encode.add_example sess) seed;
     loop 0 None seed)
   else
-    let rec loop iterations examples =
+    let charged q =
+      let g0 = (Smt.Sat.global_stats ()).Smt.Sat.g_conflicts in
+      let r = q () in
+      Budget.charge_conflicts meter
+        ((Smt.Sat.global_stats ()).Smt.Sat.g_conflicts - g0);
+      r
+    in
+    let rec loop iterations best examples =
       let stats () =
         { iterations; oracle_queries = !queries; examples = List.rev examples }
       in
-      if iterations >= max_iterations then finished (Out_of_budget (stats ()))
-      else begin
+      match
+        if iterations >= max_iterations then Some Budget.Iterations
+        else Budget.tick meter
+      with
+      | Some reason -> exhausted ~best (stats ()) reason
+      | None -> (
         Obs.Loop.iteration lp iterations
           ~attrs:[ ("examples", Obs.Int (List.length examples)) ];
-        match Encode.synthesize_candidate spec ~examples with
-        | None -> finished (Unrealizable (stats ()))
-        | Some candidate -> (
+        let limits = Smt.Govern.limits_of_meter meter in
+        match
+          charged (fun () -> Encode.synthesize_candidate ~limits spec ~examples)
+        with
+        | `Unrealizable -> finished (Unrealizable (stats ()))
+        | `Unknown r -> exhausted ~best (stats ()) (Smt.Govern.reason_of_sat r)
+        | `Candidate candidate -> (
           Obs.Loop.candidate lp;
-          match Encode.distinguishing_input spec ~examples candidate with
-          | None ->
+          match
+            charged (fun () ->
+                Encode.distinguishing_input ~limits spec ~examples candidate)
+          with
+          | `Unique ->
             Obs.Loop.verdict lp "unique";
             finished (Synthesized (candidate, stats ()))
-          | Some input ->
+          | `Unknown r ->
+            exhausted ~best:(Some candidate) (stats ())
+              (Smt.Govern.reason_of_sat r)
+          | `Input input ->
             Obs.Loop.verdict lp "distinguished";
             let ex = ask input in
             Obs.Loop.counterexample lp;
-            loop (iterations + 1) (ex :: examples))
-      end
+            loop (iterations + 1) (Some candidate) (ex :: examples)))
     in
-    loop 0 (List.map ask initial)
+    loop 0 None (List.map ask initial)
 
 let verify_against (spec : Encode.spec) prog ~spec_fn =
   let w = spec.Encode.width in
@@ -168,8 +218,18 @@ let verify_against (spec : Encode.spec) prog ~spec_fn =
   if List.length got <> List.length want then
     invalid_arg "Synth.verify_against: output arity mismatch";
   let differs = Bv.disj (List.map2 Bv.neq got want) in
-  match Solver.check_formulas [ differs ] with
-  | Error () -> Ok ()
-  | Ok env ->
-    Error (List.init spec.Encode.ninputs (fun j ->
-        env.Bv.bv (Printf.sprintf "cx%d" j)))
+  (* unbudgeted one-shot: Unknown is only possible under fault injection,
+     so a bounded retry always converges in practice *)
+  let rec go retries =
+    match Solver.check_formulas [ differs ] with
+    | `Unsat -> Ok ()
+    | `Sat env ->
+      Error
+        (List.init spec.Encode.ninputs (fun j ->
+             env.Bv.bv (Printf.sprintf "cx%d" j)))
+    | `Unknown _ when retries > 0 -> go (retries - 1)
+    | `Unknown r ->
+      failwith
+        ("Synth.verify_against: no verdict (" ^ Smt.Sat.reason_to_string r ^ ")")
+  in
+  go 3

@@ -20,16 +20,27 @@ type outcome =
       (** no library program is consistent with the I/O examples: the
           structure hypothesis is invalid and infeasibility is reported
           (left branch of Fig. 7) *)
-  | Out_of_budget of stats
+
+(** What an exhausted run still holds: [best] is the last candidate
+    consistent with every example seen (its uniqueness proof did not
+    finish — it may still disagree with the oracle on unseen inputs),
+    and [stats.examples] the oracle answers gathered, a sound warm-start
+    via [?initial_inputs]. *)
+type partial = {
+  best : Straightline.t option;
+  stats : stats;
+  reason : Budget.reason;
+}
 
 val synthesize :
   ?max_iterations:int ->
   ?initial_inputs:int list list ->
   ?reuse:bool ->
   ?pool:Par.Pool.t ->
+  ?budget:Budget.t ->
   Encode.spec ->
   oracle ->
-  outcome
+  (outcome, partial) Budget.outcome
 (** [synthesize spec oracle] runs the loop: synthesize a candidate
     consistent with the examples seen so far, ask for a distinguishing
     input, query the oracle on it, repeat. Starts from the all-zero
@@ -40,7 +51,14 @@ val synthesize :
 
     [?pool] parallelizes the candidate-vs-counterexample re-check of the
     retention step across the whole example set; the loop's verdicts and
-    iteration structure are unchanged. *)
+    iteration structure are unchanged.
+
+    [?budget] (default unlimited) meters the loop: iterations count
+    distinguishing rounds (also capped by [max_iterations], which now
+    exhausts instead of answering a dedicated constructor), the conflict
+    pool is drained by both solvers, and a query abandoned mid-loop
+    exhausts with the corresponding reason. A [Converged] verdict is
+    exact; [Exhausted] makes no claim beyond its [partial]. *)
 
 val verify_against :
   Encode.spec ->

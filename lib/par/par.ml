@@ -29,6 +29,10 @@ type 'a future = {
   fut_lock : Mutex.t;
   settled : Condition.t;
   mutable state : 'a state;
+  mutable orphan : job option;
+      (* set when an injected Pool_submit fault "loses" the job in
+         flight: it was never queued, and the first awaiter runs it
+         inline instead (worker death + submitter-side recovery) *)
 }
 
 (* Pop a job if one is queued. Blocking variant used by workers only;
@@ -66,6 +70,20 @@ let worker_loop p =
 module Pool = struct
   type t = pool
 
+  let mk jobs =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      jobs;
+      workers = [];
+      closing = false;
+    }
+
+  let spawn_worker p =
+    if Fault.fire Fault.Domain_spawn then raise Fault.Injected;
+    Domain.spawn (fun () -> worker_loop p)
+
   let create ?jobs () =
     let jobs =
       match jobs with
@@ -74,19 +92,27 @@ module Pool = struct
         n
       | None -> Domain.recommended_domain_count ()
     in
-    let p =
-      {
-        lock = Mutex.create ();
-        nonempty = Condition.create ();
-        queue = Queue.create ();
-        jobs;
-        workers = [];
-        closing = false;
-      }
-    in
-    p.workers <-
-      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p));
-    p
+    let p = mk jobs in
+    let spawned = ref [] in
+    match
+      for _ = 2 to jobs do
+        spawned := spawn_worker p :: !spawned
+      done
+    with
+    | () ->
+      p.workers <- List.rev !spawned;
+      p
+    | exception _ ->
+      (* a spawn failed mid-creation: tear down the workers that did
+         start instead of leaking domains, then degrade to a sequential
+         pool (jobs=1), which every ?pool fan-out treats as "run
+         sequentially" *)
+      Mutex.lock p.lock;
+      p.closing <- true;
+      Condition.broadcast p.nonempty;
+      Mutex.unlock p.lock;
+      List.iter Domain.join !spawned;
+      mk 1
 
   let jobs p = p.jobs
 
@@ -120,22 +146,30 @@ let settle fut st =
 let submit p task =
   let fut =
     { fut_lock = Mutex.create (); settled = Condition.create ();
-      state = Pending }
+      state = Pending; orphan = None }
   in
   let job () =
     match task () with
     | v -> settle fut (Done v)
     | exception e -> settle fut (Failed (e, Printexc.get_raw_backtrace ()))
   in
-  Mutex.lock p.lock;
-  if p.closing then begin
+  if Fault.fire Fault.Pool_submit then begin
+    (* injected worker death: the job is lost in flight (never queued);
+       the first awaiter recovers it inline *)
+    fut.orphan <- Some job;
+    fut
+  end
+  else begin
+    Mutex.lock p.lock;
+    if p.closing then begin
+      Mutex.unlock p.lock;
+      invalid_arg "Par.submit: pool is shut down"
+    end;
+    Queue.push job p.queue;
+    Condition.signal p.nonempty;
     Mutex.unlock p.lock;
-    invalid_arg "Par.submit: pool is shut down"
-  end;
-  Queue.push job p.queue;
-  Condition.signal p.nonempty;
-  Mutex.unlock p.lock;
-  fut
+    fut
+  end
 
 let settled_value fut =
   match fut.state with
@@ -147,7 +181,18 @@ let settled_value fut =
    a jobs=1 pool degenerates to plain sequential execution and larger
    pools never idle the calling domain. Only when the queue is empty
    (our task is running on a worker) do we block on the future. *)
+let claim_orphan fut =
+  Mutex.lock fut.fut_lock;
+  let j = fut.orphan in
+  fut.orphan <- None;
+  Mutex.unlock fut.fut_lock;
+  j
+
 let await p fut =
+  (* recover a job lost to an injected submit fault: run it inline, so
+     the future settles with the task's real outcome and concurrent
+     waiters wake as usual *)
+  (match claim_orphan fut with Some job -> job () | None -> ());
   let rec loop () =
     Mutex.lock fut.fut_lock;
     let v = settled_value fut in

@@ -42,7 +42,12 @@ module Pool : sig
       [Domain.recommended_domain_count ()]): [jobs - 1] worker domains
       plus the submitter, which executes queued tasks while it waits in
       [await]. [jobs = 1] spawns no domains at all — every task runs
-      sequentially on the submitter, in submission order. *)
+      sequentially on the submitter, in submission order.
+
+      If a [Domain.spawn] fails mid-creation (resource exhaustion, or
+      an injected [Fault.Domain_spawn]), the workers that did start are
+      torn down and joined, and the returned pool is sequential
+      ([jobs = 1]) — degraded, never leaking domains. *)
 
   val jobs : t -> int
 

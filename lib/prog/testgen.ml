@@ -4,8 +4,9 @@ module Solver = Smt.Solver
 let feasible ?(assuming = Bv.tru) (p : Lang.t) g path =
   let r = Symexec.exec p g path in
   match Solver.check_formulas [ assuming; r.Symexec.path_condition ] with
-  | Error () -> None
-  | Ok env -> Some (List.map (fun x -> (x, env.Bv.bv x)) p.Lang.inputs)
+  | `Unsat -> `Infeasible
+  | `Unknown reason -> `Unknown reason
+  | `Sat env -> `Test (List.map (fun x -> (x, env.Bv.bv x)) p.Lang.inputs)
 
 (* Persistent session for checking many paths of one program: path
    conditions of sibling paths share long prefixes, so keeping one
@@ -22,15 +23,19 @@ let new_session ?(assuming = Bv.tru) (p : Lang.t) g =
   Solver.assert_formula solver assuming;
   { prog = p; cfg = g; solver }
 
-let feasible_in sess path =
+let session_conflicts sess = (Solver.sat_stats sess.solver).Smt.Sat.conflicts
+
+let feasible_in ?limits sess path =
   let r = Symexec.exec sess.prog sess.cfg path in
+  Option.iter (Solver.set_limits sess.solver) limits;
   Solver.push sess.solver;
   Solver.assert_formula sess.solver r.Symexec.path_condition;
   let res =
     match Solver.check sess.solver with
-    | Solver.Unsat -> None
+    | Solver.Unsat -> `Infeasible
+    | Solver.Unknown reason -> `Unknown reason
     | Solver.Sat ->
-      Some
+      `Test
         (List.map
            (fun x -> (x, Solver.value sess.solver x))
            sess.prog.Lang.inputs)

@@ -7,12 +7,18 @@
 
 val feasible :
   ?assuming:Smt.Bv.formula ->
-  Lang.t -> Cfg.t -> Paths.path ->
-  (string * int) list option
-(** [Some inputs] gives values for the program inputs that drive execution
-    down exactly this path; [None] means the path is infeasible.
-    [assuming] conjoins an extra constraint over the inputs (used to pin
-    some inputs to fixed values, e.g. a fixed modexp base). *)
+  Lang.t ->
+  Cfg.t ->
+  Paths.path ->
+  [ `Test of (string * int) list
+  | `Infeasible
+  | `Unknown of Smt.Sat.reason ]
+(** [`Test inputs] gives values for the program inputs that drive
+    execution down exactly this path; [`Infeasible] means no input can;
+    [`Unknown] means the solver abandoned the query (limits or injected
+    fault) and neither is established. [assuming] conjoins an extra
+    constraint over the inputs (used to pin some inputs to fixed values,
+    e.g. a fixed modexp base). *)
 
 (** {2 Persistent sessions}
 
@@ -27,8 +33,20 @@ type session
 
 val new_session : ?assuming:Smt.Bv.formula -> Lang.t -> Cfg.t -> session
 
-val feasible_in : session -> Paths.path -> (string * int) list option
-(** Same contract as {!feasible} against the session's program. *)
+val feasible_in :
+  ?limits:Smt.Sat.limits ->
+  session ->
+  Paths.path ->
+  [ `Test of (string * int) list
+  | `Infeasible
+  | `Unknown of Smt.Sat.reason ]
+(** Same contract as {!feasible} against the session's program.
+    [?limits], when given, is installed on the session's solver (and
+    persists for later queries until replaced). *)
+
+val session_conflicts : session -> int
+(** Cumulative conflicts of the session's solver; callers metering a
+    conflict pool charge per-query deltas of this. *)
 
 val check_drives : Lang.t -> Cfg.t -> Paths.path -> (string * int) list -> bool
 (** Validate (concretely) that [inputs] follows [path]: re-run symbolic

@@ -276,3 +276,8 @@ let model_env t =
     Bv.bv = (fun name -> Option.value (value_of t name) ~default:0);
     Bv.bool = (fun name -> Option.value (bool_value_of t name) ~default:false);
   }
+
+let check ?(limits = Sat.no_limits) ?(assumptions = []) t =
+  let s = Tseitin.solver t.ctx in
+  Sat.set_limits s limits;
+  Sat.solve_with_assumptions s assumptions

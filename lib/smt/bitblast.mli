@@ -29,3 +29,10 @@ val value_of : t -> string -> int option
 val bool_value_of : t -> string -> bool option
 val model_env : t -> Bv.env
 (** Environment reading back the last model (unknown names read as 0). *)
+
+val check : ?limits:Sat.limits -> ?assumptions:Lit.t list -> t -> Sat.result
+(** Decide everything asserted so far on the underlying solver,
+    optionally under per-call {!Sat.limits} (installed before the call
+    and left in place) and assumption literals. [Unknown] means the
+    limits ran out or the call was interrupted; the context stays
+    usable. *)

@@ -70,6 +70,14 @@ let solve p =
     ignore (Sat.new_var s)
   done;
   List.iter (Sat.add_clause s) p.clauses;
-  match Sat.solve s with
-  | Sat.Unsat -> Dpll.Unsat
-  | Sat.Sat -> Dpll.Sat (Array.init p.nvars (Sat.value s))
+  (* no limits are ever set here, so Unknown can only come from fault
+     injection; this two-valued convenience retries through it *)
+  let rec go retries =
+    match Sat.solve s with
+    | Sat.Unsat -> Dpll.Unsat
+    | Sat.Sat -> Dpll.Sat (Array.init p.nvars (Sat.value s))
+    | Sat.Unknown _ when retries > 0 -> go (retries - 1)
+    | Sat.Unknown reason ->
+      failwith ("Dimacs.solve: no verdict (" ^ Sat.reason_to_string reason ^ ")")
+  in
+  go 3

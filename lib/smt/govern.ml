@@ -1,0 +1,11 @@
+let limits_of_meter m =
+  {
+    Sat.no_limits with
+    Sat.max_conflicts = Budget.remaining_conflicts m;
+    deadline = Budget.deadline m;
+  }
+
+let reason_of_sat = function
+  | Sat.Budget_exhausted -> Budget.Conflicts
+  | Sat.Deadline -> Budget.Deadline
+  | Sat.Interrupted -> Budget.Solver

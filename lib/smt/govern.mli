@@ -1,0 +1,15 @@
+(** Bridge between loop-level budgets and per-call solver limits.
+
+    A loop meters its whole run with a [Budget.meter]; each solver call
+    it makes is bounded by what is left in the meter at that moment
+    (conflict pool remainder + the absolute deadline). The loop charges
+    the call's conflict delta back into the meter afterwards. *)
+
+val limits_of_meter : Budget.meter -> Sat.limits
+(** Per-call limits from the meter's remaining conflict pool and its
+    deadline; other counters unlimited. *)
+
+val reason_of_sat : Sat.reason -> Budget.reason
+(** Map a solver's abandonment reason onto the loop-level vocabulary:
+    conflict-budget exhaustion, deadline, or (for interrupts and
+    injected faults) [Budget.Solver]. *)

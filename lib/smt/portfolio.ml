@@ -25,31 +25,35 @@ type outcome = {
   model : bool array option;
   winner : int;
   raced : int;
+  retried : bool;
 }
 
 let m_races = Obs.Metrics.counter "portfolio.races"
 let m_cancelled = Obs.Metrics.counter "portfolio.cancelled"
+let m_unknowns = Obs.Metrics.counter "portfolio.unknowns"
+let m_retries = Obs.Metrics.counter "portfolio.retries"
 let m_sequential = Obs.Metrics.counter "portfolio.sequential"
 
-let mk_solver (p : Dimacs.problem) config =
+let mk_solver ?(limits = Sat.no_limits) (p : Dimacs.problem) config =
   let s =
     Sat.create ~seed:config.seed ~default_phase:config.default_phase
       ~restart_base:config.restart_base ()
   in
+  Sat.set_limits s limits;
   for _ = 1 to p.Dimacs.nvars do
     ignore (Sat.new_var s : int)
   done;
   List.iter (Sat.add_clause s) p.Dimacs.clauses;
   s
 
-let run_sequential p config ~winner ~raced =
+let run_sequential ?limits p config ~winner ~raced ~retried =
   Obs.Metrics.incr m_sequential;
-  let s = mk_solver p config in
+  let s = mk_solver ?limits p config in
   let result = Sat.solve s in
   let model = if result = Sat.Sat then Some (Sat.model s) else None in
-  { result; model; winner; raced }
+  { result; model; winner; raced; retried }
 
-let solve ?pool ?configs (p : Dimacs.problem) =
+let solve ?pool ?configs ?limits (p : Dimacs.problem) =
   let configs =
     match configs with
     | Some [] -> invalid_arg "Portfolio.solve: empty config list"
@@ -58,30 +62,37 @@ let solve ?pool ?configs (p : Dimacs.problem) =
       default_configs (match pool with Some pl -> Par.Pool.jobs pl | None -> 1)
   in
   match (pool, configs) with
-  | None, c0 :: _ | Some _, [ c0 ] -> run_sequential p c0 ~winner:0 ~raced:1
+  | None, c0 :: _ | Some _, [ c0 ] ->
+    run_sequential ?limits p c0 ~winner:0 ~raced:1 ~retried:false
   | Some pool, configs ->
     Obs.Metrics.incr m_races;
     let thunks =
       List.mapi
         (fun i config token ->
-          let s = mk_solver p config in
+          let s = mk_solver ?limits p config in
           Sat.set_terminate s (Some (fun () -> Par.Cancel.is_set token));
           match Sat.solve s with
+          | Sat.Unknown _ ->
+            (* no verdict: a cancelled loser, or a member that ran out
+               of budget / hit an injected fault — not a winner either
+               way *)
+            Obs.Metrics.incr
+              (if Par.Cancel.is_set token then m_cancelled else m_unknowns);
+            None
           | result ->
             let model =
               if result = Sat.Sat then Some (Sat.model s) else None
             in
-            Some (i, result, model)
-          | exception Sat.Interrupted ->
-            Obs.Metrics.incr m_cancelled;
-            None)
+            Some (i, result, model))
         configs
     in
     (match Par.first_some pool thunks with
     | Some (winner, result, model) ->
-      { result; model; winner; raced = List.length configs }
+      { result; model; winner; raced = List.length configs; retried = false }
     | None ->
-      (* unreachable with complete solvers (a loser only stops once a
-         winner set the token), but fail safe: decide sequentially *)
-      run_sequential p (List.hd configs) ~winner:0 ~raced:1)
+      (* every member stopped without a verdict: retry once on the
+         vanilla configuration before conceding Unknown *)
+      Obs.Metrics.incr m_retries;
+      run_sequential ?limits p (List.hd configs) ~winner:0
+        ~raced:(List.length configs) ~retried:true)
   | None, [] -> assert false

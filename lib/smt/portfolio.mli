@@ -30,16 +30,33 @@ val default_configs : int -> config list
 
 type outcome = {
   result : Sat.result;
+      (** [Unknown] only when every member (and the retry) stopped
+          without a verdict — possible only under {!Sat.limits} or
+          fault injection *)
   model : bool array option;  (** the winner's model, on [Sat] *)
   winner : int;  (** index into the raced configuration list *)
   raced : int;  (** configurations actually raced *)
+  retried : bool;
+      (** the race produced no verdict and the vanilla configuration was
+          re-run sequentially *)
 }
 
-val solve : ?pool:Par.Pool.t -> ?configs:config list -> Dimacs.problem -> outcome
+val solve :
+  ?pool:Par.Pool.t ->
+  ?configs:config list ->
+  ?limits:Sat.limits ->
+  Dimacs.problem ->
+  outcome
 (** Decide the CNF. Without [?pool] (or with a single configuration)
     this runs exactly one solver — the first configuration, by default
     {!vanilla} — sequentially. With a pool, one task per configuration
     is raced under a shared [Par.Cancel] token ([?configs] defaults to
     [default_configs (Par.Pool.jobs pool)]); the first verdict sets the
     token and the siblings stop at their next termination poll.
-    Raises [Invalid_argument] on an empty [?configs]. *)
+
+    [?limits] bounds every member's solve call ([Sat.set_limits]). A
+    member that exhausts its limits (or hits an injected fault) reports
+    [Unknown] and is simply not a winner; if {e no} member produces a
+    verdict, the vanilla configuration is retried once sequentially
+    (under the same limits) and its answer — possibly [Unknown] — is
+    the outcome. Raises [Invalid_argument] on an empty [?configs]. *)

@@ -1,8 +1,29 @@
 module Ivec = Vec.Ivec
 
+type reason =
+  | Budget_exhausted
+  | Deadline
+  | Interrupted
+
+let reason_to_string = function
+  | Budget_exhausted -> "budget_exhausted"
+  | Deadline -> "deadline"
+  | Interrupted -> "interrupted"
+
 type result =
   | Sat
   | Unsat
+  | Unknown of reason
+
+type limits = {
+  max_conflicts : int option;
+  max_propagations : int option;
+  max_steps : int option;
+  deadline : float option; (* absolute, [Unix.gettimeofday] scale *)
+}
+
+let no_limits =
+  { max_conflicts = None; max_propagations = None; max_steps = None; deadline = None }
 
 type stats = {
   conflicts : int;
@@ -105,6 +126,14 @@ type t = {
   (* cooperative cancellation *)
   mutable terminate : (unit -> bool) option;
   mutable poll : int; (* countdown to the next terminate poll *)
+  (* per-solve resource limits; the base_* fields snapshot the
+     cumulative counters at the start of the current solve, so a limit
+     bounds the delta of that one call *)
+  mutable limits : limits;
+  mutable steps : int; (* cumulative search steps (conflicts+decisions) *)
+  mutable base_conflicts : int;
+  mutable base_propagations : int;
+  mutable base_steps : int;
 }
 
 let create ?(learnt_limit = 0) ?(seed = 0) ?(default_phase = false)
@@ -153,6 +182,11 @@ let create ?(learnt_limit = 0) ?(seed = 0) ?(default_phase = false)
     restart_base;
     terminate = None;
     poll = 0;
+    limits = no_limits;
+    steps = 0;
+    base_conflicts = 0;
+    base_propagations = 0;
+    base_steps = 0;
   }
 
 let num_vars s = s.nvars
@@ -675,26 +709,51 @@ let analyze s confl =
 (* ----- search ----- *)
 
 exception Found of result
-exception Interrupted
+exception Stop of reason
 
 let set_terminate s f =
   s.terminate <- f;
   s.poll <- 0
 
-(* Polled once per search step (conflict or decision), but the callback
-   itself only runs every 128 steps: cancellation latency stays well
-   under a restart, at no measurable cost to the hot loop. *)
-let check_terminate s =
-  match s.terminate with
-  | None -> ()
-  | Some f ->
+let set_limits s l =
+  s.limits <- l;
+  s.poll <- 0
+
+let clear_limits s = s.limits <- no_limits
+let limits s = s.limits
+
+(* Run once per search step (conflict or decision), before that step
+   does any work — so a pre-set terminate flag or an already-exhausted
+   budget deterministically beats a verdict the same step would have
+   produced. The counter limits are exact (checked every step); the
+   terminate callback and the wall clock are only consulted every 128
+   steps, keeping cancellation latency well under a restart at no
+   measurable cost to the hot loop. *)
+let check_stop s =
+  s.steps <- s.steps + 1;
+  (match s.limits.max_conflicts with
+  | Some m when s.conflicts - s.base_conflicts >= m ->
+    raise (Stop Budget_exhausted)
+  | _ -> ());
+  (match s.limits.max_propagations with
+  | Some m when s.propagations - s.base_propagations >= m ->
+    raise (Stop Budget_exhausted)
+  | _ -> ());
+  (match s.limits.max_steps with
+  | Some m when s.steps - s.base_steps >= m -> raise (Stop Budget_exhausted)
+  | _ -> ());
+  match (s.terminate, s.limits.deadline) with
+  | None, None -> ()
+  | terminate, deadline ->
     s.poll <- s.poll - 1;
     if s.poll <= 0 then begin
       s.poll <- 128;
-      if f () then begin
-        cancel_until s 0;
-        raise Interrupted
-      end
+      (match terminate with
+      | Some f when f () -> raise (Stop Interrupted)
+      | _ -> ());
+      match deadline with
+      | Some d when Unix.gettimeofday () > d -> raise (Stop Deadline)
+      | _ -> ()
     end
 
 let luby i =
@@ -780,7 +839,7 @@ let decide s =
 let search s assumptions budget =
   let local = ref 0 in
   let rec loop () =
-    check_terminate s;
+    check_stop s;
     let ci = propagate s in
     if ci >= 0 then begin
       incr local;
@@ -804,6 +863,10 @@ let search s assumptions budget =
 let run_solve s assumptions =
   if not s.ok then Unsat
   else begin
+    (* limits bound this one call: snapshot the cumulative counters *)
+    s.base_conflicts <- s.conflicts;
+    s.base_propagations <- s.propagations;
+    s.base_steps <- s.steps;
     (* the cap tracks problem size: an incremental solver keeps gaining
        clauses after its first solve, and must not be stuck with the cap
        a small prefix of the problem suggested *)
@@ -831,9 +894,15 @@ let run_solve s assumptions =
           | `Restart -> run (i + 1)
         in
         run 1
-      with Found r ->
+      with
+      | Found r ->
         cancel_until s 0;
         r
+      | Stop reason ->
+        (* budget/deadline/interrupt: back out to level 0 with clauses
+           and statistics intact — the solver stays usable *)
+        cancel_until s 0;
+        Unknown reason
   end
 
 let solve_with_assumptions s assumptions =
@@ -847,12 +916,14 @@ let solve_with_assumptions s assumptions =
   in
   let c0 = s.conflicts and d0 = s.decisions in
   let p0 = s.propagations and r0 = s.restarts in
-  (* a cancelled portfolio member still funnels its work into the
-     registry and closes its span before the exception escapes *)
+  (* an injected fault at the solve boundary stands in for a crashed or
+     unreachable engine: the call reports Unknown without searching *)
   let r =
-    match run_solve s assumptions with
-    | r -> Ok r
-    | exception e -> Error (e, Printexc.get_raw_backtrace ())
+    if Fault.fire Fault.Solver_call then Ok (Unknown Interrupted)
+    else
+      match run_solve s assumptions with
+      | r -> Ok r
+      | exception e -> Error (e, Printexc.get_raw_backtrace ())
   in
   (* fleet-wide registry totals, batched as per-solve deltas *)
   Obs.Metrics.add m_conflicts (s.conflicts - c0);
@@ -865,7 +936,7 @@ let solve_with_assumptions s assumptions =
       match r with
       | Ok Sat -> "sat"
       | Ok Unsat -> "unsat"
-      | Error (Interrupted, _) -> "interrupted"
+      | Ok (Unknown reason) -> reason_to_string reason
       | Error _ -> "error"
     in
     let delta =

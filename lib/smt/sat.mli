@@ -16,9 +16,25 @@
 
 type t
 
+(** Why a solve stopped without a verdict. *)
+type reason =
+  | Budget_exhausted
+      (** a {!limits} counter (conflicts/propagations/steps) ran out *)
+  | Deadline  (** the {!limits} wall-clock deadline passed *)
+  | Interrupted
+      (** the {!set_terminate} callback answered [true], or a fault was
+          injected at the solve boundary (see [Fault]) *)
+
+val reason_to_string : reason -> string
+(** ["budget_exhausted"] / ["deadline"] / ["interrupted"]. *)
+
 type result =
   | Sat
   | Unsat
+  | Unknown of reason
+      (** The query was abandoned. The solver is left at decision level
+          0 with clauses, learned clauses and statistics intact, so it
+          remains usable; no model is available. *)
 
 (** Cumulative solver statistics (since [create]). *)
 type stats = {
@@ -133,12 +149,37 @@ val luby : int -> int
 (** The Luby restart sequence, 1-indexed: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8…
     Iterative; exposed for testing. *)
 
-exception Interrupted
-(** Raised out of [solve]/[solve_with_assumptions] when the
-    {!set_terminate} callback answers [true]. The solver is left at
-    decision level 0 with its clauses and statistics intact (and its
-    per-solve metrics already merged into the registry), so it remains
-    usable for further queries. *)
+(** {2 Resource limits and cooperative cancellation}
+
+    Limits make a single solve call abandonable: when any counter runs
+    out or the deadline passes, the call returns [Unknown] with the
+    matching {!reason} instead of a verdict, at decision level 0 and
+    fully usable for further queries. The counter limits are
+    deterministic — they bound per-call deltas and are checked at the
+    top of every search step, before the step can conclude [Sat] or
+    [Unsat] — while the deadline is polled every 128 steps and is
+    inherently wall-clock dependent. A trivially unsatisfiable instance
+    (empty clause already derived, or assumptions false at the root)
+    still answers [Unsat]: no search happens, so no budget applies. *)
+
+type limits = {
+  max_conflicts : int option;  (** conflicts allowed for one call *)
+  max_propagations : int option;  (** literal propagations for one call *)
+  max_steps : int option;  (** search steps (conflicts + decisions) *)
+  deadline : float option;
+      (** absolute wall-clock cutoff, [Unix.gettimeofday] scale *)
+}
+
+val no_limits : limits
+
+val set_limits : t -> limits -> unit
+(** Install limits for subsequent solve calls (each call is bounded
+    independently: counters limit per-call deltas). Persists until
+    changed or {!clear_limits}. *)
+
+val clear_limits : t -> unit
+
+val limits : t -> limits
 
 val set_terminate : t -> (unit -> bool) option -> unit
 (** Install (or with [None], remove) a cooperative termination callback,

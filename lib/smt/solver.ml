@@ -6,6 +6,7 @@ type t = {
 type answer =
   | Sat
   | Unsat
+  | Unknown of Sat.reason
 
 type retractable = Lit.t
 
@@ -37,7 +38,8 @@ let check t =
     (fun () ->
       match Sat.solve_with_assumptions (sat t) t.retractables with
       | Sat.Sat -> Sat
-      | Sat.Unsat -> Unsat)
+      | Sat.Unsat -> Unsat
+      | Sat.Unknown reason -> Unknown reason)
 
 let value t name = Option.value (Bitblast.value_of t.bb name) ~default:0
 
@@ -46,12 +48,17 @@ let bool_value t name =
 
 let model_env t = Bitblast.model_env t.bb
 
-let check_formulas fs =
+let set_limits t l = Sat.set_limits (sat t) l
+let clear_limits t = Sat.clear_limits (sat t)
+
+let check_formulas ?limits fs =
   let t = create () in
+  Option.iter (set_limits t) limits;
   List.iter (assert_formula t) fs;
   match check t with
-  | Sat -> Ok (model_env t)
-  | Unsat -> Error ()
+  | Sat -> `Sat (model_env t)
+  | Unsat -> `Unsat
+  | Unknown reason -> `Unknown reason
 
 let sat_stats t = Sat.stats (sat t)
 

@@ -14,6 +14,10 @@ type t
 type answer =
   | Sat
   | Unsat
+  | Unknown of Sat.reason
+      (** The query was abandoned (budget, deadline, interrupt or
+          injected fault); the solver remains usable. See
+          {!set_limits}. *)
 
 val create : unit -> t
 
@@ -50,10 +54,19 @@ val value : t -> string -> int
 val bool_value : t -> string -> bool
 val model_env : t -> Bv.env
 
-val check_formulas : Bv.formula list -> (Bv.env, unit) result
+val set_limits : t -> Sat.limits -> unit
+(** Bound subsequent {!check} calls (each independently); an exhausted
+    call answers [Unknown]. See [Sat.set_limits]. *)
+
+val clear_limits : t -> unit
+
+val check_formulas :
+  ?limits:Sat.limits ->
+  Bv.formula list ->
+  [ `Sat of Bv.env | `Unsat | `Unknown of Sat.reason ]
 (** One-shot convenience: satisfiability of a conjunction in a fresh
-    solver. [Ok env] carries the model; [Error ()] means unsatisfiable.
-    Counterexample-guided loops should prefer a persistent [t]. *)
+    solver. [`Sat env] carries the model. Counterexample-guided loops
+    should prefer a persistent [t]. *)
 
 val sat_stats : t -> Sat.stats
 (** Statistics of the underlying CDCL solver. *)

@@ -372,7 +372,7 @@ let test_traced_ogis_analysis () =
   let outcome = Ogis.Synth.synthesize spec oracle in
   Obs.shutdown ();
   (match outcome with
-  | Ogis.Synth.Synthesized _ -> ()
+  | Budget.Converged (Ogis.Synth.Synthesized _) -> ()
   | _ -> Alcotest.fail "synthesis failed");
   let parsed = parse_all (records ()) in
   let a = Analyze.analyze parsed in

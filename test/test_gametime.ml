@@ -121,6 +121,16 @@ let prop_solve_recovers_combination =
 (* Basis path extraction                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* every run in this suite is unbudgeted, so exhaustion is a failure *)
+let conv = function
+  | Budget.Converged x -> x
+  | Budget.Exhausted _ -> Alcotest.fail "unbudgeted run exhausted"
+
+let is_feasible u g path =
+  match Testgen.feasible u g path with
+  | `Test _ -> true
+  | `Infeasible | `Unknown _ -> false
+
 let bitcount_setup bits =
   let u = Unroll.unroll ~bound:bits (B.bitcount ~bits ()) in
   let g = Cfg.of_program u in
@@ -128,7 +138,7 @@ let bitcount_setup bits =
 
 let test_basis_bitcount () =
   let u, g = bitcount_setup 4 in
-  let basis = Basis.extract u g in
+  let basis = conv (Basis.extract u g) in
   (* one diamond per iteration: affine dimension bits+1 *)
   Alcotest.(check int) "basis size" 5 (List.length basis);
   let span = Linalg.empty_span ~dim:(Cfg.num_edges g) in
@@ -145,11 +155,11 @@ let test_basis_bitcount () =
 
 let test_basis_spans_feasible_paths () =
   let u, g = bitcount_setup 4 in
-  let basis = Basis.extract u g in
+  let basis = conv (Basis.extract u g) in
   let vectors = List.map (fun b -> b.Basis.vector) basis in
   Paths.enumerate g
   |> Seq.iter (fun path ->
-         if Testgen.feasible u g path <> None then
+         if is_feasible u g path then
            match Linalg.solve vectors (Paths.vector g path) with
            | Some _ -> ()
            | None -> Alcotest.fail "feasible path outside basis span")
@@ -158,7 +168,7 @@ let test_modexp_nine_basis_paths () =
   (* the paper's Section 3.3 headline: 256 paths, 9 basis paths *)
   let u = Unroll.unroll ~bound:8 (B.modexp ()) in
   let g = Cfg.of_program u in
-  let basis = Basis.extract u g in
+  let basis = conv (Basis.extract u g) in
   Alcotest.(check int) "9 basis paths" 9 (List.length basis)
 
 (* ------------------------------------------------------------------ *)
@@ -171,7 +181,7 @@ let test_modexp_nine_basis_paths () =
 let linear_platform u g weights =
   let feasible =
     Paths.enumerate g
-    |> Seq.filter (fun path -> Testgen.feasible u g path <> None)
+    |> Seq.filter (is_feasible u g)
     |> List.of_seq
   in
   fun inputs ->
@@ -185,11 +195,11 @@ let test_learner_exact_on_linear_platform () =
   let m = Cfg.num_edges g in
   let weights = Array.init m (fun i -> 1 + ((i * 7) mod 13)) in
   let platform = linear_platform u g weights in
-  let basis = Basis.extract u g in
+  let basis = conv (Basis.extract u g) in
   let model = Learner.learn ~seed:42 ~platform basis in
   Paths.enumerate g
   |> Seq.iter (fun path ->
-         if Testgen.feasible u g path <> None then begin
+         if is_feasible u g path then begin
            let expected =
              float_of_int (List.fold_left (fun a e -> a + weights.(e)) 0 path)
            in
@@ -208,12 +218,14 @@ module Spanner = Gametime.Spanner
 let feasible_with_tests u g =
   Paths.enumerate g
   |> Seq.filter_map (fun path ->
-         Option.map (fun test -> (path, test)) (Testgen.feasible u g path))
+         match Testgen.feasible u g path with
+         | `Test test -> Some (path, test)
+         | `Infeasible | `Unknown _ -> None)
   |> List.of_seq
 
 let test_spanner_coordinates () =
   let u, g = bitcount_setup 3 in
-  let basis = Basis.extract u g in
+  let basis = conv (Basis.extract u g) in
   (* each basis vector has unit coordinates in the basis *)
   List.iteri
     (fun i b ->
@@ -231,7 +243,7 @@ let test_spanner_coordinates () =
 
 let test_spanner_two_spanner () =
   let u, g = bitcount_setup 4 in
-  let basis = Basis.extract u g in
+  let basis = conv (Basis.extract u g) in
   let candidates = feasible_with_tests u g in
   let spanner = Spanner.barycentric basis ~candidates g in
   Alcotest.(check int) "size preserved" (List.length basis)
@@ -249,7 +261,7 @@ let test_spanner_two_spanner () =
 
 let test_spanner_no_worse_than_greedy () =
   let u, g = bitcount_setup 4 in
-  let basis = Basis.extract u g in
+  let basis = conv (Basis.extract u g) in
   let candidates = feasible_with_tests u g in
   let spanner = Spanner.barycentric basis ~candidates g in
   Alcotest.(check bool) "max coordinate not increased" true
@@ -261,11 +273,11 @@ let test_spanner_prediction_still_exact () =
   let m = Cfg.num_edges g in
   let weights = Array.init m (fun i -> 1 + ((i * 5) mod 11)) in
   let platform = linear_platform u g weights in
-  let t = Gt.analyze ~bound:4 ~seed:5 ~platform (B.bitcount ()) in
+  let t = conv (Gt.analyze ~bound:4 ~seed:5 ~platform (B.bitcount ())) in
   let t = Gt.refine_with_spanner ~seed:5 ~platform t in
   Paths.enumerate g
   |> Seq.iter (fun path ->
-         if Testgen.feasible u g path <> None then begin
+         if is_feasible u g path then begin
            let expected =
              float_of_int (List.fold_left (fun a e -> a + weights.(e)) 0 path)
            in
@@ -284,7 +296,7 @@ let modexp_analysis bits =
   let pf = Platform.create p in
   let platform = Platform.time pf in
   let t =
-    Gt.analyze ~bound:bits ~seed:7 ~pin:[ ("base", 123) ] ~platform p
+    conv (Gt.analyze ~bound:bits ~seed:7 ~pin:[ ("base", 123) ] ~platform p)
   in
   (t, platform)
 
@@ -373,8 +385,9 @@ let test_more_trials_reduce_noise_error () =
         (fun acc seed ->
           acc
           +. mean_err
-               (Gt.analyze ~bound:4 ~trials ~seed ~pin:[ ("base", 123) ]
-                  ~platform p))
+               (conv
+                  (Gt.analyze ~bound:4 ~trials ~seed ~pin:[ ("base", 123) ]
+                     ~platform p)))
         0.0 seeds
     in
     total /. float_of_int (List.length seeds)
@@ -390,7 +403,7 @@ let test_hypothesis_quality () =
   let m = Cfg.num_edges g in
   let weights = Array.init m (fun i -> 1 + ((i * 7) mod 13)) in
   let platform = linear_platform u g weights in
-  let t = Gt.analyze ~bound:4 ~seed:3 ~platform (B.bitcount ()) in
+  let t = conv (Gt.analyze ~bound:4 ~seed:3 ~platform (B.bitcount ())) in
   let q = Gt.hypothesis_quality t ~platform in
   Alcotest.(check (float 1e-6)) "mu_hat = 0 when H holds exactly" 0.0 q.Gt.mu_hat;
   Alcotest.(check bool) "margin ok" true q.Gt.margin_ok;

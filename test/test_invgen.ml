@@ -115,10 +115,15 @@ let test_candidates_hold_on_simulated_states () =
 (* Induction                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* every run in this suite is unbudgeted, so exhaustion is a failure *)
+let conv = function
+  | Budget.Converged x -> x
+  | Budget.Exhausted _ -> Alcotest.fail "unbudgeted run exhausted"
+
 let test_filter_keeps_true_invariants () =
   let aig, _ = Engine.counter_mod5 () in
   let cands = Candidates.from_simulation aig in
-  let proven = Induction.filter_inductive aig cands in
+  let proven = conv (Induction.filter_inductive aig cands) in
   Alcotest.(check bool) "something survives" true (proven <> []);
   (* survivors hold in all 5 reachable states *)
   let state = ref (Aig.initial_state aig) in
@@ -139,7 +144,7 @@ let test_filter_drops_non_invariants () =
   Aig.connect aig l x;
   let bogus = [ Candidates.Equiv (l, Aig.false_); Candidates.Equiv (l, Aig.true_) ] in
   Alcotest.(check int) "all dropped" 0
-    (List.length (Induction.filter_inductive aig bogus))
+    (List.length (conv (Induction.filter_inductive aig bogus)))
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end                                                          *)
@@ -147,24 +152,25 @@ let test_filter_drops_non_invariants () =
 
 let test_mod5_needs_strengthening () =
   let aig, bad = Engine.counter_mod5 () in
-  let r = Engine.run aig ~bad in
+  let r = conv (Engine.run aig ~bad) in
   (match r.Engine.verdict_unaided with
   | Induction.Unknown -> ()
   | Induction.Proved -> Alcotest.fail "count=7 must not be plainly inductive"
-  | Induction.Cex_in_base -> Alcotest.fail "initial state is good");
+  | Induction.Cex_in_base -> Alcotest.fail "initial state is good"
+  | Induction.Aborted _ -> Alcotest.fail "unbudgeted query aborted");
   match r.Engine.verdict with
   | Induction.Proved -> ()
   | _ -> Alcotest.fail "invariants must make the property provable"
 
 let test_ring_counter_proved () =
   let aig, bad = Engine.ring_counter ~n:5 in
-  let r = Engine.run aig ~bad in
+  let r = conv (Engine.run aig ~bad) in
   Alcotest.(check bool) "proved with invariants" true
     (r.Engine.verdict = Induction.Proved)
 
 let test_twin_registers_proved () =
   let aig, bad = Engine.twin_registers ~len:4 in
-  let r = Engine.run aig ~bad in
+  let r = conv (Engine.run aig ~bad) in
   (match r.Engine.verdict_unaided with
   | Induction.Proved -> Alcotest.fail "miter needs the stage equivalences"
   | _ -> ());
@@ -173,7 +179,7 @@ let test_twin_registers_proved () =
 
 let test_stuck_bit_proved () =
   let aig, bad = Engine.stuck_bit in
-  let r = Engine.run aig ~bad in
+  let r = conv (Engine.run aig ~bad) in
   Alcotest.(check bool) "alarm never fires" true
     (r.Engine.verdict = Induction.Proved)
 
@@ -205,7 +211,7 @@ let test_reachable_bad_not_proved () =
   let x = Aig.input aig in
   let l = Aig.latch aig in
   Aig.connect aig l x;
-  let r = Engine.run aig ~bad:l in
+  let r = conv (Engine.run aig ~bad:l) in
   Alcotest.(check bool) "not proved" true (r.Engine.verdict <> Induction.Proved)
 
 (* ------------------------------------------------------------------ *)
@@ -252,7 +258,7 @@ let prop_proven_invariants_hold =
     (fun spec ->
       let aig = build_aig spec in
       let proven =
-        Induction.filter_inductive aig (Candidates.from_simulation aig)
+        conv (Induction.filter_inductive aig (Candidates.from_simulation aig))
       in
       (* walk 40 steps with fixed pseudo-random inputs and check every
          proven candidate at every visited state *)

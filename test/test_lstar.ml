@@ -90,8 +90,12 @@ let test_of_words () =
 (* L*                                                                  *)
 (* ------------------------------------------------------------------ *)
 
+let conv = function
+  | Budget.Converged x -> x
+  | Budget.Exhausted _ -> Alcotest.fail "unbudgeted run exhausted"
+
 let check_learns target expected_states =
-  let h, stats = Learner.learn_exact ~target in
+  let h, stats = conv (Learner.learn_exact ~target ()) in
   (match Dfa.equal h target with
   | Ok () -> ()
   | Error w ->
@@ -126,8 +130,9 @@ let prop_lstar_random_dfas =
     ~print:(fun d -> Format.asprintf "%a" Dfa.pp d)
     gen
     (fun target ->
-      let h, _ = Learner.learn_exact ~target in
-      Dfa.equal h target = Ok ())
+      match Learner.learn_exact ~target () with
+      | Budget.Converged (h, _) -> Dfa.equal h target = Ok ()
+      | Budget.Exhausted _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Assume-guarantee                                                    *)
@@ -153,7 +158,11 @@ let no_double_acquire =
     ~delta:[| [| 1; 0 |]; [| 2; 0 |]; [| 2; 2 |] |]
 
 let test_agr_holds () =
-  match Agr.check ~m1:alternator ~m2:strict_alternator ~prop:no_double_acquire with
+  match
+    conv
+      (Agr.check ~m1:alternator ~m2:strict_alternator
+         ~prop:no_double_acquire ())
+  with
   | Agr.Holds { assumption; _ } ->
     (* the assumption must cover M2 and keep M1 safe *)
     (match Dfa.subset strict_alternator assumption with
@@ -166,7 +175,9 @@ let test_agr_holds () =
 
 let test_agr_violated () =
   (* M2 = unconstrained can double-acquire *)
-  match Agr.check ~m1:alternator ~m2:alternator ~prop:no_double_acquire with
+  match
+    conv (Agr.check ~m1:alternator ~m2:alternator ~prop:no_double_acquire ())
+  with
   | Agr.Violated w ->
     Alcotest.(check bool) "witness is a real violation" true
       (Dfa.accepts alternator w && not (Dfa.accepts no_double_acquire w))
@@ -193,7 +204,7 @@ let test_agr_matches_monolithic () =
     (fun (m1, m2, prop) ->
       let direct = Dfa.subset (Dfa.inter m1 m2) prop = Ok () in
       let agr =
-        match Agr.check ~m1 ~m2 ~prop with
+        match conv (Agr.check ~m1 ~m2 ~prop ()) with
         | Agr.Holds _ -> true
         | Agr.Violated _ -> false
       in
@@ -286,7 +297,7 @@ let prop_agr_random =
     QCheck2.Gen.(triple gen_dfa gen_dfa gen_dfa)
     (fun (m1, m2, prop) ->
       let direct = Dfa.subset (Dfa.inter m1 m2) prop = Ok () in
-      match Agr.check ~m1 ~m2 ~prop with
+      match conv (Agr.check ~m1 ~m2 ~prop ()) with
       | Agr.Holds _ -> direct
       | Agr.Violated w ->
         (not direct)

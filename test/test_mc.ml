@@ -101,18 +101,19 @@ let test_referenced_hidden () =
 let test_bmc_finds_cex () =
   let t = Systems.mod_counter ~bits:3 ~modulus:8 ~bad_value:5 () in
   (match Bmc.check t ~depth:4 with
-  | None -> ()
-  | Some _ -> Alcotest.fail "bad_value 5 needs 5 steps");
+  | `No_cex -> ()
+  | `Cex _ -> Alcotest.fail "bad_value 5 needs 5 steps"
+  | `Unknown _ -> Alcotest.fail "unexpected unknown");
   match Bmc.check t ~depth:5 with
-  | Some trace ->
+  | `Cex trace ->
     Alcotest.(check int) "length" 5 (List.length trace);
     Alcotest.(check bool) "replays" true (Reach.replay t trace)
-  | None -> Alcotest.fail "cex exists at depth 5"
+  | `No_cex | `Unknown _ -> Alcotest.fail "cex exists at depth 5"
 
 let test_bmc_safe () =
   let t = Systems.mod_counter ~bits:3 ~modulus:6 ~bad_value:7 () in
   Alcotest.(check bool) "no cex at any tested depth" true
-    (Bmc.check t ~depth:20 = None)
+    (Bmc.check t ~depth:20 = `No_cex)
 
 let test_bmc_agrees_with_reach () =
   (* differential: BMC at a generous depth agrees with explicit search *)
@@ -121,11 +122,12 @@ let test_bmc_agrees_with_reach () =
       let r = Reach.check t in
       let b = Bmc.check t ~depth:12 in
       match (r, b) with
-      | Reach.Safe _, None -> ()
-      | Reach.Cex _, Some _ -> ()
-      | Reach.Safe _, Some _ -> Alcotest.failf "%s: BMC invented a cex" t.Ts.name
-      | Reach.Cex tr, None when List.length tr > 12 -> ()
-      | Reach.Cex _, None -> Alcotest.failf "%s: BMC missed a cex" t.Ts.name)
+      | _, `Unknown _ -> Alcotest.failf "%s: unexpected unknown" t.Ts.name
+      | Reach.Safe _, `No_cex -> ()
+      | Reach.Cex _, `Cex _ -> ()
+      | Reach.Safe _, `Cex _ -> Alcotest.failf "%s: BMC invented a cex" t.Ts.name
+      | Reach.Cex tr, `No_cex when List.length tr > 12 -> ()
+      | Reach.Cex _, `No_cex -> Alcotest.failf "%s: BMC missed a cex" t.Ts.name)
     [
       Systems.mod_counter ~bits:3 ~modulus:8 ~bad_value:5 ();
       Systems.mod_counter ~bits:3 ~modulus:6 ~bad_value:7 ();
@@ -141,33 +143,38 @@ let test_bmc_agrees_with_reach () =
 let test_cegar_safe_with_small_abstraction () =
   let t = Systems.mod_counter ~junk:8 ~bits:3 ~modulus:6 ~bad_value:7 () in
   match Cegar.verify t with
-  | Cegar.Safe { abstract_latches; _ } ->
+  | Budget.Converged (Cegar.Safe { abstract_latches; _ }) ->
     Alcotest.(check bool)
       (Printf.sprintf "junk latches stay hidden (visible=%d)" abstract_latches)
       true (abstract_latches <= 3)
-  | Cegar.Unsafe _ -> Alcotest.fail "system is safe"
+  | Budget.Converged (Cegar.Unsafe _) -> Alcotest.fail "system is safe"
+  | Budget.Exhausted _ -> Alcotest.fail "unbudgeted run exhausted"
 
 let test_cegar_unsafe_validated () =
   let t = Systems.mod_counter ~junk:4 ~bits:3 ~modulus:8 ~bad_value:5 () in
   match Cegar.verify t with
-  | Cegar.Unsafe { trace; _ } ->
+  | Budget.Converged (Cegar.Unsafe { trace; _ }) ->
     Alcotest.(check bool) "trace replays concretely" true (Reach.replay t trace)
-  | Cegar.Safe _ -> Alcotest.fail "system is unsafe"
+  | Budget.Converged (Cegar.Safe _) -> Alcotest.fail "system is unsafe"
+  | Budget.Exhausted _ -> Alcotest.fail "unbudgeted run exhausted"
 
 let test_cegar_request_grant () =
   match Cegar.verify Systems.request_grant with
-  | Cegar.Unsafe { trace; _ } ->
+  | Budget.Converged (Cegar.Unsafe { trace; _ }) ->
     Alcotest.(check int) "two-step bug" 2 (List.length trace)
-  | Cegar.Safe _ -> Alcotest.fail "arbiter bug must be found"
+  | Budget.Converged (Cegar.Safe _) -> Alcotest.fail "arbiter bug must be found"
+  | Budget.Exhausted _ -> Alcotest.fail "unbudgeted run exhausted"
 
 let test_cegar_refines_shift_register () =
   (* the property needs the whole chain: CEGAR must refine all the way *)
   let t = Systems.shift_register ~len:5 in
   match Cegar.verify t with
-  | Cegar.Safe { abstract_latches; iterations; _ } ->
+  | Budget.Converged (Cegar.Safe { abstract_latches; iterations; _ }) ->
     Alcotest.(check bool) "needed several refinements" true (iterations >= 3);
     Alcotest.(check bool) "most latches visible" true (abstract_latches >= 5)
-  | Cegar.Unsafe _ -> Alcotest.fail "shift register is safe"
+  | Budget.Converged (Cegar.Unsafe _) ->
+    Alcotest.fail "shift register is safe"
+  | Budget.Exhausted _ -> Alcotest.fail "unbudgeted run exhausted"
 
 let test_dtree_candidates_rank_relevant_latches () =
   (* counter bits separate reachable from bad states; junk latches do not *)
@@ -184,19 +191,17 @@ let test_cegar_decision_tree_strategy () =
      verdicts as the syntactic one *)
   List.iter
     (fun t ->
-      let expected =
-        match Cegar.verify t with
-        | Cegar.Safe _ -> `Safe
-        | Cegar.Unsafe _ -> `Unsafe
+      let verdict = function
+        | Budget.Converged (Cegar.Safe _) -> `Safe
+        | Budget.Converged (Cegar.Unsafe _) -> `Unsafe
+        | Budget.Exhausted _ -> `Exhausted
       in
+      let expected = verdict (Cegar.verify t) in
       let got =
-        match
-          Cegar.verify
-            ~refinement:(Cegar.Decision_tree { samples = 64; seed = 1 })
-            t
-        with
-        | Cegar.Safe _ -> `Safe
-        | Cegar.Unsafe _ -> `Unsafe
+        verdict
+          (Cegar.verify
+             ~refinement:(Cegar.Decision_tree { samples = 64; seed = 1 })
+             t)
       in
       if expected <> got then Alcotest.failf "%s: strategies disagree" t.Ts.name)
     [
@@ -214,8 +219,9 @@ let test_cegar_agrees_with_reach () =
       in
       let got =
         match Cegar.verify t with
-        | Cegar.Safe _ -> `Safe
-        | Cegar.Unsafe _ -> `Unsafe
+        | Budget.Converged (Cegar.Safe _) -> `Safe
+        | Budget.Converged (Cegar.Unsafe _) -> `Unsafe
+        | Budget.Exhausted _ -> `Exhausted
       in
       if expected <> got then Alcotest.failf "%s: CEGAR disagrees" t.Ts.name)
     [
@@ -304,8 +310,8 @@ let prop_engines_agree =
       let cegar = Cegar.verify t in
       (* any counterexample within 2^4 states is found within depth 20 *)
       match (reach, bmc, cegar) with
-      | Reach.Safe _, None, Cegar.Safe _ -> true
-      | Reach.Cex r, Some b, Cegar.Unsafe { trace; _ } ->
+      | Reach.Safe _, `No_cex, Budget.Converged (Cegar.Safe _) -> true
+      | Reach.Cex r, `Cex b, Budget.Converged (Cegar.Unsafe { trace; _ }) ->
         Reach.replay t r && Reach.replay t b && Reach.replay t trace
       | _ -> false)
 

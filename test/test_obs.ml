@@ -334,7 +334,7 @@ let test_traced_ogis_run () =
   in
   let stats =
     match outcome with
-    | Ogis.Synth.Synthesized (_, stats) -> stats
+    | Budget.Converged (Ogis.Synth.Synthesized (_, stats)) -> stats
     | _ -> Alcotest.fail "synthesis failed"
   in
   let ogis_events =

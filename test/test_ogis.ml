@@ -81,8 +81,8 @@ let test_synthesize_candidate_consistent () =
   in
   let examples = [ ([ 1; 2 ], [ 3 ]); ([ 10; 20 ], [ 30 ]) ] in
   match Encode.synthesize_candidate spec ~examples with
-  | None -> Alcotest.fail "candidate must exist"
-  | Some prog ->
+  | `Unrealizable | `Unknown _ -> Alcotest.fail "candidate must exist"
+  | `Candidate prog ->
     List.iter
       (fun (ins, outs) ->
         Alcotest.(check (list int)) "consistent" outs (Straightline.eval prog ins))
@@ -95,8 +95,9 @@ let test_synthesize_candidate_none () =
   in
   let examples = [ ([ 1; 2 ], [ 3 ]); ([ 1; 2 ], [ 4 ]) ] in
   match Encode.synthesize_candidate spec ~examples with
-  | None -> ()
-  | Some _ -> Alcotest.fail "contradictory examples accepted"
+  | `Unrealizable -> ()
+  | `Candidate _ -> Alcotest.fail "contradictory examples accepted"
+  | `Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_distinguishing_input () =
   let spec =
@@ -110,11 +111,11 @@ let test_distinguishing_input () =
   (* on (0,0) add and xor agree; a distinguishing input must exist *)
   let examples = [ ([ 0; 0 ], [ 0 ]) ] in
   match Encode.synthesize_candidate spec ~examples with
-  | None -> Alcotest.fail "candidate must exist"
-  | Some cand -> (
+  | `Unrealizable | `Unknown _ -> Alcotest.fail "candidate must exist"
+  | `Candidate cand -> (
     match Encode.distinguishing_input spec ~examples cand with
-    | None -> Alcotest.fail "add and xor are distinguishable"
-    | Some ins ->
+    | `Unique | `Unknown _ -> Alcotest.fail "add and xor are distinguishable"
+    | `Input ins ->
       Alcotest.(check int) "input arity" 2 (List.length ins))
 
 (* ------------------------------------------------------------------ *)
@@ -143,7 +144,7 @@ let test_synthesize_turn_off_rightmost_bit () =
     | _ -> assert false
   in
   match Synth.synthesize spec oracle with
-  | Synth.Synthesized (prog, stats) ->
+  | Budget.Converged (Synth.Synthesized (prog, stats)) ->
     check_equiv "rightmost bit" spec prog (function
       | [ x ] -> [ Bv.band x (Bv.bsub x (Bv.const ~width:w 1)) ]
       | _ -> assert false);
@@ -165,7 +166,7 @@ let test_synthesize_isolate_rightmost_bit () =
     | _ -> assert false
   in
   match Synth.synthesize spec oracle with
-  | Synth.Synthesized (prog, _) ->
+  | Budget.Converged (Synth.Synthesized (prog, _)) ->
     check_equiv "isolate bit" spec prog (function
       | [ x ] -> [ Bv.band x (Bv.bneg x) ]
       | _ -> assert false)
@@ -181,10 +182,10 @@ let test_unrealizable () =
     | _ -> assert false
   in
   match Synth.synthesize spec oracle with
-  | Synth.Unrealizable _ -> ()
-  | Synth.Synthesized (p, _) ->
+  | Budget.Converged (Synth.Unrealizable _) -> ()
+  | Budget.Converged (Synth.Synthesized (p, _)) ->
     Alcotest.failf "bogus program: %s" (Format.asprintf "%a" Straightline.pp p)
-  | Synth.Out_of_budget _ -> Alcotest.fail "budget exceeded"
+  | Budget.Exhausted _ -> Alcotest.fail "unbudgeted run exhausted"
 
 let test_verify_against_cex () =
   let spec =

@@ -293,8 +293,13 @@ let test_bmc_sweep_agreement () =
   Par.Pool.with_pool ~jobs @@ fun pool ->
   List.iter
     (fun (name, ts, max_depth) ->
-      let seq = Mc.Bmc.sweep ts ~max_depth in
-      let par = Mc.Bmc.sweep ~pool ts ~max_depth in
+      let unwrap = function
+        | Budget.Converged r -> r
+        | Budget.Exhausted _ ->
+          Alcotest.failf "%s: unbudgeted sweep exhausted" name
+      in
+      let seq = unwrap (Mc.Bmc.sweep ts ~max_depth) in
+      let par = unwrap (Mc.Bmc.sweep ~pool ts ~max_depth) in
       match (seq, par) with
       | None, None -> ()
       | Some (d_seq, _), Some (d_par, trace) ->
@@ -317,8 +322,13 @@ let test_invgen_agreement () =
   Par.Pool.with_pool ~jobs:3 @@ fun pool ->
   List.iter
     (fun (name, (aig, bad)) ->
-      let seq = Invgen.Engine.run aig ~bad in
-      let par = Invgen.Engine.run ~pool aig ~bad in
+      let unwrap = function
+        | Budget.Converged r -> r
+        | Budget.Exhausted _ ->
+          Alcotest.failf "%s: unbudgeted invgen run exhausted" name
+      in
+      let seq = unwrap (Invgen.Engine.run aig ~bad) in
+      let par = unwrap (Invgen.Engine.run ~pool aig ~bad) in
       Alcotest.(check int)
         (name ^ ": candidates") seq.Invgen.Engine.candidates
         par.Invgen.Engine.candidates;
@@ -339,9 +349,15 @@ let test_gametime_learner_agreement () =
   let program = Prog.Benchmarks.modexp ~bits:4 () in
   let pf = Microarch.Platform.create program in
   let platform = Microarch.Platform.time pf in
-  let seq = Gametime.Analysis.analyze ~bound:4 ~seed:7 ~platform program in
+  let unwrap = function
+    | Budget.Converged t -> t
+    | Budget.Exhausted _ -> Alcotest.fail "unbudgeted analysis exhausted"
+  in
+  let seq =
+    unwrap (Gametime.Analysis.analyze ~bound:4 ~seed:7 ~platform program)
+  in
   let par =
-    Gametime.Analysis.analyze ~bound:4 ~seed:7 ~pool ~platform program
+    unwrap (Gametime.Analysis.analyze ~bound:4 ~seed:7 ~pool ~platform program)
   in
   Alcotest.(check bool)
     "learned means identical" true

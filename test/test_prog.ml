@@ -182,7 +182,10 @@ let test_feasible_counts () =
   let g = Cfg.of_program u in
   let feasible =
     Paths.enumerate g
-    |> Seq.filter (fun path -> Testgen.feasible u g path <> None)
+    |> Seq.filter (fun path ->
+           match Testgen.feasible u g path with
+           | `Test _ -> true
+           | `Infeasible | `Unknown _ -> false)
     |> List.of_seq
   in
   (* only complete 4-iteration executions are feasible: one per bit mask *)
@@ -194,8 +197,8 @@ let test_testgen_drives_path () =
   Paths.enumerate g
   |> Seq.iter (fun path ->
          match Testgen.feasible u g path with
-         | None -> ()
-         | Some inputs ->
+         | `Infeasible | `Unknown _ -> ()
+         | `Test inputs ->
            Alcotest.(check bool)
              "generated test drives its path" true
              (Testgen.check_drives u g path inputs))
@@ -206,8 +209,8 @@ let test_symexec_outputs_match_interp () =
   Paths.enumerate g
   |> Seq.iter (fun path ->
          match Testgen.feasible u g path with
-         | None -> ()
-         | Some inputs ->
+         | `Infeasible | `Unknown _ -> ()
+         | `Test inputs ->
            let r = Symexec.exec u g path in
            let env = Bv.env_of_alist inputs in
            let symbolic =
@@ -226,7 +229,14 @@ let test_modexp_path_space () =
      bench harness — here we spot-check the two extreme paths *)
   Alcotest.(check int) "structural" 511 (Paths.count g);
   let all = List.of_seq (Paths.enumerate g) in
-  let feasible = List.filter (fun p -> Testgen.feasible u g p <> None) all in
+  let feasible =
+    List.filter
+      (fun p ->
+        match Testgen.feasible u g p with
+        | `Test _ -> true
+        | `Infeasible | `Unknown _ -> false)
+      all
+  in
   Alcotest.(check int) "feasible = 2^8" 256 (List.length feasible)
 
 (* ------------------------------------------------------------------ *)

@@ -64,7 +64,8 @@ let test_solve_add_solve () =
   let s, p = load ring_cnf in
   (match Sat.solve s with
   | Sat.Sat -> check_model "ring" s p
-  | Sat.Unsat -> Alcotest.fail "ring should be sat");
+  | Sat.Unsat -> Alcotest.fail "ring should be sat"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
   (* the ring forces all variables true *)
   for v = 0 to 3 do
     Alcotest.(check bool) (Printf.sprintf "x%d forced" (v + 1)) true
@@ -75,6 +76,7 @@ let test_solve_add_solve () =
   match Sat.solve s with
   | Sat.Unsat -> ()
   | Sat.Sat -> Alcotest.fail "ring + killer should be unsat"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 (* Enumerate all models of [multi_cnf] by repeatedly blocking the last
    model — the canonical solve/add-clause/solve loop — and compare the
@@ -87,6 +89,7 @@ let test_model_enumeration () =
   while !continue do
     match Sat.solve s with
     | Sat.Unsat -> continue := false
+    | Sat.Unknown _ -> Alcotest.fail "unexpected unknown"
     | Sat.Sat ->
       check_model "enum" s p;
       incr count;
@@ -109,17 +112,20 @@ let test_scope_flip () =
   let s, p = load multi_cnf in
   (match Sat.solve s with
   | Sat.Sat -> check_model "base" s p
-  | Sat.Unsat -> Alcotest.fail "base should be sat");
+  | Sat.Unsat -> Alcotest.fail "base should be sat"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
   Sat.push s;
   let killer = Dimacs.parse "p cnf 8 3\n-1 0\n-2 0\n-3 0\n" in
   List.iter (Sat.add_clause s) killer.Dimacs.clauses;
   (match Sat.solve s with
   | Sat.Unsat -> ()
-  | Sat.Sat -> Alcotest.fail "scoped killer should make it unsat");
+  | Sat.Sat -> Alcotest.fail "scoped killer should make it unsat"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
   Sat.pop s;
   (match Sat.solve s with
   | Sat.Sat -> check_model "after pop" s p
-  | Sat.Unsat -> Alcotest.fail "pop must restore satisfiability");
+  | Sat.Unsat -> Alcotest.fail "pop must restore satisfiability"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
   Alcotest.(check int) "scopes closed" 0 (Sat.num_scopes s)
 
 let test_scope_nesting () =
@@ -133,17 +139,20 @@ let test_scope_nesting () =
   (* ~x1 /\ ~x2 /\ ~x3 contradicts clause (1 2 3) *)
   (match Sat.solve s with
   | Sat.Unsat -> ()
-  | Sat.Sat -> Alcotest.fail "inner scope should be unsat");
+  | Sat.Sat -> Alcotest.fail "inner scope should be unsat"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
   Sat.pop s;
   (match Sat.solve s with
   | Sat.Sat ->
     check_model "outer scope" s p;
     Alcotest.(check bool) "outer clause still active" false (Sat.value s 0)
-  | Sat.Unsat -> Alcotest.fail "outer scope alone should be sat");
+  | Sat.Unsat -> Alcotest.fail "outer scope alone should be sat"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
   Sat.pop s;
   (match Sat.solve s with
   | Sat.Sat -> check_model "all popped" s p
-  | Sat.Unsat -> Alcotest.fail "unscoped instance should be sat");
+  | Sat.Unsat -> Alcotest.fail "unscoped instance should be sat"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
   Alcotest.check_raises "pop without scope"
     (Invalid_argument "Sat.pop: no open scope") (fun () -> Sat.pop s)
 
@@ -159,15 +168,18 @@ let test_assumptions_vs_scopes () =
     check_model "scope+assumption" s p;
     Alcotest.(check bool) "x7 false" false (Sat.value s 6);
     Alcotest.(check bool) "x8 true" true (Sat.value s 7)
-  | Sat.Unsat -> Alcotest.fail "should be sat");
+  | Sat.Unsat -> Alcotest.fail "should be sat"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
   (* assuming x7 under the same scope contradicts the scoped unit *)
   (match Sat.solve_with_assumptions s [ Lit.pos 6 ] with
   | Sat.Unsat -> ()
-  | Sat.Sat -> Alcotest.fail "assumption contradicting scope");
+  | Sat.Sat -> Alcotest.fail "assumption contradicting scope"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
   Sat.pop s;
   match Sat.solve_with_assumptions s [ Lit.pos 6 ] with
   | Sat.Sat -> check_model "after pop" s p
   | Sat.Unsat -> Alcotest.fail "x7 is free again after pop"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 (* ------------------------------------------------------------------ *)
 (* clause-database reduction                                           *)
@@ -210,7 +222,8 @@ let test_db_reduction_unsat () =
   done;
   (match Sat.solve s with
   | Sat.Unsat -> ()
-  | Sat.Sat -> Alcotest.fail "PHP(8,7) must stay unsat under reduction");
+  | Sat.Sat -> Alcotest.fail "PHP(8,7) must stay unsat under reduction"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
   let st = Sat.stats s in
   Alcotest.(check bool) "database was reduced" true (st.Sat.db_reductions > 0);
   Alcotest.(check bool) "learnts were deleted" true
@@ -238,7 +251,8 @@ let test_db_reduction_models () =
       true (a = b);
     (match a with
     | Sat.Sat -> check_model (Printf.sprintf "seed %d" seed) constrained p
-    | Sat.Unsat -> ());
+    | Sat.Unsat -> ()
+    | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
     let st = Sat.stats constrained in
     if st.Sat.db_reductions > 0 then incr checked_reductions
   done;
@@ -268,6 +282,7 @@ let test_reduction_then_increment () =
         Alcotest.(check bool) "incremental model sound" true
           (Dpll.eval (Array.init p.Dimacs.nvars (Sat.value s)) !added)
       | Sat.Unsat, Dpll.Unsat -> ()
+      | Sat.Unknown _, _ -> Alcotest.fail "unexpected unknown"
       | Sat.Sat, Dpll.Unsat | Sat.Unsat, Dpll.Sat _ ->
         Alcotest.fail "incremental answer diverged from reference")
     (List.filteri (fun i _ -> i < 12) extra.Dimacs.clauses)
@@ -284,20 +299,24 @@ let test_solver_push_pop () =
   Solver.assert_formula s (Bv.ult x (c 10));
   (match Solver.check s with
   | Solver.Sat -> Alcotest.(check bool) "x < 10" true (Solver.value s "x" < 10)
-  | Solver.Unsat -> Alcotest.fail "x < 10 is sat");
+  | Solver.Unsat -> Alcotest.fail "x < 10 is sat"
+  | Solver.Unknown _ -> Alcotest.fail "unexpected unknown");
   Solver.push s;
   Solver.assert_formula s (Bv.ult (c 20) x);
   (match Solver.check s with
   | Solver.Unsat -> ()
-  | Solver.Sat -> Alcotest.fail "x < 10 /\\ x > 20 is unsat");
+  | Solver.Sat -> Alcotest.fail "x < 10 /\\ x > 20 is unsat"
+  | Solver.Unknown _ -> Alcotest.fail "unexpected unknown");
   Solver.pop s;
   (match Solver.check s with
   | Solver.Sat -> Alcotest.(check bool) "restored" true (Solver.value s "x" < 10)
-  | Solver.Unsat -> Alcotest.fail "pop must restore satisfiability");
+  | Solver.Unsat -> Alcotest.fail "pop must restore satisfiability"
+  | Solver.Unknown _ -> Alcotest.fail "unexpected unknown");
   let r = Solver.assert_retractable s (Bv.eq x (c 3)) in
   (match Solver.check s with
   | Solver.Sat -> Alcotest.(check int) "pinned" 3 (Solver.value s "x")
-  | Solver.Unsat -> Alcotest.fail "x = 3 consistent with x < 10");
+  | Solver.Unsat -> Alcotest.fail "x = 3 consistent with x < 10"
+  | Solver.Unknown _ -> Alcotest.fail "unexpected unknown");
   Solver.retract s r;
   Solver.assert_formula s (Bv.fnot (Bv.eq x (c 3)));
   match Solver.check s with
@@ -305,6 +324,7 @@ let test_solver_push_pop () =
     let v = Solver.value s "x" in
     Alcotest.(check bool) "x < 10 and x <> 3" true (v < 10 && v <> 3)
   | Solver.Unsat -> Alcotest.fail "still satisfiable after retraction"
+  | Solver.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let () =
   Alcotest.run "sat-regress"

@@ -174,7 +174,7 @@ let test_live_ogis_instance () =
             Ogis.Synth.synthesize ~initial_inputs:(List.map fst seeds) spec
               oracle.Oracles.oracle
           with
-          | Ogis.Synth.Synthesized (p, _) -> Some p
+          | Budget.Converged (Ogis.Synth.Synthesized (p, _)) -> Some p
           | _ -> None);
     }
   in

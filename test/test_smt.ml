@@ -86,7 +86,8 @@ let test_sat_trivial () =
   Sat.add_clause s [ Lit.neg_of 1 ];
   (match Sat.solve s with
   | Sat.Sat -> ()
-  | Sat.Unsat -> Alcotest.fail "expected sat");
+  | Sat.Unsat -> Alcotest.fail "expected sat"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
   Alcotest.(check bool) "v0 true" true (Sat.value s 0);
   Alcotest.(check bool) "v1 false" false (Sat.value s 1)
 
@@ -97,6 +98,7 @@ let test_sat_empty_clause () =
   match Sat.solve s with
   | Sat.Unsat -> ()
   | Sat.Sat -> Alcotest.fail "expected unsat"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_sat_propagation_chain () =
   (* x0 and a chain x_i -> x_{i+1}; then force ~x_n: unsat *)
@@ -110,6 +112,7 @@ let test_sat_propagation_chain () =
   match Sat.solve s with
   | Sat.Unsat -> ()
   | Sat.Sat -> Alcotest.fail "expected unsat"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 (* Pigeonhole: n+1 pigeons in n holes, var p(i,h) = i * n + h. *)
 let pigeonhole n =
@@ -132,7 +135,8 @@ let test_sat_pigeonhole () =
     (fun n ->
       match Sat.solve (pigeonhole n) with
       | Sat.Unsat -> ()
-      | Sat.Sat -> Alcotest.failf "PHP(%d) should be unsat" n)
+      | Sat.Sat -> Alcotest.failf "PHP(%d) should be unsat" n
+      | Sat.Unknown _ -> Alcotest.fail "unexpected unknown")
     [ 2; 3; 4; 5 ]
 
 let test_sat_assumptions () =
@@ -142,10 +146,12 @@ let test_sat_assumptions () =
   Sat.add_clause s [ Lit.neg_of 0; Lit.pos 1 ];
   (match Sat.solve_with_assumptions s [ Lit.neg_of 1 ] with
   | Sat.Unsat -> ()
-  | Sat.Sat -> Alcotest.fail "expected unsat under ~x1");
+  | Sat.Sat -> Alcotest.fail "expected unsat under ~x1"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
   (match Sat.solve_with_assumptions s [ Lit.pos 1 ] with
   | Sat.Sat -> ()
-  | Sat.Unsat -> Alcotest.fail "expected sat under x1");
+  | Sat.Unsat -> Alcotest.fail "expected sat under x1"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
   Alcotest.(check bool) "assumption honoured" true (Sat.value s 1)
 
 let test_sat_luby () =
@@ -164,12 +170,14 @@ let test_sat_incremental () =
   Sat.add_clause s [ Lit.pos 0; Lit.pos 1 ];
   (match Sat.solve_with_assumptions s [] with
   | Sat.Sat -> ()
-  | Sat.Unsat -> Alcotest.fail "sat expected");
+  | Sat.Unsat -> Alcotest.fail "sat expected"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
   Sat.add_clause s [ Lit.neg_of 0 ];
   Sat.add_clause s [ Lit.neg_of 1 ];
   match Sat.solve_with_assumptions s [] with
   | Sat.Unsat -> ()
   | Sat.Sat -> Alcotest.fail "unsat expected after strengthening"
+  | Sat.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 (* random k-CNF for the differential test *)
 let gen_cnf =
@@ -209,6 +217,7 @@ let prop_cdcl_vs_dpll =
         let m = Array.init nvars (Sat.value s) in
         Dpll.eval m clauses
       | Sat.Unsat, Dpll.Unsat -> true
+      | Sat.Unknown _, _ -> false
       | Sat.Sat, Dpll.Unsat | Sat.Unsat, Dpll.Sat _ -> false)
 
 (* ------------------------------------------------------------------ *)
@@ -227,7 +236,8 @@ let gate_truth_table name build expected =
       Tseitin.assert_lit t (if vb then b else Lit.neg b);
       (match Sat.solve (Tseitin.solver t) with
       | Sat.Sat -> ()
-      | Sat.Unsat -> Alcotest.failf "%s: inputs should be satisfiable" name);
+      | Sat.Unsat -> Alcotest.failf "%s: inputs should be satisfiable" name
+      | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
       Alcotest.(check bool)
         (Printf.sprintf "%s row %d" name idx)
         (expected va vb)
@@ -253,7 +263,8 @@ let test_tseitin_mux () =
       fix b vb;
       (match Sat.solve (Tseitin.solver t) with
       | Sat.Sat -> ()
-      | Sat.Unsat -> Alcotest.fail "mux inputs satisfiable");
+      | Sat.Unsat -> Alcotest.fail "mux inputs satisfiable"
+      | Sat.Unknown _ -> Alcotest.fail "unexpected unknown");
       Alcotest.(check bool) "mux" (if vc then va else vb) (Tseitin.lit_of_model t o))
     [
       (false, false, false); (false, false, true); (false, true, false);
@@ -401,7 +412,8 @@ let prop_bitblast_vs_eval =
       Solver.assert_formula solver f;
       match Solver.check solver with
       | Solver.Sat -> expected
-      | Solver.Unsat -> not expected)
+      | Solver.Unsat -> not expected
+      | Solver.Unknown _ -> false)
 
 let prop_model_satisfies =
   QCheck2.Test.make ~name:"models returned by the solver satisfy the formula"
@@ -410,8 +422,9 @@ let prop_model_satisfies =
     (gen_formula bb_width)
     (fun f ->
       match Solver.check_formulas [ f ] with
-      | Ok env -> Bv.eval env f
-      | Error () ->
+      | `Unknown _ -> false
+      | `Sat env -> Bv.eval env f
+      | `Unsat ->
         (* cross-check with brute force over the three variables *)
         let m = (1 lsl bb_width) - 1 in
         let found = ref false in
@@ -442,7 +455,8 @@ let test_divider_circuit () =
         (Bv.eq (Bv.var ~width:w "r") (Bv.burem x y));
       (match Solver.check solver with
       | Solver.Sat -> ()
-      | Solver.Unsat -> Alcotest.fail "division instance must be sat");
+      | Solver.Unsat -> Alcotest.fail "division instance must be sat"
+      | Solver.Unknown _ -> Alcotest.fail "unexpected unknown");
       let expected_q = if b = 0 then (1 lsl w) - 1 else a / b in
       let expected_r = if b = 0 then a else a mod b in
       Alcotest.(check int)
@@ -457,8 +471,9 @@ let test_solver_unsat_arith () =
   (* x + 1 = x is unsatisfiable at any width *)
   let x = Bv.var ~width:8 "x" in
   match Solver.check_formulas [ Bv.eq (Bv.badd x (Bv.const ~width:8 1)) x ] with
-  | Error () -> ()
-  | Ok _ -> Alcotest.fail "x+1=x should be unsat"
+  | `Unsat -> ()
+  | `Sat _ -> Alcotest.fail "x+1=x should be unsat"
+  | `Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_solver_xor_swap () =
   (* the classic xor swap: after three xors, values are exchanged. Checked
@@ -471,8 +486,9 @@ let test_solver_xor_swap () =
   (* now b1 = a, a2 = b *)
   let good = Bv.fand (Bv.eq b1 a) (Bv.eq a2 b) in
   match Solver.check_formulas [ Bv.fnot good ] with
-  | Error () -> ()
-  | Ok _ -> Alcotest.fail "xor swap identity should hold"
+  | `Unsat -> ()
+  | `Sat _ -> Alcotest.fail "xor swap identity should hold"
+  | `Unknown _ -> Alcotest.fail "unexpected unknown"
 
 (* ------------------------------------------------------------------ *)
 (* DIMACS                                                              *)
