@@ -923,6 +923,24 @@ let check_baseline path =
 (* set by the --jobs flag; 0 means "SCIDUCTION_JOBS or 4" *)
 let par_jobs = ref 0
 
+(* last doc written to BENCH_par.json, for the parallel gate *)
+let par_doc : Obs.Json.t option ref = ref None
+
+let read_json_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Obs.Json.parse s
+
+(* baseline snapshot taken by the driver *before* any experiment runs:
+   [par] rewrites BENCH_par.json, so when the gate's baseline path is
+   the same file the read must happen first or the portfolio check
+   degenerates into comparing the current run against itself *)
+let par_baseline : (Obs.Json.t, string) result option ref = ref None
+
 (* Planted 3-SAT at clause ratio 4.2: clauses are random except that
    each keeps at least one positive literal, so the all-true assignment
    is a model. The vanilla solver (phase false) starts in the all-false
@@ -1002,7 +1020,21 @@ let par () =
       [ 0; 1; 2; 3 ]
   in
   let sat_suite = suite "portfolio_sat" sat_rows in
-  subsection "BMC depth sweep (striped incremental sessions)";
+  subsection "BMC depth sweep (work-stealing ranged claims)";
+  (* The parallel sweep guarantees the verdict and, on unsafe systems,
+     the minimal counterexample depth — not the concrete trace, which
+     may differ between claim schedules. Agreement therefore means:
+     same verdict, same depth, and the parallel trace actually drives
+     the concrete system into a bad state in exactly that many steps
+     (replayed, so a bogus trace cannot pass). *)
+  let trace_reaches_bad ts trace =
+    let state =
+      List.fold_left
+        (fun st input -> Mc.Ts.step ts ~state:st ~input)
+        ts.Mc.Ts.init trace
+    in
+    Mc.Ts.is_bad ts state
+  in
   let bmc_rows =
     List.map
       (fun (name, ts, max_depth) ->
@@ -1010,19 +1042,33 @@ let par () =
         let prl, t_par =
           timed (fun () -> conv (Mc.Bmc.sweep ~pool ts ~max_depth))
         in
-        let agree = seq = prl in
+        let agree =
+          match (seq, prl) with
+          | None, None -> true
+          | Some (d1, _), Some (d2, tr2) ->
+            d1 = d2 && List.length tr2 = d2 && trace_reaches_bad ts tr2
+          | _ -> false
+        in
         Format.printf "%-18s seq %7.3fs | par %7.3fs | %6.2fx | agree=%b@."
           name t_seq t_par
           (t_seq /. max 1e-9 t_par)
           agree;
         (name, t_seq, t_par, agree))
       [
+        (* overhead canaries: far too small for parallelism to pay;
+           kept to show the claim queue does not tax tiny instances *)
         ( "safe-mod11-d24",
           Mc.Systems.mod_counter ~junk:10 ~bits:4 ~modulus:11 ~bad_value:15 (),
           24 );
         ( "unsafe-mod8-d24",
           Mc.Systems.mod_counter ~junk:4 ~bits:3 ~modulus:8 ~bad_value:5 (),
           24 );
+        (* the real workloads (>= 100ms sequential): long
+           propagation-bound sweeps where one ranged claim replaces
+           dozens of per-depth queries and their per-iteration harness
+           cost *)
+        ("safe-shift400-d450", Mc.Systems.shift_register ~len:400, 450);
+        ("safe-shift600-d700", Mc.Systems.shift_register ~len:600, 700);
       ]
   in
   let bmc_suite = suite "bmc_sweep" bmc_rows in
@@ -1033,6 +1079,7 @@ let par () =
         ("suites", Obs.Json.List [ sat_suite; bmc_suite ]);
       ]
   in
+  par_doc := Some doc;
   let oc = open_out "BENCH_par.json" in
   output_string oc (Obs.Json.to_string doc);
   output_char oc '\n';
@@ -1048,6 +1095,77 @@ let par () =
     Format.printf "!! parallel verdicts diverged from sequential@.";
     exit 1
   end
+
+(* `bench/main.exe par --check-baseline BENCH_par.json` gates the
+   cooperative-parallelism figures: the BMC sweep must actually beat
+   the sequential loop (speedup >= 1.0 at the requested job count), and
+   the portfolio may not regress more than 20% against the committed
+   baseline's speedup. Verdict divergence already fails inside [par]
+   before this gate runs. Writes BENCH_par_gate.json; exits 2 on an
+   unreadable baseline, 1 on a failed gate. *)
+let check_par_baseline path =
+  let suite_speedup name doc =
+    match Obs.Json.member "suites" doc with
+    | Some (Obs.Json.List suites) ->
+      List.find_map
+        (fun s ->
+          match Obs.Json.member "name" s with
+          | Some (Obs.Json.String n) when n = name ->
+            Option.bind (Obs.Json.member "speedup" s) Obs.Json.to_float
+          | _ -> None)
+        suites
+    | _ -> None
+  in
+  section (Printf.sprintf "Parallel gate: current par suite vs %s" path);
+  let baseline =
+    match !par_baseline with
+    | Some snapshot -> snapshot
+    | None -> read_json_file path
+  in
+  if !par_doc = None then par ();
+  let doc = Option.get !par_doc in
+  match baseline with
+  | Error msg ->
+    Format.printf "cannot read baseline %s: %s@." path msg;
+    exit 2
+  | Ok base -> (
+    match
+      ( suite_speedup "bmc_sweep" doc,
+        suite_speedup "portfolio_sat" doc,
+        suite_speedup "portfolio_sat" base )
+    with
+    | Some bmc, Some sat, Some base_sat ->
+      let sat_floor = 0.8 *. base_sat in
+      let bmc_ok = bmc >= 1.0 in
+      let sat_ok = sat >= sat_floor in
+      Format.printf "bmc_sweep speedup %.2fx (gate: >= 1.00x): %s@." bmc
+        (if bmc_ok then "PASS" else "FAIL");
+      Format.printf
+        "portfolio_sat speedup %.2fx (gate: >= %.2fx, 80%% of baseline \
+         %.2fx): %s@."
+        sat sat_floor base_sat
+        (if sat_ok then "PASS" else "FAIL");
+      let ok = bmc_ok && sat_ok in
+      let gate =
+        Obs.Json.Obj
+          [
+            ("baseline", Obs.Json.String path);
+            ("bmc_speedup", Obs.Json.Float bmc);
+            ("portfolio_speedup", Obs.Json.Float sat);
+            ("portfolio_floor", Obs.Json.Float sat_floor);
+            ("verdict", Obs.Json.String (if ok then "PASS" else "FAIL"));
+          ]
+      in
+      let oc = open_out "BENCH_par_gate.json" in
+      output_string oc (Obs.Json.to_string gate);
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "verdict: %s (BENCH_par_gate.json)@."
+        (if ok then "PASS" else "FAIL");
+      if not ok then exit 1
+    | _ ->
+      Format.printf "baseline %s lacks the par suite figures@." path;
+      exit 2)
 
 (* ================================================================== *)
 (* Bechamel micro-benchmarks                                           *)
@@ -1288,6 +1406,10 @@ let () =
     | [], None -> List.map fst experiments
     | names, _ -> names
   in
+  (match baseline with
+  | Some path when List.mem "par" requested ->
+    par_baseline := Some (read_json_file path)
+  | _ -> ());
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
@@ -1297,4 +1419,10 @@ let () =
           (String.concat " " (List.map fst experiments));
         exit 1)
     requested;
-  Option.iter check_baseline baseline
+  (* with `par` among the experiments the baseline gates the parallel
+     suite; otherwise it gates the solver-perf suite as before *)
+  Option.iter
+    (fun path ->
+      if List.mem "par" requested then check_par_baseline path
+      else check_baseline path)
+    baseline

@@ -131,23 +131,29 @@ let with_obs (trace, stats, quiet, jobs) f =
     Obs.enable ();
     Option.iter (fun path -> Obs.add_sink (Obs.jsonl_sink path)) trace
   end;
-  let jobs =
-    match jobs with Some j -> j | None -> Par.env_jobs ~default:1 ()
-  in
-  if jobs < 1 then begin
-    Format.eprintf "sciduction_cli: --jobs must be positive@.";
-    exit 2
-  end;
-  let pool = if jobs > 1 then Some (Par.Pool.create ~jobs ()) else None in
-  let finally () =
-    Option.iter Par.Pool.shutdown pool;
-    Obs.shutdown ()
-  in
   let code =
-    Fun.protect ~finally (fun () ->
+    Fun.protect ~finally:Obs.shutdown (fun () ->
         (* typed failures become a one-line diagnostic and a distinct
-           exit code, never a backtrace *)
-        try f pool with
+           exit code, never a backtrace; jobs validation lives inside so
+           --jobs 0 or a mistyped SCIDUCTION_JOBS gets the same
+           treatment as any other bad input *)
+        try
+          let jobs =
+            match jobs with
+            | Some j ->
+              if j < 1 then
+                failwith
+                  (Printf.sprintf "--jobs: jobs must be >= 1 (got %d)" j);
+              j
+            | None -> Par.env_jobs_exn ~default:1 ()
+          in
+          let pool =
+            if jobs > 1 then Some (Par.Pool.create ~jobs ()) else None
+          in
+          Fun.protect
+            ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
+            (fun () -> f pool)
+        with
         | Failure msg ->
           Format.eprintf "sciduction_cli: %s@." msg;
           3

@@ -120,13 +120,20 @@ let rec take n l =
 
 let session_conflicts sess = Sat.num_conflicts (Tseitin.solver sess.ctx)
 
-let check_depth ?limits sess ~depth =
-  Obs.with_span "bmc.check_depth" ~attrs:[ ("depth", Obs.Int depth) ]
+(* One scoped query: "bad at some step in [lo..hi]". The unrolling is
+   extended to [hi]; a model yields a genuine input trace (replayed on
+   the concrete system and truncated at its first bad state), whose
+   length can be {e below} [lo] — the model constrains nothing about the
+   earlier steps, so it is free to stumble into a shallower bad state.
+   [lo = 0] is the classic cumulative query. *)
+let check_between ?limits sess ~span ~lo ~hi =
+  Obs.with_span span ~attrs:[ ("depth", Obs.Int hi); ("lo", Obs.Int lo) ]
   @@ fun () ->
-  extend sess depth;
+  extend sess hi;
   let ctx = sess.ctx in
   Option.iter (Sat.set_limits (Tseitin.solver ctx)) limits;
-  let bads = List.rev (drop (sess.frames - depth) sess.bads_rev) in
+  (* steps lo..hi in ascending order, as the cumulative query built it *)
+  let bads = List.rev (take (hi - lo + 1) (drop (sess.frames - hi) sess.bads_rev)) in
   Tseitin.push ctx;
   Tseitin.assert_lit ctx (Tseitin.or_list ctx bads);
   let result =
@@ -138,7 +145,7 @@ let check_depth ?limits sess ~depth =
       let all_inputs =
         List.map
           (fun inp -> Array.map value inp)
-          (take depth (List.rev sess.inputs_rev))
+          (take hi (List.rev sess.inputs_rev))
       in
       match trace_of_inputs sess.ts all_inputs with
       | Some trace -> `Cex trace
@@ -147,19 +154,13 @@ let check_depth ?limits sess ~depth =
   Tseitin.pop ctx;
   result
 
-(* Parallel sweep: depths are striped across the pool's concurrency
-   units, each stripe owning its own persistent incremental session over
-   its residue class (depth = start + w, start + w + jobs, ...), so
-   frame reuse and learned clauses survive within a stripe just as they
-   do across the whole sequential sweep. A shared atomic records the
-   shallowest counterexample depth found so far; stripes skip depths at
-   or past it. Any recorded depth is a genuine counterexample depth, so
-   every depth below the minimal one is still checked by its owner —
-   the reported depth is therefore the same minimal depth the
-   sequential sweep finds. Only the concrete trace can differ from the
-   sequential one (each stripe's solver sees its own query history,
-   though that history is itself deterministic below the minimal
-   counterexample depth). *)
+let check_depth ?limits sess ~depth =
+  check_between ?limits sess ~span:"bmc.check_depth" ~lo:0 ~hi:depth
+
+let check_range ?limits sess ~lo ~hi =
+  if lo < 0 || hi < lo then invalid_arg "Bmc.check_range";
+  check_between ?limits sess ~span:"bmc.check_range" ~lo ~hi
+
 type partial = {
   proved_depth : int;
   reason : Budget.reason;
@@ -173,8 +174,58 @@ let exhaust lp ~proved_depth reason =
   Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "exhausted") ];
   Budget.Exhausted { proved_depth; reason }
 
-let sweep_par ~start ~meter pool (ts : Ts.t) ~max_depth =
-  let width = Par.Pool.jobs pool in
+(* Parallel sweep over a shared work-stealing depth queue.
+
+   A single atomic ([next]) is the queue head: a worker claims the next
+   unproved contiguous depth range with a CAS, so no depth is ever
+   solved twice and an idle worker steals the frontier instead of
+   idling behind a static stripe. Claims use guided self-scheduling —
+   about [remaining / (2*jobs)] depths per claim, shrinking to single
+   depths near the end — big enough that one ranged query amortizes a
+   claim, small enough that workers stay balanced.
+
+   Each worker keeps one persistent incremental session and extends its
+   unrolling monotonically across claims. A claim [lo..hi] is decided
+   by {e one} ranged query ("bad at some step in [lo..hi]") instead of
+   [hi-lo+1] cumulative ones: an unsat answer proves the whole range
+   clean in one solver call, which is where the parallel sweep's
+   algorithmic advantage over the depth-at-a-time sequential loop comes
+   from. A sat answer yields a genuine trace of some length [d]; the
+   worker then refines downward ("bad in [lo..d-1]") until the range's
+   minimal counterexample depth is found, marking the depths it proves
+   clean along the way.
+
+   Minimality of the reported depth: claims are handed out in ascending
+   order, so when [lo..hi] is claimed every depth below [lo] is already
+   claimed by someone, and a completed claim below the final best depth
+   either proved its depths clean or would have recorded a shallower
+   counterexample (impossible below the minimum — traces are replayed
+   on the concrete system, so every recorded depth is genuine). Hence,
+   absent an exhaustion, all depths below the shared best are proved
+   clean and the reported depth equals the sequential sweep's; only the
+   concrete trace can differ. On exhaustion the cex is reported only if
+   everything below it is proved; otherwise the sweep returns the
+   contiguous proved prefix, like the sequential loop.
+
+   Worker count: cooperation, unlike the portfolio's racing, gains
+   nothing from more workers than hardware threads. BMC workers all
+   allocate heavily (each extends its own unrolling) and OCaml's minor
+   collections synchronize every running domain, so oversubscribing
+   cores turns each collection into a scheduling convoy — the old
+   striped sweep's 0.18x "speedup" on a single-core host was exactly
+   this. The claim width is therefore capped at
+   [Domain.recommended_domain_count]: on a machine with fewer cores
+   than [jobs] the sweep runs fewer workers over the same claim queue —
+   same claims, same verdict, no convoy. *)
+let sweep_par ~start ~meter ?workers pool (ts : Ts.t) ~max_depth =
+  let width =
+    match workers with
+    | Some w ->
+      if w < 1 then invalid_arg "Bmc.sweep: workers must be >= 1";
+      w
+    | None ->
+      max 1 (min (Par.Pool.jobs pool) (Domain.recommended_domain_count ()))
+  in
   let lp =
     Obs.Loop.start "bmc"
       ~attrs:
@@ -183,7 +234,8 @@ let sweep_par ~start ~meter pool (ts : Ts.t) ~max_depth =
           ("max_depth", Obs.Int max_depth);
           ("latches", Obs.Int ts.Ts.num_latches);
           ("inputs", Obs.Int ts.Ts.num_inputs);
-          ("jobs", Obs.Int width);
+          ("jobs", Obs.Int (Par.Pool.jobs pool));
+          ("workers", Obs.Int width);
         ]
   in
   let best = Atomic.make max_int in
@@ -193,51 +245,92 @@ let sweep_par ~start ~meter pool (ts : Ts.t) ~max_depth =
     if depth < cur && not (Atomic.compare_and_set best cur depth) then
       record depth
   in
-  (* per-depth clean flags (distinct indices per stripe: no races) for
-     the proved-prefix computation, plus the first exhaustion reason *)
+  (* per-depth clean flags (each depth has exactly one prover: no
+     races) for the proved-prefix computation, plus the first
+     exhaustion reason *)
   let nstatus = max 0 (max_depth - start + 1) in
   let status = Array.make (max 1 nstatus) false in
   let stopped = Atomic.make None in
   let record_stop reason =
     ignore (Atomic.compare_and_set stopped None (Some reason) : bool)
   in
-  let stripe w () =
+  (* the work queue: next depth nobody has claimed yet *)
+  let next = Atomic.make start in
+  let rec claim () =
+    let lo = Atomic.get next in
+    if lo > max_depth || lo >= Atomic.get best then None
+    else begin
+      let chunk = max 1 ((max_depth - lo + 1) / (2 * width)) in
+      let hi = min max_depth (lo + chunk - 1) in
+      if Atomic.compare_and_set next lo (hi + 1) then Some (lo, hi)
+      else claim ()
+    end
+  in
+  let worker _w () =
     let sess = new_session ts in
     let solver = Tseitin.solver sess.ctx in
     let found = ref None in
-    let d = ref (start + w) in
-    while !d <= max_depth && !d < Atomic.get best do
-      let depth = !d in
-      match Budget.tick meter with
-      | Some reason ->
-        record_stop reason;
-        d := max_depth + 1
-      | None -> (
-        Obs.Loop.iteration lp
-          (Atomic.fetch_and_add iter_ix 1)
-          ~attrs:[ ("depth", Obs.Int depth) ];
-        Sat.set_limits solver (Smt.Govern.limits_of_meter meter);
-        let c0 = Sat.num_conflicts solver in
-        let q = check_depth sess ~depth in
-        Budget.charge_conflicts meter (Sat.num_conflicts solver - c0);
-        match q with
-        | `Cex trace ->
-          found := Some (depth, trace);
-          record depth;
-          (* deeper depths in this stripe are moot: a counterexample at
-             [depth] subsumes them *)
-          d := max_depth + 1
-        | `No_cex ->
-          status.(depth - start) <- true;
-          Obs.Loop.verdict lp "no_cex" ~attrs:[ ("depth", Obs.Int depth) ];
-          d := depth + width
-        | `Unknown r ->
-          record_stop (Smt.Govern.reason_of_sat r);
-          d := max_depth + 1)
+    let note depth trace =
+      record depth;
+      match !found with
+      | Some (d, _) when d <= depth -> ()
+      | _ -> found := Some (depth, trace)
+    in
+    let running = ref true in
+    while !running do
+      match claim () with
+      | None -> running := false
+      | Some (lo, hi) -> (
+        (* depths at or past the best known counterexample are moot *)
+        let hi = min hi (Atomic.get best - 1) in
+        if lo > hi then running := false
+        else
+          match Budget.tick meter with
+          | Some reason ->
+            record_stop reason;
+            running := false
+          | None -> (
+            Obs.Loop.iteration lp
+              (Atomic.fetch_and_add iter_ix 1)
+              ~attrs:[ ("depth", Obs.Int lo); ("hi", Obs.Int hi) ];
+            Sat.set_limits solver (Smt.Govern.limits_of_meter meter);
+            let solve_range lo hi =
+              let c0 = Sat.num_conflicts solver in
+              let q = check_range sess ~lo ~hi in
+              Budget.charge_conflicts meter (Sat.num_conflicts solver - c0);
+              q
+            in
+            match solve_range lo hi with
+            | `No_cex ->
+              for d = lo to hi do
+                status.(d - start) <- true
+              done;
+              Obs.Loop.verdict lp "no_cex"
+                ~attrs:[ ("depth", Obs.Int lo); ("hi", Obs.Int hi) ]
+            | `Unknown r ->
+              record_stop (Smt.Govern.reason_of_sat r);
+              running := false
+            | `Cex trace ->
+              (* refine to this claim's minimal counterexample depth;
+                 the trace can land below [lo], where minimality is the
+                 earlier claims' responsibility *)
+              let rec refine trace =
+                let d = List.length trace in
+                note d trace;
+                if d > lo then
+                  match solve_range lo (d - 1) with
+                  | `No_cex ->
+                    for i = lo to d - 1 do
+                      status.(i - start) <- true
+                    done
+                  | `Cex trace' -> refine trace'
+                  | `Unknown r -> record_stop (Smt.Govern.reason_of_sat r)
+              in
+              refine trace))
     done;
     !found
   in
-  let futures = List.init width (fun w -> Par.submit pool (stripe w)) in
+  let futures = List.init width (fun w -> Par.submit pool (worker w)) in
   let results = Par.await_all pool futures in
   let first =
     List.fold_left
@@ -248,23 +341,29 @@ let sweep_par ~start ~meter pool (ts : Ts.t) ~max_depth =
         | acc, None -> acc)
       None results
   in
+  let prefix_proved depth =
+    let ok = ref true in
+    for i = 0 to depth - start - 1 do
+      if not status.(i) then ok := false
+    done;
+    !ok
+  in
   match first with
-  | Some (depth, trace) ->
+  | Some (depth, trace)
+    when Atomic.get stopped = None || prefix_proved depth ->
     Obs.Loop.counterexample lp
       ~attrs:[ ("length", Obs.Int (List.length trace)) ];
     Obs.Loop.verdict lp "unsafe" ~attrs:[ ("depth", Obs.Int depth) ];
     Obs.Loop.finish lp ~attrs:[ ("outcome", Obs.String "unsafe") ];
     Budget.Converged (Some (depth, trace))
-  | None -> (
+  | _ -> (
     match Atomic.get stopped with
     | None ->
       Obs.Loop.finish lp
         ~attrs:[ ("outcome", Obs.String "safe_within_bound") ];
       Budget.Converged None
     | Some reason ->
-      (* deepest depth below which every depth was proved clean; with
-         striping, depths past a stalled stripe's frontier don't count
-         even if their owner got further *)
+      (* deepest depth below which every depth was proved clean *)
       let proved = ref (start - 1) in
       (try
          for i = 0 to nstatus - 1 do
@@ -318,10 +417,10 @@ let sweep_seq ~start ~meter (ts : Ts.t) ~max_depth =
   in
   go start 0
 
-let sweep ?(start = 0) ?pool ?(budget = Budget.unlimited) (ts : Ts.t)
-    ~max_depth =
+let sweep ?(start = 0) ?pool ?workers ?(budget = Budget.unlimited)
+    (ts : Ts.t) ~max_depth =
   let meter = Budget.start budget in
   match pool with
   | Some pool when Par.Pool.jobs pool > 1 ->
-    sweep_par ~start ~meter pool ts ~max_depth
+    sweep_par ~start ~meter ?workers pool ts ~max_depth
   | _ -> sweep_seq ~start ~meter ts ~max_depth

@@ -44,6 +44,16 @@ val check_depth : ?limits:Smt.Sat.limits -> session -> depth:int -> query
     [?limits], when given, is installed on the session's solver (and
     persists for later queries until replaced). *)
 
+val check_range : ?limits:Smt.Sat.limits -> session -> lo:int -> hi:int -> query
+(** One scoped query for "a bad state is reachable at some step in
+    [lo..hi]": [`No_cex] proves the {e whole} range clean in a single
+    solver call. A [`Cex] trace is genuine but its length — the step
+    reaching the bad state — may be anywhere in [0..hi], including
+    below [lo]: the query does not constrain the earlier steps, so the
+    model may stumble into a shallower bad state. [check_range ~lo:0
+    ~hi:d] is exactly {!check_depth}[ ~depth:d]. Raises
+    [Invalid_argument] when [lo < 0] or [hi < lo]. *)
+
 val session_conflicts : session -> int
 (** Cumulative conflicts of the session's solver; callers metering a
     conflict pool charge per-query deltas of this. *)
@@ -60,6 +70,7 @@ type partial = {
 val sweep :
   ?start:int ->
   ?pool:Par.Pool.t ->
+  ?workers:int ->
   ?budget:Budget.t ->
   Ts.t ->
   max_depth:int ->
@@ -77,12 +88,24 @@ val sweep :
     sweep's verdicts agree with the unbudgeted run on the proved
     prefix (the limit checks never alter the search itself).
 
-    With [?pool] (of more than one job), depths are striped across the
-    pool's concurrency units, one persistent session per stripe, and a
-    stripe that finds a counterexample cuts the others short at the
-    next depth boundary; the minimal reachable depth — and hence the
-    verdict — is identical to the sequential sweep, though the concrete
-    trace may differ. Under a budget the stripes share one conflict
-    pool (overdraw bounded by one in-flight query per stripe), and the
-    proved prefix on exhaustion counts only depths below every stalled
-    stripe's frontier. *)
+    With [?pool] (of more than one job), workers claim contiguous depth
+    ranges from a shared atomic queue (work stealing: no depth is ever
+    solved twice, nobody idles behind a static stripe), each keeping
+    one persistent session it extends monotonically. A claimed range is
+    decided by one {!check_range} query and, when satisfiable, refined
+    downward to its minimal counterexample depth; a worker that finds a
+    counterexample publishes the depth through a shared atomic and the
+    others stop claiming past it. The minimal reachable depth — and
+    hence the verdict — is identical to the sequential sweep, though
+    the concrete trace may differ. Under a budget the workers share one
+    conflict pool (overdraw bounded by one in-flight query per worker),
+    iterations meter {e claims} rather than depths, and the proved
+    prefix on exhaustion counts only contiguously proved depths.
+
+    [?workers] overrides how many claim-loop workers are submitted to
+    the pool. By default the width is [min (Pool.jobs pool)
+    (Domain.recommended_domain_count ())]: cooperating workers all
+    allocate, and OCaml's minor GC synchronizes every domain, so
+    running more workers than hardware threads only adds convoy stalls
+    — the claim queue and verdict are the same at any width. Raises
+    [Invalid_argument] when [workers < 1]. *)

@@ -635,7 +635,25 @@ let pp_metrics ppf metrics =
             (pct 50.0) (pct 90.0) max
         | None -> ())
       | _ -> ())
-    metrics
+    metrics;
+  (* derived lines, mirroring the live registry's pp_summary *)
+  let cval name =
+    match List.assoc_opt name metrics with Some (Json.Int c) -> c | _ -> 0
+  in
+  let shared_hits = cval "bitblast.shared_hits" in
+  let shared_misses = cval "bitblast.shared_misses" in
+  if shared_hits + shared_misses > 0 then
+    line "  shared recipe hit rate       %.1f%% (%d/%d)@."
+      (100.0
+      *. float_of_int shared_hits
+      /. float_of_int (shared_hits + shared_misses))
+      shared_hits
+      (shared_hits + shared_misses);
+  let exported = cval "portfolio.clauses_exported" in
+  let imported = cval "portfolio.clauses_imported" in
+  if exported + imported > 0 then
+    line "  clause sharing               %d exported, %d imported@." exported
+      imported
 
 let pp_report ?(top = 12) ppf a =
   let line fmt = Format.fprintf ppf fmt in

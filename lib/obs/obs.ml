@@ -445,7 +445,24 @@ let pp_summary ppf () =
     if hits + misses > 0 then
       line "@.  bitblast cache hit rate      %.1f%% (%d/%d)@."
         (100.0 *. float_of_int hits /. float_of_int (hits + misses))
-        hits (hits + misses)
+        hits (hits + misses);
+    (* derived: cross-context recipe-cache hit rate *)
+    let shared_hits = cval "bitblast.shared_hits" in
+    let shared_misses = cval "bitblast.shared_misses" in
+    if shared_hits + shared_misses > 0 then
+      line "  shared recipe hit rate       %.1f%% (%d/%d)@."
+        (100.0
+        *. float_of_int shared_hits
+        /. float_of_int (shared_hits + shared_misses))
+        shared_hits
+        (shared_hits + shared_misses);
+    (* derived: portfolio clause-sharing traffic (imports can exceed
+       exports: every export is importable by each other member) *)
+    let exported = cval "portfolio.clauses_exported" in
+    let imported = cval "portfolio.clauses_imported" in
+    if exported + imported > 0 then
+      line "  clause sharing               %d exported, %d imported@."
+        exported imported
   end
 
 (* ----- Chrome trace_event export ----- *)

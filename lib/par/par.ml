@@ -130,12 +130,25 @@ module Pool = struct
     Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
 end
 
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | None ->
+    Error (Printf.sprintf "invalid jobs count %S (expected an integer)" s)
+  | Some n when n < 1 -> Error (Printf.sprintf "jobs must be >= 1 (got %d)" n)
+  | Some n -> Ok n
+
 let env_jobs ?(default = 1) () =
   match Sys.getenv_opt "SCIDUCTION_JOBS" with
   | None -> default
-  | Some s -> ( match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | _ -> default)
+  | Some s -> ( match parse_jobs s with Ok n -> n | Error _ -> default)
+
+let env_jobs_exn ?(default = 1) () =
+  match Sys.getenv_opt "SCIDUCTION_JOBS" with
+  | None -> default
+  | Some s -> (
+    match parse_jobs s with
+    | Ok n -> n
+    | Error msg -> failwith ("SCIDUCTION_JOBS: " ^ msg))
 
 let settle fut st =
   Mutex.lock fut.fut_lock;

@@ -60,11 +60,24 @@ module Pool : sig
   (** [create], run, [shutdown] (on exceptions too). *)
 end
 
+val parse_jobs : string -> (int, string) result
+(** Parse a user-supplied jobs count: a positive integer (surrounding
+    whitespace tolerated). The error is a human-readable reason —
+    non-integer, or below 1 — without any prefix, so callers can
+    attribute it to their own flag or variable name. *)
+
 val env_jobs : ?default:int -> unit -> int
 (** Concurrency requested by the [SCIDUCTION_JOBS] environment variable,
     or [default] (itself defaulting to 1) when unset or unparsable.
     Lets CI exercise the whole test suite under a pool without every
     test site growing a flag. *)
+
+val env_jobs_exn : ?default:int -> unit -> int
+(** Like {!env_jobs} but strict: a set-but-invalid [SCIDUCTION_JOBS]
+    raises [Failure] (with the {!parse_jobs} reason) instead of being
+    silently replaced by the default. Front-ends that own the user
+    interaction (the CLI) use this to turn a typo into a diagnostic
+    rather than a surprising sequential run. *)
 
 (** {1 Futures} *)
 

@@ -3,6 +3,11 @@ let m_term_misses = Obs.Metrics.counter "bitblast.term_cache_misses"
 let m_formula_hits = Obs.Metrics.counter "bitblast.formula_cache_hits"
 let m_formula_misses = Obs.Metrics.counter "bitblast.formula_cache_misses"
 
+(* cross-context recipe cache traffic (see [Cnfcache]): a hit replays a
+   previously recorded operator encoding instead of re-encoding it *)
+let m_shared_hits = Obs.Metrics.counter "bitblast.shared_hits"
+let m_shared_misses = Obs.Metrics.counter "bitblast.shared_misses"
+
 type t = {
   ctx : Tseitin.t;
   tmemo : (Bv.term, Lit.t array) Hashtbl.t;
@@ -21,6 +26,17 @@ let create () =
   }
 
 let context t = t.ctx
+
+(* a blaster over an existing context, for running the encoders inside
+   [Cnfcache.record]'s scratch context *)
+let scratch ctx =
+  {
+    ctx;
+    tmemo = Hashtbl.create 4;
+    fmemo = Hashtbl.create 4;
+    vars = Hashtbl.create 4;
+    bvars = Hashtbl.create 4;
+  }
 
 let var_wires t ~width name =
   match Hashtbl.find_opt t.vars name with
@@ -181,12 +197,59 @@ and binop t op a b w =
   | Bv.Bxor -> Array.map2 (Tseitin.xor2 t.ctx) a b
   | Bv.Badd -> fst (adder t a b ff)
   | Bv.Bsub -> fst (adder t a (Array.map Lit.neg b) (Tseitin.true_ t.ctx))
-  | Bv.Bmul -> multiplier t a b w
-  | Bv.Budiv -> fst (divider t a b)
-  | Bv.Burem -> snd (divider t a b)
-  | Bv.Bshl -> shl_bits t a b
-  | Bv.Blshr -> lshr_bits t a b
-  | Bv.Bashr -> ashr_bits t a b
+  | Bv.Bmul ->
+    (shared t ~tag:"mul" ~w a b ~build:(fun s a b ->
+         [| multiplier s a b (Array.length a) |]))
+      .(0)
+  | Bv.Budiv -> (shared_div t ~w a b).(0)
+  | Bv.Burem -> (shared_div t ~w a b).(1)
+  | Bv.Bshl ->
+    (shared t ~tag:"shl" ~w a b ~build:(fun s a b -> [| shl_bits s a b |])).(0)
+  | Bv.Blshr ->
+    (shared t ~tag:"lshr" ~w a b ~build:(fun s a b -> [| lshr_bits s a b |]))
+      .(0)
+  | Bv.Bashr ->
+    (shared t ~tag:"ashr" ~w a b ~build:(fun s a b -> [| ashr_bits s a b |]))
+      .(0)
+
+(* Expensive operators go through the cross-context recipe cache: the
+   first encoding of (operator, width) anywhere in the process is
+   recorded over fresh canonical inputs, every later one — in this
+   context or any other, on any domain — replays the recorded clause
+   skeleton (see [Cnfcache]). Bypassed when an input wire is constant:
+   replaying the general circuit would forfeit the eager constant
+   folding a direct encoding enjoys (e.g. multiplication by a constant
+   collapses most partial products). *)
+and shared t ~tag ~w a b ~build =
+  let symbolic l =
+    not (l = Tseitin.true_ t.ctx || l = Tseitin.false_ t.ctx)
+  in
+  if w < 2 || not (Array.for_all symbolic a && Array.for_all symbolic b)
+  then build t a b
+  else begin
+    let key = Printf.sprintf "%s:%d" tag w in
+    let r =
+      match Cnfcache.find ~key with
+      | Some r ->
+        Obs.Metrics.incr m_shared_hits;
+        r
+      | None ->
+        Obs.Metrics.incr m_shared_misses;
+        let r =
+          Cnfcache.record ~n_inputs:(2 * w) (fun ctx inputs ->
+              build (scratch ctx) (Array.sub inputs 0 w)
+                (Array.sub inputs w w))
+        in
+        Cnfcache.install ~key r
+    in
+    Cnfcache.replay r t.ctx (Array.append a b)
+  end
+
+(* one recipe covers both quotient and remainder, like [divider] *)
+and shared_div t ~w a b =
+  shared t ~tag:"div" ~w a b ~build:(fun s a b ->
+      let q, r = divider s a b in
+      [| q; r |])
 
 (* Algebraic division: introduce fresh q, r with
      b = 0  ->  q = all-ones /\ r = a

@@ -1,0 +1,87 @@
+(* Bounded lock-free learnt-clause exchange between portfolio workers.
+
+   Layout: one single-writer ring ("outbox") per worker plus one private
+   read-cursor row per (reader, writer) pair. A worker publishes into
+   its own outbox only, so the write side needs no synchronisation
+   beyond the atomic publication order (slot first, then head); a
+   reader walks every other worker's outbox from its private cursor to
+   the outbox head, so the read side takes no locks and never waits —
+   both operations are wait-free.
+
+   Each slot stores its absolute sequence number alongside the payload
+   in one boxed value, so a reader can tell a slot that still holds the
+   clause it expects (stored seq = wanted seq) from one the writer has
+   already lapped (stored seq > wanted seq). Overflow therefore drops
+   the oldest unread clauses per reader and publication never blocks —
+   a slow importer costs itself clauses, not the exporter time. *)
+
+type slot = (int * int * Lit.t array) option Atomic.t
+(* (sequence, lbd, literals); None = never written *)
+
+type outbox = {
+  slots : slot array;
+  head : int Atomic.t; (* next sequence number this writer will use *)
+}
+
+type t = {
+  workers : int;
+  capacity : int;
+  boxes : outbox array;
+  cursors : int array array;
+      (* [cursors.(r).(w)]: next sequence reader [r] wants from writer
+         [w]'s outbox. Row [r] is touched only by worker [r]. *)
+}
+
+let create ~workers ~capacity =
+  if workers < 1 then invalid_arg "Exchange.create: workers must be >= 1";
+  if capacity < 1 then invalid_arg "Exchange.create: capacity must be >= 1";
+  {
+    workers;
+    capacity;
+    boxes =
+      Array.init workers (fun _ ->
+          {
+            slots = Array.init capacity (fun _ -> Atomic.make None);
+            head = Atomic.make 0;
+          });
+    cursors = Array.make_matrix workers workers 0;
+  }
+
+let workers t = t.workers
+let capacity t = t.capacity
+
+let publish t ~worker ~lbd lits =
+  let box = t.boxes.(worker) in
+  let seq = Atomic.get box.head in
+  Atomic.set box.slots.(seq mod t.capacity) (Some (seq, lbd, Array.copy lits));
+  (* heads only move forward, and only their owner moves them; the
+     store above must be visible before the new head is (sequential
+     consistency of both atomics gives that) *)
+  Atomic.set box.head (seq + 1)
+
+let published t =
+  Array.fold_left (fun acc box -> acc + Atomic.get box.head) 0 t.boxes
+
+(* Everything worker [worker] has not yet seen from the other outboxes,
+   oldest first per writer; its own outbox is skipped (a solver never
+   re-imports what it exported). Advances the cursors. *)
+let drain t ~worker =
+  let out = ref [] in
+  for w = t.workers - 1 downto 0 do
+    if w <> worker then begin
+      let box = t.boxes.(w) in
+      let head = Atomic.get box.head in
+      let cur = max t.cursors.(worker).(w) (head - t.capacity) in
+      for seq = head - 1 downto cur do
+        match Atomic.get box.slots.(seq mod t.capacity) with
+        | Some (seq', lbd, lits) when seq' = seq ->
+          out := (lbd, lits) :: !out
+        | _ ->
+          (* lapped between reading [head] and this slot, or the write
+             at [seq] is not yet visible: drop, never wait *)
+          ()
+      done;
+      t.cursors.(worker).(w) <- head
+    end
+  done;
+  !out

@@ -1,0 +1,36 @@
+(** Bounded, lock-free learnt-clause exchange for cooperating solvers.
+
+    One single-writer ring buffer ("outbox") per worker plus a private
+    read cursor per (reader, writer) pair: {!publish} writes only the
+    calling worker's own ring and {!drain} only reads the others, so
+    both sides are wait-free. The rings are bounded — when a writer
+    laps a slow reader, the reader silently loses the overwritten
+    (oldest) clauses; publication never blocks.
+
+    Clauses travel as copies, so neither side can alias the other's
+    arrays. Dropping any subset of the traffic is always sound: shared
+    clauses are logical consequences of the common problem, never part
+    of it. *)
+
+type t
+
+val create : workers:int -> capacity:int -> t
+(** [capacity] is the per-worker ring size (clauses retained per
+    outbox). Raises [Invalid_argument] unless both are >= 1. *)
+
+val workers : t -> int
+val capacity : t -> int
+
+val publish : t -> worker:int -> lbd:int -> Lit.t array -> unit
+(** Append a clause to [worker]'s own outbox (copied), overwriting the
+    oldest entry when the ring is full. Wait-free; must only be called
+    from the owning worker. *)
+
+val drain : t -> worker:int -> (int * Lit.t array) list
+(** All clauses other workers published that [worker] has not yet
+    drained, as [(lbd, literals)] pairs, oldest first per writer; the
+    worker's own exports are excluded. Advances [worker]'s cursors.
+    Wait-free; must only be called from the owning worker. *)
+
+val published : t -> int
+(** Total clauses ever published across all outboxes. *)

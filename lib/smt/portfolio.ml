@@ -33,6 +33,35 @@ let m_cancelled = Obs.Metrics.counter "portfolio.cancelled"
 let m_unknowns = Obs.Metrics.counter "portfolio.unknowns"
 let m_retries = Obs.Metrics.counter "portfolio.retries"
 let m_sequential = Obs.Metrics.counter "portfolio.sequential"
+let m_exported = Obs.Metrics.counter "portfolio.clauses_exported"
+let m_imported = Obs.Metrics.counter "portfolio.clauses_imported"
+
+(* Export policy: only glue-ish clauses travel. Low-LBD clauses are the
+   ones CDCL itself considers worth keeping, and a length cap bounds
+   both copy cost and the propagation overhead the importer inherits. *)
+let share_max_lbd = 4
+let share_max_len = 32
+let share_capacity = 256
+
+(* Sharing hooks for member [i] of a race over [ex]: filter on export,
+   adopt everything on import. Members solve the same CNF with the same
+   variable numbering, so clauses transfer verbatim. *)
+let share_hooks ex i =
+  {
+    Sat.export =
+      (fun ~lbd lits ->
+        if lbd <= share_max_lbd && Array.length lits <= share_max_len then begin
+          Exchange.publish ex ~worker:i ~lbd lits;
+          Obs.Metrics.incr m_exported
+        end);
+    Sat.import =
+      (fun () ->
+        let cs = Exchange.drain ex ~worker:i in
+        (match cs with
+        | [] -> ()
+        | cs -> Obs.Metrics.add m_imported (List.length cs));
+        cs);
+  }
 
 let mk_solver ?(limits = Sat.no_limits) (p : Dimacs.problem) config =
   let s =
@@ -53,7 +82,7 @@ let run_sequential ?limits p config ~winner ~raced ~retried =
   let model = if result = Sat.Sat then Some (Sat.model s) else None in
   { result; model; winner; raced; retried }
 
-let solve ?pool ?configs ?limits (p : Dimacs.problem) =
+let solve ?pool ?configs ?limits ?(share = true) (p : Dimacs.problem) =
   let configs =
     match configs with
     | Some [] -> invalid_arg "Portfolio.solve: empty config list"
@@ -66,11 +95,20 @@ let solve ?pool ?configs ?limits (p : Dimacs.problem) =
     run_sequential ?limits p c0 ~winner:0 ~raced:1 ~retried:false
   | Some pool, configs ->
     Obs.Metrics.incr m_races;
+    let ex =
+      if share then
+        Some
+          (Exchange.create
+             ~workers:(List.length configs)
+             ~capacity:share_capacity)
+      else None
+    in
     let thunks =
       List.mapi
         (fun i config token ->
           let s = mk_solver ?limits p config in
           Sat.set_terminate s (Some (fun () -> Par.Cancel.is_set token));
+          Option.iter (fun ex -> Sat.set_share s (Some (share_hooks ex i))) ex;
           match Sat.solve s with
           | Sat.Unknown _ ->
             (* no verdict: a cancelled loser, or a member that ran out

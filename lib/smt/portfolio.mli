@@ -45,6 +45,7 @@ val solve :
   ?pool:Par.Pool.t ->
   ?configs:config list ->
   ?limits:Sat.limits ->
+  ?share:bool ->
   Dimacs.problem ->
   outcome
 (** Decide the CNF. Without [?pool] (or with a single configuration)
@@ -53,6 +54,16 @@ val solve :
     is raced under a shared [Par.Cancel] token ([?configs] defaults to
     [default_configs (Par.Pool.jobs pool)]); the first verdict sets the
     token and the siblings stop at their next termination poll.
+
+    With [?share] (the default), racing members also {e cooperate}:
+    each exports its low-LBD learnt clauses (LBD <= 4, length-capped)
+    into a bounded wait-free [Exchange] and adopts the others' exports
+    at its restart boundaries. Shared clauses are logical consequences
+    of the common CNF, so the verdict is unaffected — only the wall
+    clock and which model a satisfiable instance yields can change.
+    Traffic counts under [portfolio.clauses_exported] /
+    [portfolio.clauses_imported]. [~share:false] restores the pure
+    race.
 
     [?limits] bounds every member's solve call ([Sat.set_limits]). A
     member that exhausts its limits (or hits an injected fault) reports

@@ -25,6 +25,11 @@ type limits = {
 let no_limits =
   { max_conflicts = None; max_propagations = None; max_steps = None; deadline = None }
 
+type share = {
+  export : lbd:int -> Lit.t array -> unit;
+  import : unit -> (int * Lit.t array) list;
+}
+
 type stats = {
   conflicts : int;
   decisions : int;
@@ -126,6 +131,8 @@ type t = {
   (* cooperative cancellation *)
   mutable terminate : (unit -> bool) option;
   mutable poll : int; (* countdown to the next terminate poll *)
+  (* learnt-clause sharing (portfolio solving) *)
+  mutable share : share option;
   (* per-solve resource limits; the base_* fields snapshot the
      cumulative counters at the start of the current solve, so a limit
      bounds the delta of that one call *)
@@ -182,6 +189,7 @@ let create ?(learnt_limit = 0) ?(seed = 0) ?(default_phase = false)
     restart_base;
     terminate = None;
     poll = 0;
+    share = None;
     limits = no_limits;
     steps = 0;
     base_conflicts = 0;
@@ -383,31 +391,36 @@ let push_clause s c ~lbd =
   attach s ci;
   ci
 
+(* Normalize a root-level clause: sorted literals, tautologies and
+   clauses satisfied at level 0 signalled as [None], false literals
+   dropped. One linear pass over the sorted literals: positive and
+   negative occurrences of a variable encode as adjacent integers
+   (2v, 2v+1), so a tautology shows up as two neighbours with equal
+   [Lit.var]; level-0 values fold in the same pass. *)
+let normalize_root_clause s lits =
+  let lits = List.sort_uniq compare lits in
+  let rec scan acc = function
+    | [] -> Some (List.rev acc)
+    | l :: rest ->
+      if match rest with
+        | l' :: _ -> Lit.var l' = Lit.var l
+        | [] -> false
+      then None (* p and ~p: tautology *)
+      else (
+        match lit_value s l with
+        | 1 -> None (* already satisfied at level 0 *)
+        | 0 -> scan acc rest (* false at level 0: drop the literal *)
+        | _ -> scan (l :: acc) rest)
+  in
+  scan [] lits
+
 (* [add_clause_permanent] ignores open assumption scopes: the clause is
    part of the problem forever. Tseitin gate definitions go through here
    because encoders cache the wires they return across scope pops. *)
 let add_clause_permanent s lits =
   assert (decision_level s = 0);
   if s.ok then begin
-    let lits = List.sort_uniq compare lits in
-    (* one linear pass over the sorted literals: positive and negative
-       occurrences of a variable encode as adjacent integers (2v, 2v+1),
-       so a tautology shows up as two neighbours with equal [Lit.var];
-       level-0 values fold in the same pass *)
-    let rec scan acc = function
-      | [] -> Some (List.rev acc)
-      | l :: rest ->
-        if match rest with
-          | l' :: _ -> Lit.var l' = Lit.var l
-          | [] -> false
-        then None (* p and ~p: tautology *)
-        else (
-          match lit_value s l with
-          | 1 -> None (* already satisfied at level 0 *)
-          | 0 -> scan acc rest (* false at level 0: drop the literal *)
-          | _ -> scan (l :: acc) rest)
-    in
-    match scan [] lits with
+    match normalize_root_clause s lits with
     | None -> ()
     | Some [] -> s.ok <- false
     | Some [ p ] -> enqueue s p (-1)
@@ -715,6 +728,43 @@ let set_terminate s f =
   s.terminate <- f;
   s.poll <- 0
 
+let set_share s sh = s.share <- sh
+
+(* Hand a freshly learned clause to the share hook. The array is the
+   live one about to enter the clause database: the callback must copy
+   whatever it decides to keep (Exchange.publish does). *)
+let export_learnt s ~lbd c =
+  match s.share with
+  | None -> ()
+  | Some sh -> sh.export ~lbd c
+
+(* Adopt foreign learnt clauses at a restart boundary (decision level
+   0). Shared clauses are logical consequences of the common problem,
+   so adding any subset preserves the verdict; each is normalized like
+   a root-level clause — satisfied or tautological ones are dropped,
+   units enqueue at level 0, an empty one proves unsatisfiability. The
+   clause keeps its foreign LBD, so database reduction can reclaim it
+   like any home-grown learnt. Clauses mentioning unallocated variables
+   are rejected outright (a misconfigured exchange must not crash the
+   solver). *)
+let import_shared s =
+  match s.share with
+  | None -> ()
+  | Some sh ->
+    List.iter
+      (fun (lbd, lits) ->
+        if
+          s.ok
+          && Array.for_all (fun l -> Lit.var l < s.nvars) lits
+        then
+          match normalize_root_clause s (Array.to_list lits) with
+          | None -> () (* tautology, or already satisfied at level 0 *)
+          | Some [] -> s.ok <- false
+          | Some [ p ] -> enqueue s p (-1)
+          | Some lits ->
+            ignore (push_clause s (Array.of_list lits) ~lbd:(max 1 lbd)))
+      (sh.import ())
+
 let set_limits s l =
   s.limits <- l;
   s.poll <- 0
@@ -789,6 +839,7 @@ let handle_conflict s ci =
      Obs.Metrics.observe m_lbd 1;
      s.lbd_sum <- s.lbd_sum + 1;
      if s.lbd_max = 0 then s.lbd_max <- 1;
+     if s.share <> None then export_learnt s ~lbd:1 [| Ivec.get out 0 |];
      enqueue s (Ivec.get out 0) (-1)
    end
    else begin
@@ -797,6 +848,7 @@ let handle_conflict s ci =
      Obs.Metrics.observe m_lbd lbd;
      s.lbd_sum <- s.lbd_sum + lbd;
      if lbd > s.lbd_max then s.lbd_max <- lbd;
+     export_learnt s ~lbd c;
      let ci = push_clause s c ~lbd in
      enqueue s c.(0) ci
    end);
@@ -889,7 +941,12 @@ let run_solve s assumptions =
     if not s.ok then Unsat
     else
       try
+        (* foreign clauses come aboard at restart boundaries only: the
+           solver is at decision level 0 there, so imported units can
+           enqueue directly and new clauses need no backtracking *)
         let rec run i =
+          import_shared s;
+          if not s.ok then raise (Found Unsat);
           match search s assumptions (s.restart_base * luby i) with
           | `Restart -> run (i + 1)
         in

@@ -187,3 +187,32 @@ val set_terminate : t -> (unit -> bool) option -> unit
     portfolio front-end to cancel losing solvers; the callback must be
     cheap and safe to call from another domain's token (e.g.
     [Par.Cancel.is_set]). *)
+
+(** {2 Learnt-clause sharing}
+
+    Cooperating solvers working on the {e same} CNF (identical variable
+    numbering, e.g. portfolio members) can exchange learned clauses:
+    every learnt is a logical consequence of the shared problem, so
+    adopting any subset of another member's learnts preserves both
+    [Sat] and [Unsat] verdicts. The hooks keep the solver decoupled
+    from any particular transport (see [Exchange] for the lock-free
+    ring the portfolio uses). *)
+
+type share = {
+  export : lbd:int -> Lit.t array -> unit;
+      (** called on every learned clause (unit learnts export with LBD
+          1), from the search hot path: it must be cheap, must not
+          block, and must copy the array if it retains it — the solver
+          hands over its live clause *)
+  import : unit -> (int * Lit.t array) list;
+      (** polled at restart boundaries (decision level 0); returns
+          [(lbd, literals)] pairs to adopt. Satisfied-at-root and
+          tautological clauses are dropped, units enqueue at level 0,
+          an empty clause settles the instance [Unsat], and imported
+          clauses keep their foreign LBD so database reduction can
+          reclaim them. Clauses mentioning variables the solver never
+          allocated are ignored. *)
+}
+
+val set_share : t -> share option -> unit
+(** Install (or with [None], remove) the sharing hooks. *)

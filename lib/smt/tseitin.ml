@@ -1,4 +1,8 @@
-type t = { sat : Sat.t; tt : Lit.t }
+type t = {
+  sat : Sat.t;
+  tt : Lit.t;
+  mutable tap : (Lit.t list -> unit) option;
+}
 
 (* fresh gate outputs actually encoded (constant-folded calls don't count) *)
 let m_gates = Obs.Metrics.counter "tseitin.gates"
@@ -9,7 +13,15 @@ let create () =
   let v = Sat.new_var sat in
   let tt = Lit.pos v in
   Sat.add_clause_permanent sat [ tt ];
-  { sat; tt }
+  { sat; tt; tap = None }
+
+let set_tap t f = t.tap <- f
+
+(* every permanent (definitional) clause flows through here so a tap —
+   the CNF recipe recorder — sees exactly what an encoding emitted *)
+let emit t c =
+  (match t.tap with None -> () | Some f -> f c);
+  Sat.add_clause_permanent t.sat c
 
 let solver t = t.sat
 let true_ t = t.tt
@@ -21,7 +33,7 @@ let assert_clause t c = Sat.add_clause t.sat c
 
 (* Assertions that must survive scope pops: definitional constraints whose
    wires are cached by encoders (e.g. the bit blaster's divider). *)
-let assert_permanent t l = Sat.add_clause_permanent t.sat [ l ]
+let assert_permanent t l = emit t [ l ]
 let push t = Sat.push t.sat
 let pop t = Sat.pop t.sat
 let not_ l = Lit.neg l
@@ -39,9 +51,9 @@ let and2 t a b =
     let o = fresh t in
     Obs.Metrics.incr m_gates;
     Obs.Metrics.add m_gate_clauses 3;
-    Sat.add_clause_permanent t.sat [ Lit.neg o; a ];
-    Sat.add_clause_permanent t.sat [ Lit.neg o; b ];
-    Sat.add_clause_permanent t.sat [ o; Lit.neg a; Lit.neg b ];
+    emit t [ Lit.neg o; a ];
+    emit t [ Lit.neg o; b ];
+    emit t [ o; Lit.neg a; Lit.neg b ];
     o
   end
 
@@ -58,10 +70,10 @@ let xor2 t a b =
     let o = fresh t in
     Obs.Metrics.incr m_gates;
     Obs.Metrics.add m_gate_clauses 4;
-    Sat.add_clause_permanent t.sat [ Lit.neg o; a; b ];
-    Sat.add_clause_permanent t.sat [ Lit.neg o; Lit.neg a; Lit.neg b ];
-    Sat.add_clause_permanent t.sat [ o; Lit.neg a; b ];
-    Sat.add_clause_permanent t.sat [ o; a; Lit.neg b ];
+    emit t [ Lit.neg o; a; b ];
+    emit t [ Lit.neg o; Lit.neg a; Lit.neg b ];
+    emit t [ o; Lit.neg a; b ];
+    emit t [ o; a; Lit.neg b ];
     o
   end
 
@@ -76,10 +88,10 @@ let mux t c a b =
     let o = fresh t in
     Obs.Metrics.incr m_gates;
     Obs.Metrics.add m_gate_clauses 4;
-    Sat.add_clause_permanent t.sat [ Lit.neg c; Lit.neg a; o ];
-    Sat.add_clause_permanent t.sat [ Lit.neg c; a; Lit.neg o ];
-    Sat.add_clause_permanent t.sat [ c; Lit.neg b; o ];
-    Sat.add_clause_permanent t.sat [ c; b; Lit.neg o ];
+    emit t [ Lit.neg c; Lit.neg a; o ];
+    emit t [ Lit.neg c; a; Lit.neg o ];
+    emit t [ c; Lit.neg b; o ];
+    emit t [ c; b; Lit.neg o ];
     o
   end
 

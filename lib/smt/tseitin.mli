@@ -52,3 +52,11 @@ val full_adder : t -> Lit.t -> Lit.t -> Lit.t -> Lit.t * Lit.t
 
 val lit_of_model : t -> Lit.t -> bool
 (** Value of a wire in the model of the last successful solve. *)
+
+val set_tap : t -> (Lit.t list -> unit) option -> unit
+(** Install (or with [None], remove) an observer of every {e permanent}
+    clause the context emits — gate definitions and
+    {!assert_permanent}s, in emission order, before solver-side
+    normalization. Used by [Cnfcache] to record an encoding once and
+    replay it into other contexts; scoped {!assert_clause}s are not
+    definitional and are not tapped. *)

@@ -274,6 +274,194 @@ let test_portfolio_agrees_with_sequential () =
 
 
 (* ------------------------------------------------------------------ *)
+(* learnt-clause exchange                                              *)
+(* ------------------------------------------------------------------ *)
+
+let clause lits = Array.of_list (List.map (fun v -> Lit.pos v) lits)
+
+let test_exchange_roundtrip () =
+  let ex = Smt.Exchange.create ~workers:3 ~capacity:8 in
+  Smt.Exchange.publish ex ~worker:0 ~lbd:2 (clause [ 1; 2 ]);
+  Smt.Exchange.publish ex ~worker:1 ~lbd:3 (clause [ 3 ]);
+  (* a worker never re-imports its own exports *)
+  let mine = Smt.Exchange.drain ex ~worker:0 in
+  Alcotest.(check int) "own outbox excluded" 1 (List.length mine);
+  Alcotest.(check bool)
+    "worker 0 sees worker 1's clause" true
+    (match mine with [ (3, c) ] -> c = clause [ 3 ] | _ -> false);
+  (* draining is cursor-based: nothing new, nothing returned *)
+  Alcotest.(check int) "drain is idempotent" 0
+    (List.length (Smt.Exchange.drain ex ~worker:0));
+  let theirs = Smt.Exchange.drain ex ~worker:2 in
+  Alcotest.(check int) "third party sees both" 2 (List.length theirs);
+  Alcotest.(check int) "published totals" 2 (Smt.Exchange.published ex)
+
+let test_exchange_overflow_drops_oldest () =
+  let capacity = 4 in
+  let ex = Smt.Exchange.create ~workers:2 ~capacity in
+  (* publish well past capacity: never blocks, oldest entries are
+     overwritten in place *)
+  for i = 1 to 11 do
+    Smt.Exchange.publish ex ~worker:0 ~lbd:2 (clause [ i ])
+  done;
+  let got = Smt.Exchange.drain ex ~worker:1 in
+  Alcotest.(check int) "only the newest [capacity] survive" capacity
+    (List.length got);
+  Alcotest.(check bool)
+    "survivors are the most recent, oldest first" true
+    (List.map snd got = List.map (fun i -> clause [ i ]) [ 8; 9; 10; 11 ]);
+  (* the reader's cursor has caught up; later traffic flows normally *)
+  Smt.Exchange.publish ex ~worker:0 ~lbd:1 (clause [ 12 ]);
+  Alcotest.(check bool)
+    "post-overflow publish delivered" true
+    (List.map snd (Smt.Exchange.drain ex ~worker:1) = [ clause [ 12 ] ]);
+  Alcotest.(check int) "published counts every publish" 12
+    (Smt.Exchange.published ex)
+
+(* The export hook must not perturb the search: a solver that exports
+   into an exchange nobody else writes to (so every import drains
+   empty) must take exactly the decision sequence of a plain solver. *)
+let test_share_export_does_not_perturb () =
+  let p = random_cnf ~seed:4242 ~nvars:60 ~nclauses:255 in
+  let r0, st0, _ = solve_with ~seed:17 p in
+  let ex = Smt.Exchange.create ~workers:2 ~capacity:64 in
+  let s = Sat.create ~seed:17 () in
+  for _ = 1 to p.Dimacs.nvars do
+    ignore (Sat.new_var s : int)
+  done;
+  List.iter (Sat.add_clause s) p.Dimacs.clauses;
+  Sat.set_share s
+    (Some
+       {
+         Sat.export =
+           (fun ~lbd lits -> Smt.Exchange.publish ex ~worker:0 ~lbd lits);
+         Sat.import = (fun () -> Smt.Exchange.drain ex ~worker:0);
+       });
+  let r1 = Sat.solve s in
+  let st1 = Sat.stats s in
+  Alcotest.(check bool) "verdicts equal" true (r0 = r1);
+  Alcotest.(check bool)
+    "decision sequence untouched" true
+    ((st0.Sat.decisions, st0.Sat.conflicts, st0.Sat.propagations)
+    = (st1.Sat.decisions, st1.Sat.conflicts, st1.Sat.propagations));
+  Alcotest.(check bool)
+    "learnt clauses were exported" true
+    (Smt.Exchange.published ex > 0)
+
+let test_share_import_filters () =
+  let s = Sat.create () in
+  let vp = Sat.new_var s and vq = Sat.new_var s and vr = Sat.new_var s in
+  let p = Lit.pos vp and q = Lit.pos vq and r = Lit.pos vr in
+  Sat.add_clause s [ p ];
+  Sat.add_clause s [ q; r ];
+  let batch = ref [] in
+  Sat.set_share s
+    (Some
+       {
+         Sat.export = (fun ~lbd:_ _ -> ());
+         Sat.import =
+           (fun () ->
+             let b = !batch in
+             batch := [];
+             b);
+       });
+  Alcotest.(check bool) "baseline sat" true (Sat.solve s = Sat.Sat);
+  let learnts0 = (Sat.stats s).Sat.learnts in
+  (* satisfied at root (p is a root unit) and out-of-range clauses must
+     both be dropped on import *)
+  batch :=
+    [ (2, [| p; q |]); (1, [| Lit.pos 99 |]) ];
+  Alcotest.(check bool) "still sat" true (Sat.solve s = Sat.Sat);
+  Alcotest.(check int)
+    "satisfied/foreign imports never stored" learnts0
+    (Sat.stats s).Sat.learnts;
+  (* a genuinely new consequence is adopted *)
+  batch := [ (2, [| q; Lit.neg r |]) ];
+  Alcotest.(check bool) "sat after real import" true (Sat.solve s = Sat.Sat);
+  Alcotest.(check int)
+    "imported clause stored as a learnt" (learnts0 + 1)
+    (Sat.stats s).Sat.learnts
+
+let test_portfolio_share_verdicts_stable () =
+  Par.Pool.with_pool ~jobs:4 (fun pool ->
+      let instances =
+        [ Dimacs.parse ring_cnf; Dimacs.parse multi_cnf;
+          Dimacs.parse ring_unsat_cnf ]
+        @ List.init 6 (fun i ->
+              random_cnf ~seed:(900 + i) ~nvars:50 ~nclauses:215)
+      in
+      List.iteri
+        (fun i p ->
+          let seq = Portfolio.solve p in
+          let shared = Portfolio.solve ~pool p in
+          let pure = Portfolio.solve ~pool ~share:false p in
+          let again = Portfolio.solve ~pool p in
+          Alcotest.(check bool)
+            (Printf.sprintf "instance %d: sharing preserves the verdict" i)
+            true
+            (seq.Portfolio.result = shared.Portfolio.result
+            && seq.Portfolio.result = pure.Portfolio.result
+            && seq.Portfolio.result = again.Portfolio.result);
+          match shared.Portfolio.model with
+          | Some m ->
+            Alcotest.(check bool)
+              (Printf.sprintf "instance %d: shared-race model sound" i)
+              true
+              (Dpll.eval m p.Dimacs.clauses)
+          | None ->
+            Alcotest.(check bool)
+              (Printf.sprintf "instance %d: no model only on unsat" i)
+              true
+              (shared.Portfolio.result = Sat.Unsat))
+        instances)
+
+(* ------------------------------------------------------------------ *)
+(* jobs parsing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_jobs () =
+  let ok s n =
+    Alcotest.(check bool)
+      (Printf.sprintf "parse %S" s)
+      true
+      (Par.parse_jobs s = Ok n)
+  in
+  let err s =
+    Alcotest.(check bool)
+      (Printf.sprintf "reject %S" s)
+      true
+      (match Par.parse_jobs s with Error _ -> true | Ok _ -> false)
+  in
+  ok "1" 1;
+  ok "4" 4;
+  ok " 8 " 8;
+  err "0";
+  err "-3";
+  err "abc";
+  err "2.5";
+  err ""
+
+let test_env_jobs_strict () =
+  let orig = Sys.getenv_opt "SCIDUCTION_JOBS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "SCIDUCTION_JOBS" (Option.value orig ~default:""))
+  @@ fun () ->
+  Unix.putenv "SCIDUCTION_JOBS" "3";
+  Alcotest.(check int) "valid env, lenient" 3 (Par.env_jobs ~default:1 ());
+  Alcotest.(check int) "valid env, strict" 3 (Par.env_jobs_exn ~default:1 ());
+  Unix.putenv "SCIDUCTION_JOBS" "zero";
+  Alcotest.(check int) "lenient falls back on garbage" 5
+    (Par.env_jobs ~default:5 ());
+  (match Par.env_jobs_exn ~default:5 () with
+  | _ -> Alcotest.fail "strict must reject a garbage SCIDUCTION_JOBS"
+  | exception Failure _ -> ());
+  Unix.putenv "SCIDUCTION_JOBS" "0";
+  match Par.env_jobs_exn () with
+  | _ -> Alcotest.fail "strict must reject a non-positive SCIDUCTION_JOBS"
+  | exception Failure _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* fan-out adapters                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -299,7 +487,10 @@ let test_bmc_sweep_agreement () =
           Alcotest.failf "%s: unbudgeted sweep exhausted" name
       in
       let seq = unwrap (Mc.Bmc.sweep ts ~max_depth) in
-      let par = unwrap (Mc.Bmc.sweep ~pool ts ~max_depth) in
+      (* force [jobs] claim-loop workers even where the hardware cap
+         would pick fewer, so the concurrent path (shared queue, best
+         CAS, status marking) is exercised on any machine *)
+      let par = unwrap (Mc.Bmc.sweep ~pool ~workers:jobs ts ~max_depth) in
       match (seq, par) with
       | None, None -> ()
       | Some (d_seq, _), Some (d_par, trace) ->
@@ -411,6 +602,29 @@ let () =
         [
           Alcotest.test_case "parallel verdicts = sequential verdicts" `Quick
             test_portfolio_agrees_with_sequential;
+        ] );
+      ( "exchange",
+        [
+          Alcotest.test_case "publish/drain roundtrip" `Quick
+            test_exchange_roundtrip;
+          Alcotest.test_case "overflow drops oldest, never blocks" `Quick
+            test_exchange_overflow_drops_oldest;
+        ] );
+      ( "sharing",
+        [
+          Alcotest.test_case "export alone does not perturb the search"
+            `Quick test_share_export_does_not_perturb;
+          Alcotest.test_case "satisfied and foreign imports dropped" `Quick
+            test_share_import_filters;
+          Alcotest.test_case "shared-race verdicts stable and sequential"
+            `Quick test_portfolio_share_verdicts_stable;
+        ] );
+      ( "jobs",
+        [
+          Alcotest.test_case "parse_jobs accepts positives only" `Quick
+            test_parse_jobs;
+          Alcotest.test_case "strict env validation raises" `Quick
+            test_env_jobs_strict;
         ] );
       ( "adapters",
         [

@@ -467,6 +467,91 @@ let test_divider_circuit () =
         expected_r (Solver.value solver "r"))
     [ (17, 5); (63, 1); (63, 63); (0, 7); (42, 0); (13, 13); (7, 9) ]
 
+(* ------------------------------------------------------------------ *)
+(* cross-context CNF recipe cache                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_cnfcache_cross_context_hits () =
+  Smt.Cnfcache.clear ();
+  let hits = Obs.Metrics.counter "bitblast.shared_hits" in
+  let misses = Obs.Metrics.counter "bitblast.shared_misses" in
+  Obs.Metrics.set_counter hits 0;
+  Obs.Metrics.set_counter misses 0;
+  let w = 4 in
+  let product_at k =
+    let solver = Solver.create () in
+    let x = Bv.var ~width:w "x" and y = Bv.var ~width:w "y" in
+    Solver.assert_formula solver
+      (Bv.eq (Bv.bmul x y) (Bv.const ~width:w k));
+    match Solver.check solver with
+    | Solver.Sat ->
+      let vx = Solver.value solver "x" and vy = Solver.value solver "y" in
+      Alcotest.(check int)
+        (Printf.sprintf "model multiplies to %d" k)
+        k
+        (vx * vy mod (1 lsl w));
+      true
+    | Solver.Unsat -> false
+    | Solver.Unknown _ -> Alcotest.fail "unexpected unknown"
+  in
+  (* first context records the mul:4 recipe, the rest replay it *)
+  Alcotest.(check bool) "6 is a product" true (product_at 6);
+  Alcotest.(check int) "first encoding misses" 1
+    (Obs.Metrics.counter_value misses);
+  Alcotest.(check bool) "13 is a product" true (product_at 13);
+  Alcotest.(check bool) "9 is a product" true (product_at 9);
+  Alcotest.(check int) "later contexts hit the shared recipe" 2
+    (Obs.Metrics.counter_value hits);
+  Alcotest.(check int) "one recipe in the table" 1
+    (Smt.Cnfcache.cached_recipes ())
+
+let test_cnfcache_constant_bypass () =
+  Smt.Cnfcache.clear ();
+  let hits = Obs.Metrics.counter "bitblast.shared_hits" in
+  let misses = Obs.Metrics.counter "bitblast.shared_misses" in
+  Obs.Metrics.set_counter hits 0;
+  Obs.Metrics.set_counter misses 0;
+  let w = 4 in
+  let solver = Solver.create () in
+  let x = Bv.var ~width:w "x" in
+  (* multiplication by a constant folds eagerly; the recipe cache must
+     stay out of the way *)
+  Solver.assert_formula solver
+    (Bv.eq (Bv.bmul x (Bv.const ~width:w 3)) (Bv.const ~width:w 9));
+  (match Solver.check solver with
+  | Solver.Sat -> Alcotest.(check int) "3x=9" 3 (Solver.value solver "x")
+  | _ -> Alcotest.fail "3x=9 must be sat");
+  Alcotest.(check int) "no recipe traffic on constant operands" 0
+    (Obs.Metrics.counter_value hits + Obs.Metrics.counter_value misses)
+
+let test_cnfcache_record_replay () =
+  (* record a tiny encoder and replay it twice into one context: the
+     two instances must constrain their own wires independently *)
+  let recipe =
+    Smt.Cnfcache.record ~n_inputs:2 (fun ctx inputs ->
+        [| [| Smt.Tseitin.and2 ctx inputs.(0) inputs.(1) |] |])
+  in
+  Alcotest.(check int) "two inputs" 2 (Smt.Cnfcache.n_inputs recipe);
+  Alcotest.(check int) "one aux (the gate output)" 1
+    (Smt.Cnfcache.n_aux recipe);
+  Alcotest.(check int) "three gate clauses" 3
+    (Smt.Cnfcache.n_clauses recipe);
+  let ctx = Smt.Tseitin.create () in
+  let a = Smt.Tseitin.fresh ctx and b = Smt.Tseitin.fresh ctx in
+  let o1 = (Smt.Cnfcache.replay recipe ctx [| a; b |]).(0).(0) in
+  let o2 = (Smt.Cnfcache.replay recipe ctx [| b; a |]).(0).(0) in
+  let sat = Smt.Tseitin.solver ctx in
+  let solve assumptions = Smt.Sat.solve_with_assumptions sat assumptions in
+  Alcotest.(check bool) "a&b with both true" true
+    (solve [ a; b; o1; o2 ] = Smt.Sat.Sat);
+  Alcotest.(check bool) "output forced false when an input is false" true
+    (solve [ a; Smt.Lit.neg b; o1 ] = Smt.Sat.Unsat);
+  Alcotest.(check bool) "replays are independent instances" true
+    (solve [ Smt.Lit.neg a; b; Smt.Lit.neg o1; o2 ] = Smt.Sat.Unsat);
+  match Smt.Cnfcache.replay recipe ctx [| a |] with
+  | _ -> Alcotest.fail "arity mismatch must be rejected"
+  | exception Invalid_argument _ -> ()
+
 let test_solver_unsat_arith () =
   (* x + 1 = x is unsatisfiable at any width *)
   let x = Bv.var ~width:8 "x" in
@@ -582,6 +667,15 @@ let () =
           Alcotest.test_case "division circuit" `Quick test_divider_circuit;
           Alcotest.test_case "x+1=x unsat" `Quick test_solver_unsat_arith;
           Alcotest.test_case "xor swap identity" `Quick test_solver_xor_swap;
+        ] );
+      ( "cnfcache",
+        [
+          Alcotest.test_case "recipes hit across contexts" `Quick
+            test_cnfcache_cross_context_hits;
+          Alcotest.test_case "constant operands bypass the cache" `Quick
+            test_cnfcache_constant_bypass;
+          Alcotest.test_case "record/replay round trip" `Quick
+            test_cnfcache_record_replay;
         ] );
       qsuite "bitblast-qcheck" [ prop_bitblast_vs_eval; prop_model_satisfies ];
       ( "dimacs",
