@@ -1289,28 +1289,28 @@ let micro () =
    running the same workloads unbudgeted and under caps generous enough
    never to trip. Both runs converge to identical answers, so the delta
    is pure metering overhead. *)
+(* warm up, then batch each measurement to >= ~50ms and take the best
+   of three so the sub-millisecond loops aren't measuring noise *)
+let best_of f =
+  let _, t1 = timed f in
+  let reps = max 1 (int_of_float (0.05 /. max 1e-9 t1)) in
+  let rec go k acc =
+    if k = 0 then acc
+    else
+      let _, t =
+        timed (fun () ->
+            for _ = 1 to reps do
+              f ()
+            done)
+      in
+      go (k - 1) (min acc (t /. float_of_int reps))
+  in
+  go 3 infinity
+
 let budget_overhead () =
   section "Budget metering overhead (generous caps, identical workloads)";
   let generous =
     Budget.limited ~iterations:1_000_000 ~conflicts:max_int ~seconds:3600.0 ()
-  in
-  (* warm up, then batch each measurement to >= ~50ms and take the best
-     of three so the sub-millisecond loops aren't measuring noise *)
-  let best_of f =
-    let _, t1 = timed f in
-    let reps = max 1 (int_of_float (0.05 /. max 1e-9 t1)) in
-    let rec go k acc =
-      if k = 0 then acc
-      else
-        let _, t =
-          timed (fun () ->
-              for _ = 1 to reps do
-                f ()
-              done)
-        in
-        go (k - 1) (min acc (t /. float_of_int reps))
-    in
-    go 3 infinity
   in
   let row name plain budgeted =
     let t_plain = best_of (fun () -> ignore (plain ())) in
@@ -1359,6 +1359,76 @@ let budget_overhead () =
       conv (Lstar.Learner.learn_exact ~budget:generous ~target:no_11 ()))
 
 (* ================================================================== *)
+(* Live telemetry plane overhead (EXPERIMENTS.md)                      *)
+(* ================================================================== *)
+
+(* The live plane's contract is that it only *reads*: the ticker
+   samples the registry from its own domain, the stats socket serves
+   whatever the ticker last saw, and the progress channel piggybacks on
+   iteration events the trace layer already handles. This experiment
+   runs the deobfuscation and BMC workloads three ways: everything off
+   (the shipping default — counters still bump, nothing else runs),
+   with tracing enabled (the pre-existing cost of building event
+   records), and with tracing plus the full plane — a 100 ms ticker, a
+   live stats socket, a 100 ms progress channel and watchdog polls.
+   The traced -> live delta is what the plane itself costs a run that
+   was already being observed; that is the number EXPERIMENTS.md
+   budgets at <= 2%. *)
+let live_overhead () =
+  section "Live telemetry plane overhead (ticker + stats socket + progress)";
+  let row name work =
+    Obs.reset ();
+    let t_off = best_of (fun () -> ignore (work ())) in
+    Obs.reset ();
+    Obs.enable ();
+    let t_traced = best_of (fun () -> ignore (work ())) in
+    Obs.set_progress_interval 0.1;
+    let sock = Filename.temp_file "sciduction_bench" ".sock" in
+    let ticker =
+      Obs.Live.start ~interval_ms:100
+        ~on_tick:(fun () -> Obs.check_stalls ~window:5.0)
+        ()
+    in
+    let server =
+      match Obs.Statsd.start ~path:sock ~ticker () with
+      | Ok s -> s
+      | Error msg ->
+        Obs.Live.stop ticker;
+        Obs.reset ();
+        failwith ("stats socket: " ^ msg)
+    in
+    let t_live =
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Statsd.stop server;
+          Obs.Live.stop ticker;
+          Obs.reset ())
+        (fun () -> best_of (fun () -> ignore (work ())))
+    in
+    Format.printf
+      "%-26s off %8.4fs | traced %8.4fs | live %8.4fs | plane %+6.2f%%@." name
+      t_off t_traced t_live
+      (100.0 *. ((t_live -. t_traced) /. max 1e-9 t_traced))
+  in
+  let p1_spec =
+    {
+      Ogis.Encode.width = 8;
+      ninputs = 2;
+      noutputs = 1;
+      library = Ogis.Component.fig8_p1;
+    }
+  in
+  let p1_oracle =
+    Ogis.Deobfuscate.oracle_of_program (B.interchange_obs_w ~width:8)
+  in
+  row "ogis/p1-interchange-8bit" (fun () ->
+      Ogis.Synth.synthesize p1_spec p1_oracle);
+  let bmc_ts =
+    Mc.Systems.mod_counter ~junk:10 ~bits:4 ~modulus:11 ~bad_value:15 ()
+  in
+  row "bmc/sweep-d24" (fun () -> conv (Mc.Bmc.sweep bmc_ts ~max_depth:24))
+
+(* ================================================================== *)
 
 let experiments =
   [
@@ -1375,6 +1445,7 @@ let experiments =
     ("par", par);
     ("micro", micro);
     ("budget", budget_overhead);
+    ("live", live_overhead);
   ]
 
 let () =

@@ -13,8 +13,11 @@
 
    Every application subcommand accepts --trace FILE (JSON-lines
    telemetry), --stats (console summary on exit), --quiet (suppress
-   diagnostics, keep the final verdict) and --jobs N (worker domains
-   for the parallel fan-outs; defaults to SCIDUCTION_JOBS or 1).
+   diagnostics, keep the final verdict), --jobs N (worker domains
+   for the parallel fan-outs; defaults to SCIDUCTION_JOBS or 1) and
+   --stats-socket PATH (serve live metrics, rates and heartbeat/stall
+   status over a Unix-domain socket while the run is in flight; scrape
+   it with `sciduction_cli stats --socket PATH` from another shell).
 
    Loop subcommands additionally accept resource governance flags:
    --timeout SECONDS and --max-conflicts N budget the run (an exhausted
@@ -59,7 +62,29 @@ let obs_term =
                 depth sweep, candidate re-checking). Default: \
                 $(b,SCIDUCTION_JOBS) or 1; 1 keeps everything sequential.")
   in
-  Term.(const (fun t s q j -> (t, s, q, j)) $ trace $ stats $ quiet $ jobs)
+  let stats_socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-socket" ] ~docv:"PATH"
+          ~env:(Cmd.Env.info "SCIDUCTION_STATS_SOCKET")
+          ~doc:"Serve live telemetry (metrics snapshots, per-interval \
+                rates, loop heartbeats, stall status) on a Unix-domain \
+                socket at $(docv) for the duration of the run; scrape it \
+                with $(b,sciduction_cli stats). Implies telemetry is on.")
+  in
+  let stall_after =
+    Arg.(
+      value & opt float 5.0
+      & info [ "stall-after" ] ~docv:"SECONDS"
+          ~doc:"With --stats-socket: flag a loop as stalled once no \
+                iteration has advanced for $(docv) seconds (a diagnostic \
+                stall_detected event and endpoint status; the run is never \
+                killed).")
+  in
+  Term.(
+    const (fun t s q j sock stall -> (t, s, q, j, sock, stall))
+    $ trace $ stats $ quiet $ jobs $ stats_socket $ stall_after)
 
 (* ---- resource governance shared by the loop subcommands ---- *)
 
@@ -125,14 +150,49 @@ let pp_exhausted fmt reason =
 
 (* [f] receives the pool ([None] when --jobs resolves to 1): verdicts do
    not depend on it, only wall-clock time does *)
-let with_obs (trace, stats, quiet, jobs) f =
+let with_obs (trace, stats, quiet, jobs, stats_socket, stall_after) f =
   Obs.set_quiet quiet;
-  if trace <> None || stats then begin
+  if trace <> None || stats || stats_socket <> None then begin
     Obs.enable ();
     Option.iter (fun path -> Obs.add_sink (Obs.jsonl_sink path)) trace
   end;
+  (* the live plane exists only when asked for: without --stats-socket
+     no ticker domain starts, no progress records appear, and the run
+     is byte-for-byte what it was before the plane existed *)
+  let live =
+    match stats_socket with
+    | None -> Ok None
+    | Some path -> (
+      Obs.set_progress_interval 0.25;
+      let ticker =
+        Obs.Live.start ~interval_ms:250
+          ~on_tick:(fun () -> Obs.check_stalls ~window:stall_after)
+          ()
+      in
+      match Obs.Statsd.start ~path ~ticker () with
+      | Ok server -> Ok (Some (ticker, server))
+      | Error msg ->
+        Obs.Live.stop ticker;
+        Error msg)
+  in
+  match live with
+  | Error msg ->
+    Obs.shutdown ();
+    Format.eprintf "sciduction_cli: %s@." msg;
+    3
+  | Ok live ->
   let code =
-    Fun.protect ~finally:Obs.shutdown (fun () ->
+    Fun.protect
+      ~finally:(fun () ->
+        (* server first (it reads the ticker), then the ticker, then the
+           sinks; the socket file is gone before the process exits *)
+        Option.iter
+          (fun (ticker, server) ->
+            Obs.Statsd.stop server;
+            Obs.Live.stop ticker)
+          live;
+        Obs.shutdown ())
+      (fun () ->
         (* typed failures become a one-line diagnostic and a distinct
            exit code, never a backtrace; jobs validation lives inside so
            --jobs 0 or a mistyped SCIDUCTION_JOBS gets the same
@@ -388,8 +448,12 @@ let cegar_cmd =
 
 (* ---- bmc ---- *)
 
-let bmc_run pool budget junk bits modulus bad_value max_depth =
-  let t = Mc.Systems.mod_counter ~junk ~bits ~modulus ~bad_value () in
+let bmc_run pool budget shift junk bits modulus bad_value max_depth =
+  let t =
+    match shift with
+    | Some len -> Mc.Systems.shift_register ~len
+    | None -> Mc.Systems.mod_counter ~junk ~bits ~modulus ~bad_value ()
+  in
   Obs.info "system %s: %d latches@." t.Mc.Ts.name t.Mc.Ts.num_latches;
   match Mc.Bmc.sweep ?pool ~budget t ~max_depth with
   | Budget.Converged (Some (depth, trace)) ->
@@ -418,13 +482,22 @@ let bmc_cmd =
       value & opt int 16
       & info [ "max-depth" ] ~docv:"N" ~doc:"Largest unrolling depth to try.")
   in
+  let shift =
+    Arg.(
+      value
+      & opt (some (positive_int_conv "--shift")) None
+      & info [ "shift" ] ~docv:"LEN"
+          ~doc:"Check a $(docv)-stage shift register instead of the counter \
+                (safe: the bad state is unreachable at every depth).")
+  in
   Cmd.v
     (Cmd.info "bmc" ~doc:"Bounded model checking sweep over growing depths")
     Term.(
-      const (fun obs budget junk bits modulus bad_value max_depth ->
+      const (fun obs budget shift junk bits modulus bad_value max_depth ->
           with_obs obs (fun pool ->
-              bmc_run pool budget junk bits modulus bad_value max_depth))
-      $ obs_term $ budget_term $ junk $ bits $ modulus $ bad_value $ max_depth)
+              bmc_run pool budget shift junk bits modulus bad_value max_depth))
+      $ obs_term $ budget_term $ shift $ junk $ bits $ modulus $ bad_value
+      $ max_depth)
 
 (* ---- invgen ---- *)
 
@@ -716,6 +789,47 @@ let run_cmd =
           with_obs obs (fun _pool -> run_run file bindings machine))
       $ obs_term $ file $ bindings $ machine)
 
+(* ---- stats (scrape a live run's endpoint) ---- *)
+
+let stats_run socket metrics =
+  match socket with
+  | None ->
+    Format.eprintf
+      "sciduction_cli: no socket (pass --socket PATH, or set \
+       SCIDUCTION_STATS_SOCKET)@.";
+    3
+  | Some path -> (
+    let target = if metrics then "/metrics" else "/json" in
+    match Obs.Statsd.fetch ~path ~target () with
+    | Ok body ->
+      print_string body;
+      0
+    | Error msg ->
+      Format.eprintf "sciduction_cli: %s@." msg;
+      3)
+
+let stats_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~env:(Cmd.Env.info "SCIDUCTION_STATS_SOCKET")
+          ~doc:"Stats socket of the run to scrape (the path the run was \
+                given via --stats-socket).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the Prometheus text exposition ($(i,/metrics)) \
+                instead of the JSON document ($(i,/json)).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Scrape the live stats endpoint of a running sciduction_cli")
+    Term.(const stats_run $ socket $ metrics)
+
 (* ---- table ---- *)
 
 let table_run () =
@@ -738,5 +852,5 @@ let () =
           [
             deobfuscate_cmd; timing_cmd; transmission_cmd; cegar_cmd;
             bmc_cmd; invgen_cmd; lstar_cmd; table_cmd; run_cmd;
-            export_chrome_cmd; report_cmd;
+            export_chrome_cmd; report_cmd; stats_cmd;
           ]))

@@ -29,6 +29,9 @@ type loop_state = {
   mutable counterexamples : int;
   mutable exhausted : bool;
       (* a budget_exhausted was seen for the current run of this loop *)
+  mutable last_progress : int;
+      (* highest iteration a progress record reported for the current
+         run; -1 before the first one *)
 }
 
 let loops : (string, loop_state) Hashtbl.t = Hashtbl.create 8
@@ -44,6 +47,7 @@ let loop_state name =
         iterations = 0;
         counterexamples = 0;
         exhausted = false;
+        last_progress = -1;
       }
     in
     Hashtbl.add loops name st;
@@ -52,7 +56,8 @@ let loop_state name =
 let known_events =
   [
     "loop_started"; "iteration"; "candidate"; "oracle_verdict";
-    "counterexample"; "solver_call"; "budget_exhausted"; "loop_finished";
+    "counterexample"; "solver_call"; "progress"; "stall_detected";
+    "budget_exhausted"; "loop_finished";
   ]
 
 let known_budget_reasons = [ "iterations"; "conflicts"; "deadline"; "solver" ]
@@ -155,7 +160,8 @@ let check_event lineno r =
       (match name with
       | "loop_started" ->
         st.started <- st.started + 1;
-        st.exhausted <- false
+        st.exhausted <- false;
+        st.last_progress <- -1
       | _ when st.started = 0 ->
         error "line %d: %s for loop %S before loop_started" lineno name loop
       | _ -> ());
@@ -187,6 +193,43 @@ let check_event lineno r =
             lineno loop reason
         | Some _ -> ()
       end
+      | _ -> ());
+      let attr_int k =
+        Option.bind (Json.member "attrs" r) (fun a ->
+            Option.bind (Json.member k a) Json.to_int)
+      in
+      (* progress reports the max iteration reached so far, so the
+         sequence must be non-decreasing within a run *)
+      (match name with
+      | "progress" -> (
+        match attr_int "iteration" with
+        | None ->
+          error "line %d: progress for loop %S without an iteration" lineno
+            loop
+        | Some i ->
+          if i < st.last_progress then
+            error
+              "line %d: progress for loop %S went backwards (%d after %d)"
+              lineno loop i st.last_progress;
+          st.last_progress <- max st.last_progress i)
+      | "stall_detected" ->
+        if attr_int "iteration" = None then
+          error "line %d: stall_detected for loop %S without an iteration"
+            lineno loop;
+        (match
+           Option.bind (Json.member "attrs" r) (fun a ->
+               Option.bind (Json.member "seconds_stalled" a) Json.to_float)
+         with
+        | None ->
+          error
+            "line %d: stall_detected for loop %S without seconds_stalled"
+            lineno loop
+        | Some s when s <= 0.0 ->
+          error
+            "line %d: stall_detected for loop %S with non-positive \
+             seconds_stalled"
+            lineno loop
+        | Some _ -> ())
       | _ -> ());
       match name with
       | "iteration" -> st.iterations <- st.iterations + 1

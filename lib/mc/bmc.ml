@@ -166,6 +166,21 @@ type partial = {
   reason : Budget.reason;
 }
 
+(* Budget headroom attached to every iteration record, so a progress
+   heartbeat mid-sweep answers "how much runway is left" without a
+   second channel; unlimited dimensions are omitted, not sent as
+   sentinels. *)
+let budget_attrs meter =
+  let conflicts =
+    match Budget.remaining_conflicts meter with
+    | Some n -> [ ("conflicts_left", Obs.Int n) ]
+    | None -> []
+  in
+  match Budget.deadline meter with
+  | Some dl ->
+    ("deadline_in", Obs.Float (dl -. Unix.gettimeofday ())) :: conflicts
+  | None -> conflicts
+
 (* the budget_exhausted loop event, then finish: terminal for the loop *)
 let exhaust lp ~proved_depth reason =
   Obs.Loop.budget_exhausted lp
@@ -292,7 +307,9 @@ let sweep_par ~start ~meter ?workers pool (ts : Ts.t) ~max_depth =
           | None -> (
             Obs.Loop.iteration lp
               (Atomic.fetch_and_add iter_ix 1)
-              ~attrs:[ ("depth", Obs.Int lo); ("hi", Obs.Int hi) ];
+              ~attrs:
+                (("depth", Obs.Int lo) :: ("hi", Obs.Int hi)
+                :: budget_attrs meter);
             Sat.set_limits solver (Smt.Govern.limits_of_meter meter);
             let solve_range lo hi =
               let c0 = Sat.num_conflicts solver in
@@ -397,7 +414,8 @@ let sweep_seq ~start ~meter (ts : Ts.t) ~max_depth =
       match Budget.tick meter with
       | Some reason -> exhaust lp ~proved_depth:(depth - 1) reason
       | None -> (
-        Obs.Loop.iteration lp i ~attrs:[ ("depth", Obs.Int depth) ];
+        Obs.Loop.iteration lp i
+          ~attrs:(("depth", Obs.Int depth) :: budget_attrs meter);
         Sat.set_limits solver (Smt.Govern.limits_of_meter meter);
         let c0 = Sat.num_conflicts solver in
         let q = check_depth sess ~depth in

@@ -630,9 +630,10 @@ let pp_metrics ppf metrics =
           let pct p =
             Metrics.percentile_of_buckets ~buckets ~count ~max p
           in
-          line "  %-28s count=%d mean=%.1f p50=%d p90=%d max=%d@." name count
+          line "  %-28s count=%d mean=%.1f p50=%d p90=%d p99=%d max=%d@." name
+            count
             (if count = 0 then 0.0 else float_of_int sum /. float_of_int count)
-            (pct 50.0) (pct 90.0) max
+            (pct 50.0) (pct 90.0) (pct 99.0) max
         | None -> ())
       | _ -> ())
     metrics;
@@ -651,9 +652,14 @@ let pp_metrics ppf metrics =
       (shared_hits + shared_misses);
   let exported = cval "portfolio.clauses_exported" in
   let imported = cval "portfolio.clauses_imported" in
-  if exported + imported > 0 then
+  let dropped = cval "exchange.dropped" in
+  if exported + imported > 0 then begin
     line "  clause sharing               %d exported, %d imported@." exported
-      imported
+      imported;
+    if dropped > 0 then
+      line "  clauses dropped in transit   %d (%.1f%% of exports)@." dropped
+        (100.0 *. float_of_int dropped /. float_of_int (max 1 exported))
+  end
 
 let pp_report ?(top = 12) ppf a =
   let line fmt = Format.fprintf ppf fmt in
@@ -742,6 +748,7 @@ let json_of_metric v =
         ("sum", Json.Int sum);
         ("p50", Json.Int (pct 50.0));
         ("p90", Json.Int (pct 90.0));
+        ("p99", Json.Int (pct 99.0));
         ("max", Json.Int max);
       ]
   | None -> v

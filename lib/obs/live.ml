@@ -1,0 +1,187 @@
+type sample = {
+  ts : float;
+  metrics : (string * Metrics.snapshot_value) list;
+}
+
+(* The ticker runs on a systhread of the spawning domain, NOT on a
+   domain of its own: in OCaml 5 every extra domain participates in
+   each stop-the-world minor collection, and on a single-core host the
+   kernel round-trip to an otherwise-idle domain's backup thread costs
+   the mutator ~0.7ms per minor GC — an allocation-heavy solver run
+   can double in wall time from one sleeping domain. A thread blocked
+   in [Unix.select] takes no part in the STW protocol and measures at
+   noise level, and the tick's actual work is microseconds every
+   interval. Stopping uses a self-pipe: the loop sleeps in [select]
+   with the interval as timeout, and [stop] writes one byte to wake it
+   immediately instead of waiting out the interval. *)
+type t = {
+  interval : float;
+  capacity : int;
+  on_tick : unit -> unit;
+  lock : Mutex.t;
+  ring : sample array;
+  mutable count : int; (* samples ever pushed; ring slot = count mod capacity *)
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  mutable thread : Thread.t option;
+  mutable stopped : bool;
+}
+
+(* ----- GC sampling ----- *)
+
+let m_gc_minor = Metrics.counter "gc.minor_collections"
+let m_gc_major = Metrics.counter "gc.major_collections"
+let m_gc_compactions = Metrics.counter "gc.compactions"
+let m_gc_promoted = Metrics.counter "gc.promoted_words"
+let m_gc_minor_words = Metrics.gauge "gc.minor_words"
+let m_gc_heap_words = Metrics.gauge "gc.heap_words"
+let m_gc_top_heap_words = Metrics.gauge "gc.top_heap_words"
+
+let sample_gc () =
+  let s = Gc.quick_stat () in
+  Metrics.set_counter m_gc_minor s.Gc.minor_collections;
+  Metrics.set_counter m_gc_major s.Gc.major_collections;
+  Metrics.set_counter m_gc_compactions s.Gc.compactions;
+  Metrics.set_counter m_gc_promoted (int_of_float s.Gc.promoted_words);
+  Metrics.set_gauge m_gc_minor_words s.Gc.minor_words;
+  Metrics.set_gauge m_gc_heap_words (float_of_int s.Gc.heap_words);
+  Metrics.set_gauge m_gc_top_heap_words (float_of_int s.Gc.top_heap_words)
+
+(* ----- ring ----- *)
+
+let push t s =
+  Mutex.lock t.lock;
+  (* strictly monotone timestamps even if the wall clock steps back:
+     rate denominators must stay positive *)
+  let s =
+    if t.count = 0 then s
+    else begin
+      let last = t.ring.((t.count - 1) mod t.capacity) in
+      if s.ts > last.ts then s else { s with ts = last.ts +. 1e-9 }
+    end
+  in
+  t.ring.(t.count mod t.capacity) <- s;
+  t.count <- t.count + 1;
+  Mutex.unlock t.lock
+
+let tick_now t =
+  sample_gc ();
+  push t { ts = Unix.gettimeofday (); metrics = Metrics.snapshot () };
+  t.on_tick ()
+
+let run t =
+  let buf = Bytes.create 1 in
+  let rec loop () =
+    match Unix.select [ t.stop_r ] [] [] t.interval with
+    | [], _, _ ->
+      tick_now t;
+      loop ()
+    | _ ->
+      ignore (Unix.read t.stop_r buf 0 1 : int)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+let start ?(interval_ms = 250) ?(capacity = 64) ?(on_tick = ignore) () =
+  let interval = float_of_int (max 1 interval_ms) /. 1000.0 in
+  let capacity = max 2 capacity in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  let t =
+    {
+      interval;
+      capacity;
+      on_tick;
+      lock = Mutex.create ();
+      ring = Array.make capacity { ts = neg_infinity; metrics = [] };
+      count = 0;
+      stop_r;
+      stop_w;
+      thread = None;
+      stopped = false;
+    }
+  in
+  tick_now t;
+  t.thread <- Some (Thread.create run t);
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1 : int);
+    Option.iter Thread.join t.thread;
+    t.thread <- None;
+    Unix.close t.stop_r;
+    Unix.close t.stop_w
+  end
+
+let interval_s t = t.interval
+
+let samples t =
+  Mutex.lock t.lock;
+  let n = min t.count t.capacity in
+  let out =
+    List.init n (fun i -> t.ring.((t.count - n + i) mod t.capacity))
+  in
+  Mutex.unlock t.lock;
+  out
+
+let latest t =
+  Mutex.lock t.lock;
+  let s =
+    if t.count = 0 then None
+    else Some t.ring.((t.count - 1) mod t.capacity)
+  in
+  Mutex.unlock t.lock;
+  s
+
+(* ----- rates ----- *)
+
+let rates_between ~prev ~cur =
+  let dt = cur.ts -. prev.ts in
+  if dt <= 0.0 then []
+  else
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | Metrics.Counter c when c > 0 ->
+          let p =
+            match List.assoc_opt name prev.metrics with
+            | Some (Metrics.Counter p) -> p
+            | _ -> 0
+          in
+          (* c < p means the counter was reset inside the window; its
+             growth since the reset is the best available delta *)
+          let delta = if c >= p then c - p else c in
+          Some (name, float_of_int delta /. dt)
+        | _ -> None)
+      cur.metrics
+
+let ends t =
+  Mutex.lock t.lock;
+  let r =
+    if t.count < 2 then None
+    else begin
+      let n = min t.count t.capacity in
+      Some
+        ( t.ring.((t.count - n) mod t.capacity),
+          t.ring.((t.count - 2) mod t.capacity),
+          t.ring.((t.count - 1) mod t.capacity) )
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let rates t =
+  match ends t with
+  | None -> []
+  | Some (_, prev, cur) -> rates_between ~prev ~cur
+
+let window_rates t =
+  match ends t with
+  | None -> []
+  | Some (oldest, _, cur) -> rates_between ~prev:oldest ~cur
+
+let window_seconds t =
+  match ends t with
+  | None -> 0.0
+  | Some (oldest, _, cur) -> cur.ts -. oldest.ts

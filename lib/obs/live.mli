@@ -1,0 +1,71 @@
+(** The live half of the telemetry plane: a background ticker that
+    samples the {!Metrics} registry into a bounded ring of timestamped
+    snapshots and derives per-interval rates from consecutive deltas.
+
+    The hot path is untouched: instrumented code still performs its one
+    fetch-and-add per counter bump whether or not a ticker is running —
+    the ticker only {e reads} the registry, from a background systhread,
+    every [interval_ms]. A systhread rather than a domain on purpose:
+    an extra domain joins every stop-the-world minor collection, which
+    on a single-core host taxes an allocation-heavy solver run by
+    ~0.7ms {e per minor GC}, while a thread parked in [Unix.select]
+    costs nothing (see the [live] bench experiment).
+    Each tick also refreshes the GC metrics
+    ([gc.minor_collections], [gc.major_collections], [gc.compactions],
+    [gc.promoted_words], plus heap-size gauges) from [Gc.quick_stat],
+    so allocation pressure and the stop-all-domains collection cadence
+    are visible in the same rate window as solver counters, and then
+    runs the caller's [on_tick] hook (the CLI points it at
+    [Obs.check_stalls]).
+
+    Timestamps in the ring are strictly monotone (a wall-clock step
+    back is clamped), so rate denominators are always positive. The
+    ring keeps the last [capacity] samples; older ones fall off. *)
+
+type sample = {
+  ts : float;  (** wall-clock seconds (Unix epoch), strictly monotone *)
+  metrics : (string * Metrics.snapshot_value) list;
+}
+
+type t
+
+val start : ?interval_ms:int -> ?capacity:int -> ?on_tick:(unit -> unit) -> unit -> t
+(** Take one sample immediately, then start a thread that samples every
+    [interval_ms] (default 250, clamped to >= 1) until {!stop}. The
+    ring holds [capacity] samples (default 64, clamped to >= 2). *)
+
+val stop : t -> unit
+(** Wake and join the ticker thread. Idempotent. *)
+
+val tick_now : t -> unit
+(** Take one sample synchronously on the calling domain (tests, and a
+    final sample at shutdown). Safe alongside the background ticker. *)
+
+val interval_s : t -> float
+val samples : t -> sample list
+(** Retained samples, oldest first (at most [capacity]). *)
+
+val latest : t -> sample option
+
+val rates_between : prev:sample -> cur:sample -> (string * float) list
+(** Per-second rate of every counter with a positive current value,
+    from the delta between two samples. A counter that shrank between
+    the samples was reset mid-window; its growth since the reset is the
+    best available delta (Prometheus [rate()] semantics), so a
+    [Metrics.reset] never yields a negative rate. Empty when the
+    samples do not advance time. *)
+
+val rates : t -> (string * float) list
+(** {!rates_between} the two newest samples — the per-interval rates
+    (conflicts/s, propagations/s, ...). Empty until two samples exist. *)
+
+val window_rates : t -> (string * float) list
+(** {!rates_between} the oldest and newest retained samples: the same
+    rates smoothed over the whole ring. *)
+
+val window_seconds : t -> float
+(** Time spanned by the retained samples (0 with fewer than two). *)
+
+val sample_gc : unit -> unit
+(** Refresh the [gc.*] registry entries from [Gc.quick_stat]. Called on
+    every tick; exposed so one-shot snapshots can include GC stats. *)

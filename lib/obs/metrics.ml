@@ -118,6 +118,9 @@ let buckets_of h =
   b
 
 let percentile_of_buckets ~buckets ~count ~max:hmax p =
+  if not (p > 0.0 && p <= 100.0) then
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics.percentile: p must be in (0, 100], got %g" p);
   if count <= 0 then 0
   else begin
     let rank =
@@ -175,6 +178,23 @@ let snapshot () =
       (name, v))
     entries
   |> List.sort compare
+
+let to_json = function
+  | Counter c -> Json.Int c
+  | Gauge g -> Json.Float g
+  | Histogram { count; sum; min; max; buckets } ->
+    Json.Obj
+      [
+        ("count", Json.Int count);
+        ("sum", Json.Int sum);
+        ("min", Json.Int min);
+        ("max", Json.Int max);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (le, n) -> Json.List [ Json.Int le; Json.Int n ])
+               buckets) );
+      ]
 
 let reset () =
   Mutex.lock registry_lock;

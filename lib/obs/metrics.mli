@@ -46,12 +46,14 @@ val hist_percentile : histogram -> float -> int
 (** [hist_percentile h p] for [p] in (0, 100]: the inclusive upper bound
     of the first power-of-two bucket holding the ceil(p/100 * count)-th
     observation, clamped to the exact maximum (so [p = 100.0] is exact).
-    0 when empty. *)
+    0 when empty. Raises [Invalid_argument] when [p] is outside
+    (0, 100] — a p0 or p101 is a caller bug, not a clampable request. *)
 
 val percentile_of_buckets :
   buckets:(int * int) list -> count:int -> max:int -> float -> int
-(** Same estimate over an exported bucket list (snapshot form, or a
-    bucket list parsed back from a trace's metrics record). *)
+(** Same estimate (and same [p] validation) over an exported bucket
+    list (snapshot form, or a bucket list parsed back from a trace's
+    metrics record). *)
 
 type snapshot_value =
   | Counter of int
@@ -68,6 +70,10 @@ type snapshot_value =
 
 val snapshot : unit -> (string * snapshot_value) list
 (** Every registered instrument, sorted by name. *)
+
+val to_json : snapshot_value -> Json.t
+(** The trace/stats-endpoint rendering: counters as ints, gauges as
+    floats, histograms as [{count, sum, min, max, buckets}]. *)
 
 val reset : unit -> unit
 (** Zero all values; registrations (and the refs instrumented code

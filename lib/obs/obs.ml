@@ -1,6 +1,9 @@
 module Json = Json
 module Metrics = Metrics
 module Analyze = Analyze
+module Heartbeat = Heartbeat
+module Live = Live
+module Statsd = Statsd
 
 type value =
   | Int of int
@@ -105,23 +108,6 @@ let event_record ~t ~name ~loop ~attrs =
       ("attrs", json_of_attrs attrs);
     ]
 
-let json_of_snapshot_value = function
-  | Metrics.Counter c -> Json.Int c
-  | Metrics.Gauge g -> Json.Float g
-  | Metrics.Histogram { count; sum; min; max; buckets } ->
-    Json.Obj
-      [
-        ("count", Json.Int count);
-        ("sum", Json.Int sum);
-        ("min", Json.Int min);
-        ("max", Json.Int max);
-        ( "buckets",
-          Json.List
-            (List.map
-               (fun (le, n) -> Json.List [ Json.Int le; Json.Int n ])
-               buckets) );
-      ]
-
 let metrics_record () =
   Json.Obj
     [
@@ -130,7 +116,7 @@ let metrics_record () =
       ( "metrics",
         Json.Obj
           (List.map
-             (fun (name, v) -> (name, json_of_snapshot_value v))
+             (fun (name, v) -> (name, Metrics.to_json v))
              (Metrics.snapshot ())) );
     ]
 
@@ -138,11 +124,29 @@ let close_sinks () =
   List.iter (fun s -> s.close ()) !sinks;
   sinks := []
 
+(* ----- heartbeat / progress plumbing -----
+
+   [progress_interval] <= 0 keeps the progress channel silent, so
+   traces written by existing callers are byte-for-byte what they were;
+   the CLI turns it on only alongside the stats socket. Emission is
+   piggybacked on [emit]'s Iteration branch with [obs_lock] already
+   held, so a progress record can never interleave mid-trace-line and
+   never outlives its loop's [loop_finished]. *)
+
+let progress_interval = ref 0.0
+let set_progress_interval s = progress_interval := s
+
+(* loop name -> t of last progress record; obs_lock guards it *)
+let last_progress : (string, float) Hashtbl.t = Hashtbl.create 8
+let m_stalls = Metrics.counter "obs.stalls_detected"
+
 let shutdown () =
   Mutex.lock obs_lock;
   if !enabled_flag && !sinks <> [] then emit_record (metrics_record ());
   close_sinks ();
   enabled_flag := false;
+  Hashtbl.reset last_progress;
+  Heartbeat.reset ();
   Mutex.unlock obs_lock;
   depth () := 0;
   loop_stack () := []
@@ -153,6 +157,9 @@ let reset () =
   enabled_flag := false;
   Hashtbl.reset span_aggs;
   Hashtbl.reset loop_aggs;
+  Hashtbl.reset last_progress;
+  progress_interval := 0.0;
+  Heartbeat.reset ();
   Mutex.unlock obs_lock;
   depth () := 0;
   loop_stack () := [];
@@ -260,6 +267,13 @@ type event =
   | Oracle_verdict of { loop : string; verdict : string; attrs : attrs }
   | Counterexample of { loop : string; attrs : attrs }
   | Solver_call of { loop : string; result : string; attrs : attrs }
+  | Progress of { loop : string; iteration : int; attrs : attrs }
+  | Stall_detected of {
+      loop : string;
+      iteration : int;
+      seconds_stalled : float;
+      attrs : attrs;
+    }
   | Budget_exhausted of { loop : string; reason : string; attrs : attrs }
   | Loop_finished of { loop : string; attrs : attrs }
 
@@ -283,7 +297,8 @@ let loop_agg_of name =
 let emit ev =
   if !enabled_flag then begin
     Mutex.lock obs_lock;
-    let t = now () -. !t0 in
+    let wall = now () in
+    let t = wall -. !t0 in
     let name, loop, attrs =
       match ev with
       | Loop_started { loop; attrs } ->
@@ -305,11 +320,74 @@ let emit ev =
           (loop_agg_of loop).l_solver_calls
           <- (loop_agg_of loop).l_solver_calls + 1;
         ("solver_call", loop, ("result", String result) :: attrs)
+      | Progress { loop; iteration; attrs } ->
+        ("progress", loop, ("iteration", Int iteration) :: attrs)
+      | Stall_detected { loop; iteration; seconds_stalled; attrs } ->
+        ( "stall_detected",
+          loop,
+          ("iteration", Int iteration)
+          :: ("seconds_stalled", Float seconds_stalled)
+          :: attrs )
       | Budget_exhausted { loop; reason; attrs } ->
         ("budget_exhausted", loop, ("reason", String reason) :: attrs)
       | Loop_finished { loop; attrs } -> ("loop_finished", loop, attrs)
     in
     emit_record (event_record ~t ~name ~loop ~attrs);
+    (* heartbeat bookkeeping and the derived progress channel, still
+       under [obs_lock]: the watchdog can never see a loop advance
+       before the advancing record is in the trace, and a progress
+       record can never follow its loop's terminal event *)
+    (match ev with
+    | Loop_started { loop; _ } -> Heartbeat.started ~loop ~now:wall
+    | Iteration { loop; index; attrs } ->
+      (* parallel sweeps hand out iteration indices before taking the
+         lock, so records may arrive out of order; the heartbeat keeps
+         the max, which is what progress reports *)
+      let reached =
+        Heartbeat.beat ~loop ~now:wall ~iteration:index
+          ~attrs:(List.map (fun (k, v) -> (k, json_of_value v)) attrs)
+      in
+      let iv = !progress_interval in
+      if iv > 0.0 then begin
+        let due =
+          match Hashtbl.find_opt last_progress loop with
+          | Some last -> t -. last >= iv
+          | None -> true
+        in
+        if due then begin
+          Hashtbl.replace last_progress loop t;
+          emit_record
+            (event_record ~t ~name:"progress" ~loop
+               ~attrs:(("iteration", Int reached) :: attrs))
+        end
+      end
+    | Budget_exhausted { loop; _ } | Loop_finished { loop; _ } ->
+      Heartbeat.finish ~loop;
+      Hashtbl.remove last_progress loop
+    | Candidate _ | Oracle_verdict _ | Counterexample _ | Solver_call _
+    | Progress _ | Stall_detected _ ->
+      ());
+    Mutex.unlock obs_lock
+  end
+
+let check_stalls ~window =
+  if !enabled_flag && window > 0.0 then begin
+    Mutex.lock obs_lock;
+    let wall = now () in
+    let t = wall -. !t0 in
+    List.iter
+      (fun st ->
+        Metrics.incr m_stalls;
+        emit_record
+          (event_record ~t ~name:"stall_detected" ~loop:st.Heartbeat.hb_loop
+             ~attrs:
+               [
+                 ("iteration", Int st.Heartbeat.hb_iteration);
+                 ( "seconds_stalled",
+                   Float (wall -. st.Heartbeat.hb_last_advance) );
+                 ("window", Float window);
+               ]))
+      (Heartbeat.poll ~now:wall ~window);
     Mutex.unlock obs_lock
   end
 
@@ -428,9 +506,10 @@ let pp_summary ppf () =
         | Metrics.Gauge g -> line "  %-28s %g@." name g
         | Metrics.Histogram { count; sum; min = _; max; buckets } ->
           let pct p = Metrics.percentile_of_buckets ~buckets ~count ~max p in
-          line "  %-28s count=%d mean=%.1f p50=%d p90=%d max=%d@." name count
+          line "  %-28s count=%d mean=%.1f p50=%d p90=%d p99=%d max=%d@." name
+            count
             (if count = 0 then 0.0 else float_of_int sum /. float_of_int count)
-            (pct 50.0) (pct 90.0) max)
+            (pct 50.0) (pct 90.0) (pct 99.0) max)
       metrics;
     (* derived: bit-blast cache hit rate *)
     let cval name =
@@ -460,9 +539,14 @@ let pp_summary ppf () =
        exports: every export is importable by each other member) *)
     let exported = cval "portfolio.clauses_exported" in
     let imported = cval "portfolio.clauses_imported" in
-    if exported + imported > 0 then
+    let dropped = cval "exchange.dropped" in
+    if exported + imported > 0 then begin
       line "  clause sharing               %d exported, %d imported@."
-        exported imported
+        exported imported;
+      if dropped > 0 then
+        line "  clauses dropped in transit   %d (%.1f%% of exports)@." dropped
+          (100.0 *. float_of_int dropped /. float_of_int (max 1 exported))
+    end
   end
 
 (* ----- Chrome trace_event export ----- *)

@@ -26,6 +26,21 @@ module Analyze = Analyze
 (** The read side: trace ingestion, convergence diagnostics, flame
     profiles, and the cross-trace regression diff. *)
 
+module Heartbeat = Heartbeat
+(** Per-loop liveness ledger behind {!check_stalls} and the stats
+    endpoint's loop table. *)
+
+module Live = Live
+(** The snapshot ticker: a background thread sampling the metrics
+    registry (and [Gc.quick_stat]) into a bounded ring, with
+    per-interval and whole-window rates derived from consecutive
+    snapshots. *)
+
+module Statsd = Statsd
+(** The scrapeable stats endpoint over a Unix-domain socket, serving
+    the ticker's data as Prometheus text ([/metrics]) or JSON
+    ([/json]). *)
+
 (** Attribute values attached to spans and events. *)
 type value =
   | Int of int
@@ -103,6 +118,21 @@ type event =
   | Oracle_verdict of { loop : string; verdict : string; attrs : attrs }
   | Counterexample of { loop : string; attrs : attrs }
   | Solver_call of { loop : string; result : string; attrs : attrs }
+  | Progress of { loop : string; iteration : int; attrs : attrs }
+      (** rate-limited liveness heartbeat: the highest iteration the
+          loop has reached, plus whatever the iteration carried (depth,
+          budget remaining). Synthesized by [emit] from [Iteration]
+          when {!set_progress_interval} is positive — at most one per
+          loop per interval — so callers rarely emit it directly. *)
+  | Stall_detected of {
+      loop : string;
+      iteration : int;
+      seconds_stalled : float;
+      attrs : attrs;
+    }
+      (** the watchdog ({!check_stalls}) saw no iteration advance for a
+          full window. Diagnostic only: nothing is killed, and the loop
+          may advance again afterwards. *)
   | Budget_exhausted of { loop : string; reason : string; attrs : attrs }
       (** the loop's resource budget ran out; terminal for the loop —
           only [Loop_finished] may follow for the same loop *)
@@ -110,6 +140,19 @@ type event =
 
 val emit : event -> unit
 (** No-op while disabled. *)
+
+val set_progress_interval : float -> unit
+(** Minimum seconds between [progress] records per loop; [0.] (the
+    default) disables the progress channel entirely, keeping existing
+    traces unchanged. *)
+
+val check_stalls : window:float -> unit
+(** Watchdog tick: emit a [stall_detected] record (and bump the
+    [obs.stalls_detected] counter) for every active loop whose last
+    iteration advance is more than [window] seconds old. Each stall is
+    reported once until the loop advances again. Called from the
+    {!Live} ticker's [on_tick]; safe from any domain, and a no-op while
+    disabled or when [window <= 0.]. *)
 
 (** Scoped helper over {!emit}: tracks the active loop (so solver calls
     attribute themselves to it) and feeds the per-loop aggregates behind

@@ -1,0 +1,38 @@
+(** Scrapeable stats endpoint: a tiny HTTP/1.0 server on a Unix-domain
+    socket that serves the {!Live} ticker's snapshots, rate windows and
+    per-loop heartbeat/stall status while a run is in flight.
+
+    Two targets:
+    - [GET /metrics] — Prometheus text exposition (names sanitized to
+      [sciduction_*]; histograms as cumulative [_bucket{le=...}] series,
+      rates as [sciduction_rate{metric=...}] gauges, heartbeats as
+      [sciduction_loop_*{loop=...}]);
+    - [GET /json] (also [/]) — the same data in the {!Json} form traces
+      use: the latest registry snapshot, per-interval and whole-window
+      rates, and loop statuses.
+
+    One request per connection, served sequentially from a dedicated
+    domain; a scrape costs the run nothing but the snapshot read. This
+    is the stats endpoint the future sciduction-as-a-service daemon
+    mounts unchanged (ROADMAP item 1). *)
+
+type t
+
+val start : path:string -> ticker:Live.t -> unit -> (t, string) result
+(** Bind and listen on Unix-domain socket [path] (a stale socket file
+    is replaced) and serve scrapes from a background systhread until
+    {!stop}. [Error] describes a bind/listen failure (bad directory,
+    path too long for a socket address, ...). *)
+
+val stop : t -> unit
+(** Stop the server, join its thread and remove the socket file.
+    Idempotent. *)
+
+val fetch : path:string -> ?target:string -> unit -> (string, string) result
+(** Client side, for [sciduction_cli stats] and tests: connect to the
+    socket at [path], request [target] (default [/json]) and return the
+    response body. *)
+
+val json_page : Live.t -> string
+val prometheus_page : Live.t -> string
+(** The page renderers, exposed for tests. *)

@@ -10,6 +10,26 @@ module Cancel = struct
   let check t = if Atomic.get t then raise Cancelled
 end
 
+(* Scheduler telemetry. Pool tasks are coarse — a whole solver run, a
+   map chunk — so a gauge store on each queue transition and two clock
+   reads per task are noise next to the task body; nothing here touches
+   a solver's inner loop. *)
+let m_tasks_submitted = Obs.Metrics.counter "par.tasks_submitted"
+let m_tasks_completed = Obs.Metrics.counter "par.tasks_completed"
+
+let m_tasks_stolen = Obs.Metrics.counter "par.tasks_stolen"
+(* queued tasks the submitter ran itself while waiting in [await] *)
+
+let m_spawn_fallback = Obs.Metrics.counter "par.spawn_fallback"
+let m_queue_depth = Obs.Metrics.gauge "par.queue_depth"
+let m_worker_busy = Obs.Metrics.histogram "par.worker_busy_us"
+let m_worker_idle = Obs.Metrics.histogram "par.worker_idle_us"
+
+let note_queue_depth q =
+  Obs.Metrics.set_gauge m_queue_depth (float_of_int (Queue.length q))
+
+let observe_us h seconds = Obs.Metrics.observe h (int_of_float (1e6 *. seconds))
+
 (* A job is a closure that runs a task and stores its outcome in the
    task's future; the queue never sees result types. *)
 type job = unit -> unit
@@ -40,6 +60,7 @@ type 'a future = {
 let try_pop p =
   Mutex.lock p.lock;
   let job = if Queue.is_empty p.queue then None else Some (Queue.pop p.queue) in
+  (match job with Some _ -> note_queue_depth p.queue | None -> ());
   Mutex.unlock p.lock;
   job
 
@@ -54,15 +75,20 @@ let pop_blocking p =
     end
   in
   let job = wait () in
+  (match job with Some _ -> note_queue_depth p.queue | None -> ());
   Mutex.unlock p.lock;
   job
 
 let worker_loop p =
   let rec go () =
+    let idle_from = Unix.gettimeofday () in
     match pop_blocking p with
     | None -> ()
     | Some job ->
+      let busy_from = Unix.gettimeofday () in
+      observe_us m_worker_idle (busy_from -. idle_from);
       job ();
+      observe_us m_worker_busy (Unix.gettimeofday () -. busy_from);
       go ()
   in
   go ()
@@ -112,6 +138,7 @@ module Pool = struct
       Condition.broadcast p.nonempty;
       Mutex.unlock p.lock;
       List.iter Domain.join !spawned;
+      Obs.Metrics.incr m_spawn_fallback;
       mk 1
 
   let jobs p = p.jobs
@@ -162,13 +189,15 @@ let submit p task =
       state = Pending; orphan = None }
   in
   let job () =
-    match task () with
+    (match task () with
     | v -> settle fut (Done v)
-    | exception e -> settle fut (Failed (e, Printexc.get_raw_backtrace ()))
+    | exception e -> settle fut (Failed (e, Printexc.get_raw_backtrace ())));
+    Obs.Metrics.incr m_tasks_completed
   in
   if Fault.fire Fault.Pool_submit then begin
     (* injected worker death: the job is lost in flight (never queued);
        the first awaiter recovers it inline *)
+    Obs.Metrics.incr m_tasks_submitted;
     fut.orphan <- Some job;
     fut
   end
@@ -179,6 +208,8 @@ let submit p task =
       invalid_arg "Par.submit: pool is shut down"
     end;
     Queue.push job p.queue;
+    Obs.Metrics.incr m_tasks_submitted;
+    note_queue_depth p.queue;
     Condition.signal p.nonempty;
     Mutex.unlock p.lock;
     fut
@@ -215,6 +246,7 @@ let await p fut =
     | None -> (
       match try_pop p with
       | Some job ->
+        Obs.Metrics.incr m_tasks_stolen;
         job ();
         loop ()
       | None ->

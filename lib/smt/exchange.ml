@@ -30,7 +30,12 @@ type t = {
   cursors : int array array;
       (* [cursors.(r).(w)]: next sequence reader [r] wants from writer
          [w]'s outbox. Row [r] is touched only by worker [r]. *)
+  lost : int Atomic.t;
+      (* clauses some reader wanted but the writer had already lapped;
+         each loss was silent by design, this makes the total visible *)
 }
+
+let m_dropped = Obs.Metrics.counter "exchange.dropped"
 
 let create ~workers ~capacity =
   if workers < 1 then invalid_arg "Exchange.create: workers must be >= 1";
@@ -45,10 +50,12 @@ let create ~workers ~capacity =
             head = Atomic.make 0;
           });
     cursors = Array.make_matrix workers workers 0;
+    lost = Atomic.make 0;
   }
 
 let workers t = t.workers
 let capacity t = t.capacity
+let dropped t = Atomic.get t.lost
 
 let publish t ~worker ~lbd lits =
   let box = t.boxes.(worker) in
@@ -67,11 +74,16 @@ let published t =
    re-imports what it exported). Advances the cursors. *)
 let drain t ~worker =
   let out = ref [] in
+  let drops = ref 0 in
   for w = t.workers - 1 downto 0 do
     if w <> worker then begin
       let box = t.boxes.(w) in
       let head = Atomic.get box.head in
-      let cur = max t.cursors.(worker).(w) (head - t.capacity) in
+      let wanted = t.cursors.(worker).(w) in
+      let cur = max wanted (head - t.capacity) in
+      (* sequences below [cur] were overwritten before this reader got
+         to them: already-lapped drops *)
+      drops := !drops + (cur - wanted);
       for seq = head - 1 downto cur do
         match Atomic.get box.slots.(seq mod t.capacity) with
         | Some (seq', lbd, lits) when seq' = seq ->
@@ -79,9 +91,13 @@ let drain t ~worker =
         | _ ->
           (* lapped between reading [head] and this slot, or the write
              at [seq] is not yet visible: drop, never wait *)
-          ()
+          incr drops
       done;
       t.cursors.(worker).(w) <- head
     end
   done;
+  if !drops > 0 then begin
+    ignore (Atomic.fetch_and_add t.lost !drops : int);
+    Obs.Metrics.add m_dropped !drops
+  end;
   !out

@@ -34,3 +34,11 @@ val drain : t -> worker:int -> (int * Lit.t array) list
 
 val published : t -> int
 (** Total clauses ever published across all outboxes. *)
+
+val dropped : t -> int
+(** Total clauses lost to ring overflow across all readers so far: a
+    clause a reader wanted but the writer had already lapped counts
+    once per reader that missed it. Drops are detected at {!drain}
+    time, mirrored into the [exchange.dropped] registry counter, and
+    benign for soundness — this exists so a sharing setup that is
+    quietly discarding most of its traffic shows up in [--stats]. *)

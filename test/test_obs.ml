@@ -124,8 +124,13 @@ let test_histogram_percentiles () =
   Alcotest.(check int) "p50" 3 (Metrics.hist_percentile h 50.0);
   Alcotest.(check int) "p90" 100 (Metrics.hist_percentile h 90.0);
   Alcotest.(check int) "p100" 100 (Metrics.hist_percentile h 100.0);
-  Alcotest.(check int) "p0 clamps to first rank" 1
-    (Metrics.hist_percentile h 0.0);
+  (* p outside (0, 100] is a caller bug, not a clampable request *)
+  (match Metrics.hist_percentile h 0.0 with
+  | _ -> Alcotest.fail "p0 should raise"
+  | exception Invalid_argument _ -> ());
+  (match Metrics.hist_percentile h 100.5 with
+  | _ -> Alcotest.fail "p100.5 should raise"
+  | exception Invalid_argument _ -> ());
   (* a single observation answers every percentile *)
   let h1 = Metrics.histogram "test.pct1" in
   Metrics.observe h1 7;

@@ -299,6 +299,8 @@ let test_exchange_roundtrip () =
 let test_exchange_overflow_drops_oldest () =
   let capacity = 4 in
   let ex = Smt.Exchange.create ~workers:2 ~capacity in
+  Alcotest.(check int) "no drops before any traffic" 0
+    (Smt.Exchange.dropped ex);
   (* publish well past capacity: never blocks, oldest entries are
      overwritten in place *)
   for i = 1 to 11 do
@@ -310,13 +312,16 @@ let test_exchange_overflow_drops_oldest () =
   Alcotest.(check bool)
     "survivors are the most recent, oldest first" true
     (List.map snd got = List.map (fun i -> clause [ i ]) [ 8; 9; 10; 11 ]);
+  (* the 7 lapped clauses are no longer silent: the drain counted them *)
+  Alcotest.(check int) "lap drops counted" 7 (Smt.Exchange.dropped ex);
   (* the reader's cursor has caught up; later traffic flows normally *)
   Smt.Exchange.publish ex ~worker:0 ~lbd:1 (clause [ 12 ]);
   Alcotest.(check bool)
     "post-overflow publish delivered" true
     (List.map snd (Smt.Exchange.drain ex ~worker:1) = [ clause [ 12 ] ]);
   Alcotest.(check int) "published counts every publish" 12
-    (Smt.Exchange.published ex)
+    (Smt.Exchange.published ex);
+  Alcotest.(check int) "clean drain adds no drops" 7 (Smt.Exchange.dropped ex)
 
 (* The export hook must not perturb the search: a solver that exports
    into an exchange nobody else writes to (so every import drains
