@@ -1,0 +1,26 @@
+(* drat_check CNF PROOF — standalone DRAT (RUP) proof checker.
+
+   Exit status: 0 proof verified, 1 proof rejected, 2 usage/IO error.
+   Kept free of every solver library on purpose: this binary is the
+   independent auditor for certificates produced under --proof. *)
+
+let usage () =
+  prerr_endline "usage: drat_check CNF_FILE DRAT_FILE";
+  prerr_endline "  verifies that DRAT_FILE derives the empty clause from CNF_FILE";
+  exit 2
+
+let () =
+  match Sys.argv with
+  | [| _; cnf; proof |] -> (
+    match Cert.Drat.check_files ~cnf ~proof with
+    | Ok s ->
+      Printf.printf
+        "VERIFIED %s by %s: %d cnf clauses, %d additions, %d deletions, %d \
+         propagations\n"
+        cnf proof s.Cert.Drat.cnf_clauses s.Cert.Drat.additions
+        s.Cert.Drat.deletions s.Cert.Drat.propagations;
+      exit 0
+    | Error e ->
+      Printf.printf "REJECTED %s by %s: %s\n" cnf proof e;
+      exit 1)
+  | _ -> usage ()

@@ -82,9 +82,19 @@ let obs_term =
                 stall_detected event and endpoint status; the run is never \
                 killed).")
   in
+  let proof =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "proof" ] ~docv:"PREFIX"
+          ~doc:"Log DRAT proofs and unsat-core certificates: spool files \
+                $(docv).sN.cnf / $(docv).sN.drat plus a $(docv).idx index, \
+                one certificate per Unsat verdict. Audit them afterwards \
+                with $(b,sciduction_cli check-proof --proof) $(docv).")
+  in
   Term.(
-    const (fun t s q j sock stall -> (t, s, q, j, sock, stall))
-    $ trace $ stats $ quiet $ jobs $ stats_socket $ stall_after)
+    const (fun t s q j sock stall proof -> (t, s, q, j, sock, stall, proof))
+    $ trace $ stats $ quiet $ jobs $ stats_socket $ stall_after $ proof)
 
 (* ---- resource governance shared by the loop subcommands ---- *)
 
@@ -150,12 +160,13 @@ let pp_exhausted fmt reason =
 
 (* [f] receives the pool ([None] when --jobs resolves to 1): verdicts do
    not depend on it, only wall-clock time does *)
-let with_obs (trace, stats, quiet, jobs, stats_socket, stall_after) f =
+let with_obs (trace, stats, quiet, jobs, stats_socket, stall_after, proof) f =
   Obs.set_quiet quiet;
   if trace <> None || stats || stats_socket <> None then begin
     Obs.enable ();
     Option.iter (fun path -> Obs.add_sink (Obs.jsonl_sink path)) trace
   end;
+  Option.iter (fun prefix -> Smt.Proof.enable ~prefix) proof;
   (* the live plane exists only when asked for: without --stats-socket
      no ticker domain starts, no progress records appear, and the run
      is byte-for-byte what it was before the plane existed *)
@@ -177,6 +188,7 @@ let with_obs (trace, stats, quiet, jobs, stats_socket, stall_after) f =
   in
   match live with
   | Error msg ->
+    Smt.Proof.disable ();
     Obs.shutdown ();
     Format.eprintf "sciduction_cli: %s@." msg;
     3
@@ -191,6 +203,7 @@ let with_obs (trace, stats, quiet, jobs, stats_socket, stall_after) f =
             Obs.Statsd.stop server;
             Obs.Live.stop ticker)
           live;
+        Smt.Proof.disable ();
         Obs.shutdown ())
       (fun () ->
         (* typed failures become a one-line diagnostic and a distinct
@@ -830,6 +843,192 @@ let stats_cmd =
        ~doc:"Scrape the live stats endpoint of a running sciduction_cli")
     Term.(const stats_run $ socket $ metrics)
 
+(* ---- check-proof ---- *)
+
+let m_clauses_checked = Obs.Metrics.counter "cert.clauses_checked"
+let m_check_ms = Obs.Metrics.histogram "cert.check_ms"
+
+let read_prefix path n =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  if len < n then begin
+    close_in_noerr ic;
+    failwith
+      (Printf.sprintf "%s: certificate wants %d bytes but the spool has %d"
+         path n len)
+  end;
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Rebuild one certificate's self-contained (CNF, DRAT) pair from its
+   index entry: the CNF is the spool prefix plus one unit clause per
+   core literal (the failed assumptions, asserted); the DRAT is the
+   spool prefix (whose last clause is the negated core, appended at
+   certify time) terminated by the empty clause the spool deliberately
+   omits. *)
+let reconstruct_pair entry =
+  let str k = Option.bind (Obs.Json.member k entry) Obs.Json.to_str in
+  let int_f k = Option.bind (Obs.Json.member k entry) Obs.Json.to_int in
+  let ints k =
+    match Obs.Json.member k entry with
+    | Some (Obs.Json.List l) -> List.filter_map Obs.Json.to_int l
+    | _ -> []
+  in
+  let strs k =
+    match Obs.Json.member k entry with
+    | Some (Obs.Json.List l) -> List.filter_map Obs.Json.to_str l
+    | _ -> []
+  in
+  match (str "cnf", int_f "cnf_bytes", str "drat", int_f "drat_bytes") with
+  | Some cnf, Some cnf_bytes, Some drat, Some drat_bytes ->
+    let core = ints "core" in
+    let b = Buffer.create (cnf_bytes + (8 * List.length core) + 64) in
+    Buffer.add_string b
+      (Printf.sprintf "p cnf %d %d\n"
+         (Option.value ~default:0 (int_f "maxvar"))
+         (Option.value ~default:0 (int_f "cnf_clauses") + List.length core));
+    Buffer.add_string b (read_prefix cnf cnf_bytes);
+    List.iter (fun l -> Buffer.add_string b (Printf.sprintf "%d 0\n" l)) core;
+    let cnf_text = Buffer.contents b in
+    let drat_text = read_prefix drat drat_bytes ^ "0\n" in
+    Ok
+      ( Option.value ~default:(-1) (int_f "cert"),
+        Option.value ~default:"" (str "loop"),
+        strs "names",
+        cnf_text,
+        drat_text )
+  | _ -> Error "index entry is missing a cnf/drat field"
+
+let check_proof_run prefix dump =
+  match Smt.Proof.read_index ~prefix with
+  | Error msg ->
+    Format.eprintf "sciduction_cli: %s@." msg;
+    2
+  | Ok [] ->
+    Format.printf "no certificates in %s.idx@." prefix;
+    0
+  | Ok entries ->
+    Option.iter
+      (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
+      dump;
+    let failed = ref 0 in
+    List.iter
+      (fun entry ->
+        match reconstruct_pair entry with
+        | Error msg ->
+          incr failed;
+          Format.printf "BAD INDEX ENTRY: %s@." msg
+        | exception Failure msg ->
+          incr failed;
+          Format.printf "BAD CERTIFICATE: %s@." msg
+        | Ok (id, loop, names, cnf_text, drat_text) -> (
+          Option.iter
+            (fun dir ->
+              let write path text =
+                let oc = open_out (Filename.concat dir path) in
+                output_string oc text;
+                close_out oc
+              in
+              write (Printf.sprintf "cert%d.cnf" id) cnf_text;
+              write (Printf.sprintf "cert%d.drat" id) drat_text)
+            dump;
+          let t0 = Unix.gettimeofday () in
+          let verdict =
+            match Cert.Drat.parse_dimacs cnf_text with
+            | Error e -> Error e
+            | Ok f -> (
+              match Cert.Drat.parse_proof drat_text with
+              | Error e -> Error e
+              | Ok p -> Cert.Drat.check f p)
+          in
+          let ms =
+            int_of_float (1000.0 *. (Unix.gettimeofday () -. t0))
+          in
+          Obs.Metrics.observe m_check_ms ms;
+          let where =
+            if loop = "" then Printf.sprintf "cert %d" id
+            else Printf.sprintf "cert %d (%s)" id loop
+          in
+          match verdict with
+          | Ok s ->
+            Obs.Metrics.add m_clauses_checked
+              (s.Cert.Drat.cnf_clauses + s.Cert.Drat.additions);
+            Format.printf
+              "%s: VERIFIED — %d cnf clauses, %d proof additions, core [%s]@."
+              where s.Cert.Drat.cnf_clauses s.Cert.Drat.additions
+              (String.concat ", " names)
+          | Error e ->
+            incr failed;
+            Format.printf "%s: REJECTED — %s@." where e))
+      entries;
+    Format.printf "%d certificate(s): %d verified, %d rejected@."
+      (List.length entries)
+      (List.length entries - !failed)
+      !failed;
+    if !failed = 0 then 0 else 1
+
+let check_proof_cmd =
+  let prefix =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PREFIX"
+          ~doc:"Prefix the run was given via --proof: reads $(docv).idx and \
+                the spool files it points into.")
+  in
+  let dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"DIR"
+          ~doc:"Also write each reconstructed certificate as a standalone \
+                certN.cnf / certN.drat pair under $(docv), checkable by any \
+                external DRAT checker (or bin/drat_check.exe).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the checking metrics (clauses RUP-checked, per-cert \
+                milliseconds) on exit.")
+  in
+  Cmd.v
+    (Cmd.info "check-proof"
+       ~doc:"Re-check every certificate of a --proof run with the \
+             independent RUP checker")
+    Term.(
+      const (fun prefix dump stats ->
+          let code = check_proof_run prefix dump in
+          if stats then Format.eprintf "%a@." Obs.pp_summary ();
+          code)
+      $ prefix $ dump $ stats)
+
+(* ---- explain ---- *)
+
+let explain_run input =
+  match Obs.Analyze.load input with
+  | Error msg ->
+    Format.eprintf "explain failed: %s: %s@." input msg;
+    2
+  | Ok records ->
+    Format.printf "%a" Obs.Analyze.pp_audit (Obs.Analyze.analyze records);
+    0
+
+let explain_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"JSON-lines trace produced by --trace.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Audit a traced run: per loop, the verdict, the certificates \
+             behind its Unsat answers, and the named constraints their \
+             cores blame")
+    Term.(const explain_run $ input)
+
 (* ---- table ---- *)
 
 let table_run () =
@@ -852,5 +1051,6 @@ let () =
           [
             deobfuscate_cmd; timing_cmd; transmission_cmd; cegar_cmd;
             bmc_cmd; invgen_cmd; lstar_cmd; table_cmd; run_cmd;
-            export_chrome_cmd; report_cmd; stats_cmd;
+            export_chrome_cmd; report_cmd; stats_cmd; check_proof_cmd;
+            explain_cmd;
           ]))

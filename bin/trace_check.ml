@@ -56,8 +56,8 @@ let loop_state name =
 let known_events =
   [
     "loop_started"; "iteration"; "candidate"; "oracle_verdict";
-    "counterexample"; "solver_call"; "progress"; "stall_detected";
-    "budget_exhausted"; "loop_finished";
+    "counterexample"; "solver_call"; "certificate"; "progress";
+    "stall_detected"; "budget_exhausted"; "loop_finished";
   ]
 
 let known_budget_reasons = [ "iterations"; "conflicts"; "deadline"; "solver" ]
@@ -146,6 +146,13 @@ let check_pending_at_eof () =
         !pending)
     pending_by_dom
 
+(* certificate pairing: a certificate is emitted at most once per Unsat
+   solver verdict, directly after its solver_call record, so at every
+   point of the trace the certificates seen cannot outnumber the unsat
+   solver calls seen *)
+let unsat_calls = ref 0
+let certificates = ref 0
+
 let check_event lineno r =
   match (str "name" r, str "loop" r) with
   | None, _ -> error "line %d: event without a name" lineno
@@ -153,8 +160,41 @@ let check_event lineno r =
     error "line %d: unknown event %S" lineno name
   | _, None -> error "line %d: event without a loop field" lineno
   | Some name, Some loop ->
-    if loop = "" && name <> "solver_call" then
+    (* solver_call and certificate may carry an empty loop: portfolio
+       members run in worker domains outside any loop scope *)
+    if loop = "" && name <> "solver_call" && name <> "certificate" then
       error "line %d: %s event with an empty loop name" lineno name;
+    let global_attr_int k =
+      Option.bind (Json.member "attrs" r) (fun a ->
+          Option.bind (Json.member k a) Json.to_int)
+    in
+    (match name with
+    | "solver_call" ->
+      (match
+         Option.bind (Json.member "attrs" r) (fun a ->
+             Option.bind (Json.member "result" a) Json.to_str)
+       with
+      | Some "unsat" -> incr unsat_calls
+      | _ -> ())
+    | "certificate" -> begin
+      incr certificates;
+      if !certificates > !unsat_calls then
+        error
+          "line %d: certificate without a preceding unsat solver_call (%d \
+           certificates, %d unsat verdicts so far)"
+          lineno !certificates !unsat_calls;
+      (match global_attr_int "proof_bytes" with
+      | None -> error "line %d: certificate without proof_bytes" lineno
+      | Some b when b < 0 ->
+        error "line %d: certificate with negative proof_bytes" lineno
+      | Some _ -> ());
+      match global_attr_int "core_size" with
+      | None -> error "line %d: certificate without core_size" lineno
+      | Some c when c < 0 ->
+        error "line %d: certificate with negative core_size" lineno
+      | Some _ -> ()
+    end
+    | _ -> ());
     if loop <> "" then begin
       let st = loop_state loop in
       (match name with

@@ -1,0 +1,385 @@
+(* Forward RUP checking with its own two-watched-literal propagation.
+   Nothing here touches the solver library: literals are the signed
+   integers of the files, the clause store and the propagation queue
+   are local, and the only sophistication is the standard one — to
+   check that a clause C is implied, assume every literal of C false
+   and demand that unit propagation over the current database reaches a
+   conflict. Assumptions are undone by truncating the trail, so one
+   state serves the whole proof. *)
+
+type line =
+  | Add of int array
+  | Delete of int array
+
+type stats = {
+  cnf_clauses : int;
+  additions : int;
+  deletions : int;
+  propagations : int;
+}
+
+(* growable int vector *)
+module Iv = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 4 0; n = 0 }
+
+  let push v x =
+    if v.n = Array.length v.a then begin
+      let a = Array.make (2 * Array.length v.a) 0 in
+      Array.blit v.a 0 a 0 v.n;
+      v.a <- a
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  let get v i = v.a.(i)
+  let set v i x = v.a.(i) <- x
+end
+
+type state = {
+  value : int array; (* var -> 0 unknown / 1 true / -1 false *)
+  trail : Iv.t;
+  mutable qhead : int;
+  mutable clauses : int array array; (* slot per clause id, grown on demand *)
+  mutable alive : Bytes.t;
+  watches : Iv.t array; (* literal index -> watching clause ids *)
+  tbl : (int list, int list) Hashtbl.t; (* sorted lits -> live ids *)
+  mutable nclauses : int;
+  mutable root_conflict : bool;
+  mutable props : int;
+}
+
+let widx l = (2 * abs l) + if l < 0 then 1 else 0
+
+(* 1 true, -1 false, 0 unassigned *)
+let lv st l =
+  let v = st.value.(abs l) in
+  if v = 0 then 0 else if l > 0 then v else -v
+
+let assign st l =
+  st.value.(abs l) <- (if l > 0 then 1 else -1);
+  Iv.push st.trail l
+
+let undo_to st n =
+  for i = st.trail.Iv.n - 1 downto n do
+    st.value.(abs (Iv.get st.trail i)) <- 0
+  done;
+  st.trail.Iv.n <- n;
+  st.qhead <- n
+
+let create_state nv =
+  {
+    value = Array.make (nv + 1) 0;
+    trail = Iv.create ();
+    qhead = 0;
+    clauses = Array.make 64 [||];
+    alive = Bytes.make 64 '\000';
+    watches = Array.init ((2 * nv) + 2) (fun _ -> Iv.create ());
+    tbl = Hashtbl.create 256;
+    nclauses = 0;
+    root_conflict = false;
+    props = 0;
+  }
+
+let key_of c = List.sort_uniq compare (Array.to_list c)
+
+(* conflict clause id, or -1 at fixpoint *)
+let propagate st =
+  let confl = ref (-1) in
+  while !confl < 0 && st.qhead < st.trail.Iv.n do
+    let p = Iv.get st.trail st.qhead in
+    st.qhead <- st.qhead + 1;
+    st.props <- st.props + 1;
+    let false_lit = -p in
+    let ws = st.watches.(widx false_lit) in
+    let n = ws.Iv.n in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let ci = Iv.get ws !i in
+      incr i;
+      if !confl >= 0 || Bytes.get st.alive ci = '\000' then begin
+        (* conflict already found: keep; dead clause: drop *)
+        if !confl >= 0 then begin
+          Iv.set ws !j ci;
+          incr j
+        end
+      end
+      else begin
+        let c = st.clauses.(ci) in
+        if c.(0) = false_lit then begin
+          c.(0) <- c.(1);
+          c.(1) <- false_lit
+        end;
+        let first = c.(0) in
+        if lv st first = 1 then begin
+          Iv.set ws !j ci;
+          incr j
+        end
+        else begin
+          let len = Array.length c in
+          let k = ref 2 in
+          while !k < len && lv st c.(!k) = -1 do
+            incr k
+          done;
+          if !k < len then begin
+            (* relocate the watch *)
+            c.(1) <- c.(!k);
+            c.(!k) <- false_lit;
+            Iv.push st.watches.(widx c.(1)) ci
+          end
+          else begin
+            Iv.set ws !j ci;
+            incr j;
+            if lv st first = -1 then confl := ci else assign st first
+          end
+        end
+      end
+    done;
+    ws.Iv.n <- !j
+  done;
+  !confl
+
+(* Install a clause (already RUP-verified, or part of the formula).
+   Watched literals must be non-false at the root, when available; a
+   clause unit at the root assigns immediately, an all-false one flags
+   the database inconsistent (which is a successful end state for a
+   proof). The caller runs [propagate] afterwards. *)
+let add_clause st c =
+  (* logged clauses are pre-normalization and may repeat a literal; a
+     duplicate would occupy both watch slots and blind propagation to
+     the rest of the clause, so collapse repeats first *)
+  let c =
+    if Array.length c < 2 then c
+    else Array.of_list (List.sort_uniq compare (Array.to_list c))
+  in
+  let id = st.nclauses in
+  st.nclauses <- id + 1;
+  if id >= Array.length st.clauses then begin
+    let a = Array.make (2 * Array.length st.clauses) [||] in
+    Array.blit st.clauses 0 a 0 id;
+    st.clauses <- a;
+    let b = Bytes.make (2 * Bytes.length st.alive) '\000' in
+    Bytes.blit st.alive 0 b 0 id;
+    st.alive <- b
+  end;
+  st.clauses.(id) <- c;
+  Bytes.set st.alive id '\001';
+  let key = key_of c in
+  Hashtbl.replace st.tbl key
+    (id :: Option.value (Hashtbl.find_opt st.tbl key) ~default:[]);
+  let len = Array.length c in
+  if len = 0 then st.root_conflict <- true
+  else if len = 1 then begin
+    match lv st c.(0) with
+    | -1 -> st.root_conflict <- true
+    | 0 -> assign st c.(0)
+    | _ -> ()
+  end
+  else begin
+    (* move up to two non-false literals into the watch slots *)
+    let w = ref 0 in
+    let i = ref 0 in
+    while !w < 2 && !i < len do
+      if lv st c.(!i) <> -1 then begin
+        let tmp = c.(!w) in
+        c.(!w) <- c.(!i);
+        c.(!i) <- tmp;
+        incr w
+      end;
+      incr i
+    done;
+    Iv.push st.watches.(widx c.(0)) id;
+    Iv.push st.watches.(widx c.(1)) id;
+    if !w = 0 then st.root_conflict <- true
+    else if !w = 1 then begin
+      (* unit under the root assignment *)
+      match lv st c.(0) with
+      | 0 -> assign st c.(0)
+      | _ -> ()
+    end
+  end
+
+exception Satisfied_at_root
+
+(* Is [c] RUP w.r.t. the live database? Assume every literal false,
+   propagate, demand a conflict; a literal already true at the root
+   makes [c] a trivial consequence. State is restored before return. *)
+let rup st c =
+  let saved = st.trail.Iv.n in
+  let ok =
+    try
+      Array.iter
+        (fun l ->
+          match lv st l with
+          | 1 -> raise Satisfied_at_root
+          | -1 -> ()
+          | _ -> assign st (-l))
+        c;
+      propagate st >= 0
+    with Satisfied_at_root -> true
+  in
+  undo_to st saved;
+  ok
+
+let delete_clause st c =
+  let key = key_of c in
+  match Hashtbl.find_opt st.tbl key with
+  | None | Some [] -> false
+  | Some (id :: rest) ->
+    Bytes.set st.alive id '\000';
+    if rest = [] then Hashtbl.remove st.tbl key
+    else Hashtbl.replace st.tbl key rest;
+    true
+
+let check cnf proof =
+  let nv =
+    let m = ref 0 in
+    let scan c = Array.iter (fun l -> m := max !m (abs l)) c in
+    List.iter scan cnf;
+    List.iter (function Add c | Delete c -> scan c) proof;
+    !m
+  in
+  let st = create_state nv in
+  List.iter (add_clause st) cnf;
+  if (not st.root_conflict) && propagate st >= 0 then st.root_conflict <- true;
+  let additions = ref 0 in
+  let deletions = ref 0 in
+  let verified_empty = ref false in
+  let error = ref None in
+  let lineno = ref 0 in
+  (try
+     List.iter
+       (fun line ->
+         incr lineno;
+         match line with
+         | Delete c ->
+           if (not st.root_conflict) && delete_clause st c then incr deletions
+         | Add c ->
+           if st.root_conflict then begin
+             (* the database already propagates to a conflict: every
+                further clause, the empty one included, is vacuously RUP *)
+             incr additions;
+             if Array.length c = 0 then begin
+               verified_empty := true;
+               raise Exit
+             end
+           end
+           else if not (rup st c) then begin
+             error :=
+               Some
+                 (Printf.sprintf "proof line %d: clause is not RUP" !lineno);
+             raise Exit
+           end
+           else begin
+             incr additions;
+             if Array.length c = 0 then begin
+               verified_empty := true;
+               raise Exit
+             end;
+             add_clause st c;
+             if (not st.root_conflict) && propagate st >= 0 then
+               st.root_conflict <- true
+           end)
+       proof
+   with Exit -> ());
+  match !error with
+  | Some e -> Error e
+  | None ->
+    if !verified_empty || st.root_conflict then
+      Ok
+        {
+          cnf_clauses = List.length cnf;
+          additions = !additions;
+          deletions = !deletions;
+          propagations = st.props;
+        }
+    else Error "proof does not derive the empty clause"
+
+(* ----- parsing ----- *)
+
+let fold_lines text f =
+  let n = String.length text in
+  let start = ref 0 in
+  let err = ref None in
+  let i = ref 0 in
+  while !err = None && !i <= n do
+    if !i = n || text.[!i] = '\n' then begin
+      (match f (String.sub text !start (!i - !start)) with
+      | Ok () -> ()
+      | Error e -> err := Some e);
+      start := !i + 1
+    end;
+    incr i
+  done;
+  !err
+
+let tokens line =
+  String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
+  |> List.filter (( <> ) "")
+
+let parse_clauses ~drat text =
+  let out = ref [] in
+  let current = ref [] in
+  let deleting = ref false in
+  let handle tok =
+    match tok with
+    | "d" when drat && !current = [] && not !deleting ->
+      deleting := true;
+      Ok ()
+    | _ -> (
+      match int_of_string_opt tok with
+      | None -> Error (Printf.sprintf "bad token %S" tok)
+      | Some 0 ->
+        let c = Array.of_list (List.rev !current) in
+        out := (if !deleting then Delete c else Add c) :: !out;
+        current := [];
+        deleting := false;
+        Ok ()
+      | Some l ->
+        current := l :: !current;
+        Ok ())
+  in
+  let on_line line =
+    let line = String.trim line in
+    if line = "" || line.[0] = 'c' || line.[0] = 'p' then Ok ()
+    else
+      List.fold_left
+        (fun acc tok -> match acc with Error _ -> acc | Ok () -> handle tok)
+        (Ok ()) (tokens line)
+  in
+  match fold_lines text on_line with
+  | Some e -> Error e
+  | None ->
+    if !current <> [] || !deleting then Error "unterminated clause"
+    else Ok (List.rev !out)
+
+let parse_dimacs text =
+  match parse_clauses ~drat:false text with
+  | Error e -> Error e
+  | Ok lines ->
+    Ok (List.map (function Add c -> c | Delete _ -> assert false) lines)
+
+let parse_proof text = parse_clauses ~drat:true text
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check_files ~cnf ~proof =
+  match read_file cnf with
+  | exception Sys_error e -> Error e
+  | cnf_text -> (
+    match read_file proof with
+    | exception Sys_error e -> Error e
+    | proof_text -> (
+      match parse_dimacs cnf_text with
+      | Error e -> Error (Printf.sprintf "%s: %s" cnf e)
+      | Ok f -> (
+        match parse_proof proof_text with
+        | Error e -> Error (Printf.sprintf "%s: %s" proof e)
+        | Ok p -> check f p)))

@@ -1,0 +1,47 @@
+(** An independent DRAT proof checker: forward reverse-unit-propagation
+    (RUP) over a DIMACS formula and a DRAT proof log.
+
+    This is the audit side of the proof plane and deliberately shares
+    {e nothing} with the solver: literals are plain signed DIMACS
+    integers, and the unit-propagation loop here is written against its
+    own clause store — a bug in the solver's propagation cannot
+    silently vouch for itself.
+
+    Scope: RUP additions only (every clause our CDCL core logs is RUP
+    with respect to what precedes it); a genuine RAT-but-not-RUP line
+    is rejected, making the checker strictly more conservative than
+    full DRAT. Deletion lines that match no live clause are ignored:
+    the solver deletes clauses it may have strengthened in place, so
+    the logged literals can differ from the original addition — and
+    keeping the original clause is sound, since RUP is monotone in the
+    clause set. *)
+
+(** One DRAT proof line. *)
+type line =
+  | Add of int array
+  | Delete of int array
+
+type stats = {
+  cnf_clauses : int;
+  additions : int;  (** proof additions RUP-verified *)
+  deletions : int;  (** deletion lines that matched a live clause *)
+  propagations : int;  (** literals propagated across all RUP checks *)
+}
+
+val parse_dimacs : string -> (int array list, string) result
+(** Tolerant DIMACS: comment lines and the [p cnf] header are skipped
+    (the header is optional — spool files carry none), clauses are
+    0-terminated and may span lines. *)
+
+val parse_proof : string -> (line list, string) result
+(** DRAT text: 0-terminated integer clauses, [d]-prefixed deletions,
+    [c] comments skipped. *)
+
+val check : int array list -> line list -> (stats, string) result
+(** Verify that the proof derives the empty clause from the formula:
+    every addition must be RUP with respect to the current clause
+    database, deletions shrink it, and the run must reach either a
+    verified empty clause or a root-level propagation conflict.
+    [Error] explains the first offending line. *)
+
+val check_files : cnf:string -> proof:string -> (stats, string) result

@@ -163,14 +163,17 @@ let fixpoint ?loop ?meter aig cands ~base =
     in
     (* (candidate, its check-frame literal, frame-A selector) *)
     let items =
-      List.map
-        (fun c ->
+      List.mapi
+        (fun i c ->
           let sel =
             if base then None
             else begin
               let s = Tseitin.fresh ctx in
               Tseitin.assert_clause ctx
                 [ Tseitin.not_ s; candidate_lit ctx m_a c ];
+              (* an unsat core of the fixpoint pass then names which
+                 frame-A candidate assumptions the proof leaned on *)
+              Tseitin.name_lit ctx s (Printf.sprintf "cand%d" i);
               Some s
             end
           in

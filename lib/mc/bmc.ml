@@ -134,7 +134,11 @@ let check_between ?limits sess ~span ~lo ~hi =
   Option.iter (Sat.set_limits (Tseitin.solver ctx)) limits;
   (* steps lo..hi in ascending order, as the cumulative query built it *)
   let bads = List.rev (take (hi - lo + 1) (drop (sess.frames - hi) sess.bads_rev)) in
-  Tseitin.push ctx;
+  (* the scope's activation literal is the assumption an unsat core
+     blames, so name it after the property it guards *)
+  Tseitin.push_named ctx
+    (if lo = hi then Printf.sprintf "bad[%d]" lo
+     else Printf.sprintf "bad[%d..%d]" lo hi);
   Tseitin.assert_lit ctx (Tseitin.or_list ctx bads);
   let result =
     match Sat.solve_with_assumptions (Tseitin.solver ctx) [] with

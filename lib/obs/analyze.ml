@@ -137,6 +137,9 @@ type loop_run = {
   lr_unsat : int;
   lr_conflicts : int;
   lr_propagations : int;
+  lr_certs : int;
+  lr_proof_bytes : int;
+  lr_cores : (string * int) list;
   lr_trend : trend;
   lr_slope_ms : float;
 }
@@ -171,6 +174,9 @@ type run_b = {
   mutable rb_unsat : int;
   mutable rb_conflicts : int;
   mutable rb_propagations : int;
+  mutable rb_certs : int;
+  mutable rb_proof_bytes : int;
+  rb_cores : (string, int) Hashtbl.t;
   rb_verdicts : (string, int) Hashtbl.t;
 }
 
@@ -254,6 +260,11 @@ let freeze_run rb =
     lr_unsat = rb.rb_unsat;
     lr_conflicts = rb.rb_conflicts;
     lr_propagations = rb.rb_propagations;
+    lr_certs = rb.rb_certs;
+    lr_proof_bytes = rb.rb_proof_bytes;
+    lr_cores =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) rb.rb_cores []
+      |> List.sort compare;
     lr_trend = trend;
     lr_slope_ms = slope_ms;
   }
@@ -414,6 +425,9 @@ let analyze records =
         rb_unsat = 0;
         rb_conflicts = 0;
         rb_propagations = 0;
+        rb_certs = 0;
+        rb_proof_bytes = 0;
+        rb_cores = Hashtbl.create 4;
         rb_verdicts = Hashtbl.create 4;
       }
     in
@@ -512,6 +526,20 @@ let analyze records =
               it.bi_conflicts <- it.bi_conflicts + conflicts;
               it.bi_propagations <- it.bi_propagations + propagations
             | [] -> ()
+          end
+        | "certificate" ->
+          (* portfolio workers certify with an empty loop name; those
+             certificates still count in the proof.certificates metric
+             but cannot be attributed to a loop run here *)
+          if loop <> "" then begin
+            let rb = current loop t in
+            rb.rb_certs <- rb.rb_certs + 1;
+            rb.rb_proof_bytes <- rb.rb_proof_bytes + attr_int attrs "proof_bytes";
+            match attr_str attrs "core" with
+            | Some core when core <> "" ->
+              Hashtbl.replace rb.rb_cores core
+                (1 + Option.value ~default:0 (Hashtbl.find_opt rb.rb_cores core))
+            | _ -> ()
           end
         | _ -> ()))
     records;
@@ -616,6 +644,46 @@ let pp_iteration_detail ppf lr =
       line "    (%d of %d iterations shown: the slowest)@."
         (List.length shown) n
   end
+
+(* The audit view behind `sciduction_cli explain`: for every loop run,
+   which verdicts were certified and which named constraints the unsat
+   cores blamed. A run with unsat solver calls but no certificates was
+   recorded without --proof (or only its portfolio workers certified,
+   which the trace cannot attribute to a loop). *)
+let pp_audit ppf a =
+  let line fmt = Format.fprintf ppf fmt in
+  if a.a_loops = [] then line "no loop runs in this trace@."
+  else
+    List.iter
+      (fun lr ->
+        line "%s run %d: %s%s@." lr.lr_loop lr.lr_run
+          (if lr.lr_outcome = "" then "(no outcome)" else lr.lr_outcome)
+          (if lr.lr_truncated then " (truncated)" else "");
+        line "  %d solver calls (%d sat, %d unsat), %d iterations@."
+          lr.lr_solver_calls lr.lr_sat lr.lr_unsat
+          (List.length lr.lr_iterations);
+        if lr.lr_certs = 0 then begin
+          if lr.lr_unsat > 0 then
+            line
+              "  no certificates: %d unsat verdict(s) unaudited (run with \
+               --proof PREFIX to certify them)@."
+              lr.lr_unsat
+        end
+        else begin
+          line "  %d certificate(s), %d DRAT bytes@." lr.lr_certs
+            lr.lr_proof_bytes;
+          if lr.lr_cores = [] then
+            line "  every certified core is empty: the constraints are \
+                  jointly unsatisfiable with no assumption to blame@."
+          else
+            List.iter
+              (fun (core, n) ->
+                line "  blamed %d time%s: %s@." n
+                  (if n = 1 then "" else "s")
+                  core)
+              lr.lr_cores
+        end)
+      a.a_loops
 
 let pp_metrics ppf metrics =
   let line fmt = Format.fprintf ppf fmt in
@@ -728,6 +796,10 @@ let json_of_run lr =
       ("unsat", Json.Int lr.lr_unsat);
       ("conflicts", Json.Int lr.lr_conflicts);
       ("propagations", Json.Int lr.lr_propagations);
+      ("certificates", Json.Int lr.lr_certs);
+      ("proof_bytes", Json.Int lr.lr_proof_bytes);
+      ( "cores",
+        Json.Obj (List.map (fun (c, n) -> (c, Json.Int n)) lr.lr_cores) );
       ("trend", Json.String (trend_to_string lr.lr_trend));
       ("slope_ms_per_round", Json.Float lr.lr_slope_ms);
       ("outcome", Json.String lr.lr_outcome);

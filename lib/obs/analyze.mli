@@ -83,6 +83,10 @@ type loop_run = {
   lr_unsat : int;
   lr_conflicts : int;
   lr_propagations : int;
+  lr_certs : int;  (** certificate events attributed to this run *)
+  lr_proof_bytes : int;  (** summed DRAT bytes over those certificates *)
+  lr_cores : (string * int) list;
+      (** blamed constraint-name sets (comma-joined) -> count, sorted *)
   lr_trend : trend;
   lr_slope_ms : float;  (** fitted ms-per-iteration drift per round *)
 }
@@ -115,6 +119,12 @@ val pp_report : ?top:int -> Format.formatter -> t -> unit
 (** The human-readable report: header, per-loop convergence tables with
     iteration detail, the top-[top] flame paths, and the final metrics
     snapshot with histogram percentiles. *)
+
+val pp_audit : Format.formatter -> t -> unit
+(** The audit view behind [sciduction_cli explain]: per loop run, the
+    verdict, its solver-call tally, and — when the run was traced with
+    the proof plane on — the certificates issued and the named
+    constraints their unsat cores blamed. *)
 
 val summary_json : t -> Json.t
 (** Machine output; also the baseline format {!key_figures} reads back. *)

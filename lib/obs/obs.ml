@@ -267,6 +267,7 @@ type event =
   | Oracle_verdict of { loop : string; verdict : string; attrs : attrs }
   | Counterexample of { loop : string; attrs : attrs }
   | Solver_call of { loop : string; result : string; attrs : attrs }
+  | Certificate of { loop : string; attrs : attrs }
   | Progress of { loop : string; iteration : int; attrs : attrs }
   | Stall_detected of {
       loop : string;
@@ -320,6 +321,7 @@ let emit ev =
           (loop_agg_of loop).l_solver_calls
           <- (loop_agg_of loop).l_solver_calls + 1;
         ("solver_call", loop, ("result", String result) :: attrs)
+      | Certificate { loop; attrs } -> ("certificate", loop, attrs)
       | Progress { loop; iteration; attrs } ->
         ("progress", loop, ("iteration", Int iteration) :: attrs)
       | Stall_detected { loop; iteration; seconds_stalled; attrs } ->
@@ -365,7 +367,7 @@ let emit ev =
       Heartbeat.finish ~loop;
       Hashtbl.remove last_progress loop
     | Candidate _ | Oracle_verdict _ | Counterexample _ | Solver_call _
-    | Progress _ | Stall_detected _ ->
+    | Certificate _ | Progress _ | Stall_detected _ ->
       ());
     Mutex.unlock obs_lock
   end
@@ -546,7 +548,17 @@ let pp_summary ppf () =
       if dropped > 0 then
         line "  clauses dropped in transit   %d (%.1f%% of exports)@." dropped
           (100.0 *. float_of_int dropped /. float_of_int (max 1 exported))
-    end
+    end;
+    (* derived: proof & certificate plane *)
+    let proof_bytes = cval "proof.bytes" in
+    let certs = cval "proof.certificates" in
+    if proof_bytes > 0 || certs > 0 then
+      line "  proof plane                  %d bytes logged, %d certificate%s@."
+        proof_bytes certs
+        (if certs = 1 then "" else "s");
+    let checked = cval "cert.clauses_checked" in
+    if checked > 0 then
+      line "  certificates audited         %d clauses RUP-checked@." checked
   end
 
 (* ----- Chrome trace_event export ----- *)

@@ -118,6 +118,12 @@ type event =
   | Oracle_verdict of { loop : string; verdict : string; attrs : attrs }
   | Counterexample of { loop : string; attrs : attrs }
   | Solver_call of { loop : string; result : string; attrs : attrs }
+  | Certificate of { loop : string; attrs : attrs }
+      (** a proof certificate was issued for an unsat solver verdict
+          (see [Smt.Proof]); carries [cert], [proof_bytes], [core_size]
+          and the core's constraint names. Emitted at most once per
+          solver call, directly after the matching [solver_call]
+          record. *)
   | Progress of { loop : string; iteration : int; attrs : attrs }
       (** rate-limited liveness heartbeat: the highest iteration the
           loop has reached, plus whatever the iteration carried (depth,

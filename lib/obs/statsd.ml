@@ -154,9 +154,14 @@ let handle_client ticker fd =
     | "/" | "/json" ->
       response ~status:"200 OK" ~content_type:"application/json"
         (json_page ticker)
+    | "/healthz" ->
+      (* liveness only: reachable server = serving process alive; stall
+         diagnostics stay on /json where they carry per-loop detail *)
+      response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
     | _ ->
       response ~status:"404 Not Found" ~content_type:"text/plain"
-        (Printf.sprintf "unknown target %s; try /json or /metrics\n" target)
+        (Printf.sprintf "unknown target %s; try /json, /metrics or /healthz\n"
+           target)
   in
   (try write_all fd resp with Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()

@@ -216,7 +216,11 @@ let add_example sess ex =
   sess.nexamples <- e + 1;
   let fs = concrete_example_formulas sess.sspec e ex in
   List.iter (Solver.assert_formula sess.synth) fs;
-  List.iter (Solver.assert_formula sess.verify) fs
+  (* named on the verification side: a uniqueness proof's unsat core
+     then blames the examples that pinned the candidate down *)
+  ignore
+    (Solver.assert_named sess.verify (Printf.sprintf "ex%d" e) (Bv.conj fs)
+      : Solver.retractable)
 
 let session_conflicts sess =
   (Solver.sat_stats sess.synth).Smt.Sat.conflicts
@@ -247,7 +251,7 @@ let distinguishing ?limits sess candidate =
              Bv.fnot (output_constraint s ~input_term sym_example k cand_out))
            candidate_outs)
     in
-    let r = Solver.assert_retractable sess.verify differs in
+    let r = Solver.assert_named sess.verify "differs" differs in
     sess.differs <- Some (candidate, r));
   Option.iter (Solver.set_limits sess.verify) limits;
   match Solver.check sess.verify with

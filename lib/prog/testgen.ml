@@ -28,7 +28,11 @@ let session_conflicts sess = (Solver.sat_stats sess.solver).Smt.Sat.conflicts
 let feasible_in ?limits sess path =
   let r = Symexec.exec sess.prog sess.cfg path in
   Option.iter (Solver.set_limits sess.solver) limits;
-  Solver.push sess.solver;
+  (* the scope's activation literal is what an unsat core blames, so
+     name it after the edge-indicator vector of the path under test *)
+  Solver.push_named sess.solver
+    (Printf.sprintf "path[%s]"
+       (String.concat "" (List.map string_of_int path)));
   Solver.assert_formula sess.solver r.Symexec.path_condition;
   let res =
     match Solver.check sess.solver with

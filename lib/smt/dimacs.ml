@@ -64,6 +64,20 @@ let print fmt p =
 
 let to_string p = Format.asprintf "%a" print p
 
+let write_file path p =
+  let oc = open_out path in
+  let fmt = Format.formatter_of_out_channel oc in
+  print fmt p;
+  Format.pp_print_flush fmt ();
+  close_out oc
+
+(* The self-contained proof obligation behind an unsat-core verdict:
+   the formula strengthened with one unit clause per failed assumption.
+   Unsatisfiable exactly when the core is genuine, so the artifact can
+   be re-checked by any DIMACS solver with no context. *)
+let with_core p core =
+  { p with clauses = p.clauses @ List.map (fun l -> [ l ]) core }
+
 let solve p =
   let s = Sat.create () in
   for _ = 1 to p.nvars do

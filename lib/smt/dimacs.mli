@@ -20,6 +20,17 @@ val print : Format.formatter -> problem -> unit
 
 val to_string : problem -> string
 
+val write_file : string -> problem -> unit
+(** Write the problem to [path] in DIMACS format; {!parse_file}
+    round-trips it. Used to emit certificate artifacts ([core.cnf],
+    proof obligations) that stand alone. *)
+
+val with_core : problem -> Lit.t list -> problem
+(** [with_core p core] is [p] strengthened with one unit clause per
+    core literal — the self-contained proof obligation of an [Unsat]
+    verdict whose failed assumptions were [core]: it is unsatisfiable
+    exactly when the core is genuine, checkable by any DIMACS solver. *)
+
 val solve : problem -> Dpll.result
 (** Decide with the CDCL solver ({!Sat}); the model (if any) is reported
     in the same representation as the reference solver's for easy

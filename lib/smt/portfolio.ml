@@ -63,11 +63,19 @@ let share_hooks ex i =
         cs);
   }
 
-let mk_solver ?(limits = Sat.no_limits) (p : Dimacs.problem) config =
+(* Members attach to one shared proof spool instead of creating their
+   own: the race solves a single CNF (logged once, below), and the
+   spool's lock totally orders everyone's learnts, with each clause
+   logged by its learner before [Exchange.publish] can hand it to
+   anyone else — so every import's antecedent precedes it in the log
+   and reverse unit propagation goes through without the importer
+   logging anything. *)
+let mk_solver ?(limits = Sat.no_limits) ?proof (p : Dimacs.problem) config =
   let s =
     Sat.create ~seed:config.seed ~default_phase:config.default_phase
-      ~restart_base:config.restart_base ()
+      ~restart_base:config.restart_base ~proof:false ()
   in
+  Sat.set_proof s proof;
   Sat.set_limits s limits;
   for _ = 1 to p.Dimacs.nvars do
     ignore (Sat.new_var s : int)
@@ -75,9 +83,9 @@ let mk_solver ?(limits = Sat.no_limits) (p : Dimacs.problem) config =
   List.iter (Sat.add_clause s) p.Dimacs.clauses;
   s
 
-let run_sequential ?limits p config ~winner ~raced ~retried =
+let run_sequential ?limits ?proof p config ~winner ~raced ~retried =
   Obs.Metrics.incr m_sequential;
-  let s = mk_solver ?limits p config in
+  let s = mk_solver ?limits ?proof p config in
   let result = Sat.solve s in
   let model = if result = Sat.Sat then Some (Sat.model s) else None in
   { result; model; winner; raced; retried }
@@ -90,9 +98,16 @@ let solve ?pool ?configs ?limits ?(share = true) (p : Dimacs.problem) =
     | None ->
       default_configs (match pool with Some pl -> Par.Pool.jobs pl | None -> 1)
   in
+  let proof =
+    match Proof.create_spool ~shared:true () with
+    | None -> None
+    | Some sp ->
+      List.iter (Proof.log_original sp) p.Dimacs.clauses;
+      Some sp
+  in
   match (pool, configs) with
   | None, c0 :: _ | Some _, [ c0 ] ->
-    run_sequential ?limits p c0 ~winner:0 ~raced:1 ~retried:false
+    run_sequential ?limits ?proof p c0 ~winner:0 ~raced:1 ~retried:false
   | Some pool, configs ->
     Obs.Metrics.incr m_races;
     let ex =
@@ -106,7 +121,7 @@ let solve ?pool ?configs ?limits ?(share = true) (p : Dimacs.problem) =
     let thunks =
       List.mapi
         (fun i config token ->
-          let s = mk_solver ?limits p config in
+          let s = mk_solver ?limits ?proof p config in
           Sat.set_terminate s (Some (fun () -> Par.Cancel.is_set token));
           Option.iter (fun ex -> Sat.set_share s (Some (share_hooks ex i))) ex;
           match Sat.solve s with
@@ -131,6 +146,6 @@ let solve ?pool ?configs ?limits ?(share = true) (p : Dimacs.problem) =
       (* every member stopped without a verdict: retry once on the
          vanilla configuration before conceding Unknown *)
       Obs.Metrics.incr m_retries;
-      run_sequential ?limits p (List.hd configs) ~winner:0
+      run_sequential ?limits ?proof p (List.hd configs) ~winner:0
         ~raced:(List.length configs) ~retried:true)
   | None, [] -> assert false

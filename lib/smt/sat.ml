@@ -141,10 +141,14 @@ type t = {
   mutable base_conflicts : int;
   mutable base_propagations : int;
   mutable base_steps : int;
+  (* proof/certificate plane *)
+  mutable proof : Proof.spool option;
+  names : (int, string) Hashtbl.t; (* var -> constraint name, for cores *)
+  mutable last_core : Lit.t list; (* failed assumptions of the last Unsat *)
 }
 
 let create ?(learnt_limit = 0) ?(seed = 0) ?(default_phase = false)
-    ?(restart_base = 100) () =
+    ?(restart_base = 100) ?(proof = true) () =
   if restart_base < 1 then invalid_arg "Sat.create: restart_base must be >= 1";
   {
     ok = true;
@@ -195,6 +199,9 @@ let create ?(learnt_limit = 0) ?(seed = 0) ?(default_phase = false)
     base_conflicts = 0;
     base_propagations = 0;
     base_steps = 0;
+    proof = (if proof then Proof.create_spool () else None);
+    names = Hashtbl.create 7;
+    last_core = [];
   }
 
 let num_vars s = s.nvars
@@ -420,6 +427,13 @@ let normalize_root_clause s lits =
 let add_clause_permanent s lits =
   assert (decision_level s = 0);
   if s.ok then begin
+    (* log the caller's literals, not the normalized form: the proof's
+       CNF must be the asserted formula (root-level strengthening is
+       transparent to unit propagation, so a checker derives the same
+       consequences either way) *)
+    (match s.proof with
+    | Some sp -> Proof.log_original sp lits
+    | None -> ());
     match normalize_root_clause s lits with
     | None -> ()
     | Some [] -> s.ok <- false
@@ -540,6 +554,16 @@ let reduce_db s =
   List.iteri
     (fun i (_, _, ci) -> if i < ndelete then Bytes.set delete ci '\001')
     cand;
+  (* deletion lines keep an offline checker's database (and its unit
+     propagation) small; on a shared spool they are suppressed — a
+     clause this member discards may still be live in another *)
+  (match s.proof with
+  | Some sp when not (Proof.is_shared sp) ->
+    for ci = 0 to Vec.size s.clauses - 1 do
+      if Bytes.get delete ci = '\001' then
+        Proof.log_delete sp (Vec.get s.clauses ci)
+    done
+  | _ -> ());
   let old_clauses = s.clauses and old_clbd = s.clbd in
   let remap = Array.make (Vec.size old_clauses) (-1) in
   let clauses = Vec.create () and clbd = Ivec.create () in
@@ -831,7 +855,12 @@ let save_model s =
 
 let handle_conflict s ci =
   s.conflicts <- s.conflicts + 1;
-  if decision_level s = 0 then raise (Found Unsat);
+  if decision_level s = 0 then begin
+    (* root conflict: independent of any assumption, so the core is
+       empty and the empty clause is derivable by propagation alone *)
+    s.last_core <- [];
+    raise (Found Unsat)
+  end;
   let blevel = analyze s ci in
   cancel_until s blevel;
   let out = s.out_learnt in
@@ -839,6 +868,11 @@ let handle_conflict s ci =
      Obs.Metrics.observe m_lbd 1;
      s.lbd_sum <- s.lbd_sum + 1;
      if s.lbd_max = 0 then s.lbd_max <- 1;
+     (* log before export: on a shared spool the clause must be in the
+        log before any other member can learn from it *)
+     (match s.proof with
+     | Some sp -> Proof.log_learnt_unit sp (Ivec.get out 0)
+     | None -> ());
      if s.share <> None then export_learnt s ~lbd:1 [| Ivec.get out 0 |];
      enqueue s (Ivec.get out 0) (-1)
    end
@@ -848,14 +882,68 @@ let handle_conflict s ci =
      Obs.Metrics.observe m_lbd lbd;
      s.lbd_sum <- s.lbd_sum + lbd;
      if lbd > s.lbd_max then s.lbd_max <- lbd;
+     (match s.proof with
+     | Some sp -> Proof.log_learnt sp c
+     | None -> ());
      export_learnt s ~lbd c;
      let ci = push_clause s c ~lbd in
      enqueue s c.(0) ci
    end);
   var_decay s
 
+(* Final-conflict analysis (MiniSat's analyzeFinal): which assumptions
+   are to blame for a conflict found while establishing them? Mark the
+   seed literals' variables, walk the trail top-down replacing each
+   marked propagated literal by its reason clause; the pseudo-decisions
+   that remain are the culpable assumptions, returned as assumed (the
+   negated core is a clause implied by the problem — it is RUP with
+   respect to the clause database, which is what {!Proof.certify}
+   appends). Root-level literals never contribute. Only runs on the
+   Unsat path, so the cost is invisible to searching. *)
+let analyze_final s seed_n seed_get =
+  if decision_level s = 0 then []
+  else begin
+    let seen = s.seen in
+    let marked = ref 0 in
+    let mark l =
+      let v = Lit.var l in
+      if s.level.(v) > 0 && Bytes.get seen v <> '\001' then begin
+        Bytes.set seen v '\001';
+        incr marked
+      end
+    in
+    for i = 0 to seed_n - 1 do
+      mark (seed_get i)
+    done;
+    let core = ref [] in
+    let bound = Ivec.get s.trail_lim 0 in
+    let i = ref (Ivec.size s.trail - 1) in
+    while !marked > 0 && !i >= bound do
+      let p = Ivec.get s.trail !i in
+      let v = Lit.var p in
+      if Bytes.get seen v = '\001' then begin
+        Bytes.set seen v '\000';
+        decr marked;
+        let r = s.reason.(v) in
+        if r < 0 then core := p :: !core
+        else begin
+          (* slot 0 of a reason clause is the literal it propagated —
+             marking it again would leave [v] seen forever and poison
+             later conflict analyses *)
+          let c = Vec.get s.clauses r in
+          for j = 1 to Array.length c - 1 do
+            mark c.(j)
+          done
+        end
+      end;
+      decr i
+    done;
+    !core
+  end
+
 (* Re-establish assumptions as pseudo-decisions; raises [Found Unsat] when
-   an assumption is already false under the current prefix. *)
+   an assumption is already false under the current prefix. Both failure
+   sites record the subset of assumptions responsible in [last_core]. *)
 let rec assume s assumptions =
   if decision_level s < Array.length assumptions then begin
     let p = assumptions.(decision_level s) in
@@ -863,13 +951,22 @@ let rec assume s assumptions =
     | 1 ->
       new_decision_level s;
       assume s assumptions
-    | 0 -> raise (Found Unsat)
+    | 0 ->
+      (* [p] is false under the prefix: blame [p] plus whatever forced
+         its complement *)
+      s.last_core <- p :: analyze_final s 1 (fun _ -> p);
+      raise (Found Unsat)
     | _ ->
       new_decision_level s;
       enqueue s p (-1);
       (* propagate before the next assumption so values are visible *)
       let ci = propagate s in
-      if ci >= 0 then raise (Found Unsat) else assume s assumptions
+      if ci >= 0 then begin
+        let c = Vec.get s.clauses ci in
+        s.last_core <- analyze_final s (Array.length c) (Array.get c);
+        raise (Found Unsat)
+      end
+      else assume s assumptions
   end
 
 let decide s =
@@ -913,6 +1010,10 @@ let search s assumptions budget =
   loop ()
 
 let run_solve s assumptions =
+  (* every Unsat path below either leaves this (core-less verdicts:
+     empty clause already derived, root-level conflict) or overwrites
+     it with the failed assumptions *)
+  s.last_core <- [];
   if not s.ok then Unsat
   else begin
     (* limits bound this one call: snapshot the cumulative counters *)
@@ -961,6 +1062,23 @@ let run_solve s assumptions =
         cancel_until s 0;
         Unknown reason
   end
+
+let set_name s v name = Hashtbl.replace s.names v name
+
+let name_of_lit s l =
+  match Hashtbl.find_opt s.names (Lit.var l) with
+  | Some n -> n
+  | None -> Printf.sprintf "lit%d" (Lit.to_int l)
+
+let unsat_core s = s.last_core
+let core_names s = List.map (name_of_lit s) s.last_core
+let set_proof s sp = s.proof <- sp
+let proof_spool s = s.proof
+
+let push_named s name =
+  let v = new_var s in
+  Hashtbl.replace s.names v name;
+  Ivec.push s.scopes v
 
 let solve_with_assumptions s assumptions =
   s.solves <- s.solves + 1;
@@ -1011,6 +1129,35 @@ let solve_with_assumptions s assumptions =
     Obs.end_span sp ~attrs:(("result", Obs.String result) :: delta);
     Obs.solver_call ~result delta
   end;
+  (* certificate issue rides the Unsat path only, after the solver_call
+     event so a trace reader can pair the two (at most one certificate
+     per unsat verdict); with the plane disabled the spool is [None]
+     and nothing here runs *)
+  (match (r, s.proof) with
+  | Ok Unsat, Some spool -> (
+    let core = s.last_core in
+    let loop = Obs.current_loop () in
+    match
+      Proof.certify spool ~core ~names:(core_names s) ~maxvar:s.nvars ~loop
+    with
+    | Some c ->
+      if Obs.enabled () then
+        Obs.emit
+          (Obs.Certificate
+             {
+               loop;
+               attrs =
+                 [
+                   ("cert", Obs.Int c.Proof.cert_id);
+                   ("core_size", Obs.Int c.Proof.cert_core_size);
+                   ("proof_bytes", Obs.Int c.Proof.cert_drat_bytes);
+                   ("cnf_bytes", Obs.Int c.Proof.cert_cnf_bytes);
+                   ( "core",
+                     Obs.String (String.concat "," (core_names s)) );
+                 ];
+             })
+    | None -> ())
+  | _ -> ());
   match r with
   | Ok r -> r
   | Error (e, bt) -> Printexc.raise_with_backtrace e bt

@@ -66,6 +66,7 @@ val create :
   ?seed:int ->
   ?default_phase:bool ->
   ?restart_base:int ->
+  ?proof:bool ->
   unit ->
   t
 (** [learnt_limit] overrides the initial learned-clause cap (before
@@ -81,7 +82,12 @@ val create :
       first decided with, before phase saving takes over;
     - [restart_base] (default 100) scales the Luby restart schedule:
       the [i]-th search segment allows [restart_base * luby i]
-      conflicts. *)
+      conflicts.
+
+    [proof] (default [true]) attaches a fresh proof spool when the
+    proof plane is enabled (see [Proof]); pass [false] for solvers
+    whose proof stream is managed externally, e.g. portfolio members
+    writing to a shared spool via {!set_proof}. *)
 
 val new_var : t -> int
 (** Allocate a fresh variable and return its index. *)
@@ -122,6 +128,10 @@ val add_clause_permanent : t -> Lit.t list -> unit
 val push : t -> unit
 (** Open an assumption-literal scope: subsequent {!add_clause}s are
     retractable by the matching {!pop}. Scopes nest. *)
+
+val push_named : t -> string -> unit
+(** Like {!push}, but names the scope's activation variable so unsat
+    cores blaming this scope render readably (see {!core_names}). *)
 
 val pop : t -> unit
 (** Close the innermost scope, permanently retracting its clauses.
@@ -216,3 +226,35 @@ type share = {
 
 val set_share : t -> share option -> unit
 (** Install (or with [None], remove) the sharing hooks. *)
+
+(** {2 Unsat cores and proof certificates}
+
+    Every [Unsat] verdict records the subset of its assumption literals
+    (explicit assumptions and open-scope activation literals) that the
+    final conflict actually depended on — MiniSat-style final-conflict
+    analysis, run unconditionally so verdicts and solver behaviour are
+    identical whether or not anyone reads the core. When the proof
+    plane is enabled ([Proof.enable]), each [Unsat] additionally issues
+    a DRAT-backed certificate and emits an [Obs] [certificate] event. *)
+
+val unsat_core : t -> Lit.t list
+(** The failed assumptions of the most recent [Unsat], as assumed
+    (empty for verdicts that hold without assumptions, e.g. a
+    root-level conflict). Meaningless after a [Sat]/[Unknown] answer. *)
+
+val core_names : t -> string list
+(** {!unsat_core} rendered through the names registered with
+    {!set_name}/{!push_named}; unnamed literals render as ["lit<n>"]
+    (their signed DIMACS integer). *)
+
+val set_name : t -> int -> string -> unit
+(** [set_name s v name] names variable [v]'s constraint for core
+    reporting (activation literals of named assertions, selector
+    variables of candidate clauses, ...). *)
+
+val set_proof : t -> Proof.spool option -> unit
+(** Attach (or detach) the proof spool this solver logs to. Normally
+    managed by {!create}; the portfolio attaches one shared spool to
+    every member. *)
+
+val proof_spool : t -> Proof.spool option

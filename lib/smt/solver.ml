@@ -15,6 +15,7 @@ let sat t = Tseitin.solver (Bitblast.context t.bb)
 let assert_formula t f = Bitblast.assert_formula t.bb f
 
 let push t = Tseitin.push (Bitblast.context t.bb)
+let push_named t name = Tseitin.push_named (Bitblast.context t.bb) name
 let pop t = Tseitin.pop (Bitblast.context t.bb)
 
 let assert_retractable t f =
@@ -23,6 +24,11 @@ let assert_retractable t f =
   let a = Tseitin.fresh ctx in
   Sat.add_clause_permanent (sat t) [ Lit.neg a; l ];
   t.retractables <- a :: t.retractables;
+  a
+
+let assert_named t name f =
+  let a = assert_retractable t f in
+  Sat.set_name (sat t) (Lit.var a) name;
   a
 
 let retract t a =
@@ -40,6 +46,9 @@ let check t =
       | Sat.Sat -> Sat
       | Sat.Unsat -> Unsat
       | Sat.Unknown reason -> Unknown reason)
+
+let unsat_core t = Sat.core_names (sat t)
+let unsat_core_lits t = Sat.unsat_core (sat t)
 
 let value t name = Option.value (Bitblast.value_of t.bb name) ~default:0
 

@@ -28,6 +28,10 @@ val assert_formula : t -> Bv.formula -> unit
 val push : t -> unit
 (** Open a retractable assertion scope. Scopes nest. *)
 
+val push_named : t -> string -> unit
+(** Like {!push} but names the scope: when a later [Unsat] blames the
+    formulas asserted inside it, {!unsat_core} reports this name. *)
+
 val pop : t -> unit
 (** Close the innermost scope, retracting the formulas asserted inside
     it. The bit-blast cache survives: re-asserting a formula whose
@@ -39,6 +43,11 @@ val assert_retractable : t -> Bv.formula -> retractable
 (** Assert a formula that can later be withdrawn with {!retract},
     independently of the scope stack. *)
 
+val assert_named : t -> string -> Bv.formula -> retractable
+(** {!assert_retractable} plus a human-readable name for unsat-core
+    reporting: an [Unsat] whose final conflict depended on this
+    assertion lists [name] in {!unsat_core}. *)
+
 val retract : t -> retractable -> unit
 (** Withdraw a retractable assertion. Raises [Invalid_argument] if it is
     not currently active. *)
@@ -46,6 +55,16 @@ val retract : t -> retractable -> unit
 val check : t -> answer
 (** Decide satisfiability of everything currently asserted. May be
     called any number of times, interleaved with assertions. *)
+
+val unsat_core : t -> string list
+(** After an [Unsat] answer: the names of the retractable assertions
+    and scopes the verdict actually depended on (named via
+    {!assert_named}/{!push_named}; anonymous ones render as
+    ["lit<n>"]). Empty when the permanent clauses alone are
+    inconsistent. Meaningless after [Sat]/[Unknown]. *)
+
+val unsat_core_lits : t -> Lit.t list
+(** The raw failed-assumption literals behind {!unsat_core}. *)
 
 val value : t -> string -> int
 (** Model value of a bit-vector variable after a [Sat] answer; variables

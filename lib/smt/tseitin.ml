@@ -35,7 +35,9 @@ let assert_clause t c = Sat.add_clause t.sat c
    wires are cached by encoders (e.g. the bit blaster's divider). *)
 let assert_permanent t l = emit t [ l ]
 let push t = Sat.push t.sat
+let push_named t name = Sat.push_named t.sat name
 let pop t = Sat.pop t.sat
+let name_lit t l name = Sat.set_name t.sat (Lit.var l) name
 let not_ l = Lit.neg l
 
 let is_true t l = l = t.tt

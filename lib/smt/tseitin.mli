@@ -32,8 +32,16 @@ val assert_permanent : t -> Lit.t -> unit
 val push : t -> unit
 (** Open a retractable assertion scope on the underlying solver. *)
 
+val push_named : t -> string -> unit
+(** Like {!push}, but names the scope for unsat-core reporting (see
+    [Sat.push_named]). *)
+
 val pop : t -> unit
 (** Close the innermost scope, retracting its assertions. *)
+
+val name_lit : t -> Lit.t -> string -> unit
+(** Name a wire's variable for unsat-core reporting: when the wire is
+    assumed at a check and ends up in the core, it renders as [name]. *)
 
 val not_ : Lit.t -> Lit.t
 val and2 : t -> Lit.t -> Lit.t -> Lit.t
