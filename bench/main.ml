@@ -1569,6 +1569,115 @@ let proof_overhead () =
   end
 
 (* ================================================================== *)
+(* Verification server: cache and warm-session reuse (BENCH_serve)     *)
+(* ================================================================== *)
+
+(* One in-process daemon on a temp socket, driven through the real
+   client and wire protocol, so the measured latencies include JSONL
+   framing and scheduling. Three paths on one BMC family:
+
+   - cold: the first submission; the daemon does the full sweep
+   - cached: the identical query again; a content-addressed cache hit
+   - warm: a deeper query on the same family, resuming the daemon's
+     incremental session past the depths the cold sweep already proved;
+     its baseline is a cold one-shot run of the same deeper job.
+
+   Writes BENCH_serve.json. Gates: cached >= 10x over cold, warm >= 2x
+   over the one-shot baseline (one re-measure before failing, since the
+   warm ratio rides on single runs of two ~100ms sweeps). *)
+let serve_bench () =
+  section "Verification server: result cache and warm sessions";
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sciduction_bench_%d.sock" (Unix.getpid ()))
+  in
+  match Server.Daemon.start ~socket () with
+  | Error e -> failwith ("serve bench: " ^ e)
+  | Ok d ->
+    Fun.protect ~finally:(fun () -> Server.Daemon.stop d) @@ fun () ->
+    let submit spec =
+      match Server.Client.submit ~socket spec with
+      | Ok o -> o
+      | Error (`Server f) -> failwith ("serve bench: " ^ f.Server.Client.fmessage)
+      | Error (`Transport m) -> failwith ("serve bench: " ^ m)
+    in
+    let system =
+      {
+        Server.Jobs.shift = None;
+        junk = 10;
+        bits = 4;
+        modulus = 11;
+        bad_value = 15;
+      }
+    in
+    let shallow = Server.Jobs.Bmc { system; max_depth = 20 } in
+    let deep = Server.Jobs.Bmc { system; max_depth = 24 } in
+    let ms t = t *. 1e3 in
+    let measure () =
+      let o_cold, t_cold = timed (fun () -> submit shallow) in
+      if o_cold.Server.Client.cached then
+        failwith "serve bench: first submission cannot be a cache hit";
+      let o_hit, t_cached = timed (fun () -> submit shallow) in
+      if not o_hit.Server.Client.cached then
+        failwith "serve bench: identical repeat missed the cache";
+      let _, t_deep_cold =
+        timed (fun () ->
+            ignore (Server.Jobs.run deep : Server.Jobs.outcome))
+      in
+      let o_warm, t_warm = timed (fun () -> submit deep) in
+      if o_warm.Server.Client.cached then
+        failwith "serve bench: the deeper query cannot be a cache hit";
+      (t_cold, t_cached, t_deep_cold, t_warm)
+    in
+    let t_cold, t_cached, t_deep_cold, t_warm = measure () in
+    let s_cached = t_cold /. max 1e-9 t_cached in
+    let s_warm = t_deep_cold /. max 1e-9 t_warm in
+    Format.printf "%-26s cold %8.2fms | cached %8.3fms | %8.1fx@."
+      "bmc/d20-repeat" (ms t_cold) (ms t_cached) s_cached;
+    Format.printf "%-26s cold %8.2fms | warm   %8.2fms | %8.1fx@."
+      "bmc/d24-overlap" (ms t_deep_cold) (ms t_warm) s_warm;
+    let doc =
+      Obs.Json.Obj
+        [
+          ("experiment", Obs.Json.String "serve");
+          ("cold_ms", Obs.Json.Float (ms t_cold));
+          ("cached_ms", Obs.Json.Float (ms t_cached));
+          ("cached_speedup", Obs.Json.Float s_cached);
+          ("deep_cold_ms", Obs.Json.Float (ms t_deep_cold));
+          ("warm_ms", Obs.Json.Float (ms t_warm));
+          ("warm_speedup", Obs.Json.Float s_warm);
+          ("headline_speedup", Obs.Json.Float (Float.max s_cached s_warm));
+        ]
+    in
+    let oc = open_out "BENCH_serve.json" in
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Format.printf "wrote BENCH_serve.json@.";
+    if s_cached < 10.0 then begin
+      Format.printf
+        "serve gate FAILED: cached repeat only %.1fx over cold (< 10x)@."
+        s_cached;
+      exit 1
+    end;
+    if s_warm < 2.0 then begin
+      (* the warm ratio is two single runs; scheduler noise gets one
+         retry before it counts as a regression *)
+      Format.printf "serve gate: warm %.1fx < 2x, re-measuring@." s_warm;
+      let _, _, t_deep_cold, t_warm = measure () in
+      let s_warm = t_deep_cold /. max 1e-9 t_warm in
+      Format.printf "%-26s cold %8.2fms | warm   %8.2fms | %8.1fx@."
+        "bmc/d24-overlap(retry)" (ms t_deep_cold) (ms t_warm) s_warm;
+      if s_warm < 2.0 then begin
+        Format.printf
+          "serve gate FAILED: warm overlap only %.1fx over cold (< 2x)@."
+          s_warm;
+        exit 1
+      end
+    end
+
+(* ================================================================== *)
 
 let experiments =
   [
@@ -1587,6 +1696,7 @@ let experiments =
     ("budget", budget_overhead);
     ("live", live_overhead);
     ("proof", proof_overhead);
+    ("serve", serve_bench);
   ]
 
 (* the proof-plane gate is opt-in: it reruns two solver-heavy loops

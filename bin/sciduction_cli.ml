@@ -27,9 +27,6 @@
 
 open Cmdliner
 
-module Bv = Smt.Bv
-module B = Prog.Benchmarks
-
 (* ---- telemetry plumbing shared by all subcommands ---- *)
 
 let obs_term =
@@ -118,6 +115,20 @@ let fault_conv =
   in
   Arg.conv (parse, print)
 
+let fault_arg =
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "fault" ] ~docv:"SEED[:PROB]"
+        ~doc:"Arm deterministic fault injection: solver calls spuriously \
+              answer Unknown, pool submissions die and served jobs abort, \
+              with per-site probability $(i,PROB) (default 0.05). \
+              Overrides $(b,SCIDUCTION_FAULT_SEED).")
+
+let arm_fault = function
+  | Some (seed, prob) -> Fault.activate ?probability:prob ~seed ()
+  | None -> ignore (Fault.activate_from_env () : bool)
+
 let budget_term =
   let timeout =
     Arg.(
@@ -137,26 +148,11 @@ let budget_term =
                 the run (deterministic: the same run exhausts at the same \
                 point every time).")
   in
-  let fault =
-    Arg.(
-      value
-      & opt (some fault_conv) None
-      & info [ "fault" ] ~docv:"SEED[:PROB]"
-          ~doc:"Arm deterministic fault injection: solver calls spuriously \
-                answer Unknown and pool submissions die, with per-site \
-                probability $(i,PROB) (default 0.05). Overrides \
-                $(b,SCIDUCTION_FAULT_SEED).")
-  in
   Term.(
     const (fun timeout conflicts fault ->
-        (match fault with
-        | Some (seed, prob) -> Fault.activate ?probability:prob ~seed ()
-        | None -> ignore (Fault.activate_from_env ()));
+        arm_fault fault;
         Budget.limited ?conflicts ?seconds:timeout ())
-    $ timeout $ max_conflicts $ fault)
-
-let pp_exhausted fmt reason =
-  Format.fprintf fmt "EXHAUSTED (%s)" (Budget.reason_to_string reason)
+    $ timeout $ max_conflicts $ fault_arg)
 
 (* [f] receives the pool ([None] when --jobs resolves to 1): verdicts do
    not depend on it, only wall-clock time does *)
@@ -241,55 +237,55 @@ let with_obs (trace, stats, quiet, jobs, stats_socket, stall_after, proof) f =
   if stats then Format.eprintf "%a@." Obs.pp_summary ();
   code
 
-(* ---- deobfuscate ---- *)
+(* ---- the six loop subcommands ----
 
-let deobfuscate_run pool budget program width =
-  let obf, library, spec_fn =
-    match program with
-    | `P1 ->
-      ( B.interchange_obs_w ~width,
-        Ogis.Component.fig8_p1,
-        fun ts -> (match ts with [ s; d ] -> [ d; s ] | _ -> assert false) )
-    | `P2 ->
-      ( B.multiply45_obs_w ~width,
-        Ogis.Component.fig8_p2,
-        fun ts ->
-          (match ts with
-          | [ y ] -> [ Bv.bmul y (Bv.const ~width 45) ]
-          | _ -> assert false) )
-  in
-  Obs.info "obfuscated source:@.%a@.@." Prog.Lang.pp obf;
-  match Ogis.Deobfuscate.run ?pool ~budget ~library obf with
-  | Error (Ogis.Deobfuscate.Unrealizable _) ->
-    Format.printf "synthesis failed: no library program fits the oracle@.";
-    1
-  | Error (Ogis.Deobfuscate.Exhausted p) ->
-    Format.printf "%a: %d examples gathered, candidate %s@." pp_exhausted
-      p.Ogis.Synth.reason
-      (List.length p.Ogis.Synth.stats.Ogis.Synth.examples)
-      (match p.Ogis.Synth.best with Some _ -> "in hand" | None -> "none");
-    0
-  | Ok r ->
-    Obs.info "re-synthesized in %.3fs (%d oracle queries):@.%a@."
-      r.Ogis.Deobfuscate.seconds
-      r.Ogis.Deobfuscate.stats.Ogis.Synth.oracle_queries Ogis.Straightline.pp
-      r.Ogis.Deobfuscate.clean;
-    let spec =
-      {
-        Ogis.Encode.width;
-        ninputs = List.length obf.Prog.Lang.inputs;
-        noutputs = List.length obf.Prog.Lang.outputs;
-        library;
-      }
-    in
-    (match Ogis.Synth.verify_against spec r.Ogis.Deobfuscate.clean ~spec_fn with
-    | Ok () ->
-      Format.printf "verified equivalent to the specification@.";
-      0
-    | Error cex ->
-      Format.printf "NOT equivalent; counterexample %s@."
-        (String.concat "," (List.map string_of_int cex));
-      1)
+   Each one builds a Server.Jobs.spec from its flags and either runs it
+   in-process (through the exact runner the daemon's dispatchers use,
+   so verdicts cannot drift between the two front-ends) or, with
+   --server PATH, submits it to a running daemon and relays the verdict
+   and exit code unchanged. *)
+
+let server_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "server" ] ~docv:"PATH"
+        ~env:(Cmd.Env.info "SCIDUCTION_SERVER")
+        ~doc:"Submit the job to the verification server listening on the \
+              Unix socket $(docv) (see $(b,sciduction_cli serve)) instead \
+              of solving in-process. The verdict text and exit code come \
+              back unchanged; --timeout and --max-conflicts become the \
+              job's server-side budget.")
+
+let print_verdict verdict =
+  List.iter print_endline (String.split_on_char '\n' verdict)
+
+let submit_and_print socket ?id ?priority ?timeout ?max_conflicts spec =
+  match
+    Server.Client.submit ~socket ?id ?priority ?timeout ?max_conflicts spec
+  with
+  | Ok o ->
+    print_verdict o.Server.Client.verdict;
+    o.Server.Client.code
+  | Error (`Server f) ->
+    Format.eprintf "sciduction_cli: server error %s: %s@." f.Server.Client.fcode
+      f.Server.Client.fmessage;
+    3
+  | Error (`Transport msg) ->
+    Format.eprintf "sciduction_cli: %s@." msg;
+    3
+
+let run_spec server pool (budget : Budget.t) spec =
+  match server with
+  | Some socket ->
+    submit_and_print socket ?timeout:budget.Budget.seconds
+      ?max_conflicts:budget.Budget.conflicts spec
+  | None ->
+    let r = Server.Jobs.run ?pool ~budget spec in
+    print_verdict r.Server.Jobs.verdict;
+    r.Server.Jobs.code
+
+(* ---- deobfuscate ---- *)
 
 let deobfuscate_cmd =
   let program =
@@ -304,63 +300,19 @@ let deobfuscate_cmd =
   Cmd.v
     (Cmd.info "deobfuscate" ~doc:"Re-synthesize an obfuscated program (Fig. 8)")
     Term.(
-      const (fun obs budget program width ->
-          with_obs obs (fun pool -> deobfuscate_run pool budget program width))
-      $ obs_term $ budget_term $ program $ width)
+      const (fun obs budget server program width ->
+          with_obs obs (fun pool ->
+              run_spec server pool budget
+                (Server.Jobs.Deobfuscate { program; width })))
+      $ obs_term $ budget_term $ server_term $ program $ width)
 
 (* ---- timing ---- *)
 
-let timing_run pool budget file bits tau =
-  let program, pin =
-    match file with
-    | Some f -> (Prog.Syntax.parse_file f, [])
-    | None -> (B.modexp ~bits (), [ ("base", 123) ])
-  in
-  let pf = Microarch.Platform.create program in
-  let platform = Microarch.Platform.time pf in
-  let converged t =
-    match Gametime.Analysis.wcet_opt t ~platform with
-    | None ->
-      Format.printf "no feasible paths@.";
-      1
-    | Some w -> (
-      Obs.info "basis paths: %d@." (List.length t.Gametime.Analysis.basis);
-      Format.printf "WCET %d cycles at %s@." w.Gametime.Analysis.measured_cycles
-        (String.concat ", "
-           (List.map
-              (fun (x, v) -> Printf.sprintf "%s=%d" x v)
-              w.Gametime.Analysis.test));
-      match tau with
-      | None -> 0
-      | Some tau -> (
-        match Gametime.Analysis.answer_ta t ~platform ~tau with
-        | `Yes ->
-          Format.printf "<TA>: execution time is always <= %d@." tau;
-          0
-        | `No test ->
-          Format.printf "<TA>: NO — exp=%d takes %d cycles@."
-            (List.assoc "exp" test) (platform test);
-          1))
-  in
-  match
-    Gametime.Analysis.analyze ~bound:bits ~seed:2012 ~pin ?pool ~budget
-      ~platform program
-  with
-  | Budget.Converged t -> converged t
-  | Budget.Exhausted { Gametime.Analysis.analysis; reason } ->
-    (match analysis with
-    | None -> Format.printf "%a: no basis path extracted@." pp_exhausted reason
-    | Some t -> (
-      Format.printf "%a: truncated basis of %d paths@." pp_exhausted reason
-        (List.length t.Gametime.Analysis.basis);
-      match Gametime.Analysis.wcet_opt t ~platform with
-      | Some w ->
-        (* a lower bound only: paths outside the truncated basis's span
-           have no prediction *)
-        Format.printf "longest predicted path so far: %d cycles@."
-          w.Gametime.Analysis.measured_cycles
-      | None -> ()));
-    0
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let timing_cmd =
   let file =
@@ -385,9 +337,12 @@ let timing_cmd =
   Cmd.v
     (Cmd.info "timing" ~doc:"GameTime analysis of a program (Sec. 3)")
     Term.(
-      const (fun obs budget file bits tau ->
-          with_obs obs (fun pool -> timing_run pool budget file bits tau))
-      $ obs_term $ budget_term $ file $ bits $ tau)
+      const (fun obs budget server file bits tau ->
+          with_obs obs (fun pool ->
+              let source = Option.map read_file file in
+              run_spec server pool budget
+                (Server.Jobs.Timing { source; bits; tau })))
+      $ obs_term $ budget_term $ server_term $ file $ bits $ tau)
 
 (* ---- transmission ---- *)
 
@@ -424,24 +379,6 @@ let transmission_cmd =
 
 (* ---- cegar ---- *)
 
-let cegar_run budget junk bits modulus bad_value =
-  let t = Mc.Systems.mod_counter ~junk ~bits ~modulus ~bad_value () in
-  Obs.info "system %s: %d latches@." t.Mc.Ts.name t.Mc.Ts.num_latches;
-  match Mc.Cegar.verify ~budget t with
-  | Budget.Converged (Mc.Cegar.Safe { abstract_latches; iterations; _ }) ->
-    Format.printf "SAFE: %d visible latches after %d iterations@."
-      abstract_latches iterations;
-    0
-  | Budget.Converged (Mc.Cegar.Unsafe { trace; _ }) ->
-    Format.printf "UNSAFE: counterexample of %d steps@." (List.length trace);
-    1
-  | Budget.Exhausted p ->
-    Format.printf "%a: %d visible latches after %d refinements, no verdict@."
-      pp_exhausted p.Mc.Cegar.reason
-      (List.length p.Mc.Cegar.visible)
-      p.Mc.Cegar.iterations;
-    0
-
 let cegar_cmd =
   let junk =
     Arg.(value & opt int 8 & info [ "junk" ] ~doc:"Irrelevant latches.")
@@ -454,32 +391,14 @@ let cegar_cmd =
   Cmd.v
     (Cmd.info "cegar" ~doc:"CEGAR on a counter with irrelevant latches")
     Term.(
-      const (fun obs budget junk bits modulus bad_value ->
-          with_obs obs (fun _pool ->
-              cegar_run budget junk bits modulus bad_value))
-      $ obs_term $ budget_term $ junk $ bits $ modulus $ bad_value)
+      const (fun obs budget server junk bits modulus bad_value ->
+          with_obs obs (fun pool ->
+              run_spec server pool budget
+                (Server.Jobs.Cegar { junk; bits; modulus; bad_value })))
+      $ obs_term $ budget_term $ server_term $ junk $ bits $ modulus
+      $ bad_value)
 
 (* ---- bmc ---- *)
-
-let bmc_run pool budget shift junk bits modulus bad_value max_depth =
-  let t =
-    match shift with
-    | Some len -> Mc.Systems.shift_register ~len
-    | None -> Mc.Systems.mod_counter ~junk ~bits ~modulus ~bad_value ()
-  in
-  Obs.info "system %s: %d latches@." t.Mc.Ts.name t.Mc.Ts.num_latches;
-  match Mc.Bmc.sweep ?pool ~budget t ~max_depth with
-  | Budget.Converged (Some (depth, trace)) ->
-    Format.printf "UNSAFE: counterexample of %d steps at depth %d@."
-      (List.length trace) depth;
-    1
-  | Budget.Converged None ->
-    Format.printf "SAFE within depth %d@." max_depth;
-    0
-  | Budget.Exhausted p ->
-    Format.printf "%a: proved clean through depth %d (of %d)@." pp_exhausted
-      p.Mc.Bmc.reason p.Mc.Bmc.proved_depth max_depth;
-    0
 
 let bmc_cmd =
   let junk =
@@ -506,46 +425,18 @@ let bmc_cmd =
   Cmd.v
     (Cmd.info "bmc" ~doc:"Bounded model checking sweep over growing depths")
     Term.(
-      const (fun obs budget shift junk bits modulus bad_value max_depth ->
+      const (fun obs budget server shift junk bits modulus bad_value max_depth ->
           with_obs obs (fun pool ->
-              bmc_run pool budget shift junk bits modulus bad_value max_depth))
-      $ obs_term $ budget_term $ shift $ junk $ bits $ modulus $ bad_value
-      $ max_depth)
+              run_spec server pool budget
+                (Server.Jobs.Bmc
+                   {
+                     system = { shift; junk; bits; modulus; bad_value };
+                     max_depth;
+                   })))
+      $ obs_term $ budget_term $ server_term $ shift $ junk $ bits $ modulus
+      $ bad_value $ max_depth)
 
 (* ---- invgen ---- *)
-
-let invgen_run pool budget circuit n =
-  let aig, bad =
-    match circuit with
-    | `Ring -> Invgen.Engine.ring_counter ~n
-    | `Mod5 -> Invgen.Engine.counter_mod5 ()
-    | `Twin -> Invgen.Engine.twin_registers ~len:n
-    | `Stuck -> Invgen.Engine.stuck_bit
-  in
-  let verdict = function
-    | Invgen.Induction.Proved -> "proved"
-    | Invgen.Induction.Cex_in_base -> "cex-in-base"
-    | Invgen.Induction.Unknown -> "unknown"
-    | Invgen.Induction.Aborted _ -> "aborted"
-  in
-  match Invgen.Engine.run ?pool ~budget aig ~bad with
-  | Budget.Converged r ->
-    Obs.info "%d candidates from simulation, %d proven inductive@."
-      r.Invgen.Engine.candidates
-      (List.length r.Invgen.Engine.proven);
-    Format.printf "with invariants: %s; unaided: %s@."
-      (verdict r.Invgen.Engine.verdict)
-      (verdict r.Invgen.Engine.verdict_unaided);
-    (match r.Invgen.Engine.verdict with
-    | Invgen.Induction.Proved -> 0
-    | _ -> 1)
-  | Budget.Exhausted p ->
-    Format.printf "%a: %d candidate invariants %s, property undecided@."
-      pp_exhausted p.Invgen.Engine.reason
-      (List.length p.Invgen.Engine.survivors)
-      (if p.Invgen.Engine.filtered then "proven inductive"
-       else "surviving (inductiveness unproven)");
-    0
 
 let invgen_cmd =
   let circuit =
@@ -568,34 +459,12 @@ let invgen_cmd =
     (Cmd.info "invgen"
        ~doc:"Invariant generation by simulation + mutual induction (Sec. 2.4)")
     Term.(
-      const (fun obs budget circuit n ->
-          with_obs obs (fun pool -> invgen_run pool budget circuit n))
-      $ obs_term $ budget_term $ circuit $ n)
+      const (fun obs budget server circuit n ->
+          with_obs obs (fun pool ->
+              run_spec server pool budget (Server.Jobs.Invgen { circuit; n })))
+      $ obs_term $ budget_term $ server_term $ circuit $ n)
 
 (* ---- lstar ---- *)
-
-let lstar_run budget states =
-  (* target: words over {0,1} whose number of 1s is divisible by [states] *)
-  let target =
-    Lstar.Dfa.make ~alphabet:2 ~start:0
-      ~accept:(Array.init states (fun s -> s = 0))
-      ~delta:
-        (Array.init states (fun s -> [| s; (s + 1) mod states |]))
-  in
-  match Lstar.Learner.learn_exact ~budget ~target () with
-  | Budget.Converged (h, st) -> (
-    Obs.info "%d membership queries, %d equivalence queries@."
-      st.Lstar.Learner.membership_queries st.Lstar.Learner.equivalence_queries;
-    Format.printf "learned %d-state DFA in %d rounds@." h.Lstar.Dfa.num_states
-      st.Lstar.Learner.rounds;
-    match Lstar.Dfa.equal h target with Ok () -> 0 | Error _ -> 1)
-  | Budget.Exhausted p ->
-    Format.printf "%a: %d rounds, last hypothesis %s@." pp_exhausted
-      p.Lstar.Learner.reason p.Lstar.Learner.stats.Lstar.Learner.rounds
-      (match p.Lstar.Learner.hypothesis with
-      | Some h -> Printf.sprintf "has %d states" h.Lstar.Dfa.num_states
-      | None -> "none");
-    0
 
 let lstar_cmd =
   let states =
@@ -608,9 +477,10 @@ let lstar_cmd =
   Cmd.v
     (Cmd.info "lstar" ~doc:"Learn a DFA with Angluin's L* algorithm")
     Term.(
-      const (fun obs budget states ->
-          with_obs obs (fun _pool -> lstar_run budget states))
-      $ obs_term $ budget_term $ states)
+      const (fun obs budget server states ->
+          with_obs obs (fun pool ->
+              run_spec server pool budget (Server.Jobs.Lstar { states })))
+      $ obs_term $ budget_term $ server_term $ states)
 
 (* ---- export-chrome ---- *)
 
@@ -1042,6 +912,177 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Print the sciduction instance tables")
     Term.(const table_run $ const ())
 
+(* ---- serve / submit / cancel / shutdown ---- *)
+
+let serve_socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on the Unix-domain socket $(docv). A stale socket \
+              file is replaced; a clean shutdown (and SIGTERM) removes \
+              it.")
+
+let client_socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "server" ] ~docv:"PATH"
+        ~env:(Cmd.Env.info "SCIDUCTION_SERVER")
+        ~doc:"Socket of the running verification server.")
+
+let serve_cmd =
+  let cache_size =
+    Arg.(
+      value
+      & opt (positive_int_conv "--cache-size") 256
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:"Capacity of the content-addressed result cache (LRU \
+                entries).")
+  in
+  let aging =
+    Arg.(
+      value & opt float 5.0
+      & info [ "aging" ] ~docv:"SECONDS"
+          ~doc:"Scheduler aging constant: a queued job gains one priority \
+                level per $(docv) seconds waited, so low-priority work can \
+                never starve.")
+  in
+  let dispatchers =
+    Arg.(
+      value
+      & opt (some (positive_int_conv "--dispatchers")) None
+      & info [ "dispatchers" ] ~docv:"N"
+          ~doc:"Jobs executed concurrently. Default: the --jobs pool \
+                width, else 1.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent verification server on a Unix socket")
+    Term.(
+      const (fun obs fault socket cache_capacity aging_s dispatchers ->
+          arm_fault fault;
+          with_obs obs (fun pool ->
+              match
+                Server.Daemon.start ?pool ?dispatchers ~cache_capacity
+                  ~aging_s ~socket ()
+              with
+              | Error msg ->
+                Format.eprintf "sciduction_cli: %s@." msg;
+                3
+              | Ok d ->
+                (* first signal begins a graceful shutdown; queued jobs
+                   answer shutting_down, in-flight ones cancel at their
+                   next budget poll *)
+                let stop_on _ = Server.Daemon.request_shutdown d in
+                let prev_int =
+                  Sys.signal Sys.sigint (Sys.Signal_handle stop_on)
+                in
+                let prev_term =
+                  Sys.signal Sys.sigterm (Sys.Signal_handle stop_on)
+                in
+                Obs.info "serving on %s@." socket;
+                Server.Daemon.wait d;
+                Server.Daemon.stop d;
+                Sys.set_signal Sys.sigint prev_int;
+                Sys.set_signal Sys.sigterm prev_term;
+                0))
+      $ obs_term $ fault_arg $ serve_socket_arg $ cache_size $ aging
+      $ dispatchers)
+
+let submit_cmd =
+  let job =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOB"
+          ~doc:"The job: either a bare kind ($(b,bmc), $(b,cegar), \
+                $(b,deobfuscate), $(b,invgen), $(b,lstar), $(b,timing)), \
+                meaning that loop with its default parameters, or a JSON \
+                object like \
+                $(b,{\"kind\":\"bmc\",\"shift\":24,\"max_depth\":30}) \
+                whose fields mirror the subcommand's flags.")
+  in
+  let id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"NAME"
+          ~doc:"Name the job (for $(b,cancel)); must be unique among live \
+                jobs. Default: a fresh generated name.")
+  in
+  let priority =
+    Arg.(
+      value & opt int 0
+      & info [ "priority" ] ~docv:"N"
+          ~doc:"Scheduling priority; lower runs first (aging prevents \
+                starvation).")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Server-side wall-clock budget for this job.")
+  in
+  let max_conflicts =
+    Arg.(
+      value
+      & opt (some (positive_int_conv "--max-conflicts")) None
+      & info [ "max-conflicts" ] ~docv:"N"
+          ~doc:"Server-side SAT-conflict budget for this job.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit one job to a running server and print its verdict")
+    Term.(
+      const (fun server job id priority timeout max_conflicts ->
+          let parsed =
+            match Obs.Json.parse job with
+            | Ok j -> Server.Jobs.of_json j
+            | Error _ ->
+              (* a bare kind is shorthand for {"kind": ...} *)
+              Server.Jobs.of_json (Obs.Json.Obj [ ("kind", Obs.Json.String job) ])
+          in
+          match parsed with
+          | Error msg ->
+            Format.eprintf "sciduction_cli: bad job: %s@." msg;
+            3
+          | Ok spec ->
+            submit_and_print server ?id ~priority ?timeout ?max_conflicts
+              spec)
+      $ client_socket_arg $ job $ id $ priority $ timeout $ max_conflicts)
+
+let cancel_cmd =
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"The job name given at submission.")
+  in
+  Cmd.v
+    (Cmd.info "cancel" ~doc:"Cancel a queued or running job on a server")
+    Term.(
+      const (fun server id ->
+          match Server.Client.cancel ~socket:server ~id with
+          | Ok () -> 0
+          | Error msg ->
+            Format.eprintf "sciduction_cli: %s@." msg;
+            3)
+      $ client_socket_arg $ id)
+
+let shutdown_cmd =
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask a running server to shut down cleanly")
+    Term.(
+      const (fun server ->
+          match Server.Client.shutdown ~socket:server () with
+          | Ok () -> 0
+          | Error msg ->
+            Format.eprintf "sciduction_cli: %s@." msg;
+            3)
+      $ client_socket_arg)
+
 let () =
   let doc = "sciduction: induction + deduction + structure hypotheses" in
   exit
@@ -1052,5 +1093,5 @@ let () =
             deobfuscate_cmd; timing_cmd; transmission_cmd; cegar_cmd;
             bmc_cmd; invgen_cmd; lstar_cmd; table_cmd; run_cmd;
             export_chrome_cmd; report_cmd; stats_cmd; check_proof_cmd;
-            explain_cmd;
+            explain_cmd; serve_cmd; submit_cmd; cancel_cmd; shutdown_cmd;
           ]))

@@ -60,7 +60,8 @@ let known_events =
     "stall_detected"; "budget_exhausted"; "loop_finished";
   ]
 
-let known_budget_reasons = [ "iterations"; "conflicts"; "deadline"; "solver" ]
+let known_budget_reasons =
+  [ "iterations"; "conflicts"; "deadline"; "solver"; "cancelled" ]
 
 let str k r = Option.bind (Json.member k r) Json.to_str
 let num k r = Option.bind (Json.member k r) Json.to_float

@@ -2,13 +2,18 @@ type t = {
   iterations : int option;
   conflicts : int option;
   seconds : float option;
+  cancel : (unit -> bool) option;
 }
 
-let unlimited = { iterations = None; conflicts = None; seconds = None }
-let limited ?iterations ?conflicts ?seconds () = { iterations; conflicts; seconds }
+let unlimited =
+  { iterations = None; conflicts = None; seconds = None; cancel = None }
+
+let limited ?iterations ?conflicts ?seconds ?cancel () =
+  { iterations; conflicts; seconds; cancel }
 
 let is_unlimited b =
   b.iterations = None && b.conflicts = None && b.seconds = None
+  && b.cancel = None
 
 let pp ppf b =
   if is_unlimited b then Format.fprintf ppf "unlimited"
@@ -20,7 +25,10 @@ let pp ppf b =
     in
     Option.iter (field "iterations" Format.pp_print_int) b.iterations;
     Option.iter (field "conflicts" Format.pp_print_int) b.conflicts;
-    Option.iter (fun s -> field "seconds" Format.pp_print_float s) b.seconds
+    Option.iter (fun s -> field "seconds" Format.pp_print_float s) b.seconds;
+    Option.iter
+      (fun _ -> field "cancellable" Format.pp_print_bool true)
+      b.cancel
   end
 
 type reason =
@@ -28,12 +36,14 @@ type reason =
   | Conflicts
   | Deadline
   | Solver
+  | Cancelled
 
 let reason_to_string = function
   | Iterations -> "iterations"
   | Conflicts -> "conflicts"
   | Deadline -> "deadline"
   | Solver -> "solver"
+  | Cancelled -> "cancelled"
 
 type ('a, 'p) outcome =
   | Converged of 'a
@@ -57,15 +67,18 @@ let start b =
 let budget m = m.b
 
 let check m =
-  match m.b.iterations with
-  | Some cap when Atomic.get m.iters >= cap -> Some Iterations
+  match m.b.cancel with
+  | Some cancelled when cancelled () -> Some Cancelled
   | _ -> (
-    match m.b.conflicts with
-    | Some cap when Atomic.get m.confl >= cap -> Some Conflicts
+    match m.b.iterations with
+    | Some cap when Atomic.get m.iters >= cap -> Some Iterations
     | _ -> (
-      match m.dl with
-      | Some d when Unix.gettimeofday () > d -> Some Deadline
-      | _ -> None))
+      match m.b.conflicts with
+      | Some cap when Atomic.get m.confl >= cap -> Some Conflicts
+      | _ -> (
+        match m.dl with
+        | Some d when Unix.gettimeofday () > d -> Some Deadline
+        | _ -> None)))
 
 let tick m =
   ignore (Atomic.fetch_and_add m.iters 1);
@@ -79,3 +92,4 @@ let remaining_conflicts m =
   Option.map (fun cap -> max 0 (cap - Atomic.get m.confl)) m.b.conflicts
 
 let deadline m = m.dl
+let cancel_hook m = m.b.cancel

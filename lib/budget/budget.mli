@@ -18,13 +18,26 @@ type t = {
   conflicts : int option;
       (** pooled SAT-conflict allowance across all solver calls *)
   seconds : float option;  (** wall-clock allowance for the whole run *)
+  cancel : (unit -> bool) option;
+      (** cooperative cancellation hook: once it answers [true], the
+          loop stops at its next budget check (and, through
+          [Smt.Govern.limits_of_meter], any in-flight solver call stops
+          at its next poll) with reason {!Cancelled}. Must be cheap and
+          safe to call from any domain — an [Atomic.get] like
+          [Par.Cancel.is_set]. The verification server cancels jobs on
+          client disconnect through this. *)
 }
 
 val unlimited : t
 (** No caps on any axis; metering against it never exhausts. *)
 
 val limited :
-  ?iterations:int -> ?conflicts:int -> ?seconds:float -> unit -> t
+  ?iterations:int ->
+  ?conflicts:int ->
+  ?seconds:float ->
+  ?cancel:(unit -> bool) ->
+  unit ->
+  t
 
 val is_unlimited : t -> bool
 
@@ -38,6 +51,12 @@ type reason =
   | Solver
       (** the deductive engine answered Unknown for a non-budget reason
           (cooperative interrupt, injected fault) *)
+  | Cancelled
+      (** the budget's [cancel] hook fired between solver calls. A
+          cancellation observed {e inside} a solver call surfaces as
+          [Solver] instead (the solver only reports a generic
+          interrupt); callers that own the hook — the server — check it
+          directly to classify the outcome. *)
 
 val reason_to_string : reason -> string
 
@@ -79,3 +98,7 @@ val remaining_conflicts : meter -> int option
 val deadline : meter -> float option
 (** Absolute deadline ([Unix.gettimeofday] scale) fixed when the meter
     started; [None] = no deadline. *)
+
+val cancel_hook : meter -> (unit -> bool) option
+(** The budget's cancellation hook, for bridges that install it on
+    solvers ([Smt.Govern.limits_of_meter]). *)

@@ -2,16 +2,19 @@ type site =
   | Solver_call
   | Pool_submit
   | Domain_spawn
+  | Serve_job
 
 let site_to_string = function
   | Solver_call -> "solver_call"
   | Pool_submit -> "pool_submit"
   | Domain_spawn -> "domain_spawn"
+  | Serve_job -> "serve_job"
 
 let site_index = function
   | Solver_call -> 0
   | Pool_submit -> 1
   | Domain_spawn -> 2
+  | Serve_job -> 3
 
 exception Injected
 
@@ -21,8 +24,8 @@ type config = {
 }
 
 let state : config option Atomic.t = Atomic.make None
-let draws = Array.init 3 (fun _ -> Atomic.make 0)
-let fired = Array.init 3 (fun _ -> Atomic.make 0)
+let draws = Array.init 4 (fun _ -> Atomic.make 0)
+let fired = Array.init 4 (fun _ -> Atomic.make 0)
 
 let scale = 1 lsl 30
 

@@ -24,6 +24,10 @@ type site =
           running the job; the submitter recovers at [await] *)
   | Domain_spawn
       (** [Domain.spawn] during pool creation: fault = spawn failure *)
+  | Serve_job
+      (** a verification-server job about to run: fault = the job dies
+          before producing a verdict; the server answers its client with
+          a typed error while other in-flight jobs proceed *)
 
 val site_to_string : site -> string
 

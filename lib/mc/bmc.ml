@@ -273,14 +273,22 @@ let sweep_par ~start ~meter ?workers pool (ts : Ts.t) ~max_depth =
   let record_stop reason =
     ignore (Atomic.compare_and_set stopped None (Some reason) : bool)
   in
-  (* the work queue: next depth nobody has claimed yet *)
+  (* the work queue: next depth nobody has claimed yet. Claim sizing is
+     seeded from the shared best-depth atomic: once any worker has
+     recorded a counterexample at depth [b], the only work that still
+     matters is proving [..b-1] clean, so late claims are sized against
+     that frontier instead of the cold [max_depth] — near a suspected
+     counterexample region the claims shrink and the remaining workers
+     refine close to the frontier rather than grabbing ranges the best
+     depth already made moot. *)
   let next = Atomic.make start in
   let rec claim () =
     let lo = Atomic.get next in
-    if lo > max_depth || lo >= Atomic.get best then None
+    let frontier = min max_depth (Atomic.get best - 1) in
+    if lo > frontier then None
     else begin
-      let chunk = max 1 ((max_depth - lo + 1) / (2 * width)) in
-      let hi = min max_depth (lo + chunk - 1) in
+      let chunk = max 1 ((frontier - lo + 1) / (2 * width)) in
+      let hi = min frontier (lo + chunk - 1) in
       if Atomic.compare_and_set next lo (hi + 1) then Some (lo, hi)
       else claim ()
     end
@@ -393,10 +401,14 @@ let sweep_par ~start ~meter ?workers pool (ts : Ts.t) ~max_depth =
        with Exit -> ());
       exhaust lp ~proved_depth:!proved reason)
 
-(* The classic BMC loop: one persistent session, depths 0..max_depth in
-   turn. Each depth is one loop iteration, so a trace of a sweep shows
-   where the solving time concentrates as the unrolling grows. *)
-let sweep_seq ~start ~meter (ts : Ts.t) ~max_depth =
+(* The classic BMC loop: one persistent session, depths start..max_depth
+   in turn. Each depth is one loop iteration, so a trace of a sweep
+   shows where the solving time concentrates as the unrolling grows.
+   The session may be warm (frames and learnt clauses from earlier
+   sweeps carry over); the caller owns the claim that depths below
+   [start] are already proved clean. *)
+let sweep_over ~start ~meter sess ~max_depth =
+  let ts = sess.ts in
   let lp =
     Obs.Loop.start "bmc"
       ~attrs:
@@ -405,9 +417,9 @@ let sweep_seq ~start ~meter (ts : Ts.t) ~max_depth =
           ("max_depth", Obs.Int max_depth);
           ("latches", Obs.Int ts.Ts.num_latches);
           ("inputs", Obs.Int ts.Ts.num_inputs);
+          ("warm_frames", Obs.Int sess.frames);
         ]
   in
-  let sess = new_session ts in
   let solver = Tseitin.solver sess.ctx in
   let rec go depth i =
     if depth > max_depth then begin
@@ -445,4 +457,11 @@ let sweep ?(start = 0) ?pool ?workers ?(budget = Budget.unlimited)
   match pool with
   | Some pool when Par.Pool.jobs pool > 1 ->
     sweep_par ~start ~meter ?workers pool ts ~max_depth
-  | _ -> sweep_seq ~start ~meter ts ~max_depth
+  | _ -> sweep_over ~start ~meter (new_session ts) ~max_depth
+
+let sweep_session ?(start = 0) ?(budget = Budget.unlimited) sess ~max_depth =
+  if start < 0 then invalid_arg "Bmc.sweep_session: start must be >= 0";
+  sweep_over ~start ~meter:(Budget.start budget) sess ~max_depth
+
+let session_system sess = sess.ts
+let session_frames sess = sess.frames

@@ -58,6 +58,10 @@ val session_conflicts : session -> int
 (** Cumulative conflicts of the session's solver; callers metering a
     conflict pool charge per-query deltas of this. *)
 
+val session_system : session -> Ts.t
+val session_frames : session -> int
+(** Steps unrolled so far — how warm the session is. *)
+
 (** What an exhausted sweep still established: every depth in
     [start..proved_depth] is proved clean (no bad state reachable that
     shallow), and nothing is claimed past it. [proved_depth] is
@@ -108,4 +112,25 @@ val sweep :
     allocate, and OCaml's minor GC synchronizes every domain, so
     running more workers than hardware threads only adds convoy stalls
     — the claim queue and verdict are the same at any width. Raises
-    [Invalid_argument] when [workers < 1]. *)
+    [Invalid_argument] when [workers < 1].
+
+    Once a worker records a counterexample through the shared
+    best-depth atomic, subsequent claims are seeded from that frontier:
+    sized against [best - 1] rather than [max_depth], so late workers
+    take progressively finer ranges near the suspected counterexample
+    region instead of cold ranges the best depth made moot. *)
+
+val sweep_session :
+  ?start:int ->
+  ?budget:Budget.t ->
+  session ->
+  max_depth:int ->
+  ((int * bool array list) option, partial) Budget.outcome
+(** The sequential sweep over a caller-owned (possibly warm) session:
+    query depths [start..max_depth] in turn, reusing every frame and
+    learnt clause already in the session. The caller owns the claim
+    that depths below [start] are clean — the verification server
+    tracks the proved prefix per problem family and resumes sweeps at
+    [proved + 1], which is where the warm-query speedup over a cold CLI
+    invocation comes from. Verdicts equal {!sweep}'s for the same
+    [start]. Raises [Invalid_argument] when [start < 0]. *)

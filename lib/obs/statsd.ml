@@ -20,6 +20,48 @@ let sanitize name =
     (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') as c -> c | _ -> '_')
     name
 
+(* ----- SIGTERM socket cleanup -----
+
+   A daemon killed by the service manager gets SIGTERM, not a chance to
+   run its [Fun.protect] finalizers, and would leave a stale socket file
+   behind. Every live Unix-socket path (stats endpoints here, the
+   verification server's listener) registers itself; a process-wide
+   handler — installed lazily on first registration, so ordinary runs
+   never touch signal state — unlinks them all and exits with the
+   conventional 128+15. OCaml runs signal handlers at safe points on
+   the main thread, so the unlinks race nothing. *)
+
+let cleanup_lock = Mutex.create ()
+let cleanup_paths : string list ref = ref []
+let sigterm_installed = ref false
+
+let on_sigterm _ =
+  let paths =
+    Mutex.lock cleanup_lock;
+    let ps = !cleanup_paths in
+    cleanup_paths := [];
+    Mutex.unlock cleanup_lock;
+    ps
+  in
+  List.iter (fun p -> try Unix.unlink p with Unix.Unix_error _ -> ()) paths;
+  exit 143
+
+let unlink_on_sigterm path =
+  Mutex.lock cleanup_lock;
+  if not (List.mem path !cleanup_paths) then
+    cleanup_paths := path :: !cleanup_paths;
+  if not !sigterm_installed then begin
+    sigterm_installed := true;
+    try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_sigterm)
+    with Invalid_argument _ | Sys_error _ -> ()
+  end;
+  Mutex.unlock cleanup_lock
+
+let forget_unlink_on_sigterm path =
+  Mutex.lock cleanup_lock;
+  cleanup_paths := List.filter (fun p -> p <> path) !cleanup_paths;
+  Mutex.unlock cleanup_lock
+
 let latest_metrics ticker =
   match Live.latest ticker with
   | Some s -> s.Live.metrics
@@ -30,7 +72,16 @@ let prometheus_page ticker =
   let line fmt = Printf.bprintf buf fmt in
   List.iter
     (fun (name, v) ->
-      let n = "sciduction_" ^ sanitize name in
+      (* The registry keeps integer-friendly units (the server observes
+         request latency in milliseconds); the exposition follows the
+         Prometheus base-unit convention, so the request histogram is
+         renamed and rescaled to seconds on the way out. *)
+      let n, scale =
+        match name with
+        | "server.request_ms" -> ("sciduction_request_seconds", 1e-3)
+        | "server.requests_inflight" -> ("sciduction_requests_inflight", 1.0)
+        | _ -> ("sciduction_" ^ sanitize name, 1.0)
+      in
       match v with
       | Metrics.Counter c -> line "# TYPE %s counter\n%s %d\n" n n c
       | Metrics.Gauge g -> line "# TYPE %s gauge\n%s %g\n" n n g
@@ -40,10 +91,15 @@ let prometheus_page ticker =
         List.iter
           (fun (le, k) ->
             cum := !cum + k;
-            line "%s_bucket{le=\"%d\"} %d\n" n le !cum)
+            if scale = 1.0 then line "%s_bucket{le=\"%d\"} %d\n" n le !cum
+            else
+              line "%s_bucket{le=\"%g\"} %d\n" n
+                (float_of_int le *. scale)
+                !cum)
           buckets;
         line "%s_bucket{le=\"+Inf\"} %d\n" n count;
-        line "%s_sum %d\n" n sum;
+        if scale = 1.0 then line "%s_sum %d\n" n sum
+        else line "%s_sum %g\n" n (float_of_int sum *. scale);
         line "%s_count %d\n" n count)
     (latest_metrics ticker);
   let rate_series label rs =
@@ -201,6 +257,7 @@ let start ~path ~ticker () =
         stopped = false }
     in
     t.thread <- Some (Thread.create (fun () -> serve t ticker) ());
+    unlink_on_sigterm path;
     Ok t
   | exception Unix.Unix_error (err, _, _) ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -217,7 +274,8 @@ let stop t =
     List.iter
       (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
       [ t.listen_fd; t.stop_r; t.stop_w ];
-    try Unix.unlink t.sd_path with Unix.Unix_error _ -> ()
+    forget_unlink_on_sigterm t.sd_path;
+    (try Unix.unlink t.sd_path with Unix.Unix_error _ -> ())
   end
 
 (* ----- client ----- *)

@@ -28,6 +28,18 @@ val stop : t -> unit
 (** Stop the server, join its thread and remove the socket file.
     Idempotent. *)
 
+val unlink_on_sigterm : string -> unit
+(** Register a Unix-socket path to be unlinked if the process receives
+    SIGTERM (the service-manager kill path, which bypasses [Fun.protect]
+    finalizers). The process-wide handler is installed lazily on first
+    registration and exits with the conventional status 143 after the
+    unlinks. {!start} registers its own path automatically; the
+    verification server registers its listener socket too. *)
+
+val forget_unlink_on_sigterm : string -> unit
+(** Drop a path from the SIGTERM cleanup list (after an orderly unlink
+    on the normal shutdown path). *)
+
 val fetch : path:string -> ?target:string -> unit -> (string, string) result
 (** Client side, for [sciduction_cli stats] and tests: connect to the
     socket at [path], request [target] (default [/json]) and return the

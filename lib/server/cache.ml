@@ -1,0 +1,64 @@
+(* Content-addressed LRU result cache.
+
+   Keys are digests of the job's canonical content (Jobs.key), values
+   are the verdict the client would have received. Only deterministic,
+   budget-independent results are stored — the daemon never caches an
+   EXHAUSTED partial, so a hit can be replayed under any budget without
+   changing the answer. The table is small (hundreds of entries) and the
+   eviction scan is O(capacity), which is noise next to a single solver
+   call; recency is a monotone stamp, not a linked list. *)
+
+type entry = { verdict : string; code : int; mutable stamp : int }
+
+type t = {
+  lock : Mutex.t;
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+}
+
+let m_hits = Obs.Metrics.counter "server.cache_hits"
+let m_misses = Obs.Metrics.counter "server.cache_misses"
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  { lock = Mutex.create (); capacity; tbl = Hashtbl.create 64; tick = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+        t.tick <- t.tick + 1;
+        e.stamp <- t.tick;
+        Obs.Metrics.incr m_hits;
+        Some (e.verdict, e.code)
+      | None ->
+        Obs.Metrics.incr m_misses;
+        None)
+
+let evict_oldest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, stamp) when stamp <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.tbl;
+  match !victim with Some (k, _) -> Hashtbl.remove t.tbl k | None -> ()
+
+let store t key ~verdict ~code =
+  locked t (fun () ->
+      t.tick <- t.tick + 1;
+      match Hashtbl.find_opt t.tbl key with
+      | Some e -> e.stamp <- t.tick (* same content => same verdict *)
+      | None ->
+        if Hashtbl.length t.tbl >= t.capacity then evict_oldest t;
+        Hashtbl.replace t.tbl key { verdict; code; stamp = t.tick })
+
+let size t = locked t (fun () -> Hashtbl.length t.tbl)
+let hits () = Obs.Metrics.counter_value m_hits
+let misses () = Obs.Metrics.counter_value m_misses

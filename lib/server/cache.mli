@@ -1,0 +1,28 @@
+(** Content-addressed LRU result cache.
+
+    The daemon's cross-request memo: a repeat submission of the same
+    canonical problem (same {!Jobs.key}) is answered from here without
+    touching a solver. Entries hold the exact verdict string and exit
+    code the first run produced, so a cache hit is bit-identical to the
+    run it replays. Hits and misses feed the
+    [server.cache_hits]/[server.cache_misses] registry counters (and
+    through them the [/metrics] exposition). Thread-safe. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 256 entries; least-recently-used eviction. Raises
+    [Invalid_argument] when [capacity < 1]. *)
+
+val find : t -> string -> (string * int) option
+(** [(verdict, code)] for a key, marking it most recently used. Counts
+    a hit or a miss. *)
+
+val store : t -> string -> verdict:string -> code:int -> unit
+(** Insert (or refresh the recency of) a result. Callers only store
+    deterministic converged results — never EXHAUSTED partials, whose
+    content depends on the budget that cut them short. *)
+
+val size : t -> int
+val hits : unit -> int
+val misses : unit -> int

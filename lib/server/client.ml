@@ -1,0 +1,132 @@
+(* Client side of the JSONL protocol: one connection per call, a
+   request line out, responses read back until the call's terminal
+   answer. Used by the CLI's submit/cancel/shutdown subcommands, by the
+   --server routing of the loop subcommands, and by the tests. *)
+
+module P = Protocol
+
+type failure = { fcode : string; fmessage : string }
+
+type outcome = { verdict : string; code : int; cached : bool; ms : float }
+
+let ids = Atomic.make 0
+
+let fresh_id spec =
+  Printf.sprintf "%s-%d-%d" (Jobs.kind spec) (Unix.getpid ())
+    (Atomic.fetch_and_add ids 1)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+let with_conn socket f =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s" socket
+         (Unix.error_message err))
+  | () ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let ic = Unix.in_channel_of_descr fd in
+        let request req =
+          write_all fd (Obs.Json.to_string (P.request_to_json req) ^ "\n")
+        in
+        let next_response () =
+          match input_line ic with
+          | exception End_of_file -> Error "server closed the connection"
+          | line -> P.parse_response line
+        in
+        try f ~request ~next_response
+        with Unix.Unix_error (err, _, _) ->
+          Error (Printf.sprintf "i/o with %s failed: %s" socket
+                   (Unix.error_message err)))
+
+let protocol_failure resp =
+  Error
+    (Printf.sprintf "unexpected response %s"
+       (Obs.Json.to_string (P.response_to_json resp)))
+
+(* Submit one job and block until its verdict. [Error (`Failure _)] is
+   a transport problem; [Error (`Server f)] is the daemon's typed
+   error (fault_injected, cancelled, ...). *)
+let submit ~socket ?id ?(priority = 0) ?timeout ?max_conflicts spec =
+  let id = match id with Some id -> id | None -> fresh_id spec in
+  let r =
+    with_conn socket (fun ~request ~next_response ->
+        request (P.Submit { P.id; spec; timeout; max_conflicts; priority });
+        let rec await () =
+          match next_response () with
+          | Error msg -> Error msg
+          | Ok (P.Ack _) -> await ()
+          | Ok (P.Result r) ->
+            Ok
+              (Ok
+                 {
+                   verdict = r.verdict;
+                   code = r.code;
+                   cached = r.cached;
+                   ms = r.ms;
+                 })
+          | Ok (P.Err e) ->
+            Ok
+              (Error
+                 {
+                   fcode = P.error_code_to_string e.code;
+                   fmessage = e.message;
+                 })
+          | Ok other -> protocol_failure other
+        in
+        await ())
+  in
+  match r with
+  | Error msg -> Error (`Transport msg)
+  | Ok (Ok o) -> Ok o
+  | Ok (Error f) -> Error (`Server f)
+
+let cancel ~socket ~id =
+  with_conn socket (fun ~request ~next_response ->
+      request (P.Cancel id);
+      match next_response () with
+      | Error msg -> Error msg
+      | Ok (P.Ack _) -> Ok ()
+      | Ok (P.Err e) ->
+        Error
+          (Printf.sprintf "%s: %s" (P.error_code_to_string e.code) e.message)
+      | Ok other -> protocol_failure other)
+
+let shutdown ~socket () =
+  with_conn socket (fun ~request ~next_response ->
+      request P.Shutdown;
+      match next_response () with
+      | Error msg -> Error msg
+      | Ok P.Bye -> Ok ()
+      | Ok (P.Err e) ->
+        Error
+          (Printf.sprintf "%s: %s" (P.error_code_to_string e.code) e.message)
+      | Ok other -> protocol_failure other)
+
+let ping ~socket () =
+  with_conn socket (fun ~request ~next_response ->
+      request P.Ping;
+      match next_response () with
+      | Error msg -> Error msg
+      | Ok P.Pong -> Ok ()
+      | Ok other -> protocol_failure other)
+
+let stats ~socket () =
+  with_conn socket (fun ~request ~next_response ->
+      request P.Stats;
+      match next_response () with
+      | Error msg -> Error msg
+      | Ok (P.StatsReply s) -> Ok s
+      | Ok (P.Err e) ->
+        Error
+          (Printf.sprintf "%s: %s" (P.error_code_to_string e.code) e.message)
+      | Ok other -> protocol_failure other)

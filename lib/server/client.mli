@@ -1,0 +1,35 @@
+(** Client side of the daemon's JSONL protocol.
+
+    One connection per call: connect, send the request line, read until
+    the call's terminal response. Backs the CLI's [submit], [cancel]
+    and [shutdown] subcommands, the [--server] routing of the loop
+    subcommands, and the tests. *)
+
+type failure = { fcode : string; fmessage : string }
+(** A typed error the daemon answered with ([fcode] is the protocol
+    error-code string, e.g. ["fault_injected"]). *)
+
+type outcome = { verdict : string; code : int; cached : bool; ms : float }
+(** A finished job as the daemon reported it: the exact CLI verdict
+    text and exit code, whether it was served from the result cache,
+    and the service time. *)
+
+val submit :
+  socket:string ->
+  ?id:string ->
+  ?priority:int ->
+  ?timeout:float ->
+  ?max_conflicts:int ->
+  Jobs.spec ->
+  (outcome, [ `Server of failure | `Transport of string ]) result
+(** Submit and block until the verdict. [?id] defaults to a fresh
+    process-unique name; [?timeout]/[?max_conflicts] become the job's
+    server-side budget; lower [?priority] (default 0) runs first. *)
+
+val cancel : socket:string -> id:string -> (unit, string) result
+val shutdown : socket:string -> unit -> (unit, string) result
+val ping : socket:string -> unit -> (unit, string) result
+
+val stats : socket:string -> unit -> (Obs.Json.t, string) result
+(** The daemon's scheduler/cache counters (the protocol [stats] op —
+    distinct from the [--stats-socket] telemetry endpoint). *)

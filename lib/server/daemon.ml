@@ -1,0 +1,563 @@
+(* The long-lived verification server.
+
+   One Unix-domain listener, one reader systhread per client, N
+   dispatcher systhreads executing jobs (through the Par pool when one
+   is given — each dispatcher submits one task and awaits it, so with a
+   pool of J units roughly J jobs make progress on distinct domains).
+   Shared state (the pending queue, the in-flight table, the client
+   registry) lives behind one mutex + condvar; the result cache and the
+   warm-session store have their own locks.
+
+   Scheduling is FIFO with aging: the queue is scanned for the lowest
+   effective priority [priority - age/aging_s], ties broken by arrival
+   order, so a high-priority stream cannot starve earlier cheap
+   requests forever. Cancellation is cooperative end to end: every job
+   owns a Par.Cancel token, installed as the Budget's cancel hook (and,
+   through Govern.limits_of_meter, as the in-flight solver's stop
+   callback), so an explicit cancel, a client disconnect, or shutdown
+   stops a running solver within a poll interval.
+
+   Write-side discipline: a reader holds the connection's write lock
+   across [check + enqueue + ack], so a dispatcher (which takes the
+   same lock to write the result) can never put a result on the wire
+   before its ack. Lock order is always conn.wlock -> t.lock; the
+   dispatcher sends while holding neither. *)
+
+module P = Protocol
+
+let m_requests = Obs.Metrics.counter "server.requests"
+let m_done = Obs.Metrics.counter "server.requests_done"
+let m_cancelled = Obs.Metrics.counter "server.requests_cancelled"
+let m_faults = Obs.Metrics.counter "server.requests_faulted"
+let m_request_ms = Obs.Metrics.histogram "server.request_ms"
+let m_inflight = Obs.Metrics.gauge "server.requests_inflight"
+let m_queue_depth = Obs.Metrics.gauge "server.queue_depth"
+
+type conn = {
+  fd : Unix.file_descr;
+  wlock : Mutex.t;
+  mutable alive : bool;
+}
+
+type pending = {
+  id : string;
+  owner : conn;
+  spec : Jobs.spec;
+  cache_key : string;
+  timeout : float option;
+  max_conflicts : int option;
+  priority : int;
+  enqueued : float;
+  token : Par.Cancel.t;
+}
+
+type t = {
+  socket : string;
+  listen_fd : Unix.file_descr;
+  stop_r : Unix.file_descr; (* wakes the acceptor *)
+  stop_w : Unix.file_descr;
+  done_r : Unix.file_descr; (* wakes [wait] *)
+  done_w : Unix.file_descr;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable queue : pending list; (* arrival order *)
+  inflight : (string, pending) Hashtbl.t;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  mutable shutting_down : bool;
+  cache : Cache.t;
+  warm : Warm.t;
+  pool : Par.Pool.t option;
+  aging_s : float;
+  mutable dispatchers : Thread.t list;
+  mutable acceptor : Thread.t option;
+  mutable stopped : bool;
+}
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+let send conn resp =
+  Mutex.lock conn.wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wlock)
+    (fun () ->
+      if conn.alive then
+        try write_all conn.fd (P.response_to_line resp)
+        with Unix.Unix_error _ -> conn.alive <- false)
+
+let set_gauges t =
+  (* caller holds t.lock *)
+  Obs.Metrics.set_gauge m_queue_depth (float_of_int (List.length t.queue));
+  Obs.Metrics.set_gauge m_inflight (float_of_int (Hashtbl.length t.inflight))
+
+(* ----- scheduler ----- *)
+
+(* Lowest effective priority wins; the queue is kept in arrival order,
+   so the first minimum found is also the oldest. *)
+let pick_best t =
+  match t.queue with
+  | [] -> None
+  | first :: _ ->
+    let now = Unix.gettimeofday () in
+    let eff p =
+      float_of_int p.priority -. ((now -. p.enqueued) /. t.aging_s)
+    in
+    let best =
+      List.fold_left
+        (fun acc p -> if eff p < eff acc then p else acc)
+        first t.queue
+    in
+    t.queue <- List.filter (fun p -> p != best) t.queue;
+    Some best
+
+let err_of_exn = function
+  | Fault.Injected ->
+    (P.Fault_injected, "injected fault: the job died before its verdict")
+  | Failure msg -> (P.Job_failed, msg)
+  | e -> (P.Job_failed, Printexc.to_string e)
+
+let execute t (p : pending) =
+  let t0 = Unix.gettimeofday () in
+  let fail code message =
+    send p.owner (P.Err { code; message; id = Some p.id })
+  in
+  if Par.Cancel.is_set p.token then begin
+    Obs.Metrics.incr m_cancelled;
+    fail P.Cancelled (Printf.sprintf "job %s cancelled" p.id)
+  end
+  else if Fault.fire Fault.Serve_job then begin
+    Obs.Metrics.incr m_faults;
+    fail P.Fault_injected "injected fault: the job died before its verdict"
+  end
+  else begin
+    let budget =
+      Budget.limited ?seconds:p.timeout ?conflicts:p.max_conflicts
+        ~cancel:(fun () -> Par.Cancel.is_set p.token)
+        ()
+    in
+    (* the loop inside the job stays sequential (?pool is not passed
+       down): parallelism comes from running whole jobs on distinct
+       pool units, and verdicts stay identical to a --jobs 1 CLI run *)
+    let run () = Jobs.run ~warm:t.warm ~budget p.spec in
+    match
+      match t.pool with
+      | Some pool -> Par.await pool (Par.submit pool run)
+      | None -> run ()
+    with
+    | exception e ->
+      let code, message = err_of_exn e in
+      if code = P.Fault_injected then Obs.Metrics.incr m_faults;
+      fail code message
+    | r ->
+      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      Obs.Metrics.observe m_request_ms (int_of_float ms);
+      if Par.Cancel.is_set p.token then begin
+        Obs.Metrics.incr m_cancelled;
+        fail P.Cancelled (Printf.sprintf "job %s cancelled" p.id)
+      end
+      else begin
+        if r.Jobs.cacheable then
+          Cache.store t.cache p.cache_key ~verdict:r.Jobs.verdict
+            ~code:r.Jobs.code;
+        Obs.Metrics.incr m_done;
+        send p.owner
+          (P.Result
+             {
+               id = p.id;
+               verdict = r.Jobs.verdict;
+               code = r.Jobs.code;
+               cached = false;
+               ms;
+             })
+      end
+  end
+
+let rec dispatcher t =
+  Mutex.lock t.lock;
+  let rec next () =
+    if t.shutting_down then None
+    else
+      match pick_best t with
+      | Some p -> Some p
+      | None ->
+        Condition.wait t.cond t.lock;
+        next ()
+  in
+  match next () with
+  | None -> Mutex.unlock t.lock
+  | Some p ->
+    Hashtbl.replace t.inflight p.id p;
+    set_gauges t;
+    Mutex.unlock t.lock;
+    (try execute t p
+     with e ->
+       send p.owner
+         (P.Err { code = P.Job_failed; message = Printexc.to_string e;
+                  id = Some p.id }));
+    Mutex.lock t.lock;
+    Hashtbl.remove t.inflight p.id;
+    set_gauges t;
+    Mutex.unlock t.lock;
+    dispatcher t
+
+(* ----- shutdown plumbing ----- *)
+
+let request_shutdown t =
+  Mutex.lock t.lock;
+  let first = not t.shutting_down in
+  t.shutting_down <- true;
+  if first then begin
+    (* stop in-flight work quickly; each job answers Cancelled *)
+    Hashtbl.iter (fun _ p -> Par.Cancel.set p.token) t.inflight;
+    Condition.broadcast t.cond
+  end;
+  Mutex.unlock t.lock;
+  if first then begin
+    (try ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1 : int)
+     with Unix.Unix_error _ -> ());
+    try ignore (Unix.write t.done_w (Bytes.of_string "x") 0 1 : int)
+    with Unix.Unix_error _ -> ()
+  end
+
+(* ----- per-client reader ----- *)
+
+let drop_client t conn =
+  Mutex.lock t.lock;
+  (* a vanished client cannot read results: cancel everything it owns *)
+  let mine, rest = List.partition (fun p -> p.owner == conn) t.queue in
+  t.queue <- rest;
+  List.iter (fun p -> Par.Cancel.set p.token) mine;
+  Hashtbl.iter
+    (fun _ p -> if p.owner == conn then Par.Cancel.set p.token)
+    t.inflight;
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  if mine <> [] then Obs.Metrics.add m_cancelled (List.length mine);
+  set_gauges t;
+  Mutex.unlock t.lock;
+  Mutex.lock conn.wlock;
+  conn.alive <- false;
+  Mutex.unlock conn.wlock;
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let handle_submit t conn (s : P.submit) =
+  Obs.Metrics.incr m_requests;
+  let cache_key = Jobs.key s.P.spec in
+  (* hold the write lock across decide + ack (+ cached result) so a
+     dispatcher's result can never overtake the ack on the wire *)
+  Mutex.lock conn.wlock;
+  let replies =
+    Mutex.lock t.lock;
+    let answer =
+      if t.shutting_down then
+        [
+          P.Err
+            {
+              code = P.Shutting_down;
+              message = "server is shutting down";
+              id = Some s.P.id;
+            };
+        ]
+      else if
+        Hashtbl.mem t.inflight s.P.id
+        || List.exists (fun p -> p.id = s.P.id) t.queue
+      then
+        [
+          P.Err
+            {
+              code = P.Duplicate_id;
+              message =
+                Printf.sprintf "a job named %S is already live" s.P.id;
+              id = Some s.P.id;
+            };
+        ]
+      else begin
+        match Cache.find t.cache cache_key with
+        | Some (verdict, code) ->
+          [
+            P.Ack s.P.id;
+            P.Result { id = s.P.id; verdict; code; cached = true; ms = 0.0 };
+          ]
+        | None ->
+          t.queue <-
+            t.queue
+            @ [
+                {
+                  id = s.P.id;
+                  owner = conn;
+                  spec = s.P.spec;
+                  cache_key;
+                  timeout = s.P.timeout;
+                  max_conflicts = s.P.max_conflicts;
+                  priority = s.P.priority;
+                  enqueued = Unix.gettimeofday ();
+                  token = Par.Cancel.create ();
+                };
+              ];
+          set_gauges t;
+          Condition.signal t.cond;
+          [ P.Ack s.P.id ]
+      end
+    in
+    Mutex.unlock t.lock;
+    answer
+  in
+  List.iter
+    (fun resp ->
+      if conn.alive then
+        try write_all conn.fd (P.response_to_line resp)
+        with Unix.Unix_error _ -> conn.alive <- false)
+    replies;
+  Mutex.unlock conn.wlock
+
+let handle_cancel t conn id =
+  let outcome =
+    Mutex.lock t.lock;
+    let r =
+      match List.find_opt (fun p -> p.id = id) t.queue with
+      | Some p ->
+        t.queue <- List.filter (fun q -> q != p) t.queue;
+        Par.Cancel.set p.token;
+        set_gauges t;
+        `Dequeued p
+      | None -> (
+        match Hashtbl.find_opt t.inflight id with
+        | Some p ->
+          Par.Cancel.set p.token;
+          `Running
+        | None -> `Unknown)
+    in
+    Mutex.unlock t.lock;
+    r
+  in
+  match outcome with
+  | `Dequeued p ->
+    Obs.Metrics.incr m_cancelled;
+    send conn (P.Ack id);
+    (* the owner (usually the same connection) learns the job is gone *)
+    send p.owner
+      (P.Err
+         {
+           code = P.Cancelled;
+           message = Printf.sprintf "job %s cancelled" id;
+           id = Some id;
+         })
+  | `Running -> send conn (P.Ack id) (* its dispatcher answers Cancelled *)
+  | `Unknown ->
+    send conn
+      (P.Err
+         {
+           code = P.Unknown_job;
+           message = Printf.sprintf "no live job named %S" id;
+           id = Some id;
+         })
+
+let stats_json t =
+  Mutex.lock t.lock;
+  let queued = List.length t.queue in
+  let inflight = Hashtbl.length t.inflight in
+  let clients = List.length t.conns in
+  Mutex.unlock t.lock;
+  Obs.Json.Obj
+    [
+      ("queued", Obs.Json.Int queued);
+      ("inflight", Obs.Json.Int inflight);
+      ("clients", Obs.Json.Int clients);
+      ("done", Obs.Json.Int (Obs.Metrics.counter_value m_done));
+      ("cancelled", Obs.Json.Int (Obs.Metrics.counter_value m_cancelled));
+      ("faulted", Obs.Json.Int (Obs.Metrics.counter_value m_faults));
+      ("cache_hits", Obs.Json.Int (Cache.hits ()));
+      ("cache_misses", Obs.Json.Int (Cache.misses ()));
+      ("warm_hits", Obs.Json.Int (Warm.hits ()));
+      ("warm_families", Obs.Json.Int (Warm.families t.warm));
+    ]
+
+let handle_line t conn ~overflowed line =
+  if overflowed then
+    send conn
+      (P.Err
+         {
+           code = P.Oversized;
+           message =
+             Printf.sprintf "request line exceeds %d bytes" P.max_line_bytes;
+           id = None;
+         })
+  else
+    match P.parse_request line with
+    | Error (code, message) -> send conn (P.Err { code; message; id = None })
+    | Ok P.Ping -> send conn P.Pong
+    | Ok P.Stats -> send conn (P.StatsReply (stats_json t))
+    | Ok P.Shutdown ->
+      send conn P.Bye;
+      request_shutdown t
+    | Ok (P.Cancel id) -> handle_cancel t conn id
+    | Ok (P.Submit s) -> handle_submit t conn s
+
+let reader t conn =
+  let chunk = Bytes.create 4096 in
+  let line = Buffer.create 256 in
+  let overflowed = ref false in
+  let feed b =
+    if b = '\n' then begin
+      let s = Buffer.contents line in
+      Buffer.clear line;
+      let over = !overflowed in
+      overflowed := false;
+      if s <> "" || over then handle_line t conn ~overflowed:over s
+    end
+    else if Buffer.length line >= P.max_line_bytes then overflowed := true
+    else Buffer.add_char line b
+  in
+  let rec loop () =
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      for i = 0 to n - 1 do
+        feed (Bytes.get chunk i)
+      done;
+      loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ();
+  drop_client t conn
+
+(* ----- acceptor ----- *)
+
+let acceptor t =
+  let buf = Bytes.create 1 in
+  let rec loop () =
+    match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
+    | readable, _, _ when List.mem t.stop_r readable ->
+      ignore (Unix.read t.stop_r buf 0 1 : int)
+    | readable, _, _ when List.mem t.listen_fd readable ->
+      (match Unix.accept ~cloexec:true t.listen_fd with
+      | fd, _ ->
+        let conn = { fd; wlock = Mutex.create (); alive = true } in
+        Mutex.lock t.lock;
+        t.conns <- conn :: t.conns;
+        t.readers <- Thread.create (fun () -> reader t conn) () :: t.readers;
+        Mutex.unlock t.lock
+      | exception Unix.Unix_error _ -> ());
+      loop ()
+    | _ -> loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+(* ----- lifecycle ----- *)
+
+let start ?pool ?dispatchers ?(cache_capacity = 256) ?(aging_s = 5.0) ~socket
+    () =
+  if aging_s <= 0.0 then invalid_arg "Daemon.start: aging_s must be positive";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.bind fd (Unix.ADDR_UNIX socket);
+    Unix.listen fd 16
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot serve on %s: %s" socket (Unix.error_message err))
+  | () ->
+    let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+    let done_r, done_w = Unix.pipe ~cloexec:true () in
+    let width =
+      match dispatchers with
+      | Some n ->
+        if n < 1 then invalid_arg "Daemon.start: dispatchers must be >= 1";
+        n
+      | None -> ( match pool with Some p -> Par.Pool.jobs p | None -> 1)
+    in
+    let t =
+      {
+        socket;
+        listen_fd = fd;
+        stop_r;
+        stop_w;
+        done_r;
+        done_w;
+        lock = Mutex.create ();
+        cond = Condition.create ();
+        queue = [];
+        inflight = Hashtbl.create 16;
+        conns = [];
+        readers = [];
+        shutting_down = false;
+        cache = Cache.create ~capacity:cache_capacity ();
+        warm = Warm.create ();
+        pool;
+        aging_s;
+        dispatchers = [];
+        acceptor = None;
+        stopped = false;
+      }
+    in
+    Obs.Statsd.unlink_on_sigterm socket;
+    t.dispatchers <-
+      List.init width (fun _ -> Thread.create (fun () -> dispatcher t) ());
+    t.acceptor <- Some (Thread.create (fun () -> acceptor t) ());
+    Ok t
+
+let wait t =
+  let buf = Bytes.create 1 in
+  let rec go () =
+    match Unix.select [ t.done_r ] [] [] (-1.0) with
+    | readable, _, _ when List.mem t.done_r readable ->
+      ignore (Unix.read t.done_r buf 0 1 : int)
+    | _ -> go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    request_shutdown t;
+    Option.iter Thread.join t.acceptor;
+    t.acceptor <- None;
+    (* the dispatchers drain: in-flight jobs see their cancel tokens and
+       answer quickly, then each thread observes shutting_down *)
+    Mutex.lock t.lock;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.lock;
+    List.iter Thread.join t.dispatchers;
+    t.dispatchers <- [];
+    (* whatever is still queued can no longer run *)
+    Mutex.lock t.lock;
+    let orphans = t.queue in
+    t.queue <- [];
+    let conns = t.conns in
+    let readers = t.readers in
+    set_gauges t;
+    Mutex.unlock t.lock;
+    List.iter
+      (fun p ->
+        send p.owner
+          (P.Err
+             {
+               code = P.Shutting_down;
+               message = "server is shutting down";
+               id = Some p.id;
+             }))
+      orphans;
+    (* nudge the readers off their blocking reads, then join them *)
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error _ -> ())
+      conns;
+    List.iter Thread.join readers;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ t.listen_fd; t.stop_r; t.stop_w; t.done_r; t.done_w ];
+    Obs.Statsd.forget_unlink_on_sigterm t.socket;
+    try Unix.unlink t.socket with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,51 @@
+(** The long-lived verification server.
+
+    Listens on a Unix-domain socket, speaks the JSONL {!Protocol},
+    multiplexes named jobs onto the {!Par} domain pool under per-job
+    {!Budget} quotas, and reuses work across requests through the
+    content-addressed result {!Cache} and the {!Warm} session store.
+    Scheduling is FIFO with aging (effective priority
+    [priority - age/aging_s], lowest first); cancellation — explicit
+    [cancel], client disconnect, or shutdown — is cooperative through
+    [Par.Cancel] tokens installed as each job's budget cancel hook, so
+    even an in-flight solver call stops within a poll interval.
+
+    Registry series (scraped via [--stats-socket]):
+    [server.requests{,_done,_cancelled,_faulted}] counters,
+    [server.request_ms] latency histogram (exported to Prometheus as
+    [sciduction_request_seconds]), [server.requests_inflight] (exported
+    as [sciduction_requests_inflight]) and [server.queue_depth] gauges,
+    plus the cache and warm-store hit/miss counters. *)
+
+type t
+
+val start :
+  ?pool:Par.Pool.t ->
+  ?dispatchers:int ->
+  ?cache_capacity:int ->
+  ?aging_s:float ->
+  socket:string ->
+  unit ->
+  (t, string) result
+(** Bind, listen and serve in background threads. With [?pool], each of
+    the [?dispatchers] (default: the pool's job count, else 1) executes
+    its job as one pool task, so whole jobs run on distinct domains;
+    the loops inside a job stay sequential, which keeps served verdicts
+    bit-identical to one-shot CLI runs. A stale socket file is
+    replaced; the path is registered for SIGTERM cleanup. [Error] is a
+    bind/listen failure. *)
+
+val wait : t -> unit
+(** Block until shutdown is requested (by a [shutdown] request,
+    {!request_shutdown}, or {!stop}). *)
+
+val request_shutdown : t -> unit
+(** Begin shutdown: refuse new submissions, set every in-flight job's
+    cancel token, wake {!wait}. Idempotent, async-signal-safe enough to
+    call from a signal handler. *)
+
+val stop : t -> unit
+(** Full teardown: request shutdown, join the acceptor and dispatchers
+    (in-flight jobs answer [cancelled] quickly via their tokens),
+    answer still-queued jobs with [shutting_down], disconnect clients,
+    join readers, close everything and unlink the socket. Idempotent. *)

@@ -1,0 +1,213 @@
+(* The versioned JSONL wire protocol.
+
+   One JSON object per line in each direction. Every request names the
+   protocol version; a line that is not JSON, not versioned, or longer
+   than [max_line_bytes] is rejected with a typed error rather than a
+   dropped connection, so clients can always distinguish "the server
+   disliked my request" from "the server died". The codec is total in
+   both directions: [parse_request] never raises, and every response
+   the daemon can emit has a printer here and a parser used by the
+   client. *)
+
+module J = Obs.Json
+
+let version = "sciduction.serve/1"
+let max_line_bytes = 65536
+
+type submit = {
+  id : string;
+  spec : Jobs.spec;
+  timeout : float option;
+  max_conflicts : int option;
+  priority : int;
+}
+
+type request =
+  | Submit of submit
+  | Cancel of string
+  | Ping
+  | Stats
+  | Shutdown
+
+type error_code =
+  | Parse_error  (** the line is not a JSON object *)
+  | Oversized  (** the line exceeds {!max_line_bytes} *)
+  | Bad_request  (** missing/ill-typed fields, or wrong protocol version *)
+  | Unknown_op
+  | Duplicate_id  (** the id names a job still queued or in flight *)
+  | Unknown_job  (** cancel for an id the server is not running *)
+  | Fault_injected  (** the job died under armed fault injection *)
+  | Job_failed  (** the job raised; the message carries the exception *)
+  | Cancelled  (** explicit cancel, client disconnect, or shutdown *)
+  | Shutting_down  (** the server no longer accepts work *)
+
+let error_code_to_string = function
+  | Parse_error -> "parse_error"
+  | Oversized -> "oversized"
+  | Bad_request -> "bad_request"
+  | Unknown_op -> "unknown_op"
+  | Duplicate_id -> "duplicate_id"
+  | Unknown_job -> "unknown_job"
+  | Fault_injected -> "fault_injected"
+  | Job_failed -> "job_failed"
+  | Cancelled -> "cancelled"
+  | Shutting_down -> "shutting_down"
+
+(* ----- request codec ----- *)
+
+let str_member name j = Option.bind (J.member name j) J.to_str
+
+let parse_request line =
+  match J.parse line with
+  | Error msg -> Error (Parse_error, "not a JSON line: " ^ msg)
+  | Ok j -> (
+    match str_member "v" j with
+    | None -> Error (Bad_request, Printf.sprintf "missing protocol version %S" version)
+    | Some v when v <> version ->
+      Error
+        ( Bad_request,
+          Printf.sprintf "unsupported protocol version %S (want %S)" v version
+        )
+    | Some _ -> (
+      match str_member "op" j with
+      | None -> Error (Bad_request, "missing field \"op\"")
+      | Some "ping" -> Ok Ping
+      | Some "stats" -> Ok Stats
+      | Some "shutdown" -> Ok Shutdown
+      | Some "cancel" -> (
+        match str_member "id" j with
+        | Some id when id <> "" -> Ok (Cancel id)
+        | _ -> Error (Bad_request, "cancel needs a non-empty \"id\""))
+      | Some "submit" -> (
+        match str_member "id" j with
+        | None -> Error (Bad_request, "submit needs a non-empty \"id\"")
+        | Some "" -> Error (Bad_request, "submit needs a non-empty \"id\"")
+        | Some id -> (
+          match J.member "job" j with
+          | None -> Error (Bad_request, "submit needs a \"job\" object")
+          | Some job -> (
+            match Jobs.of_json job with
+            | Error msg -> Error (Bad_request, "bad job: " ^ msg)
+            | Ok spec ->
+              let timeout =
+                Option.bind (J.member "timeout" j) J.to_float
+              in
+              let max_conflicts =
+                Option.bind (J.member "max_conflicts" j) J.to_int
+              in
+              let priority =
+                Option.value ~default:0
+                  (Option.bind (J.member "priority" j) J.to_int)
+              in
+              Ok (Submit { id; spec; timeout; max_conflicts; priority }))))
+      | Some op -> Error (Unknown_op, Printf.sprintf "unknown op %S" op)))
+
+let request_to_json req =
+  let base op rest = J.Obj ((("v", J.String version) :: ("op", J.String op) :: rest)) in
+  match req with
+  | Ping -> base "ping" []
+  | Stats -> base "stats" []
+  | Shutdown -> base "shutdown" []
+  | Cancel id -> base "cancel" [ ("id", J.String id) ]
+  | Submit s ->
+    base "submit"
+      ([ ("id", J.String s.id); ("job", Jobs.to_json s.spec) ]
+      @ (match s.timeout with
+        | Some t -> [ ("timeout", J.Float t) ]
+        | None -> [])
+      @ (match s.max_conflicts with
+        | Some n -> [ ("max_conflicts", J.Int n) ]
+        | None -> [])
+      @ if s.priority <> 0 then [ ("priority", J.Int s.priority) ] else [])
+
+(* ----- response codec ----- *)
+
+type response =
+  | Ack of string
+  | Result of {
+      id : string;
+      verdict : string;
+      code : int;
+      cached : bool;
+      ms : float;
+    }
+  | Err of { code : error_code; message : string; id : string option }
+  | Pong
+  | StatsReply of J.t
+  | Bye
+
+let response_to_json resp =
+  let base ty rest = J.Obj (("v", J.String version) :: ("type", J.String ty) :: rest) in
+  match resp with
+  | Ack id -> base "ack" [ ("id", J.String id) ]
+  | Result r ->
+    base "result"
+      [
+        ("id", J.String r.id);
+        ("verdict", J.String r.verdict);
+        ("code", J.Int r.code);
+        ("cached", J.Bool r.cached);
+        ("ms", J.Float r.ms);
+      ]
+  | Err e ->
+    base "error"
+      ([
+         ("code", J.String (error_code_to_string e.code));
+         ("message", J.String e.message);
+       ]
+      @ match e.id with Some id -> [ ("id", J.String id) ] | None -> [])
+  | Pong -> base "pong" []
+  | StatsReply s -> base "stats" [ ("stats", s) ]
+  | Bye -> base "bye" []
+
+let response_to_line resp = J.to_string (response_to_json resp) ^ "\n"
+
+let parse_response line =
+  match J.parse line with
+  | Error msg -> Error ("malformed response: " ^ msg)
+  | Ok j -> (
+    let str name = str_member name j in
+    match str "type" with
+    | Some "pong" -> Ok Pong
+    | Some "bye" -> Ok Bye
+    | Some "stats" -> (
+      match J.member "stats" j with
+      | Some s -> Ok (StatsReply s)
+      | None -> Error "stats response without a stats object")
+    | Some "ack" -> (
+      match str "id" with
+      | Some id -> Ok (Ack id)
+      | None -> Error "ack without an id")
+    | Some "result" -> (
+      match (str "id", str "verdict", Option.bind (J.member "code" j) J.to_int)
+      with
+      | Some id, Some verdict, Some code ->
+        let cached =
+          match J.member "cached" j with Some (J.Bool b) -> b | _ -> false
+        in
+        let ms =
+          Option.value ~default:0.0
+            (Option.bind (J.member "ms" j) J.to_float)
+        in
+        Ok (Result { id; verdict; code; cached; ms })
+      | _ -> Error "result response missing id/verdict/code")
+    | Some "error" -> (
+      match (str "code", str "message") with
+      | Some code, Some message ->
+        let code =
+          (* an unknown code string degrades to Job_failed rather than a
+             parse failure: old clients survive new error codes *)
+          List.assoc_opt code
+            [
+              ("parse_error", Parse_error); ("oversized", Oversized);
+              ("bad_request", Bad_request); ("unknown_op", Unknown_op);
+              ("duplicate_id", Duplicate_id); ("unknown_job", Unknown_job);
+              ("fault_injected", Fault_injected); ("job_failed", Job_failed);
+              ("cancelled", Cancelled); ("shutting_down", Shutting_down);
+            ]
+          |> Option.value ~default:Job_failed
+        in
+        Ok (Err { code; message; id = str "id" })
+      | _ -> Error "error response missing code/message")
+    | Some other -> Error (Printf.sprintf "unknown response type %S" other)
+    | None -> Error "response without a type")

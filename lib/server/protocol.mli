@@ -1,0 +1,71 @@
+(** The versioned JSONL wire protocol between clients and the daemon.
+
+    One JSON object per line in each direction, every line carrying the
+    protocol version {!version}. Requests are [submit] (a named
+    {!Jobs.spec} with optional per-request budget and priority),
+    [cancel], [ping], [stats] and [shutdown]; responses are [ack],
+    [result] (the verdict text, exit code, cache provenance and service
+    time), typed [error]s, [pong], [stats] and [bye]. The codec is
+    total: {!parse_request} never raises, and malformed or oversized
+    input maps to a typed {!error_code} instead of a dropped
+    connection. *)
+
+val version : string
+(** ["sciduction.serve/1"]. *)
+
+val max_line_bytes : int
+(** Longest accepted request line (65536 bytes); longer lines are
+    answered with [Oversized]. *)
+
+type submit = {
+  id : string;  (** client-chosen name, unique among live jobs *)
+  spec : Jobs.spec;
+  timeout : float option;  (** per-request wall-clock budget *)
+  max_conflicts : int option;  (** per-request pooled conflict budget *)
+  priority : int;  (** lower runs first; aging prevents starvation *)
+}
+
+type request =
+  | Submit of submit
+  | Cancel of string
+  | Ping
+  | Stats
+  | Shutdown
+
+type error_code =
+  | Parse_error  (** the line is not a JSON object *)
+  | Oversized  (** the line exceeds {!max_line_bytes} *)
+  | Bad_request  (** missing/ill-typed fields, or wrong protocol version *)
+  | Unknown_op
+  | Duplicate_id  (** the id names a job still queued or in flight *)
+  | Unknown_job  (** cancel for an id the server is not running *)
+  | Fault_injected  (** the job died under armed fault injection *)
+  | Job_failed  (** the job raised; the message carries the exception *)
+  | Cancelled  (** explicit cancel, client disconnect, or shutdown *)
+  | Shutting_down  (** the server no longer accepts work *)
+
+val error_code_to_string : error_code -> string
+
+val parse_request : string -> (request, error_code * string) result
+val request_to_json : request -> Obs.Json.t
+
+type response =
+  | Ack of string
+  | Result of {
+      id : string;
+      verdict : string;
+      code : int;
+      cached : bool;
+      ms : float;
+    }
+  | Err of { code : error_code; message : string; id : string option }
+  | Pong
+  | StatsReply of Obs.Json.t
+  | Bye
+
+val response_to_json : response -> Obs.Json.t
+
+val response_to_line : response -> string
+(** The JSON rendering plus the terminating newline. *)
+
+val parse_response : string -> (response, string) result

@@ -1,0 +1,64 @@
+(* Warm incremental solver sessions, keyed by problem family.
+
+   A BMC query against a system the daemon has seen before should not
+   rebuild the unrolling from frame 0: the family store keeps one
+   persistent Bmc.session per transition-system fingerprint, together
+   with the knowledge already extracted from it — the contiguously
+   proved-clean prefix and the minimal counterexample, if one was found.
+   A deeper query resumes the sweep at [proved + 1] over the warm
+   session (reusing every Tseitin frame and learnt clause), which is
+   where the overlapping-query speedup comes from.
+
+   Sessions are single-threaded objects; the per-entry mutex serializes
+   jobs of the same family while leaving different families free to run
+   in parallel. Holding an entry across a whole sweep is deliberate —
+   two concurrent queries against one solver would corrupt it. *)
+
+type entry = {
+  lock : Mutex.t;
+  sess : Mc.Bmc.session;
+  mutable proved : int; (* depths 0..proved are proved clean; -1 = none *)
+  mutable cex : (int * bool array list) option; (* minimal cex, if found *)
+}
+
+type t = { lock : Mutex.t; tbl : (string, entry) Hashtbl.t }
+
+let m_warm_hits = Obs.Metrics.counter "server.warm_hits"
+let m_warm_cold = Obs.Metrics.counter "server.warm_cold"
+
+let create () = { lock = Mutex.create (); tbl = Hashtbl.create 16 }
+
+let acquire t ~family mk_ts =
+  Mutex.lock t.lock;
+  let entry =
+    match Hashtbl.find_opt t.tbl family with
+    | Some e ->
+      Obs.Metrics.incr m_warm_hits;
+      e
+    | None ->
+      Obs.Metrics.incr m_warm_cold;
+      let e =
+        {
+          lock = Mutex.create ();
+          sess = Mc.Bmc.new_session (mk_ts ());
+          proved = -1;
+          cex = None;
+        }
+      in
+      Hashtbl.replace t.tbl family e;
+      e
+  in
+  Mutex.unlock t.lock;
+  (* blocks while another job of the same family is mid-sweep *)
+  Mutex.lock entry.lock;
+  entry
+
+let release (entry : entry) = Mutex.unlock entry.lock
+let families t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.lock;
+  n
+
+let hits () = Obs.Metrics.counter_value m_warm_hits
+let cold () = Obs.Metrics.counter_value m_warm_cold

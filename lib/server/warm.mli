@@ -1,0 +1,33 @@
+(** Warm incremental solver sessions, keyed by problem family.
+
+    One persistent {!Mc.Bmc.session} per transition-system fingerprint,
+    carrying the proved-clean depth prefix and any counterexample
+    already found, so a later query against the same system resumes
+    where earlier ones stopped instead of re-unrolling from frame 0.
+    Jobs of the same family serialize on the entry lock; distinct
+    families proceed concurrently. *)
+
+type entry = {
+  lock : Mutex.t;
+  sess : Mc.Bmc.session;
+  mutable proved : int;
+      (** depths [0..proved] proved clean; [-1] when nothing is known *)
+  mutable cex : (int * bool array list) option;
+      (** the minimal counterexample depth and its trace, once found *)
+}
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> family:string -> (unit -> Mc.Ts.t) -> entry
+(** Find (or create, building the system with the thunk) the family's
+    entry, then lock it: the caller owns the session until {!release}.
+    Blocks while another job of the same family holds it. Counts a
+    [server.warm_hits] or [server.warm_cold] registry event. *)
+
+val release : entry -> unit
+
+val families : t -> int
+val hits : unit -> int
+val cold : unit -> int

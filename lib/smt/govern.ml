@@ -3,6 +3,7 @@ let limits_of_meter m =
     Sat.no_limits with
     Sat.max_conflicts = Budget.remaining_conflicts m;
     deadline = Budget.deadline m;
+    stop = Budget.cancel_hook m;
   }
 
 let reason_of_sat = function

@@ -6,8 +6,10 @@
     the call's conflict delta back into the meter afterwards. *)
 
 val limits_of_meter : Budget.meter -> Sat.limits
-(** Per-call limits from the meter's remaining conflict pool and its
-    deadline; other counters unlimited. *)
+(** Per-call limits from the meter's remaining conflict pool, its
+    deadline, and the budget's cancellation hook (installed as the
+    limits' [stop] callback, so a cancelled job's in-flight solver call
+    abandons within a poll interval); other counters unlimited. *)
 
 val reason_of_sat : Sat.reason -> Budget.reason
 (** Map a solver's abandonment reason onto the loop-level vocabulary:

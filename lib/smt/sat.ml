@@ -20,10 +20,12 @@ type limits = {
   max_propagations : int option;
   max_steps : int option;
   deadline : float option; (* absolute, [Unix.gettimeofday] scale *)
+  stop : (unit -> bool) option; (* cancellation hook, polled with the deadline *)
 }
 
 let no_limits =
-  { max_conflicts = None; max_propagations = None; max_steps = None; deadline = None }
+  { max_conflicts = None; max_propagations = None; max_steps = None;
+    deadline = None; stop = None }
 
 type share = {
   export : lbd:int -> Lit.t array -> unit;
@@ -816,13 +818,16 @@ let check_stop s =
   (match s.limits.max_steps with
   | Some m when s.steps - s.base_steps >= m -> raise (Stop Budget_exhausted)
   | _ -> ());
-  match (s.terminate, s.limits.deadline) with
-  | None, None -> ()
-  | terminate, deadline ->
+  match (s.terminate, s.limits.stop, s.limits.deadline) with
+  | None, None, None -> ()
+  | terminate, stop, deadline ->
     s.poll <- s.poll - 1;
     if s.poll <= 0 then begin
       s.poll <- 128;
       (match terminate with
+      | Some f when f () -> raise (Stop Interrupted)
+      | _ -> ());
+      (match stop with
       | Some f when f () -> raise (Stop Interrupted)
       | _ -> ());
       match deadline with

@@ -178,6 +178,15 @@ type limits = {
   max_steps : int option;  (** search steps (conflicts + decisions) *)
   deadline : float option;
       (** absolute wall-clock cutoff, [Unix.gettimeofday] scale *)
+  stop : (unit -> bool) option;
+      (** cooperative cancellation hook, polled with the deadline (every
+          128 steps): answering [true] abandons the call with
+          [Unknown Interrupted]. Unlike {!set_terminate} — which one
+          owner (the portfolio) installs directly on a solver it built —
+          the hook rides inside the limits record, so budget bridges
+          like [Govern.limits_of_meter] propagate it to every solver a
+          loop constructs without the loop knowing it exists. The
+          verification server cancels in-flight jobs through this. *)
 }
 
 val no_limits : limits

@@ -1,0 +1,566 @@
+(* The verification server. Protocol tests pin the codec (total in both
+   directions, spec JSON round-trips losslessly); daemon tests drive a
+   real listener over a temp socket: verdicts bit-identical to a direct
+   Jobs.run, the content-addressed cache answering repeats, warm BMC
+   sessions resuming across requests, typed errors for malformed and
+   oversized lines, cancellation on explicit cancel and on mid-job
+   disconnect, fault isolation, and --proof certificates from served
+   jobs passing the independent DRAT checker. *)
+
+module P = Server.Protocol
+module Jobs = Server.Jobs
+module Daemon = Server.Daemon
+module Client = Server.Client
+module Json = Obs.Json
+module Proof = Smt.Proof
+module Drat = Cert.Drat
+
+(* ------------------------------------------------------------------ *)
+(* fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sock_counter = ref 0
+
+let fresh_socket () =
+  incr sock_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "test_server_%d_%d.sock" (Unix.getpid ()) !sock_counter)
+
+let with_daemon ?dispatchers f =
+  let socket = fresh_socket () in
+  match Daemon.start ?dispatchers ~socket () with
+  | Error e -> Alcotest.failf "daemon start: %s" e
+  | Ok d -> Fun.protect ~finally:(fun () -> Daemon.stop d) (fun () -> f socket)
+
+(* a small shift register: SAFE through any depth, solved in well under
+   a second, and (being all-unsat) a certificate per depth with --proof *)
+let shift_spec ?(len = 12) max_depth =
+  Jobs.Bmc
+    {
+      system =
+        { shift = Some len; junk = 8; bits = 3; modulus = 6; bad_value = 7 };
+      max_depth;
+    }
+
+(* a deep sweep over a wide counter: reliably outlives the instant
+   between ack and cancel/disconnect, and stops quickly once its budget
+   cancel hook fires *)
+let slow_spec =
+  Jobs.Bmc
+    {
+      system =
+        { shift = None; junk = 40; bits = 3; modulus = 6; bad_value = 7 };
+      max_depth = 500;
+    }
+
+let stat socket name =
+  match Client.stats ~socket () with
+  | Error e -> Alcotest.failf "stats: %s" e
+  | Ok j -> (
+    match Option.bind (Json.member name j) Json.to_int with
+    | Some v -> v
+    | None -> Alcotest.failf "stats reply lacks %s" name)
+
+(* poll the stats op until [pred] holds; the daemon's counters move in
+   background threads, so give them a bounded moment *)
+let eventually socket name pred =
+  let rec go tries =
+    let v = stat socket name in
+    if pred v then v
+    else if tries = 0 then v
+    else begin
+      Thread.delay 0.05;
+      go (tries - 1)
+    end
+  in
+  go 100
+
+(* ----- raw wire access, for the malformed-input tests ----- *)
+
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  (fd, Unix.in_channel_of_descr fd)
+
+let send_raw fd line =
+  let s = line ^ "\n" in
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+let recv fd_ic =
+  match input_line (snd fd_ic) with
+  | exception End_of_file -> Alcotest.fail "server closed the connection"
+  | line -> (
+    match P.parse_response line with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "unparseable response %S: %s" line e)
+
+let send_req fd req = send_raw fd (Json.to_string (P.request_to_json req))
+
+let err_code = function
+  | P.Err { code; _ } -> P.error_code_to_string code
+  | r -> Alcotest.failf "expected an error, got %s" (P.response_to_line r)
+
+(* ------------------------------------------------------------------ *)
+(* codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let all_specs =
+  [
+    Jobs.Deobfuscate { program = `P1; width = 6 };
+    Jobs.Timing { source = None; bits = 5; tau = Some 400 };
+    Jobs.Timing
+      {
+        source =
+          Some "program tiny (a) -> (x) width 8 {\n  x := a + 1;\n}\n";
+        bits = 4;
+        tau = None;
+      };
+    Jobs.Cegar { junk = 5; bits = 3; modulus = 6; bad_value = 7 };
+    shift_spec 9;
+    Jobs.Invgen { circuit = `Twin; n = 3 };
+    Jobs.Lstar { states = 4 };
+  ]
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun spec ->
+      match Jobs.of_json (Jobs.to_json spec) with
+      | Error e -> Alcotest.failf "%s: %s" (Jobs.kind spec) e
+      | Ok spec' ->
+        Alcotest.(check bool)
+          (Jobs.kind spec ^ " survives JSON")
+          true (spec = spec');
+        Alcotest.(check string)
+          (Jobs.kind spec ^ " key stable")
+          (Jobs.key spec) (Jobs.key spec'))
+    all_specs
+
+let test_request_roundtrip () =
+  let requests =
+    [
+      P.Ping; P.Stats; P.Shutdown; P.Cancel "job-7";
+      P.Submit
+        {
+          P.id = "bmc-1";
+          spec = shift_spec 9;
+          timeout = Some 2.5;
+          max_conflicts = Some 4000;
+          priority = -2;
+        };
+      P.Submit
+        {
+          P.id = "lstar-1";
+          spec = Jobs.Lstar { states = 4 };
+          timeout = None;
+          max_conflicts = None;
+          priority = 0;
+        };
+    ]
+  in
+  List.iter
+    (fun req ->
+      match P.parse_request (Json.to_string (P.request_to_json req)) with
+      | Error (_, msg) -> Alcotest.failf "request rejected: %s" msg
+      | Ok req' ->
+        Alcotest.(check bool) "request survives the wire" true (req = req'))
+    requests
+
+let test_response_roundtrip () =
+  let responses =
+    [
+      P.Ack "a"; P.Pong; P.Bye;
+      P.Result
+        { id = "a"; verdict = "SAFE within depth 9"; code = 0; cached = true;
+          ms = 12.5 };
+      P.Err { code = P.Fault_injected; message = "boom"; id = Some "a" };
+      P.Err { code = P.Oversized; message = "too long"; id = None };
+      P.StatsReply (Json.Obj [ ("queued", Json.Int 3) ]);
+    ]
+  in
+  List.iter
+    (fun resp ->
+      match P.parse_response (Json.to_string (P.response_to_json resp)) with
+      | Error e -> Alcotest.failf "response rejected: %s" e
+      | Ok resp' ->
+        Alcotest.(check bool) "response survives the wire" true (resp = resp'))
+    responses
+
+let test_parse_request_total () =
+  let expect code line =
+    match P.parse_request line with
+    | Ok _ -> Alcotest.failf "accepted %S" line
+    | Error (c, _) ->
+      Alcotest.(check string) line
+        (P.error_code_to_string code)
+        (P.error_code_to_string c)
+  in
+  expect P.Parse_error "not json";
+  expect P.Parse_error "{\"v\": }";
+  expect P.Bad_request "{\"op\":\"ping\"}";
+  expect P.Bad_request "{\"v\":\"sciduction.serve/0\",\"op\":\"ping\"}";
+  expect P.Bad_request
+    (Printf.sprintf "{\"v\":%S,\"op\":\"submit\",\"id\":\"x\"}" P.version);
+  expect P.Bad_request (Printf.sprintf "{\"v\":%S}" P.version);
+  expect P.Unknown_op (Printf.sprintf "{\"v\":%S,\"op\":\"fly\"}" P.version)
+
+(* ------------------------------------------------------------------ *)
+(* serving: verdict parity, cache, warm sessions                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_served_verdict_matches_direct () =
+  with_daemon @@ fun socket ->
+  let spec = shift_spec ~len:12 14 in
+  let direct = Jobs.run spec in
+  (match Client.submit ~socket spec with
+  | Error _ -> Alcotest.fail "submit failed"
+  | Ok o ->
+    Alcotest.(check string) "served verdict is the one-shot verdict"
+      direct.Jobs.verdict o.Client.verdict;
+    Alcotest.(check int) "served exit code too" direct.Jobs.code
+      o.Client.code;
+    Alcotest.(check bool) "first answer is computed" false o.Client.cached);
+  match Client.submit ~socket spec with
+  | Error _ -> Alcotest.fail "repeat submit failed"
+  | Ok o ->
+    Alcotest.(check bool) "repeat answer comes from the cache" true
+      o.Client.cached;
+    Alcotest.(check string) "cached verdict identical" direct.Jobs.verdict
+      o.Client.verdict
+
+let test_unsafe_verdict_matches_direct () =
+  with_daemon @@ fun socket ->
+  (* reachable bad value: the UNSAFE path, trace text included *)
+  let spec =
+    Jobs.Bmc
+      {
+        system =
+          { shift = None; junk = 2; bits = 3; modulus = 6; bad_value = 4 };
+        max_depth = 16;
+      }
+  in
+  let direct = Jobs.run spec in
+  match Client.submit ~socket spec with
+  | Error _ -> Alcotest.fail "submit failed"
+  | Ok o ->
+    Alcotest.(check string) "served UNSAFE verdict identical"
+      direct.Jobs.verdict o.Client.verdict;
+    Alcotest.(check int) "exit code 1" 1 o.Client.code
+
+let test_warm_sessions_resume () =
+  with_daemon @@ fun socket ->
+  let before = stat socket "warm_hits" in
+  let shallow = shift_spec ~len:16 6 and deep = shift_spec ~len:16 12 in
+  (match Client.submit ~socket shallow with
+  | Ok o ->
+    Alcotest.(check string) "shallow verdict" (Jobs.run shallow).Jobs.verdict
+      o.Client.verdict
+  | Error _ -> Alcotest.fail "shallow submit failed");
+  (match Client.submit ~socket deep with
+  | Ok o ->
+    (* the warm continuation must answer exactly like a cold sweep *)
+    Alcotest.(check string) "warm verdict is the cold verdict"
+      (Jobs.run deep).Jobs.verdict o.Client.verdict;
+    Alcotest.(check bool) "deep query is not a cache hit" false
+      o.Client.cached
+  | Error _ -> Alcotest.fail "deep submit failed");
+  Alcotest.(check bool) "the deep query resumed the warm session" true
+    (stat socket "warm_hits" > before)
+
+let test_concurrent_clients_isolated () =
+  with_daemon ~dispatchers:2 @@ fun socket ->
+  let spec_a = shift_spec ~len:10 12
+  and spec_b = Jobs.Cegar { junk = 6; bits = 3; modulus = 6; bad_value = 7 } in
+  let expect_a = (Jobs.run spec_a).Jobs.verdict
+  and expect_b = (Jobs.run spec_b).Jobs.verdict in
+  let got_a = ref (Error (`Transport "unset"))
+  and got_b = ref (Error (`Transport "unset")) in
+  let ta = Thread.create (fun () -> got_a := Client.submit ~socket spec_a) ()
+  and tb = Thread.create (fun () -> got_b := Client.submit ~socket spec_b) () in
+  Thread.join ta;
+  Thread.join tb;
+  (match !got_a with
+  | Ok o ->
+    Alcotest.(check string) "client A got A's verdict" expect_a
+      o.Client.verdict
+  | Error _ -> Alcotest.fail "client A failed");
+  match !got_b with
+  | Ok o ->
+    Alcotest.(check string) "client B got B's verdict" expect_b
+      o.Client.verdict
+  | Error _ -> Alcotest.fail "client B failed"
+
+(* ------------------------------------------------------------------ *)
+(* typed errors on the wire                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_malformed_lines_typed () =
+  with_daemon @@ fun socket ->
+  let conn = raw_connect socket in
+  Fun.protect ~finally:(fun () -> Unix.close (fst conn)) @@ fun () ->
+  let fd = fst conn in
+  send_raw fd "this is not json";
+  Alcotest.(check string) "garbage -> parse_error" "parse_error"
+    (err_code (recv conn));
+  send_raw fd "{\"op\":\"ping\"}";
+  Alcotest.(check string) "unversioned -> bad_request" "bad_request"
+    (err_code (recv conn));
+  send_raw fd (Printf.sprintf "{\"v\":%S,\"op\":\"levitate\"}" P.version);
+  Alcotest.(check string) "unknown op -> unknown_op" "unknown_op"
+    (err_code (recv conn));
+  (* the connection survives every rejection *)
+  send_req fd P.Ping;
+  (match recv conn with
+  | P.Pong -> ()
+  | r -> Alcotest.failf "expected pong, got %s" (P.response_to_line r));
+  (* a line past the cap is answered [oversized], not dropped *)
+  send_raw fd
+    (Printf.sprintf "{\"v\":%S,\"op\":\"ping\",\"pad\":%S}" P.version
+       (String.make (P.max_line_bytes + 1024) 'x'));
+  Alcotest.(check string) "oversized line -> oversized" "oversized"
+    (err_code (recv conn));
+  send_req fd P.Ping;
+  match recv conn with
+  | P.Pong -> ()
+  | r -> Alcotest.failf "expected pong after oversized, got %s"
+           (P.response_to_line r)
+
+let test_cancel_unknown_job () =
+  with_daemon @@ fun socket ->
+  match Client.cancel ~socket ~id:"no-such-job" with
+  | Ok () -> Alcotest.fail "cancelling a phantom job succeeded"
+  | Error msg ->
+    Alcotest.(check bool) "typed unknown_job error" true
+      (String.length msg >= 11 && String.sub msg 0 11 = "unknown_job")
+
+let test_duplicate_id_and_explicit_cancel () =
+  with_daemon ~dispatchers:1 @@ fun socket ->
+  let conn = raw_connect socket in
+  Fun.protect ~finally:(fun () -> Unix.close (fst conn)) @@ fun () ->
+  let fd = fst conn in
+  let submit id spec =
+    P.Submit { P.id; spec; timeout = None; max_conflicts = None; priority = 0 }
+  in
+  (* [block] occupies the only dispatcher, so [dup] stays queued *)
+  send_req fd (submit "block" slow_spec);
+  (match recv conn with
+  | P.Ack "block" -> ()
+  | r -> Alcotest.failf "expected ack, got %s" (P.response_to_line r));
+  send_req fd (submit "dup" (Jobs.Lstar { states = 3 }));
+  (match recv conn with
+  | P.Ack "dup" -> ()
+  | r -> Alcotest.failf "expected ack, got %s" (P.response_to_line r));
+  send_req fd (submit "dup" (Jobs.Lstar { states = 3 }));
+  Alcotest.(check string) "live id refused" "duplicate_id"
+    (err_code (recv conn));
+  (* cancelling the queued job answers the canceller and the owner; the
+     two lines share this connection in either order *)
+  send_req fd (P.Cancel "dup");
+  let classify = function
+    | P.Ack "dup" -> `Ack
+    | P.Err { code = P.Cancelled; id = Some "dup"; _ } -> `Cancelled
+    | r -> Alcotest.failf "unexpected response %s" (P.response_to_line r)
+  in
+  let a = classify (recv conn) and b = classify (recv conn) in
+  Alcotest.(check bool) "cancel ack and owner notification" true
+    ((a = `Ack && b = `Cancelled) || (a = `Cancelled && b = `Ack))
+
+let test_disconnect_cancels_inflight () =
+  with_daemon @@ fun socket ->
+  let before = stat socket "cancelled" in
+  let conn = raw_connect socket in
+  send_req (fst conn)
+    (P.Submit
+       {
+         P.id = "doomed"; spec = slow_spec; timeout = None;
+         max_conflicts = None; priority = 0;
+       });
+  (match recv conn with
+  | P.Ack "doomed" -> ()
+  | r -> Alcotest.failf "expected ack, got %s" (P.response_to_line r));
+  (* the client vanishes mid-job: its work must be torn down, not run
+     to completion against nobody *)
+  Unix.close (fst conn);
+  let cancelled = eventually socket "cancelled" (fun v -> v > before) in
+  Alcotest.(check bool) "disconnect cancelled the job" true
+    (cancelled > before);
+  ignore (eventually socket "inflight" (fun v -> v = 0) : int)
+
+(* ------------------------------------------------------------------ *)
+(* fault isolation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_is_typed_and_isolated () =
+  with_daemon ~dispatchers:2 @@ fun socket ->
+  Fun.protect ~finally:Fault.deactivate @@ fun () ->
+  (* [survivor] starts running before the injector arms, so its draw at
+     the Serve_job site already happened and cannot fire *)
+  let conn = raw_connect socket in
+  Fun.protect ~finally:(fun () -> Unix.close (fst conn)) @@ fun () ->
+  send_req (fst conn)
+    (P.Submit
+       {
+         P.id = "survivor"; spec = slow_spec; timeout = None;
+         max_conflicts = None; priority = 0;
+       });
+  (match recv conn with
+  | P.Ack "survivor" -> ()
+  | r -> Alcotest.failf "expected ack, got %s" (P.response_to_line r));
+  ignore (eventually socket "inflight" (fun v -> v >= 1) : int);
+  Fault.activate ~probability:1.0 ~seed:77 ();
+  (match Client.submit ~socket (Jobs.Lstar { states = 3 }) with
+  | Error (`Server f) ->
+    Alcotest.(check string) "faulted job answers a typed error"
+      "fault_injected" f.Client.fcode
+  | Ok _ -> Alcotest.fail "armed fault did not fire"
+  | Error (`Transport msg) -> Alcotest.failf "transport error: %s" msg);
+  Fault.deactivate ();
+  (* the server survives the fault and serves the next job *)
+  (match Client.submit ~socket (Jobs.Lstar { states = 3 }) with
+  | Ok o ->
+    Alcotest.(check string) "post-fault job runs normally"
+      (Jobs.run (Jobs.Lstar { states = 3 })).Jobs.verdict o.Client.verdict
+  | Error _ -> Alcotest.fail "post-fault submit failed");
+  (* the in-flight job was untouched by the fault: it is still live and
+     answers its own (cancelled) verdict rather than fault_injected *)
+  send_req (fst conn) (P.Cancel "survivor");
+  let saw_fault = ref false and saw_cancel = ref false in
+  for _ = 1 to 2 do
+    match recv conn with
+    | P.Ack "survivor" -> ()
+    | P.Err { code = P.Cancelled; _ } -> saw_cancel := true
+    | P.Err { code = P.Fault_injected; _ } -> saw_fault := true
+    | r -> Alcotest.failf "unexpected response %s" (P.response_to_line r)
+  done;
+  Alcotest.(check bool) "survivor was not fault-killed" false !saw_fault;
+  Alcotest.(check bool) "survivor answered its cancel" true !saw_cancel
+
+(* ------------------------------------------------------------------ *)
+(* --proof through the server                                          *)
+(* ------------------------------------------------------------------ *)
+
+let read_prefix path n =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic n
+
+let reconstruct entry =
+  let get f k =
+    match Option.bind (Json.member k entry) f with
+    | Some v -> v
+    | None -> Alcotest.failf "index entry lacks %s" k
+  in
+  let str k = get Json.to_str k in
+  let num k = get Json.to_int k in
+  let core =
+    match Json.member "core" entry with
+    | Some (Json.List l) -> List.filter_map Json.to_int l
+    | _ -> []
+  in
+  let cnf =
+    Printf.sprintf "p cnf %d %d\n" (num "maxvar")
+      (num "cnf_clauses" + List.length core)
+    ^ read_prefix (str "cnf") (num "cnf_bytes")
+    ^ String.concat "" (List.map (fun l -> Printf.sprintf "%d 0\n" l) core)
+  in
+  let drat = read_prefix (str "drat") (num "drat_bytes") ^ "0\n" in
+  (cnf, drat)
+
+let cleanup_spools prefix =
+  let dir = Filename.dirname prefix and base = Filename.basename prefix in
+  Array.iter
+    (fun f ->
+      if
+        String.length f > String.length base
+        && String.sub f 0 (String.length base) = base
+      then Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir)
+
+let test_served_proofs_check () =
+  let prefix =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "test_server_proof_%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Proof.disable ();
+      cleanup_spools prefix)
+  @@ fun () ->
+  Proof.enable ~prefix;
+  with_daemon (fun socket ->
+      match Client.submit ~socket (shift_spec ~len:10 8) with
+      | Error _ -> Alcotest.fail "submit failed"
+      | Ok o ->
+        Alcotest.(check int) "safe sweep" 0 o.Client.code);
+  Proof.disable ();
+  match Proof.read_index ~prefix with
+  | Error e -> Alcotest.failf "index unreadable: %s" e
+  | Ok entries ->
+    Alcotest.(check bool) "served unsat verdicts issued certificates" true
+      (entries <> []);
+    List.iteri
+      (fun i entry ->
+        let cnf, drat = reconstruct entry in
+        match (Drat.parse_dimacs cnf, Drat.parse_proof drat) with
+        | Ok c, Ok p -> (
+          match Drat.check c p with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "certificate %d rejected: %s" i e)
+        | Error e, _ | _, Error e ->
+          Alcotest.failf "certificate %d unparseable: %s" i e)
+      entries
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "specs round-trip JSON" `Quick
+            test_spec_roundtrip;
+          Alcotest.test_case "requests round-trip the wire" `Quick
+            test_request_roundtrip;
+          Alcotest.test_case "responses round-trip the wire" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "parser is total and typed" `Quick
+            test_parse_request_total;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "served verdict == direct run" `Quick
+            test_served_verdict_matches_direct;
+          Alcotest.test_case "unsafe verdict == direct run" `Quick
+            test_unsafe_verdict_matches_direct;
+          Alcotest.test_case "warm sessions resume" `Quick
+            test_warm_sessions_resume;
+          Alcotest.test_case "concurrent clients isolated" `Quick
+            test_concurrent_clients_isolated;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "malformed lines answer typed" `Quick
+            test_malformed_lines_typed;
+          Alcotest.test_case "cancel of unknown job" `Quick
+            test_cancel_unknown_job;
+          Alcotest.test_case "duplicate id and explicit cancel" `Quick
+            test_duplicate_id_and_explicit_cancel;
+          Alcotest.test_case "disconnect cancels in-flight work" `Quick
+            test_disconnect_cancels_inflight;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "typed error, others complete" `Quick
+            test_fault_is_typed_and_isolated;
+        ] );
+      ( "proof",
+        [
+          Alcotest.test_case "served certificates verify" `Quick
+            test_served_proofs_check;
+        ] );
+    ]
