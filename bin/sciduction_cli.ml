@@ -121,12 +121,34 @@ let fault_arg =
     & opt (some fault_conv) None
     & info [ "fault" ] ~docv:"SEED[:PROB]"
         ~doc:"Arm deterministic fault injection: solver calls spuriously \
-              answer Unknown, pool submissions die and served jobs abort, \
-              with per-site probability $(i,PROB) (default 0.05). \
+              answer Unknown, pool submissions die, served jobs abort, \
+              server readers and dispatchers crash and journal appends \
+              fail, with per-site probability $(i,PROB) (default 0.05). \
               Overrides $(b,SCIDUCTION_FAULT_SEED).")
 
-let arm_fault = function
-  | Some (seed, prob) -> Fault.activate ?probability:prob ~seed ()
+let fault_sites_conv =
+  let parse s =
+    match Fault.parse_sites s with Ok l -> Ok l | Error m -> Error (`Msg m)
+  in
+  let print fmt l =
+    Format.pp_print_string fmt
+      (String.concat "," (List.map Fault.site_to_string l))
+  in
+  Arg.conv (parse, print)
+
+let fault_sites_arg =
+  Arg.(
+    value
+    & opt (some fault_sites_conv) None
+    & info [ "fault-sites" ] ~docv:"SITES"
+        ~doc:"Restrict $(b,--fault) to a comma-separated subset of sites \
+              (solver_call, pool_submit, domain_spawn, serve_job, \
+              serve_reader, serve_dispatch, journal_write); the others \
+              never fire and consume no draws. Default: every site. \
+              Overrides $(b,SCIDUCTION_FAULT_SITES).")
+
+let arm_fault ?sites = function
+  | Some (seed, prob) -> Fault.activate ?probability:prob ?sites ~seed ()
   | None -> ignore (Fault.activate_from_env () : bool)
 
 let budget_term =
@@ -149,10 +171,10 @@ let budget_term =
                 point every time).")
   in
   Term.(
-    const (fun timeout conflicts fault ->
-        arm_fault fault;
+    const (fun timeout conflicts fault sites ->
+        arm_fault ?sites fault;
         Budget.limited ?conflicts ?seconds:timeout ())
-    $ timeout $ max_conflicts $ fault_arg)
+    $ timeout $ max_conflicts $ fault_arg $ fault_sites_arg)
 
 (* [f] receives the pool ([None] when --jobs resolves to 1): verdicts do
    not depend on it, only wall-clock time does *)
@@ -245,24 +267,47 @@ let with_obs (trace, stats, quiet, jobs, stats_socket, stall_after, proof) f =
    --server PATH, submits it to a running daemon and relays the verdict
    and exit code unchanged. *)
 
-let server_term =
+let server_retries_arg =
   Arg.(
     value
-    & opt (some string) None
-    & info [ "server" ] ~docv:"PATH"
-        ~env:(Cmd.Env.info "SCIDUCTION_SERVER")
-        ~doc:"Submit the job to the verification server listening on the \
-              Unix socket $(docv) (see $(b,sciduction_cli serve)) instead \
-              of solving in-process. The verdict text and exit code come \
-              back unchanged; --timeout and --max-conflicts become the \
-              job's server-side budget.")
+    & opt (some (positive_int_conv "--server-retries")) None
+    & info [ "server-retries" ] ~docv:"N"
+        ~doc:"With $(b,--server): total submit attempts. Transport \
+              failures (daemon restarting) and transient typed errors \
+              (overloaded, internal_error) are retried under jittered \
+              exponential backoff, honoring the server's retry_after_s \
+              hint. Default 5; 1 disables retrying.")
+
+let server_term =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "server" ] ~docv:"PATH"
+          ~env:(Cmd.Env.info "SCIDUCTION_SERVER")
+          ~doc:"Submit the job to the verification server listening on the \
+                Unix socket $(docv) (see $(b,sciduction_cli serve)) instead \
+                of solving in-process. The verdict text and exit code come \
+                back unchanged; --timeout and --max-conflicts become the \
+                job's server-side budget.")
+  in
+  Term.(
+    const (fun socket retries -> Option.map (fun s -> (s, retries)) socket)
+    $ socket $ server_retries_arg)
 
 let print_verdict verdict =
   List.iter print_endline (String.split_on_char '\n' verdict)
 
-let submit_and_print socket ?id ?priority ?timeout ?max_conflicts spec =
+let submit_and_print socket ?attempts ?id ?priority ?timeout ?max_conflicts
+    spec =
+  let retry =
+    match attempts with
+    | None -> Server.Client.default_retry
+    | Some attempts -> { Server.Client.default_retry with attempts }
+  in
   match
-    Server.Client.submit ~socket ?id ?priority ?timeout ?max_conflicts spec
+    Server.Client.submit ~socket ~retry ?id ?priority ?timeout ?max_conflicts
+      spec
   with
   | Ok o ->
     print_verdict o.Server.Client.verdict;
@@ -277,8 +322,8 @@ let submit_and_print socket ?id ?priority ?timeout ?max_conflicts spec =
 
 let run_spec server pool (budget : Budget.t) spec =
   match server with
-  | Some socket ->
-    submit_and_print socket ?timeout:budget.Budget.seconds
+  | Some (socket, attempts) ->
+    submit_and_print socket ?attempts ?timeout:budget.Budget.seconds
       ?max_conflicts:budget.Budget.conflicts spec
   | None ->
     let r = Server.Jobs.run ?pool ~budget spec in
@@ -956,16 +1001,56 @@ let serve_cmd =
           ~doc:"Jobs executed concurrently. Default: the --jobs pool \
                 width, else 1.")
   in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:"Write-ahead journal: every accepted submission is fsync'd \
+                to $(docv) before its ack, and on restart the journal is \
+                replayed — cached verdicts are rebuilt and acked-but- \
+                unfinished jobs rerun — so a crash loses no accepted \
+                work. A sibling $(docv).lock serializes daemons.")
+  in
+  let queue_limit =
+    Arg.(
+      value
+      & opt (positive_int_conv "--queue-limit") 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:"Admission high watermark: submissions past $(docv) queued \
+                jobs are shed with a typed $(b,overloaded) error carrying \
+                a retry_after_s hint; sustained shedding degrades the \
+                server to cache/warm hits only until the queue drains.")
+  in
+  let restart_budget =
+    Arg.(
+      value
+      & opt (positive_int_conv "--restart-budget") 2
+      & info [ "restart-budget" ] ~docv:"N"
+          ~doc:"Times one job may kill its dispatcher before the server \
+                stops requeueing it and answers that client a typed \
+                $(b,internal_error).")
+  in
+  let warm_max =
+    Arg.(
+      value
+      & opt (some (positive_int_conv "--warm-max")) None
+      & info [ "warm-max" ] ~docv:"N"
+          ~doc:"Resident warm-session families (LRU; busy entries are \
+                never evicted). Default 8.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the persistent verification server on a Unix socket")
     Term.(
-      const (fun obs fault socket cache_capacity aging_s dispatchers ->
-          arm_fault fault;
+      const (fun obs fault sites socket cache_capacity aging_s dispatchers
+                journal queue_limit restart_budget warm_capacity ->
+          arm_fault ?sites fault;
           with_obs obs (fun pool ->
               match
                 Server.Daemon.start ?pool ?dispatchers ~cache_capacity
-                  ~aging_s ~socket ()
+                  ~aging_s ?journal ~queue_limit ~restart_budget
+                  ?warm_capacity ~socket ()
               with
               | Error msg ->
                 Format.eprintf "sciduction_cli: %s@." msg;
@@ -987,8 +1072,9 @@ let serve_cmd =
                 Sys.set_signal Sys.sigint prev_int;
                 Sys.set_signal Sys.sigterm prev_term;
                 0))
-      $ obs_term $ fault_arg $ serve_socket_arg $ cache_size $ aging
-      $ dispatchers)
+      $ obs_term $ fault_arg $ fault_sites_arg $ serve_socket_arg
+      $ cache_size $ aging $ dispatchers $ journal $ queue_limit
+      $ restart_budget $ warm_max)
 
 let submit_cmd =
   let job =
@@ -1036,7 +1122,7 @@ let submit_cmd =
     (Cmd.info "submit"
        ~doc:"Submit one job to a running server and print its verdict")
     Term.(
-      const (fun server job id priority timeout max_conflicts ->
+      const (fun server retries job id priority timeout max_conflicts ->
           let parsed =
             match Obs.Json.parse job with
             | Ok j -> Server.Jobs.of_json j
@@ -1049,9 +1135,10 @@ let submit_cmd =
             Format.eprintf "sciduction_cli: bad job: %s@." msg;
             3
           | Ok spec ->
-            submit_and_print server ?id ~priority ?timeout ?max_conflicts
-              spec)
-      $ client_socket_arg $ job $ id $ priority $ timeout $ max_conflicts)
+            submit_and_print server ?attempts:retries ?id ~priority ?timeout
+              ?max_conflicts spec)
+      $ client_socket_arg $ server_retries_arg $ job $ id $ priority
+      $ timeout $ max_conflicts)
 
 let cancel_cmd =
   let id =

@@ -10,8 +10,11 @@
    consistent with the nesting their intervals imply (every non-root
    completed span sits directly inside a completed span one level up),
    that each loop's event stream is well-formed (loop_started first,
-   iterations before loop_finished, nothing after loop_finished), and
-   that the trace ends with a metrics snapshot. *)
+   iterations before loop_finished, nothing after loop_finished), that
+   the server's supervision events are sane (every job_requeued inside
+   its restart budget, degraded_entered/exited strictly alternating —
+   a trailing open entered is tolerated, a crashed daemon dies
+   degraded), and that the trace ends with a metrics snapshot. *)
 
 module Json = Obs.Json
 
@@ -58,7 +61,12 @@ let known_events =
     "loop_started"; "iteration"; "candidate"; "oracle_verdict";
     "counterexample"; "solver_call"; "certificate"; "progress";
     "stall_detected"; "budget_exhausted"; "loop_finished";
+    "job_requeued"; "degraded_entered"; "degraded_exited";
   ]
+
+(* daemon-lifetime events: they carry loop "server" but belong to no
+   loop_started/loop_finished bracket *)
+let server_events = [ "job_requeued"; "degraded_entered"; "degraded_exited" ]
 
 let known_budget_reasons =
   [ "iterations"; "conflicts"; "deadline"; "solver"; "cancelled" ]
@@ -154,6 +162,40 @@ let check_pending_at_eof () =
 let unsat_calls = ref 0
 let certificates = ref 0
 
+(* degraded-mode pairing: entered and exited strictly alternate *)
+let degraded = ref false
+
+let check_server_event lineno name r =
+  let attr k f =
+    Option.bind (Json.member "attrs" r) (fun a ->
+        Option.bind (Json.member k a) f)
+  in
+  match name with
+  | "job_requeued" -> (
+    if attr "id" Json.to_str = None then
+      error "line %d: job_requeued without a job id" lineno;
+    match (attr "requeue" Json.to_int, attr "restart_budget" Json.to_int) with
+    | None, _ -> error "line %d: job_requeued without a requeue count" lineno
+    | _, None -> error "line %d: job_requeued without a restart_budget" lineno
+    | Some rq, Some budget ->
+      if rq < 1 then
+        error "line %d: job_requeued with requeue %d (must be >= 1)" lineno rq;
+      if rq > budget then
+        error
+          "line %d: job_requeued with requeue %d past its restart budget %d"
+          lineno rq budget)
+  | "degraded_entered" ->
+    if !degraded then
+      error "line %d: degraded_entered while already degraded" lineno;
+    degraded := true;
+    if attr "reason" Json.to_str = None then
+      error "line %d: degraded_entered without a reason" lineno
+  | "degraded_exited" ->
+    if not !degraded then
+      error "line %d: degraded_exited without a degraded_entered" lineno;
+    degraded := false
+  | _ -> ()
+
 let check_event lineno r =
   match (str "name" r, str "loop" r) with
   | None, _ -> error "line %d: event without a name" lineno
@@ -196,7 +238,8 @@ let check_event lineno r =
       | Some _ -> ()
     end
     | _ -> ());
-    if loop <> "" then begin
+    if List.mem name server_events then check_server_event lineno name r
+    else if loop <> "" then begin
       let st = loop_state loop in
       (match name with
       | "loop_started" ->

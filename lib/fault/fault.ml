@@ -3,38 +3,63 @@ type site =
   | Pool_submit
   | Domain_spawn
   | Serve_job
+  | Serve_reader
+  | Serve_dispatch
+  | Journal_write
 
 let site_to_string = function
   | Solver_call -> "solver_call"
   | Pool_submit -> "pool_submit"
   | Domain_spawn -> "domain_spawn"
   | Serve_job -> "serve_job"
+  | Serve_reader -> "serve_reader"
+  | Serve_dispatch -> "serve_dispatch"
+  | Journal_write -> "journal_write"
 
 let site_index = function
   | Solver_call -> 0
   | Pool_submit -> 1
   | Domain_spawn -> 2
   | Serve_job -> 3
+  | Serve_reader -> 4
+  | Serve_dispatch -> 5
+  | Journal_write -> 6
+
+let all_sites =
+  [ Solver_call; Pool_submit; Domain_spawn; Serve_job; Serve_reader;
+    Serve_dispatch; Journal_write ]
+
+let n_sites = List.length all_sites
+
+let site_of_string s =
+  List.find_opt (fun x -> site_to_string x = s) all_sites
 
 exception Injected
 
 type config = {
   c_seed : int;
   threshold : int; (* fire when draw land below this, out of 2^30 *)
+  mask : int; (* bit per site_index: only masked-in sites ever fire *)
 }
 
 let state : config option Atomic.t = Atomic.make None
-let draws = Array.init 4 (fun _ -> Atomic.make 0)
-let fired = Array.init 4 (fun _ -> Atomic.make 0)
+let draws = Array.init n_sites (fun _ -> Atomic.make 0)
+let fired = Array.init n_sites (fun _ -> Atomic.make 0)
 
 let scale = 1 lsl 30
+let full_mask = (1 lsl n_sites) - 1
 
-let activate ?(probability = 0.05) ~seed () =
+let activate ?(probability = 0.05) ?sites ~seed () =
   let p = if probability < 0. then 0. else if probability > 1. then 1. else probability in
+  let mask =
+    match sites with
+    | None -> full_mask
+    | Some l -> List.fold_left (fun m s -> m lor (1 lsl site_index s)) 0 l
+  in
   Array.iter (fun a -> Atomic.set a 0) draws;
   Array.iter (fun a -> Atomic.set a 0) fired;
   Atomic.set state
-    (Some { c_seed = seed; threshold = int_of_float (p *. float_of_int scale) })
+    (Some { c_seed = seed; threshold = int_of_float (p *. float_of_int scale); mask })
 
 let deactivate () = Atomic.set state None
 let active () = Atomic.get state <> None
@@ -53,10 +78,13 @@ let fire site =
   | None -> false
   | Some c ->
     let i = site_index site in
-    let k = Atomic.fetch_and_add draws.(i) 1 in
-    let hit = hash c.c_seed i k land (scale - 1) < c.threshold in
-    if hit then ignore (Atomic.fetch_and_add fired.(i) 1);
-    hit
+    if c.mask land (1 lsl i) = 0 then false
+    else begin
+      let k = Atomic.fetch_and_add draws.(i) 1 in
+      let hit = hash c.c_seed i k land (scale - 1) < c.threshold in
+      if hit then ignore (Atomic.fetch_and_add fired.(i) 1);
+      hit
+    end
 
 let injected site = Atomic.get fired.(site_index site)
 
@@ -74,12 +102,36 @@ let parse_spec spec =
     | Some s, Some p when p >= 0. && p <= 1. -> Ok (s, Some p)
     | _ -> bad ())
 
+let parse_sites spec =
+  let names = String.split_on_char ',' spec in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | n :: rest -> (
+      let n = String.trim n in
+      if n = "" then go acc rest
+      else
+        match site_of_string n with
+        | Some s -> go (s :: acc) rest
+        | None ->
+          Error
+            (Printf.sprintf "unknown fault site %S (one of %s)" n
+               (String.concat ", " (List.map site_to_string all_sites))))
+  in
+  match go [] names with
+  | Ok [] -> Error "empty fault site list"
+  | r -> r
+
 let activate_from_env () =
   match Sys.getenv_opt "SCIDUCTION_FAULT_SEED" with
   | None | Some "" -> false
   | Some spec -> (
     match parse_spec spec with
     | Ok (seed, prob) ->
-      activate ?probability:prob ~seed ();
+      let sites =
+        match Sys.getenv_opt "SCIDUCTION_FAULT_SITES" with
+        | None | Some "" -> None
+        | Some s -> ( match parse_sites s with Ok l -> Some l | Error _ -> None)
+      in
+      activate ?probability:prob ?sites ~seed ();
       true
     | Error _ -> false)

@@ -28,16 +28,35 @@ type site =
       (** a verification-server job about to run: fault = the job dies
           before producing a verdict; the server answers its client with
           a typed error while other in-flight jobs proceed *)
+  | Serve_reader
+      (** a server per-connection reader mid-frame: fault = the reader
+          thread dies; the daemon drops that client only *)
+  | Serve_dispatch
+      (** a server dispatcher that has just claimed a job: fault = the
+          dispatcher thread dies mid-dispatch; the supervisor requeues
+          the victim's job and re-arms the slot *)
+  | Journal_write
+      (** a job-journal append: fault = the write-ahead log write fails;
+          the daemon refuses the submission with a typed error *)
 
 val site_to_string : site -> string
 
-exception Injected
-(** The failure injected at [Pool_submit]/[Domain_spawn] sites. *)
+val site_of_string : string -> site option
+(** Inverse of {!site_to_string}; [None] for unknown names. *)
 
-val activate : ?probability:float -> seed:int -> unit -> unit
+val all_sites : site list
+
+exception Injected
+(** The failure injected at [Pool_submit]/[Domain_spawn] (and the new
+    server-side) sites. *)
+
+val activate : ?probability:float -> ?sites:site list -> seed:int -> unit -> unit
 (** Arm the injector. [probability] (default 0.05) is the per-draw fire
-    probability at every site, clamped to [0..1]. Re-activating resets
-    the draw counters. *)
+    probability at every armed site, clamped to [0..1]. [sites] (default
+    all) restricts injection to the listed sites — draws at masked-out
+    sites return [false] without consuming a draw index, so the armed
+    sites' sequences are unchanged by the mask. Re-activating resets the
+    draw counters. *)
 
 val deactivate : unit -> unit
 val active : unit -> bool
@@ -54,6 +73,11 @@ val parse_spec : string -> (int * float option, string) result
 (** Parse a ["SEED"] or ["SEED:PROB"] spec (as taken by [--fault] and
     [SCIDUCTION_FAULT_SEED]). *)
 
+val parse_sites : string -> (site list, string) result
+(** Parse a comma-separated fault-site list (as taken by [--fault-sites]
+    and [SCIDUCTION_FAULT_SITES]). *)
+
 val activate_from_env : unit -> bool
-(** Arm from [SCIDUCTION_FAULT_SEED] if set and well-formed; returns
-    whether activation happened. A malformed spec is ignored. *)
+(** Arm from [SCIDUCTION_FAULT_SEED] if set and well-formed (site filter
+    from [SCIDUCTION_FAULT_SITES]); returns whether activation happened.
+    A malformed spec is ignored. *)

@@ -277,6 +277,15 @@ type event =
     }
   | Budget_exhausted of { loop : string; reason : string; attrs : attrs }
   | Loop_finished of { loop : string; attrs : attrs }
+  | Job_requeued of {
+      loop : string;
+      id : string;
+      requeue : int;
+      restart_budget : int;
+      attrs : attrs;
+    }
+  | Degraded_entered of { loop : string; reason : string; attrs : attrs }
+  | Degraded_exited of { loop : string; attrs : attrs }
 
 let loop_agg_of name =
   match Hashtbl.find_opt loop_aggs name with
@@ -333,6 +342,16 @@ let emit ev =
       | Budget_exhausted { loop; reason; attrs } ->
         ("budget_exhausted", loop, ("reason", String reason) :: attrs)
       | Loop_finished { loop; attrs } -> ("loop_finished", loop, attrs)
+      | Job_requeued { loop; id; requeue; restart_budget; attrs } ->
+        ( "job_requeued",
+          loop,
+          ("id", String id)
+          :: ("requeue", Int requeue)
+          :: ("restart_budget", Int restart_budget)
+          :: attrs )
+      | Degraded_entered { loop; reason; attrs } ->
+        ("degraded_entered", loop, ("reason", String reason) :: attrs)
+      | Degraded_exited { loop; attrs } -> ("degraded_exited", loop, attrs)
     in
     emit_record (event_record ~t ~name ~loop ~attrs);
     (* heartbeat bookkeeping and the derived progress channel, still
@@ -367,7 +386,8 @@ let emit ev =
       Heartbeat.finish ~loop;
       Hashtbl.remove last_progress loop
     | Candidate _ | Oracle_verdict _ | Counterexample _ | Solver_call _
-    | Certificate _ | Progress _ | Stall_detected _ ->
+    | Certificate _ | Progress _ | Stall_detected _ | Job_requeued _
+    | Degraded_entered _ | Degraded_exited _ ->
       ());
     Mutex.unlock obs_lock
   end

@@ -143,6 +143,24 @@ type event =
       (** the loop's resource budget ran out; terminal for the loop —
           only [Loop_finished] may follow for the same loop *)
   | Loop_finished of { loop : string; attrs : attrs }
+  | Job_requeued of {
+      loop : string;
+      id : string;
+      requeue : int;
+      restart_budget : int;
+      attrs : attrs;
+    }
+      (** server plane ([loop = "server"]): a dispatcher died while
+          holding this job; the supervisor put it back on the queue.
+          [requeue] is the victim's cumulative requeue count, always
+          [<= restart_budget] — past the budget the job is given up with
+          a typed [internal_error] instead. *)
+  | Degraded_entered of { loop : string; reason : string; attrs : attrs }
+      (** server plane: sustained overload or repeated dispatcher
+          failure; the daemon now sheds fresh heavy jobs and only serves
+          cache/warm hits *)
+  | Degraded_exited of { loop : string; attrs : attrs }
+      (** server plane: pressure receded; normal admission resumed *)
 
 val emit : event -> unit
 (** No-op while disabled. *)

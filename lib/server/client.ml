@@ -1,13 +1,63 @@
 (* Client side of the JSONL protocol: one connection per call, a
    request line out, responses read back until the call's terminal
    answer. Used by the CLI's submit/cancel/shutdown subcommands, by the
-   --server routing of the loop subcommands, and by the tests. *)
+   --server routing of the loop subcommands, and by the tests.
+
+   Submissions retry. A daemon restart shows up here as ECONNREFUSED /
+   ECONNRESET / EPIPE / EOF-before-terminal; admission control shows up
+   as a typed [overloaded {retry_after_s}]. Both are transient, so
+   [submit] reconnects under jittered exponential backoff (honoring
+   [retry_after_s] when the server named a wait). The jitter is a pure
+   hash of the attempt index — no wall clock, no Random — and the sleep
+   is a caller-replaceable hook, so a test (or a --fault replay) that
+   pins [sleep] observes the exact same delay sequence every run.
+
+   [duplicate_id] during a retry is also transient: it means our
+   previous attempt's job is still live on the server (the dead
+   connection's cancel is in flight, or a journal replay resurrected
+   it) — backing off and resubmitting converges to that job's cached
+   verdict. [internal_error] is transient too (journal write faults,
+   dispatcher give-up): bounded retries either land after the hiccup or
+   surface the error. All other typed errors are the caller's. *)
 
 module P = Protocol
 
-type failure = { fcode : string; fmessage : string }
+let m_retries = Obs.Metrics.counter "client.retries"
+let m_reconnects = Obs.Metrics.counter "client.reconnects"
+
+type failure = {
+  fcode : string;
+  fmessage : string;
+  fretry_after_s : float option;
+}
 
 type outcome = { verdict : string; code : int; cached : bool; ms : float }
+
+type retry = {
+  attempts : int;
+  base_s : float;
+  cap_s : float;
+  sleep : float -> unit;
+}
+
+let default_retry =
+  { attempts = 5; base_s = 0.05; cap_s = 2.0; sleep = Thread.delay }
+
+let no_retry = { default_retry with attempts = 1 }
+
+(* splitmix64-style avalanche, as in Fault: deterministic jitter *)
+let jitter_hash k =
+  let z = ref (k lxor 0x9E3779B9) in
+  z := (!z lxor (!z lsr 30)) * 0x4F58476D1CE4E5B9;
+  z := (!z lxor (!z lsr 27)) * 0x14D049BB133111EB;
+  let h = !z lxor (!z lsr 31) in
+  float_of_int (h land 0xFFFF) /. 65536.0 (* [0, 1) *)
+
+(* delay before attempt [k+1]: capped exponential, scaled into
+   [0.75x, 1.25x] by the attempt-indexed jitter *)
+let backoff_delay retry k =
+  let base = Float.min retry.cap_s (retry.base_s *. (2.0 ** float_of_int k)) in
+  base *. (0.75 +. (0.5 *. jitter_hash k))
 
 let ids = Atomic.make 0
 
@@ -53,11 +103,7 @@ let protocol_failure resp =
     (Printf.sprintf "unexpected response %s"
        (Obs.Json.to_string (P.response_to_json resp)))
 
-(* Submit one job and block until its verdict. [Error (`Failure _)] is
-   a transport problem; [Error (`Server f)] is the daemon's typed
-   error (fault_injected, cancelled, ...). *)
-let submit ~socket ?id ?(priority = 0) ?timeout ?max_conflicts spec =
-  let id = match id with Some id -> id | None -> fresh_id spec in
+let submit_once ~socket ~id ~priority ~timeout ~max_conflicts spec =
   let r =
     with_conn socket (fun ~request ~next_response ->
         request (P.Submit { P.id; spec; timeout; max_conflicts; priority });
@@ -80,6 +126,7 @@ let submit ~socket ?id ?(priority = 0) ?timeout ?max_conflicts spec =
                  {
                    fcode = P.error_code_to_string e.code;
                    fmessage = e.message;
+                   fretry_after_s = e.retry_after_s;
                  })
           | Ok other -> protocol_failure other
         in
@@ -89,6 +136,47 @@ let submit ~socket ?id ?(priority = 0) ?timeout ?max_conflicts spec =
   | Error msg -> Error (`Transport msg)
   | Ok (Ok o) -> Ok o
   | Ok (Error f) -> Error (`Server f)
+
+(* transient server answers: worth backing off and trying again *)
+let transient_code = function
+  | "overloaded" | "internal_error" | "duplicate_id" -> true
+  | _ -> false
+
+(* Submit one job and block until its verdict, retrying transient
+   failures. [Error (`Transport _)] is a transport problem that
+   survived every attempt; [Error (`Server f)] is the daemon's typed
+   error (fault_injected, cancelled, ...). *)
+let submit ~socket ?(retry = default_retry) ?id ?(priority = 0) ?timeout
+    ?max_conflicts spec =
+  let id = match id with Some id -> id | None -> fresh_id spec in
+  let attempts = max 1 retry.attempts in
+  let rec go k =
+    match submit_once ~socket ~id ~priority ~timeout ~max_conflicts spec with
+    | Ok _ as ok -> ok
+    | Error e when k + 1 >= attempts -> Error e
+    | Error e -> (
+      let backoff = backoff_delay retry k in
+      match e with
+      | `Transport _ ->
+        Obs.Metrics.incr m_retries;
+        Obs.Metrics.incr m_reconnects;
+        retry.sleep backoff;
+        go (k + 1)
+      | `Server f when transient_code f.fcode ->
+        Obs.Metrics.incr m_retries;
+        (* the server's own hint dominates the local schedule *)
+        let delay =
+          match f.fretry_after_s with
+          | Some s when s > backoff -> s
+          | _ -> backoff
+        in
+        retry.sleep delay;
+        go (k + 1)
+      | `Server _ -> Error e)
+  in
+  go 0
+
+let retries () = Obs.Metrics.counter_value m_retries
 
 let cancel ~socket ~id =
   with_conn socket (fun ~request ~next_response ->

@@ -3,9 +3,24 @@
     One connection per call: connect, send the request line, read until
     the call's terminal response. Backs the CLI's [submit], [cancel]
     and [shutdown] subcommands, the [--server] routing of the loop
-    subcommands, and the tests. *)
+    subcommands, and the tests.
 
-type failure = { fcode : string; fmessage : string }
+    {!submit} is retrying: transport failures (daemon restarting —
+    ECONNREFUSED, ECONNRESET, EPIPE, EOF before the terminal response)
+    and transient typed errors ([overloaded] — honoring its
+    [retry_after_s] — plus [internal_error] and [duplicate_id], which a
+    dead previous attempt leaves behind) are reconnected under jittered
+    exponential backoff. The jitter is a pure hash of the attempt
+    index and the sleep is a hook in {!retry}, so tests and [--fault]
+    replays see the exact same delay sequence every run. Retries count
+    on the [client.retries] / [client.reconnects] registry series. *)
+
+type failure = {
+  fcode : string;
+  fmessage : string;
+  fretry_after_s : float option;
+      (** the server's back-off hint, set on ["overloaded"] *)
+}
 (** A typed error the daemon answered with ([fcode] is the protocol
     error-code string, e.g. ["fault_injected"]). *)
 
@@ -14,17 +29,42 @@ type outcome = { verdict : string; code : int; cached : bool; ms : float }
     text and exit code, whether it was served from the result cache,
     and the service time. *)
 
+type retry = {
+  attempts : int;  (** total attempts, clamped to ≥ 1 *)
+  base_s : float;  (** first backoff delay *)
+  cap_s : float;  (** backoff ceiling *)
+  sleep : float -> unit;
+      (** the clock hook; replace to observe or collapse delays *)
+}
+
+val default_retry : retry
+(** 5 attempts, 50 ms base, 2 s cap, [Thread.delay]. *)
+
+val no_retry : retry
+(** Exactly one attempt — the pre-retry behavior. *)
+
+val backoff_delay : retry -> int -> float
+(** The deterministic delay slept after failed attempt [k] (0-based):
+    capped exponential scaled by the attempt-indexed jitter. Exposed so
+    tests can assert the exact schedule. *)
+
 val submit :
   socket:string ->
+  ?retry:retry ->
   ?id:string ->
   ?priority:int ->
   ?timeout:float ->
   ?max_conflicts:int ->
   Jobs.spec ->
   (outcome, [ `Server of failure | `Transport of string ]) result
-(** Submit and block until the verdict. [?id] defaults to a fresh
-    process-unique name; [?timeout]/[?max_conflicts] become the job's
-    server-side budget; lower [?priority] (default 0) runs first. *)
+(** Submit and block until the verdict, retrying per [?retry] (default
+    {!default_retry}). [?id] defaults to a fresh process-unique name
+    and is stable across the attempts of one call. [?timeout] /
+    [?max_conflicts] become the job's server-side budget; lower
+    [?priority] (default 0) runs first. *)
+
+val retries : unit -> int
+(** Total submit retries this process (the [client.retries] counter). *)
 
 val cancel : socket:string -> id:string -> (unit, string) result
 val shutdown : socket:string -> unit -> (unit, string) result

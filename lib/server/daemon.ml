@@ -5,8 +5,9 @@
    is given — each dispatcher submits one task and awaits it, so with a
    pool of J units roughly J jobs make progress on distinct domains).
    Shared state (the pending queue, the in-flight table, the client
-   registry) lives behind one mutex + condvar; the result cache and the
-   warm-session store have their own locks.
+   registry, the dispatcher slots) lives behind one mutex + condvar;
+   the result cache, the warm-session store and the journal have their
+   own locks.
 
    Scheduling is FIFO with aging: the queue is scanned for the lowest
    effective priority [priority - age/aging_s], ties broken by arrival
@@ -17,11 +18,35 @@
    callback), so an explicit cancel, a client disconnect, or shutdown
    stops a running solver within a poll interval.
 
+   Durability: with a journal, every accepted submission is fsync'd to
+   the write-ahead log before its ack, every terminal answer appends a
+   [done]/[cancelled] record, and [start] replays the log — rebuilding
+   the cache from [done] records and re-enqueueing acked-but-unfinished
+   jobs as ownerless work whose verdicts land in the cache for the
+   resubmitting client. A replayed job that already crashed the daemon
+   more times than the restart budget is refused as poisoned.
+
+   Overload: admission is bounded by a high/low watermark pair on the
+   queue. At the high watermark submissions shed with a typed
+   [overloaded {retry_after_s}] answer; when the shedding persists past
+   a sustain window, or dispatchers keep dying, the daemon enters
+   degraded mode — cache and warm-family hits are still served, fresh
+   heavy jobs shed — and leaves it once the queue drains to the low
+   watermark and dispatcher deaths quiet down.
+
+   Supervision: each dispatcher runs in a slot that records the job it
+   is holding. A dispatcher death (a real bug, or an injected
+   [Serve_dispatch] fault) wakes the supervisor, which requeues the
+   victim's job (bounded by the restart budget, then a typed
+   [internal_error] to that client only), re-arms the slot with a fresh
+   thread, and counts the death toward degraded-mode entry. A reader
+   death ([Serve_reader]) costs only that client's connection.
+
    Write-side discipline: a reader holds the connection's write lock
    across [check + enqueue + ack], so a dispatcher (which takes the
    same lock to write the result) can never put a result on the wire
    before its ack. Lock order is always conn.wlock -> t.lock; the
-   dispatcher sends while holding neither. *)
+   dispatcher and supervisor send while holding neither. *)
 
 module P = Protocol
 
@@ -32,6 +57,12 @@ let m_faults = Obs.Metrics.counter "server.requests_faulted"
 let m_request_ms = Obs.Metrics.histogram "server.request_ms"
 let m_inflight = Obs.Metrics.gauge "server.requests_inflight"
 let m_queue_depth = Obs.Metrics.gauge "server.queue_depth"
+let m_shed = Obs.Metrics.counter "server.shed_total"
+let m_degraded = Obs.Metrics.gauge "server.degraded"
+let m_requeued = Obs.Metrics.counter "server.jobs_requeued"
+let m_restarts = Obs.Metrics.counter "server.dispatcher_restarts"
+let m_reader_crashes = Obs.Metrics.counter "server.reader_crashes"
+let m_given_up = Obs.Metrics.counter "server.jobs_given_up"
 
 type conn = {
   fd : Unix.file_descr;
@@ -41,7 +72,7 @@ type conn = {
 
 type pending = {
   id : string;
-  owner : conn;
+  owner : conn option; (* None: replayed from the journal, no client *)
   spec : Jobs.spec;
   cache_key : string;
   timeout : float option;
@@ -49,6 +80,12 @@ type pending = {
   priority : int;
   enqueued : float;
   token : Par.Cancel.t;
+  mutable requeues : int; (* dispatcher deaths survived, this process *)
+}
+
+type slot = {
+  mutable th : Thread.t option;
+  mutable current : pending option; (* the job a death would orphan *)
 }
 
 type t = {
@@ -69,7 +106,19 @@ type t = {
   warm : Warm.t;
   pool : Par.Pool.t option;
   aging_s : float;
-  mutable dispatchers : Thread.t list;
+  journal : Journal.t option;
+  queue_high : int;
+  queue_low : int;
+  retry_after_s : float;
+  degrade_after_s : float;
+  restart_budget : int;
+  mutable degraded : bool;
+  mutable overload_since : float option; (* first shed of the burst *)
+  mutable death_times : float list; (* recent dispatcher deaths, newest first *)
+  slots : slot array;
+  mutable sup_dead : int list; (* slot indices awaiting supervision *)
+  sup_cond : Condition.t;
+  mutable supervisor : Thread.t option;
   mutable acceptor : Thread.t option;
   mutable stopped : bool;
 }
@@ -90,15 +139,81 @@ let send conn resp =
         try write_all conn.fd (P.response_to_line resp)
         with Unix.Unix_error _ -> conn.alive <- false)
 
+let send_owner p resp =
+  match p.owner with Some conn -> send conn resp | None -> ()
+
+let same_owner p conn =
+  match p.owner with Some c -> c == conn | None -> false
+
 let set_gauges t =
   (* caller holds t.lock *)
   Obs.Metrics.set_gauge m_queue_depth (float_of_int (List.length t.queue));
   Obs.Metrics.set_gauge m_inflight (float_of_int (Hashtbl.length t.inflight))
 
+(* ----- journal plumbing ----- *)
+
+(* the submit path is the only one allowed to fail loudly: a lost
+   Submitted record means the ack's durability promise is broken, so
+   the submission is refused. Terminal records degrade quietly — the
+   worst case is one finished job replayed after a crash. *)
+let journal_submit t (s : P.submit) cache_key =
+  match t.journal with
+  | None -> Ok ()
+  | Some j -> (
+    match
+      Journal.append ~sync:true j
+        (Journal.Submitted
+           {
+             sj_id = s.P.id;
+             sj_key = cache_key;
+             sj_spec = s.P.spec;
+             sj_timeout = s.P.timeout;
+             sj_max_conflicts = s.P.max_conflicts;
+             sj_priority = s.P.priority;
+             sj_starts = 0;
+           })
+    with
+    | () -> Ok ()
+    | exception Fault.Injected -> Error "injected fault at journal write"
+    | exception e -> Error (Printexc.to_string e))
+
+let journal_quiet t record =
+  match t.journal with
+  | None -> ()
+  | Some j -> ( try Journal.append j record with _ -> ())
+
+(* ----- degraded-mode state machine (callers hold t.lock) ----- *)
+
+let enter_degraded t ~reason =
+  if not t.degraded then begin
+    t.degraded <- true;
+    Obs.Metrics.set_gauge m_degraded 1.0;
+    Obs.emit (Obs.Degraded_entered { loop = "server"; reason; attrs = [] })
+  end
+
+(* exit once pressure is demonstrably gone: queue at/below the low
+   watermark and no dispatcher death for a full sustain window *)
+let maybe_exit_degraded t =
+  if
+    t.degraded
+    && List.length t.queue <= t.queue_low
+    &&
+    match t.death_times with
+    | [] -> true
+    | newest :: _ -> Unix.gettimeofday () -. newest >= t.degrade_after_s
+  then begin
+    t.degraded <- false;
+    t.overload_since <- None;
+    Obs.Metrics.set_gauge m_degraded 0.0;
+    Obs.emit (Obs.Degraded_exited { loop = "server"; attrs = [] })
+  end
+
 (* ----- scheduler ----- *)
 
 (* Lowest effective priority wins; the queue is kept in arrival order,
-   so the first minimum found is also the oldest. *)
+   so the first minimum found is also the oldest. Requeued and replayed
+   jobs keep their original enqueue stamp, so aging sends them to the
+   front of their priority class. *)
 let pick_best t =
   match t.queue with
   | [] -> None
@@ -124,7 +239,9 @@ let err_of_exn = function
 let execute t (p : pending) =
   let t0 = Unix.gettimeofday () in
   let fail code message =
-    send p.owner (P.Err { code; message; id = Some p.id })
+    journal_quiet t (Journal.Cancelled { id = p.id });
+    send_owner p
+      (P.Err { code; message; id = Some p.id; retry_after_s = None })
   in
   if Par.Cancel.is_set p.token then begin
     Obs.Metrics.incr m_cancelled;
@@ -164,8 +281,17 @@ let execute t (p : pending) =
         if r.Jobs.cacheable then
           Cache.store t.cache p.cache_key ~verdict:r.Jobs.verdict
             ~code:r.Jobs.code;
+        journal_quiet t
+          (Journal.Done
+             {
+               id = p.id;
+               key = p.cache_key;
+               verdict = r.Jobs.verdict;
+               code = r.Jobs.code;
+               cacheable = r.Jobs.cacheable;
+             });
         Obs.Metrics.incr m_done;
-        send p.owner
+        send_owner p
           (P.Result
              {
                id = p.id;
@@ -177,7 +303,9 @@ let execute t (p : pending) =
       end
   end
 
-let rec dispatcher t =
+(* ----- dispatchers and their supervisor ----- *)
+
+let rec dispatcher_loop t (slot : slot) =
   Mutex.lock t.lock;
   let rec next () =
     if t.shutting_down then None
@@ -192,18 +320,141 @@ let rec dispatcher t =
   | None -> Mutex.unlock t.lock
   | Some p ->
     Hashtbl.replace t.inflight p.id p;
+    slot.current <- Some p;
     set_gauges t;
     Mutex.unlock t.lock;
+    (* an injected dispatcher death happens exactly here — after the
+       claim, before the verdict — so the supervisor always finds the
+       victim's job in the slot *)
+    if Fault.fire Fault.Serve_dispatch then raise Fault.Injected;
+    journal_quiet t (Journal.Started { id = p.id });
     (try execute t p
      with e ->
-       send p.owner
-         (P.Err { code = P.Job_failed; message = Printexc.to_string e;
-                  id = Some p.id }));
+       journal_quiet t (Journal.Cancelled { id = p.id });
+       send_owner p
+         (P.Err
+            {
+              code = P.Job_failed;
+              message = Printexc.to_string e;
+              id = Some p.id;
+              retry_after_s = None;
+            }));
     Mutex.lock t.lock;
     Hashtbl.remove t.inflight p.id;
+    slot.current <- None;
     set_gauges t;
+    maybe_exit_degraded t;
     Mutex.unlock t.lock;
-    dispatcher t
+    dispatcher_loop t slot
+
+let dispatcher_thread t i =
+  try dispatcher_loop t t.slots.(i)
+  with _ ->
+    (* the dispatcher is dead; hand the slot to the supervisor *)
+    Mutex.lock t.lock;
+    t.sup_dead <- i :: t.sup_dead;
+    Condition.signal t.sup_cond;
+    Mutex.unlock t.lock
+
+(* death-rate window for degraded-mode entry: this many deaths inside
+   [death_window_s] means the fleet is sick, not one unlucky job *)
+let death_window_s = 10.0
+
+let supervisor t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while t.sup_dead = [] && not t.shutting_down do
+      Condition.wait t.sup_cond t.lock
+    done;
+    let deaths = t.sup_dead in
+    t.sup_dead <- [];
+    if deaths = [] then Mutex.unlock t.lock (* shutting down, all armed *)
+    else begin
+      let now = Unix.gettimeofday () in
+      let actions = ref [] in
+      List.iter
+        (fun i ->
+          let slot = t.slots.(i) in
+          Obs.Metrics.incr m_restarts;
+          t.death_times <-
+            now
+            :: List.filter
+                 (fun ts -> now -. ts <= death_window_s)
+                 t.death_times;
+          (match slot.current with
+          | None -> ()
+          | Some p ->
+            slot.current <- None;
+            Hashtbl.remove t.inflight p.id;
+            if t.shutting_down || Par.Cancel.is_set p.token then begin
+              Obs.Metrics.incr m_cancelled;
+              actions :=
+                `Terminal
+                  ( p,
+                    P.Err
+                      {
+                        code = P.Cancelled;
+                        message = Printf.sprintf "job %s cancelled" p.id;
+                        id = Some p.id;
+                        retry_after_s = None;
+                      } )
+                :: !actions
+            end
+            else if p.requeues >= t.restart_budget then begin
+              (* poisoned: it has killed a dispatcher [restart_budget]+1
+                 times. Give up on this job only *)
+              Obs.Metrics.incr m_given_up;
+              actions :=
+                `Terminal
+                  ( p,
+                    P.Err
+                      {
+                        code = P.Internal_error;
+                        message =
+                          Printf.sprintf
+                            "job %s crashed its dispatcher %d times; giving \
+                             up"
+                            p.id (p.requeues + 1);
+                        id = Some p.id;
+                        retry_after_s = None;
+                      } )
+                :: !actions
+            end
+            else begin
+              p.requeues <- p.requeues + 1;
+              Obs.Metrics.incr m_requeued;
+              Obs.emit
+                (Obs.Job_requeued
+                   {
+                     loop = "server";
+                     id = p.id;
+                     requeue = p.requeues;
+                     restart_budget = t.restart_budget;
+                     attrs = [];
+                   });
+              t.queue <- t.queue @ [ p ];
+              Condition.signal t.cond
+            end);
+          if
+            List.length t.death_times >= max 2 (Array.length t.slots)
+            && not t.shutting_down
+          then enter_degraded t ~reason:"dispatcher failures";
+          if not t.shutting_down then
+            slot.th <-
+              Some (Thread.create (fun () -> dispatcher_thread t i) ()))
+        deaths;
+      set_gauges t;
+      Mutex.unlock t.lock;
+      (* sends happen outside t.lock (lock order conn.wlock -> t.lock) *)
+      List.iter
+        (fun (`Terminal (p, resp)) ->
+          journal_quiet t (Journal.Cancelled { id = p.id });
+          send_owner p resp)
+        !actions;
+      loop ()
+    end
+  in
+  loop ()
 
 (* ----- shutdown plumbing ----- *)
 
@@ -214,7 +465,8 @@ let request_shutdown t =
   if first then begin
     (* stop in-flight work quickly; each job answers Cancelled *)
     Hashtbl.iter (fun _ p -> Par.Cancel.set p.token) t.inflight;
-    Condition.broadcast t.cond
+    Condition.broadcast t.cond;
+    Condition.broadcast t.sup_cond
   end;
   Mutex.unlock t.lock;
   if first then begin
@@ -229,20 +481,31 @@ let request_shutdown t =
 let drop_client t conn =
   Mutex.lock t.lock;
   (* a vanished client cannot read results: cancel everything it owns *)
-  let mine, rest = List.partition (fun p -> p.owner == conn) t.queue in
+  let mine, rest = List.partition (fun p -> same_owner p conn) t.queue in
   t.queue <- rest;
   List.iter (fun p -> Par.Cancel.set p.token) mine;
   Hashtbl.iter
-    (fun _ p -> if p.owner == conn then Par.Cancel.set p.token)
+    (fun _ p -> if same_owner p conn then Par.Cancel.set p.token)
     t.inflight;
   t.conns <- List.filter (fun c -> c != conn) t.conns;
   if mine <> [] then Obs.Metrics.add m_cancelled (List.length mine);
   set_gauges t;
   Mutex.unlock t.lock;
+  (* dequeued jobs never reach a dispatcher: give them their terminal
+     journal record here or replay would resurrect them *)
+  List.iter (fun p -> journal_quiet t (Journal.Cancelled { id = p.id })) mine;
   Mutex.lock conn.wlock;
   conn.alive <- false;
   Mutex.unlock conn.wlock;
   try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* degraded admission: what still gets in is exactly what the daemon
+   can answer without fresh heavy work — cache hits (handled before
+   this) and BMC jobs whose family already has a warm session *)
+let warm_admissible t spec =
+  match spec with
+  | Jobs.Bmc _ -> Warm.mem t.warm (Jobs.family spec)
+  | _ -> false
 
 let handle_submit t conn (s : P.submit) =
   Obs.Metrics.incr m_requests;
@@ -252,6 +515,9 @@ let handle_submit t conn (s : P.submit) =
   Mutex.lock conn.wlock;
   let replies =
     Mutex.lock t.lock;
+    (* an idle daemon must not stay degraded forever: re-check the exit
+       condition on traffic, not only on job completions *)
+    maybe_exit_degraded t;
     let answer =
       if t.shutting_down then
         [
@@ -260,6 +526,7 @@ let handle_submit t conn (s : P.submit) =
               code = P.Shutting_down;
               message = "server is shutting down";
               id = Some s.P.id;
+              retry_after_s = None;
             };
         ]
       else if
@@ -273,6 +540,7 @@ let handle_submit t conn (s : P.submit) =
               message =
                 Printf.sprintf "a job named %S is already live" s.P.id;
               id = Some s.P.id;
+              retry_after_s = None;
             };
         ]
       else begin
@@ -283,24 +551,66 @@ let handle_submit t conn (s : P.submit) =
             P.Result { id = s.P.id; verdict; code; cached = true; ms = 0.0 };
           ]
         | None ->
-          t.queue <-
-            t.queue
-            @ [
+          let qlen = List.length t.queue in
+          let now = Unix.gettimeofday () in
+          let shed message =
+            Obs.Metrics.incr m_shed;
+            [
+              P.Err
                 {
-                  id = s.P.id;
-                  owner = conn;
-                  spec = s.P.spec;
-                  cache_key;
-                  timeout = s.P.timeout;
-                  max_conflicts = s.P.max_conflicts;
-                  priority = s.P.priority;
-                  enqueued = Unix.gettimeofday ();
-                  token = Par.Cancel.create ();
+                  code = P.Overloaded;
+                  message;
+                  id = Some s.P.id;
+                  retry_after_s = Some t.retry_after_s;
                 };
-              ];
-          set_gauges t;
-          Condition.signal t.cond;
-          [ P.Ack s.P.id ]
+            ]
+          in
+          if qlen >= t.queue_high then begin
+            (match t.overload_since with
+            | None -> t.overload_since <- Some now
+            | Some since ->
+              if now -. since >= t.degrade_after_s then
+                enter_degraded t ~reason:"sustained overload");
+            shed
+              (Printf.sprintf
+                 "queue full (%d jobs); retry in %.2fs" qlen t.retry_after_s)
+          end
+          else if t.degraded && not (warm_admissible t s.P.spec) then
+            shed "server degraded; only cache and warm-session hits admitted"
+          else begin
+            if qlen <= t.queue_low then t.overload_since <- None;
+            match journal_submit t s cache_key with
+            | Error msg ->
+              [
+                P.Err
+                  {
+                    code = P.Internal_error;
+                    message = "journal write failed: " ^ msg;
+                    id = Some s.P.id;
+                    retry_after_s = Some t.retry_after_s;
+                  };
+              ]
+            | Ok () ->
+              t.queue <-
+                t.queue
+                @ [
+                    {
+                      id = s.P.id;
+                      owner = Some conn;
+                      spec = s.P.spec;
+                      cache_key;
+                      timeout = s.P.timeout;
+                      max_conflicts = s.P.max_conflicts;
+                      priority = s.P.priority;
+                      enqueued = now;
+                      token = Par.Cancel.create ();
+                      requeues = 0;
+                    };
+                  ];
+              set_gauges t;
+              Condition.signal t.cond;
+              [ P.Ack s.P.id ]
+          end
       end
     in
     Mutex.unlock t.lock;
@@ -337,14 +647,16 @@ let handle_cancel t conn id =
   match outcome with
   | `Dequeued p ->
     Obs.Metrics.incr m_cancelled;
+    journal_quiet t (Journal.Cancelled { id = p.id });
     send conn (P.Ack id);
     (* the owner (usually the same connection) learns the job is gone *)
-    send p.owner
+    send_owner p
       (P.Err
          {
            code = P.Cancelled;
            message = Printf.sprintf "job %s cancelled" id;
            id = Some id;
+           retry_after_s = None;
          })
   | `Running -> send conn (P.Ack id) (* its dispatcher answers Cancelled *)
   | `Unknown ->
@@ -354,6 +666,7 @@ let handle_cancel t conn id =
            code = P.Unknown_job;
            message = Printf.sprintf "no live job named %S" id;
            id = Some id;
+           retry_after_s = None;
          })
 
 let stats_json t =
@@ -361,6 +674,8 @@ let stats_json t =
   let queued = List.length t.queue in
   let inflight = Hashtbl.length t.inflight in
   let clients = List.length t.conns in
+  let degraded = t.degraded in
+  let journaled = t.journal <> None in
   Mutex.unlock t.lock;
   Obs.Json.Obj
     [
@@ -374,6 +689,13 @@ let stats_json t =
       ("cache_misses", Obs.Json.Int (Cache.misses ()));
       ("warm_hits", Obs.Json.Int (Warm.hits ()));
       ("warm_families", Obs.Json.Int (Warm.families t.warm));
+      ("warm_evictions", Obs.Json.Int (Warm.evictions ()));
+      ("degraded", Obs.Json.Int (if degraded then 1 else 0));
+      ("shed", Obs.Json.Int (Obs.Metrics.counter_value m_shed));
+      ("requeued", Obs.Json.Int (Obs.Metrics.counter_value m_requeued));
+      ( "dispatcher_restarts",
+        Obs.Json.Int (Obs.Metrics.counter_value m_restarts) );
+      ("journaled", Obs.Json.Bool journaled);
     ]
 
 let handle_line t conn ~overflowed line =
@@ -385,10 +707,12 @@ let handle_line t conn ~overflowed line =
            message =
              Printf.sprintf "request line exceeds %d bytes" P.max_line_bytes;
            id = None;
+           retry_after_s = None;
          })
   else
     match P.parse_request line with
-    | Error (code, message) -> send conn (P.Err { code; message; id = None })
+    | Error (code, message) ->
+      send conn (P.Err { code; message; id = None; retry_after_s = None })
     | Ok P.Ping -> send conn P.Pong
     | Ok P.Stats -> send conn (P.StatsReply (stats_json t))
     | Ok P.Shutdown ->
@@ -401,13 +725,30 @@ let reader t conn =
   let chunk = Bytes.create 4096 in
   let line = Buffer.create 256 in
   let overflowed = ref false in
+  (* nothing a request line does may escape the reader: an unexpected
+     handler exception becomes a typed internal_error on this
+     connection and the loop keeps reading *)
+  let handle_line_safe ~overflowed s =
+    try handle_line t conn ~overflowed s
+    with
+    | Fault.Injected as e -> raise e (* reader-death site, below *)
+    | e ->
+      send conn
+        (P.Err
+           {
+             code = P.Internal_error;
+             message = "request handler failed: " ^ Printexc.to_string e;
+             id = None;
+             retry_after_s = None;
+           })
+  in
   let feed b =
     if b = '\n' then begin
       let s = Buffer.contents line in
       Buffer.clear line;
       let over = !overflowed in
       overflowed := false;
-      if s <> "" || over then handle_line t conn ~overflowed:over s
+      if s <> "" || over then handle_line_safe ~overflowed:over s
     end
     else if Buffer.length line >= P.max_line_bytes then overflowed := true
     else Buffer.add_char line b
@@ -416,6 +757,7 @@ let reader t conn =
     match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
     | 0 -> ()
     | n ->
+      if Fault.fire Fault.Serve_reader then raise Fault.Injected;
       for i = 0 to n - 1 do
         feed (Bytes.get chunk i)
       done;
@@ -423,7 +765,8 @@ let reader t conn =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
     | exception Unix.Unix_error _ -> ()
   in
-  loop ();
+  (* a reader death — injected or real — costs exactly one client *)
+  (try loop () with _ -> Obs.Metrics.incr m_reader_crashes);
   drop_client t conn
 
 (* ----- acceptor ----- *)
@@ -451,60 +794,168 @@ let acceptor t =
 
 (* ----- lifecycle ----- *)
 
-let start ?pool ?dispatchers ?(cache_capacity = 256) ?(aging_s = 5.0) ~socket
-    () =
+(* A leftover socket file from a crashed daemon must not block restart,
+   but a live daemon's socket must: probe with a connect before
+   unlinking (statsd just unlinks; the job server can afford the probe
+   and the stronger guarantee). *)
+let replace_stale_socket socket =
+  match Unix.lstat socket with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "cannot stat %s: %s" socket (Unix.error_message e))
+  | st when st.Unix.st_kind <> Unix.S_SOCK ->
+    Error
+      (Printf.sprintf "%s exists and is not a socket; refusing to replace it"
+         socket)
+  | _ -> (
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if live then
+      Error (Printf.sprintf "a live server is already on %s" socket)
+    else
+      match Unix.unlink socket with
+      | () -> Ok ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Printf.sprintf "cannot replace stale socket %s: %s" socket
+             (Unix.error_message e)))
+
+let start ?pool ?dispatchers ?(cache_capacity = 256) ?(aging_s = 5.0) ?journal
+    ?(queue_limit = 64) ?(retry_after_s = 0.5) ?(degrade_after_s = 1.0)
+    ?(restart_budget = 2) ?warm_capacity ~socket () =
   if aging_s <= 0.0 then invalid_arg "Daemon.start: aging_s must be positive";
+  if queue_limit < 1 then
+    invalid_arg "Daemon.start: queue_limit must be >= 1";
+  if restart_budget < 0 then
+    invalid_arg "Daemon.start: restart_budget must be >= 0";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  (try Unix.unlink socket with Unix.Unix_error _ -> ());
-  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match
-    Unix.bind fd (Unix.ADDR_UNIX socket);
-    Unix.listen fd 16
-  with
-  | exception Unix.Unix_error (err, _, _) ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error
-      (Printf.sprintf "cannot serve on %s: %s" socket (Unix.error_message err))
-  | () ->
-    let stop_r, stop_w = Unix.pipe ~cloexec:true () in
-    let done_r, done_w = Unix.pipe ~cloexec:true () in
-    let width =
-      match dispatchers with
-      | Some n ->
-        if n < 1 then invalid_arg "Daemon.start: dispatchers must be >= 1";
-        n
-      | None -> ( match pool with Some p -> Par.Pool.jobs p | None -> 1)
+  match replace_stale_socket socket with
+  | Error _ as e -> e
+  | Ok () -> (
+    let journal_state =
+      match journal with
+      | None -> Ok None
+      | Some path -> (
+        match Journal.recover ~path with
+        | Ok (j, replayed) -> Ok (Some (j, replayed))
+        | Error msg -> Error msg)
     in
-    let t =
-      {
-        socket;
-        listen_fd = fd;
-        stop_r;
-        stop_w;
-        done_r;
-        done_w;
-        lock = Mutex.create ();
-        cond = Condition.create ();
-        queue = [];
-        inflight = Hashtbl.create 16;
-        conns = [];
-        readers = [];
-        shutting_down = false;
-        cache = Cache.create ~capacity:cache_capacity ();
-        warm = Warm.create ();
-        pool;
-        aging_s;
-        dispatchers = [];
-        acceptor = None;
-        stopped = false;
-      }
-    in
-    Obs.Statsd.unlink_on_sigterm socket;
-    t.dispatchers <-
-      List.init width (fun _ -> Thread.create (fun () -> dispatcher t) ());
-    t.acceptor <- Some (Thread.create (fun () -> acceptor t) ());
-    Ok t
+    match journal_state with
+    | Error msg -> Error msg
+    | Ok journal_state -> (
+      let close_journal () =
+        match journal_state with
+        | Some (j, _) -> Journal.close j
+        | None -> ()
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match
+        Unix.bind fd (Unix.ADDR_UNIX socket);
+        Unix.listen fd 16
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        close_journal ();
+        Error
+          (Printf.sprintf "cannot serve on %s: %s" socket
+             (Unix.error_message err))
+      | () ->
+        let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+        let done_r, done_w = Unix.pipe ~cloexec:true () in
+        let width =
+          match dispatchers with
+          | Some n ->
+            if n < 1 then invalid_arg "Daemon.start: dispatchers must be >= 1";
+            n
+          | None -> ( match pool with Some p -> Par.Pool.jobs p | None -> 1)
+        in
+        let t =
+          {
+            socket;
+            listen_fd = fd;
+            stop_r;
+            stop_w;
+            done_r;
+            done_w;
+            lock = Mutex.create ();
+            cond = Condition.create ();
+            queue = [];
+            inflight = Hashtbl.create 16;
+            conns = [];
+            readers = [];
+            shutting_down = false;
+            cache = Cache.create ~capacity:cache_capacity ();
+            warm = Warm.create ?capacity:warm_capacity ();
+            pool;
+            aging_s;
+            journal = Option.map fst journal_state;
+            queue_high = queue_limit;
+            queue_low = max 1 (queue_limit / 2);
+            retry_after_s;
+            degrade_after_s;
+            restart_budget;
+            degraded = false;
+            overload_since = None;
+            death_times = [];
+            slots = Array.init width (fun _ -> { th = None; current = None });
+            sup_dead = [];
+            sup_cond = Condition.create ();
+            supervisor = None;
+            acceptor = None;
+            stopped = false;
+          }
+        in
+        (* crash recovery: verdicts back into the cache, acked-but-
+           unfinished jobs back onto the queue as ownerless work whose
+           results will be served from the cache on resubmission *)
+        (match journal_state with
+        | None -> ()
+        | Some (_, replayed) ->
+          List.iter
+            (fun (key, verdict, code) ->
+              Cache.store t.cache key ~verdict ~code)
+            replayed.Journal.rj_results;
+          let now = Unix.gettimeofday () in
+          List.iter
+            (fun (sj : Journal.submit) ->
+              if sj.Journal.sj_starts > t.restart_budget then
+                (* poisoned across restarts: it took down this many
+                   whole daemons; refuse to resurrect it *)
+                journal_quiet t (Journal.Cancelled { id = sj.Journal.sj_id })
+              else
+                t.queue <-
+                  t.queue
+                  @ [
+                      {
+                        id = sj.Journal.sj_id;
+                        owner = None;
+                        spec = sj.Journal.sj_spec;
+                        cache_key = sj.Journal.sj_key;
+                        timeout = sj.Journal.sj_timeout;
+                        max_conflicts = sj.Journal.sj_max_conflicts;
+                        priority = sj.Journal.sj_priority;
+                        enqueued = now;
+                        token = Par.Cancel.create ();
+                        requeues = 0;
+                      };
+                    ])
+            replayed.Journal.rj_pending;
+          set_gauges t);
+        Obs.Statsd.unlink_on_sigterm socket;
+        t.supervisor <- Some (Thread.create (fun () -> supervisor t) ());
+        Array.iteri
+          (fun i slot ->
+            slot.th <- Some (Thread.create (fun () -> dispatcher_thread t i) ()))
+          t.slots;
+        t.acceptor <- Some (Thread.create (fun () -> acceptor t) ());
+        Ok t))
 
 let wait t =
   let buf = Bytes.create 1 in
@@ -524,12 +975,20 @@ let stop t =
     Option.iter Thread.join t.acceptor;
     t.acceptor <- None;
     (* the dispatchers drain: in-flight jobs see their cancel tokens and
-       answer quickly, then each thread observes shutting_down *)
+       answer quickly, then each thread observes shutting_down. The
+       supervisor drains its death list first (it may still send
+       terminal errors and must not respawn), then exits *)
     Mutex.lock t.lock;
     Condition.broadcast t.cond;
+    Condition.broadcast t.sup_cond;
     Mutex.unlock t.lock;
-    List.iter Thread.join t.dispatchers;
-    t.dispatchers <- [];
+    Option.iter Thread.join t.supervisor;
+    t.supervisor <- None;
+    Array.iter
+      (fun slot ->
+        Option.iter Thread.join slot.th;
+        slot.th <- None)
+      t.slots;
     (* whatever is still queued can no longer run *)
     Mutex.lock t.lock;
     let orphans = t.queue in
@@ -540,12 +999,14 @@ let stop t =
     Mutex.unlock t.lock;
     List.iter
       (fun p ->
-        send p.owner
+        journal_quiet t (Journal.Cancelled { id = p.id });
+        send_owner p
           (P.Err
              {
                code = P.Shutting_down;
                message = "server is shutting down";
                id = Some p.id;
+               retry_after_s = None;
              }))
       orphans;
     (* nudge the readers off their blocking reads, then join them *)
@@ -558,6 +1019,7 @@ let stop t =
     List.iter
       (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
       [ t.listen_fd; t.stop_r; t.stop_w; t.done_r; t.done_w ];
+    Option.iter Journal.close t.journal;
     Obs.Statsd.forget_unlink_on_sigterm t.socket;
     try Unix.unlink t.socket with Unix.Unix_error _ -> ()
   end

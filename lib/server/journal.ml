@@ -1,0 +1,375 @@
+(* Durable job journal: an append-only write-ahead log under the daemon.
+
+   One record per line, [<md5-hex> <json>\n] — the checksum covers the
+   raw JSON payload bytes, so replay never depends on the JSON printer
+   round-tripping floats byte-for-byte. A [submitted] record is fsync'd
+   before the daemon acks the submission; [started]/[done]/[cancelled]
+   records ride along unsynced (losing a tail of them only means a
+   completed job is replayed, never that an acked job is lost).
+
+   Replay is truncated-tail tolerant: a half-written last line (the
+   crash case) or any corrupt line stops replay at the last valid
+   record, and everything before it is recovered losslessly. Recovery
+   also compacts: the rewritten journal holds one [done] line per still
+   cacheable verdict and one [submitted] line per job that was acked
+   but never reached a terminal record, so the file stays proportional
+   to live state across restarts instead of growing forever.
+
+   A sibling [<path>.lock] file under [Unix.lockf] serializes daemons:
+   the lock dies with the process, so a [kill -9] never wedges the next
+   start, while two live daemons can never interleave appends. *)
+
+module J = Obs.Json
+
+type submit = {
+  sj_id : string;
+  sj_key : string;
+  sj_spec : Jobs.spec;
+  sj_timeout : float option;
+  sj_max_conflicts : int option;
+  sj_priority : int;
+  sj_starts : int;
+}
+
+type record =
+  | Submitted of submit
+  | Started of { id : string }
+  | Done of {
+      id : string;
+      key : string;
+      verdict : string;
+      code : int;
+      cacheable : bool;
+    }
+  | Cancelled of { id : string }
+
+type t = {
+  fd : Unix.file_descr;
+  lock_fd : Unix.file_descr;
+  path : string;
+  jlock : Mutex.t;
+  mutable closed : bool;
+}
+
+let m_records = Obs.Metrics.counter "server.journal_records"
+let m_replayed = Obs.Metrics.counter "server.journal_replayed_jobs"
+let m_recovered = Obs.Metrics.counter "server.journal_recovered_results"
+let m_dropped = Obs.Metrics.counter "server.journal_dropped_lines"
+
+(* ----- record codec ----- *)
+
+let record_to_json = function
+  | Submitted s ->
+    J.Obj
+      ([
+         ("op", J.String "submitted");
+         ("id", J.String s.sj_id);
+         ("key", J.String s.sj_key);
+         ("job", Jobs.to_json s.sj_spec);
+         ("priority", J.Int s.sj_priority);
+         ("starts", J.Int s.sj_starts);
+       ]
+      @ (match s.sj_timeout with
+        | Some x -> [ ("timeout", J.Float x) ]
+        | None -> [])
+      @
+      match s.sj_max_conflicts with
+      | Some n -> [ ("max_conflicts", J.Int n) ]
+      | None -> [])
+  | Started { id } -> J.Obj [ ("op", J.String "started"); ("id", J.String id) ]
+  | Done d ->
+    J.Obj
+      [
+        ("op", J.String "done");
+        ("id", J.String d.id);
+        ("key", J.String d.key);
+        ("verdict", J.String d.verdict);
+        ("code", J.Int d.code);
+        ("cacheable", J.Bool d.cacheable);
+      ]
+  | Cancelled { id } ->
+    J.Obj [ ("op", J.String "cancelled"); ("id", J.String id) ]
+
+let record_of_json j =
+  let str name = Option.bind (J.member name j) J.to_str in
+  let int name = Option.bind (J.member name j) J.to_int in
+  match str "op" with
+  | Some "submitted" -> (
+    match (str "id", str "key", J.member "job" j) with
+    | Some id, Some key, Some job -> (
+      match Jobs.of_json job with
+      | Error msg -> Error ("bad job: " ^ msg)
+      | Ok spec ->
+        Ok
+          (Submitted
+             {
+               sj_id = id;
+               sj_key = key;
+               sj_spec = spec;
+               sj_timeout = Option.bind (J.member "timeout" j) J.to_float;
+               sj_max_conflicts = int "max_conflicts";
+               sj_priority = Option.value ~default:0 (int "priority");
+               sj_starts = Option.value ~default:0 (int "starts");
+             }))
+    | _ -> Error "submitted record missing id/key/job")
+  | Some "started" -> (
+    match str "id" with
+    | Some id -> Ok (Started { id })
+    | None -> Error "started record missing id")
+  | Some "done" -> (
+    match (str "id", str "key", str "verdict", int "code") with
+    | Some id, Some key, Some verdict, Some code ->
+      let cacheable =
+        match J.member "cacheable" j with Some (J.Bool b) -> b | _ -> false
+      in
+      Ok (Done { id; key; verdict; code; cacheable })
+    | _ -> Error "done record missing id/key/verdict/code")
+  | Some "cancelled" -> (
+    match str "id" with
+    | Some id -> Ok (Cancelled { id })
+    | None -> Error "cancelled record missing id")
+  | Some op -> Error (Printf.sprintf "unknown journal op %S" op)
+  | None -> Error "journal record without an op"
+
+let line_of_record r =
+  let payload = J.to_string (record_to_json r) in
+  Digest.to_hex (Digest.string payload) ^ " " ^ payload ^ "\n"
+
+let parse_line line =
+  match String.index_opt line ' ' with
+  | None -> Error "journal line without a checksum"
+  | Some i ->
+    let sum = String.sub line 0 i in
+    let payload = String.sub line (i + 1) (String.length line - i - 1) in
+    if String.length sum <> 32 || Digest.to_hex (Digest.string payload) <> sum
+    then Error "journal line checksum mismatch"
+    else (
+      match J.parse payload with
+      | Error msg -> Error ("journal line not JSON: " ^ msg)
+      | Ok j -> record_of_json j)
+
+(* ----- replay ----- *)
+
+type replayed = {
+  rj_pending : submit list;  (** acked, no terminal record; submit order *)
+  rj_results : (string * string * int) list;
+      (** cacheable verdicts: (key, verdict, code), oldest first *)
+  rj_records : int;
+  rj_dropped : int;
+}
+
+let empty_replayed =
+  { rj_pending = []; rj_results = []; rj_records = 0; rj_dropped = 0 }
+
+let replay path =
+  if not (Sys.file_exists path) then Ok empty_replayed
+  else
+    match open_in_bin path with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+      let pending : (string, submit) Hashtbl.t = Hashtbl.create 16 in
+      let order = ref [] (* pending ids, newest first *) in
+      let results = ref [] in
+      let records = ref 0 in
+      let dropped = ref 0 in
+      let apply = function
+        | Submitted s ->
+          if not (Hashtbl.mem pending s.sj_id) then begin
+            Hashtbl.replace pending s.sj_id s;
+            order := s.sj_id :: !order
+          end
+        | Started { id } -> (
+          match Hashtbl.find_opt pending id with
+          | Some s ->
+            Hashtbl.replace pending id { s with sj_starts = s.sj_starts + 1 }
+          | None -> ())
+        | Done d ->
+          Hashtbl.remove pending d.id;
+          if d.cacheable then results := (d.key, d.verdict, d.code) :: !results
+        | Cancelled { id } -> Hashtbl.remove pending id
+      in
+      let rec read_lines () =
+        match input_line ic with
+        | exception End_of_file -> ()
+        | line -> (
+          match parse_line line with
+          | Ok r ->
+            incr records;
+            apply r;
+            read_lines ()
+          | Error _ ->
+            (* tolerate a truncated or corrupt tail: count every
+               remaining line as dropped and stop — records before the
+               first bad line are recovered losslessly *)
+            incr dropped;
+            let rec drain () =
+              match input_line ic with
+              | exception End_of_file -> ()
+              | _ ->
+                incr dropped;
+                drain ()
+            in
+            drain ())
+      in
+      read_lines ();
+      close_in_noerr ic;
+      let rj_pending =
+        List.rev !order
+        |> List.filter_map (fun id -> Hashtbl.find_opt pending id)
+      in
+      Ok
+        {
+          rj_pending;
+          rj_results = List.rev !results;
+          rj_records = !records;
+          rj_dropped = !dropped;
+        }
+
+(* ----- open / recover ----- *)
+
+let lock_path path = path ^ ".lock"
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+(* [lockf] records are per-process: a second open of the same journal
+   from this process would be granted (and closing either fd drops the
+   lock). The registry below closes that hole — cross-process exclusion
+   stays with [lockf], same-process exclusion is this table. *)
+let held : (string, unit) Hashtbl.t = Hashtbl.create 4
+let held_mu = Mutex.create ()
+
+let held_add path =
+  Mutex.lock held_mu;
+  let fresh = not (Hashtbl.mem held path) in
+  if fresh then Hashtbl.replace held path ();
+  Mutex.unlock held_mu;
+  fresh
+
+let held_remove path =
+  Mutex.lock held_mu;
+  Hashtbl.remove held path;
+  Mutex.unlock held_mu
+
+let take_lock path =
+  if not (held_add path) then
+    Error (Printf.sprintf "journal %s is locked by another daemon" path)
+  else
+    match
+      Unix.openfile (lock_path path) [ Unix.O_CREAT; Unix.O_RDWR ] 0o644
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      held_remove path;
+      Error
+        (Printf.sprintf "cannot open journal lock %s: %s" (lock_path path)
+           (Unix.error_message e))
+    | lock_fd -> (
+      match Unix.lockf lock_fd Unix.F_TLOCK 0 with
+      | () -> Ok lock_fd
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+        (try Unix.close lock_fd with Unix.Unix_error _ -> ());
+        held_remove path;
+        Error
+          (Printf.sprintf "journal %s is locked by another daemon" path)
+      | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close lock_fd with Unix.Unix_error _ -> ());
+        held_remove path;
+        Error
+          (Printf.sprintf "cannot lock journal %s: %s" path
+             (Unix.error_message e)))
+
+let compact path (r : replayed) =
+  let tmp = path ^ ".tmp" in
+  match
+    Unix.openfile tmp [ Unix.O_CREAT; Unix.O_WRONLY; Unix.O_TRUNC ] 0o644
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "cannot write %s: %s" tmp (Unix.error_message e))
+  | fd -> (
+    match
+      List.iter
+        (fun (key, verdict, code) ->
+          write_all fd
+            (line_of_record
+               (Done { id = ""; key; verdict; code; cacheable = true })))
+        r.rj_results;
+      List.iter
+        (fun s -> write_all fd (line_of_record (Submitted s)))
+        r.rj_pending;
+      Unix.fsync fd
+    with
+    | () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try
+         Unix.rename tmp path;
+         Ok ()
+       with Unix.Unix_error (e, _, _) ->
+         Error
+           (Printf.sprintf "cannot replace %s: %s" path (Unix.error_message e)))
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "cannot write %s: %s" tmp (Unix.error_message e)))
+
+let recover ~path =
+  match take_lock path with
+  | Error _ as e -> e
+  | Ok lock_fd -> (
+    let fail msg =
+      (try Unix.close lock_fd with Unix.Unix_error _ -> ());
+      held_remove path;
+      Error msg
+    in
+    match replay path with
+    | Error msg -> fail ("journal replay failed: " ^ msg)
+    | Ok r -> (
+      match compact path r with
+      | Error msg -> fail msg
+      | Ok () -> (
+        match
+          Unix.openfile path [ Unix.O_CREAT; Unix.O_WRONLY; Unix.O_APPEND ]
+            0o644
+        with
+        | exception Unix.Unix_error (e, _, _) ->
+          fail
+            (Printf.sprintf "cannot open journal %s: %s" path
+               (Unix.error_message e))
+        | fd ->
+          Obs.Metrics.add m_replayed (List.length r.rj_pending);
+          Obs.Metrics.add m_recovered (List.length r.rj_results);
+          Obs.Metrics.add m_dropped r.rj_dropped;
+          Ok
+            ( { fd; lock_fd; path; jlock = Mutex.create (); closed = false },
+              r ))))
+
+let append ?(sync = false) t r =
+  if Fault.fire Fault.Journal_write then raise Fault.Injected;
+  let line = line_of_record r in
+  Mutex.lock t.jlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.jlock)
+    (fun () ->
+      if t.closed then failwith "journal closed";
+      write_all t.fd line;
+      if sync then Unix.fsync t.fd);
+  Obs.Metrics.incr m_records
+
+let close t =
+  Mutex.lock t.jlock;
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    (* release before unlink so a racing daemon either sees the lock or
+       a fresh lock file, never a locked orphan *)
+    (try Unix.lockf t.lock_fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+    (try Unix.close t.lock_fd with Unix.Unix_error _ -> ());
+    (try Unix.unlink (lock_path t.path) with Unix.Unix_error _ -> ());
+    held_remove t.path
+  end;
+  Mutex.unlock t.jlock

@@ -1,0 +1,77 @@
+(** Durable job journal: the daemon's append-only write-ahead log.
+
+    One checksummed record per line ([<md5-hex> <json>\n]). The daemon
+    appends [Submitted] (fsync'd before the submit ack), [Started],
+    [Done] and [Cancelled] records; on startup {!recover} replays the
+    log — tolerating a truncated or corrupt tail — compacts it down to
+    live state, and hands back the jobs that were acked but never
+    finished plus the cacheable verdicts, so a [kill -9] mid-solve
+    loses no accepted work and no cached result.
+
+    Cross-process exclusion is a [Unix.lockf] lock on a sibling
+    [<path>.lock] file: it dies with the process (a crashed daemon
+    never wedges the next start) and is explicitly released and
+    unlinked by {!close}. *)
+
+type submit = {
+  sj_id : string;
+  sj_key : string;  (** {!Jobs.key} of the spec, for cache rebuild *)
+  sj_spec : Jobs.spec;
+  sj_timeout : float option;
+  sj_max_conflicts : int option;
+  sj_priority : int;
+  sj_starts : int;
+      (** times a dispatcher picked this job without it reaching a
+          terminal record — across crashes, this is the poisoned-job
+          detector *)
+}
+
+type record =
+  | Submitted of submit
+  | Started of { id : string }
+  | Done of {
+      id : string;
+      key : string;
+      verdict : string;
+      code : int;
+      cacheable : bool;
+    }
+  | Cancelled of { id : string }
+      (** any terminal answer that is not a reusable verdict: explicit
+          cancel, typed error, shutdown, or give-up *)
+
+type t
+
+type replayed = {
+  rj_pending : submit list;
+      (** acked but never completed, in original submit order *)
+  rj_results : (string * string * int) list;
+      (** cacheable [(key, verdict, code)] verdicts, oldest first *)
+  rj_records : int;  (** valid records read *)
+  rj_dropped : int;  (** invalid tail lines dropped *)
+}
+
+val replay : string -> (replayed, string) result
+(** Read-only replay of the journal at [path]; a missing file is an
+    empty journal. Stops at the first invalid line and reports
+    everything after it in [rj_dropped]. *)
+
+val recover : path:string -> (t * replayed, string) result
+(** Take the journal lock, {!replay}, rewrite the journal compacted to
+    live state (fsync + atomic rename), and open it for appending.
+    Fails if another live daemon holds the lock. *)
+
+val append : ?sync:bool -> t -> record -> unit
+(** Append one record; [sync] (default false) additionally fsyncs
+    before returning — the daemon syncs exactly the [Submitted] records
+    that back its acks. Raises [Fault.Injected] under an armed
+    [Journal_write] fault site, and [Unix.Unix_error] on real I/O
+    failure; callers own the policy (refuse the submit, or drop the
+    record quietly). *)
+
+val close : t -> unit
+(** Fsync, close, release and unlink the lock file. Idempotent. *)
+
+val line_of_record : record -> string
+(** The on-disk line for a record, checksum and newline included
+    (exposed for tests building journals by hand). *)

@@ -40,6 +40,14 @@ type error_code =
   | Job_failed  (** the job raised; the message carries the exception *)
   | Cancelled  (** explicit cancel, client disconnect, or shutdown *)
   | Shutting_down  (** the server no longer accepts work *)
+  | Overloaded
+      (** admission control shed the job; [retry_after_s] hints when to
+          come back. Additive in sciduction.serve/1: old clients degrade
+          it to [Job_failed]. *)
+  | Internal_error
+      (** the server failed on its side of an accepted job — journal
+          write failure, or a job that kept killing dispatchers past the
+          restart budget *)
 
 let error_code_to_string = function
   | Parse_error -> "parse_error"
@@ -52,6 +60,8 @@ let error_code_to_string = function
   | Job_failed -> "job_failed"
   | Cancelled -> "cancelled"
   | Shutting_down -> "shutting_down"
+  | Overloaded -> "overloaded"
+  | Internal_error -> "internal_error"
 
 (* ----- request codec ----- *)
 
@@ -131,7 +141,12 @@ type response =
       cached : bool;
       ms : float;
     }
-  | Err of { code : error_code; message : string; id : string option }
+  | Err of {
+      code : error_code;
+      message : string;
+      id : string option;
+      retry_after_s : float option;
+    }
   | Pong
   | StatsReply of J.t
   | Bye
@@ -155,7 +170,11 @@ let response_to_json resp =
          ("code", J.String (error_code_to_string e.code));
          ("message", J.String e.message);
        ]
-      @ match e.id with Some id -> [ ("id", J.String id) ] | None -> [])
+      @ (match e.id with Some id -> [ ("id", J.String id) ] | None -> [])
+      @
+      match e.retry_after_s with
+      | Some s -> [ ("retry_after_s", J.Float s) ]
+      | None -> [])
   | Pong -> base "pong" []
   | StatsReply s -> base "stats" [ ("stats", s) ]
   | Bye -> base "bye" []
@@ -204,10 +223,14 @@ let parse_response line =
               ("duplicate_id", Duplicate_id); ("unknown_job", Unknown_job);
               ("fault_injected", Fault_injected); ("job_failed", Job_failed);
               ("cancelled", Cancelled); ("shutting_down", Shutting_down);
+              ("overloaded", Overloaded); ("internal_error", Internal_error);
             ]
           |> Option.value ~default:Job_failed
         in
-        Ok (Err { code; message; id = str "id" })
+        let retry_after_s =
+          Option.bind (J.member "retry_after_s" j) J.to_float
+        in
+        Ok (Err { code; message; id = str "id"; retry_after_s })
       | _ -> Error "error response missing code/message")
     | Some other -> Error (Printf.sprintf "unknown response type %S" other)
     | None -> Error "response without a type")

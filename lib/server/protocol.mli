@@ -43,6 +43,13 @@ type error_code =
   | Job_failed  (** the job raised; the message carries the exception *)
   | Cancelled  (** explicit cancel, client disconnect, or shutdown *)
   | Shutting_down  (** the server no longer accepts work *)
+  | Overloaded
+      (** admission control shed the job; the carrying [Err] sets
+          [retry_after_s]. Additive in sciduction.serve/1: clients that
+          predate it degrade the code string to [Job_failed]. *)
+  | Internal_error
+      (** the server failed on its side — journal write failure, or a
+          job that kept killing dispatchers past the restart budget *)
 
 val error_code_to_string : error_code -> string
 
@@ -58,7 +65,14 @@ type response =
       cached : bool;
       ms : float;
     }
-  | Err of { code : error_code; message : string; id : string option }
+  | Err of {
+      code : error_code;
+      message : string;
+      id : string option;
+      retry_after_s : float option;
+          (** only set on [Overloaded]: seconds the client should wait
+              before resubmitting *)
+    }
   | Pong
   | StatsReply of Obs.Json.t
   | Bye

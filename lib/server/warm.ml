@@ -12,37 +12,99 @@
    Sessions are single-threaded objects; the per-entry mutex serializes
    jobs of the same family while leaving different families free to run
    in parallel. Holding an entry across a whole sweep is deliberate —
-   two concurrent queries against one solver would corrupt it. *)
+   two concurrent queries against one solver would corrupt it.
+
+   The store is bounded: sessions hold a full Tseitin unrolling each, so
+   an unbounded store is a slow memory leak under many-family traffic.
+   Admitting a fresh family past [capacity] evicts the least-recently
+   used idle entry (in-use entries are never evicted — [try_lock]
+   probes for holders, so a mid-sweep session survives; the store can
+   transiently exceed capacity while every entry is busy). Teardown of
+   an evicted session is dropping the last reference: sessions are pure
+   in-memory objects (solver + Tseitin context), with no descriptors to
+   close, and any job that already acquired the entry keeps it alive
+   until release. *)
 
 type entry = {
   lock : Mutex.t;
   sess : Mc.Bmc.session;
   mutable proved : int; (* depths 0..proved are proved clean; -1 = none *)
   mutable cex : (int * bool array list) option; (* minimal cex, if found *)
+  mutable stamp : int; (* last-acquire tick, for LRU eviction *)
 }
 
-type t = { lock : Mutex.t; tbl : (string, entry) Hashtbl.t }
+type t = {
+  lock : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;
+}
 
 let m_warm_hits = Obs.Metrics.counter "server.warm_hits"
 let m_warm_cold = Obs.Metrics.counter "server.warm_cold"
+let m_warm_evictions = Obs.Metrics.counter "server.warm_evictions"
 
-let create () = { lock = Mutex.create (); tbl = Hashtbl.create 16 }
+let default_capacity = 8
+
+let create ?(capacity = default_capacity) () =
+  {
+    lock = Mutex.create ();
+    tbl = Hashtbl.create 16;
+    capacity = max 1 capacity;
+    tick = 0;
+  }
+
+(* caller holds t.lock. Evict LRU idle entries until under capacity; an
+   entry whose mutex we cannot take is mid-sweep and immune. *)
+let evict_to_capacity t =
+  while
+    Hashtbl.length t.tbl >= t.capacity
+    &&
+    let victim =
+      Hashtbl.fold
+        (fun family e best ->
+          match best with
+          | Some (_, b) when b.stamp <= e.stamp -> best
+          | _ -> Some (family, e))
+        t.tbl None
+    in
+    match victim with
+    | None -> false
+    | Some (family, e) ->
+      if Mutex.try_lock e.lock then begin
+        Hashtbl.remove t.tbl family;
+        Mutex.unlock e.lock;
+        Obs.Metrics.incr m_warm_evictions;
+        true
+      end
+      else begin
+        (* the LRU entry is busy; punt rather than scanning for the
+           next-best — the next admission retries *)
+        false
+      end
+  do
+    ()
+  done
 
 let acquire t ~family mk_ts =
   Mutex.lock t.lock;
+  t.tick <- t.tick + 1;
   let entry =
     match Hashtbl.find_opt t.tbl family with
     | Some e ->
       Obs.Metrics.incr m_warm_hits;
+      e.stamp <- t.tick;
       e
     | None ->
       Obs.Metrics.incr m_warm_cold;
+      evict_to_capacity t;
       let e =
         {
           lock = Mutex.create ();
           sess = Mc.Bmc.new_session (mk_ts ());
           proved = -1;
           cex = None;
+          stamp = t.tick;
         }
       in
       Hashtbl.replace t.tbl family e;
@@ -54,11 +116,20 @@ let acquire t ~family mk_ts =
   entry
 
 let release (entry : entry) = Mutex.unlock entry.lock
+
+let mem t family =
+  Mutex.lock t.lock;
+  let r = Hashtbl.mem t.tbl family in
+  Mutex.unlock t.lock;
+  r
+
 let families t =
   Mutex.lock t.lock;
   let n = Hashtbl.length t.tbl in
   Mutex.unlock t.lock;
   n
 
+let capacity t = t.capacity
 let hits () = Obs.Metrics.counter_value m_warm_hits
 let cold () = Obs.Metrics.counter_value m_warm_cold
+let evictions () = Obs.Metrics.counter_value m_warm_evictions

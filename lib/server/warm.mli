@@ -5,7 +5,14 @@
     already found, so a later query against the same system resumes
     where earlier ones stopped instead of re-unrolling from frame 0.
     Jobs of the same family serialize on the entry lock; distinct
-    families proceed concurrently. *)
+    families proceed concurrently.
+
+    The store is LRU-bounded (default {!default_capacity} families):
+    admitting a fresh family past capacity evicts the least recently
+    used {e idle} entry — an entry mid-sweep is never evicted, so the
+    store can transiently exceed capacity while every family is busy.
+    Evicted sessions are pure in-memory objects; dropping the table's
+    reference is the whole teardown. *)
 
 type entry = {
   lock : Mutex.t;
@@ -14,11 +21,17 @@ type entry = {
       (** depths [0..proved] proved clean; [-1] when nothing is known *)
   mutable cex : (int * bool array list) option;
       (** the minimal counterexample depth and its trace, once found *)
+  mutable stamp : int;  (** last-acquire tick, for LRU eviction *)
 }
 
 type t
 
-val create : unit -> t
+val default_capacity : int
+(** 8 families. *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default {!default_capacity}, clamped to ≥ 1) bounds the
+    number of resident families. *)
 
 val acquire : t -> family:string -> (unit -> Mc.Ts.t) -> entry
 (** Find (or create, building the system with the thunk) the family's
@@ -28,6 +41,14 @@ val acquire : t -> family:string -> (unit -> Mc.Ts.t) -> entry
 
 val release : entry -> unit
 
+val mem : t -> string -> bool
+(** Whether the family currently has a resident session — what degraded
+    admission consults to decide if a BMC job is a warm hit. *)
+
 val families : t -> int
+val capacity : t -> int
 val hits : unit -> int
 val cold : unit -> int
+
+val evictions : unit -> int
+(** Total LRU evictions (the [server.warm_evictions] counter). *)

@@ -2,15 +2,23 @@
    directions, spec JSON round-trips losslessly); daemon tests drive a
    real listener over a temp socket: verdicts bit-identical to a direct
    Jobs.run, the content-addressed cache answering repeats, warm BMC
-   sessions resuming across requests, typed errors for malformed and
-   oversized lines, cancellation on explicit cancel and on mid-job
-   disconnect, fault isolation, and --proof certificates from served
-   jobs passing the independent DRAT checker. *)
+   sessions resuming across requests (and evicting LRU past capacity),
+   typed errors for malformed and oversized lines, cancellation on
+   explicit cancel and on mid-job disconnect, fault isolation, and
+   --proof certificates from served jobs passing the independent DRAT
+   checker. The robustness suites cover the journal (checksummed
+   replay, truncated-tail tolerance, crash recovery, the cross-process
+   lock), admission control (typed overload sheds carrying retry_after_s
+   and the degraded-mode cycle), dispatcher supervision (requeue under
+   injected death, bounded give-up), a malformed-wire fuzz corpus, the
+   retrying client's deterministic backoff schedule, and stale-socket
+   replacement at bind. *)
 
 module P = Server.Protocol
 module Jobs = Server.Jobs
 module Daemon = Server.Daemon
 module Client = Server.Client
+module Journal = Server.Journal
 module Json = Obs.Json
 module Proof = Smt.Proof
 module Drat = Cert.Drat
@@ -21,15 +29,26 @@ module Drat = Cert.Drat
 
 let sock_counter = ref 0
 
-let fresh_socket () =
+let fresh_path ext =
   incr sock_counter;
   Filename.concat
     (Filename.get_temp_dir_name ())
-    (Printf.sprintf "test_server_%d_%d.sock" (Unix.getpid ()) !sock_counter)
+    (Printf.sprintf "test_server_%d_%d%s" (Unix.getpid ()) !sock_counter ext)
 
-let with_daemon ?dispatchers f =
+let fresh_socket () = fresh_path ".sock"
+
+let contains hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let with_daemon ?dispatchers ?journal ?queue_limit ?retry_after_s
+    ?degrade_after_s ?restart_budget ?warm_capacity f =
   let socket = fresh_socket () in
-  match Daemon.start ?dispatchers ~socket () with
+  match
+    Daemon.start ?dispatchers ?journal ?queue_limit ?retry_after_s
+      ?degrade_after_s ?restart_budget ?warm_capacity ~socket ()
+  with
   | Error e -> Alcotest.failf "daemon start: %s" e
   | Ok d -> Fun.protect ~finally:(fun () -> Daemon.stop d) (fun () -> f socket)
 
@@ -177,8 +196,34 @@ let test_response_roundtrip () =
       P.Result
         { id = "a"; verdict = "SAFE within depth 9"; code = 0; cached = true;
           ms = 12.5 };
-      P.Err { code = P.Fault_injected; message = "boom"; id = Some "a" };
-      P.Err { code = P.Oversized; message = "too long"; id = None };
+      P.Err
+        {
+          code = P.Fault_injected;
+          message = "boom";
+          id = Some "a";
+          retry_after_s = None;
+        };
+      P.Err
+        {
+          code = P.Oversized;
+          message = "too long";
+          id = None;
+          retry_after_s = None;
+        };
+      P.Err
+        {
+          code = P.Overloaded;
+          message = "queue full";
+          id = Some "b";
+          retry_after_s = Some 0.5;
+        };
+      P.Err
+        {
+          code = P.Internal_error;
+          message = "journal write failed";
+          id = Some "c";
+          retry_after_s = None;
+        };
       P.StatsReply (Json.Obj [ ("queued", Json.Int 3) ]);
     ]
   in
@@ -411,7 +456,9 @@ let test_fault_is_typed_and_isolated () =
   | P.Ack "survivor" -> ()
   | r -> Alcotest.failf "expected ack, got %s" (P.response_to_line r));
   ignore (eventually socket "inflight" (fun v -> v >= 1) : int);
-  Fault.activate ~probability:1.0 ~seed:77 ();
+  (* only the job site: an armed reader/dispatcher site would kill the
+     connection instead of answering the typed job fault under test *)
+  Fault.activate ~probability:1.0 ~sites:[ Fault.Serve_job ] ~seed:77 ();
   (match Client.submit ~socket (Jobs.Lstar { states = 3 }) with
   | Error (`Server f) ->
     Alcotest.(check string) "faulted job answers a typed error"
@@ -516,6 +563,576 @@ let test_served_proofs_check () =
       entries
 
 (* ------------------------------------------------------------------ *)
+(* journal: checksummed records, tail tolerance, crash recovery        *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let rm_f path = try Sys.remove path with Sys_error _ -> ()
+
+let submit_rec ?(starts = 0) id spec =
+  Journal.Submitted
+    {
+      Journal.sj_id = id;
+      sj_key = Jobs.key spec;
+      sj_spec = spec;
+      sj_timeout = None;
+      sj_max_conflicts = None;
+      sj_priority = 0;
+      sj_starts = starts;
+    }
+
+(* damage one payload byte; the checksum must catch it *)
+let corrupt line =
+  let i = String.length line - 3 in
+  String.mapi
+    (fun j c -> if j = i then (if c = 'x' then 'y' else 'x') else c)
+    line
+
+let test_journal_replay_roundtrip () =
+  let path = fresh_path ".journal" in
+  Fun.protect ~finally:(fun () -> rm_f path) @@ fun () ->
+  let a = shift_spec ~len:10 6 and b = Jobs.Lstar { states = 3 } in
+  let records =
+    [
+      submit_rec "a" a;
+      Journal.Started { id = "a" };
+      submit_rec "b" b;
+      Journal.Done
+        {
+          id = "b"; key = Jobs.key b; verdict = "LEARNED 3-state machine";
+          code = 0; cacheable = true;
+        };
+      Journal.Cancelled { id = "never-submitted" };
+    ]
+  in
+  write_file path (String.concat "" (List.map Journal.line_of_record records));
+  match Journal.replay path with
+  | Error e -> Alcotest.failf "replay: %s" e
+  | Ok r ->
+    Alcotest.(check int) "all records read" 5 r.Journal.rj_records;
+    Alcotest.(check int) "nothing dropped" 0 r.Journal.rj_dropped;
+    Alcotest.(check (list (pair string int))) "only the started job pends"
+      [ ("a", 1) ]
+      (List.map
+         (fun s -> (s.Journal.sj_id, s.Journal.sj_starts))
+         r.Journal.rj_pending);
+    Alcotest.(check bool) "pending spec survives the round-trip" true
+      ((List.hd r.Journal.rj_pending).Journal.sj_spec = a);
+    Alcotest.(check (list (triple string string int)))
+      "the cacheable verdict is recovered"
+      [ (Jobs.key b, "LEARNED 3-state machine", 0) ]
+      r.Journal.rj_results;
+    (* a journal that never existed is an empty journal *)
+    match Journal.replay (path ^ ".nope") with
+    | Error e -> Alcotest.failf "missing-file replay: %s" e
+    | Ok r ->
+      Alcotest.(check int) "no records" 0 r.Journal.rj_records;
+      Alcotest.(check int) "no pending" 0 (List.length r.Journal.rj_pending)
+
+let test_journal_tail_tolerance () =
+  let path = fresh_path ".journal" in
+  Fun.protect ~finally:(fun () -> rm_f path) @@ fun () ->
+  let a = shift_spec ~len:10 6 and b = Jobs.Lstar { states = 3 } in
+  let good =
+    [ submit_rec "a" a; Journal.Started { id = "a" }; submit_rec "b" b ]
+  in
+  let done_b =
+    Journal.Done
+      { id = "b"; key = Jobs.key b; verdict = "x"; code = 0; cacheable = true }
+  in
+  let tail =
+    (* a bit-flipped record, then a half-written one: a crash mid-append *)
+    corrupt (Journal.line_of_record done_b)
+    ^
+    let l = Journal.line_of_record (submit_rec "c" a) in
+    String.sub l 0 (String.length l / 2)
+  in
+  write_file path
+    (String.concat "" (List.map Journal.line_of_record good) ^ tail);
+  match Journal.replay path with
+  | Error e -> Alcotest.failf "replay: %s" e
+  | Ok r ->
+    Alcotest.(check int) "the intact prefix is applied" 3 r.Journal.rj_records;
+    Alcotest.(check int) "the damaged tail is dropped" 2 r.Journal.rj_dropped;
+    Alcotest.(check (list string)) "b's lost Done leaves it pending"
+      [ "a"; "b" ]
+      (List.map (fun s -> s.Journal.sj_id) r.Journal.rj_pending)
+
+let test_journal_crash_recovery () =
+  let path = fresh_path ".journal" in
+  Fun.protect ~finally:(fun () ->
+      rm_f path;
+      rm_f (path ^ ".lock"))
+  @@ fun () ->
+  let spec_a = shift_spec ~len:13 10 and spec_b = shift_spec ~len:14 9 in
+  let direct_b = Jobs.run spec_b in
+  (* the journal a kill -9 would leave behind: an acked job with no
+     terminal record, and a finished job whose verdict was cacheable *)
+  write_file path
+    (Journal.line_of_record (submit_rec "replayed-a" spec_a)
+    ^ Journal.line_of_record
+        (Journal.Done
+           {
+             id = "gone";
+             key = Jobs.key spec_b;
+             verdict = direct_b.Jobs.verdict;
+             code = direct_b.Jobs.code;
+             cacheable = true;
+           }));
+  with_daemon ~journal:path (fun socket ->
+      (* the acked-but-unfinished job reruns without any client *)
+      ignore (eventually socket "done" (fun v -> v >= 1) : int);
+      (match Client.submit ~socket spec_b with
+      | Error _ -> Alcotest.fail "submit of recovered-verdict spec failed"
+      | Ok o ->
+        Alcotest.(check bool) "journal rebuilt the cache" true o.Client.cached;
+        Alcotest.(check string) "recovered verdict byte-identical"
+          direct_b.Jobs.verdict o.Client.verdict);
+      (match Client.submit ~socket spec_a with
+      | Error _ -> Alcotest.fail "submit of replayed spec failed"
+      | Ok o ->
+        Alcotest.(check bool) "replayed job's verdict serves from cache" true
+          o.Client.cached;
+        Alcotest.(check string) "replayed verdict is the direct verdict"
+          (Jobs.run spec_a).Jobs.verdict o.Client.verdict);
+      (* the journal is single-owner: a second daemon must be refused *)
+      match Daemon.start ~socket:(fresh_socket ()) ~journal:path () with
+      | Ok d ->
+        Daemon.stop d;
+        Alcotest.fail "two daemons shared one journal"
+      | Error e ->
+        Alcotest.(check bool) "lock named in the refusal" true
+          (contains e "lock"));
+  (* after a clean stop: no pending work, no stale lock *)
+  Alcotest.(check bool) "lock file released" false
+    (Sys.file_exists (path ^ ".lock"));
+  match Journal.replay path with
+  | Error e -> Alcotest.failf "post-stop replay: %s" e
+  | Ok r ->
+    Alcotest.(check int) "every acked job reached a terminal record" 0
+      (List.length r.Journal.rj_pending);
+    Alcotest.(check bool) "both verdicts are on disk" true
+      (List.length r.Journal.rj_results >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* admission control and degraded mode                                 *)
+(* ------------------------------------------------------------------ *)
+
+let blank_submit id spec =
+  P.Submit { P.id; spec; timeout = None; max_conflicts = None; priority = 0 }
+
+let test_overload_shed_and_client_retry () =
+  with_daemon ~dispatchers:1 ~queue_limit:1 ~retry_after_s:0.07
+    ~degrade_after_s:30.0
+  @@ fun socket ->
+  let conn = raw_connect socket in
+  Fun.protect ~finally:(fun () ->
+      try Unix.close (fst conn) with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let fd = fst conn in
+  send_req fd (blank_submit "block" slow_spec);
+  (match recv conn with
+  | P.Ack "block" -> ()
+  | r -> Alcotest.failf "expected ack, got %s" (P.response_to_line r));
+  ignore (eventually socket "inflight" (fun v -> v >= 1) : int);
+  send_req fd (blank_submit "q1" (Jobs.Lstar { states = 3 }));
+  (match recv conn with
+  | P.Ack "q1" -> ()
+  | r -> Alcotest.failf "expected ack, got %s" (P.response_to_line r));
+  (* the queue is at its high watermark: shed, typed, with the hint *)
+  send_req fd (blank_submit "q2" (Jobs.Lstar { states = 5 }));
+  (match recv conn with
+  | P.Err { code = P.Overloaded; id = Some "q2"; retry_after_s = Some s; _ }
+    ->
+    Alcotest.(check (float 1e-6)) "hint is the configured retry_after_s" 0.07
+      s
+  | r -> Alcotest.failf "expected overloaded, got %s" (P.response_to_line r));
+  Alcotest.(check bool) "shed counted" true (stat socket "shed" >= 1);
+  (* a retrying client rides the burst out; its first delay is the
+     server's hint (larger than its own base backoff), and the call
+     lands once the queue drains *)
+  let sleeps = ref [] in
+  let retry =
+    {
+      Client.attempts = 60;
+      base_s = 0.01;
+      cap_s = 0.02;
+      sleep =
+        (fun d ->
+          sleeps := d :: !sleeps;
+          Thread.delay d);
+    }
+  in
+  let r0 = Client.retries () in
+  let canceller =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.15;
+        ignore (Client.cancel ~socket ~id:"q1" : (unit, string) result);
+        ignore (Client.cancel ~socket ~id:"block" : (unit, string) result))
+      ()
+  in
+  let spec = Jobs.Lstar { states = 4 } in
+  let res = Client.submit ~socket ~retry spec in
+  Thread.join canceller;
+  (match res with
+  | Ok o ->
+    Alcotest.(check string) "the retried submit got the real verdict"
+      (Jobs.run spec).Jobs.verdict o.Client.verdict
+  | Error _ -> Alcotest.fail "retrying client never landed");
+  (match List.rev !sleeps with
+  | first :: _ ->
+    Alcotest.(check (float 1e-6)) "first backoff honors the server hint"
+      0.07 first
+  | [] -> Alcotest.fail "client landed without ever being shed");
+  Alcotest.(check bool) "client retries counted" true (Client.retries () > r0)
+
+let test_degraded_mode_cycle () =
+  with_daemon ~dispatchers:1 ~queue_limit:4 ~degrade_after_s:0.0
+    ~retry_after_s:0.05
+  @@ fun socket ->
+  (* a resident warm family first: degraded mode must keep serving it *)
+  let warm_shallow = shift_spec ~len:15 6 and warm_deep = shift_spec ~len:15 12 in
+  (match Client.submit ~socket warm_shallow with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "pre-warm submit failed");
+  let conn_block = raw_connect socket
+  and conn_fill = raw_connect socket
+  and conn_warm = raw_connect socket in
+  Fun.protect ~finally:(fun () ->
+      List.iter
+        (fun c -> try Unix.close (fst c) with Unix.Unix_error _ -> ())
+        [ conn_block; conn_fill; conn_warm ])
+  @@ fun () ->
+  let submit conn id spec =
+    send_req (fst conn) (blank_submit id spec);
+    match recv conn with
+    | P.Ack got when got = id -> `Ack
+    | P.Err { code; retry_after_s; _ } ->
+      `Err (P.error_code_to_string code, retry_after_s)
+    | r -> Alcotest.failf "unexpected response %s" (P.response_to_line r)
+  in
+  (* wedge the only dispatcher, then fill the queue to the watermark *)
+  (match submit conn_block "block" slow_spec with
+  | `Ack -> ()
+  | `Err _ -> Alcotest.fail "blocker shed");
+  ignore (eventually socket "inflight" (fun v -> v >= 1) : int);
+  List.iter
+    (fun id ->
+      match submit conn_fill id (Jobs.Lstar { states = 3 }) with
+      | `Ack -> ()
+      | `Err _ -> Alcotest.failf "%s shed below the watermark" id)
+    [ "q1"; "q2"; "q3"; "q4" ];
+  (* watermark hit: first shed opens the sustain window; with a
+     zero-length window the second shed flips the daemon degraded *)
+  (match submit conn_fill "q5" (Jobs.Lstar { states = 3 }) with
+  | `Err ("overloaded", Some s) ->
+    Alcotest.(check (float 1e-6)) "shed carries the hint" 0.05 s
+  | _ -> Alcotest.fail "q5 was not shed overloaded");
+  (match submit conn_fill "q6" (Jobs.Lstar { states = 3 }) with
+  | `Err ("overloaded", _) -> ()
+  | _ -> Alcotest.fail "q6 was not shed");
+  Alcotest.(check int) "daemon is degraded" 1 (stat socket "degraded");
+  Alcotest.(check bool) "sheds counted" true (stat socket "shed" >= 2);
+  (* drop below the high watermark: still degraded, so fresh non-warm
+     work is shed while the warm family is admitted *)
+  (match Client.cancel ~socket ~id:"q4" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "cancel q4: %s" e);
+  (match recv conn_fill with
+  | P.Err { code = P.Cancelled; id = Some "q4"; _ } -> ()
+  | r -> Alcotest.failf "expected q4's cancel, got %s" (P.response_to_line r));
+  (match submit conn_fill "fresh" (Jobs.Lstar { states = 4 }) with
+  | `Err ("overloaded", _) -> ()
+  | _ -> Alcotest.fail "degraded daemon admitted fresh non-warm work");
+  (match submit conn_warm "warmjob" warm_deep with
+  | `Ack -> ()
+  | `Err _ -> Alcotest.fail "degraded daemon shed a warm-family job");
+  (* drain the queue: pressure gone, no dispatcher deaths → exit *)
+  List.iter
+    (fun id -> ignore (Client.cancel ~socket ~id : (unit, string) result))
+    [ "q1"; "q2"; "q3"; "block" ];
+  (match recv conn_warm with
+  | P.Result { id = "warmjob"; verdict; cached; _ } ->
+    Alcotest.(check string) "warm verdict is the cold verdict"
+      (Jobs.run warm_deep).Jobs.verdict verdict;
+    Alcotest.(check bool) "computed, not cached" false cached
+  | r -> Alcotest.failf "unexpected response %s" (P.response_to_line r));
+  ignore (eventually socket "degraded" (fun v -> v = 0) : int);
+  Alcotest.(check int) "degraded exited after the drain" 0
+    (stat socket "degraded");
+  match Client.submit ~socket ~retry:Client.no_retry (Jobs.Lstar { states = 4 })
+  with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "recovered daemon refused fresh work"
+
+(* ------------------------------------------------------------------ *)
+(* dispatcher supervision                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_supervisor_requeues_and_job_survives () =
+  with_daemon ~dispatchers:1 ~restart_budget:5 @@ fun socket ->
+  Fun.protect ~finally:Fault.deactivate @@ fun () ->
+  (* pick a seed whose Serve_dispatch draw sequence is fire, no-fire:
+     the first claim kills the dispatcher, the requeued claim runs *)
+  let rec find_seed s =
+    Fault.activate ~probability:0.5 ~sites:[ Fault.Serve_dispatch ] ~seed:s ();
+    let a = Fault.fire Fault.Serve_dispatch in
+    let b = Fault.fire Fault.Serve_dispatch in
+    Fault.deactivate ();
+    if a && not b then s else find_seed (s + 1)
+  in
+  let seed = find_seed 0 in
+  (* the registry counters are process-global: assert deltas *)
+  let rq0 = stat socket "requeued" and rs0 = stat socket "dispatcher_restarts" in
+  Fault.activate ~probability:0.5 ~sites:[ Fault.Serve_dispatch ] ~seed ();
+  let spec = Jobs.Lstar { states = 4 } in
+  (match Client.submit ~socket ~retry:Client.no_retry spec with
+  | Ok o ->
+    Alcotest.(check string) "verdict survived the dispatcher death"
+      (Jobs.run spec).Jobs.verdict o.Client.verdict;
+    Alcotest.(check bool) "computed, not cached" false o.Client.cached
+  | Error _ -> Alcotest.fail "submit failed despite the requeue");
+  Fault.deactivate ();
+  Alcotest.(check int) "exactly one requeue" 1 (stat socket "requeued" - rq0);
+  Alcotest.(check int) "exactly one restart" 1
+    (stat socket "dispatcher_restarts" - rs0)
+
+let test_supervisor_gives_up_typed () =
+  with_daemon ~dispatchers:1 ~restart_budget:1 ~degrade_after_s:0.2
+  @@ fun socket ->
+  Fun.protect ~finally:Fault.deactivate @@ fun () ->
+  let rq0 = stat socket "requeued" and rs0 = stat socket "dispatcher_restarts" in
+  Fault.activate ~probability:1.0 ~sites:[ Fault.Serve_dispatch ] ~seed:11 ();
+  (match
+     Client.submit ~socket ~retry:Client.no_retry (Jobs.Lstar { states = 3 })
+   with
+  | Error (`Server f) ->
+    Alcotest.(check string) "give-up is a typed internal_error"
+      "internal_error" f.Client.fcode
+  | Ok _ -> Alcotest.fail "poisoned job returned a verdict"
+  | Error (`Transport m) -> Alcotest.failf "transport error: %s" m);
+  Alcotest.(check bool) "budget+1 dispatcher deaths" true
+    (stat socket "dispatcher_restarts" - rs0 >= 2);
+  Alcotest.(check int) "one requeue before giving up" 1
+    (stat socket "requeued" - rq0);
+  Fault.deactivate ();
+  (* two deaths in the window flipped the daemon degraded; the slot was
+     re-armed, so a retrying client rides out the recovery *)
+  let spec = Jobs.Lstar { states = 4 } in
+  match
+    Client.submit ~socket
+      ~retry:{ Client.default_retry with attempts = 20; base_s = 0.1 }
+      spec
+  with
+  | Ok o ->
+    Alcotest.(check string) "post-give-up verdict correct"
+      (Jobs.run spec).Jobs.verdict o.Client.verdict
+  | Error _ -> Alcotest.fail "daemon did not recover after give-up"
+
+(* ------------------------------------------------------------------ *)
+(* reader fuzz corpus                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let write_sub fd s off len = ignore (Unix.write_substring fd s off len : int)
+
+let test_reader_fuzz_corpus () =
+  with_daemon @@ fun socket ->
+  let conn = raw_connect socket in
+  Fun.protect ~finally:(fun () ->
+      try Unix.close (fst conn) with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let fd = fst conn in
+  let expect_err what line =
+    send_raw fd line;
+    match recv conn with
+    | P.Err _ -> ()
+    | r ->
+      Alcotest.failf "%s: expected a typed error, got %s" what
+        (P.response_to_line r)
+  in
+  expect_err "truncated json" "{\"v\":\"sciduction";
+  expect_err "nul byte in string" "{\"v\":\"a\000b\"}";
+  expect_err "binary garbage" "\xff\xfe\x00\x01\x7f";
+  expect_err "bare array" "[1,2,3]";
+  expect_err "empty object" "{}";
+  (* a frame split across writes is reassembled, not rejected *)
+  let ping = Json.to_string (P.request_to_json P.Ping) ^ "\n" in
+  let half = String.length ping / 2 in
+  write_sub fd ping 0 half;
+  Thread.delay 0.05;
+  write_sub fd ping half (String.length ping - half);
+  (match recv conn with
+  | P.Pong -> ()
+  | r -> Alcotest.failf "split ping: got %s" (P.response_to_line r));
+  (* a peer dying mid-frame must not take the server down *)
+  let fd2, _ = raw_connect socket in
+  let partial = "{\"v\":\"sciduction.serve/1\",\"op\":\"sub" in
+  write_sub fd2 partial 0 (String.length partial);
+  Unix.close fd2;
+  (* nor a peer that floods an unterminated oversized frame and leaves *)
+  let fd3, _ = raw_connect socket in
+  let flood = String.make 100_000 '{' in
+  write_sub fd3 flood 0 (String.length flood);
+  Unix.close fd3;
+  Thread.delay 0.1;
+  send_req fd P.Ping;
+  (match recv conn with
+  | P.Pong -> ()
+  | r -> Alcotest.failf "post-fuzz ping: got %s" (P.response_to_line r));
+  let spec = Jobs.Lstar { states = 3 } in
+  match Client.submit ~socket spec with
+  | Ok o ->
+    Alcotest.(check string) "server still serves real work"
+      (Jobs.run spec).Jobs.verdict o.Client.verdict
+  | Error _ -> Alcotest.fail "submit after fuzzing failed"
+
+(* ------------------------------------------------------------------ *)
+(* warm store LRU bound                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_lru_eviction () =
+  with_daemon ~warm_capacity:1 @@ fun socket ->
+  let ev0 = stat socket "warm_evictions" in
+  let fam_a = shift_spec ~len:10 6 and fam_b = shift_spec ~len:11 6 in
+  (match Client.submit ~socket fam_a with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "family A submit failed");
+  Alcotest.(check int) "one resident family" 1 (stat socket "warm_families");
+  (match Client.submit ~socket fam_b with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "family B submit failed");
+  Alcotest.(check bool) "admitting B evicted A" true
+    (stat socket "warm_evictions" > ev0);
+  Alcotest.(check int) "still one resident family" 1
+    (stat socket "warm_families");
+  (* the evicted family restarts cold — and still answers correctly *)
+  let deep_a = shift_spec ~len:10 12 in
+  match Client.submit ~socket deep_a with
+  | Ok o ->
+    Alcotest.(check string) "evicted family recomputed correctly"
+      (Jobs.run deep_a).Jobs.verdict o.Client.verdict;
+    Alcotest.(check bool) "not a cache hit" false o.Client.cached
+  | Error _ -> Alcotest.fail "deep submit after eviction failed"
+
+(* ------------------------------------------------------------------ *)
+(* retrying client                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_client_backoff_schedule () =
+  (* nothing listens on this socket: every attempt is a transport
+     failure, and the recorded sleeps must be the published schedule *)
+  let socket = fresh_socket () in
+  let sleeps = ref [] in
+  let retry =
+    {
+      Client.attempts = 4;
+      base_s = 0.01;
+      cap_s = 0.05;
+      sleep = (fun d -> sleeps := d :: !sleeps);
+    }
+  in
+  let r0 = Client.retries () in
+  (match Client.submit ~socket ~retry (Jobs.Lstar { states = 3 }) with
+  | Error (`Transport _) -> ()
+  | Ok _ -> Alcotest.fail "submit to a dead socket succeeded"
+  | Error (`Server _) -> Alcotest.fail "dead socket answered a typed error");
+  let got = List.rev !sleeps in
+  Alcotest.(check int) "one sleep per failed attempt but the last" 3
+    (List.length got);
+  List.iteri
+    (fun k d ->
+      Alcotest.(check (float 1e-12)) "deterministic jittered delay"
+        (Client.backoff_delay retry k)
+        d)
+    got;
+  Alcotest.(check int) "retries counted" 3 (Client.retries () - r0)
+
+let test_client_reconnects_across_restart () =
+  let socket = fresh_socket () in
+  (* a daemon lived and died here; the client starts against nothing *)
+  (match Daemon.start ~socket () with
+  | Error e -> Alcotest.failf "first daemon start: %s" e
+  | Ok d -> Daemon.stop d);
+  let d2 = ref None in
+  let starter =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.3;
+        match Daemon.start ~socket () with
+        | Ok d -> d2 := Some d
+        | Error _ -> ())
+      ()
+  in
+  let spec = Jobs.Lstar { states = 4 } in
+  let r0 = Client.retries () in
+  let res =
+    Client.submit ~socket
+      ~retry:{ Client.default_retry with attempts = 40; base_s = 0.05 }
+      spec
+  in
+  Thread.join starter;
+  Fun.protect ~finally:(fun () -> Option.iter Daemon.stop !d2) @@ fun () ->
+  match res with
+  | Ok o ->
+    Alcotest.(check string) "verdict after riding out the restart"
+      (Jobs.run spec).Jobs.verdict o.Client.verdict;
+    Alcotest.(check bool) "reconnects were needed and counted" true
+      (Client.retries () > r0)
+  | Error _ -> Alcotest.fail "client did not ride out the restart"
+
+(* ------------------------------------------------------------------ *)
+(* socket lifecycle at bind                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_stale_socket_handling () =
+  (* a socket file left by a dead listener is probed and replaced *)
+  let path = fresh_socket () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 1;
+  Unix.close fd;
+  Alcotest.(check bool) "stale file present" true (Sys.file_exists path);
+  (match Daemon.start ~socket:path () with
+  | Error e -> Alcotest.failf "stale socket not replaced: %s" e
+  | Ok d ->
+    Fun.protect ~finally:(fun () -> Daemon.stop d) @@ fun () ->
+    (match Client.ping ~socket:path () with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "ping after replacement: %s" e));
+  (* a live daemon on the path is refused, not clobbered *)
+  with_daemon (fun live ->
+      (match Daemon.start ~socket:live () with
+      | Ok d ->
+        Daemon.stop d;
+        Alcotest.fail "second daemon bound over a live one"
+      | Error e ->
+        Alcotest.(check bool) "refusal names the live server" true
+          (contains e "live"));
+      match Client.ping ~socket:live () with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "live daemon harmed by the probe: %s" e);
+  (* an unrelated file is never unlinked *)
+  let reg = fresh_path ".txt" in
+  write_file reg "precious";
+  Fun.protect ~finally:(fun () -> rm_f reg) @@ fun () ->
+  (match Daemon.start ~socket:reg () with
+  | Ok d ->
+    Daemon.stop d;
+    Alcotest.fail "daemon replaced a regular file"
+  | Error e ->
+    Alcotest.(check bool) "refusal says not-a-socket" true
+      (contains e "not a socket"));
+  let ic = open_in_bin reg in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  Alcotest.(check string) "file content untouched" "precious"
+    (really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "server"
@@ -557,6 +1174,51 @@ let () =
         [
           Alcotest.test_case "typed error, others complete" `Quick
             test_fault_is_typed_and_isolated;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "records replay losslessly" `Quick
+            test_journal_replay_roundtrip;
+          Alcotest.test_case "corrupt and truncated tails dropped" `Quick
+            test_journal_tail_tolerance;
+          Alcotest.test_case "crash recovery loses no acked work" `Quick
+            test_journal_crash_recovery;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "overload sheds; client retries land" `Quick
+            test_overload_shed_and_client_retry;
+          Alcotest.test_case "degraded mode enter/serve-warm/exit" `Quick
+            test_degraded_mode_cycle;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "dispatcher death requeues the job" `Quick
+            test_supervisor_requeues_and_job_survives;
+          Alcotest.test_case "poisoned job gives up typed" `Quick
+            test_supervisor_gives_up_typed;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "malformed wire corpus" `Quick
+            test_reader_fuzz_corpus;
+        ] );
+      ( "warm",
+        [
+          Alcotest.test_case "LRU eviction past capacity" `Quick
+            test_warm_lru_eviction;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "backoff schedule deterministic" `Quick
+            test_client_backoff_schedule;
+          Alcotest.test_case "reconnects across a restart" `Quick
+            test_client_reconnects_across_restart;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "stale socket replaced, live refused" `Quick
+            test_stale_socket_handling;
         ] );
       ( "proof",
         [
